@@ -1,0 +1,75 @@
+// Command csbench regenerates the paper's tables and figures. Each
+// subcommand corresponds to an experiment in DESIGN.md's index (E1–E12);
+// `csbench all` runs the full suite.
+//
+// Usage:
+//
+//	csbench [flags] <experiment>
+//
+//	experiments: table1 speedup repertoire elimination bitmap trickle
+//	             bulkload archival deletes spill ablation sampling all
+//
+//	-sf float     SSB scale factor (default 0.5; SF 1.0 ≈ 60k fact rows)
+//	-rows int     row count for storage experiments (default 200000)
+//	-reps int     timing repetitions, best-of (default 3)
+//	-parallel int scan DOP for the speedup experiment (default 4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apollo/internal/experiments"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.5, "SSB scale factor")
+	rows := flag.Int("rows", 200000, "rows for storage experiments")
+	reps := flag.Int("reps", 3, "timing repetitions (best-of)")
+	parallel := flag.Int("parallel", 4, "scan degree of parallelism")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: csbench [flags] <table1|speedup|repertoire|elimination|bitmap|trickle|bulkload|archival|deletes|spill|ablation|sampling|all>")
+		os.Exit(2)
+	}
+
+	run := map[string]func() error{
+		"table1":      func() error { return experiments.E1Table1Compression(os.Stdout, *rows) },
+		"speedup":     func() error { return experiments.E2SpeedupSSB(os.Stdout, *sf, *parallel, *reps) },
+		"repertoire":  func() error { return experiments.E3Repertoire(os.Stdout, *sf, *reps) },
+		"elimination": func() error { return experiments.E4SegmentElimination(os.Stdout, *rows, *reps) },
+		"bitmap":      func() error { return experiments.E5BitmapPushdown(os.Stdout, *sf, *reps) },
+		"trickle":     func() error { return experiments.E6TrickleInsert(os.Stdout, *rows/4) },
+		"bulkload":    func() error { return experiments.E7BulkLoadThreshold(os.Stdout) },
+		"archival":    func() error { return experiments.E8ArchivalAccess(os.Stdout, *rows, *reps) },
+		"deletes":     func() error { return experiments.E9DeleteOverhead(os.Stdout, *rows, *reps) },
+		"spill":       func() error { return experiments.E10Spill(os.Stdout, *sf, *reps) },
+		"ablation":    func() error { return experiments.E11EncodingAblation(os.Stdout, *rows) },
+		"sampling":    func() error { return experiments.E12Sampling(os.Stdout, *rows) },
+	}
+	order := []string{"table1", "speedup", "repertoire", "elimination", "bitmap", "trickle",
+		"bulkload", "archival", "deletes", "spill", "ablation", "sampling"}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range order {
+			if err := run[n](); err != nil {
+				fmt.Fprintf(os.Stderr, "csbench %s: %v\n", n, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := run[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "csbench: unknown experiment %q\n", name)
+		os.Exit(2)
+	}
+	if err := fn(); err != nil {
+		fmt.Fprintf(os.Stderr, "csbench %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}

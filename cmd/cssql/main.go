@@ -1,0 +1,189 @@
+// Command cssql is an interactive SQL shell over the apollo engine.
+//
+// Usage:
+//
+//	cssql [-mode 2014|2012|row] [-parallel N] [-ssb SF]
+//
+// The -ssb flag preloads a Star Schema Benchmark warehouse (tables
+// lineorder, dwdate, customer, supplier, part). Dot-commands:
+//
+//	.tables          list tables
+//	.stats <table>   physical table statistics
+//	.mode            show the execution mode
+//	.quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"apollo"
+	"apollo/internal/workload"
+)
+
+func main() {
+	mode := flag.String("mode", "2014", "execution mode: 2014, 2012, or row")
+	parallel := flag.Int("parallel", 0, "scan degree of parallelism")
+	ssb := flag.Float64("ssb", 0, "preload an SSB warehouse at this scale factor")
+	flag.Parse()
+
+	cfg := apollo.DefaultConfig()
+	cfg.Parallel = *parallel
+	cfg.RowGroupSize = 1 << 16
+	cfg.BulkLoadThreshold = 4096
+	switch *mode {
+	case "2014":
+		cfg.Mode = apollo.Mode2014
+	case "2012":
+		cfg.Mode = apollo.Mode2012
+	case "row":
+		cfg.Mode = apollo.ModeRow
+	default:
+		fmt.Fprintf(os.Stderr, "cssql: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	db := apollo.Open(cfg)
+	defer db.Close()
+
+	if *ssb > 0 {
+		fmt.Printf("loading SSB SF=%.2f ...\n", *ssb)
+		if err := loadSSB(db, *ssb); err != nil {
+			fmt.Fprintf(os.Stderr, "cssql: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
+	}
+
+	fmt.Println("apollo SQL shell — end statements with ';', '.quit' to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var stmt strings.Builder
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if stmt.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if dot(db, trimmed) {
+				return
+			}
+			fmt.Print("sql> ")
+			continue
+		}
+		stmt.WriteString(line)
+		stmt.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			runOne(db, stmt.String())
+			stmt.Reset()
+			fmt.Print("sql> ")
+		} else if stmt.Len() > 0 {
+			fmt.Print("  -> ")
+		}
+	}
+}
+
+// dot handles dot-commands; returns true to exit.
+func dot(db *apollo.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".tables":
+		for _, t := range db.Tables() {
+			fmt.Println(t)
+		}
+	case ".stats":
+		if len(fields) != 2 {
+			fmt.Println("usage: .stats <table>")
+			break
+		}
+		t, err := db.Table(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		s := t.Stats()
+		fmt.Printf("compressed row groups: %d (%d rows)\ndelta rows: %d\ndeleted rows: %d\ndisk bytes: %d (raw %d, ratio %.2fx)\n",
+			s.CompressedGroups, s.CompressedRows, s.DeltaRows, s.DeletedRows,
+			s.DiskBytes, s.RawBytes, float64(s.RawBytes)/float64(max(s.DiskBytes, 1)))
+	case ".mode":
+		fmt.Println("see -mode flag; restart to change")
+	default:
+		fmt.Printf("unknown command %s\n", fields[0])
+	}
+	return false
+}
+
+func runOne(db *apollo.DB, stmt string) {
+	start := time.Now()
+	res, err := db.Exec(strings.TrimSpace(stmt))
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	switch {
+	case res.Message != "":
+		fmt.Println(res.Message)
+	case res.Columns != nil:
+		fmt.Println(strings.Join(res.Columns, " | "))
+		limit := len(res.Rows)
+		const maxShow = 50
+		for i := 0; i < limit && i < maxShow; i++ {
+			parts := make([]string, len(res.Rows[i]))
+			for j, v := range res.Rows[i] {
+				parts[j] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		if limit > maxShow {
+			fmt.Printf("... (%d more rows)\n", limit-maxShow)
+		}
+		mode := "row"
+		if res.BatchMode {
+			mode = "batch"
+		}
+		fmt.Printf("(%d rows, %v, %s mode", limit, elapsed.Round(time.Microsecond), mode)
+		if res.Stats.RowGroupsEliminated > 0 {
+			fmt.Printf(", %d/%d row groups eliminated", res.Stats.RowGroupsEliminated, res.Stats.RowGroups)
+		}
+		fmt.Println(")")
+	default:
+		fmt.Printf("%d rows affected (%v)\n", res.Affected, elapsed.Round(time.Microsecond))
+	}
+}
+
+func loadSSB(db *apollo.DB, sf float64) error {
+	data := workload.GenSSB(sf, 42)
+	load := []struct {
+		name   string
+		schema *apollo.Schema
+		rows   []apollo.Row
+	}{
+		{"lineorder", workload.LineorderSchema, data.Lineorder},
+		{"dwdate", workload.DateSchema, data.Date},
+		{"customer", workload.CustomerSchema, data.Customer},
+		{"supplier", workload.SupplierSchema, data.Supplier},
+		{"part", workload.PartSchema, data.Part},
+	}
+	for _, l := range load {
+		t, err := db.CreateTable(l.name, l.schema)
+		if err != nil {
+			return err
+		}
+		if err := t.BulkLoad(l.rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

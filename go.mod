@@ -1,0 +1,3 @@
+module apollo
+
+go 1.24

@@ -1,0 +1,172 @@
+// Package bits provides a dense, growable bitmap used throughout the engine:
+// null bitmaps in column vectors, delete bitmaps over row groups, qualifying-row
+// masks in batch processing, and Bloom filter backing storage.
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitmap is a dense bitmap over non-negative integer positions. The zero value
+// is an empty bitmap ready for use. Bitmap grows on Set; Get beyond the current
+// capacity reports false.
+type Bitmap struct {
+	words []uint64
+}
+
+// New returns a bitmap pre-sized to hold at least n bits.
+func New(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64)}
+}
+
+// FromWords constructs a bitmap that aliases the given word slice.
+// The caller must not modify words afterwards.
+func FromWords(words []uint64) *Bitmap { return &Bitmap{words: words} }
+
+// Words exposes the underlying word storage (little-endian bit order within
+// each word). The returned slice aliases the bitmap.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// Len reports the bitmap's current capacity in bits.
+func (b *Bitmap) Len() int { return len(b.words) * 64 }
+
+func (b *Bitmap) grow(i int) {
+	need := i/64 + 1
+	if need <= len(b.words) {
+		return
+	}
+	words := make([]uint64, max(need, 2*len(b.words)))
+	copy(words, b.words)
+	b.words = words
+}
+
+// Set sets bit i, growing the bitmap if needed.
+func (b *Bitmap) Set(i int) {
+	b.grow(i)
+	b.words[i/64] |= 1 << uint(i%64)
+}
+
+// Clear clears bit i. Clearing beyond capacity is a no-op.
+func (b *Bitmap) Clear(i int) {
+	if i/64 < len(b.words) {
+		b.words[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+// Get reports whether bit i is set. Positions beyond capacity report false.
+func (b *Bitmap) Get(i int) bool {
+	if i < 0 || i/64 >= len(b.words) {
+		return false
+	}
+	return b.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears all bits without releasing storage.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	words := make([]uint64, len(b.words))
+	copy(words, b.words)
+	return &Bitmap{words: words}
+}
+
+// Or sets b to the union of b and other, growing b if needed.
+func (b *Bitmap) Or(other *Bitmap) {
+	if len(other.words) > len(b.words) {
+		b.grow(len(other.words)*64 - 1)
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// And sets b to the intersection of b and other.
+func (b *Bitmap) And(other *Bitmap) {
+	for i := range b.words {
+		if i < len(other.words) {
+			b.words[i] &= other.words[i]
+		} else {
+			b.words[i] = 0
+		}
+	}
+}
+
+// AndNot clears in b every bit set in other.
+func (b *Bitmap) AndNot(other *Bitmap) {
+	for i := range b.words {
+		if i < len(other.words) {
+			b.words[i] &^= other.words[i]
+		}
+	}
+}
+
+// NextSet returns the position of the first set bit at or after i, or -1 if
+// there is none.
+func (b *Bitmap) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	w := i / 64
+	if w >= len(b.words) {
+		return -1
+	}
+	// Mask off bits below i in the first word.
+	word := b.words[w] &^ ((1 << uint(i%64)) - 1)
+	for {
+		if word != 0 {
+			return w*64 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(b.words) {
+			return -1
+		}
+		word = b.words[w]
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns false,
+// iteration stops.
+func (b *Bitmap) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*64 + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// String renders a short human-readable summary, e.g. "Bitmap{count=3 len=128}".
+func (b *Bitmap) String() string {
+	return fmt.Sprintf("Bitmap{count=%d len=%d}", b.Count(), b.Len())
+}
+
+// SizeBytes reports the in-memory size of the bitmap's storage.
+func (b *Bitmap) SizeBytes() int { return 8 * len(b.words) }

@@ -1,0 +1,207 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(0)
+	if b.Get(5) {
+		t.Fatal("empty bitmap reports bit set")
+	}
+	b.Set(5)
+	if !b.Get(5) {
+		t.Fatal("bit 5 not set")
+	}
+	b.Set(1000) // forces growth
+	if !b.Get(1000) || !b.Get(5) {
+		t.Fatal("growth lost bits")
+	}
+	b.Clear(5)
+	if b.Get(5) {
+		t.Fatal("bit 5 not cleared")
+	}
+	b.Clear(1 << 20) // beyond capacity: no-op
+	if got := b.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+}
+
+func TestGetNegative(t *testing.T) {
+	b := New(64)
+	if b.Get(-1) {
+		t.Fatal("negative position must report false")
+	}
+}
+
+func TestCountAnyReset(t *testing.T) {
+	b := New(128)
+	if b.Any() {
+		t.Fatal("fresh bitmap reports Any")
+	}
+	for _, i := range []int{0, 63, 64, 127} {
+		b.Set(i)
+	}
+	if got := b.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if !b.Any() {
+		t.Fatal("Any = false with set bits")
+	}
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	a.Set(70)
+	b.Set(70)
+	b.Set(90)
+
+	u := a.Clone()
+	u.Or(b)
+	for _, i := range []int{1, 70, 90} {
+		if !u.Get(i) {
+			t.Fatalf("union missing bit %d", i)
+		}
+	}
+
+	in := a.Clone()
+	in.And(b)
+	if !in.Get(70) || in.Get(1) || in.Get(90) {
+		t.Fatal("intersection wrong")
+	}
+
+	d := a.Clone()
+	d.AndNot(b)
+	if !d.Get(1) || d.Get(70) {
+		t.Fatal("difference wrong")
+	}
+}
+
+func TestOrGrows(t *testing.T) {
+	a := New(64)
+	b := New(256)
+	b.Set(200)
+	a.Or(b)
+	if !a.Get(200) {
+		t.Fatal("Or did not grow receiver")
+	}
+}
+
+func TestAndShorterOther(t *testing.T) {
+	a := New(256)
+	a.Set(10)
+	a.Set(200)
+	b := New(64)
+	b.Set(10)
+	a.And(b)
+	if !a.Get(10) || a.Get(200) {
+		t.Fatal("And with shorter operand must clear high bits")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := New(256)
+	for _, i := range []int{3, 64, 130} {
+		b.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 130}, {131, -1}, {-5, 3},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	b := New(200)
+	want := []int{0, 17, 63, 64, 150}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	b.ForEach(func(int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+// Property: a Bitmap behaves like a set of ints under random Set/Clear.
+func TestQuickAgainstMapOracle(t *testing.T) {
+	f := func(ops []uint16, clears []uint16) bool {
+		b := New(0)
+		oracle := map[int]bool{}
+		for _, o := range ops {
+			b.Set(int(o))
+			oracle[int(o)] = true
+		}
+		for _, c := range clears {
+			b.Clear(int(c))
+			delete(oracle, int(c))
+		}
+		if b.Count() != len(oracle) {
+			return false
+		}
+		for k := range oracle {
+			if !b.Get(k) {
+				return false
+			}
+		}
+		ok := true
+		b.ForEach(func(i int) bool {
+			if !oracle[i] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextSet iteration agrees with ForEach.
+func TestQuickNextSetMatchesForEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		b := New(0)
+		for i := 0; i < 100; i++ {
+			b.Set(rng.Intn(4096))
+		}
+		var viaForEach []int
+		b.ForEach(func(i int) bool { viaForEach = append(viaForEach, i); return true })
+		var viaNext []int
+		for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+			viaNext = append(viaNext, i)
+		}
+		if len(viaForEach) != len(viaNext) {
+			t.Fatalf("trial %d: lengths differ: %d vs %d", trial, len(viaForEach), len(viaNext))
+		}
+		for i := range viaNext {
+			if viaNext[i] != viaForEach[i] {
+				t.Fatalf("trial %d: iteration mismatch at %d", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package bloom implements the bitmap filters of the paper's §5: during the
+// build side of a hash join, the join keys are summarized into a Bloom
+// filter that is pushed down to the probe side's columnstore scan, so rows
+// that cannot join are disqualified before they reach the join operator —
+// often while still in encoded form.
+package bloom
+
+import (
+	"math"
+	"math/bits"
+
+	"apollo/internal/sqltypes"
+)
+
+// Filter is a Bloom filter over 64-bit hashes with two derived probes per
+// element. The zero value is not usable; call New.
+type Filter struct {
+	words []uint64
+	mask  uint64 // bit-index mask (len(words)*64 - 1, power of two)
+	n     int    // elements added
+}
+
+// DefaultBitsPerKey trades ~3% false positives for 10 bits per build key.
+const DefaultBitsPerKey = 10
+
+// New sizes a filter for the expected number of keys at bitsPerKey bits each
+// (rounded up to a power-of-two bit count, minimum 1024 bits).
+func New(expectedKeys, bitsPerKey int) *Filter {
+	if expectedKeys < 1 {
+		expectedKeys = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = DefaultBitsPerKey
+	}
+	nbits := expectedKeys * bitsPerKey
+	if nbits < 1024 {
+		nbits = 1024
+	}
+	// Round up to a power of two for mask-based indexing.
+	nbits = 1 << bits.Len(uint(nbits-1))
+	return &Filter{words: make([]uint64, nbits/64), mask: uint64(nbits - 1)}
+}
+
+// probes derives two bit positions from one hash.
+func (f *Filter) probes(h uint64) (uint64, uint64) {
+	h2 := (h >> 33) | (h << 31) | 1
+	return h & f.mask, (h + h2) & f.mask
+}
+
+// AddHash inserts a pre-hashed key.
+func (f *Filter) AddHash(h uint64) {
+	p1, p2 := f.probes(h)
+	f.words[p1/64] |= 1 << (p1 % 64)
+	f.words[p2/64] |= 1 << (p2 % 64)
+	f.n++
+}
+
+// Add inserts a value.
+func (f *Filter) Add(v sqltypes.Value) { f.AddHash(HashValue(v)) }
+
+// AddInt inserts an integer-family value (fast path).
+func (f *Filter) AddInt(v int64) { f.AddHash(splitmix64(uint64(v))) }
+
+// MayContainHash reports whether a pre-hashed key may be present. False
+// means definitely absent.
+func (f *Filter) MayContainHash(h uint64) bool {
+	p1, p2 := f.probes(h)
+	return f.words[p1/64]&(1<<(p1%64)) != 0 && f.words[p2/64]&(1<<(p2%64)) != 0
+}
+
+// MayContain reports whether a value may be present.
+func (f *Filter) MayContain(v sqltypes.Value) bool { return f.MayContainHash(HashValue(v)) }
+
+// MayContainInt reports whether an integer-family value may be present.
+func (f *Filter) MayContainInt(v int64) bool { return f.MayContainHash(splitmix64(uint64(v))) }
+
+// HashValue is the filter's value hash: values that compare equal hash
+// identically (integers and integral floats share a hash), and it is much
+// cheaper than a general byte-stream hash for the numeric join keys that
+// dominate star schemas. Filters are self-consistent: the same function runs
+// on the build (Add) and probe (MayContain) sides.
+func HashValue(v sqltypes.Value) uint64 {
+	if v.Null {
+		return 0x9E3779B97F4A7C15
+	}
+	switch v.Typ {
+	case sqltypes.String:
+		var h uint64 = 14695981039346656037
+		for i := 0; i < len(v.S); i++ {
+			h = (h ^ uint64(v.S[i])) * 1099511628211
+		}
+		return splitmix64(h)
+	case sqltypes.Float64:
+		f := v.F
+		if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+			return splitmix64(uint64(int64(f)))
+		}
+		return splitmix64(math.Float64bits(f) | 1<<63>>1)
+	default:
+		return splitmix64(uint64(v.I))
+	}
+}
+
+// splitmix64 is a strong, cheap 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Len returns the number of keys added.
+func (f *Filter) Len() int { return f.n }
+
+// SizeBytes reports the filter's bit-array size.
+func (f *Filter) SizeBytes() int { return 8 * len(f.words) }
+
+// FillRatio reports the fraction of set bits (diagnostics: filters past ~50%
+// are saturated and stop being selective).
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.words {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(len(f.words)*64)
+}

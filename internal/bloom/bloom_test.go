@@ -1,0 +1,78 @@
+package bloom
+
+import (
+	"testing"
+
+	"apollo/internal/sqltypes"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000, DefaultBitsPerKey)
+	for i := int64(0); i < 10000; i++ {
+		f.Add(sqltypes.NewInt(i))
+	}
+	if f.Len() != 10000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	for i := int64(0); i < 10000; i++ {
+		if !f.MayContain(sqltypes.NewInt(i)) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(10000, DefaultBitsPerKey)
+	for i := int64(0); i < 10000; i++ {
+		f.Add(sqltypes.NewInt(i))
+	}
+	fp := 0
+	const trials = 20000
+	for i := int64(0); i < trials; i++ {
+		if f.MayContain(sqltypes.NewInt(1_000_000 + i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / trials
+	if rate > 0.10 {
+		t.Fatalf("false positive rate too high: %.3f (fill %.2f)", rate, f.FillRatio())
+	}
+}
+
+func TestStringsAndMixedTypes(t *testing.T) {
+	f := New(100, DefaultBitsPerKey)
+	f.Add(sqltypes.NewString("hello"))
+	f.Add(sqltypes.NewInt(42))
+	if !f.MayContain(sqltypes.NewString("hello")) {
+		t.Fatal("false negative for string")
+	}
+	// Int and integral float hash identically (join key semantics).
+	if !f.MayContain(sqltypes.NewFloat(42.0)) {
+		t.Fatal("numeric family hash mismatch")
+	}
+}
+
+func TestTinyAndDegenerateSizes(t *testing.T) {
+	f := New(0, 0)
+	f.Add(sqltypes.NewInt(1))
+	if !f.MayContain(sqltypes.NewInt(1)) {
+		t.Fatal("tiny filter broken")
+	}
+	if f.SizeBytes() < 128 {
+		t.Fatalf("minimum size not enforced: %d", f.SizeBytes())
+	}
+}
+
+func TestFillRatio(t *testing.T) {
+	f := New(1000, DefaultBitsPerKey)
+	if f.FillRatio() != 0 {
+		t.Fatal("fresh filter not empty")
+	}
+	for i := int64(0); i < 1000; i++ {
+		f.AddHash(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	r := f.FillRatio()
+	if r <= 0 || r > 0.5 {
+		t.Fatalf("fill ratio out of range: %f", r)
+	}
+}

@@ -1,0 +1,437 @@
+// Package btree implements an in-memory B+tree with uint64 keys and opaque
+// byte-slice values. It is the row-organized substrate the columnstore builds
+// on: delta stores keep trickle-inserted rows in one (keyed by row locator),
+// the row-store baseline uses one as its clustered index, and spill files
+// borrow its ordered layout.
+package btree
+
+import "fmt"
+
+const (
+	// degree is the maximum number of children of an interior node.
+	degree    = 64
+	maxKeys   = degree - 1
+	minKeys   = maxKeys / 2
+	maxLeaf   = degree
+	minLeafSz = maxLeaf / 2
+)
+
+// Tree is a B+tree mapping uint64 keys to byte slices. It is not safe for
+// concurrent mutation; the table layer provides synchronization.
+type Tree struct {
+	root node
+	size int
+}
+
+type node interface {
+	isLeaf() bool
+}
+
+type leaf struct {
+	keys []uint64
+	vals [][]byte
+	next *leaf // leaf chain for range scans
+	prev *leaf
+}
+
+type interior struct {
+	keys     []uint64 // keys[i] = smallest key in children[i+1]'s subtree
+	children []node
+}
+
+func (*leaf) isLeaf() bool     { return true }
+func (*interior) isLeaf() bool { return false }
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &leaf{}} }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value for key, and whether it is present. The returned
+// slice aliases the stored value.
+func (t *Tree) Get(key uint64) ([]byte, bool) {
+	l := t.findLeaf(key)
+	i := searchKeys(l.keys, key)
+	if i < len(l.keys) && l.keys[i] == key {
+		return l.vals[i], true
+	}
+	return nil, false
+}
+
+// searchKeys returns the first index i with keys[i] >= key.
+func searchKeys(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (t *Tree) findLeaf(key uint64) *leaf {
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*interior)
+		i := childIndex(in.keys, key)
+		n = in.children[i]
+	}
+	return n.(*leaf)
+}
+
+// childIndex returns the child to descend into: the number of separator keys
+// <= key.
+func childIndex(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Put inserts or replaces the value for key. The value slice is retained.
+func (t *Tree) Put(key uint64, val []byte) {
+	newChild, sepKey := t.insert(t.root, key, val)
+	if newChild != nil {
+		t.root = &interior{keys: []uint64{sepKey}, children: []node{t.root, newChild}}
+	}
+}
+
+// insert adds key/val under n. If n splits, it returns the new right sibling
+// and the separator key; otherwise (nil, 0).
+func (t *Tree) insert(n node, key uint64, val []byte) (node, uint64) {
+	if n.isLeaf() {
+		l := n.(*leaf)
+		i := searchKeys(l.keys, key)
+		if i < len(l.keys) && l.keys[i] == key {
+			l.vals[i] = val // replace
+			return nil, 0
+		}
+		l.keys = append(l.keys, 0)
+		copy(l.keys[i+1:], l.keys[i:])
+		l.keys[i] = key
+		l.vals = append(l.vals, nil)
+		copy(l.vals[i+1:], l.vals[i:])
+		l.vals[i] = val
+		t.size++
+		if len(l.keys) <= maxLeaf {
+			return nil, 0
+		}
+		// Split leaf.
+		mid := len(l.keys) / 2
+		right := &leaf{
+			keys: append([]uint64(nil), l.keys[mid:]...),
+			vals: append([][]byte(nil), l.vals[mid:]...),
+			next: l.next,
+			prev: l,
+		}
+		if l.next != nil {
+			l.next.prev = right
+		}
+		l.keys = l.keys[:mid]
+		l.vals = l.vals[:mid]
+		l.next = right
+		return right, right.keys[0]
+	}
+
+	in := n.(*interior)
+	ci := childIndex(in.keys, key)
+	newChild, sepKey := t.insert(in.children[ci], key, val)
+	if newChild == nil {
+		return nil, 0
+	}
+	in.keys = append(in.keys, 0)
+	copy(in.keys[ci+1:], in.keys[ci:])
+	in.keys[ci] = sepKey
+	in.children = append(in.children, nil)
+	copy(in.children[ci+2:], in.children[ci+1:])
+	in.children[ci+1] = newChild
+	if len(in.keys) <= maxKeys {
+		return nil, 0
+	}
+	// Split interior: middle key moves up.
+	mid := len(in.keys) / 2
+	upKey := in.keys[mid]
+	right := &interior{
+		keys:     append([]uint64(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid]
+	in.children = in.children[:mid+1]
+	return right, upKey
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key uint64) bool {
+	deleted := t.delete(t.root, key)
+	if deleted {
+		t.size--
+		// Collapse a root with a single child.
+		if in, ok := t.root.(*interior); ok && len(in.children) == 1 {
+			t.root = in.children[0]
+		}
+	}
+	return deleted
+}
+
+// delete removes key from n's subtree and rebalances children as needed.
+func (t *Tree) delete(n node, key uint64) bool {
+	if n.isLeaf() {
+		l := n.(*leaf)
+		i := searchKeys(l.keys, key)
+		if i >= len(l.keys) || l.keys[i] != key {
+			return false
+		}
+		l.keys = append(l.keys[:i], l.keys[i+1:]...)
+		l.vals = append(l.vals[:i], l.vals[i+1:]...)
+		return true
+	}
+	in := n.(*interior)
+	ci := childIndex(in.keys, key)
+	if !t.delete(in.children[ci], key) {
+		return false
+	}
+	t.rebalance(in, ci)
+	return true
+}
+
+// rebalance fixes an underflowing child ci of in by borrowing from or merging
+// with a sibling.
+func (t *Tree) rebalance(in *interior, ci int) {
+	child := in.children[ci]
+	if !underflow(child) {
+		return
+	}
+	// Prefer borrowing from the left sibling, then right; else merge.
+	if ci > 0 && canLend(in.children[ci-1]) {
+		borrowFromLeft(in, ci)
+		return
+	}
+	if ci < len(in.children)-1 && canLend(in.children[ci+1]) {
+		borrowFromRight(in, ci)
+		return
+	}
+	if ci > 0 {
+		mergeChildren(in, ci-1)
+	} else if ci < len(in.children)-1 {
+		mergeChildren(in, ci)
+	}
+}
+
+func underflow(n node) bool {
+	if l, ok := n.(*leaf); ok {
+		return len(l.keys) < minLeafSz
+	}
+	return len(n.(*interior).keys) < minKeys
+}
+
+func canLend(n node) bool {
+	if l, ok := n.(*leaf); ok {
+		return len(l.keys) > minLeafSz
+	}
+	return len(n.(*interior).keys) > minKeys
+}
+
+func borrowFromLeft(in *interior, ci int) {
+	if l, ok := in.children[ci].(*leaf); ok {
+		left := in.children[ci-1].(*leaf)
+		last := len(left.keys) - 1
+		l.keys = append([]uint64{left.keys[last]}, l.keys...)
+		l.vals = append([][]byte{left.vals[last]}, l.vals...)
+		left.keys = left.keys[:last]
+		left.vals = left.vals[:last]
+		in.keys[ci-1] = l.keys[0]
+		return
+	}
+	c := in.children[ci].(*interior)
+	left := in.children[ci-1].(*interior)
+	last := len(left.keys) - 1
+	// Rotate through the parent separator.
+	c.keys = append([]uint64{in.keys[ci-1]}, c.keys...)
+	c.children = append([]node{left.children[last+1]}, c.children...)
+	in.keys[ci-1] = left.keys[last]
+	left.keys = left.keys[:last]
+	left.children = left.children[:last+1]
+}
+
+func borrowFromRight(in *interior, ci int) {
+	if l, ok := in.children[ci].(*leaf); ok {
+		right := in.children[ci+1].(*leaf)
+		l.keys = append(l.keys, right.keys[0])
+		l.vals = append(l.vals, right.vals[0])
+		right.keys = right.keys[1:]
+		right.vals = right.vals[1:]
+		in.keys[ci] = right.keys[0]
+		return
+	}
+	c := in.children[ci].(*interior)
+	right := in.children[ci+1].(*interior)
+	c.keys = append(c.keys, in.keys[ci])
+	c.children = append(c.children, right.children[0])
+	in.keys[ci] = right.keys[0]
+	right.keys = right.keys[1:]
+	right.children = right.children[1:]
+}
+
+// mergeChildren merges child ci+1 into child ci and drops separator ci.
+func mergeChildren(in *interior, ci int) {
+	if l, ok := in.children[ci].(*leaf); ok {
+		right := in.children[ci+1].(*leaf)
+		l.keys = append(l.keys, right.keys...)
+		l.vals = append(l.vals, right.vals...)
+		l.next = right.next
+		if right.next != nil {
+			right.next.prev = l
+		}
+	} else {
+		c := in.children[ci].(*interior)
+		right := in.children[ci+1].(*interior)
+		c.keys = append(c.keys, in.keys[ci])
+		c.keys = append(c.keys, right.keys...)
+		c.children = append(c.children, right.children...)
+	}
+	in.keys = append(in.keys[:ci], in.keys[ci+1:]...)
+	in.children = append(in.children[:ci+1], in.children[ci+2:]...)
+}
+
+// Ascend calls fn for each key/value with key in [from, to] in ascending
+// order. Iteration stops early if fn returns false.
+func (t *Tree) Ascend(from, to uint64, fn func(key uint64, val []byte) bool) {
+	l := t.findLeaf(from)
+	i := searchKeys(l.keys, from)
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			if l.keys[i] > to {
+				return
+			}
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+	}
+}
+
+// AscendAll calls fn over every entry in key order.
+func (t *Tree) AscendAll(fn func(key uint64, val []byte) bool) {
+	t.Ascend(0, ^uint64(0), fn)
+}
+
+// Min returns the smallest key, or ok=false when the tree is empty.
+func (t *Tree) Min() (uint64, bool) {
+	n := t.root
+	for !n.isLeaf() {
+		n = n.(*interior).children[0]
+	}
+	l := n.(*leaf)
+	if len(l.keys) == 0 {
+		return 0, false
+	}
+	return l.keys[0], true
+}
+
+// Max returns the largest key, or ok=false when the tree is empty.
+func (t *Tree) Max() (uint64, bool) {
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*interior)
+		n = in.children[len(in.children)-1]
+	}
+	l := n.(*leaf)
+	if len(l.keys) == 0 {
+		return 0, false
+	}
+	return l.keys[len(l.keys)-1], true
+}
+
+// CheckInvariants verifies B+tree structural invariants, returning an error
+// describing the first violation. Tests call it after mutation sequences.
+func (t *Tree) CheckInvariants() error {
+	_, _, _, err := check(t.root, true)
+	if err != nil {
+		return err
+	}
+	// Leaf chain must cover exactly size keys in ascending order.
+	n := t.root
+	for !n.isLeaf() {
+		n = n.(*interior).children[0]
+	}
+	count := 0
+	var prev uint64
+	first := true
+	for l := n.(*leaf); l != nil; l = l.next {
+		for _, k := range l.keys {
+			if !first && k <= prev {
+				return fmt.Errorf("btree: leaf chain out of order at key %d", k)
+			}
+			prev, first = k, false
+			count++
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but leaf chain has %d keys", t.size, count)
+	}
+	return nil
+}
+
+// check validates a subtree, returning its depth and key range.
+func check(n node, isRoot bool) (depth int, minK, maxK uint64, err error) {
+	if l, ok := n.(*leaf); ok {
+		if !isRoot && len(l.keys) < minLeafSz {
+			return 0, 0, 0, fmt.Errorf("btree: leaf underflow (%d keys)", len(l.keys))
+		}
+		if len(l.keys) > maxLeaf {
+			return 0, 0, 0, fmt.Errorf("btree: leaf overflow (%d keys)", len(l.keys))
+		}
+		for i := 1; i < len(l.keys); i++ {
+			if l.keys[i-1] >= l.keys[i] {
+				return 0, 0, 0, fmt.Errorf("btree: leaf keys out of order")
+			}
+		}
+		if len(l.keys) == 0 {
+			return 1, 0, 0, nil
+		}
+		return 1, l.keys[0], l.keys[len(l.keys)-1], nil
+	}
+	in := n.(*interior)
+	if !isRoot && len(in.keys) < minKeys {
+		return 0, 0, 0, fmt.Errorf("btree: interior underflow (%d keys)", len(in.keys))
+	}
+	if len(in.keys) > maxKeys {
+		return 0, 0, 0, fmt.Errorf("btree: interior overflow (%d keys)", len(in.keys))
+	}
+	if len(in.children) != len(in.keys)+1 {
+		return 0, 0, 0, fmt.Errorf("btree: %d keys with %d children", len(in.keys), len(in.children))
+	}
+	var d0 int
+	for i, c := range in.children {
+		d, mn, mx, err := check(c, false)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if i == 0 {
+			d0, minK = d, mn
+		} else {
+			if d != d0 {
+				return 0, 0, 0, fmt.Errorf("btree: uneven depth")
+			}
+			if mn < in.keys[i-1] {
+				return 0, 0, 0, fmt.Errorf("btree: child %d min %d below separator %d", i, mn, in.keys[i-1])
+			}
+		}
+		if i == len(in.children)-1 {
+			maxK = mx
+		}
+	}
+	return d0 + 1, minK, maxK, nil
+}

@@ -1,0 +1,254 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func val(k uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], k*7)
+	return b[:]
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("empty tree has key")
+	}
+	tr.Put(1, val(1))
+	tr.Put(2, val(2))
+	got, ok := tr.Get(1)
+	if !ok || binary.LittleEndian.Uint64(got) != 7 {
+		t.Fatal("Get wrong")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Replace does not grow.
+	tr.Put(1, val(100))
+	if tr.Len() != 2 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	got, _ = tr.Get(1)
+	if binary.LittleEndian.Uint64(got) != 700 {
+		t.Fatal("replace lost")
+	}
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	tr := New()
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		tr.Put(i, val(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{0, 1, n / 2, n - 1} {
+		v, ok := tr.Get(k)
+		if !ok || binary.LittleEndian.Uint64(v) != k*7 {
+			t.Fatalf("Get(%d) wrong", k)
+		}
+	}
+}
+
+func TestReverseAndRandomInsert(t *testing.T) {
+	for name, keys := range map[string][]uint64{
+		"reverse": genKeys(5000, func(i int) uint64 { return uint64(5000 - i) }),
+		"random":  shuffled(5000, 99),
+	} {
+		tr := New()
+		for _, k := range keys {
+			tr.Put(k, val(k))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, k := range keys {
+			if _, ok := tr.Get(k); !ok {
+				t.Fatalf("%s: lost key %d", name, k)
+			}
+		}
+	}
+}
+
+func genKeys(n int, f func(int) uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+func shuffled(n int, seed int64) []uint64 {
+	out := genKeys(n, func(i int) uint64 { return uint64(i) })
+	rand.New(rand.NewSource(seed)).Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for _, k := range shuffled(n, 3) {
+		tr.Put(k, val(k))
+	}
+	// Delete every other key.
+	for i := uint64(0); i < n; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New()
+	const n = 3000
+	for _, k := range shuffled(n, 17) {
+		tr.Put(k, val(k))
+	}
+	for _, k := range shuffled(n, 18) {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 100; i += 10 {
+		tr.Put(i, val(i))
+	}
+	var got []uint64
+	tr.Ascend(15, 65, func(k uint64, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{20, 30, 40, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.AscendAll(func(uint64, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, k := range shuffled(1000, 5) {
+		tr.Put(k+100, val(k))
+	}
+	if mn, ok := tr.Min(); !ok || mn != 100 {
+		t.Fatalf("Min = %d", mn)
+	}
+	if mx, ok := tr.Max(); !ok || mx != 1099 {
+		t.Fatalf("Max = %d", mx)
+	}
+}
+
+// Property test: random interleaved Put/Delete against a map oracle, with
+// invariant checks along the way.
+func TestRandomOpsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	tr := New()
+	oracle := map[uint64][]byte{}
+	for op := 0; op < 30000; op++ {
+		k := uint64(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := val(k + uint64(op))
+			tr.Put(k, v)
+			oracle[k] = v
+		case 2:
+			got := tr.Delete(k)
+			_, want := oracle[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+			delete(oracle, k)
+		}
+		if op%5000 == 4999 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if tr.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle = %d", tr.Len(), len(oracle))
+	}
+	for k, v := range oracle {
+		got, ok := tr.Get(k)
+		if !ok || string(got) != string(v) {
+			t.Fatalf("Get(%d) mismatch", k)
+		}
+	}
+	// Full ordered iteration matches the oracle.
+	seen := 0
+	tr.AscendAll(func(k uint64, v []byte) bool {
+		if string(oracle[k]) != string(v) {
+			t.Fatalf("iteration mismatch at %d", k)
+		}
+		seen++
+		return true
+	})
+	if seen != len(oracle) {
+		t.Fatalf("iterated %d, want %d", seen, len(oracle))
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	v := val(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(uint64(i), v)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		tr.Put(i, val(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i) % n)
+	}
+}

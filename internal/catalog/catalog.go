@@ -1,0 +1,101 @@
+// Package catalog tracks the tables of a database instance.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+	"apollo/internal/table"
+)
+
+// Catalog maps table names to clustered columnstore tables. It is safe for
+// concurrent use.
+type Catalog struct {
+	store *storage.Store
+
+	mu     sync.RWMutex
+	tables map[string]*table.Table
+}
+
+// New creates an empty catalog backed by the given blob store.
+func New(store *storage.Store) *Catalog {
+	return &Catalog{store: store, tables: make(map[string]*table.Table)}
+}
+
+// Store returns the catalog's blob store.
+func (c *Catalog) Store() *storage.Store { return c.store }
+
+// Create adds a new table. Table names are case-sensitive; the SQL layer
+// lower-cases identifiers before they reach the catalog.
+func (c *Catalog) Create(name string, schema *sqltypes.Schema, opts table.Options) (*table.Table, error) {
+	if schema.Len() == 0 {
+		return nil, fmt.Errorf("catalog: table %s has no columns", name)
+	}
+	seen := map[string]bool{}
+	for _, col := range schema.Cols {
+		if seen[col.Name] {
+			return nil, fmt.Errorf("catalog: duplicate column %s in table %s", col.Name, name)
+		}
+		seen[col.Name] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %s already exists", name)
+	}
+	t := table.New(c.store, name, schema, opts)
+	c.tables[name] = t
+	return t, nil
+}
+
+// Get returns the named table, or an error.
+func (c *Catalog) Get(name string) (*table.Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table, stopping its tuple mover.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	t, ok := c.tables[name]
+	delete(c.tables, name)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	t.StopTupleMover()
+	return nil
+}
+
+// List returns table names in sorted order.
+func (c *Catalog) List() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close stops all background tuple movers.
+func (c *Catalog) Close() {
+	c.mu.Lock()
+	tables := make([]*table.Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.Unlock()
+	for _, t := range tables {
+		t.StopTupleMover()
+	}
+}

@@ -1,0 +1,86 @@
+// Package colstore implements the paper's column store index storage (§2):
+// rows are divided into row groups of about a million rows; each column of a
+// row group is compressed into a column segment. Segments carry min/max
+// metadata for segment elimination and are stored as blobs in the storage
+// substrate, optionally under the archival (DEFLATE) tier. String columns use
+// a table-wide primary dictionary plus per-segment local dictionaries; numeric
+// columns use value-based encoding; each segment is then compressed with RLE
+// or bit-packing, whichever is smaller, optionally after row reordering.
+package colstore
+
+import (
+	"fmt"
+
+	"apollo/internal/bits"
+	"apollo/internal/sqltypes"
+)
+
+// ColumnBuf accumulates uncompressed values for one column of a row group
+// under construction (during bulk load, or while the tuple mover drains a
+// delta store).
+type ColumnBuf struct {
+	Typ   sqltypes.Type
+	I64   []int64
+	F64   []float64
+	Str   []string
+	Nulls *bits.Bitmap
+	n     int
+}
+
+// NewColumnBuf returns an empty buffer for the given type.
+func NewColumnBuf(t sqltypes.Type) *ColumnBuf { return &ColumnBuf{Typ: t} }
+
+// Len returns the number of buffered values.
+func (c *ColumnBuf) Len() int { return c.n }
+
+// Append adds a value (which must match the buffer's type or be NULL).
+func (c *ColumnBuf) Append(v sqltypes.Value) {
+	i := c.n
+	c.n++
+	switch c.Typ {
+	case sqltypes.Float64:
+		c.F64 = append(c.F64, v.F)
+	case sqltypes.String:
+		c.Str = append(c.Str, v.S)
+	default:
+		c.I64 = append(c.I64, v.I)
+	}
+	if v.Null {
+		if c.Nulls == nil {
+			c.Nulls = bits.New(i + 1)
+		}
+		c.Nulls.Set(i)
+	}
+}
+
+// Value returns the i'th buffered value.
+func (c *ColumnBuf) Value(i int) sqltypes.Value {
+	if c.Nulls != nil && c.Nulls.Get(i) {
+		return sqltypes.NewNull(c.Typ)
+	}
+	switch c.Typ {
+	case sqltypes.Float64:
+		return sqltypes.Value{Typ: c.Typ, F: c.F64[i]}
+	case sqltypes.String:
+		return sqltypes.Value{Typ: c.Typ, S: c.Str[i]}
+	default:
+		return sqltypes.Value{Typ: c.Typ, I: c.I64[i]}
+	}
+}
+
+// BuffersFromRows converts rows matching schema into one ColumnBuf per column.
+func BuffersFromRows(schema *sqltypes.Schema, rows []sqltypes.Row) []*ColumnBuf {
+	bufs := make([]*ColumnBuf, schema.Len())
+	for i, col := range schema.Cols {
+		bufs[i] = NewColumnBuf(col.Typ)
+	}
+	for _, r := range rows {
+		if len(r) != schema.Len() {
+			panic(fmt.Sprintf("colstore: row width %d, schema width %d", len(r), schema.Len()))
+		}
+		for i := range bufs {
+			bufs[i].Append(r[i])
+		}
+	}
+	return bufs
+}

@@ -1,0 +1,292 @@
+package colstore
+
+import (
+	"fmt"
+	"sync"
+
+	"apollo/internal/encoding"
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+)
+
+// Options configure a columnstore index.
+type Options struct {
+	// Tier selects at-rest compression of segments (None or Archival) —
+	// COLUMNSTORE vs COLUMNSTORE_ARCHIVE in the paper's §3.
+	Tier storage.Compression
+	// Reorder enables row reordering within each row group before
+	// compression (§2.2 run-optimization). On by default via DefaultOptions.
+	Reorder bool
+	// PrimaryDictCap bounds the number of entries admitted to each column's
+	// primary dictionary; overflow values go to per-segment local
+	// dictionaries.
+	PrimaryDictCap int
+}
+
+// DefaultOptions returns the standard index configuration.
+func DefaultOptions() Options {
+	return Options{Tier: storage.None, Reorder: true, PrimaryDictCap: 1 << 20}
+}
+
+// RowGroup is a directory entry for one compressed row group: one segment per
+// column plus the row count.
+type RowGroup struct {
+	ID   int
+	Rows int
+	Segs []SegmentMeta
+}
+
+// DiskBytes totals the at-rest bytes of the group's segments.
+func (g *RowGroup) DiskBytes() int {
+	n := 0
+	for i := range g.Segs {
+		n += g.Segs[i].DiskBytes
+	}
+	return n
+}
+
+// RawBytes totals the uncompressed logical bytes of the group's columns.
+func (g *RowGroup) RawBytes() int {
+	n := 0
+	for i := range g.Segs {
+		n += g.Segs[i].RawBytes
+	}
+	return n
+}
+
+// Index is the compressed portion of a clustered columnstore: the segment
+// directory (row groups and their segments) plus per-column primary
+// dictionaries. Delta stores and the delete bitmap live in the table layer.
+// Index is safe for concurrent use: scans snapshot the group list while the
+// tuple mover appends or removes groups.
+type Index struct {
+	Schema *sqltypes.Schema
+	Opts   Options
+
+	store *storage.Store
+
+	mu        sync.RWMutex
+	primaries []*encoding.Dict // per column; nil for non-string columns
+	groups    []*RowGroup
+	nextID    int
+}
+
+// NewIndex creates an empty columnstore index over schema.
+func NewIndex(store *storage.Store, schema *sqltypes.Schema, opts Options) *Index {
+	idx := &Index{Schema: schema, Opts: opts, store: store, primaries: make([]*encoding.Dict, schema.Len())}
+	for i, c := range schema.Cols {
+		if c.Typ == sqltypes.String {
+			idx.primaries[i] = encoding.NewDict()
+		}
+	}
+	return idx
+}
+
+// Store exposes the underlying blob store.
+func (x *Index) Store() *storage.Store { return x.store }
+
+// Primary returns the primary dictionary of column i (nil for non-strings).
+func (x *Index) Primary(i int) *encoding.Dict {
+	return x.primaries[i]
+}
+
+// CompressRowGroup encodes and compresses one row group from column buffers
+// (all of equal length, matching the schema) and appends it to the directory.
+// Concurrent CompressRowGroup calls are not supported (the tuple mover is the
+// single compressor); concurrent readers are safe.
+func (x *Index) CompressRowGroup(bufs []*ColumnBuf) (*RowGroup, error) {
+	g, _, err := x.CompressRowGroupWithPerm(bufs)
+	return g, err
+}
+
+// CompressRowGroupWithPerm is CompressRowGroup but also returns the row
+// permutation applied by reordering (nil when rows kept their input order).
+// perm maps new position -> old position; the tuple mover uses it to replay
+// buffered deletes onto the new row group.
+func (x *Index) CompressRowGroupWithPerm(bufs []*ColumnBuf) (*RowGroup, []int, error) {
+	g, perm, err := x.BuildRowGroup(bufs)
+	if err != nil {
+		return nil, nil, err
+	}
+	x.PublishGroup(g)
+	return g, perm, nil
+}
+
+// BuildRowGroup compresses a row group without publishing it to the segment
+// directory. The tuple mover builds outside the table lock, then publishes
+// under the lock so a query snapshot never sees a row in both the new group
+// and its source delta store.
+func (x *Index) BuildRowGroup(bufs []*ColumnBuf) (*RowGroup, []int, error) {
+	if len(bufs) != x.Schema.Len() {
+		return nil, nil, fmt.Errorf("colstore: %d buffers for %d columns", len(bufs), x.Schema.Len())
+	}
+	rows := bufs[0].Len()
+	for i, b := range bufs {
+		if b.Len() != rows {
+			return nil, nil, fmt.Errorf("colstore: column %d has %d rows, want %d", i, b.Len(), rows)
+		}
+	}
+	if rows == 0 {
+		return nil, nil, fmt.Errorf("colstore: empty row group")
+	}
+
+	// Row reordering: compute per-column codes cheaply (pre-pass) to choose a
+	// permutation, then build segments in the permuted order. The pre-pass
+	// reuses the same encoders the build uses, so the permutation reflects
+	// real code streams.
+	var perm []int
+	if x.Opts.Reorder {
+		perm = x.reorderPerm(bufs)
+	}
+
+	g := &RowGroup{Rows: rows, Segs: make([]SegmentMeta, len(bufs))}
+	for i, b := range bufs {
+		primary := x.primaries[i]
+		meta, err := buildSegment(x.store, x.Opts.Tier, x.Schema.Cols[i], b, primaryOrDummy(primary), x.Opts.PrimaryDictCap, perm)
+		if err != nil {
+			return nil, nil, err
+		}
+		g.Segs[i] = meta
+	}
+
+	return g, perm, nil
+}
+
+// PublishGroup assigns the group an id and appends it to the directory,
+// making it visible to scans.
+func (x *Index) PublishGroup(g *RowGroup) {
+	x.mu.Lock()
+	g.ID = x.nextID
+	x.nextID++
+	x.groups = append(x.groups, g)
+	x.mu.Unlock()
+}
+
+// primaryOrDummy guarantees buildSegment a non-nil dictionary for string
+// columns; non-string columns never touch it.
+func primaryOrDummy(d *encoding.Dict) *encoding.Dict {
+	if d != nil {
+		return d
+	}
+	return dummyDict
+}
+
+var dummyDict = encoding.NewDict()
+
+// reorderPerm computes a shared row permutation from provisional code streams.
+func (x *Index) reorderPerm(bufs []*ColumnBuf) []int {
+	cols := make([][]uint64, 0, len(bufs))
+	for i, b := range bufs {
+		var codes []uint64
+		switch x.Schema.Cols[i].Typ {
+		case sqltypes.String:
+			// Provisional codes from a throwaway dictionary: ordering by
+			// these ids groups equal values, which is all Reorder needs.
+			d := encoding.NewDict()
+			codes = make([]uint64, b.Len())
+			for j, s := range b.Str {
+				if b.Nulls != nil && b.Nulls.Get(j) {
+					continue
+				}
+				codes[j] = uint64(d.Add(s))
+			}
+		case sqltypes.Float64:
+			_, codes = encoding.AnalyzeFloats(b.F64, b.Nulls)
+		default:
+			_, codes = encoding.AnalyzeInts(b.I64, b.Nulls)
+		}
+		cols = append(cols, codes)
+	}
+	return encoding.Reorder(cols)
+}
+
+// Groups returns a snapshot of the current row-group directory.
+func (x *Index) Groups() []*RowGroup {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([]*RowGroup, len(x.groups))
+	copy(out, x.groups)
+	return out
+}
+
+// Group returns the row group with the given id, or nil.
+func (x *Index) Group(id int) *RowGroup {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	for _, g := range x.groups {
+		if g.ID == id {
+			return g
+		}
+	}
+	return nil
+}
+
+// RemoveGroup drops a row group from the directory and deletes its blobs
+// (a REBUILD/merge tombstone transitioning to removal).
+func (x *Index) RemoveGroup(id int) bool {
+	x.mu.Lock()
+	var victim *RowGroup
+	for i, g := range x.groups {
+		if g.ID == id {
+			victim = g
+			x.groups = append(x.groups[:i], x.groups[i+1:]...)
+			break
+		}
+	}
+	x.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	for i := range victim.Segs {
+		x.store.Delete(victim.Segs[i].Blob)
+		if victim.Segs[i].LocalDict != 0 {
+			x.store.Delete(victim.Segs[i].LocalDict)
+		}
+	}
+	return true
+}
+
+// OpenColumn opens column col of row group g for reading.
+func (x *Index) OpenColumn(g *RowGroup, col int) (*ColumnReader, error) {
+	return OpenColumn(x.store, &g.Segs[col], x.Schema.Cols[col], x.primaries[col])
+}
+
+// Rows totals the rows across all compressed row groups.
+func (x *Index) Rows() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	n := 0
+	for _, g := range x.groups {
+		n += g.Rows
+	}
+	return n
+}
+
+// DiskBytes totals at-rest segment bytes plus serialized primary dictionaries
+// — the numerator of the compression-ratio experiments.
+func (x *Index) DiskBytes() int {
+	x.mu.RLock()
+	groups := append([]*RowGroup(nil), x.groups...)
+	x.mu.RUnlock()
+	n := 0
+	for _, g := range groups {
+		n += g.DiskBytes()
+	}
+	for _, d := range x.primaries {
+		if d != nil {
+			n += len(d.Marshal(nil))
+		}
+	}
+	return n
+}
+
+// RawBytes totals uncompressed logical bytes across all row groups.
+func (x *Index) RawBytes() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	n := 0
+	for _, g := range x.groups {
+		n += g.RawBytes()
+	}
+	return n
+}

@@ -1,0 +1,368 @@
+package colstore
+
+import (
+	"fmt"
+
+	"apollo/internal/bits"
+	"apollo/internal/encoding"
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+	"apollo/internal/vector"
+)
+
+// ColumnReader provides decoded access to one column segment: bulk
+// materialization into vectors, random access by tuple id (bookmark fetch),
+// and code-space predicate translation so filters run on encoded data.
+type ColumnReader struct {
+	Meta *SegmentMeta
+	Col  sqltypes.Column
+
+	codes []uint64
+	nulls *bits.Bitmap
+
+	// primary is the shared table-wide dictionary; primaryVals is a snapshot
+	// of its id->value slice taken at open time, safe to read while the tuple
+	// mover concurrently appends new entries.
+	primary     *encoding.Dict
+	primaryVals []string
+	local       *encoding.Dict
+	localVals   []string
+}
+
+// OpenColumn reads and decodes a segment from the store. primary is the
+// column's primary dictionary (nil for non-string columns).
+func OpenColumn(store *storage.Store, meta *SegmentMeta, col sqltypes.Column, primary *encoding.Dict) (*ColumnReader, error) {
+	payload, err := store.Get(meta.Blob)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: read segment: %w", err)
+	}
+	codes, nulls, err := unmarshalPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(codes) != meta.Rows {
+		return nil, fmt.Errorf("colstore: segment has %d rows, directory says %d", len(codes), meta.Rows)
+	}
+	r := &ColumnReader{Meta: meta, Col: col, codes: codes, nulls: nulls, primary: primary}
+	if primary != nil {
+		r.primaryVals = primary.SnapshotValues()
+	}
+	if meta.LocalDict != 0 {
+		buf, err := store.Get(meta.LocalDict)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: read local dictionary: %w", err)
+		}
+		d, _, err := encoding.UnmarshalDict(buf)
+		if err != nil {
+			return nil, err
+		}
+		r.local = d
+		r.localVals = d.SnapshotValues()
+	}
+	return r, nil
+}
+
+// Len returns the number of rows in the segment.
+func (r *ColumnReader) Len() int { return len(r.codes) }
+
+// Codes exposes the decoded code stream (shared; do not modify).
+func (r *ColumnReader) Codes() []uint64 { return r.codes }
+
+// Nulls exposes the null bitmap (may be nil).
+func (r *ColumnReader) Nulls() *bits.Bitmap { return r.nulls }
+
+// IsNull reports whether row i is NULL.
+func (r *ColumnReader) IsNull(i int) bool { return r.nulls != nil && r.nulls.Get(i) }
+
+// DecodeCode maps a code to its raw value.
+func (r *ColumnReader) DecodeCode(code uint64) sqltypes.Value {
+	if r.Meta.Enc == EncDict {
+		return sqltypes.NewString(r.dictValue(code))
+	}
+	switch r.Col.Typ {
+	case sqltypes.Float64:
+		return sqltypes.NewFloat(r.Meta.Numeric.DecodeFloat(code))
+	default:
+		return sqltypes.Value{Typ: r.Col.Typ, I: r.Meta.Numeric.DecodeInt(code)}
+	}
+}
+
+func (r *ColumnReader) dictValue(code uint64) string {
+	if code < uint64(r.Meta.DictCut) {
+		return r.primaryVals[code]
+	}
+	return r.localVals[code-uint64(r.Meta.DictCut)]
+}
+
+// Value returns row i as a raw value (bookmark-style random access).
+func (r *ColumnReader) Value(i int) sqltypes.Value {
+	if r.IsNull(i) {
+		return sqltypes.NewNull(r.Col.Typ)
+	}
+	return r.DecodeCode(r.codes[i])
+}
+
+// MaterializeInto decodes rows [start, start+n) into v, resizing it to n.
+func (r *ColumnReader) MaterializeInto(v *vector.Vector, start, n int) {
+	v.Resize(n)
+	if v.Nulls != nil {
+		v.Nulls.Reset()
+	}
+	switch {
+	case r.Meta.Enc == EncDict:
+		for i := 0; i < n; i++ {
+			v.Str[i] = r.dictValue(r.codes[start+i])
+		}
+	case r.Col.Typ == sqltypes.Float64:
+		num := r.Meta.Numeric
+		for i := 0; i < n; i++ {
+			v.F64[i] = num.DecodeFloat(r.codes[start+i])
+		}
+	default:
+		num := r.Meta.Numeric
+		if num.Kind == encoding.NumOffset {
+			base := num.Base
+			for i := 0; i < n; i++ {
+				v.I64[i] = int64(r.codes[start+i]) + base
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				v.I64[i] = num.DecodeInt(r.codes[start+i])
+			}
+		}
+	}
+	if r.nulls != nil {
+		for i := 0; i < n; i++ {
+			if r.nulls.Get(start + i) {
+				v.SetNull(i)
+			}
+		}
+	}
+}
+
+// CodeRange translates a raw-domain range [lo, hi] (NULL = unbounded) into a
+// code-domain range for monotonic numeric encodings, so a vectorized filter
+// can compare codes directly without decoding. ok is false when the encoding
+// is not order-preserving (raw floats, dictionaries) and the caller must
+// evaluate on decoded values or use CodeSetMatching.
+func (r *ColumnReader) CodeRange(lo, hi sqltypes.Value) (cLo, cHi uint64, ok bool) {
+	if r.Meta.Enc != EncNumeric {
+		return 0, 0, false
+	}
+	num := r.Meta.Numeric
+	if num.Kind == encoding.NumFloatRaw {
+		return 0, 0, false
+	}
+	cLo, cHi = 0, ^uint64(0)
+	switch num.Kind {
+	case encoding.NumFloatScaled:
+		if !lo.Null {
+			cLo = floatToCodeCeil(num, lo.AsFloat())
+		}
+		if !hi.Null {
+			c, under := floatToCodeFloor(num, hi.AsFloat())
+			if under {
+				return 1, 0, true // hi below segment base: empty range
+			}
+			cHi = c
+		}
+	default: // NumOffset, NumScaled over int64 domain
+		if !lo.Null {
+			cLo = intToCodeCeil(num, loBoundInt(lo))
+		}
+		if !hi.Null {
+			c, under := intToCodeFloor(num, hiBoundInt(hi))
+			if under {
+				return 1, 0, true // empty range
+			}
+			cHi = c
+		}
+	}
+	if cLo > cHi {
+		// Empty code range; signal via cLo>cHi which filters treat as no match.
+		return 1, 0, true
+	}
+	return cLo, cHi, true
+}
+
+// loBoundInt converts a lower-bound value to int64, rounding up for floats.
+func loBoundInt(v sqltypes.Value) int64 {
+	if v.Typ == sqltypes.Float64 {
+		f := v.F
+		i := int64(f)
+		if float64(i) < f {
+			i++
+		}
+		return i
+	}
+	return v.I
+}
+
+// hiBoundInt converts an upper-bound value to int64, rounding down for floats.
+func hiBoundInt(v sqltypes.Value) int64 {
+	if v.Typ == sqltypes.Float64 {
+		f := v.F
+		i := int64(f)
+		if float64(i) > f {
+			i--
+		}
+		return i
+	}
+	return v.I
+}
+
+// intToCodeCeil returns the smallest code whose decoded value is >= v.
+func intToCodeCeil(num encoding.NumericEncoding, v int64) uint64 {
+	base := num.Base
+	scaled := v
+	if num.Kind == encoding.NumScaled {
+		p := pow10i(int(num.Scale))
+		// ceil division toward +inf
+		q := v / p
+		if q*p < v {
+			q++
+		}
+		scaled = q
+	}
+	if scaled <= base {
+		return 0
+	}
+	return uint64(scaled) - uint64(base)
+}
+
+// intToCodeFloor returns the largest code whose decoded value is <= v;
+// under=true when v is below every encodable value.
+func intToCodeFloor(num encoding.NumericEncoding, v int64) (uint64, bool) {
+	base := num.Base
+	scaled := v
+	if num.Kind == encoding.NumScaled {
+		p := pow10i(int(num.Scale))
+		q := v / p
+		if q*p > v {
+			q--
+		}
+		scaled = q
+	}
+	if scaled < base {
+		return 0, true
+	}
+	return uint64(scaled) - uint64(base), false
+}
+
+func floatToCodeCeil(num encoding.NumericEncoding, f float64) uint64 {
+	m := pow10f(int(num.Scale))
+	s := f * m
+	i := int64(s)
+	if float64(i) < s {
+		i++
+	}
+	if i <= num.Base {
+		return 0
+	}
+	return uint64(i) - uint64(num.Base)
+}
+
+func floatToCodeFloor(num encoding.NumericEncoding, f float64) (uint64, bool) {
+	m := pow10f(int(num.Scale))
+	s := f * m
+	i := int64(s)
+	if float64(i) > s {
+		i--
+	}
+	if i < num.Base {
+		return 0, true
+	}
+	return uint64(i) - uint64(num.Base), false
+}
+
+func pow10i(k int) int64 {
+	p := int64(1)
+	for ; k > 0; k-- {
+		p *= 10
+	}
+	return p
+}
+
+func pow10f(k int) float64 {
+	p := 1.0
+	for ; k > 0; k-- {
+		p *= 10
+	}
+	return p
+}
+
+// CodeSetMatching evaluates pred once per distinct dictionary entry and
+// returns the set of matching codes as a bitmap over code space — the paper's
+// trick of evaluating string predicates on compressed data: O(|dictionary|)
+// evaluations instead of O(rows).
+func (r *ColumnReader) CodeSetMatching(pred func(sqltypes.Value) bool) *bits.Bitmap {
+	set := bits.New(int(r.Meta.DictCut) + 64)
+	for id := uint32(0); id < r.Meta.DictCut; id++ {
+		if pred(sqltypes.NewString(r.primaryVals[id])) {
+			set.Set(int(id))
+		}
+	}
+	for i, s := range r.localVals {
+		if pred(sqltypes.NewString(s)) {
+			set.Set(int(r.Meta.DictCut) + i)
+		}
+	}
+	return set
+}
+
+// LookupCode returns the code for an exact string value if it appears in this
+// segment's dictionaries. ok=false means no row of the segment can equal s.
+func (r *ColumnReader) LookupCode(s string) (uint64, bool) {
+	if r.primary != nil {
+		if id, ok := r.primary.Lookup(s); ok && id < r.Meta.DictCut {
+			return uint64(id), true
+		}
+	}
+	if r.local != nil {
+		if id, ok := r.local.Lookup(s); ok {
+			return uint64(r.Meta.DictCut) + uint64(id), true
+		}
+	}
+	return 0, false
+}
+
+// GatherInto decodes the rows at idxs (ascending physical positions) into v,
+// resizing it to len(idxs). Vectorized scans use it to materialize only the
+// rows that survived filtering on encoded data.
+func (r *ColumnReader) GatherInto(v *vector.Vector, idxs []int) {
+	n := len(idxs)
+	v.Resize(n)
+	if v.Nulls != nil {
+		v.Nulls.Reset()
+	}
+	switch {
+	case r.Meta.Enc == EncDict:
+		for i, j := range idxs {
+			v.Str[i] = r.dictValue(r.codes[j])
+		}
+	case r.Col.Typ == sqltypes.Float64:
+		num := r.Meta.Numeric
+		for i, j := range idxs {
+			v.F64[i] = num.DecodeFloat(r.codes[j])
+		}
+	default:
+		num := r.Meta.Numeric
+		if num.Kind == encoding.NumOffset {
+			base := num.Base
+			for i, j := range idxs {
+				v.I64[i] = int64(r.codes[j]) + base
+			}
+		} else {
+			for i, j := range idxs {
+				v.I64[i] = num.DecodeInt(r.codes[j])
+			}
+		}
+	}
+	if r.nulls != nil {
+		for i, j := range idxs {
+			if r.nulls.Get(j) {
+				v.SetNull(i)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package delta
+
+import (
+	"sync"
+
+	"apollo/internal/bits"
+)
+
+// DeleteBitmap marks rows of compressed row groups as logically deleted
+// (§4.1). It is keyed by (row group id, tuple id). Scans snapshot a group's
+// bitmap so concurrent deletes do not tear a running query; a row deleted
+// mid-scan may still be returned by that scan, which matches snapshot
+// semantics.
+type DeleteBitmap struct {
+	mu       sync.RWMutex
+	perGroup map[int]*bits.Bitmap
+	count    int
+}
+
+// NewDeleteBitmap returns an empty delete bitmap.
+func NewDeleteBitmap() *DeleteBitmap {
+	return &DeleteBitmap{perGroup: make(map[int]*bits.Bitmap)}
+}
+
+// Delete marks (group, tuple) deleted, reporting whether it was newly marked.
+func (d *DeleteBitmap) Delete(group, tuple int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bm := d.perGroup[group]
+	if bm == nil {
+		bm = bits.New(tuple + 1)
+		d.perGroup[group] = bm
+	}
+	if bm.Get(tuple) {
+		return false
+	}
+	bm.Set(tuple)
+	d.count++
+	return true
+}
+
+// IsDeleted reports whether (group, tuple) is marked deleted.
+func (d *DeleteBitmap) IsDeleted(group, tuple int) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	bm := d.perGroup[group]
+	return bm != nil && bm.Get(tuple)
+}
+
+// Snapshot returns a copy of the group's bitmap for a consistent scan, or nil
+// when the group has no deletes.
+func (d *DeleteBitmap) Snapshot(group int) *bits.Bitmap {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	bm := d.perGroup[group]
+	if bm == nil || !bm.Any() {
+		return nil
+	}
+	return bm.Clone()
+}
+
+// DeletedInGroup counts deleted rows in a group.
+func (d *DeleteBitmap) DeletedInGroup(group int) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	bm := d.perGroup[group]
+	if bm == nil {
+		return 0
+	}
+	return bm.Count()
+}
+
+// DropGroup forgets a group's deletes (after the group itself is removed,
+// e.g. by a rebuild that filtered deleted rows out).
+func (d *DeleteBitmap) DropGroup(group int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if bm := d.perGroup[group]; bm != nil {
+		d.count -= bm.Count()
+		delete(d.perGroup, group)
+	}
+}
+
+// Count totals deleted rows across all groups.
+func (d *DeleteBitmap) Count() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.count
+}

@@ -1,0 +1,161 @@
+// Package delta implements the row-organized side of an updatable clustered
+// columnstore (§4): delta stores — B-tree row stores that absorb trickle
+// inserts until they are large enough to compress — and the delete bitmap
+// that marks rows of compressed row groups as logically deleted. A delta
+// store being drained by the tuple mover keeps accepting deletes through a
+// delete buffer that is applied to the new compressed row group afterwards.
+package delta
+
+import (
+	"fmt"
+
+	"apollo/internal/btree"
+	"apollo/internal/sqltypes"
+)
+
+// State is the lifecycle state of a delta store.
+type State uint8
+
+// Delta store states, following the row-group lifecycle of §4.1.
+const (
+	Open   State = iota // accepting inserts
+	Closed              // full; waiting for the tuple mover
+	Moving              // being compressed; deletes go to the delete buffer
+)
+
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "OPEN"
+	case Closed:
+		return "CLOSED"
+	default:
+		return "MOVING"
+	}
+}
+
+// Store is one delta store: rows keyed by a monotonically increasing tuple
+// key. It is not internally synchronized; the table layer serializes access.
+type Store struct {
+	ID      int
+	Schema  *sqltypes.Schema
+	tree    *btree.Tree
+	nextKey uint64
+	state   State
+
+	// deleteBuffer records keys deleted while the store is Moving; the tuple
+	// mover translates them into delete-bitmap entries on the new row group.
+	deleteBuffer []uint64
+}
+
+// NewStore creates an empty, open delta store.
+func NewStore(id int, schema *sqltypes.Schema) *Store {
+	return &Store{ID: id, Schema: schema, tree: btree.New(), state: Open}
+}
+
+// State returns the store's lifecycle state.
+func (s *Store) State() State { return s.state }
+
+// Close transitions Open -> Closed (no more inserts).
+func (s *Store) Close() {
+	if s.state == Open {
+		s.state = Closed
+	}
+}
+
+// BeginMove transitions Closed -> Moving and returns the rows to compress in
+// ascending key order alongside their keys.
+func (s *Store) BeginMove() (keys []uint64, rows []sqltypes.Row, err error) {
+	if s.state != Closed {
+		return nil, nil, fmt.Errorf("delta: BeginMove on %v store", s.state)
+	}
+	s.state = Moving
+	s.deleteBuffer = s.deleteBuffer[:0]
+	keys = make([]uint64, 0, s.tree.Len())
+	rows = make([]sqltypes.Row, 0, s.tree.Len())
+	s.tree.AscendAll(func(k uint64, v []byte) bool {
+		row, _, derr := sqltypes.DecodeRow(v, s.Schema)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		keys = append(keys, k)
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("delta: decode during move: %w", err)
+	}
+	return keys, rows, nil
+}
+
+// DrainDeleteBuffer returns keys deleted while Moving and resets the buffer.
+func (s *Store) DrainDeleteBuffer() []uint64 {
+	out := append([]uint64(nil), s.deleteBuffer...)
+	s.deleteBuffer = s.deleteBuffer[:0]
+	return out
+}
+
+// Insert appends a row and returns its key. Only Open stores accept inserts.
+func (s *Store) Insert(row sqltypes.Row) (uint64, error) {
+	if s.state != Open {
+		return 0, fmt.Errorf("delta: insert into %v store", s.state)
+	}
+	key := s.nextKey
+	s.nextKey++
+	s.tree.Put(key, sqltypes.EncodeRow(nil, s.Schema, row))
+	return key, nil
+}
+
+// Delete removes the row with the given key, reporting whether it existed.
+// Deletes against a Moving store are also recorded in the delete buffer so
+// the tuple mover can replay them onto the compressed row group.
+func (s *Store) Delete(key uint64) bool {
+	ok := s.tree.Delete(key)
+	if ok && s.state == Moving {
+		s.deleteBuffer = append(s.deleteBuffer, key)
+	}
+	return ok
+}
+
+// Get returns the row with the given key.
+func (s *Store) Get(key uint64) (sqltypes.Row, bool) {
+	v, ok := s.tree.Get(key)
+	if !ok {
+		return nil, false
+	}
+	row, _, err := sqltypes.DecodeRow(v, s.Schema)
+	if err != nil {
+		return nil, false
+	}
+	return row, true
+}
+
+// Scan calls fn for each (key, row) in ascending key order; fn returning
+// false stops the scan.
+func (s *Store) Scan(fn func(key uint64, row sqltypes.Row) bool) error {
+	var err error
+	s.tree.AscendAll(func(k uint64, v []byte) bool {
+		row, _, derr := sqltypes.DecodeRow(v, s.Schema)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		return fn(k, row)
+	})
+	return err
+}
+
+// Rows returns the number of live rows.
+func (s *Store) Rows() int { return s.tree.Len() }
+
+// MemBytes roughly estimates the store's in-memory footprint.
+func (s *Store) MemBytes() int {
+	// Encoded rows dominate; keys add 8 bytes each.
+	total := 0
+	s.tree.AscendAll(func(_ uint64, v []byte) bool {
+		total += len(v) + 8
+		return true
+	})
+	return total
+}

@@ -1,0 +1,190 @@
+package delta
+
+import (
+	"sync"
+	"testing"
+
+	"apollo/internal/sqltypes"
+)
+
+func testSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Name: "a", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "b", Typ: sqltypes.String},
+	)
+}
+
+func row(i int64, s string) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewInt(i), sqltypes.NewString(s)}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	s := NewStore(1, testSchema())
+	k1, err := s.Insert(row(1, "one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := s.Insert(row(2, "two"))
+	if k1 == k2 {
+		t.Fatal("duplicate keys")
+	}
+	got, ok := s.Get(k1)
+	if !ok || got[0].I != 1 || got[1].S != "one" {
+		t.Fatalf("Get = %v", got)
+	}
+	if !s.Delete(k1) || s.Delete(k1) {
+		t.Fatal("delete semantics wrong")
+	}
+	if s.Rows() != 1 {
+		t.Fatalf("Rows = %d", s.Rows())
+	}
+	if _, ok := s.Get(k1); ok {
+		t.Fatal("deleted row still visible")
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	s := NewStore(1, testSchema())
+	for i := int64(0); i < 100; i++ {
+		s.Insert(row(i, "x"))
+	}
+	var prev uint64
+	first := true
+	n := 0
+	err := s.Scan(func(k uint64, r sqltypes.Row) bool {
+		if !first && k <= prev {
+			t.Fatal("scan out of order")
+		}
+		prev, first = k, false
+		n++
+		return true
+	})
+	if err != nil || n != 100 {
+		t.Fatalf("scan: n=%d err=%v", n, err)
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	s := NewStore(1, testSchema())
+	s.Insert(row(1, "a"))
+	if s.State() != Open {
+		t.Fatal("not open")
+	}
+	s.Close()
+	if s.State() != Closed {
+		t.Fatal("not closed")
+	}
+	if _, err := s.Insert(row(2, "b")); err == nil {
+		t.Fatal("insert into closed store accepted")
+	}
+	keys, rows, err := s.BeginMove()
+	if err != nil || len(keys) != 1 || len(rows) != 1 {
+		t.Fatalf("BeginMove: %v %v %v", keys, rows, err)
+	}
+	if s.State() != Moving {
+		t.Fatal("not moving")
+	}
+	// BeginMove on a non-closed store fails.
+	if _, _, err := s.BeginMove(); err == nil {
+		t.Fatal("double BeginMove accepted")
+	}
+}
+
+func TestDeleteBufferDuringMove(t *testing.T) {
+	s := NewStore(1, testSchema())
+	var keys []uint64
+	for i := int64(0); i < 10; i++ {
+		k, _ := s.Insert(row(i, "x"))
+		keys = append(keys, k)
+	}
+	s.Close()
+	if _, _, err := s.BeginMove(); err != nil {
+		t.Fatal(err)
+	}
+	// Deletes while moving are buffered.
+	s.Delete(keys[3])
+	s.Delete(keys[7])
+	buf := s.DrainDeleteBuffer()
+	if len(buf) != 2 || buf[0] != keys[3] || buf[1] != keys[7] {
+		t.Fatalf("delete buffer = %v", buf)
+	}
+	if len(s.DrainDeleteBuffer()) != 0 {
+		t.Fatal("drain not idempotent")
+	}
+	// Deleting a missing key while moving does not buffer.
+	s.Delete(keys[3])
+	if len(s.DrainDeleteBuffer()) != 0 {
+		t.Fatal("phantom delete buffered")
+	}
+}
+
+func TestDeleteBitmapBasics(t *testing.T) {
+	d := NewDeleteBitmap()
+	if d.IsDeleted(1, 5) {
+		t.Fatal("fresh bitmap has deletes")
+	}
+	if !d.Delete(1, 5) || d.Delete(1, 5) {
+		t.Fatal("delete-once semantics wrong")
+	}
+	if !d.IsDeleted(1, 5) || d.IsDeleted(1, 6) || d.IsDeleted(2, 5) {
+		t.Fatal("IsDeleted wrong")
+	}
+	d.Delete(1, 100)
+	d.Delete(2, 0)
+	if d.Count() != 3 || d.DeletedInGroup(1) != 2 {
+		t.Fatalf("counts: %d, %d", d.Count(), d.DeletedInGroup(1))
+	}
+	d.DropGroup(1)
+	if d.Count() != 1 || d.IsDeleted(1, 5) {
+		t.Fatal("DropGroup wrong")
+	}
+}
+
+func TestDeleteBitmapSnapshotIsolation(t *testing.T) {
+	d := NewDeleteBitmap()
+	d.Delete(1, 2)
+	snap := d.Snapshot(1)
+	d.Delete(1, 3)
+	if snap.Get(3) {
+		t.Fatal("snapshot saw later delete")
+	}
+	if !snap.Get(2) {
+		t.Fatal("snapshot missing earlier delete")
+	}
+	if d.Snapshot(99) != nil {
+		t.Fatal("snapshot of clean group should be nil")
+	}
+}
+
+func TestDeleteBitmapConcurrent(t *testing.T) {
+	d := NewDeleteBitmap()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				d.Delete(g, i)
+				d.IsDeleted(g, i)
+				if i%100 == 0 {
+					d.Snapshot(g)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Count() != 8000 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	s := NewStore(1, testSchema())
+	if s.MemBytes() != 0 {
+		t.Fatal("empty store has bytes")
+	}
+	s.Insert(row(1, "hello"))
+	if s.MemBytes() <= 0 {
+		t.Fatal("no bytes after insert")
+	}
+}

@@ -1,0 +1,123 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Dict is an insertion-ordered string dictionary mapping values to dense
+// uint32 ids. The columnstore keeps one *primary* dictionary per string
+// column of a table (shared by all its segments) plus, when a segment
+// encounters values absent from the primary dictionary at build time, a
+// *local* dictionary private to that segment — the two-level scheme of §2.2.
+//
+// A Dict supports concurrent readers with one writer: ids are never removed
+// or reassigned, so a reader that captured SnapshotValues sees a stable
+// prefix even while the tuple mover appends new entries.
+type Dict struct {
+	mu    sync.RWMutex
+	byVal map[string]uint32
+	vals  []string
+	bytes int // cumulative value bytes, for size accounting
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byVal: make(map[string]uint32)}
+}
+
+// Add returns the id of s, inserting it if absent.
+func (d *Dict) Add(s string) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byVal[s]; ok {
+		return id
+	}
+	id := uint32(len(d.vals))
+	d.byVal[s] = id
+	d.vals = append(d.vals, s)
+	d.bytes += len(s)
+	return id
+}
+
+// Lookup returns the id of s and whether it is present.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byVal[s]
+	return id, ok
+}
+
+// Value returns the string for id. It panics on out-of-range ids.
+func (d *Dict) Value(id uint32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vals[id]
+}
+
+// Len returns the number of entries.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.vals)
+}
+
+// SnapshotValues returns the current id->value slice. The prefix visible to
+// the caller is immutable; later Adds do not affect it. Do not modify.
+func (d *Dict) SnapshotValues() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vals
+}
+
+// Values returns the dictionary's backing slice, indexed by id. The caller
+// must not modify it. Alias of SnapshotValues kept for readability at
+// call sites that own the dictionary exclusively.
+func (d *Dict) Values() []string { return d.SnapshotValues() }
+
+// SizeBytes estimates the dictionary's serialized size.
+func (d *Dict) SizeBytes() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.bytes + 4*len(d.vals)
+}
+
+// Marshal appends a serialization of the dictionary to dst.
+func (d *Dict) Marshal(dst []byte) []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	dst = binary.AppendUvarint(dst, uint64(len(d.vals)))
+	for _, v := range d.vals {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// UnmarshalDict decodes a dictionary from buf, returning it and the bytes read.
+func UnmarshalDict(buf []byte) (*Dict, int, error) {
+	pos := 0
+	n64, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("encoding: bad dict length")
+	}
+	pos += n
+	d := NewDict()
+	for i := uint64(0); i < n64; i++ {
+		l, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("encoding: dict truncated at entry %d", i)
+		}
+		pos += n
+		if pos+int(l) > len(buf) {
+			return nil, 0, fmt.Errorf("encoding: dict value truncated at entry %d", i)
+		}
+		d.Add(string(buf[pos : pos+int(l)]))
+		pos += int(l)
+	}
+	if d.Len() != int(n64) {
+		return nil, 0, fmt.Errorf("encoding: dict contains duplicate entries")
+	}
+	return d, pos, nil
+}

@@ -1,0 +1,97 @@
+package encoding
+
+import "sort"
+
+// Reorder computes a row permutation for a row group that lengthens value
+// runs, approximating the Vertipaq optimization of §2.2 (rows within a row
+// group may be stored in any order, so the build picks one that compresses
+// well). The heuristic sorts rows lexicographically with columns considered
+// in order of increasing cardinality: low-cardinality columns form long runs
+// at the major sort positions, and each higher-cardinality column still forms
+// runs within the blocks induced by the columns before it.
+//
+// cols holds one code slice per participating column, all of equal length.
+// The returned perm maps new position -> old position; perm is nil when there
+// is nothing to gain (zero or one row, or no columns).
+func Reorder(cols [][]uint64) []int {
+	if len(cols) == 0 || len(cols[0]) < 2 {
+		return nil
+	}
+	n := len(cols[0])
+
+	// Order columns by ascending distinct count (sampled for large groups —
+	// exact cardinality is not needed, only a ranking).
+	type colCard struct {
+		idx  int
+		card int
+	}
+	cards := make([]colCard, len(cols))
+	for i, c := range cols {
+		cards[i] = colCard{idx: i, card: approxDistinct(c)}
+	}
+	sort.Slice(cards, func(a, b int) bool {
+		if cards[a].card != cards[b].card {
+			return cards[a].card < cards[b].card
+		}
+		return cards[a].idx < cards[b].idx
+	})
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ra, rb := perm[a], perm[b]
+		for _, cc := range cards {
+			va, vb := cols[cc.idx][ra], cols[cc.idx][rb]
+			if va != vb {
+				return va < vb
+			}
+		}
+		return ra < rb // stable tiebreak keeps the sort deterministic
+	})
+	return perm
+}
+
+// approxDistinct estimates the number of distinct values in c, sampling at
+// most 4096 entries for large inputs.
+func approxDistinct(c []uint64) int {
+	const sample = 4096
+	step := 1
+	if len(c) > sample {
+		step = len(c) / sample
+	}
+	seen := make(map[uint64]struct{}, sample)
+	for i := 0; i < len(c); i += step {
+		seen[c[i]] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ApplyPerm permutes vals by perm (new position -> old position) into a new
+// slice. A nil perm returns vals unchanged.
+func ApplyPerm(vals []uint64, perm []int) []uint64 {
+	if perm == nil {
+		return vals
+	}
+	out := make([]uint64, len(vals))
+	for newPos, oldPos := range perm {
+		out[newPos] = vals[oldPos]
+	}
+	return out
+}
+
+// RunCount returns the number of RLE runs in vals — the objective Reorder
+// minimizes (summed across columns).
+func RunCount(vals []uint64) int {
+	if len(vals) == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[i-1] {
+			runs++
+		}
+	}
+	return runs
+}

@@ -1,0 +1,132 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// RLE is a run-length-encoded vector of uint64 codes: parallel slices of run
+// values and run lengths, plus a prefix-sum index enabling O(log R) random
+// access — the property the paper relies on for bookmark lookups into
+// RLE-compressed segments.
+type RLE struct {
+	Values []uint64
+	Counts []uint32
+	starts []uint32 // starts[i] = first row index of run i; built lazily
+	n      int
+}
+
+// RLEEncode run-length encodes vals.
+func RLEEncode(vals []uint64) *RLE {
+	r := &RLE{n: len(vals)}
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		r.Values = append(r.Values, vals[i])
+		r.Counts = append(r.Counts, uint32(j-i))
+		i = j
+	}
+	return r
+}
+
+// Len returns the number of logical values.
+func (r *RLE) Len() int { return r.n }
+
+// Runs returns the number of runs.
+func (r *RLE) Runs() int { return len(r.Values) }
+
+func (r *RLE) buildIndex() {
+	if r.starts != nil || len(r.Values) == 0 {
+		return
+	}
+	r.starts = make([]uint32, len(r.Counts))
+	var acc uint32
+	for i, c := range r.Counts {
+		r.starts[i] = acc
+		acc += c
+	}
+}
+
+// Get returns the i'th logical value via binary search over run starts.
+func (r *RLE) Get(i int) uint64 {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("encoding: rle index %d out of range [0,%d)", i, r.n))
+	}
+	r.buildIndex()
+	k := sort.Search(len(r.starts), func(j int) bool { return r.starts[j] > uint32(i) }) - 1
+	return r.Values[k]
+}
+
+// DecodeAll expands the runs into out, which must have length >= Len.
+func (r *RLE) DecodeAll(out []uint64) []uint64 {
+	out = out[:r.n]
+	pos := 0
+	for i, v := range r.Values {
+		for c := uint32(0); c < r.Counts[i]; c++ {
+			out[pos] = v
+			pos++
+		}
+	}
+	return out
+}
+
+// SizeBytes estimates the serialized payload size.
+func (r *RLE) SizeBytes() int {
+	// Conservative estimate used by the encoder's RLE-vs-bitpack choice:
+	// varint value + varint count per run; assume 5 bytes/run average.
+	return 10 * len(r.Values)
+}
+
+// Marshal appends a self-describing serialization of r to dst.
+func (r *RLE) Marshal(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(r.n))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Values)))
+	for i := range r.Values {
+		dst = binary.AppendUvarint(dst, r.Values[i])
+		dst = binary.AppendUvarint(dst, uint64(r.Counts[i]))
+	}
+	return dst
+}
+
+// UnmarshalRLE decodes an RLE from buf, returning it and the bytes read.
+func UnmarshalRLE(buf []byte) (*RLE, int, error) {
+	pos := 0
+	total, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("encoding: bad rle length")
+	}
+	pos += n
+	runs, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("encoding: bad rle run count")
+	}
+	pos += n
+	r := &RLE{
+		Values: make([]uint64, runs),
+		Counts: make([]uint32, runs),
+		n:      int(total),
+	}
+	var acc uint64
+	for i := 0; i < int(runs); i++ {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("encoding: rle truncated at run %d", i)
+		}
+		pos += n
+		c, n2 := binary.Uvarint(buf[pos:])
+		if n2 <= 0 || c == 0 {
+			return nil, 0, fmt.Errorf("encoding: bad rle count at run %d", i)
+		}
+		pos += n2
+		r.Values[i] = v
+		r.Counts[i] = uint32(c)
+		acc += c
+	}
+	if acc != total {
+		return nil, 0, fmt.Errorf("encoding: rle counts sum %d, want %d", acc, total)
+	}
+	return r, pos, nil
+}

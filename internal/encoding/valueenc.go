@@ -1,0 +1,173 @@
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"apollo/internal/bits"
+)
+
+// NumKind identifies the value-based encoding variant applied to a numeric
+// column segment before compression (§2.2 "value based encoding": numbers are
+// scaled by a power of ten and rebased so that the remaining codes are small
+// non-negative integers).
+type NumKind uint8
+
+// Value-encoding variants.
+const (
+	NumOffset      NumKind = iota // code = v - Base
+	NumScaled                     // code = v/10^Scale - Base (exact division)
+	NumFloatScaled                // code = round(v*10^Scale) - Base (exact)
+	NumFloatRaw                   // code = IEEE-754 bits of v (no value encoding)
+)
+
+// NumericEncoding describes how a numeric segment's codes map back to values.
+type NumericEncoding struct {
+	Kind  NumKind
+	Base  int64 // offset subtracted from scaled values
+	Scale int8  // power-of-ten exponent
+}
+
+var pow10 = [...]int64{1, 10, 100, 1000, 10000, 100000, 1000000}
+
+const maxScale = 6
+
+// AnalyzeInts chooses a value encoding for an int64 (or date) column and
+// returns the per-row codes. Positions set in nulls get code 0 and are
+// excluded from the analysis. An all-NULL or empty segment encodes as
+// NumOffset with base 0.
+func AnalyzeInts(vals []int64, nulls *bits.Bitmap) (NumericEncoding, []uint64) {
+	isNull := func(i int) bool { return nulls != nil && nulls.Get(i) }
+
+	// Find min and the largest common power-of-ten divisor.
+	var minV int64
+	scale := maxScale
+	seen := false
+	for i, v := range vals {
+		if isNull(i) {
+			continue
+		}
+		if !seen {
+			minV = v
+			seen = true
+		} else if v < minV {
+			minV = v
+		}
+		for scale > 0 && v%pow10[scale] != 0 {
+			scale--
+		}
+	}
+	if !seen {
+		return NumericEncoding{Kind: NumOffset}, make([]uint64, len(vals))
+	}
+	enc := NumericEncoding{Kind: NumOffset, Base: minV}
+	if scale > 0 {
+		enc = NumericEncoding{Kind: NumScaled, Base: minV / pow10[scale], Scale: int8(scale)}
+	}
+	codes := make([]uint64, len(vals))
+	for i, v := range vals {
+		if isNull(i) {
+			continue
+		}
+		if enc.Kind == NumScaled {
+			codes[i] = uint64(v/pow10[enc.Scale]) - uint64(enc.Base)
+		} else {
+			codes[i] = uint64(v) - uint64(enc.Base)
+		}
+	}
+	return enc, codes
+}
+
+// DecodeInt maps a code back to the original int64 value.
+func (e NumericEncoding) DecodeInt(code uint64) int64 {
+	switch e.Kind {
+	case NumScaled:
+		return (int64(code) + e.Base) * pow10[e.Scale]
+	default:
+		return int64(code) + e.Base
+	}
+}
+
+// AnalyzeFloats chooses a value encoding for a float64 column and returns the
+// per-row codes. If every value times some 10^k (k ≤ 4) is an exact integer of
+// magnitude < 2^52, the column is encoded as scaled integers; otherwise raw
+// IEEE-754 bits are used (which still compress well under RLE for repeated
+// values).
+func AnalyzeFloats(vals []float64, nulls *bits.Bitmap) (NumericEncoding, []uint64) {
+	isNull := func(i int) bool { return nulls != nil && nulls.Get(i) }
+
+	const maxFloatScale = 4
+	scale := -1
+scaleSearch:
+	for k := 0; k <= maxFloatScale; k++ {
+		m := math.Pow(10, float64(k))
+		for i, v := range vals {
+			if isNull(i) {
+				continue
+			}
+			s := v * m
+			if s != math.Trunc(s) || math.Abs(s) >= 1<<52 || math.IsInf(s, 0) || math.IsNaN(s) {
+				continue scaleSearch
+			}
+		}
+		scale = k
+		break
+	}
+	codes := make([]uint64, len(vals))
+	if scale < 0 {
+		for i, v := range vals {
+			if isNull(i) {
+				continue
+			}
+			codes[i] = math.Float64bits(v)
+		}
+		return NumericEncoding{Kind: NumFloatRaw}, codes
+	}
+	m := math.Pow(10, float64(scale))
+	var minV int64
+	seen := false
+	for i, v := range vals {
+		if isNull(i) {
+			continue
+		}
+		s := int64(v * m)
+		if !seen || s < minV {
+			minV = s
+			seen = true
+		}
+	}
+	enc := NumericEncoding{Kind: NumFloatScaled, Base: minV, Scale: int8(scale)}
+	for i, v := range vals {
+		if isNull(i) {
+			continue
+		}
+		codes[i] = uint64(int64(v*m)) - uint64(minV)
+	}
+	return enc, codes
+}
+
+// DecodeFloat maps a code back to the original float64 value.
+func (e NumericEncoding) DecodeFloat(code uint64) float64 {
+	switch e.Kind {
+	case NumFloatRaw:
+		return math.Float64frombits(code)
+	case NumFloatScaled:
+		return float64(int64(code)+e.Base) / math.Pow(10, float64(e.Scale))
+	default:
+		return float64(e.DecodeInt(code))
+	}
+}
+
+// String renders the encoding for EXPLAIN-style diagnostics.
+func (e NumericEncoding) String() string {
+	switch e.Kind {
+	case NumOffset:
+		return fmt.Sprintf("offset(base=%d)", e.Base)
+	case NumScaled:
+		return fmt.Sprintf("scaled(base=%d,10^%d)", e.Base, e.Scale)
+	case NumFloatScaled:
+		return fmt.Sprintf("fscaled(base=%d,10^-%d)", e.Base, e.Scale)
+	default:
+		return "fraw"
+	}
+}

@@ -1,0 +1,474 @@
+package batchexec
+
+import (
+	"apollo/internal/exec"
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+	"apollo/internal/vector"
+)
+
+// HashAgg is the batch-mode hash aggregation of §5, including scalar
+// aggregation (no group-by), DISTINCT aggregates, and spilling: when the
+// memory grant is exhausted, rows belonging to not-yet-seen groups are
+// hash-partitioned to spill files and aggregated partition by partition after
+// the input is consumed (hybrid hash aggregation), so memory pressure
+// degrades throughput instead of failing the query.
+type HashAgg struct {
+	In      Operator
+	GroupBy []int // input column indexes
+	Names   []string
+	Aggs    []exec.AggSpec // Arg exprs bound to the input schema
+
+	Tracker    *Tracker
+	SpillStore *storage.Store
+
+	schema   *sqltypes.Schema
+	out      *Values
+	reserved int64
+}
+
+// NewHashAgg builds a batch aggregation. Group-by keys are input columns;
+// aggregate arguments are expressions over the input schema.
+func NewHashAgg(in Operator, groupBy []int, names []string, aggs []exec.AggSpec) *HashAgg {
+	cols := make([]sqltypes.Column, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		c := in.Schema().Cols[g]
+		cols = append(cols, sqltypes.Column{Name: names[i], Typ: c.Typ, Nullable: true})
+	}
+	for _, a := range aggs {
+		cols = append(cols, sqltypes.Column{Name: a.Name, Typ: a.ResultType(), Nullable: true})
+	}
+	return &HashAgg{In: in, GroupBy: groupBy, Names: names, Aggs: aggs, schema: sqltypes.NewSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (h *HashAgg) Schema() *sqltypes.Schema { return h.schema }
+
+// aggGroup is one group's accumulators.
+type aggGroup struct {
+	keyVals sqltypes.Row
+	states  []aggAcc
+}
+
+// aggAcc accumulates one aggregate.
+type aggAcc struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	min, max sqltypes.Value
+	seen     bool
+	distinct map[string]bool
+}
+
+func (h *HashAgg) newGroup(keyVals sqltypes.Row) *aggGroup {
+	g := &aggGroup{keyVals: keyVals, states: make([]aggAcc, len(h.Aggs))}
+	for i, spec := range h.Aggs {
+		if spec.Distinct {
+			g.states[i].distinct = make(map[string]bool)
+		}
+	}
+	return g
+}
+
+func (g *aggGroup) add(aggs []exec.AggSpec, row sqltypes.Row) {
+	for i := range aggs {
+		spec := &aggs[i]
+		st := &g.states[i]
+		if spec.Kind == exec.CountStar {
+			st.count++
+			continue
+		}
+		v := spec.Arg.Eval(row)
+		if v.Null {
+			continue
+		}
+		if st.distinct != nil {
+			key := string(exec.EncodeKey(nil, []sqltypes.Value{v}))
+			if st.distinct[key] {
+				continue
+			}
+			st.distinct[key] = true
+		}
+		st.count++
+		switch spec.Kind {
+		case exec.Sum, exec.Avg:
+			st.sumI += v.I
+			st.sumF += v.AsFloat()
+		case exec.Min:
+			if !st.seen || sqltypes.Compare(v, st.min) < 0 {
+				st.min = v
+			}
+		case exec.Max:
+			if !st.seen || sqltypes.Compare(v, st.max) > 0 {
+				st.max = v
+			}
+		}
+		st.seen = true
+	}
+}
+
+func (g *aggGroup) finalize(aggs []exec.AggSpec) sqltypes.Row {
+	out := make(sqltypes.Row, 0, len(g.keyVals)+len(aggs))
+	out = append(out, g.keyVals...)
+	for i := range aggs {
+		spec := &aggs[i]
+		st := &g.states[i]
+		switch spec.Kind {
+		case exec.CountStar, exec.Count:
+			out = append(out, sqltypes.NewInt(st.count))
+		case exec.Sum:
+			switch {
+			case st.count == 0:
+				out = append(out, sqltypes.NewNull(spec.ResultType()))
+			case spec.ResultType() == sqltypes.Float64:
+				out = append(out, sqltypes.NewFloat(st.sumF))
+			default:
+				out = append(out, sqltypes.NewInt(st.sumI))
+			}
+		case exec.Avg:
+			if st.count == 0 {
+				out = append(out, sqltypes.NewNull(sqltypes.Float64))
+			} else {
+				out = append(out, sqltypes.NewFloat(st.sumF/float64(st.count)))
+			}
+		case exec.Min:
+			if !st.seen {
+				out = append(out, sqltypes.NewNull(spec.ResultType()))
+			} else {
+				out = append(out, st.min)
+			}
+		default:
+			if !st.seen {
+				out = append(out, sqltypes.NewNull(spec.ResultType()))
+			} else {
+				out = append(out, st.max)
+			}
+		}
+	}
+	return out
+}
+
+const aggSpillPartitions = 8
+
+// Open implements Operator: consumes the whole input and aggregates.
+// Aggregation is vectorized: group pointers are resolved per batch (with a
+// fast path for a single integer-family group column), each aggregate
+// argument is evaluated once per batch into a vector, and accumulation runs
+// in tight loops over the vector payloads.
+func (h *HashAgg) Open() error {
+	if err := h.In.Open(); err != nil {
+		return err
+	}
+	defer h.In.Close()
+
+	inSchema := h.In.Schema()
+	groups := make(map[string]*aggGroup)
+	var intGroups map[int64]*aggGroup
+	var nullGroup *aggGroup
+	var order []*aggGroup
+	var parts []*spillPartition
+	spilling := false
+
+	// Fast path applies to a single integer-family group column.
+	fastInt := len(h.GroupBy) == 1 && inSchema.Cols[h.GroupBy[0]].Typ != sqltypes.Float64 &&
+		inSchema.Cols[h.GroupBy[0]].Typ != sqltypes.String
+	if fastInt {
+		intGroups = make(map[int64]*aggGroup)
+	}
+
+	var scalarGroup *aggGroup
+	if len(h.GroupBy) == 0 {
+		scalarGroup = h.newGroup(nil)
+		order = append(order, scalarGroup)
+	}
+
+	keyVals := make(sqltypes.Row, len(h.GroupBy))
+	row := make(sqltypes.Row, inSchema.Len())
+	var ptrs []*aggGroup
+	argVecs := make([]*vector.Vector, len(h.Aggs))
+	for i, spec := range h.Aggs {
+		if spec.Arg != nil {
+			argVecs[i] = vector.NewVector(spec.Arg.Type(), vector.DefaultBatchSize)
+		}
+	}
+
+	startSpilling := func() {
+		spilling = true
+		parts = make([]*spillPartition, aggSpillPartitions)
+		for j := range parts {
+			parts[j] = newSpillPartition(h.SpillStore, inSchema)
+		}
+	}
+	spillRow := func(b *vector.Batch, i int, key string) error {
+		b.RowInto(i, row)
+		part := int(hashString(key)>>57) % aggSpillPartitions
+		return parts[part].add(row)
+	}
+
+	for {
+		b, err := h.In.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		b.Compact()
+		n := b.NumRows()
+		if n == 0 {
+			continue
+		}
+		if cap(ptrs) < n {
+			ptrs = make([]*aggGroup, n)
+		}
+		ptrs = ptrs[:n]
+
+		// Resolve the group of every row.
+		switch {
+		case scalarGroup != nil:
+			for i := range ptrs {
+				ptrs[i] = scalarGroup
+			}
+		case fastInt:
+			vec := b.Vecs[h.GroupBy[0]]
+			typ := inSchema.Cols[h.GroupBy[0]].Typ
+			for i := 0; i < n; i++ {
+				if vec.IsNull(i) {
+					if nullGroup == nil {
+						cost := int64(64 + 64*len(h.Aggs))
+						if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
+							// A single NULL group is cheap; charge it anyway.
+							h.Tracker.Release(0)
+						} else {
+							h.reserved += cost
+						}
+						nullGroup = h.newGroup(sqltypes.Row{sqltypes.NewNull(typ)})
+						order = append(order, nullGroup)
+					}
+					ptrs[i] = nullGroup
+					continue
+				}
+				k := vec.I64[i]
+				grp := intGroups[k]
+				if grp == nil {
+					if spilling {
+						keyVals[0] = sqltypes.Value{Typ: typ, I: k}
+						if err := spillRow(b, i, string(exec.EncodeKey(nil, keyVals))); err != nil {
+							return err
+						}
+						ptrs[i] = nil
+						continue
+					}
+					cost := int64(64 + 64*len(h.Aggs))
+					if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
+						h.Tracker.NoteSpill()
+						startSpilling()
+						keyVals[0] = sqltypes.Value{Typ: typ, I: k}
+						if err := spillRow(b, i, string(exec.EncodeKey(nil, keyVals))); err != nil {
+							return err
+						}
+						ptrs[i] = nil
+						continue
+					}
+					h.reserved += cost
+					grp = h.newGroup(sqltypes.Row{{Typ: typ, I: k}})
+					intGroups[k] = grp
+					order = append(order, grp)
+				}
+				ptrs[i] = grp
+			}
+		default:
+			for i := 0; i < n; i++ {
+				for c, g := range h.GroupBy {
+					keyVals[c] = b.Vecs[g].Value(i)
+				}
+				key := string(exec.EncodeKey(nil, keyVals))
+				grp := groups[key]
+				if grp == nil {
+					if spilling {
+						if err := spillRow(b, i, key); err != nil {
+							return err
+						}
+						ptrs[i] = nil
+						continue
+					}
+					cost := rowBytes(keyVals) + int64(64*len(h.Aggs))
+					if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
+						h.Tracker.NoteSpill()
+						startSpilling()
+						if err := spillRow(b, i, key); err != nil {
+							return err
+						}
+						ptrs[i] = nil
+						continue
+					}
+					h.reserved += cost
+					grp = h.newGroup(keyVals.Clone())
+					groups[key] = grp
+					order = append(order, grp)
+				}
+				ptrs[i] = grp
+			}
+		}
+
+		// Accumulate each aggregate over the batch.
+		for k := range h.Aggs {
+			h.accumulate(k, b, ptrs, argVecs[k])
+		}
+	}
+
+	// Finalize in-memory groups.
+	var results []sqltypes.Row
+	for _, grp := range order {
+		results = append(results, grp.finalize(h.Aggs))
+	}
+
+	// Process spilled partitions: each holds a disjoint subset of the
+	// overflow groups and is aggregated in memory.
+	for _, part := range parts {
+		rows, err := part.readAll()
+		if err != nil {
+			return err
+		}
+		pgroups := make(map[string]*aggGroup)
+		var porder []*aggGroup
+		for _, r := range rows {
+			for c, g := range h.GroupBy {
+				keyVals[c] = r[g]
+			}
+			key := string(exec.EncodeKey(nil, keyVals))
+			grp := pgroups[key]
+			if grp == nil {
+				grp = h.newGroup(keyVals.Clone())
+				pgroups[key] = grp
+				porder = append(porder, grp)
+			}
+			grp.add(h.Aggs, r)
+		}
+		for _, grp := range porder {
+			results = append(results, grp.finalize(h.Aggs))
+		}
+	}
+
+	h.out = &Values{Rows: results, Sch: h.schema}
+	return h.out.Open()
+}
+
+// accumulate folds one aggregate over a batch, vectorized where the state
+// kind allows; NULL rows and spilled rows (nil group pointers) are skipped.
+func (h *HashAgg) accumulate(k int, b *vector.Batch, ptrs []*aggGroup, argVec *vector.Vector) {
+	spec := &h.Aggs[k]
+	n := b.NumRows()
+	if spec.Kind == exec.CountStar {
+		for _, g := range ptrs {
+			if g != nil {
+				g.states[k].count++
+			}
+		}
+		return
+	}
+	spec.Arg.EvalVec(b, argVec)
+
+	if spec.Distinct {
+		for i := 0; i < n; i++ {
+			g := ptrs[i]
+			if g == nil || argVec.IsNull(i) {
+				continue
+			}
+			st := &g.states[k]
+			v := argVec.Value(i)
+			key := string(exec.EncodeKey(nil, []sqltypes.Value{v}))
+			if st.distinct[key] {
+				continue
+			}
+			st.distinct[key] = true
+			st.count++
+			st.add(spec.Kind, v)
+		}
+		return
+	}
+
+	switch {
+	case (spec.Kind == exec.Sum || spec.Kind == exec.Avg) && argVec.Typ != sqltypes.Float64 && argVec.Typ != sqltypes.String:
+		vals := argVec.I64[:n]
+		if argVec.HasNulls() {
+			for i, g := range ptrs {
+				if g == nil || argVec.Nulls.Get(i) {
+					continue
+				}
+				st := &g.states[k]
+				st.count++
+				st.sumI += vals[i]
+				st.sumF += float64(vals[i])
+			}
+		} else {
+			for i, g := range ptrs {
+				if g == nil {
+					continue
+				}
+				st := &g.states[k]
+				st.count++
+				st.sumI += vals[i]
+				st.sumF += float64(vals[i])
+			}
+		}
+	case (spec.Kind == exec.Sum || spec.Kind == exec.Avg) && argVec.Typ == sqltypes.Float64:
+		vals := argVec.F64[:n]
+		for i, g := range ptrs {
+			if g == nil || argVec.IsNull(i) {
+				continue
+			}
+			st := &g.states[k]
+			st.count++
+			st.sumF += vals[i]
+		}
+	default: // Min, Max, Count over any type
+		for i, g := range ptrs {
+			if g == nil || argVec.IsNull(i) {
+				continue
+			}
+			st := &g.states[k]
+			st.count++
+			st.add(spec.Kind, argVec.Value(i))
+		}
+	}
+}
+
+// add folds one non-NULL value into the state for Min/Max/Count (Sum/Avg use
+// the vectorized loops; callers have already bumped count except for Min/Max
+// paths that share this helper).
+func (st *aggAcc) add(kind exec.AggKind, v sqltypes.Value) {
+	switch kind {
+	case exec.Sum, exec.Avg:
+		st.sumI += v.I
+		st.sumF += v.AsFloat()
+	case exec.Min:
+		if !st.seen || sqltypes.Compare(v, st.min) < 0 {
+			st.min = v
+		}
+	case exec.Max:
+		if !st.seen || sqltypes.Compare(v, st.max) > 0 {
+			st.max = v
+		}
+	}
+	st.seen = true
+}
+
+func hashString(s string) uint64 {
+	var acc uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		acc = (acc ^ uint64(s[i])) * 1099511628211
+	}
+	return acc
+}
+
+// Next implements Operator.
+func (h *HashAgg) Next() (*vector.Batch, error) { return h.out.Next() }
+
+// Close implements Operator.
+func (h *HashAgg) Close() error {
+	h.Tracker.Release(h.reserved)
+	h.reserved = 0
+	h.out = nil
+	return nil
+}

@@ -1,0 +1,624 @@
+package batchexec
+
+import (
+	"fmt"
+
+	"apollo/internal/bloom"
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+	"apollo/internal/vector"
+)
+
+// BloomTarget is the handle through which a hash-join build publishes its
+// bitmap (Bloom) filter to a downstream scan. The planner creates one target,
+// hands it to both the join (producer) and the probe-side scan (consumer);
+// because the build completes before the probe opens, the scan always sees
+// either nil (no filtering) or the finished filter.
+type BloomTarget struct {
+	F *bloom.Filter
+}
+
+// HashJoin is the batch-mode hash join supporting the full repertoire of §5:
+// inner, left/right/full outer, left semi, and left anti. Join keys are
+// column indexes on each side (the planner projects expression keys into
+// columns first). Output layout: probe columns ++ build columns, except
+// semi/anti which emit probe columns only.
+//
+// When a memory Tracker is set and the build side exceeds its grant, the join
+// switches to a grace hash join: both sides are hash-partitioned to spill
+// files and partitions are joined one at a time.
+type HashJoin struct {
+	Probe, Build Operator
+	ProbeKeys    []int
+	BuildKeys    []int
+	Type         exec.JoinType
+	Residual     expr.Expr // over probe++build layout; may be nil
+
+	// BloomOut, when non-nil, receives a filter over the first build key
+	// after the build phase (single-key joins only).
+	BloomOut *BloomTarget
+
+	// Tracker and SpillStore enable spilling; nil Tracker = unlimited grant.
+	Tracker    *Tracker
+	SpillStore *storage.Store
+
+	schema  *sqltypes.Schema
+	core    *joinCore
+	pending []*vector.Batch
+	state   int // 0 probing, 1 unmatched-build, 2 done
+
+	// Spill mode.
+	spilled       bool
+	partBuild     []*spillPartition
+	partProbe     []*spillPartition
+	partIdx       int
+	partProbeRows []sqltypes.Row
+	partProbePos  int
+	reservedBytes int64
+}
+
+// NewHashJoin constructs a batch hash join.
+func NewHashJoin(probe, build Operator, probeKeys, buildKeys []int, jt exec.JoinType, residual expr.Expr) (*HashJoin, error) {
+	if len(probeKeys) != len(buildKeys) || len(probeKeys) == 0 {
+		return nil, fmt.Errorf("batchexec: join needs matching non-empty key lists")
+	}
+	h := &HashJoin{Probe: probe, Build: build, ProbeKeys: probeKeys, BuildKeys: buildKeys, Type: jt, Residual: residual}
+	switch jt {
+	case exec.LeftSemi, exec.LeftAnti:
+		h.schema = probe.Schema()
+	default:
+		h.schema = probe.Schema().Concat(build.Schema())
+	}
+	return h, nil
+}
+
+// Schema implements Operator.
+func (h *HashJoin) Schema() *sqltypes.Schema { return h.schema }
+
+// Open implements Operator: drains the build side, publishes the bitmap
+// filter, then opens the probe side.
+func (h *HashJoin) Open() error {
+	h.pending = nil
+	h.state = 0
+	h.spilled = false
+	h.partIdx = -1
+
+	buildRows, overflow, err := h.drainBuild()
+	if err != nil {
+		return err
+	}
+
+	if overflow {
+		if err := h.enterSpillMode(buildRows); err != nil {
+			return err
+		}
+		return nil // probe drained inside enterSpillMode
+	}
+
+	h.core = newJoinCore(h, buildRows)
+	h.publishBloom(buildRows)
+	return h.Probe.Open()
+}
+
+// drainBuild consumes the build input, stopping early (overflow=true) only in
+// accounting terms — all rows are always returned; overflow indicates the
+// grant was exceeded.
+func (h *HashJoin) drainBuild() ([]sqltypes.Row, bool, error) {
+	if err := h.Build.Open(); err != nil {
+		return nil, false, err
+	}
+	defer h.Build.Close()
+	var rows []sqltypes.Row
+	overflow := false
+	for {
+		b, err := h.Build.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return rows, overflow, nil
+		}
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			n := rowBytes(row)
+			if !overflow && !h.Tracker.TryReserve(n) {
+				overflow = h.SpillStore != nil
+				if overflow {
+					h.Tracker.NoteSpill()
+				}
+			}
+			if !overflow {
+				h.reservedBytes += n
+			}
+			rows = append(rows, row)
+		}
+	}
+}
+
+func (h *HashJoin) publishBloom(buildRows []sqltypes.Row) {
+	if h.BloomOut == nil || len(h.BuildKeys) != 1 {
+		return
+	}
+	f := bloom.New(len(buildRows), bloom.DefaultBitsPerKey)
+	k := h.BuildKeys[0]
+	for _, r := range buildRows {
+		if !r[k].Null {
+			f.Add(r[k])
+		}
+	}
+	h.BloomOut.F = f
+}
+
+// Close implements Operator.
+func (h *HashJoin) Close() error {
+	h.Tracker.Release(h.reservedBytes)
+	h.reservedBytes = 0
+	h.core = nil
+	for _, p := range h.partBuild {
+		if p != nil {
+			p.drop()
+		}
+	}
+	for _, p := range h.partProbe {
+		if p != nil {
+			p.drop()
+		}
+	}
+	h.partBuild, h.partProbe = nil, nil
+	if !h.spilled {
+		return h.Probe.Close()
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashJoin) Next() (*vector.Batch, error) {
+	for {
+		if len(h.pending) > 0 {
+			b := h.pending[0]
+			h.pending = h.pending[1:]
+			return b, nil
+		}
+		if h.spilled {
+			b, err := h.nextSpilled()
+			if err != nil || b != nil {
+				return b, err
+			}
+			return nil, nil
+		}
+		switch h.state {
+		case 0:
+			b, err := h.Probe.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				h.state = 1
+				continue
+			}
+			h.pending = h.core.probeBatch(b)
+		case 1:
+			h.state = 2
+			h.pending = h.core.unmatchedBuild()
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// --- In-memory join core ---
+
+// joinCore joins a fixed build row set against streamed probe batches. The
+// build side is also materialized column-wise so join output is assembled
+// with typed gather loops instead of per-row value copies.
+type joinCore struct {
+	h         *HashJoin
+	buildRows []sqltypes.Row
+	buildCols []*vector.Vector
+	matched   []bool
+	// Fast path: single int64-family key.
+	htInt map[int64][]int32
+	// General path: encoded multi-column keys.
+	htGen  map[string][]int32
+	keyBuf []byte
+}
+
+func newJoinCore(h *HashJoin, buildRows []sqltypes.Row) *joinCore {
+	c := &joinCore{h: h, buildRows: buildRows, matched: make([]bool, len(buildRows))}
+	bs := h.Build.Schema()
+	c.buildCols = make([]*vector.Vector, bs.Len())
+	for ci, col := range bs.Cols {
+		v := vector.NewVector(col.Typ, len(buildRows))
+		for i, r := range buildRows {
+			v.SetValue(i, r[ci])
+		}
+		c.buildCols[ci] = v
+	}
+	if c.fastKey() {
+		c.htInt = make(map[int64][]int32, len(buildRows))
+		k := h.BuildKeys[0]
+		for i, r := range buildRows {
+			v := r[k]
+			if v.Null {
+				continue
+			}
+			c.htInt[keyInt(v)] = append(c.htInt[keyInt(v)], int32(i))
+		}
+		return c
+	}
+	c.htGen = make(map[string][]int32, len(buildRows))
+	keyVals := make([]sqltypes.Value, len(h.BuildKeys))
+	for i, r := range buildRows {
+		null := false
+		for j, k := range h.BuildKeys {
+			keyVals[j] = r[k]
+			null = null || r[k].Null
+		}
+		if null {
+			continue
+		}
+		key := string(exec.EncodeKey(c.keyBuf[:0], keyVals))
+		c.htGen[key] = append(c.htGen[key], int32(i))
+	}
+	return c
+}
+
+// fastKey reports whether the single join key is int64-family on both sides.
+func (c *joinCore) fastKey() bool {
+	h := c.h
+	if len(h.BuildKeys) != 1 {
+		return false
+	}
+	bt := h.Build.Schema().Cols[h.BuildKeys[0]].Typ
+	pt := h.Probe.Schema().Cols[h.ProbeKeys[0]].Typ
+	intFamily := func(t sqltypes.Type) bool {
+		return t == sqltypes.Int64 || t == sqltypes.Date || t == sqltypes.Bool
+	}
+	return intFamily(bt) && intFamily(pt)
+}
+
+func keyInt(v sqltypes.Value) int64 { return v.I }
+
+// lookup returns build row candidates for probe row values.
+func (c *joinCore) lookup(keyVals []sqltypes.Value) []int32 {
+	if c.htInt != nil {
+		return c.htInt[keyInt(keyVals[0])]
+	}
+	return c.htGen[string(exec.EncodeKey(c.keyBuf[:0], keyVals))]
+}
+
+// probeBatch joins one probe batch, returning zero or more output batches.
+func (c *joinCore) probeBatch(b *vector.Batch) []*vector.Batch {
+	h := c.h
+	b.Compact()
+	n := b.NumRows()
+	if n == 0 {
+		return nil
+	}
+
+	probeWidth := h.Probe.Schema().Len()
+	keyVals := make([]sqltypes.Value, len(h.ProbeKeys))
+	joined := make(sqltypes.Row, probeWidth+h.Build.Schema().Len())
+
+	switch h.Type {
+	case exec.LeftSemi, exec.LeftAnti:
+		sel := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			null := false
+			for j, k := range h.ProbeKeys {
+				keyVals[j] = b.Vecs[k].Value(i)
+				null = null || keyVals[j].Null
+			}
+			found := false
+			if !null {
+				for _, bi := range c.lookup(keyVals) {
+					if c.residualOK(b, i, c.buildRows[bi], joined, probeWidth) {
+						found = true
+						break
+					}
+				}
+			}
+			if found == (h.Type == exec.LeftSemi) {
+				sel = append(sel, i)
+			}
+		}
+		if len(sel) == 0 {
+			return nil
+		}
+		b.Sel = sel
+		return []*vector.Batch{b}
+	}
+
+	// Inner/outer joins: collect matching (probe, build) pairs, then gather
+	// them into output batches column by column.
+	var probeIdx, buildIdx []int32 // buildIdx -1 = null-extended
+	if c.htInt != nil && !b.Vecs[h.ProbeKeys[0]].HasNulls() && h.Residual == nil {
+		// Hot path: single non-null int key, no residual.
+		keys := b.Vecs[h.ProbeKeys[0]].I64[:n]
+		leftOuter := h.Type == exec.LeftOuter || h.Type == exec.FullOuter
+		for i, k := range keys {
+			matches := c.htInt[k]
+			if len(matches) == 0 {
+				if leftOuter {
+					probeIdx = append(probeIdx, int32(i))
+					buildIdx = append(buildIdx, -1)
+				}
+				continue
+			}
+			for _, bi := range matches {
+				c.matched[bi] = true
+				probeIdx = append(probeIdx, int32(i))
+				buildIdx = append(buildIdx, bi)
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			null := false
+			for j, k := range h.ProbeKeys {
+				keyVals[j] = b.Vecs[k].Value(i)
+				null = null || keyVals[j].Null
+			}
+			matched := false
+			if !null {
+				for _, bi := range c.lookup(keyVals) {
+					if c.residualOK(b, i, c.buildRows[bi], joined, probeWidth) {
+						matched = true
+						c.matched[bi] = true
+						probeIdx = append(probeIdx, int32(i))
+						buildIdx = append(buildIdx, bi)
+					}
+				}
+			}
+			if !matched && (h.Type == exec.LeftOuter || h.Type == exec.FullOuter) {
+				probeIdx = append(probeIdx, int32(i))
+				buildIdx = append(buildIdx, -1)
+			}
+		}
+	}
+
+	var outs []*vector.Batch
+	for start := 0; start < len(probeIdx); start += vector.DefaultBatchSize {
+		end := start + vector.DefaultBatchSize
+		if end > len(probeIdx) {
+			end = len(probeIdx)
+		}
+		outs = append(outs, c.gather(b, probeIdx[start:end], buildIdx[start:end], probeWidth))
+	}
+	return outs
+}
+
+// gather assembles one output batch from (probe, build) index pairs using
+// typed per-column loops.
+func (c *joinCore) gather(b *vector.Batch, probeIdx, buildIdx []int32, probeWidth int) *vector.Batch {
+	h := c.h
+	m := len(probeIdx)
+	out := vector.NewBatch(h.schema, m)
+	out.SetNumRows(m)
+	for ci := 0; ci < probeWidth; ci++ {
+		gatherVec(out.Vecs[ci], b.Vecs[ci], probeIdx)
+	}
+	for ci, src := range c.buildCols {
+		dst := out.Vecs[probeWidth+ci]
+		gatherVec(dst, src, buildIdx)
+		for i, bi := range buildIdx {
+			if bi < 0 {
+				dst.SetNull(i)
+			}
+		}
+	}
+	return out
+}
+
+// gatherVec copies src rows at idxs into dst (negative indexes are left for
+// the caller to null out).
+func gatherVec(dst, src *vector.Vector, idxs []int32) {
+	switch dst.Typ {
+	case sqltypes.Float64:
+		d := dst.F64[:len(idxs)]
+		for i, j := range idxs {
+			if j >= 0 {
+				d[i] = src.F64[j]
+			}
+		}
+	case sqltypes.String:
+		d := dst.Str[:len(idxs)]
+		for i, j := range idxs {
+			if j >= 0 {
+				d[i] = src.Str[j]
+			}
+		}
+	default:
+		d := dst.I64[:len(idxs)]
+		for i, j := range idxs {
+			if j >= 0 {
+				d[i] = src.I64[j]
+			}
+		}
+	}
+	if src.Nulls != nil {
+		for i, j := range idxs {
+			if j >= 0 && src.Nulls.Get(int(j)) {
+				dst.SetNull(i)
+			}
+		}
+	}
+}
+
+func (c *joinCore) residualOK(b *vector.Batch, probeIdx int, build sqltypes.Row, joined sqltypes.Row, probeWidth int) bool {
+	if c.h.Residual == nil {
+		return true
+	}
+	for ci := 0; ci < probeWidth; ci++ {
+		joined[ci] = b.Vecs[ci].Value(probeIdx)
+	}
+	copy(joined[probeWidth:], build)
+	v := c.h.Residual.Eval(joined)
+	return !v.Null && v.I != 0
+}
+
+// unmatchedBuild emits null-extended build rows for right/full outer joins.
+func (c *joinCore) unmatchedBuild() []*vector.Batch {
+	h := c.h
+	if h.Type != exec.RightOuter && h.Type != exec.FullOuter {
+		return nil
+	}
+	probeWidth := h.Probe.Schema().Len()
+	var outs []*vector.Batch
+	out := vector.NewBatch(h.schema, vector.DefaultBatchSize)
+	outRows := 0
+	for bi, m := range c.matched {
+		if m {
+			continue
+		}
+		if outRows == 0 {
+			out.SetNumRows(vector.DefaultBatchSize)
+		}
+		for ci := 0; ci < probeWidth; ci++ {
+			out.Vecs[ci].SetNull(outRows)
+		}
+		for ci, v := range c.buildRows[bi] {
+			out.Vecs[probeWidth+ci].SetValue(outRows, v)
+		}
+		outRows++
+		if outRows == vector.DefaultBatchSize {
+			out.SetRowCountNoReset(outRows)
+			outs = append(outs, out)
+			out = vector.NewBatch(h.schema, vector.DefaultBatchSize)
+			outRows = 0
+		}
+	}
+	if outRows > 0 {
+		out.SetRowCountNoReset(outRows)
+		outs = append(outs, out)
+	}
+	return outs
+}
+
+// --- Grace (spilling) mode ---
+
+const spillPartitions = 8
+
+// enterSpillMode partitions build rows and the entire probe input to spill
+// files, then joins partition pairs one at a time.
+func (h *HashJoin) enterSpillMode(buildRows []sqltypes.Row) error {
+	h.spilled = true
+	h.Tracker.Release(h.reservedBytes)
+	h.reservedBytes = 0
+
+	h.partBuild = make([]*spillPartition, spillPartitions)
+	h.partProbe = make([]*spillPartition, spillPartitions)
+	for i := range h.partBuild {
+		h.partBuild[i] = newSpillPartition(h.SpillStore, h.Build.Schema())
+		h.partProbe[i] = newSpillPartition(h.SpillStore, h.Probe.Schema())
+	}
+
+	for _, r := range buildRows {
+		p := h.partitionOf(r, h.BuildKeys)
+		if err := h.partBuild[p].add(r); err != nil {
+			return err
+		}
+	}
+	h.publishBloom(buildRows)
+
+	if err := h.Probe.Open(); err != nil {
+		return err
+	}
+	defer h.Probe.Close()
+	for {
+		b, err := h.Probe.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			r := b.Row(i)
+			p := h.partitionOf(r, h.ProbeKeys)
+			if err := h.partProbe[p].add(r); err != nil {
+				return err
+			}
+		}
+	}
+	h.partIdx = -1
+	return nil
+}
+
+// partitionOf assigns a row to a spill partition by key hash; NULL keys land
+// in partition 0 (they never match, but outer joins still emit them).
+func (h *HashJoin) partitionOf(r sqltypes.Row, keys []int) int {
+	var acc uint64 = 14695981039346656037
+	for _, k := range keys {
+		if r[k].Null {
+			return 0
+		}
+		acc = (acc ^ sqltypes.Hash(r[k])) * 1099511628211
+	}
+	// Use high bits: low bits fed the in-memory hash table.
+	return int(acc>>57) % spillPartitions
+}
+
+// nextSpilled advances through partition pairs.
+func (h *HashJoin) nextSpilled() (*vector.Batch, error) {
+	for {
+		// Emit probe batches of the current partition.
+		if h.partIdx >= 0 && h.partIdx < spillPartitions {
+			if h.partProbePos < len(h.partProbeRows) {
+				n := len(h.partProbeRows) - h.partProbePos
+				if n > vector.DefaultBatchSize {
+					n = vector.DefaultBatchSize
+				}
+				rows := h.partProbeRows[h.partProbePos : h.partProbePos+n]
+				h.partProbePos += n
+				b := rowsToBatch(h.Probe.Schema(), rows)
+				h.pending = h.core.probeBatch(b)
+				if len(h.pending) > 0 {
+					out := h.pending[0]
+					h.pending = h.pending[1:]
+					return out, nil
+				}
+				continue
+			}
+			// Partition probe exhausted: unmatched build rows, then advance.
+			if h.core != nil {
+				h.pending = h.core.unmatchedBuild()
+				h.core = nil
+				h.partProbeRows = nil
+				if len(h.pending) > 0 {
+					out := h.pending[0]
+					h.pending = h.pending[1:]
+					return out, nil
+				}
+			}
+		}
+		h.partIdx++
+		if h.partIdx >= spillPartitions {
+			return nil, nil
+		}
+		buildRows, err := h.partBuild[h.partIdx].readAll()
+		if err != nil {
+			return nil, err
+		}
+		probeRows, err := h.partProbe[h.partIdx].readAll()
+		if err != nil {
+			return nil, err
+		}
+		h.core = newJoinCore(h, buildRows)
+		h.partProbeRows = probeRows
+		h.partProbePos = 0
+	}
+}
+
+// rowsToBatch materializes rows into one batch.
+func rowsToBatch(schema *sqltypes.Schema, rows []sqltypes.Row) *vector.Batch {
+	b := vector.NewBatch(schema, len(rows))
+	b.SetNumRows(len(rows))
+	for i, r := range rows {
+		for c := range b.Vecs {
+			b.Vecs[c].SetValue(i, r[c])
+		}
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package batchexec
+
+import (
+	"math/rand"
+	"testing"
+
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+)
+
+// Property: for random range predicates, a scan with encoded-domain pushdown
+// produces exactly the rows a residual-only scan produces — pushdown is a
+// pure optimization, never a semantic change.
+func TestQuickPushdownEquivalence(t *testing.T) {
+	rows := makeRows(4000, 99)
+	tb := loadTable(t, rows)
+	rng := rand.New(rand.NewSource(123))
+
+	for trial := 0; trial < 40; trial++ {
+		// Random closed range on a random pushable column.
+		col := []int{0, 1, 4}[rng.Intn(3)] // id, grp, d — integer-family
+		typ := testSchema().Cols[col].Typ
+		var lo, hi sqltypes.Value
+		switch col {
+		case 0:
+			a, b := int64(rng.Intn(4000)), int64(rng.Intn(4000))
+			if a > b {
+				a, b = b, a
+			}
+			lo, hi = sqltypes.Value{Typ: typ, I: a}, sqltypes.Value{Typ: typ, I: b}
+		case 1:
+			a, b := int64(rng.Intn(50)), int64(rng.Intn(50))
+			if a > b {
+				a, b = b, a
+			}
+			lo, hi = sqltypes.Value{Typ: typ, I: a}, sqltypes.Value{Typ: typ, I: b}
+		default:
+			a, b := int64(9000+rng.Intn(1000)), int64(9000+rng.Intn(1000))
+			if a > b {
+				a, b = b, a
+			}
+			lo, hi = sqltypes.Value{Typ: typ, I: a}, sqltypes.Value{Typ: typ, I: b}
+		}
+		// Unbounded sides sometimes.
+		if rng.Intn(4) == 0 {
+			lo = sqltypes.NewNull(typ)
+		}
+		if rng.Intn(4) == 0 {
+			hi = sqltypes.NewNull(typ)
+		}
+
+		cols := []int{0, col}
+		if col == 0 {
+			cols = []int{0}
+		}
+
+		pushed := NewScan(tb.Snapshot(), cols)
+		pushed.Pushdowns = []Pushdown{{Col: col, Lo: lo, Hi: hi}}
+
+		// Residual-only equivalent (bound to scan output positions).
+		outPos := 0
+		for i, c := range cols {
+			if c == col {
+				outPos = i
+			}
+		}
+		ref := expr.NewColRef(outPos, "c", typ)
+		var conj []expr.Expr
+		if !lo.Null {
+			conj = append(conj, expr.NewCmp(expr.GE, ref, expr.NewConst(lo)))
+		}
+		if !hi.Null {
+			conj = append(conj, expr.NewCmp(expr.LE, ref, expr.NewConst(hi)))
+		}
+		plain := NewScan(tb.Snapshot(), cols)
+		if len(conj) == 1 {
+			plain.Residual = conj[0]
+		} else if len(conj) == 2 {
+			plain.Residual = expr.NewAnd(conj...)
+		}
+
+		a := gotRows(t, pushed)
+		b := gotRows(t, plain)
+		if !mapsEqual(a, b) {
+			t.Fatalf("trial %d: pushdown [%v..%v] on col %d diverged: %d vs %d distinct keys",
+				trial, lo, hi, col, len(a), len(b))
+		}
+	}
+}
+
+// Property: string equality pushdown (dictionary code lookup) matches the
+// residual evaluation, including values absent from the dictionary.
+func TestQuickStringPushdownEquivalence(t *testing.T) {
+	rows := makeRows(3000, 101)
+	tb := loadTable(t, rows)
+	candidates := append(append([]string{}, regions...), "atlantis", "", "n")
+	for _, s := range candidates {
+		v := sqltypes.NewString(s)
+		pushed := NewScan(tb.Snapshot(), []int{0, 3})
+		pushed.Pushdowns = []Pushdown{{Col: 3, Lo: v, Hi: v}}
+		plain := NewScan(tb.Snapshot(), []int{0, 3})
+		plain.Residual = expr.NewCmp(expr.EQ, expr.NewColRef(1, "region", sqltypes.String), expr.NewConst(v))
+		if !mapsEqual(gotRows(t, pushed), gotRows(t, plain)) {
+			t.Fatalf("string pushdown diverged for %q", s)
+		}
+	}
+}
+
+// Property: the scan's delete-bitmap masking plus pushdowns never resurrect
+// a deleted row and never lose a live one, under random delete patterns.
+func TestQuickDeletesUnderPushdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := makeRows(2000, 103)
+	tb := loadTable(t, rows) // loadTable already deletes id%20==13
+	// Random extra deletes.
+	deleted := map[int64]bool{}
+	for _, r := range rows {
+		if r[0].I%20 == 13 {
+			deleted[r[0].I] = true
+		}
+	}
+	tb.DeleteWhere(func(r sqltypes.Row) bool {
+		if rng.Intn(10) == 0 && !deleted[r[0].I] {
+			deleted[r[0].I] = true
+			return true
+		}
+		return false
+	})
+
+	scan := NewScan(tb.Snapshot(), []int{0})
+	scan.Pushdowns = []Pushdown{{Col: 0, Lo: sqltypes.NewInt(100), Hi: sqltypes.NewInt(1500)}}
+	seen := map[int64]bool{}
+	rowsOut, err := Drain(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rowsOut {
+		id := r[0].I
+		if deleted[id] {
+			t.Fatalf("deleted row %d resurrected", id)
+		}
+		if id < 100 || id > 1500 {
+			t.Fatalf("out-of-range row %d", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate row %d", id)
+		}
+		seen[id] = true
+	}
+	want := 0
+	for _, r := range rows {
+		if !deleted[r[0].I] && r[0].I >= 100 && r[0].I <= 1500 {
+			want++
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("rows = %d, want %d", len(seen), want)
+	}
+}
+
+// Property: dictionary-predicate pushdown (LIKE, IN, <>) matches residual
+// evaluation exactly, including NULL handling.
+func TestQuickDictPredEquivalence(t *testing.T) {
+	rows := makeRows(3000, 107)
+	tb := loadTable(t, rows)
+	preds := []expr.Expr{
+		expr.NewLike(expr.NewColRef(0, "region", sqltypes.String), "%th", false),
+		expr.NewLike(expr.NewColRef(0, "region", sqltypes.String), "n%", true),
+		expr.NewInList(expr.NewColRef(0, "region", sqltypes.String),
+			[]sqltypes.Value{sqltypes.NewString("east"), sqltypes.NewString("west")}),
+		expr.NewCmp(expr.NE, expr.NewColRef(0, "region", sqltypes.String), expr.NewConst(sqltypes.NewString("south"))),
+		expr.NewOr(
+			expr.NewCmp(expr.EQ, expr.NewColRef(0, "region", sqltypes.String), expr.NewConst(sqltypes.NewString("north"))),
+			expr.NewLike(expr.NewColRef(0, "region", sqltypes.String), "%st", false)),
+	}
+	for pi, pred := range preds {
+		pushed := NewScan(tb.Snapshot(), []int{0, 3})
+		pushed.DictPreds = []DictPred{{Col: 3, Pred: expr.Remap(pred, map[int]int{0: 0})}}
+		plain := NewScan(tb.Snapshot(), []int{0, 3})
+		plain.Residual = expr.Remap(pred, map[int]int{0: 1})
+		a, b := gotRows(t, pushed), gotRows(t, plain)
+		if !mapsEqual(a, b) {
+			t.Fatalf("pred %d diverged: %d vs %d keys", pi, len(a), len(b))
+		}
+		// The dict path must have filtered before materialization.
+		if pushed.Stats.RowsAfterRange >= pushed.Stats.RowsConsidered && len(a) < 2000 {
+			t.Fatalf("pred %d: no encoded-domain narrowing", pi)
+		}
+	}
+}

@@ -1,0 +1,557 @@
+package batchexec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"apollo/internal/bits"
+	"apollo/internal/bloom"
+	"apollo/internal/colstore"
+	"apollo/internal/encoding"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+	"apollo/internal/table"
+	"apollo/internal/vector"
+)
+
+// Pushdown is an exact, closed-interval range predicate on one table column
+// that the scan evaluates on encoded data: numeric encodings translate the
+// bounds into code space, dictionary encodings into a matching-code set.
+// NULL bounds are unbounded on that side. Rows with NULL in the column never
+// qualify (SQL range semantics).
+type Pushdown struct {
+	Col    int
+	Lo, Hi sqltypes.Value
+}
+
+// DictPred is an arbitrary single-column predicate on a string column,
+// evaluated on compressed data: for dictionary-encoded segments the
+// predicate runs once per distinct dictionary entry (LIKE, IN, <>, ... in
+// O(|dictionary|) instead of O(rows)). Pred is bound to a one-column row
+// holding the value. The planner only pushes predicates that are not true
+// on NULL input, since encoded evaluation skips NULL rows.
+type DictPred struct {
+	Col  int
+	Pred expr.Expr
+}
+
+// BloomPred applies a join bitmap filter to a table column during the scan
+// (§5's bitmap pushdown). The Target is filled by the hash-join build before
+// the probe side (this scan) opens; a nil filter means no filtering.
+type BloomPred struct {
+	Col    int
+	Target *BloomTarget
+}
+
+// ScanStats counts the scan's segment-elimination and pushdown effects.
+// Fields are updated atomically (parallel scans share one instance).
+type ScanStats struct {
+	Groups           int64 // row groups considered
+	GroupsEliminated int64 // skipped entirely via segment metadata
+	SegmentsOpened   int64
+	RowsConsidered   int64 // rows in non-eliminated groups
+	RowsAfterRange   int64 // rows surviving encoded-domain range pushdown
+	RowsAfterBloom   int64 // rows surviving bitmap filters
+	RowsOutput       int64 // rows surviving the residual predicate
+	DeltaRows        int64 // delta-store rows examined (row-mode side)
+}
+
+// Scan is the batch-mode columnstore scan. It produces the table columns
+// listed in Cols (in that order); Residual is bound to those output
+// positions. Compressed row groups flow through segment elimination, encoded
+// pushdown, delete-bitmap filtering, bitmap (Bloom) filters, and residual
+// filtering; delta-store rows take the row-at-a-time path with the same
+// predicates, matching the paper's mixed-mode scanning of updatable tables.
+type Scan struct {
+	Snap      *table.Snapshot
+	Cols      []int
+	Pushdowns []Pushdown
+	DictPreds []DictPred
+	Residual  expr.Expr
+	Blooms    []BloomPred
+	Stats     *ScanStats
+	Parallel  int // >1 enables a parallel gather exchange over row groups
+
+	schema *sqltypes.Schema
+
+	// Serial iteration state.
+	gi     int
+	cur    *groupCursor
+	deltaI int
+
+	// Parallel state.
+	ch      chan *vector.Batch
+	errOnce sync.Once
+	err     error
+	wg      sync.WaitGroup
+	cancel  chan struct{}
+}
+
+// NewScan constructs a scan producing the given table columns.
+func NewScan(snap *table.Snapshot, cols []int) *Scan {
+	return &Scan{Snap: snap, Cols: cols, schema: snap.Schema.Project(cols)}
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() *sqltypes.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *Scan) Open() error {
+	s.gi, s.deltaI = 0, 0
+	s.cur = nil
+	if s.Stats == nil {
+		s.Stats = &ScanStats{}
+	}
+	if s.Parallel > 1 {
+		s.startParallel()
+	}
+	return nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error {
+	if s.cancel != nil {
+		close(s.cancel)
+		// Drain so workers unblock and exit.
+		for range s.ch {
+		}
+		s.wg.Wait()
+		s.cancel = nil
+		s.ch = nil
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (*vector.Batch, error) {
+	if s.Parallel > 1 {
+		b, ok := <-s.ch
+		if !ok {
+			return nil, s.err
+		}
+		return b, nil
+	}
+	for {
+		if s.cur != nil {
+			if b := s.cur.nextBatch(); b != nil {
+				return b, nil
+			}
+			s.cur = nil
+		}
+		if s.gi < len(s.Snap.Groups) {
+			g := s.Snap.Groups[s.gi]
+			s.gi++
+			cur, err := s.openGroup(g)
+			if err != nil {
+				return nil, err
+			}
+			s.cur = cur // may be nil (eliminated)
+			continue
+		}
+		// Delta rows.
+		if s.deltaI < len(s.Snap.Delta) {
+			b := s.deltaBatch(&s.deltaI)
+			if b != nil {
+				return b, nil
+			}
+			continue
+		}
+		return nil, nil
+	}
+}
+
+// --- Row-group processing ---
+
+type groupCursor struct {
+	scan    *Scan
+	readers []*colstore.ColumnReader // one per output column
+	qual    []int                    // qualifying physical row indices
+	off     int
+}
+
+// openGroup applies segment elimination and encoded-domain filtering,
+// returning a cursor over qualifying rows, or nil when the group is
+// eliminated or empties out.
+func (s *Scan) openGroup(g *colstore.RowGroup) (*groupCursor, error) {
+	st := s.Stats
+	atomic.AddInt64(&st.Groups, 1)
+
+	// Segment elimination on metadata (§2.3).
+	for _, p := range s.Pushdowns {
+		if !g.Segs[p.Col].CanMatchRange(p.Lo, p.Hi) {
+			atomic.AddInt64(&st.GroupsEliminated, 1)
+			return nil, nil
+		}
+	}
+	atomic.AddInt64(&st.RowsConsidered, int64(g.Rows))
+
+	// Encoded-domain pushdown: narrow a qualifying index list using codes.
+	qual := make([]int, 0, g.Rows)
+	del := s.Snap.Deletes[g.ID]
+	for i := 0; i < g.Rows; i++ {
+		if del == nil || !del.Get(i) {
+			qual = append(qual, i)
+		}
+	}
+
+	openCache := map[int]*colstore.ColumnReader{}
+	open := func(col int) (*colstore.ColumnReader, error) {
+		if r, ok := openCache[col]; ok {
+			return r, nil
+		}
+		r, err := s.Snap.OpenColumn(g, col)
+		if err != nil {
+			return nil, err
+		}
+		atomic.AddInt64(&st.SegmentsOpened, 1)
+		openCache[col] = r
+		return r, nil
+	}
+
+	for _, p := range s.Pushdowns {
+		if len(qual) == 0 {
+			break
+		}
+		r, err := open(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		qual = filterByRange(r, p, qual)
+	}
+	for _, dp := range s.DictPreds {
+		if len(qual) == 0 {
+			break
+		}
+		r, err := open(dp.Col)
+		if err != nil {
+			return nil, err
+		}
+		qual = filterByDictPred(r, dp.Pred, qual)
+	}
+	atomic.AddInt64(&st.RowsAfterRange, int64(len(qual)))
+
+	// Bitmap (Bloom) filters on encoded or decoded values.
+	for _, bp := range s.Blooms {
+		if len(qual) == 0 {
+			break
+		}
+		if bp.Target == nil || bp.Target.F == nil {
+			continue
+		}
+		r, err := open(bp.Col)
+		if err != nil {
+			return nil, err
+		}
+		qual = filterByBloom(r, bp.Target.F, qual)
+	}
+	atomic.AddInt64(&st.RowsAfterBloom, int64(len(qual)))
+
+	if len(qual) == 0 {
+		return nil, nil
+	}
+
+	readers := make([]*colstore.ColumnReader, len(s.Cols))
+	for i, col := range s.Cols {
+		r, err := open(col)
+		if err != nil {
+			return nil, err
+		}
+		readers[i] = r
+	}
+	return &groupCursor{scan: s, readers: readers, qual: qual}, nil
+}
+
+// filterByRange narrows qual to rows whose column value lies in the pushdown
+// range, working in code space when the encoding is order-preserving and on
+// dictionary code sets otherwise. NULLs never qualify.
+func filterByRange(r *colstore.ColumnReader, p Pushdown, qual []int) []int {
+	codes := r.Codes()
+	nulls := r.Nulls()
+	out := qual[:0]
+
+	if cLo, cHi, ok := r.CodeRange(p.Lo, p.Hi); ok {
+		if cLo > cHi {
+			return out // provably empty
+		}
+		if nulls == nil {
+			for _, i := range qual {
+				if c := codes[i]; c >= cLo && c <= cHi {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range qual {
+				if c := codes[i]; c >= cLo && c <= cHi && !nulls.Get(i) {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+
+	if r.Meta.Enc == colstore.EncDict {
+		// Evaluate the range once per dictionary entry (string predicates on
+		// compressed data).
+		set := r.CodeSetMatching(func(v sqltypes.Value) bool {
+			return inRange(v, p.Lo, p.Hi)
+		})
+		return filterByCodeSet(codes, nulls, set, qual)
+	}
+
+	// Fallback: decode and compare (raw-float encodings).
+	for _, i := range qual {
+		if nulls != nil && nulls.Get(i) {
+			continue
+		}
+		if inRange(r.DecodeCode(codes[i]), p.Lo, p.Hi) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// filterByDictPred narrows qual by an arbitrary predicate, evaluated once
+// per dictionary entry for dictionary-encoded segments and per decoded value
+// otherwise. NULL rows never qualify (the planner guarantees the predicate
+// is not true on NULL).
+func filterByDictPred(r *colstore.ColumnReader, pred expr.Expr, qual []int) []int {
+	holds := func(v sqltypes.Value) bool {
+		res := pred.Eval(sqltypes.Row{v})
+		return !res.Null && res.I != 0
+	}
+	codes := r.Codes()
+	nulls := r.Nulls()
+	if r.Meta.Enc == colstore.EncDict {
+		set := r.CodeSetMatching(holds)
+		return filterByCodeSet(codes, nulls, set, qual)
+	}
+	out := qual[:0]
+	for _, i := range qual {
+		if nulls != nil && nulls.Get(i) {
+			continue
+		}
+		if holds(r.DecodeCode(codes[i])) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func inRange(v, lo, hi sqltypes.Value) bool {
+	if !lo.Null && sqltypes.Compare(v, lo) < 0 {
+		return false
+	}
+	if !hi.Null && sqltypes.Compare(v, hi) > 0 {
+		return false
+	}
+	return true
+}
+
+func filterByCodeSet(codes []uint64, nulls *bits.Bitmap, set *bits.Bitmap, qual []int) []int {
+	out := qual[:0]
+	for _, i := range qual {
+		if nulls != nil && nulls.Get(i) {
+			continue
+		}
+		if set.Get(int(codes[i])) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// filterByBloom narrows qual to rows whose column value may be in the filter.
+// Dictionary columns test each distinct dictionary entry once; integer-family
+// columns decode and hash in a tight loop; other columns hash decoded values.
+func filterByBloom(r *colstore.ColumnReader, f *bloom.Filter, qual []int) []int {
+	codes := r.Codes()
+	nulls := r.Nulls()
+	if r.Meta.Enc == colstore.EncDict {
+		set := r.CodeSetMatching(func(v sqltypes.Value) bool { return f.MayContain(v) })
+		return filterByCodeSet(codes, nulls, set, qual)
+	}
+	out := qual[:0]
+	if r.Col.Typ != sqltypes.Float64 && r.Meta.Numeric.Kind != encoding.NumFloatRaw {
+		num := r.Meta.Numeric
+		if nulls == nil {
+			for _, i := range qual {
+				if f.MayContainInt(num.DecodeInt(codes[i])) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		for _, i := range qual {
+			if !nulls.Get(i) && f.MayContainInt(num.DecodeInt(codes[i])) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range qual {
+		if nulls != nil && nulls.Get(i) {
+			continue
+		}
+		if f.MayContain(r.DecodeCode(codes[i])) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// nextBatch materializes the next ≤900 qualifying rows and applies the
+// residual predicate.
+func (c *groupCursor) nextBatch() *vector.Batch {
+	for c.off < len(c.qual) {
+		n := len(c.qual) - c.off
+		if n > vector.DefaultBatchSize {
+			n = vector.DefaultBatchSize
+		}
+		idxs := c.qual[c.off : c.off+n]
+		c.off += n
+
+		b := vector.NewBatch(c.scan.schema, n)
+		b.SetNumRows(n)
+		for i, r := range c.readers {
+			r.GatherInto(b.Vecs[i], idxs)
+		}
+		if c.scan.Residual != nil {
+			expr.ApplyFilter(c.scan.Residual, b)
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		atomic.AddInt64(&c.scan.Stats.RowsOutput, int64(b.Len()))
+		return b
+	}
+	return nil
+}
+
+// --- Delta-store rows (row-mode side of the mixed scan) ---
+
+// deltaBatch fills one batch from snapshot delta rows starting at *pos,
+// applying pushdowns, bitmap filters, and the residual row-at-a-time.
+func (s *Scan) deltaBatch(pos *int) *vector.Batch {
+	rows := s.Snap.Delta
+	picked := make([]sqltypes.Row, 0, vector.DefaultBatchSize)
+	for *pos < len(rows) && len(picked) < vector.DefaultBatchSize {
+		row := rows[*pos]
+		*pos++
+		atomic.AddInt64(&s.Stats.DeltaRows, 1)
+		if s.deltaRowQualifies(row) {
+			picked = append(picked, row)
+		}
+	}
+	if len(picked) == 0 {
+		return nil
+	}
+	b := vector.NewBatch(s.schema, len(picked))
+	b.SetNumRows(len(picked))
+	for i, row := range picked {
+		for c, col := range s.Cols {
+			b.Vecs[c].SetValue(i, row[col])
+		}
+	}
+	atomic.AddInt64(&s.Stats.RowsOutput, int64(len(picked)))
+	return b
+}
+
+func (s *Scan) deltaRowQualifies(row sqltypes.Row) bool {
+	for _, p := range s.Pushdowns {
+		v := row[p.Col]
+		if v.Null || !inRange(v, p.Lo, p.Hi) {
+			return false
+		}
+	}
+	for _, dp := range s.DictPreds {
+		v := row[dp.Col]
+		if v.Null {
+			return false
+		}
+		res := dp.Pred.Eval(sqltypes.Row{v})
+		if res.Null || res.I == 0 {
+			return false
+		}
+	}
+	for _, bp := range s.Blooms {
+		if bp.Target == nil || bp.Target.F == nil {
+			continue
+		}
+		v := row[bp.Col]
+		if v.Null || !bp.Target.F.MayContain(v) {
+			return false
+		}
+	}
+	if s.Residual != nil {
+		// Residual is bound to output positions; build the projected row.
+		proj := make(sqltypes.Row, len(s.Cols))
+		for i, col := range s.Cols {
+			proj[i] = row[col]
+		}
+		v := s.Residual.Eval(proj)
+		if v.Null || v.I == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Parallel gather exchange ---
+
+// startParallel launches workers that process row groups independently and a
+// final worker for delta rows, gathering batches into one channel (§5's
+// exchange operator, gather form).
+func (s *Scan) startParallel() {
+	nw := s.Parallel
+	s.ch = make(chan *vector.Batch, nw)
+	s.cancel = make(chan struct{})
+	groups := s.Snap.Groups
+	var next int64 = -1
+
+	s.wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(worker int) {
+			defer s.wg.Done()
+			for {
+				gi := int(atomic.AddInt64(&next, 1))
+				if gi >= len(groups) {
+					break
+				}
+				cur, err := s.openGroup(groups[gi])
+				if err != nil {
+					s.errOnce.Do(func() { s.err = err })
+					return
+				}
+				if cur == nil {
+					continue
+				}
+				for b := cur.nextBatch(); b != nil; b = cur.nextBatch() {
+					select {
+					case s.ch <- b:
+					case <-s.cancel:
+						return
+					}
+				}
+			}
+			// Worker 0 also handles delta rows after groups are claimed.
+			if worker == 0 {
+				pos := 0
+				for pos < len(s.Snap.Delta) {
+					b := s.deltaBatch(&pos)
+					if b == nil {
+						continue
+					}
+					select {
+					case s.ch <- b:
+					case <-s.cancel:
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.ch)
+	}()
+}

@@ -1,0 +1,297 @@
+package batchexec
+
+import (
+	"container/heap"
+	"sort"
+
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+	"apollo/internal/vector"
+)
+
+// Filter narrows each batch's selection by a predicate. Data does not move;
+// only the qualifying-rows vector shrinks (§5).
+type Filter struct {
+	In   Operator
+	Pred expr.Expr
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *sqltypes.Schema { return f.In.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.In.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*vector.Batch, error) {
+	for {
+		b, err := f.In.Next()
+		if err != nil || b == nil {
+			return b, err
+		}
+		expr.ApplyFilter(f.Pred, b)
+		if b.Len() > 0 {
+			return b, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// Project computes output expressions over each batch. Input batches are
+// compacted first so expressions evaluate only qualifying rows.
+type Project struct {
+	In     Operator
+	Exprs  []expr.Expr
+	Names  []string
+	schema *sqltypes.Schema
+}
+
+// NewProject builds a vectorized projection.
+func NewProject(in Operator, exprs []expr.Expr, names []string) *Project {
+	cols := make([]sqltypes.Column, len(exprs))
+	for i, e := range exprs {
+		cols[i] = sqltypes.Column{Name: names[i], Typ: e.Type(), Nullable: true}
+	}
+	return &Project{In: in, Exprs: exprs, Names: names, schema: sqltypes.NewSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *sqltypes.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.In.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (*vector.Batch, error) {
+	b, err := p.In.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	b.Compact()
+	vecs := make([]*vector.Vector, len(p.Exprs))
+	for i, e := range p.Exprs {
+		// Column references pass through by sharing the vector; other
+		// expressions evaluate into fresh vectors.
+		if cr, ok := e.(*expr.ColRef); ok {
+			vecs[i] = b.Vecs[cr.Idx]
+			continue
+		}
+		v := vector.NewVector(e.Type(), b.NumRows())
+		e.EvalVec(b, v)
+		vecs[i] = v
+	}
+	return batchWithRows(p.schema, vecs, b.NumRows()), nil
+}
+
+// batchWithRows wraps existing vectors into a batch of n rows without
+// touching their null bitmaps.
+func batchWithRows(schema *sqltypes.Schema, vecs []*vector.Vector, n int) *vector.Batch {
+	b := &vector.Batch{Schema: schema, Vecs: vecs}
+	b.SetRowCountNoReset(n)
+	return b
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.In.Close() }
+
+// Limit passes through at most N qualifying rows after skipping Offset.
+type Limit struct {
+	In     Operator
+	Offset int
+	N      int
+	seen   int
+	sent   int
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *sqltypes.Schema { return l.In.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen, l.sent = 0, 0; return l.In.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (*vector.Batch, error) {
+	for {
+		if l.N >= 0 && l.sent >= l.N {
+			return nil, nil
+		}
+		b, err := l.In.Next()
+		if err != nil || b == nil {
+			return b, err
+		}
+		// Trim the selection to honor offset/limit.
+		var sel []int
+		for i := 0; i < b.Len(); i++ {
+			l.seen++
+			if l.seen <= l.Offset {
+				continue
+			}
+			if l.N >= 0 && l.sent >= l.N {
+				break
+			}
+			l.sent++
+			sel = append(sel, b.RowIdx(i))
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		b.Sel = sel
+		return b, nil
+	}
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.In.Close() }
+
+// UnionAll concatenates batch streams with identical schemas — one of the
+// operators the paper calls out as newly supported in batch mode.
+type UnionAll struct {
+	Ins []Operator
+	i   int
+}
+
+// Schema implements Operator.
+func (u *UnionAll) Schema() *sqltypes.Schema { return u.Ins[0].Schema() }
+
+// Open implements Operator.
+func (u *UnionAll) Open() error {
+	u.i = 0
+	for _, in := range u.Ins {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (u *UnionAll) Next() (*vector.Batch, error) {
+	for u.i < len(u.Ins) {
+		b, err := u.Ins[u.i].Next()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		u.i++
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (u *UnionAll) Close() error {
+	var first error
+	for _, in := range u.Ins {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sort materializes, orders, and re-batches its input.
+type Sort struct {
+	In   Operator
+	Keys []exec.SortKey
+	out  *Values
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *sqltypes.Schema { return s.In.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	rows, err := Drain(s.In)
+	if err != nil {
+		return err
+	}
+	sortRows(rows, s.Keys)
+	s.out = &Values{Rows: rows, Sch: s.In.Schema()}
+	return s.out.Open()
+}
+
+func sortRows(rows []sqltypes.Row, keys []exec.SortKey) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		return exec.CompareRows(keys, rows[a], rows[b]) < 0
+	})
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (*vector.Batch, error) { return s.out.Next() }
+
+// Close implements Operator.
+func (s *Sort) Close() error { return nil }
+
+// TopN keeps the N smallest rows under the sort keys using a bounded heap —
+// the batch-mode Top-N sort of §5, avoiding a full sort for ORDER BY+LIMIT.
+type TopN struct {
+	In   Operator
+	Keys []exec.SortKey
+	N    int
+	out  *Values
+}
+
+// Schema implements Operator.
+func (t *TopN) Schema() *sqltypes.Schema { return t.In.Schema() }
+
+type rowHeap struct {
+	rows []sqltypes.Row
+	keys []exec.SortKey
+}
+
+func (h *rowHeap) Len() int { return len(h.rows) }
+func (h *rowHeap) Less(a, b int) bool {
+	// Max-heap on the sort order: the root is the worst row kept.
+	return exec.CompareRows(h.keys, h.rows[a], h.rows[b]) > 0
+}
+func (h *rowHeap) Swap(a, b int) { h.rows[a], h.rows[b] = h.rows[b], h.rows[a] }
+func (h *rowHeap) Push(x any)    { h.rows = append(h.rows, x.(sqltypes.Row)) }
+func (h *rowHeap) Pop() any {
+	x := h.rows[len(h.rows)-1]
+	h.rows = h.rows[:len(h.rows)-1]
+	return x
+}
+
+// Open implements Operator.
+func (t *TopN) Open() error {
+	if err := t.In.Open(); err != nil {
+		return err
+	}
+	defer t.In.Close()
+	h := &rowHeap{keys: t.Keys}
+	for {
+		b, err := t.In.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			if h.Len() < t.N {
+				heap.Push(h, row)
+			} else if t.N > 0 && exec.CompareRows(t.Keys, row, h.rows[0]) < 0 {
+				h.rows[0] = row
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	// Extract in reverse (heap pops worst first).
+	rows := make([]sqltypes.Row, h.Len())
+	for i := len(rows) - 1; i >= 0; i-- {
+		rows[i] = heap.Pop(h).(sqltypes.Row)
+	}
+	t.out = &Values{Rows: rows, Sch: t.In.Schema()}
+	return t.out.Open()
+}
+
+// Next implements Operator.
+func (t *TopN) Next() (*vector.Batch, error) { return t.out.Next() }
+
+// Close implements Operator.
+func (t *TopN) Close() error { return nil }

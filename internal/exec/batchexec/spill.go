@@ -1,0 +1,149 @@
+package batchexec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+)
+
+// Tracker is a memory grant (§5): hash operators reserve against it and spill
+// partitions to the storage substrate when the grant is exhausted, degrading
+// gracefully instead of failing the query.
+type Tracker struct {
+	budget int64 // <= 0 means unlimited
+	used   atomic.Int64
+	spills atomic.Int64
+}
+
+// NewTracker creates a tracker with the given budget in bytes (0 = unlimited).
+func NewTracker(budget int64) *Tracker { return &Tracker{budget: budget} }
+
+// TryReserve reserves n bytes, reporting false when the grant is exceeded.
+func (t *Tracker) TryReserve(n int64) bool {
+	if t == nil || t.budget <= 0 {
+		return true
+	}
+	if t.used.Add(n) > t.budget {
+		t.used.Add(-n)
+		return false
+	}
+	return true
+}
+
+// Release returns n bytes to the grant.
+func (t *Tracker) Release(n int64) {
+	if t != nil && t.budget > 0 {
+		t.used.Add(-n)
+	}
+}
+
+// NoteSpill counts one spill event.
+func (t *Tracker) NoteSpill() {
+	if t != nil {
+		t.spills.Add(1)
+	}
+}
+
+// Spills reports how many partitions were spilled.
+func (t *Tracker) Spills() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.spills.Load()
+}
+
+// Used reports current reserved bytes.
+func (t *Tracker) Used() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.used.Load()
+}
+
+// rowBytes estimates a row's in-memory footprint for grant accounting.
+func rowBytes(row sqltypes.Row) int64 {
+	n := int64(48) // slice + header overhead
+	for _, v := range row {
+		n += 24
+		if v.Typ == sqltypes.String {
+			n += int64(len(v.S))
+		}
+	}
+	return n
+}
+
+// spillPartition accumulates rows destined for one spill file and flushes
+// them to the storage substrate (paying accounted write I/O).
+type spillPartition struct {
+	schema *sqltypes.Schema
+	store  *storage.Store
+	buf    []byte
+	rows   int
+	blobs  []storage.BlobID
+}
+
+const spillChunkBytes = 1 << 20
+
+func newSpillPartition(store *storage.Store, schema *sqltypes.Schema) *spillPartition {
+	return &spillPartition{schema: schema, store: store}
+}
+
+func (p *spillPartition) add(row sqltypes.Row) error {
+	p.buf = sqltypes.EncodeRow(p.buf, p.schema, row)
+	p.rows++
+	if len(p.buf) >= spillChunkBytes {
+		return p.flush()
+	}
+	return nil
+}
+
+func (p *spillPartition) flush() error {
+	if len(p.buf) == 0 {
+		return nil
+	}
+	id, err := p.store.Put(p.buf, storage.None)
+	if err != nil {
+		return fmt.Errorf("batchexec: spill write: %w", err)
+	}
+	p.blobs = append(p.blobs, id)
+	p.buf = p.buf[:0]
+	return nil
+}
+
+// readAll loads the partition's rows back (accounted read I/O) and frees the
+// spill blobs.
+func (p *spillPartition) readAll() ([]sqltypes.Row, error) {
+	if err := p.flush(); err != nil {
+		return nil, err
+	}
+	out := make([]sqltypes.Row, 0, p.rows)
+	for _, id := range p.blobs {
+		data, err := p.store.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("batchexec: spill read: %w", err)
+		}
+		pos := 0
+		for pos < len(data) {
+			row, n, err := sqltypes.DecodeRow(data[pos:], p.schema)
+			if err != nil {
+				return nil, fmt.Errorf("batchexec: spill decode: %w", err)
+			}
+			pos += n
+			out = append(out, row)
+		}
+		p.store.Delete(id)
+	}
+	p.blobs = nil
+	return out, nil
+}
+
+// drop discards the partition's spill blobs without reading them.
+func (p *spillPartition) drop() {
+	for _, id := range p.blobs {
+		p.store.Delete(id)
+	}
+	p.blobs = nil
+	p.buf = nil
+}

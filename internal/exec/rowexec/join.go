@@ -1,0 +1,281 @@
+package rowexec
+
+import (
+	"fmt"
+
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+)
+
+// HashJoin is the row-mode hash join: the build (right) input is read into an
+// in-memory hash table keyed on the join expressions, then the probe (left)
+// input streams through it one row at a time. Output layout is
+// probe-columns ++ build-columns for inner/outer joins and probe-columns only
+// for semi/anti joins.
+type HashJoin struct {
+	Probe, Build   Operator
+	ProbeKeys      []expr.Expr
+	BuildKeys      []expr.Expr
+	Type           exec.JoinType
+	Residual       expr.Expr // optional extra predicate over the joined row
+	schema         *sqltypes.Schema
+	ht             map[string][]int
+	buildRows      []sqltypes.Row
+	buildMatched   []bool
+	pending        []sqltypes.Row
+	emittedUnmatch bool
+	probeRow       sqltypes.Row
+	keyBuf         []byte
+	keyVals        []sqltypes.Value
+	out            sqltypes.Row
+}
+
+// NewHashJoin builds a row-mode hash join.
+func NewHashJoin(probe, build Operator, probeKeys, buildKeys []expr.Expr, jt exec.JoinType, residual expr.Expr) (*HashJoin, error) {
+	if len(probeKeys) != len(buildKeys) || len(probeKeys) == 0 {
+		return nil, fmt.Errorf("rowexec: join needs matching non-empty key lists")
+	}
+	h := &HashJoin{Probe: probe, Build: build, ProbeKeys: probeKeys, BuildKeys: buildKeys, Type: jt, Residual: residual}
+	switch jt {
+	case exec.LeftSemi, exec.LeftAnti:
+		h.schema = probe.Schema()
+	default:
+		h.schema = probe.Schema().Concat(build.Schema())
+	}
+	return h, nil
+}
+
+// Schema implements Operator.
+func (h *HashJoin) Schema() *sqltypes.Schema { return h.schema }
+
+// Open implements Operator: consumes the build side.
+func (h *HashJoin) Open() error {
+	rows, err := Drain(h.Build)
+	if err != nil {
+		return err
+	}
+	h.buildRows = rows
+	h.buildMatched = make([]bool, len(rows))
+	h.ht = make(map[string][]int, len(rows))
+	h.keyVals = make([]sqltypes.Value, len(h.BuildKeys))
+	for i, r := range rows {
+		null := false
+		for k, e := range h.BuildKeys {
+			h.keyVals[k] = e.Eval(r)
+			null = null || h.keyVals[k].Null
+		}
+		if null {
+			continue // NULL keys never match
+		}
+		key := string(exec.EncodeKey(h.keyBuf[:0], h.keyVals))
+		h.ht[key] = append(h.ht[key], i)
+	}
+	h.pending = nil
+	h.emittedUnmatch = false
+	h.keyVals = make([]sqltypes.Value, len(h.ProbeKeys))
+	return h.Probe.Open()
+}
+
+// joined materializes the concatenated probe++build row into a shared buffer
+// sized for the full concatenation even for semi/anti joins, whose residual
+// predicates are bound against the concatenated layout.
+func (h *HashJoin) joined(probe, build sqltypes.Row) sqltypes.Row {
+	pw := h.Probe.Schema().Len()
+	if h.out == nil {
+		h.out = make(sqltypes.Row, pw+h.Build.Schema().Len())
+	}
+	copy(h.out, probe)
+	if build != nil {
+		copy(h.out[pw:], build)
+	} else {
+		for i, c := range h.Build.Schema().Cols {
+			h.out[pw+i] = sqltypes.NewNull(c.Typ)
+		}
+	}
+	return h.out
+}
+
+func (h *HashJoin) residualOK(row sqltypes.Row) bool {
+	if h.Residual == nil {
+		return true
+	}
+	v := h.Residual.Eval(row)
+	return !v.Null && v.I != 0
+}
+
+// Next implements Operator.
+func (h *HashJoin) Next() (sqltypes.Row, error) {
+	for {
+		// Emit pending matches for the current probe row.
+		if len(h.pending) > 0 {
+			r := h.pending[0]
+			h.pending = h.pending[1:]
+			return r, nil
+		}
+		probe, err := h.Probe.Next()
+		if err != nil {
+			return nil, err
+		}
+		if probe == nil {
+			// Probe exhausted: right/full outer joins emit unmatched build rows.
+			if (h.Type == exec.RightOuter || h.Type == exec.FullOuter) && !h.emittedUnmatch {
+				h.emittedUnmatch = true
+				probeWidth := h.Probe.Schema().Len()
+				for i, m := range h.buildMatched {
+					if m {
+						continue
+					}
+					row := make(sqltypes.Row, h.schema.Len())
+					for c := 0; c < probeWidth; c++ {
+						row[c] = sqltypes.NewNull(h.schema.Cols[c].Typ)
+					}
+					copy(row[probeWidth:], h.buildRows[i])
+					h.pending = append(h.pending, row)
+				}
+				continue
+			}
+			return nil, nil
+		}
+
+		null := false
+		for k, e := range h.ProbeKeys {
+			h.keyVals[k] = e.Eval(probe)
+			null = null || h.keyVals[k].Null
+		}
+		var matches []int
+		if !null {
+			matches = h.ht[string(exec.EncodeKey(h.keyBuf[:0], h.keyVals))]
+		}
+
+		switch h.Type {
+		case exec.LeftSemi:
+			for _, bi := range matches {
+				if h.residualOK(h.joined(probe, h.buildRows[bi])) {
+					return probe, nil
+				}
+			}
+		case exec.LeftAnti:
+			found := false
+			for _, bi := range matches {
+				if h.residualOK(h.joined(probe, h.buildRows[bi])) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return probe, nil
+			}
+		default:
+			matched := false
+			for _, bi := range matches {
+				row := h.joined(probe, h.buildRows[bi])
+				if h.residualOK(row) {
+					matched = true
+					h.buildMatched[bi] = true
+					h.pending = append(h.pending, row.Clone())
+				}
+			}
+			if !matched && (h.Type == exec.LeftOuter || h.Type == exec.FullOuter) {
+				return h.joined(probe, nil), nil
+			}
+			if matched {
+				continue // loop emits from pending
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (h *HashJoin) Close() error {
+	h.ht = nil
+	h.buildRows = nil
+	return h.Probe.Close()
+}
+
+// NestedLoopJoin joins with an arbitrary predicate (no equi-keys) — the
+// fallback for non-equi joins. Inner and left-outer only.
+type NestedLoopJoin struct {
+	Outer, Inner Operator
+	Pred         expr.Expr // may be nil (cross join)
+	Type         exec.JoinType
+	schema       *sqltypes.Schema
+	innerRows    []sqltypes.Row
+	ii           int
+	cur          sqltypes.Row
+	curMatched   bool
+	out          sqltypes.Row
+}
+
+// NewNestedLoopJoin builds a nested-loops join (Inner or LeftOuter).
+func NewNestedLoopJoin(outer, inner Operator, pred expr.Expr, jt exec.JoinType) (*NestedLoopJoin, error) {
+	if jt != exec.Inner && jt != exec.LeftOuter {
+		return nil, fmt.Errorf("rowexec: nested loops supports INNER and LEFT OUTER, got %v", jt)
+	}
+	return &NestedLoopJoin{
+		Outer: outer, Inner: inner, Pred: pred, Type: jt,
+		schema: outer.Schema().Concat(inner.Schema()),
+	}, nil
+}
+
+// Schema implements Operator.
+func (n *NestedLoopJoin) Schema() *sqltypes.Schema { return n.schema }
+
+// Open implements Operator.
+func (n *NestedLoopJoin) Open() error {
+	rows, err := Drain(n.Inner)
+	if err != nil {
+		return err
+	}
+	n.innerRows = rows
+	n.cur = nil
+	n.out = make(sqltypes.Row, n.schema.Len())
+	return n.Outer.Open()
+}
+
+// Next implements Operator.
+func (n *NestedLoopJoin) Next() (sqltypes.Row, error) {
+	for {
+		if n.cur == nil {
+			r, err := n.Outer.Next()
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				return nil, nil
+			}
+			n.cur = r.Clone()
+			n.ii = 0
+			n.curMatched = false
+		}
+		for n.ii < len(n.innerRows) {
+			inner := n.innerRows[n.ii]
+			n.ii++
+			copy(n.out, n.cur)
+			copy(n.out[len(n.cur):], inner)
+			if n.Pred != nil {
+				v := n.Pred.Eval(n.out)
+				if v.Null || v.I == 0 {
+					continue
+				}
+			}
+			n.curMatched = true
+			return n.out, nil
+		}
+		if n.Type == exec.LeftOuter && !n.curMatched {
+			copy(n.out, n.cur)
+			for i := len(n.cur); i < len(n.out); i++ {
+				n.out[i] = sqltypes.NewNull(n.schema.Cols[i].Typ)
+			}
+			n.cur = nil
+			return n.out, nil
+		}
+		n.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (n *NestedLoopJoin) Close() error {
+	n.innerRows = nil
+	return n.Outer.Close()
+}

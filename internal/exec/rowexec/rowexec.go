@@ -1,0 +1,402 @@
+// Package rowexec is the row-at-a-time (Volcano) execution engine — the
+// paper's "row mode" baseline that batch mode is measured against, and the
+// mode the 2012 release fell back to for operators outside the batch
+// repertoire. Every operator pulls one row per Next call, paying the
+// per-tuple interpretation overhead that batch mode amortizes away.
+package rowexec
+
+import (
+	"sort"
+
+	"apollo/internal/colstore"
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+	"apollo/internal/table"
+)
+
+// Operator is a Volcano iterator. Next returns nil at end of stream. The
+// returned row may be reused by the operator on the following Next call;
+// consumers that retain rows must Clone them.
+type Operator interface {
+	Schema() *sqltypes.Schema
+	Open() error
+	Next() (sqltypes.Row, error)
+	Close() error
+}
+
+// Drain runs an operator to completion, collecting (cloned) rows.
+func Drain(op Operator) ([]sqltypes.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []sqltypes.Row
+	for {
+		r, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, r.Clone())
+	}
+}
+
+// --- Columnstore scan (row mode) ---
+
+// Scan reads a table snapshot row-at-a-time: each compressed row group is
+// decoded column by column per row, then delta rows follow. An optional
+// residual filter is applied per row — exactly the per-tuple work the paper's
+// batch mode eliminates.
+type Scan struct {
+	Snap   *table.Snapshot
+	Filter expr.Expr // optional
+	Cols   []int     // projection (nil = all columns)
+
+	schema  *sqltypes.Schema
+	groups  []*colstore.RowGroup
+	gi      int
+	readers []*colstore.ColumnReader
+	ri      int
+	deltaI  int
+	buf     sqltypes.Row
+	full    sqltypes.Row
+}
+
+// NewScan builds a row-mode scan over a snapshot.
+func NewScan(snap *table.Snapshot, filter expr.Expr, cols []int) *Scan {
+	s := &Scan{Snap: snap, Filter: filter, Cols: cols}
+	if cols == nil {
+		s.schema = snap.Schema
+	} else {
+		s.schema = snap.Schema.Project(cols)
+	}
+	return s
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() *sqltypes.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *Scan) Open() error {
+	s.groups = s.Snap.Groups
+	s.gi, s.ri, s.deltaI = 0, 0, 0
+	s.readers = nil
+	s.buf = make(sqltypes.Row, s.schema.Len())
+	s.full = make(sqltypes.Row, s.Snap.Schema.Len())
+	return nil
+}
+
+func (s *Scan) openGroup() error {
+	g := s.groups[s.gi]
+	s.readers = make([]*colstore.ColumnReader, s.Snap.Schema.Len())
+	for c := range s.readers {
+		r, err := s.Snap.OpenColumn(g, c)
+		if err != nil {
+			return err
+		}
+		s.readers[c] = r
+	}
+	s.ri = 0
+	return nil
+}
+
+// Next implements Operator. The filter is evaluated against the full table
+// row; the projection applies afterwards.
+func (s *Scan) Next() (sqltypes.Row, error) {
+	for {
+		// Compressed row groups first.
+		if s.gi < len(s.groups) {
+			g := s.groups[s.gi]
+			if s.readers == nil {
+				if err := s.openGroup(); err != nil {
+					return nil, err
+				}
+			}
+			if s.ri >= g.Rows {
+				s.gi++
+				s.readers = nil
+				continue
+			}
+			i := s.ri
+			s.ri++
+			if del := s.Snap.Deletes[g.ID]; del != nil && del.Get(i) {
+				continue
+			}
+			for c, r := range s.readers {
+				s.full[c] = r.Value(i)
+			}
+			if s.accept(s.full) {
+				return s.project(s.full), nil
+			}
+			continue
+		}
+		// Then delta rows.
+		if s.deltaI < len(s.Snap.Delta) {
+			row := s.Snap.Delta[s.deltaI]
+			s.deltaI++
+			if s.accept(row) {
+				return s.project(row), nil
+			}
+			continue
+		}
+		return nil, nil
+	}
+}
+
+func (s *Scan) accept(row sqltypes.Row) bool {
+	if s.Filter == nil {
+		return true
+	}
+	v := s.Filter.Eval(row)
+	return !v.Null && v.I != 0
+}
+
+func (s *Scan) project(row sqltypes.Row) sqltypes.Row {
+	if s.Cols == nil {
+		copy(s.buf, row)
+		return s.buf
+	}
+	for i, c := range s.Cols {
+		s.buf[i] = row[c]
+	}
+	return s.buf
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error { return nil }
+
+// --- Filter ---
+
+// Filter drops rows failing the predicate.
+type Filter struct {
+	In   Operator
+	Pred expr.Expr
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *sqltypes.Schema { return f.In.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.In.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (sqltypes.Row, error) {
+	for {
+		r, err := f.In.Next()
+		if err != nil || r == nil {
+			return r, err
+		}
+		v := f.Pred.Eval(r)
+		if !v.Null && v.I != 0 {
+			return r, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// --- Project ---
+
+// Project computes output expressions per row.
+type Project struct {
+	In     Operator
+	Exprs  []expr.Expr
+	Names  []string
+	schema *sqltypes.Schema
+	buf    sqltypes.Row
+}
+
+// NewProject builds a projection.
+func NewProject(in Operator, exprs []expr.Expr, names []string) *Project {
+	cols := make([]sqltypes.Column, len(exprs))
+	for i, e := range exprs {
+		cols[i] = sqltypes.Column{Name: names[i], Typ: e.Type(), Nullable: true}
+	}
+	return &Project{In: in, Exprs: exprs, Names: names, schema: sqltypes.NewSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *sqltypes.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error {
+	p.buf = make(sqltypes.Row, len(p.Exprs))
+	return p.In.Open()
+}
+
+// Next implements Operator.
+func (p *Project) Next() (sqltypes.Row, error) {
+	r, err := p.In.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	for i, e := range p.Exprs {
+		p.buf[i] = e.Eval(r)
+	}
+	return p.buf, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.In.Close() }
+
+// --- Limit ---
+
+// Limit passes through at most N rows after skipping Offset.
+type Limit struct {
+	In     Operator
+	Offset int
+	N      int
+	seen   int
+	sent   int
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *sqltypes.Schema { return l.In.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error {
+	l.seen, l.sent = 0, 0
+	return l.In.Open()
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (sqltypes.Row, error) {
+	for {
+		if l.N >= 0 && l.sent >= l.N {
+			return nil, nil
+		}
+		r, err := l.In.Next()
+		if err != nil || r == nil {
+			return r, err
+		}
+		l.seen++
+		if l.seen <= l.Offset {
+			continue
+		}
+		l.sent++
+		return r, nil
+	}
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.In.Close() }
+
+// --- Sort ---
+
+// Sort materializes and orders its input.
+type Sort struct {
+	In   Operator
+	Keys []exec.SortKey
+	rows []sqltypes.Row
+	i    int
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *sqltypes.Schema { return s.In.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	rows, err := Drain(s.In)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		return exec.CompareRows(s.Keys, rows[a], rows[b]) < 0
+	})
+	s.rows = rows
+	s.i = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (sqltypes.Row, error) {
+	if s.i >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error { return nil }
+
+// --- UNION ALL ---
+
+// UnionAll concatenates inputs with identical schemas.
+type UnionAll struct {
+	Ins []Operator
+	i   int
+}
+
+// Schema implements Operator.
+func (u *UnionAll) Schema() *sqltypes.Schema { return u.Ins[0].Schema() }
+
+// Open implements Operator.
+func (u *UnionAll) Open() error {
+	u.i = 0
+	for _, in := range u.Ins {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (u *UnionAll) Next() (sqltypes.Row, error) {
+	for u.i < len(u.Ins) {
+		r, err := u.Ins[u.i].Next()
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			return r, nil
+		}
+		u.i++
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (u *UnionAll) Close() error {
+	var first error
+	for _, in := range u.Ins {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- Values (literal row source, used by the reference/test paths) ---
+
+// Values replays a fixed row set.
+type Values struct {
+	Rows   []sqltypes.Row
+	Sch    *sqltypes.Schema
+	cursor int
+}
+
+// Schema implements Operator.
+func (v *Values) Schema() *sqltypes.Schema { return v.Sch }
+
+// Open implements Operator.
+func (v *Values) Open() error { v.cursor = 0; return nil }
+
+// Next implements Operator.
+func (v *Values) Next() (sqltypes.Row, error) {
+	if v.cursor >= len(v.Rows) {
+		return nil, nil
+	}
+	r := v.Rows[v.cursor]
+	v.cursor++
+	return r, nil
+}
+
+// Close implements Operator.
+func (v *Values) Close() error { return nil }

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Each experiment runs end-to-end at a tiny scale; these tests guard the
+// harness itself (workload loading, measurement plumbing, output shape),
+// not performance numbers.
+
+func runExp(t *testing.T, name string, fn func(w *bytes.Buffer) error, wantSubstr ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fn(&buf); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	for _, sub := range wantSubstr {
+		if !strings.Contains(out, sub) {
+			t.Fatalf("%s output missing %q:\n%s", name, sub, out)
+		}
+	}
+	return out
+}
+
+func TestE1(t *testing.T) {
+	out := runExp(t, "E1", func(w *bytes.Buffer) error { return E1Table1Compression(w, 2000) },
+		"uniform_ints", "mixed_fact", "CS+ARCH")
+	// The columnstore must beat PAGE compression on the sorted dataset.
+	if !strings.Contains(out, "sorted_ints") {
+		t.Fatal("missing dataset")
+	}
+}
+
+func TestE2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runExp(t, "E2", func(w *bytes.Buffer) error { return E2SpeedupSSB(w, 0.05, 2, 1) },
+		"Q1.1", "Q4.3", "geometric mean")
+}
+
+func TestE3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runExp(t, "E3", func(w *bytes.Buffer) error { return E3Repertoire(w, 0.05, 1) },
+		"OuterJoin", "UnionAll", "DistinctAgg")
+	// Every repertoire query must fall back to row mode under the 2012 rules.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Join") || strings.Contains(line, "Agg") || strings.Contains(line, "UnionAll") {
+			if !strings.Contains(line, "row") {
+				t.Fatalf("repertoire query did not fall back in 2012 mode: %s", line)
+			}
+		}
+	}
+}
+
+func TestE4(t *testing.T) {
+	out := runExp(t, "E4", func(w *bytes.Buffer) error { return E4SegmentElimination(w, 60000, 1) },
+		"segment elimination", "100%")
+	// At 1% selectivity most groups must be eliminated.
+	var found bool
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "1%") && !strings.Contains(line, "0/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no elimination visible:\n%s", out)
+	}
+}
+
+func TestE5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runExp(t, "E5", func(w *bytes.Buffer) error { return E5BitmapPushdown(w, 0.05, 1) },
+		"bitmap", "region", "nation")
+}
+
+func TestE6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runExp(t, "E6", func(w *bytes.Buffer) error { return E6TrickleInsert(w, 20000) },
+		"tuple mover", "true", "false")
+}
+
+func TestE7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runExp(t, "E7", func(w *bytes.Buffer) error { return E7BulkLoadThreshold(w) },
+		"bulk load threshold", "direct", "delta")
+	_ = out
+}
+
+func TestE8(t *testing.T) {
+	runExp(t, "E8", func(w *bytes.Buffer) error { return E8ArchivalAccess(w, 30000, 1) },
+		"ARCHIVE", "NONE")
+}
+
+func TestE9(t *testing.T) {
+	out := runExp(t, "E9", func(w *bytes.Buffer) error { return E9DeleteOverhead(w, 30000, 1) },
+		"delete bitmap", "50%")
+	_ = out
+}
+
+func TestE10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runExp(t, "E10", func(w *bytes.Buffer) error { return E10Spill(w, 0.2, 1) },
+		"unlimited", "KiB")
+	// The smallest grant must actually spill.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-2]
+	if !strings.Contains(last, "4 KiB") {
+		t.Fatalf("unexpected last budget line: %s", last)
+	}
+	fields := strings.Fields(last)
+	if fields[3] == "0" {
+		t.Fatalf("tiny grant did not spill: %s", last)
+	}
+}
+
+func TestE11(t *testing.T) {
+	runExp(t, "E11", func(w *bytes.Buffer) error { return E11EncodingAblation(w, 20000) },
+		"encoding ablation", "skewed_ints", "RLE")
+}
+
+func TestE12(t *testing.T) {
+	runExp(t, "E12", func(w *bytes.Buffer) error { return E12Sampling(w, 30000) },
+		"bookmark sampling", "1000")
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"sort"
+
+	"apollo/internal/sqltypes"
+)
+
+// sortByDate orders lineorder rows by lo_orderdate (column 4), giving each
+// row group a disjoint date range — the precondition for segment elimination
+// to bite in E4.
+func sortByDate(rows []sqltypes.Row) {
+	sort.Slice(rows, func(a, b int) bool { return rows[a][4].I < rows[b][4].I })
+}
+
+// dateStr renders epoch days as a SQL date literal body.
+func dateStr(days int64) string { return sqltypes.DateToString(days) }

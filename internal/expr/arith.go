@@ -1,0 +1,426 @@
+package expr
+
+import (
+	"fmt"
+	"time"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/vector"
+)
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+func (o ArithOp) String() string { return [...]string{"+", "-", "*", "/", "%"}[o] }
+
+// Arith applies an arithmetic operator. Integer op integer stays integer
+// (except / with a remainder, which SQL integer division truncates); any
+// float operand promotes to float. Division by zero yields NULL.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+	typ  sqltypes.Type
+}
+
+// NewArith builds an arithmetic expression, inferring the result type.
+func NewArith(op ArithOp, l, r Expr) *Arith {
+	typ := sqltypes.Int64
+	if l.Type() == sqltypes.Float64 || r.Type() == sqltypes.Float64 {
+		typ = sqltypes.Float64
+	}
+	return &Arith{Op: op, L: l, R: r, typ: typ}
+}
+
+// Type implements Expr.
+func (a *Arith) Type() sqltypes.Type { return a.typ }
+
+// Eval implements Expr.
+func (a *Arith) Eval(row sqltypes.Row) sqltypes.Value {
+	l, r := a.L.Eval(row), a.R.Eval(row)
+	if l.Null || r.Null {
+		return sqltypes.NewNull(a.typ)
+	}
+	if a.typ == sqltypes.Float64 {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch a.Op {
+		case Add:
+			return sqltypes.NewFloat(lf + rf)
+		case Sub:
+			return sqltypes.NewFloat(lf - rf)
+		case Mul:
+			return sqltypes.NewFloat(lf * rf)
+		case Div:
+			if rf == 0 {
+				return sqltypes.NewNull(sqltypes.Float64)
+			}
+			return sqltypes.NewFloat(lf / rf)
+		default:
+			if rf == 0 {
+				return sqltypes.NewNull(sqltypes.Float64)
+			}
+			return sqltypes.NewFloat(float64(int64(lf) % int64(rf)))
+		}
+	}
+	li, ri := l.I, r.I
+	switch a.Op {
+	case Add:
+		return sqltypes.NewInt(li + ri)
+	case Sub:
+		return sqltypes.NewInt(li - ri)
+	case Mul:
+		return sqltypes.NewInt(li * ri)
+	case Div:
+		if ri == 0 {
+			return sqltypes.NewNull(sqltypes.Int64)
+		}
+		return sqltypes.NewInt(li / ri)
+	default:
+		if ri == 0 {
+			return sqltypes.NewNull(sqltypes.Int64)
+		}
+		return sqltypes.NewInt(li % ri)
+	}
+}
+
+// EvalVec implements Expr.
+func (a *Arith) EvalVec(b *vector.Batch, out *vector.Vector) {
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	lv := vector.NewVector(a.L.Type(), n)
+	rv := vector.NewVector(a.R.Type(), n)
+	a.L.EvalVec(b, lv)
+	a.R.EvalVec(b, rv)
+
+	if a.typ == sqltypes.Float64 {
+		lf := asF64(lv, n)
+		rf := asF64(rv, n)
+		o := out.F64[:n]
+		switch a.Op {
+		case Add:
+			for i := range o {
+				o[i] = lf[i] + rf[i]
+			}
+		case Sub:
+			for i := range o {
+				o[i] = lf[i] - rf[i]
+			}
+		case Mul:
+			for i := range o {
+				o[i] = lf[i] * rf[i]
+			}
+		case Div:
+			for i := range o {
+				if rf[i] == 0 {
+					out.SetNull(i)
+				} else {
+					o[i] = lf[i] / rf[i]
+				}
+			}
+		default:
+			for i := range o {
+				if rf[i] == 0 {
+					out.SetNull(i)
+				} else {
+					o[i] = float64(int64(lf[i]) % int64(rf[i]))
+				}
+			}
+		}
+	} else {
+		li := lv.I64[:n]
+		ri := rv.I64[:n]
+		o := out.I64[:n]
+		switch a.Op {
+		case Add:
+			for i := range o {
+				o[i] = li[i] + ri[i]
+			}
+		case Sub:
+			for i := range o {
+				o[i] = li[i] - ri[i]
+			}
+		case Mul:
+			for i := range o {
+				o[i] = li[i] * ri[i]
+			}
+		case Div:
+			for i := range o {
+				if ri[i] == 0 {
+					out.SetNull(i)
+				} else {
+					o[i] = li[i] / ri[i]
+				}
+			}
+		default:
+			for i := range o {
+				if ri[i] == 0 {
+					out.SetNull(i)
+				} else {
+					o[i] = li[i] % ri[i]
+				}
+			}
+		}
+	}
+	propagateNulls(lv, n, out)
+	propagateNulls(rv, n, out)
+}
+
+// asF64 views a vector's numeric payload as float64s, converting ints.
+func asF64(v *vector.Vector, n int) []float64 {
+	if v.Typ == sqltypes.Float64 {
+		return v.F64[:n]
+	}
+	out := make([]float64, n)
+	for i, x := range v.I64[:n] {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// --- NULL tests ---
+
+// IsNull tests (or, negated, rejects) NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool // IS NOT NULL
+}
+
+// NewIsNull builds an IS [NOT] NULL test.
+func NewIsNull(e Expr, negate bool) *IsNull { return &IsNull{E: e, Negate: negate} }
+
+// Type implements Expr.
+func (x *IsNull) Type() sqltypes.Type { return sqltypes.Bool }
+
+// Eval implements Expr.
+func (x *IsNull) Eval(row sqltypes.Row) sqltypes.Value {
+	v := x.E.Eval(row)
+	return sqltypes.NewBool(v.Null != x.Negate)
+}
+
+// EvalVec implements Expr.
+func (x *IsNull) EvalVec(b *vector.Batch, out *vector.Vector) {
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	tmp := vector.NewVector(x.E.Type(), n)
+	x.E.EvalVec(b, tmp)
+	for i := 0; i < n; i++ {
+		out.I64[i] = b2i(tmp.IsNull(i) != x.Negate)
+	}
+}
+
+func (x *IsNull) String() string {
+	if x.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", x.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", x.E)
+}
+
+// --- IN lists ---
+
+// InList tests membership in a constant list; NULL input yields NULL.
+type InList struct {
+	E    Expr
+	Vals []sqltypes.Value
+}
+
+// NewInList builds an IN (...) test over constants.
+func NewInList(e Expr, vals []sqltypes.Value) *InList { return &InList{E: e, Vals: vals} }
+
+// Type implements Expr.
+func (x *InList) Type() sqltypes.Type { return sqltypes.Bool }
+
+func (x *InList) contains(v sqltypes.Value) bool {
+	for _, c := range x.Vals {
+		if !c.Null && sqltypes.Compare(v, c) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval implements Expr.
+func (x *InList) Eval(row sqltypes.Row) sqltypes.Value {
+	v := x.E.Eval(row)
+	if v.Null {
+		return sqltypes.NewNull(sqltypes.Bool)
+	}
+	return sqltypes.NewBool(x.contains(v))
+}
+
+// EvalVec implements Expr.
+func (x *InList) EvalVec(b *vector.Batch, out *vector.Vector) {
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	tmp := vector.NewVector(x.E.Type(), n)
+	x.E.EvalVec(b, tmp)
+	for i := 0; i < n; i++ {
+		if tmp.IsNull(i) {
+			out.SetNull(i)
+			continue
+		}
+		out.I64[i] = b2i(x.contains(tmp.Value(i)))
+	}
+}
+
+func (x *InList) String() string {
+	parts := make([]string, len(x.Vals))
+	for i, v := range x.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("(%s IN (%v))", x.E, parts)
+}
+
+// --- LIKE ---
+
+// Like matches SQL LIKE patterns with % (any run) and _ (any one char).
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// NewLike builds a [NOT] LIKE test.
+func NewLike(e Expr, pattern string, negate bool) *Like {
+	return &Like{E: e, Pattern: pattern, Negate: negate}
+}
+
+// Type implements Expr.
+func (x *Like) Type() sqltypes.Type { return sqltypes.Bool }
+
+// Eval implements Expr.
+func (x *Like) Eval(row sqltypes.Row) sqltypes.Value {
+	v := x.E.Eval(row)
+	if v.Null {
+		return sqltypes.NewNull(sqltypes.Bool)
+	}
+	return sqltypes.NewBool(likeMatch(v.S, x.Pattern) != x.Negate)
+}
+
+// EvalVec implements Expr.
+func (x *Like) EvalVec(b *vector.Batch, out *vector.Vector) {
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	tmp := vector.NewVector(sqltypes.String, n)
+	x.E.EvalVec(b, tmp)
+	for i := 0; i < n; i++ {
+		if tmp.IsNull(i) {
+			out.SetNull(i)
+			continue
+		}
+		out.I64[i] = b2i(likeMatch(tmp.Str[i], x.Pattern) != x.Negate)
+	}
+}
+
+// likeMatch implements LIKE with an iterative two-pointer algorithm
+// (greedy % with backtracking), O(len(s)*len(p)) worst case.
+func likeMatch(s, p string) bool {
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star, match = pi, si
+			pi++
+		case star >= 0:
+			match++
+			si, pi = match, star+1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+func (x *Like) String() string {
+	op := "LIKE"
+	if x.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s '%s')", x.E, op, x.Pattern)
+}
+
+// --- Date extraction functions ---
+
+// DateFunc extracts a component of a Date value.
+type DateFunc struct {
+	Name string // "YEAR", "MONTH", "DAY"
+	E    Expr
+}
+
+// NewDateFunc builds a YEAR/MONTH/DAY extraction. Unknown names are rejected
+// by the binder before construction.
+func NewDateFunc(name string, e Expr) *DateFunc { return &DateFunc{Name: name, E: e} }
+
+// Type implements Expr.
+func (d *DateFunc) Type() sqltypes.Type { return sqltypes.Int64 }
+
+func extractDate(name string, days int64) int64 {
+	t := time.Unix(days*86400, 0).UTC()
+	switch name {
+	case "YEAR":
+		return int64(t.Year())
+	case "MONTH":
+		return int64(t.Month())
+	default: // DAY
+		return int64(t.Day())
+	}
+}
+
+// Eval implements Expr.
+func (d *DateFunc) Eval(row sqltypes.Row) sqltypes.Value {
+	v := d.E.Eval(row)
+	if v.Null {
+		return sqltypes.NewNull(sqltypes.Int64)
+	}
+	return sqltypes.NewInt(extractDate(d.Name, v.I))
+}
+
+// EvalVec implements Expr.
+func (d *DateFunc) EvalVec(b *vector.Batch, out *vector.Vector) {
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	tmp := vector.NewVector(sqltypes.Date, n)
+	d.E.EvalVec(b, tmp)
+	for i := 0; i < n; i++ {
+		if tmp.IsNull(i) {
+			out.SetNull(i)
+			continue
+		}
+		out.I64[i] = extractDate(d.Name, tmp.I64[i])
+	}
+}
+
+func (d *DateFunc) String() string { return fmt.Sprintf("%s(%s)", d.Name, d.E) }

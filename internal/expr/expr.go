@@ -1,0 +1,450 @@
+// Package expr is the scalar expression engine. Every expression evaluates
+// two ways: row-at-a-time (Eval, used by row-mode operators and the reference
+// executor) and vectorized (EvalVec, used by batch-mode operators). SQL
+// three-valued logic applies: comparisons involving NULL yield NULL, AND/OR
+// follow Kleene semantics, and filters treat NULL as not-qualifying.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/vector"
+)
+
+// Expr is a scalar expression.
+type Expr interface {
+	// Type returns the expression's result type.
+	Type() sqltypes.Type
+	// Eval evaluates the expression against one row.
+	Eval(row sqltypes.Row) sqltypes.Value
+	// EvalVec evaluates the expression for physical rows [0, b.NumRows()) of
+	// the batch into out (resized by the callee). Selection vectors are
+	// ignored here; callers keep the batch's selection.
+	EvalVec(b *vector.Batch, out *vector.Vector)
+	// String renders the expression in SQL-like syntax.
+	String() string
+}
+
+// --- Column references and constants ---
+
+// ColRef references column Idx of the input schema.
+type ColRef struct {
+	Idx  int
+	Name string
+	Typ  sqltypes.Type
+}
+
+// NewColRef builds a column reference.
+func NewColRef(idx int, name string, typ sqltypes.Type) *ColRef {
+	return &ColRef{Idx: idx, Name: name, Typ: typ}
+}
+
+// Type implements Expr.
+func (c *ColRef) Type() sqltypes.Type { return c.Typ }
+
+// Eval implements Expr.
+func (c *ColRef) Eval(row sqltypes.Row) sqltypes.Value { return row[c.Idx] }
+
+// EvalVec implements Expr by copying the referenced vector.
+func (c *ColRef) EvalVec(b *vector.Batch, out *vector.Vector) {
+	src := b.Vecs[c.Idx]
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	switch c.Typ {
+	case sqltypes.Float64:
+		copy(out.F64, src.F64[:n])
+	case sqltypes.String:
+		copy(out.Str, src.Str[:n])
+	default:
+		copy(out.I64, src.I64[:n])
+	}
+	if src.Nulls != nil {
+		for i := 0; i < n; i++ {
+			if src.Nulls.Get(i) {
+				out.SetNull(i)
+			}
+		}
+	}
+}
+
+func (c *ColRef) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Idx)
+}
+
+// Const is a literal value.
+type Const struct {
+	Val sqltypes.Value
+}
+
+// NewConst builds a literal.
+func NewConst(v sqltypes.Value) *Const { return &Const{Val: v} }
+
+// Type implements Expr.
+func (c *Const) Type() sqltypes.Type { return c.Val.Typ }
+
+// Eval implements Expr.
+func (c *Const) Eval(sqltypes.Row) sqltypes.Value { return c.Val }
+
+// EvalVec implements Expr.
+func (c *Const) EvalVec(b *vector.Batch, out *vector.Vector) {
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	for i := 0; i < n; i++ {
+		out.SetValue(i, c.Val)
+	}
+}
+
+func (c *Const) String() string {
+	if c.Val.Typ == sqltypes.String && !c.Val.Null {
+		return "'" + c.Val.S + "'"
+	}
+	return c.Val.String()
+}
+
+// --- Comparison ---
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+// matches reports whether comparison result c (-1/0/1) satisfies the op.
+func (o CmpOp) matches(c int) bool {
+	switch o {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// Cmp compares two subexpressions; NULL operands yield NULL.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// NewCmp builds a comparison.
+func NewCmp(op CmpOp, l, r Expr) *Cmp { return &Cmp{Op: op, L: l, R: r} }
+
+// Type implements Expr.
+func (c *Cmp) Type() sqltypes.Type { return sqltypes.Bool }
+
+// Eval implements Expr.
+func (c *Cmp) Eval(row sqltypes.Row) sqltypes.Value {
+	l, r := c.L.Eval(row), c.R.Eval(row)
+	if l.Null || r.Null {
+		return sqltypes.NewNull(sqltypes.Bool)
+	}
+	return sqltypes.NewBool(c.Op.matches(sqltypes.Compare(l, r)))
+}
+
+// EvalVec implements Expr with fast paths for column-vs-constant compares on
+// numeric payloads — the kernels that make batch mode fast.
+func (c *Cmp) EvalVec(b *vector.Batch, out *vector.Vector) {
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	// Fast path: ColRef vs Const on shared-int payloads or floats.
+	if col, okL := c.L.(*ColRef); okL {
+		if k, okR := c.R.(*Const); okR && !k.Val.Null {
+			src := b.Vecs[col.Idx]
+			switch {
+			case col.Typ != sqltypes.Float64 && col.Typ != sqltypes.String && k.Val.Typ != sqltypes.Float64:
+				cmpI64Const(src, k.Val.I, c.Op, n, out)
+				return
+			case col.Typ == sqltypes.Float64:
+				cmpF64Const(src, k.Val.AsFloat(), c.Op, n, out)
+				return
+			case col.Typ == sqltypes.String && k.Val.Typ == sqltypes.String:
+				cmpStrConst(src, k.Val.S, c.Op, n, out)
+				return
+			}
+		}
+	}
+	// General path: evaluate both sides, compare per row.
+	lv := vector.NewVector(c.L.Type(), n)
+	rv := vector.NewVector(c.R.Type(), n)
+	c.L.EvalVec(b, lv)
+	c.R.EvalVec(b, rv)
+	for i := 0; i < n; i++ {
+		l, r := lv.Value(i), rv.Value(i)
+		if l.Null || r.Null {
+			out.SetNull(i)
+			continue
+		}
+		out.I64[i] = b2i(c.Op.matches(sqltypes.Compare(l, r)))
+	}
+}
+
+func cmpI64Const(src *vector.Vector, k int64, op CmpOp, n int, out *vector.Vector) {
+	s := src.I64[:n]
+	o := out.I64[:n]
+	switch op {
+	case EQ:
+		for i, v := range s {
+			o[i] = b2i(v == k)
+		}
+	case NE:
+		for i, v := range s {
+			o[i] = b2i(v != k)
+		}
+	case LT:
+		for i, v := range s {
+			o[i] = b2i(v < k)
+		}
+	case LE:
+		for i, v := range s {
+			o[i] = b2i(v <= k)
+		}
+	case GT:
+		for i, v := range s {
+			o[i] = b2i(v > k)
+		}
+	default:
+		for i, v := range s {
+			o[i] = b2i(v >= k)
+		}
+	}
+	propagateNulls(src, n, out)
+}
+
+func cmpF64Const(src *vector.Vector, k float64, op CmpOp, n int, out *vector.Vector) {
+	s := src.F64[:n]
+	o := out.I64[:n]
+	switch op {
+	case EQ:
+		for i, v := range s {
+			o[i] = b2i(v == k)
+		}
+	case NE:
+		for i, v := range s {
+			o[i] = b2i(v != k)
+		}
+	case LT:
+		for i, v := range s {
+			o[i] = b2i(v < k)
+		}
+	case LE:
+		for i, v := range s {
+			o[i] = b2i(v <= k)
+		}
+	case GT:
+		for i, v := range s {
+			o[i] = b2i(v > k)
+		}
+	default:
+		for i, v := range s {
+			o[i] = b2i(v >= k)
+		}
+	}
+	propagateNulls(src, n, out)
+}
+
+func cmpStrConst(src *vector.Vector, k string, op CmpOp, n int, out *vector.Vector) {
+	s := src.Str[:n]
+	o := out.I64[:n]
+	for i, v := range s {
+		o[i] = b2i(op.matches(strings.Compare(v, k)))
+	}
+	propagateNulls(src, n, out)
+}
+
+func propagateNulls(src *vector.Vector, n int, out *vector.Vector) {
+	if src.Nulls == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if src.Nulls.Get(i) {
+			out.SetNull(i)
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (c *Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R)
+}
+
+// --- Logical operators (Kleene three-valued logic) ---
+
+// LogicOp is a logical connective.
+type LogicOp uint8
+
+// Logical operators.
+const (
+	And LogicOp = iota
+	Or
+	Not
+)
+
+// Logic combines boolean subexpressions.
+type Logic struct {
+	Op   LogicOp
+	Kids []Expr
+}
+
+// NewAnd conjoins expressions (flattening is the caller's concern).
+func NewAnd(kids ...Expr) *Logic { return &Logic{Op: And, Kids: kids} }
+
+// NewOr disjoins expressions.
+func NewOr(kids ...Expr) *Logic { return &Logic{Op: Or, Kids: kids} }
+
+// NewNot negates an expression.
+func NewNot(kid Expr) *Logic { return &Logic{Op: Not, Kids: []Expr{kid}} }
+
+// Type implements Expr.
+func (l *Logic) Type() sqltypes.Type { return sqltypes.Bool }
+
+// Eval implements Expr.
+func (l *Logic) Eval(row sqltypes.Row) sqltypes.Value {
+	switch l.Op {
+	case Not:
+		v := l.Kids[0].Eval(row)
+		if v.Null {
+			return v
+		}
+		return sqltypes.NewBool(v.I == 0)
+	case And:
+		sawNull := false
+		for _, k := range l.Kids {
+			v := k.Eval(row)
+			if v.Null {
+				sawNull = true
+			} else if v.I == 0 {
+				return sqltypes.NewBool(false)
+			}
+		}
+		if sawNull {
+			return sqltypes.NewNull(sqltypes.Bool)
+		}
+		return sqltypes.NewBool(true)
+	default: // Or
+		sawNull := false
+		for _, k := range l.Kids {
+			v := k.Eval(row)
+			if v.Null {
+				sawNull = true
+			} else if v.I != 0 {
+				return sqltypes.NewBool(true)
+			}
+		}
+		if sawNull {
+			return sqltypes.NewNull(sqltypes.Bool)
+		}
+		return sqltypes.NewBool(false)
+	}
+}
+
+// EvalVec implements Expr.
+func (l *Logic) EvalVec(b *vector.Batch, out *vector.Vector) {
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	tmp := vector.NewVector(sqltypes.Bool, n)
+	switch l.Op {
+	case Not:
+		l.Kids[0].EvalVec(b, tmp)
+		for i := 0; i < n; i++ {
+			if tmp.IsNull(i) {
+				out.SetNull(i)
+			} else {
+				out.I64[i] = 1 - tmp.I64[i]&1
+			}
+		}
+	case And:
+		for i := 0; i < n; i++ {
+			out.I64[i] = 1 // true until proven otherwise
+		}
+		for _, k := range l.Kids {
+			k.EvalVec(b, tmp)
+			for i := 0; i < n; i++ {
+				if tmp.IsNull(i) {
+					if !out.IsNull(i) && out.I64[i] != 0 {
+						out.SetNull(i)
+					}
+				} else if tmp.I64[i] == 0 {
+					out.ClearNull(i)
+					out.I64[i] = 0
+				}
+			}
+		}
+	default: // Or
+		for i := 0; i < n; i++ {
+			out.I64[i] = 0
+		}
+		for _, k := range l.Kids {
+			k.EvalVec(b, tmp)
+			for i := 0; i < n; i++ {
+				if tmp.IsNull(i) {
+					if !out.IsNull(i) && out.I64[i] == 0 {
+						out.SetNull(i)
+					}
+				} else if tmp.I64[i] != 0 {
+					out.ClearNull(i)
+					out.I64[i] = 1
+				}
+			}
+		}
+	}
+}
+
+func (l *Logic) String() string {
+	switch l.Op {
+	case Not:
+		return fmt.Sprintf("NOT %s", l.Kids[0])
+	case And:
+		return joinKids(l.Kids, " AND ")
+	default:
+		return joinKids(l.Kids, " OR ")
+	}
+}
+
+func joinKids(kids []Expr, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = k.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}

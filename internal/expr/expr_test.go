@@ -1,0 +1,271 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/vector"
+)
+
+func schema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Name: "a", Typ: sqltypes.Int64, Nullable: true},
+		sqltypes.Column{Name: "b", Typ: sqltypes.Float64, Nullable: true},
+		sqltypes.Column{Name: "s", Typ: sqltypes.String, Nullable: true},
+		sqltypes.Column{Name: "d", Typ: sqltypes.Date, Nullable: true},
+	)
+}
+
+func colA() *ColRef { return NewColRef(0, "a", sqltypes.Int64) }
+func colB() *ColRef { return NewColRef(1, "b", sqltypes.Float64) }
+func colS() *ColRef { return NewColRef(2, "s", sqltypes.String) }
+func colD() *ColRef { return NewColRef(3, "d", sqltypes.Date) }
+
+func ci(v int64) *Const   { return NewConst(sqltypes.NewInt(v)) }
+func cf(v float64) *Const { return NewConst(sqltypes.NewFloat(v)) }
+func cs(v string) *Const  { return NewConst(sqltypes.NewString(v)) }
+
+// randomBatch builds a batch (and matching rows) with some NULLs.
+func randomBatch(n int, seed int64) (*vector.Batch, []sqltypes.Row) {
+	rng := rand.New(rand.NewSource(seed))
+	b := vector.NewBatch(schema(), n)
+	rows := make([]sqltypes.Row, n)
+	strs := []string{"apple", "banana", "cherry", "date", ""}
+	for i := 0; i < n; i++ {
+		row := sqltypes.Row{
+			sqltypes.NewInt(int64(rng.Intn(20) - 10)),
+			sqltypes.NewFloat(float64(rng.Intn(100)) / 4),
+			sqltypes.NewString(strs[rng.Intn(len(strs))]),
+			sqltypes.NewDate(int64(rng.Intn(20000))),
+		}
+		for j := range row {
+			if rng.Intn(10) == 0 {
+				row[j] = sqltypes.NewNull(row[j].Typ)
+			}
+		}
+		rows[i] = row
+		b.AppendRow(row)
+	}
+	return b, rows
+}
+
+// checkRowVecAgree asserts Eval and EvalVec agree on every row.
+func checkRowVecAgree(t *testing.T, e Expr, b *vector.Batch, rows []sqltypes.Row) {
+	t.Helper()
+	out := vector.NewVector(e.Type(), b.NumRows())
+	e.EvalVec(b, out)
+	for i, row := range rows {
+		want := e.Eval(row)
+		got := out.Value(i)
+		if want.Null != got.Null {
+			t.Fatalf("%s row %d (%v): null mismatch: vec=%v row=%v", e, i, row, got, want)
+		}
+		if !want.Null && sqltypes.Compare(want, got) != 0 {
+			t.Fatalf("%s row %d (%v): vec=%v row=%v", e, i, row, got, want)
+		}
+	}
+}
+
+func TestRowVecAgreement(t *testing.T) {
+	b, rows := randomBatch(500, 42)
+	exprs := []Expr{
+		colA(),
+		ci(7),
+		NewCmp(EQ, colA(), ci(3)),
+		NewCmp(NE, colA(), ci(0)),
+		NewCmp(LT, colA(), ci(0)),
+		NewCmp(LE, colB(), cf(10)),
+		NewCmp(GT, colB(), cf(12.5)),
+		NewCmp(GE, colS(), cs("banana")),
+		NewCmp(EQ, colS(), cs("apple")),
+		NewCmp(LT, colA(), colB()), // column vs column
+		NewCmp(GT, ci(5), colA()),  // const on the left
+		NewCmp(EQ, colB(), ci(5)),  // float col vs int const
+		NewAnd(NewCmp(GT, colA(), ci(-5)), NewCmp(LT, colA(), ci(5))),
+		NewOr(NewCmp(EQ, colS(), cs("apple")), NewCmp(EQ, colS(), cs("cherry"))),
+		NewNot(NewCmp(EQ, colA(), ci(1))),
+		NewAnd(NewCmp(GT, colA(), ci(0)), NewOr(NewCmp(LT, colB(), cf(5)), NewIsNull(colS(), false))),
+		NewArith(Add, colA(), ci(10)),
+		NewArith(Sub, colA(), colA()),
+		NewArith(Mul, colB(), cf(2)),
+		NewArith(Div, colB(), colA()), // div by zero -> NULL
+		NewArith(Div, colA(), ci(0)),
+		NewArith(Mod, colA(), ci(3)),
+		NewArith(Add, colA(), colB()), // mixed int/float
+		NewIsNull(colA(), false),
+		NewIsNull(colA(), true),
+		NewInList(colA(), []sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewInt(2), sqltypes.NewInt(3)}),
+		NewInList(colS(), []sqltypes.Value{sqltypes.NewString("apple"), sqltypes.NewString("date")}),
+		NewLike(colS(), "a%", false),
+		NewLike(colS(), "%an%", false),
+		NewLike(colS(), "_a%", true),
+		NewDateFunc("YEAR", colD()),
+		NewDateFunc("MONTH", colD()),
+		NewDateFunc("DAY", colD()),
+	}
+	for _, e := range exprs {
+		checkRowVecAgree(t, e, b, rows)
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	null := sqltypes.NewNull(sqltypes.Bool)
+	tr := sqltypes.NewBool(true)
+	fa := sqltypes.NewBool(false)
+	lit := func(v sqltypes.Value) Expr { return NewConst(v) }
+
+	cases := []struct {
+		e    Expr
+		want sqltypes.Value
+	}{
+		{NewAnd(lit(tr), lit(null)), null},
+		{NewAnd(lit(fa), lit(null)), fa},
+		{NewAnd(lit(tr), lit(tr)), tr},
+		{NewOr(lit(fa), lit(null)), null},
+		{NewOr(lit(tr), lit(null)), tr},
+		{NewOr(lit(fa), lit(fa)), fa},
+		{NewNot(lit(null)), null},
+		{NewNot(lit(tr)), fa},
+		{NewCmp(EQ, lit(null), lit(tr)), null},
+	}
+	for _, c := range cases {
+		got := c.e.Eval(nil)
+		if got.Null != c.want.Null || (!got.Null && got.I != c.want.I) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestApplyFilter(t *testing.T) {
+	b, rows := randomBatch(300, 7)
+	pred := NewAnd(NewCmp(GT, colA(), ci(0)), NewCmp(LT, colB(), cf(15)))
+	ApplyFilter(pred, b)
+	want := 0
+	for _, r := range rows {
+		v := pred.Eval(r)
+		if !v.Null && v.I != 0 {
+			want++
+		}
+	}
+	if b.Len() != want {
+		t.Fatalf("filter kept %d, want %d", b.Len(), want)
+	}
+	for i := 0; i < b.Len(); i++ {
+		row := b.Row(i)
+		v := pred.Eval(row)
+		if v.Null || v.I == 0 {
+			t.Fatalf("non-qualifying row survived: %v", row)
+		}
+	}
+	// Second filter narrows the existing selection.
+	before := b.Len()
+	ApplyFilter(NewCmp(LT, colA(), ci(5)), b)
+	if b.Len() > before {
+		t.Fatal("filter grew selection")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_l_o", true},
+		{"hello", "h_l_x", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"", "", true},
+		{"abc", "%%", true},
+		{"abc", "a%b%c", true},
+		{"abc", "a%d", false},
+		{"aaa", "a%a", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	e := NewAnd(
+		NewCmp(EQ, colA(), ci(1)),
+		NewAnd(NewCmp(GT, colB(), cf(2)), NewCmp(LT, colB(), cf(9))),
+	)
+	cj := Conjuncts(e)
+	if len(cj) != 3 {
+		t.Fatalf("conjuncts = %d, want 3", len(cj))
+	}
+	if len(Conjuncts(NewCmp(EQ, colA(), ci(1)))) != 1 {
+		t.Fatal("single conjunct wrong")
+	}
+}
+
+func TestColRange(t *testing.T) {
+	cases := []struct {
+		e          Expr
+		wantLoNull bool
+		wantHiNull bool
+		lo, hi     int64
+		ok         bool
+	}{
+		{NewCmp(EQ, colA(), ci(5)), false, false, 5, 5, true},
+		{NewCmp(LT, colA(), ci(5)), true, false, 0, 5, true},
+		{NewCmp(GE, colA(), ci(5)), false, true, 5, 0, true},
+		{NewCmp(GT, ci(5), colA()), true, false, 0, 5, true}, // 5 > a  =>  a < 5
+		{NewCmp(NE, colA(), ci(5)), false, false, 0, 0, false},
+		{NewCmp(EQ, colB(), cf(1)), false, false, 0, 0, false}, // wrong column
+		{NewIsNull(colA(), false), false, false, 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, ok := ColRange(c.e, 0)
+		if ok != c.ok {
+			t.Errorf("%s: ok = %v, want %v", c.e, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if lo.Null != c.wantLoNull || hi.Null != c.wantHiNull {
+			t.Errorf("%s: bounds null = %v/%v", c.e, lo.Null, hi.Null)
+			continue
+		}
+		if !lo.Null && lo.I != c.lo || !hi.Null && hi.I != c.hi {
+			t.Errorf("%s: bounds = %v..%v", c.e, lo, hi)
+		}
+	}
+}
+
+func TestRemap(t *testing.T) {
+	e := NewAnd(NewCmp(EQ, colA(), ci(1)), NewCmp(GT, colB(), cf(2)))
+	m := Remap(e, map[int]int{0: 5, 1: 6})
+	set := map[int]bool{}
+	ReferencedCols(m, set)
+	if !set[5] || !set[6] || set[0] || set[1] {
+		t.Fatalf("remapped refs = %v", set)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for uncovered column")
+		}
+	}()
+	Remap(colA(), map[int]int{9: 1})
+}
+
+func TestReferencedCols(t *testing.T) {
+	e := NewOr(
+		NewLike(colS(), "x%", false),
+		NewInList(NewDateFunc("YEAR", colD()), []sqltypes.Value{sqltypes.NewInt(1994)}),
+	)
+	set := map[int]bool{}
+	ReferencedCols(e, set)
+	if !set[2] || !set[3] || len(set) != 2 {
+		t.Fatalf("refs = %v", set)
+	}
+}

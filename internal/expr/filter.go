@@ -1,0 +1,207 @@
+package expr
+
+import (
+	"apollo/internal/sqltypes"
+	"apollo/internal/vector"
+)
+
+// ApplyFilter narrows the batch's qualifying-rows selection to rows where
+// pred evaluates to true (NULL and false both disqualify). This is the batch
+// filter primitive of §5: data never moves, only the selection shrinks.
+func ApplyFilter(pred Expr, b *vector.Batch) {
+	n := b.NumRows()
+	if n == 0 {
+		return
+	}
+	out := vector.NewVector(sqltypes.Bool, n)
+	pred.EvalVec(b, out)
+	qualifies := func(i int) bool { return !out.IsNull(i) && out.I64[i] != 0 }
+	if b.Sel == nil {
+		sel := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if qualifies(i) {
+				sel = append(sel, i)
+			}
+		}
+		b.Sel = sel
+		return
+	}
+	keep := b.Sel[:0]
+	for _, i := range b.Sel {
+		if qualifies(i) {
+			keep = append(keep, i)
+		}
+	}
+	b.Sel = keep
+}
+
+// Conjuncts flattens nested ANDs into a list of conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if l, ok := e.(*Logic); ok && l.Op == And {
+		var out []Expr
+		for _, k := range l.Kids {
+			out = append(out, Conjuncts(k)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+// ColRange inspects a single conjunct and, when it is a comparison between
+// column colIdx and a constant, returns the implied [lo, hi] bounds (NULL
+// meaning unbounded). The planner combines these into segment-elimination
+// ranges and encoded-domain filters.
+func ColRange(e Expr, colIdx int) (lo, hi sqltypes.Value, ok bool) {
+	c, isCmp := e.(*Cmp)
+	if !isCmp {
+		return
+	}
+	col, colOK := c.L.(*ColRef)
+	k, constOK := c.R.(*Const)
+	op := c.Op
+	if !colOK || !constOK {
+		// Try the reversed orientation: const OP col.
+		col, colOK = c.R.(*ColRef)
+		k, constOK = c.L.(*Const)
+		if !colOK || !constOK {
+			return
+		}
+		// Mirror the operator.
+		switch op {
+		case LT:
+			op = GT
+		case LE:
+			op = GE
+		case GT:
+			op = LT
+		case GE:
+			op = LE
+		}
+	}
+	if col.Idx != colIdx || k.Val.Null {
+		return
+	}
+	unbounded := sqltypes.NewNull(k.Val.Typ)
+	switch op {
+	case EQ:
+		return k.Val, k.Val, true
+	case LT, LE:
+		// Treat strict bounds as inclusive for elimination purposes: a
+		// superset range never eliminates a qualifying segment.
+		return unbounded, k.Val, true
+	case GT, GE:
+		return k.Val, unbounded, true
+	default: // NE constrains nothing for elimination
+		return
+	}
+}
+
+// StrictColRange is ColRange but also reports whether each bound is
+// exclusive, for callers that can handle open intervals (code-space filters).
+func StrictColRange(e Expr, colIdx int) (lo, hi sqltypes.Value, loOpen, hiOpen, ok bool) {
+	c, isCmp := e.(*Cmp)
+	if !isCmp {
+		return
+	}
+	col, colOK := c.L.(*ColRef)
+	k, constOK := c.R.(*Const)
+	op := c.Op
+	if !colOK || !constOK {
+		col, colOK = c.R.(*ColRef)
+		k, constOK = c.L.(*Const)
+		if !colOK || !constOK {
+			return
+		}
+		switch op {
+		case LT:
+			op = GT
+		case LE:
+			op = GE
+		case GT:
+			op = LT
+		case GE:
+			op = LE
+		}
+	}
+	if col.Idx != colIdx || k.Val.Null {
+		return
+	}
+	unbounded := sqltypes.NewNull(k.Val.Typ)
+	switch op {
+	case EQ:
+		return k.Val, k.Val, false, false, true
+	case LT:
+		return unbounded, k.Val, false, true, true
+	case LE:
+		return unbounded, k.Val, false, false, true
+	case GT:
+		return k.Val, unbounded, true, false, true
+	case GE:
+		return k.Val, unbounded, false, false, true
+	default:
+		return
+	}
+}
+
+// ReferencedCols appends the column indexes referenced by e to set.
+func ReferencedCols(e Expr, set map[int]bool) {
+	switch x := e.(type) {
+	case *ColRef:
+		set[x.Idx] = true
+	case *Const:
+	case *Cmp:
+		ReferencedCols(x.L, set)
+		ReferencedCols(x.R, set)
+	case *Logic:
+		for _, k := range x.Kids {
+			ReferencedCols(k, set)
+		}
+	case *Arith:
+		ReferencedCols(x.L, set)
+		ReferencedCols(x.R, set)
+	case *IsNull:
+		ReferencedCols(x.E, set)
+	case *InList:
+		ReferencedCols(x.E, set)
+	case *Like:
+		ReferencedCols(x.E, set)
+	case *DateFunc:
+		ReferencedCols(x.E, set)
+	}
+}
+
+// Remap rewrites column references through mapping (old index -> new index),
+// returning a new expression tree. Unmapped references panic: the planner
+// must only remap expressions it knows are covered.
+func Remap(e Expr, mapping map[int]int) Expr {
+	switch x := e.(type) {
+	case *ColRef:
+		ni, ok := mapping[x.Idx]
+		if !ok {
+			panic("expr: Remap of uncovered column")
+		}
+		return &ColRef{Idx: ni, Name: x.Name, Typ: x.Typ}
+	case *Const:
+		return x
+	case *Cmp:
+		return &Cmp{Op: x.Op, L: Remap(x.L, mapping), R: Remap(x.R, mapping)}
+	case *Logic:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = Remap(k, mapping)
+		}
+		return &Logic{Op: x.Op, Kids: kids}
+	case *Arith:
+		return &Arith{Op: x.Op, L: Remap(x.L, mapping), R: Remap(x.R, mapping), typ: x.typ}
+	case *IsNull:
+		return &IsNull{E: Remap(x.E, mapping), Negate: x.Negate}
+	case *InList:
+		return &InList{E: Remap(x.E, mapping), Vals: x.Vals}
+	case *Like:
+		return &Like{E: Remap(x.E, mapping), Pattern: x.Pattern, Negate: x.Negate}
+	case *DateFunc:
+		return &DateFunc{Name: x.Name, E: Remap(x.E, mapping)}
+	default:
+		panic("expr: Remap of unknown expression")
+	}
+}

@@ -1,0 +1,553 @@
+package plan
+
+import (
+	"fmt"
+
+	"apollo/internal/exec"
+	"apollo/internal/exec/batchexec"
+	"apollo/internal/exec/rowexec"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+)
+
+// Mode selects the execution rule set.
+type Mode int
+
+// Execution modes. Mode2014 is the paper's "upcoming release": the full batch
+// repertoire. Mode2012 uses batch mode only for plans within the 2012
+// repertoire, falling back to row mode otherwise. ModeRow forces the
+// row-at-a-time engine.
+const (
+	Mode2014 Mode = iota
+	Mode2012
+	ModeRow
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Mode2012:
+		return "2012"
+	case ModeRow:
+		return "row"
+	default:
+		return "2014"
+	}
+}
+
+// Options control compilation.
+type Options struct {
+	Mode     Mode
+	Parallel int // scan DOP (degree of parallelism); <=1 serial
+
+	// MemoryBudget caps hash-operator memory; 0 = unlimited. SpillStore
+	// receives spill partitions (required for a finite budget to take
+	// effect).
+	MemoryBudget int64
+	SpillStore   *storage.Store
+
+	// Ablation switches for the experiment harness.
+	NoSegmentElimination bool // disable min/max segment skipping + range pushdown
+	NoBloom              bool // disable bitmap filter placement
+	NoBuildSideSwap      bool // keep joins as written
+
+	// StatsCache, when set, is reused across compilations (the SQL engine
+	// keeps one per database so statistics are not re-collected per query).
+	StatsCache *StatsCache
+}
+
+// Compiled is an executable query.
+type Compiled struct {
+	Plan      Node // optimized logical plan
+	BatchMode bool // effective execution mode
+	Schema    *sqltypes.Schema
+
+	batch batchexec.Operator
+	row   rowexec.Operator
+
+	// MetadataOnly reports that the query was answered entirely from
+	// segment-directory metadata (no row data touched).
+	MetadataOnly bool
+	// ScanStats exposes per-scan pushdown counters (batch mode only),
+	// in scan discovery order.
+	ScanStats []*batchexec.ScanStats
+	// Tracker exposes spill accounting (batch mode only).
+	Tracker *batchexec.Tracker
+}
+
+// Explain renders the optimized logical plan with the chosen mode.
+func (c *Compiled) Explain() string {
+	mode := "row mode"
+	if c.BatchMode {
+		mode = "batch mode"
+	}
+	return "execution: " + mode + "\n" + Tree(c.Plan)
+}
+
+// Run executes the query and materializes the result rows.
+func (c *Compiled) Run() ([]sqltypes.Row, error) {
+	if c.BatchMode {
+		return batchexec.Drain(c.batch)
+	}
+	return rowexec.Drain(c.row)
+}
+
+// Compile optimizes the logical plan and lowers it to a physical operator
+// tree under the given options.
+func Compile(root Node, opts Options) (*Compiled, error) {
+	sc := opts.StatsCache
+	if sc == nil {
+		sc = NewStatsCache()
+	}
+	outSchema := root.Schema()
+
+	root = pushDownFilters(root)
+	root = extractJoinKeys(root)
+	if !opts.NoBuildSideSwap {
+		root = chooseBuildSides(root, sc)
+	}
+	root = pruneColumns(root)
+
+	useBatch := opts.Mode == Mode2014 || (opts.Mode == Mode2012 && supported2012(root))
+	c := &Compiled{Plan: root, BatchMode: useBatch, Schema: outSchema}
+
+	if useBatch {
+		cc := &batchCompiler{opts: opts, sc: sc, compiled: c}
+		op, err := cc.compile(root)
+		if err != nil {
+			return nil, err
+		}
+		cc.placeBlooms()
+		c.batch = op
+		return c, nil
+	}
+	op, err := compileRow(root)
+	if err != nil {
+		return nil, err
+	}
+	c.row = op
+	return c, nil
+}
+
+// --- Batch-mode lowering ---
+
+type pendingBloom struct {
+	join    *batchexec.HashJoin
+	scan    *batchexec.Scan
+	scanCol int
+	sel     float64 // estimated build selectivity relative to probe keys
+}
+
+type batchCompiler struct {
+	opts     Options
+	sc       *StatsCache
+	compiled *Compiled
+	tracker  *batchexec.Tracker
+	// scanFor maps logical scans to their physical operator for bloom wiring.
+	scanFor map[*Scan]*batchexec.Scan
+	blooms  []pendingBloom
+}
+
+func (cc *batchCompiler) getTracker() *batchexec.Tracker {
+	if cc.tracker == nil && cc.opts.MemoryBudget > 0 {
+		cc.tracker = batchexec.NewTracker(cc.opts.MemoryBudget)
+		cc.compiled.Tracker = cc.tracker
+	}
+	return cc.tracker
+}
+
+func (cc *batchCompiler) compile(n Node) (batchexec.Operator, error) {
+	switch x := n.(type) {
+	case *Scan:
+		return cc.compileScan(x)
+
+	case *Filter:
+		in, err := cc.compile(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return &batchexec.Filter{In: in, Pred: x.Pred}, nil
+
+	case *Project:
+		in, err := cc.compile(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return batchexec.NewProject(in, x.Exprs, x.Names), nil
+
+	case *Join:
+		return cc.compileJoin(x)
+
+	case *Agg:
+		if op, ok := tryMetadataAgg(x); ok {
+			cc.compiled.MetadataOnly = true
+			return op, nil
+		}
+		return cc.compileAgg(x)
+
+	case *Sort:
+		in, err := cc.compile(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return &batchexec.Sort{In: in, Keys: x.Keys}, nil
+
+	case *Limit:
+		// ORDER BY + LIMIT compiles to the batch Top-N operator.
+		if s, ok := x.In.(*Sort); ok && x.N >= 0 && x.Offset == 0 {
+			in, err := cc.compile(s.In)
+			if err != nil {
+				return nil, err
+			}
+			return &batchexec.TopN{In: in, Keys: s.Keys, N: x.N}, nil
+		}
+		in, err := cc.compile(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return &batchexec.Limit{In: in, Offset: x.Offset, N: x.N}, nil
+
+	case *Union:
+		ins := make([]batchexec.Operator, len(x.Ins))
+		for i, c := range x.Ins {
+			op, err := cc.compile(c)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = op
+		}
+		return &batchexec.UnionAll{Ins: ins}, nil
+
+	default:
+		return nil, fmt.Errorf("plan: cannot lower %T to batch mode", n)
+	}
+}
+
+// compileScan splits the scan filter into exact encoded-domain pushdowns and
+// a residual predicate, then builds the vectorized scan.
+func (cc *batchCompiler) compileScan(x *Scan) (*batchexec.Scan, error) {
+	cols := x.Cols
+	if cols == nil {
+		cols = make([]int, x.Table.Schema.Len())
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	s := batchexec.NewScan(x.Table.Snapshot(), cols)
+	s.Parallel = cc.opts.Parallel
+	s.Stats = &batchexec.ScanStats{}
+	cc.compiled.ScanStats = append(cc.compiled.ScanStats, s.Stats)
+
+	var residual []expr.Expr
+	if x.Filter != nil {
+		for _, c := range expr.Conjuncts(x.Filter) {
+			if cc.opts.NoSegmentElimination {
+				residual = append(residual, c)
+				continue
+			}
+			if pd, ok := exactPushdown(c, x.Table.Schema); ok {
+				s.Pushdowns = append(s.Pushdowns, pd)
+				continue
+			}
+			if dp, ok := dictPushdown(c, x.Table.Schema); ok {
+				s.DictPreds = append(s.DictPreds, dp)
+				continue
+			}
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		// Residual is bound to the table schema; remap to scan output
+		// positions (prune guarantees coverage).
+		m := map[int]int{}
+		for i, c := range cols {
+			m[c] = i
+		}
+		s.Residual = expr.Remap(andAll(residual), m)
+	}
+	if cc.scanFor == nil {
+		cc.scanFor = map[*Scan]*batchexec.Scan{}
+	}
+	cc.scanFor[x] = s
+	return s, nil
+}
+
+// exactPushdown recognizes conjuncts whose range semantics are preserved
+// exactly by the scan's closed-interval encoded-domain filter, so the
+// conjunct can be dropped from the residual: =, <=, >= on any orderable
+// column; < and > on integer-family columns (converted to closed bounds);
+// BETWEEN-style bounds arrive as separate conjuncts.
+func exactPushdown(c expr.Expr, schema *sqltypes.Schema) (batchexec.Pushdown, bool) {
+	for col := 0; col < schema.Len(); col++ {
+		lo, hi, loOpen, hiOpen, ok := expr.StrictColRange(c, col)
+		if !ok {
+			continue
+		}
+		colTyp := schema.Cols[col].Typ
+		intLike := colTyp == sqltypes.Int64 || colTyp == sqltypes.Date || colTyp == sqltypes.Bool
+		// Convert open integer bounds to closed ones.
+		if loOpen {
+			if !intLike || lo.Typ == sqltypes.Float64 {
+				return batchexec.Pushdown{}, false
+			}
+			lo = sqltypes.Value{Typ: lo.Typ, I: lo.I + 1}
+		}
+		if hiOpen {
+			if !intLike || hi.Typ == sqltypes.Float64 {
+				return batchexec.Pushdown{}, false
+			}
+			hi = sqltypes.Value{Typ: hi.Typ, I: hi.I - 1}
+		}
+		// Bounds must share the column's comparison domain.
+		if !lo.Null && !compatibleBound(colTyp, lo.Typ) {
+			return batchexec.Pushdown{}, false
+		}
+		if !hi.Null && !compatibleBound(colTyp, hi.Typ) {
+			return batchexec.Pushdown{}, false
+		}
+		return batchexec.Pushdown{Col: col, Lo: lo, Hi: hi}, true
+	}
+	return batchexec.Pushdown{}, false
+}
+
+// dictPushdown recognizes arbitrary single-column predicates over string
+// columns (LIKE, IN, <>, OR-of-equalities, ...) that can be evaluated once
+// per dictionary entry on compressed data. Predicates that hold on NULL
+// input stay in the residual, since encoded evaluation skips NULL rows.
+func dictPushdown(c expr.Expr, schema *sqltypes.Schema) (batchexec.DictPred, bool) {
+	refs := map[int]bool{}
+	expr.ReferencedCols(c, refs)
+	if len(refs) != 1 {
+		return batchexec.DictPred{}, false
+	}
+	var col int
+	for r := range refs {
+		col = r
+	}
+	if schema.Cols[col].Typ != sqltypes.String {
+		return batchexec.DictPred{}, false
+	}
+	single := expr.Remap(c, map[int]int{col: 0})
+	nullRes := single.Eval(sqltypes.Row{sqltypes.NewNull(sqltypes.String)})
+	if !nullRes.Null && nullRes.I != 0 {
+		return batchexec.DictPred{}, false // true on NULL (e.g. IS NULL)
+	}
+	return batchexec.DictPred{Col: col, Pred: single}, true
+}
+
+func compatibleBound(col, bound sqltypes.Type) bool {
+	if col == sqltypes.String {
+		return bound == sqltypes.String
+	}
+	if col == sqltypes.Float64 || bound == sqltypes.Float64 {
+		return col.Numeric() && bound.Numeric()
+	}
+	return bound != sqltypes.String
+}
+
+func (cc *batchCompiler) compileJoin(x *Join) (batchexec.Operator, error) {
+	if len(x.LeftKeys) == 0 {
+		return nil, fmt.Errorf("plan: batch join requires at least one equality key")
+	}
+	probe, err := cc.compile(x.Left)
+	if err != nil {
+		return nil, err
+	}
+	build, err := cc.compile(x.Right)
+	if err != nil {
+		return nil, err
+	}
+	pk, bk, err := keyColumns(x.LeftKeys, x.RightKeys)
+	if err != nil {
+		return nil, err
+	}
+	j, err := batchexec.NewHashJoin(probe, build, pk, bk, x.Type, x.Residual)
+	if err != nil {
+		return nil, err
+	}
+	j.Tracker = cc.getTracker()
+	j.SpillStore = cc.opts.SpillStore
+
+	// Bitmap filter opportunity: single-key inner/semi join whose probe key
+	// traces to a base-table scan column, with a build side meaningfully
+	// smaller than the probe.
+	if !cc.opts.NoBloom && len(x.LeftKeys) == 1 && (x.Type == exec.Inner || x.Type == exec.LeftSemi) {
+		if key, ok := x.LeftKeys[0].(*expr.ColRef); ok {
+			if scanNode, tableCol, ok := traceToScan(x.Left, key.Idx); ok {
+				if phys, ok := cc.scanFor[scanNode]; ok {
+					buildRows := estimateRows(x.Right, cc.sc)
+					probeRows := estimateRows(x.Left, cc.sc)
+					if buildRows < probeRows/2 {
+						cc.blooms = append(cc.blooms, pendingBloom{join: j, scan: phys, scanCol: tableCol})
+					}
+				}
+			}
+		}
+	}
+	return j, nil
+}
+
+// traceToScan follows a column reference down through filters, projections of
+// plain columns, and the probe side of joins, to the base-table scan column
+// it originates from.
+func traceToScan(n Node, col int) (*Scan, int, bool) {
+	switch x := n.(type) {
+	case *Scan:
+		if x.Cols == nil {
+			return x, col, true
+		}
+		return x, x.Cols[col], true
+	case *Filter:
+		return traceToScan(x.In, col)
+	case *Project:
+		if cr, ok := x.Exprs[col].(*expr.ColRef); ok {
+			return traceToScan(x.In, cr.Idx)
+		}
+		return nil, 0, false
+	case *Join:
+		lw := x.Left.Schema().Len()
+		if col < lw {
+			return traceToScan(x.Left, col)
+		}
+		return nil, 0, false
+	default:
+		return nil, 0, false
+	}
+}
+
+// placeBlooms wires pending bitmap filters from joins to scans.
+func (cc *batchCompiler) placeBlooms() {
+	for _, pb := range cc.blooms {
+		target := &batchexec.BloomTarget{}
+		pb.join.BloomOut = target
+		pb.scan.Blooms = append(pb.scan.Blooms, batchexec.BloomPred{Col: pb.scanCol, Target: target})
+	}
+}
+
+// compileAgg inserts a projection materializing group keys and aggregate
+// arguments as columns, then builds the vectorized hash aggregation.
+func (cc *batchCompiler) compileAgg(x *Agg) (batchexec.Operator, error) {
+	var exprs []expr.Expr
+	var names []string
+	for i, g := range x.GroupBy {
+		exprs = append(exprs, g)
+		names = append(names, x.Names[i])
+	}
+	aggs := make([]exec.AggSpec, len(x.Aggs))
+	for i, sp := range x.Aggs {
+		aggs[i] = sp
+		if sp.Arg != nil {
+			pos := len(exprs)
+			exprs = append(exprs, sp.Arg)
+			names = append(names, fmt.Sprintf("_arg%d", i))
+			aggs[i].Arg = expr.NewColRef(pos, names[pos], sp.Arg.Type())
+		}
+	}
+	in, err := cc.compile(x.In)
+	if err != nil {
+		return nil, err
+	}
+	var inOp batchexec.Operator = batchexec.NewProject(in, exprs, names)
+	groupBy := make([]int, len(x.GroupBy))
+	for i := range groupBy {
+		groupBy[i] = i
+	}
+	agg := batchexec.NewHashAgg(inOp, groupBy, x.Names, aggs)
+	agg.Tracker = cc.getTracker()
+	agg.SpillStore = cc.opts.SpillStore
+	return agg, nil
+}
+
+// keyColumns requires join keys to be plain column references.
+func keyColumns(lks, rks []expr.Expr) ([]int, []int, error) {
+	pk := make([]int, len(lks))
+	bk := make([]int, len(rks))
+	for i := range lks {
+		lc, lok := lks[i].(*expr.ColRef)
+		rc, rok := rks[i].(*expr.ColRef)
+		if !lok || !rok {
+			return nil, nil, fmt.Errorf("plan: join keys must be columns (got %s = %s)", lks[i], rks[i])
+		}
+		pk[i] = lc.Idx
+		bk[i] = rc.Idx
+	}
+	return pk, bk, nil
+}
+
+// --- Row-mode lowering ---
+
+func compileRow(n Node) (rowexec.Operator, error) {
+	switch x := n.(type) {
+	case *Scan:
+		cols := x.Cols
+		var filter expr.Expr
+		if x.Filter != nil {
+			filter = x.Filter // bound to full table schema, as Scan expects
+		}
+		return rowexec.NewScan(x.Table.Snapshot(), filter, cols), nil
+
+	case *Filter:
+		in, err := compileRow(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return &rowexec.Filter{In: in, Pred: x.Pred}, nil
+
+	case *Project:
+		in, err := compileRow(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return rowexec.NewProject(in, x.Exprs, x.Names), nil
+
+	case *Join:
+		probe, err := compileRow(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		build, err := compileRow(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		if len(x.LeftKeys) == 0 {
+			// Keyless join: nested loops over the residual.
+			return rowexec.NewNestedLoopJoin(probe, build, x.Residual, x.Type)
+		}
+		return rowexec.NewHashJoin(probe, build, x.LeftKeys, x.RightKeys, x.Type, x.Residual)
+
+	case *Agg:
+		in, err := compileRow(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return rowexec.NewHashAggregate(in, x.GroupBy, x.Names, x.Aggs), nil
+
+	case *Sort:
+		in, err := compileRow(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return &rowexec.Sort{In: in, Keys: x.Keys}, nil
+
+	case *Limit:
+		in, err := compileRow(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return &rowexec.Limit{In: in, Offset: x.Offset, N: x.N}, nil
+
+	case *Union:
+		ins := make([]rowexec.Operator, len(x.Ins))
+		for i, c := range x.Ins {
+			op, err := compileRow(c)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = op
+		}
+		return &rowexec.UnionAll{Ins: ins}, nil
+
+	default:
+		return nil, fmt.Errorf("plan: cannot lower %T to row mode", n)
+	}
+}

@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"apollo/internal/exec"
+	"apollo/internal/exec/batchexec"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+)
+
+// tryMetadataAgg recognizes scalar aggregations answerable from the segment
+// directory without touching row data — one of the §6 query-optimization
+// enhancements the columnstore's rich metadata enables:
+//
+//	SELECT COUNT(*) FROM t                -- row counts are directory entries
+//	SELECT MIN(c), MAX(c) FROM t         -- per-segment min/max fold together
+//
+// Requirements: no GROUP BY, no filter on the scan, every aggregate either
+// COUNT(*) or MIN/MAX of a plain column; MIN/MAX additionally require a
+// delete-free table (a deleted row could hold the extremum). Delta rows are
+// folded in by scanning them directly (they are few by construction).
+func tryMetadataAgg(a *Agg) (batchexec.Operator, bool) {
+	if len(a.GroupBy) != 0 {
+		return nil, false
+	}
+	scan, ok := a.In.(*Scan)
+	if !ok || scan.Filter != nil {
+		return nil, false
+	}
+	needMinMax := false
+	for _, sp := range a.Aggs {
+		switch sp.Kind {
+		case exec.CountStar:
+		case exec.Min, exec.Max:
+			if _, isCol := sp.Arg.(*expr.ColRef); !isCol {
+				return nil, false
+			}
+			needMinMax = true
+		default:
+			return nil, false
+		}
+	}
+
+	snap := scan.Table.Snapshot()
+	if needMinMax {
+		for _, bm := range snap.Deletes {
+			if bm != nil && bm.Any() {
+				return nil, false
+			}
+		}
+	}
+
+	out := make(sqltypes.Row, len(a.Aggs))
+	for i, sp := range a.Aggs {
+		switch sp.Kind {
+		case exec.CountStar:
+			out[i] = sqltypes.NewInt(int64(snap.Rows()))
+		case exec.Min, exec.Max:
+			col := sp.Arg.(*expr.ColRef)
+			tableCol := col.Idx
+			if scan.Cols != nil {
+				tableCol = scan.Cols[col.Idx]
+			}
+			v := sqltypes.NewNull(sp.ResultType())
+			fold := func(cand sqltypes.Value) {
+				if cand.Null {
+					return
+				}
+				if v.Null ||
+					(sp.Kind == exec.Min && sqltypes.Compare(cand, v) < 0) ||
+					(sp.Kind == exec.Max && sqltypes.Compare(cand, v) > 0) {
+					v = cand
+				}
+			}
+			for _, g := range snap.Groups {
+				if sp.Kind == exec.Min {
+					fold(g.Segs[tableCol].Min)
+				} else {
+					fold(g.Segs[tableCol].Max)
+				}
+			}
+			for _, row := range snap.Delta {
+				fold(row[tableCol])
+			}
+			out[i] = v
+		}
+	}
+	return &batchexec.Values{Rows: []sqltypes.Row{out}, Sch: a.Schema()}, true
+}

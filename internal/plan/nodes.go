@@ -1,0 +1,229 @@
+// Package plan defines the logical query plan and the optimizer/compiler
+// that turns it into row-mode or batch-mode physical operator trees. The
+// optimizer implements the paper's query-optimization enhancements (§6):
+// predicate pushdown into columnstore scans (including segment-elimination
+// ranges), column pruning, hash-join build-side selection by estimated
+// cardinality, bitmap (Bloom) filter placement on star joins, and
+// execution-mode selection under three rule sets — row-only, the restricted
+// 2012 batch repertoire (which falls back to row mode for unsupported
+// shapes), and the full 2014 repertoire.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+	"apollo/internal/table"
+)
+
+// Node is a logical plan operator.
+type Node interface {
+	Schema() *sqltypes.Schema
+	String() string
+}
+
+// Scan reads a table. Filter (optional) is bound to the full table schema;
+// Cols selects the output columns (nil = all). The binder creates scans with
+// Cols nil; the pruning pass narrows them.
+type Scan struct {
+	Table  *table.Table
+	Filter expr.Expr
+	Cols   []int
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() *sqltypes.Schema {
+	if s.Cols == nil {
+		return s.Table.Schema
+	}
+	return s.Table.Schema.Project(s.Cols)
+}
+
+func (s *Scan) String() string {
+	out := "Scan(" + s.Table.Name
+	if s.Filter != nil {
+		out += " filter=" + s.Filter.String()
+	}
+	return out + ")"
+}
+
+// Filter drops rows failing Pred (bound to the child schema).
+type Filter struct {
+	In   Node
+	Pred expr.Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() *sqltypes.Schema { return f.In.Schema() }
+func (f *Filter) String() string           { return "Filter(" + f.Pred.String() + ")" }
+
+// Project computes expressions over the child.
+type Project struct {
+	In    Node
+	Exprs []expr.Expr
+	Names []string
+}
+
+// Schema implements Node.
+func (p *Project) Schema() *sqltypes.Schema {
+	cols := make([]sqltypes.Column, len(p.Exprs))
+	for i, e := range p.Exprs {
+		cols[i] = sqltypes.Column{Name: p.Names[i], Typ: e.Type(), Nullable: true}
+	}
+	return sqltypes.NewSchema(cols...)
+}
+
+func (p *Project) String() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// Join combines children on equi-keys plus an optional residual predicate
+// bound to the concatenated left++right schema. Semi/anti joins output only
+// left columns.
+type Join struct {
+	Left, Right Node
+	Type        exec.JoinType
+	// LeftKeys/RightKeys are bound to the respective child schemas.
+	LeftKeys, RightKeys []expr.Expr
+	Residual            expr.Expr
+}
+
+// Schema implements Node.
+func (j *Join) Schema() *sqltypes.Schema {
+	switch j.Type {
+	case exec.LeftSemi, exec.LeftAnti:
+		return j.Left.Schema()
+	default:
+		return j.Left.Schema().Concat(j.Right.Schema())
+	}
+}
+
+func (j *Join) String() string {
+	keys := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		keys[i] = fmt.Sprintf("%s=%s", j.LeftKeys[i], j.RightKeys[i])
+	}
+	out := fmt.Sprintf("Join(%v on %s", j.Type, strings.Join(keys, " AND "))
+	if j.Residual != nil {
+		out += " residual=" + j.Residual.String()
+	}
+	return out + ")"
+}
+
+// Agg groups by expressions over the child and computes aggregates. With no
+// GroupBy it is a scalar aggregation producing one row.
+type Agg struct {
+	In      Node
+	GroupBy []expr.Expr
+	Names   []string
+	Aggs    []exec.AggSpec
+}
+
+// Schema implements Node.
+func (a *Agg) Schema() *sqltypes.Schema {
+	cols := make([]sqltypes.Column, 0, len(a.GroupBy)+len(a.Aggs))
+	for i, g := range a.GroupBy {
+		cols = append(cols, sqltypes.Column{Name: a.Names[i], Typ: g.Type(), Nullable: true})
+	}
+	for _, sp := range a.Aggs {
+		cols = append(cols, sqltypes.Column{Name: sp.Name, Typ: sp.ResultType(), Nullable: true})
+	}
+	return sqltypes.NewSchema(cols...)
+}
+
+func (a *Agg) String() string {
+	parts := make([]string, 0, len(a.GroupBy)+len(a.Aggs))
+	for _, g := range a.GroupBy {
+		parts = append(parts, g.String())
+	}
+	for _, sp := range a.Aggs {
+		parts = append(parts, sp.String())
+	}
+	return "Agg(" + strings.Join(parts, ", ") + ")"
+}
+
+// Sort orders the child's rows.
+type Sort struct {
+	In   Node
+	Keys []exec.SortKey
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() *sqltypes.Schema { return s.In.Schema() }
+
+func (s *Sort) String() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.E.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return "Sort(" + strings.Join(parts, ", ") + ")"
+}
+
+// Limit emits at most N rows (N < 0 = unlimited) after skipping Offset.
+type Limit struct {
+	In     Node
+	Offset int
+	N      int
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() *sqltypes.Schema { return l.In.Schema() }
+func (l *Limit) String() string           { return fmt.Sprintf("Limit(%d, %d)", l.Offset, l.N) }
+
+// Union concatenates children with identical schemas (UNION ALL).
+type Union struct {
+	Ins []Node
+}
+
+// Schema implements Node.
+func (u *Union) Schema() *sqltypes.Schema { return u.Ins[0].Schema() }
+func (u *Union) String() string           { return fmt.Sprintf("UnionAll(%d inputs)", len(u.Ins)) }
+
+// Tree renders an indented plan tree (EXPLAIN output).
+func Tree(n Node) string {
+	var sb strings.Builder
+	tree(&sb, n, 0)
+	return sb.String()
+}
+
+func tree(sb *strings.Builder, n Node, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(n.String())
+	sb.WriteString("\n")
+	for _, c := range children(n) {
+		tree(sb, c, depth+1)
+	}
+}
+
+func children(n Node) []Node {
+	switch x := n.(type) {
+	case *Scan:
+		return nil
+	case *Filter:
+		return []Node{x.In}
+	case *Project:
+		return []Node{x.In}
+	case *Join:
+		return []Node{x.Left, x.Right}
+	case *Agg:
+		return []Node{x.In}
+	case *Sort:
+		return []Node{x.In}
+	case *Limit:
+		return []Node{x.In}
+	case *Union:
+		return x.Ins
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,231 @@
+package plan
+
+import (
+	"sort"
+
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+)
+
+// pruneColumns rewrites the tree so every Scan reads only the columns some
+// ancestor actually uses — the projection pruning that lets a columnstore
+// scan skip entire segments. The root keeps its full schema.
+func pruneColumns(n Node) Node {
+	all := make([]int, n.Schema().Len())
+	for i := range all {
+		all[i] = i
+	}
+	out, m := prune(n, all)
+	// The root mapping must be the identity; if pruning reordered outputs,
+	// restore them with a projection.
+	identity := true
+	for _, p := range all {
+		if m[p] != p {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return out
+	}
+	sch := n.Schema()
+	exprs := make([]expr.Expr, len(all))
+	names := make([]string, len(all))
+	for i := range all {
+		exprs[i] = expr.NewColRef(m[i], sch.Cols[i].Name, sch.Cols[i].Typ)
+		names[i] = sch.Cols[i].Name
+	}
+	return &Project{In: out, Exprs: exprs, Names: names}
+}
+
+// prune narrows n to produce (at least) the columns in needed (positions in
+// n's output schema). It returns the rewritten node and a mapping from old
+// output positions (for every position in needed) to new positions.
+func prune(n Node, needed []int) (Node, map[int]int) {
+	switch x := n.(type) {
+	case *Scan:
+		read := map[int]bool{}
+		for _, p := range needed {
+			read[p] = true
+		}
+		if x.Filter != nil {
+			expr.ReferencedCols(x.Filter, read)
+		}
+		cols := make([]int, 0, len(read))
+		for c := range read {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		m := map[int]int{}
+		for i, c := range cols {
+			m[c] = i
+		}
+		return &Scan{Table: x.Table, Filter: x.Filter, Cols: cols}, m
+
+	case *Filter:
+		childNeeded := map[int]bool{}
+		for _, p := range needed {
+			childNeeded[p] = true
+		}
+		expr.ReferencedCols(x.Pred, childNeeded)
+		in, m := prune(x.In, keysOf(childNeeded))
+		return &Filter{In: in, Pred: expr.Remap(x.Pred, m)}, m
+
+	case *Project:
+		keep := append([]int(nil), needed...)
+		sort.Ints(keep)
+		childNeeded := map[int]bool{}
+		for _, p := range keep {
+			expr.ReferencedCols(x.Exprs[p], childNeeded)
+		}
+		in, cm := prune(x.In, keysOf(childNeeded))
+		exprs := make([]expr.Expr, len(keep))
+		names := make([]string, len(keep))
+		m := map[int]int{}
+		for i, p := range keep {
+			exprs[i] = expr.Remap(x.Exprs[p], cm)
+			names[i] = x.Names[p]
+			m[p] = i
+		}
+		return &Project{In: in, Exprs: exprs, Names: names}, m
+
+	case *Join:
+		lw := x.Left.Schema().Len()
+		leftNeeded := map[int]bool{}
+		rightNeeded := map[int]bool{}
+		for _, p := range needed {
+			if p < lw {
+				leftNeeded[p] = true
+			} else {
+				rightNeeded[p-lw] = true
+			}
+		}
+		for _, k := range x.LeftKeys {
+			expr.ReferencedCols(k, leftNeeded)
+		}
+		for _, k := range x.RightKeys {
+			expr.ReferencedCols(k, rightNeeded)
+		}
+		if x.Residual != nil {
+			refs := map[int]bool{}
+			expr.ReferencedCols(x.Residual, refs)
+			for r := range refs {
+				if r < lw {
+					leftNeeded[r] = true
+				} else {
+					rightNeeded[r-lw] = true
+				}
+			}
+		}
+		left, lm := prune(x.Left, keysOf(leftNeeded))
+		right, rm := prune(x.Right, keysOf(rightNeeded))
+		newLW := left.Schema().Len()
+
+		j := &Join{Left: left, Right: right, Type: x.Type}
+		for i := range x.LeftKeys {
+			j.LeftKeys = append(j.LeftKeys, expr.Remap(x.LeftKeys[i], lm))
+			j.RightKeys = append(j.RightKeys, expr.Remap(x.RightKeys[i], rm))
+		}
+		if x.Residual != nil {
+			cm := map[int]int{}
+			for o, v := range lm {
+				cm[o] = v
+			}
+			for o, v := range rm {
+				cm[lw+o] = newLW + v
+			}
+			j.Residual = expr.Remap(x.Residual, cm)
+		}
+		m := map[int]int{}
+		for _, p := range needed {
+			if p < lw {
+				m[p] = lm[p]
+			} else {
+				m[p] = newLW + rm[p-lw]
+			}
+		}
+		return j, m
+
+	case *Agg:
+		childNeeded := map[int]bool{}
+		for _, g := range x.GroupBy {
+			expr.ReferencedCols(g, childNeeded)
+		}
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				expr.ReferencedCols(a.Arg, childNeeded)
+			}
+		}
+		in, cm := prune(x.In, keysOf(childNeeded))
+		a2 := &Agg{In: in, Names: x.Names}
+		for _, g := range x.GroupBy {
+			a2.GroupBy = append(a2.GroupBy, expr.Remap(g, cm))
+		}
+		for _, sp := range x.Aggs {
+			ns := sp
+			if sp.Arg != nil {
+				ns.Arg = expr.Remap(sp.Arg, cm)
+			}
+			a2.Aggs = append(a2.Aggs, ns)
+		}
+		m := map[int]int{}
+		for i := 0; i < x.Schema().Len(); i++ {
+			m[i] = i // aggregation outputs are kept verbatim
+		}
+		return a2, m
+
+	case *Sort:
+		childNeeded := map[int]bool{}
+		for _, p := range needed {
+			childNeeded[p] = true
+		}
+		for _, k := range x.Keys {
+			expr.ReferencedCols(k.E, childNeeded)
+		}
+		in, m := prune(x.In, keysOf(childNeeded))
+		keys := make([]exec.SortKey, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = exec.SortKey{E: expr.Remap(k.E, m), Desc: k.Desc}
+		}
+		return &Sort{In: in, Keys: keys}, m
+
+	case *Limit:
+		in, m := prune(x.In, needed)
+		return &Limit{In: in, Offset: x.Offset, N: x.N}, m
+
+	case *Union:
+		// Normalize every child to exactly the needed columns, in order, so
+		// branch schemas stay aligned.
+		keep := append([]int(nil), needed...)
+		sort.Ints(keep)
+		sch := x.Schema()
+		ins := make([]Node, len(x.Ins))
+		for i, c := range x.Ins {
+			pc, cm := prune(c, keep)
+			exprs := make([]expr.Expr, len(keep))
+			names := make([]string, len(keep))
+			for j, p := range keep {
+				exprs[j] = expr.NewColRef(cm[p], sch.Cols[p].Name, sch.Cols[p].Typ)
+				names[j] = sch.Cols[p].Name
+			}
+			ins[i] = &Project{In: pc, Exprs: exprs, Names: names}
+		}
+		m := map[int]int{}
+		for j, p := range keep {
+			m[p] = j
+		}
+		return &Union{Ins: ins}, m
+
+	default:
+		panic("plan: prune of unknown node")
+	}
+}
+
+func keysOf(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,360 @@
+// Package rowstore is the row-organized baseline the paper compares against:
+// a heap table of slotted pages with three compression levels mirroring SQL
+// Server's options — NONE (fixed-width fields), ROW (variable-length/varint
+// encoding), and PAGE (row compression plus a per-page dictionary for string
+// columns). Pages live in the storage substrate so scans pay the same
+// accounted I/O as columnstore segments.
+package rowstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+)
+
+// Compression is the row-store compression level.
+type Compression uint8
+
+// Row-store compression levels.
+const (
+	None Compression = iota // fixed-width fields, strings inline
+	Row                     // varint fields, null bitmap (ROW compression)
+	Page                    // Row + per-page string dictionary (PAGE compression)
+)
+
+func (c Compression) String() string {
+	switch c {
+	case Row:
+		return "ROW"
+	case Page:
+		return "PAGE"
+	default:
+		return "NONE"
+	}
+}
+
+// PageSizeBytes is the target page payload size (8 KB, like SQL Server).
+const PageSizeBytes = 8 << 10
+
+// Table is a heap row-store table.
+type Table struct {
+	Name   string
+	Schema *sqltypes.Schema
+	Comp   Compression
+
+	store    *storage.Store
+	pages    []storage.BlobID
+	pageRows []int
+	rows     int
+
+	// Open page under construction.
+	curRows []sqltypes.Row
+	curSize int
+}
+
+// New creates an empty row-store table.
+func New(store *storage.Store, name string, schema *sqltypes.Schema, comp Compression) *Table {
+	return &Table{Name: name, Schema: schema, Comp: comp, store: store}
+}
+
+// Append adds one row, flushing a page when it fills.
+func (t *Table) Append(row sqltypes.Row) error {
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("rowstore %s: row width %d, want %d", t.Name, len(row), t.Schema.Len())
+	}
+	t.curRows = append(t.curRows, row.Clone())
+	t.curSize += t.estRowSize(row)
+	if t.curSize >= PageSizeBytes {
+		return t.Flush()
+	}
+	return nil
+}
+
+// AppendMany adds rows, then flushes the final partial page.
+func (t *Table) AppendMany(rows []sqltypes.Row) error {
+	for _, r := range rows {
+		if err := t.Append(r); err != nil {
+			return err
+		}
+	}
+	return t.Flush()
+}
+
+func (t *Table) estRowSize(row sqltypes.Row) int {
+	n := 0
+	for _, v := range row {
+		if v.Typ == sqltypes.String {
+			n += len(v.S) + 2
+		} else {
+			n += 8
+		}
+	}
+	return n
+}
+
+// Flush writes the open page to storage.
+func (t *Table) Flush() error {
+	if len(t.curRows) == 0 {
+		return nil
+	}
+	payload := encodePage(t.Schema, t.curRows, t.Comp)
+	id, err := t.store.Put(payload, storage.None)
+	if err != nil {
+		return fmt.Errorf("rowstore %s: flush page: %w", t.Name, err)
+	}
+	t.pages = append(t.pages, id)
+	t.pageRows = append(t.pageRows, len(t.curRows))
+	t.rows += len(t.curRows)
+	t.curRows = t.curRows[:0]
+	t.curSize = 0
+	return nil
+}
+
+// Rows returns the number of rows (flushed + open page).
+func (t *Table) Rows() int { return t.rows + len(t.curRows) }
+
+// Pages returns the number of flushed pages.
+func (t *Table) Pages() int { return len(t.pages) }
+
+// DiskBytes totals the at-rest size of flushed pages.
+func (t *Table) DiskBytes() int {
+	total := 0
+	for _, id := range t.pages {
+		d, _, _ := t.store.SizeOf(id)
+		total += d
+	}
+	return total
+}
+
+// Scan calls fn for every row in heap order (flushed pages, then the open
+// page). fn returning false stops the scan.
+func (t *Table) Scan(fn func(sqltypes.Row) bool) error {
+	row := make(sqltypes.Row, t.Schema.Len())
+	for pi, id := range t.pages {
+		payload, err := t.store.Get(id)
+		if err != nil {
+			return fmt.Errorf("rowstore %s: read page %d: %w", t.Name, pi, err)
+		}
+		stop, err := decodePage(t.Schema, payload, t.Comp, row, fn)
+		if err != nil {
+			return fmt.Errorf("rowstore %s: page %d: %w", t.Name, pi, err)
+		}
+		if stop {
+			return nil
+		}
+	}
+	for _, r := range t.curRows {
+		copy(row, r)
+		if !fn(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// --- Page codec ---
+
+// encodePage serializes rows at the given compression level.
+//
+// Layout: uvarint nrows, then (Page only) a string dictionary, then rows.
+func encodePage(schema *sqltypes.Schema, rows []sqltypes.Row, comp Compression) []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(rows)))
+
+	var dict map[string]uint64
+	if comp == Page {
+		// Per-page dictionary over all string values, in first-seen order.
+		dict = make(map[string]uint64)
+		var vals []string
+		for _, r := range rows {
+			for ci, col := range schema.Cols {
+				if col.Typ != sqltypes.String || r[ci].Null {
+					continue
+				}
+				if _, ok := dict[r[ci].S]; !ok {
+					dict[r[ci].S] = uint64(len(vals))
+					vals = append(vals, r[ci].S)
+				}
+			}
+		}
+		out = binary.AppendUvarint(out, uint64(len(vals)))
+		for _, s := range vals {
+			out = binary.AppendUvarint(out, uint64(len(s)))
+			out = append(out, s...)
+		}
+	}
+
+	for _, r := range rows {
+		out = encodePageRow(out, schema, r, comp, dict)
+	}
+	return out
+}
+
+func encodePageRow(dst []byte, schema *sqltypes.Schema, row sqltypes.Row, comp Compression, dict map[string]uint64) []byte {
+	// Null bitmap (all levels; NONE spends a full byte per column to mimic
+	// fixed-format row headers).
+	if comp == None {
+		for _, v := range row {
+			if v.Null {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	} else {
+		n := len(schema.Cols)
+		off := len(dst)
+		for i := 0; i < (n+7)/8; i++ {
+			dst = append(dst, 0)
+		}
+		for i, v := range row {
+			if v.Null {
+				dst[off+i/8] |= 1 << uint(i%8)
+			}
+		}
+	}
+	for ci, col := range schema.Cols {
+		v := row[ci]
+		if v.Null {
+			if comp == None && col.Typ != sqltypes.String {
+				// Fixed format still occupies the slot.
+				dst = append(dst, make([]byte, 8)...)
+			} else if comp == None {
+				dst = binary.AppendUvarint(dst, 0)
+			}
+			continue
+		}
+		switch col.Typ {
+		case sqltypes.Float64:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case sqltypes.String:
+			if comp == Page {
+				dst = binary.AppendUvarint(dst, dict[v.S])
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+				dst = append(dst, v.S...)
+			}
+		default: // Int64, Date, Bool
+			if comp == None {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(v.I))
+			} else {
+				dst = binary.AppendVarint(dst, v.I)
+			}
+		}
+	}
+	return dst
+}
+
+// decodePage iterates a page's rows into fn, reusing row storage.
+func decodePage(schema *sqltypes.Schema, buf []byte, comp Compression, row sqltypes.Row, fn func(sqltypes.Row) bool) (stopped bool, err error) {
+	pos := 0
+	nrows, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return false, fmt.Errorf("bad page row count")
+	}
+	pos += n
+
+	var dict []string
+	if comp == Page {
+		dn, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return false, fmt.Errorf("bad page dict count")
+		}
+		pos += n
+		dict = make([]string, dn)
+		for i := range dict {
+			l, n := binary.Uvarint(buf[pos:])
+			if n <= 0 || pos+n+int(l) > len(buf) {
+				return false, fmt.Errorf("bad page dict entry")
+			}
+			pos += n
+			dict[i] = string(buf[pos : pos+int(l)])
+			pos += int(l)
+		}
+	}
+
+	ncols := len(schema.Cols)
+	for r := uint64(0); r < nrows; r++ {
+		// Nulls.
+		nulls := make([]bool, ncols)
+		if comp == None {
+			if pos+ncols > len(buf) {
+				return false, fmt.Errorf("page truncated")
+			}
+			for i := 0; i < ncols; i++ {
+				nulls[i] = buf[pos+i] != 0
+			}
+			pos += ncols
+		} else {
+			nb := (ncols + 7) / 8
+			if pos+nb > len(buf) {
+				return false, fmt.Errorf("page truncated")
+			}
+			for i := 0; i < ncols; i++ {
+				nulls[i] = buf[pos+i/8]&(1<<uint(i%8)) != 0
+			}
+			pos += nb
+		}
+		for ci, col := range schema.Cols {
+			if nulls[ci] {
+				row[ci] = sqltypes.NewNull(col.Typ)
+				if comp == None {
+					if col.Typ == sqltypes.String {
+						_, n := binary.Uvarint(buf[pos:])
+						pos += n
+					} else {
+						pos += 8
+					}
+				}
+				continue
+			}
+			switch col.Typ {
+			case sqltypes.Float64:
+				if pos+8 > len(buf) {
+					return false, fmt.Errorf("page truncated")
+				}
+				row[ci] = sqltypes.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
+				pos += 8
+			case sqltypes.String:
+				if comp == Page {
+					id, n := binary.Uvarint(buf[pos:])
+					if n <= 0 || id >= uint64(len(dict)) {
+						return false, fmt.Errorf("bad dict reference")
+					}
+					pos += n
+					row[ci] = sqltypes.NewString(dict[id])
+				} else {
+					l, n := binary.Uvarint(buf[pos:])
+					if n <= 0 || pos+n+int(l) > len(buf) {
+						return false, fmt.Errorf("bad string")
+					}
+					pos += n
+					row[ci] = sqltypes.NewString(string(buf[pos : pos+int(l)]))
+					pos += int(l)
+				}
+			default:
+				if comp == None {
+					if pos+8 > len(buf) {
+						return false, fmt.Errorf("page truncated")
+					}
+					row[ci] = sqltypes.Value{Typ: col.Typ, I: int64(binary.LittleEndian.Uint64(buf[pos:]))}
+					pos += 8
+				} else {
+					v, n := binary.Varint(buf[pos:])
+					if n <= 0 {
+						return false, fmt.Errorf("bad varint")
+					}
+					row[ci] = sqltypes.Value{Typ: col.Typ, I: v}
+					pos += n
+				}
+			}
+		}
+		if !fn(row) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,166 @@
+package rowstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+)
+
+func testSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Name: "id", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "price", Typ: sqltypes.Float64, Nullable: true},
+		sqltypes.Column{Name: "cat", Typ: sqltypes.String, Nullable: true},
+		sqltypes.Column{Name: "flag", Typ: sqltypes.Bool},
+	)
+}
+
+func makeRows(n int, seed int64) []sqltypes.Row {
+	rng := rand.New(rand.NewSource(seed))
+	cats := []string{"alpha", "beta", "gamma", "delta"}
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		cat := sqltypes.NewString(cats[rng.Intn(len(cats))])
+		price := sqltypes.NewFloat(float64(rng.Intn(1000)) / 10)
+		if rng.Intn(15) == 0 {
+			cat = sqltypes.NewNull(sqltypes.String)
+		}
+		if rng.Intn(15) == 0 {
+			price = sqltypes.NewNull(sqltypes.Float64)
+		}
+		rows[i] = sqltypes.Row{sqltypes.NewInt(int64(i)), price, cat, sqltypes.NewBool(i%2 == 0)}
+	}
+	return rows
+}
+
+func roundTrip(t *testing.T, comp Compression) {
+	t.Helper()
+	store := storage.NewStore(storage.DefaultBufferPoolBytes)
+	tb := New(store, "t", testSchema(), comp)
+	rows := makeRows(5000, int64(comp))
+	if err := tb.AppendMany(rows); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 5000 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	if tb.Pages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", tb.Pages())
+	}
+	i := 0
+	err := tb.Scan(func(r sqltypes.Row) bool {
+		want := rows[i]
+		for c := range want {
+			if want[c].Null != r[c].Null || (!want[c].Null && sqltypes.Compare(want[c], r[c]) != 0) {
+				t.Fatalf("%v: row %d col %d: got %v, want %v", comp, i, c, r[c], want[c])
+			}
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 5000 {
+		t.Fatalf("scanned %d rows", i)
+	}
+}
+
+func TestRoundTripAllLevels(t *testing.T) {
+	for _, comp := range []Compression{None, Row, Page} {
+		t.Run(comp.String(), func(t *testing.T) { roundTrip(t, comp) })
+	}
+}
+
+func TestCompressionOrdering(t *testing.T) {
+	rows := makeRows(20000, 9)
+	sizes := map[Compression]int{}
+	for _, comp := range []Compression{None, Row, Page} {
+		store := storage.NewStore(storage.DefaultBufferPoolBytes)
+		tb := New(store, "t", testSchema(), comp)
+		if err := tb.AppendMany(rows); err != nil {
+			t.Fatal(err)
+		}
+		sizes[comp] = tb.DiskBytes()
+	}
+	if !(sizes[Page] < sizes[Row] && sizes[Row] < sizes[None]) {
+		t.Fatalf("compression ordering violated: %v", sizes)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	store := storage.NewStore(storage.DefaultBufferPoolBytes)
+	tb := New(store, "t", testSchema(), Row)
+	tb.AppendMany(makeRows(1000, 1))
+	n := 0
+	tb.Scan(func(sqltypes.Row) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop scanned %d", n)
+	}
+}
+
+func TestOpenPageVisibleToScan(t *testing.T) {
+	store := storage.NewStore(storage.DefaultBufferPoolBytes)
+	tb := New(store, "t", testSchema(), Row)
+	// Append without flushing (few rows stay in the open page).
+	for _, r := range makeRows(5, 2) {
+		if err := tb.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Pages() != 0 {
+		t.Fatal("unexpected flush")
+	}
+	n := 0
+	tb.Scan(func(sqltypes.Row) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("open-page rows not scanned: %d", n)
+	}
+}
+
+func TestAppendWidthMismatch(t *testing.T) {
+	store := storage.NewStore(storage.DefaultBufferPoolBytes)
+	tb := New(store, "t", testSchema(), Row)
+	if err := tb.Append(sqltypes.Row{sqltypes.NewInt(1)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestScanCountsIO(t *testing.T) {
+	store := storage.NewStore(0) // no cache: every page is a disk read
+	tb := New(store, "t", testSchema(), Page)
+	tb.AppendMany(makeRows(5000, 3))
+	store.ResetStats()
+	tb.Scan(func(sqltypes.Row) bool { return true })
+	st := store.Stats()
+	if st.Reads != int64(tb.Pages()) {
+		t.Fatalf("reads = %d, pages = %d", st.Reads, tb.Pages())
+	}
+}
+
+func TestLargeStrings(t *testing.T) {
+	store := storage.NewStore(storage.DefaultBufferPoolBytes)
+	schema := sqltypes.NewSchema(sqltypes.Column{Name: "s", Typ: sqltypes.String})
+	tb := New(store, "t", schema, Page)
+	var rows []sqltypes.Row
+	for i := 0; i < 100; i++ {
+		rows = append(rows, sqltypes.Row{sqltypes.NewString(fmt.Sprintf("%01000d", i))})
+	}
+	if err := tb.AppendMany(rows); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	tb.Scan(func(r sqltypes.Row) bool {
+		if r[0].S != fmt.Sprintf("%01000d", i) {
+			t.Fatalf("row %d mismatch", i)
+		}
+		i++
+		return true
+	})
+	if i != 100 {
+		t.Fatalf("scanned %d", i)
+	}
+}

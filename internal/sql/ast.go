@@ -1,0 +1,167 @@
+package sql
+
+import (
+	"apollo/internal/exec"
+	"apollo/internal/sqltypes"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE name (cols...) [WITH (options)].
+type CreateTable struct {
+	Name string
+	Cols []sqltypes.Column
+	// Options from the WITH clause.
+	RowGroupSize  int  // ROWGROUP_SIZE = n
+	BulkThreshold int  // BULK_THRESHOLD = n
+	Archive       bool // ARCHIVE
+	NoReorder     bool // NOREORDER
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// Insert is INSERT INTO name VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Expr // literal expressions per row
+}
+
+// Delete is DELETE FROM name [WHERE pred].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Update is UPDATE name SET col = expr, ... [WHERE pred].
+type Update struct {
+	Table string
+	Cols  []string
+	Exprs []Expr
+	Where Expr
+}
+
+// Reorganize is REORGANIZE name: force-close the open delta store and run
+// the tuple mover to completion (ALTER INDEX ... REORGANIZE in the paper).
+type Reorganize struct{ Table string }
+
+// Rebuild is REBUILD name: recompress the table, physically removing deleted
+// rows and folding delta rows into row groups (ALTER INDEX ... REBUILD).
+type Rebuild struct{ Table string }
+
+// Explain wraps a SELECT.
+type Explain struct{ Query *Select }
+
+// Select is a SELECT statement (possibly a UNION ALL chain).
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem // joined left-deep in order
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 = none
+	Offset   int
+	// UnionAll chains additional SELECTs with identical shapes.
+	UnionAll []*Select
+}
+
+// SelectItem is one output expression (or * when Star).
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// FromItem is a table reference with an optional join clause. The first item
+// has JoinKind Inner and On nil (it seeds the tree).
+type FromItem struct {
+	Table    string
+	Alias    string
+	JoinKind exec.JoinType
+	On       Expr // nil for comma joins (predicate lives in WHERE)
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Delete) stmt()      {}
+func (*Update) stmt()      {}
+func (*Reorganize) stmt()  {}
+func (*Rebuild) stmt()     {}
+func (*Explain) stmt()     {}
+func (*Select) stmt()      {}
+
+// Expr is a parsed (unbound) expression.
+type Expr interface{ expr() }
+
+// Lit is a literal value.
+type Lit struct{ Val sqltypes.Value }
+
+// Col is a column reference, optionally qualified.
+type Col struct{ Qual, Name string }
+
+// Bin is a binary operation: comparison, logic, or arithmetic.
+type Bin struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "+", "-", "*", "/", "%"
+	L, R Expr
+}
+
+// Unary is NOT or numeric negation.
+type Unary struct {
+	Op string // "NOT", "-"
+	E  Expr
+}
+
+// IsNullX is expr IS [NOT] NULL.
+type IsNullX struct {
+	E      Expr
+	Negate bool
+}
+
+// InX is expr [NOT] IN (literals...).
+type InX struct {
+	E      Expr
+	Vals   []Expr
+	Negate bool
+}
+
+// LikeX is expr [NOT] LIKE 'pattern'.
+type LikeX struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// BetweenX is expr [NOT] BETWEEN lo AND hi.
+type BetweenX struct {
+	E, Lo, Hi Expr
+	Negate    bool
+}
+
+// Call is a function call: aggregates (COUNT/SUM/AVG/MIN/MAX, with optional
+// DISTINCT and COUNT(*)) and date parts (YEAR/MONTH/DAY).
+type Call struct {
+	Name     string // upper case
+	Star     bool   // COUNT(*)
+	Distinct bool
+	Arg      Expr
+}
+
+func (*Lit) expr()      {}
+func (*Col) expr()      {}
+func (*Bin) expr()      {}
+func (*Unary) expr()    {}
+func (*IsNullX) expr()  {}
+func (*InX) expr()      {}
+func (*LikeX) expr()    {}
+func (*BetweenX) expr() {}
+func (*Call) expr()     {}

@@ -1,0 +1,770 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+	"apollo/internal/plan"
+	"apollo/internal/sqltypes"
+	"apollo/internal/table"
+)
+
+// Resolver supplies tables to the binder (satisfied by catalog.Catalog).
+type Resolver interface {
+	Get(name string) (*table.Table, error)
+}
+
+// Binder turns parsed statements into logical plans and bound DML actions.
+type Binder struct {
+	Tables Resolver
+}
+
+// scopeCol is one visible column during binding.
+type scopeCol struct {
+	Qual string // table alias ("" for derived columns)
+	Name string
+	Typ  sqltypes.Type
+}
+
+type scope struct {
+	cols []scopeCol
+}
+
+func (s *scope) resolve(qual, name string) (int, sqltypes.Type, error) {
+	found := -1
+	for i, c := range s.cols {
+		if c.Name != name {
+			continue
+		}
+		if qual != "" && c.Qual != qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, 0, fmt.Errorf("sql: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, 0, fmt.Errorf("sql: unknown column %s.%s", qual, name)
+		}
+		return 0, 0, fmt.Errorf("sql: unknown column %q", name)
+	}
+	return found, s.cols[found].Typ, nil
+}
+
+func tableScope(alias string, t *table.Table) *scope {
+	sc := &scope{}
+	for _, c := range t.Schema.Cols {
+		sc.cols = append(sc.cols, scopeCol{Qual: alias, Name: c.Name, Typ: c.Typ})
+	}
+	return sc
+}
+
+func concatScopes(a, b *scope) *scope {
+	return &scope{cols: append(append([]scopeCol(nil), a.cols...), b.cols...)}
+}
+
+// BindSelect builds a logical plan for a SELECT statement.
+func (b *Binder) BindSelect(s *Select) (plan.Node, error) {
+	if len(s.UnionAll) > 0 {
+		return b.bindUnion(s)
+	}
+	cr, err := b.bindCoreDetail(s)
+	if err != nil {
+		return nil, err
+	}
+	proj := &plan.Project{In: cr.node, Exprs: cr.items, Names: cr.names}
+	var node plan.Node = proj
+	if s.Distinct {
+		node = distinctOver(proj)
+	}
+
+	if len(s.OrderBy) > 0 {
+		outSchema := node.Schema()
+		keys := make([]exec.SortKey, len(s.OrderBy))
+		hidden := 0
+		for i, oi := range s.OrderBy {
+			// Ordinal?
+			if lit, ok := oi.Expr.(*Lit); ok && lit.Val.Typ == sqltypes.Int64 {
+				if lit.Val.I < 1 || int(lit.Val.I) > outSchema.Len() {
+					return nil, fmt.Errorf("sql: ORDER BY ordinal %d out of range", lit.Val.I)
+				}
+				c := outSchema.Cols[lit.Val.I-1]
+				keys[i] = exec.SortKey{E: expr.NewColRef(int(lit.Val.I-1), c.Name, c.Typ), Desc: oi.Desc}
+				continue
+			}
+			// Output alias or column name?
+			if c, ok := oi.Expr.(*Col); ok && c.Qual == "" {
+				if idx := outSchema.ColIndex(c.Name); idx >= 0 {
+					keys[i] = exec.SortKey{E: expr.NewColRef(idx, c.Name, outSchema.Cols[idx].Typ), Desc: oi.Desc}
+					continue
+				}
+			}
+			// General expression: sort on a hidden projected column (not
+			// compatible with DISTINCT, which fixes the output column set).
+			if s.Distinct {
+				return nil, fmt.Errorf("sql: ORDER BY with DISTINCT must name output columns")
+			}
+			e, err := cr.bindOrder(oi.Expr)
+			if err != nil {
+				return nil, err
+			}
+			pos := len(proj.Exprs)
+			proj.Exprs = append(proj.Exprs, e)
+			proj.Names = append(proj.Names, fmt.Sprintf("_sort%d", i))
+			hidden++
+			keys[i] = exec.SortKey{E: expr.NewColRef(pos, proj.Names[pos], e.Type()), Desc: oi.Desc}
+		}
+		node = &plan.Sort{In: node, Keys: keys}
+		if s.Limit >= 0 || s.Offset > 0 {
+			node = &plan.Limit{In: node, Offset: s.Offset, N: s.Limit}
+		}
+		if hidden > 0 {
+			exprs := make([]expr.Expr, outSchema.Len())
+			names := make([]string, outSchema.Len())
+			for i, c := range outSchema.Cols {
+				exprs[i] = expr.NewColRef(i, c.Name, c.Typ)
+				names[i] = c.Name
+			}
+			node = &plan.Project{In: node, Exprs: exprs, Names: names}
+		}
+		return node, nil
+	}
+	if s.Limit >= 0 || s.Offset > 0 {
+		node = &plan.Limit{In: node, Offset: s.Offset, N: s.Limit}
+	}
+	return node, nil
+}
+
+// bindUnion binds a UNION ALL chain, then the trailing ORDER BY/LIMIT against
+// the union's output schema.
+func (b *Binder) bindUnion(s *Select) (plan.Node, error) {
+	first, err := b.bindCore(s)
+	if err != nil {
+		return nil, err
+	}
+	ins := []plan.Node{first}
+	want := first.Schema()
+	for _, nx := range s.UnionAll {
+		n, err := b.bindCore(nx)
+		if err != nil {
+			return nil, err
+		}
+		got := n.Schema()
+		if got.Len() != want.Len() {
+			return nil, fmt.Errorf("sql: UNION ALL branches have %d vs %d columns", want.Len(), got.Len())
+		}
+		for i := range got.Cols {
+			if got.Cols[i].Typ != want.Cols[i].Typ {
+				return nil, fmt.Errorf("sql: UNION ALL column %d type mismatch (%v vs %v)", i+1, want.Cols[i].Typ, got.Cols[i].Typ)
+			}
+		}
+		ins = append(ins, n)
+	}
+	var node plan.Node = &plan.Union{Ins: ins}
+
+	// ORDER BY over a union binds by output name or ordinal only.
+	if len(s.OrderBy) > 0 {
+		keys, err := outputSortKeys(s.OrderBy, want)
+		if err != nil {
+			return nil, err
+		}
+		node = &plan.Sort{In: node, Keys: keys}
+	}
+	if s.Limit >= 0 || s.Offset > 0 {
+		node = &plan.Limit{In: node, Offset: s.Offset, N: s.Limit}
+	}
+	return node, nil
+}
+
+func outputSortKeys(items []OrderItem, schema *sqltypes.Schema) ([]exec.SortKey, error) {
+	keys := make([]exec.SortKey, len(items))
+	for i, oi := range items {
+		switch x := oi.Expr.(type) {
+		case *Lit:
+			if x.Val.Typ != sqltypes.Int64 || x.Val.I < 1 || int(x.Val.I) > schema.Len() {
+				return nil, fmt.Errorf("sql: ORDER BY ordinal %v out of range", x.Val)
+			}
+			c := schema.Cols[x.Val.I-1]
+			keys[i] = exec.SortKey{E: expr.NewColRef(int(x.Val.I-1), c.Name, c.Typ), Desc: oi.Desc}
+		case *Col:
+			idx := schema.ColIndex(x.Name)
+			if idx < 0 {
+				return nil, fmt.Errorf("sql: ORDER BY column %q not in output", x.Name)
+			}
+			keys[i] = exec.SortKey{E: expr.NewColRef(idx, x.Name, schema.Cols[idx].Typ), Desc: oi.Desc}
+		default:
+			return nil, fmt.Errorf("sql: ORDER BY over UNION supports output names and ordinals only")
+		}
+	}
+	return keys, nil
+}
+
+// coreResult carries the bound core plus what applyOrderLimit needs.
+type coreResult struct {
+	node      plan.Node
+	items     []expr.Expr // final output expressions over node's schema
+	names     []string
+	bindOrder func(ast Expr) (expr.Expr, error) // binds an ORDER BY expr over node's schema
+}
+
+func (b *Binder) bindCore(s *Select) (plan.Node, error) {
+	cr, err := b.bindCoreDetail(s)
+	if err != nil {
+		return nil, err
+	}
+	node := &plan.Project{In: cr.node, Exprs: cr.items, Names: cr.names}
+	if s.Distinct {
+		return distinctOver(node), nil
+	}
+	return node, nil
+}
+
+func distinctOver(p *plan.Project) plan.Node {
+	sch := p.Schema()
+	groupBy := make([]expr.Expr, sch.Len())
+	names := make([]string, sch.Len())
+	for i, c := range sch.Cols {
+		groupBy[i] = expr.NewColRef(i, c.Name, c.Typ)
+		names[i] = c.Name
+	}
+	return &plan.Agg{In: p, GroupBy: groupBy, Names: names}
+}
+
+// bindCoreDetail binds FROM/WHERE/GROUP BY/HAVING and the select items.
+func (b *Binder) bindCoreDetail(s *Select) (*coreResult, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
+	}
+
+	// FROM: left-deep join tree.
+	var node plan.Node
+	var sc *scope
+	for i, fi := range s.From {
+		t, err := b.Tables.Get(fi.Table)
+		if err != nil {
+			return nil, err
+		}
+		right := &plan.Scan{Table: t}
+		rightScope := tableScope(fi.Alias, t)
+		if i == 0 {
+			node, sc = right, rightScope
+			continue
+		}
+		joined := concatScopes(sc, rightScope)
+		var on expr.Expr
+		if fi.On != nil {
+			on, err = b.bindExpr(fi.On, joined)
+			if err != nil {
+				return nil, err
+			}
+		}
+		node = &plan.Join{Left: node, Right: right, Type: fi.JoinKind, Residual: on}
+		switch fi.JoinKind {
+		case exec.LeftSemi, exec.LeftAnti:
+			// Output keeps only the left columns.
+		default:
+			sc = joined
+		}
+	}
+
+	if s.Where != nil {
+		w, err := b.bindExpr(s.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+		node = &plan.Filter{In: node, Pred: w}
+	}
+
+	// Expand stars.
+	var items []SelectItem
+	for _, it := range s.Items {
+		if !it.Star {
+			items = append(items, it)
+			continue
+		}
+		for _, c := range sc.cols {
+			items = append(items, SelectItem{Expr: &Col{Qual: c.Qual, Name: c.Name}, Alias: c.Name})
+		}
+	}
+
+	hasAgg := len(s.GroupBy) > 0 || s.Having != nil
+	for _, it := range items {
+		if containsAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+	for _, oi := range s.OrderBy {
+		if containsAgg(oi.Expr) {
+			hasAgg = true
+		}
+	}
+
+	if !hasAgg {
+		exprs := make([]expr.Expr, len(items))
+		names := make([]string, len(items))
+		for i, it := range items {
+			e, err := b.bindExpr(it.Expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = e
+			names[i] = itemName(it, i)
+		}
+		bindOrder := func(ast Expr) (expr.Expr, error) { return b.bindExpr(ast, sc) }
+		return &coreResult{node: node, items: exprs, names: names, bindOrder: bindOrder}, nil
+	}
+
+	// --- Aggregate query ---
+
+	// Bind group-by expressions against the FROM scope.
+	groupExprs := make([]expr.Expr, len(s.GroupBy))
+	groupNames := make([]string, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		e, err := b.bindExpr(g, sc)
+		if err != nil {
+			return nil, err
+		}
+		groupExprs[i] = e
+		if c, ok := g.(*Col); ok {
+			groupNames[i] = c.Name
+		} else {
+			groupNames[i] = fmt.Sprintf("group%d", i+1)
+		}
+	}
+
+	// Collect aggregate calls from items, HAVING, and ORDER BY.
+	var aggs []exec.AggSpec
+	aggKey := map[string]int{} // canonical key -> index in aggs
+	collect := func(ast Expr) error {
+		var err error
+		walkCalls(ast, func(c *Call) {
+			if err != nil || !aggFuncs[c.Name] {
+				return
+			}
+			var arg expr.Expr
+			if !c.Star {
+				arg, err = b.bindExpr(c.Arg, sc)
+				if err != nil {
+					return
+				}
+			}
+			key := aggCallKey(c, arg)
+			if _, ok := aggKey[key]; ok {
+				return
+			}
+			spec := exec.AggSpec{Distinct: c.Distinct, Name: fmt.Sprintf("agg%d", len(aggs)+1)}
+			switch c.Name {
+			case "COUNT":
+				if c.Star {
+					spec.Kind = exec.CountStar
+				} else {
+					spec.Kind = exec.Count
+					spec.Arg = arg
+				}
+			case "SUM":
+				spec.Kind, spec.Arg = exec.Sum, arg
+			case "AVG":
+				spec.Kind, spec.Arg = exec.Avg, arg
+			case "MIN":
+				spec.Kind, spec.Arg = exec.Min, arg
+			case "MAX":
+				spec.Kind, spec.Arg = exec.Max, arg
+			}
+			aggKey[key] = len(aggs)
+			aggs = append(aggs, spec)
+		})
+		return err
+	}
+	for _, it := range items {
+		if err := collect(it.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if s.Having != nil {
+		if err := collect(s.Having); err != nil {
+			return nil, err
+		}
+	}
+	for _, oi := range s.OrderBy {
+		if err := collect(oi.Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	aggNode := &plan.Agg{In: node, GroupBy: groupExprs, Names: groupNames, Aggs: aggs}
+	node = aggNode
+
+	// Post-aggregation binding: group expressions and aggregate calls become
+	// column references into the Agg output.
+	groupStrs := make([]string, len(groupExprs))
+	for i, g := range groupExprs {
+		groupStrs[i] = g.String()
+	}
+	postBind := func(ast Expr) (expr.Expr, error) {
+		return b.bindPostAgg(ast, sc, groupStrs, groupExprs, groupNames, aggKey, aggs)
+	}
+
+	if s.Having != nil {
+		h, err := postBind(s.Having)
+		if err != nil {
+			return nil, err
+		}
+		node = &plan.Filter{In: node, Pred: h}
+	}
+
+	exprs := make([]expr.Expr, len(items))
+	names := make([]string, len(items))
+	for i, it := range items {
+		e, err := postBind(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = e
+		names[i] = itemName(it, i)
+	}
+	return &coreResult{node: node, items: exprs, names: names, bindOrder: postBind}, nil
+}
+
+func itemName(it SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*Col); ok {
+		return c.Name
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+// containsAgg reports whether the AST contains an aggregate call.
+func containsAgg(ast Expr) bool {
+	found := false
+	walkCalls(ast, func(c *Call) {
+		if aggFuncs[c.Name] {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkCalls visits every Call in the AST.
+func walkCalls(ast Expr, fn func(*Call)) {
+	switch x := ast.(type) {
+	case *Call:
+		fn(x)
+		if x.Arg != nil {
+			walkCalls(x.Arg, fn)
+		}
+	case *Bin:
+		walkCalls(x.L, fn)
+		walkCalls(x.R, fn)
+	case *Unary:
+		walkCalls(x.E, fn)
+	case *IsNullX:
+		walkCalls(x.E, fn)
+	case *InX:
+		walkCalls(x.E, fn)
+	case *LikeX:
+		walkCalls(x.E, fn)
+	case *BetweenX:
+		walkCalls(x.E, fn)
+		walkCalls(x.Lo, fn)
+		walkCalls(x.Hi, fn)
+	}
+}
+
+func aggCallKey(c *Call, boundArg expr.Expr) string {
+	arg := "*"
+	if boundArg != nil {
+		arg = boundArg.String()
+	}
+	d := ""
+	if c.Distinct {
+		d = "D"
+	}
+	return c.Name + d + "(" + arg + ")"
+}
+
+// bindPostAgg rewrites an AST into an expression over the Agg output schema:
+// group expressions and aggregate calls become column references; other
+// operators recurse.
+func (b *Binder) bindPostAgg(ast Expr, inScope *scope, groupStrs []string,
+	groupExprs []expr.Expr, groupNames []string, aggKey map[string]int, aggs []exec.AggSpec) (expr.Expr, error) {
+
+	// Aggregate call -> ColRef after groups.
+	if c, ok := ast.(*Call); ok && aggFuncs[c.Name] {
+		var arg expr.Expr
+		var err error
+		if !c.Star {
+			arg, err = b.bindExpr(c.Arg, inScope)
+			if err != nil {
+				return nil, err
+			}
+		}
+		idx, ok := aggKey[aggCallKey(c, arg)]
+		if !ok {
+			return nil, fmt.Errorf("sql: internal: aggregate %s not collected", c.Name)
+		}
+		return expr.NewColRef(len(groupExprs)+idx, aggs[idx].Name, aggs[idx].ResultType()), nil
+	}
+
+	// Whole expression equals a group expression -> ColRef.
+	if bound, err := b.bindExpr(ast, inScope); err == nil {
+		bs := bound.String()
+		for i, g := range groupStrs {
+			if bs == g {
+				return expr.NewColRef(i, groupNames[i], groupExprs[i].Type()), nil
+			}
+		}
+		// A bare column that is not grouped is an error (unless constant).
+		if _, isLit := ast.(*Lit); isLit {
+			return bound, nil
+		}
+	}
+
+	switch x := ast.(type) {
+	case *Lit:
+		return b.bindExpr(x, inScope)
+	case *Col:
+		return nil, fmt.Errorf("sql: column %q must appear in GROUP BY or an aggregate", x.Name)
+	case *Bin:
+		l, err := b.bindPostAgg(x.L, inScope, groupStrs, groupExprs, groupNames, aggKey, aggs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindPostAgg(x.R, inScope, groupStrs, groupExprs, groupNames, aggKey, aggs)
+		if err != nil {
+			return nil, err
+		}
+		return combineBin(x.Op, l, r)
+	case *Unary:
+		e, err := b.bindPostAgg(x.E, inScope, groupStrs, groupExprs, groupNames, aggKey, aggs)
+		if err != nil {
+			return nil, err
+		}
+		return bindUnary(x.Op, e)
+	case *IsNullX:
+		e, err := b.bindPostAgg(x.E, inScope, groupStrs, groupExprs, groupNames, aggKey, aggs)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewIsNull(e, x.Negate), nil
+	case *Call: // date functions over group columns
+		e, err := b.bindPostAgg(x.Arg, inScope, groupStrs, groupExprs, groupNames, aggKey, aggs)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewDateFunc(x.Name, e), nil
+	case *BetweenX:
+		e, err := b.bindPostAgg(x.E, inScope, groupStrs, groupExprs, groupNames, aggKey, aggs)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bindPostAgg(x.Lo, inScope, groupStrs, groupExprs, groupNames, aggKey, aggs)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bindPostAgg(x.Hi, inScope, groupStrs, groupExprs, groupNames, aggKey, aggs)
+		if err != nil {
+			return nil, err
+		}
+		rng := expr.NewAnd(expr.NewCmp(expr.GE, e, lo), expr.NewCmp(expr.LE, e, hi))
+		if x.Negate {
+			return expr.NewNot(rng), nil
+		}
+		return rng, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression after aggregation")
+	}
+}
+
+// --- Plain expression binding ---
+
+func (b *Binder) bindExpr(ast Expr, sc *scope) (expr.Expr, error) {
+	switch x := ast.(type) {
+	case *Lit:
+		return expr.NewConst(x.Val), nil
+
+	case *Col:
+		idx, typ, err := sc.resolve(x.Qual, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewColRef(idx, x.Name, typ), nil
+
+	case *Bin:
+		l, err := b.bindExpr(x.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindExpr(x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		return combineBin(x.Op, l, r)
+
+	case *Unary:
+		e, err := b.bindExpr(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return bindUnary(x.Op, e)
+
+	case *IsNullX:
+		e, err := b.bindExpr(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewIsNull(e, x.Negate), nil
+
+	case *InX:
+		e, err := b.bindExpr(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]sqltypes.Value, len(x.Vals))
+		for i, v := range x.Vals {
+			lit, ok := v.(*Lit)
+			if !ok {
+				return nil, fmt.Errorf("sql: IN list must contain literals")
+			}
+			vals[i] = coerceLit(lit.Val, e.Type())
+		}
+		in := expr.NewInList(e, vals)
+		if x.Negate {
+			return expr.NewNot(in), nil
+		}
+		return in, nil
+
+	case *LikeX:
+		e, err := b.bindExpr(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		if e.Type() != sqltypes.String {
+			return nil, fmt.Errorf("sql: LIKE requires a string operand")
+		}
+		return expr.NewLike(e, x.Pattern, x.Negate), nil
+
+	case *BetweenX:
+		e, err := b.bindExpr(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bindExpr(x.Lo, sc)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bindExpr(x.Hi, sc)
+		if err != nil {
+			return nil, err
+		}
+		lo = coerceConst(lo, e.Type())
+		hi = coerceConst(hi, e.Type())
+		rng := expr.NewAnd(expr.NewCmp(expr.GE, e, lo), expr.NewCmp(expr.LE, e, hi))
+		if x.Negate {
+			return expr.NewNot(rng), nil
+		}
+		return rng, nil
+
+	case *Call:
+		if aggFuncs[x.Name] {
+			return nil, fmt.Errorf("sql: aggregate %s not allowed here", x.Name)
+		}
+		if !dateFuncs[x.Name] {
+			return nil, fmt.Errorf("sql: unknown function %s", x.Name)
+		}
+		e, err := b.bindExpr(x.Arg, sc)
+		if err != nil {
+			return nil, err
+		}
+		if e.Type() != sqltypes.Date {
+			return nil, fmt.Errorf("sql: %s requires a DATE argument", x.Name)
+		}
+		return expr.NewDateFunc(x.Name, e), nil
+
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", ast)
+	}
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.EQ, "<>": expr.NE, "<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE,
+}
+
+var arithOps = map[string]expr.ArithOp{
+	"+": expr.Add, "-": expr.Sub, "*": expr.Mul, "/": expr.Div, "%": expr.Mod,
+}
+
+func combineBin(op string, l, r expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "AND":
+		return expr.NewAnd(l, r), nil
+	case "OR":
+		return expr.NewOr(l, r), nil
+	}
+	if c, ok := cmpOps[op]; ok {
+		// Coerce string literals to dates when compared against DATE.
+		l2, r2 := l, r
+		if l.Type() == sqltypes.Date {
+			r2 = coerceConst(r, sqltypes.Date)
+		}
+		if r.Type() == sqltypes.Date {
+			l2 = coerceConst(l, sqltypes.Date)
+		}
+		return expr.NewCmp(c, l2, r2), nil
+	}
+	if a, ok := arithOps[op]; ok {
+		if !l.Type().Numeric() || !r.Type().Numeric() {
+			return nil, fmt.Errorf("sql: arithmetic requires numeric operands (got %v %s %v)", l.Type(), op, r.Type())
+		}
+		return expr.NewArith(a, l, r), nil
+	}
+	return nil, fmt.Errorf("sql: unknown operator %q", op)
+}
+
+func bindUnary(op string, e expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "NOT":
+		return expr.NewNot(e), nil
+	case "-":
+		if !e.Type().Numeric() {
+			return nil, fmt.Errorf("sql: unary minus requires a numeric operand")
+		}
+		if e.Type() == sqltypes.Float64 {
+			return expr.NewArith(expr.Sub, expr.NewConst(sqltypes.NewFloat(0)), e), nil
+		}
+		return expr.NewArith(expr.Sub, expr.NewConst(sqltypes.NewInt(0)), e), nil
+	default:
+		return nil, fmt.Errorf("sql: unknown unary operator %q", op)
+	}
+}
+
+// coerceConst converts a constant to the target type when that conversion is
+// exact (string -> date being the important case); other expressions pass
+// through.
+func coerceConst(e expr.Expr, target sqltypes.Type) expr.Expr {
+	c, ok := e.(*expr.Const)
+	if !ok {
+		return e
+	}
+	return expr.NewConst(coerceLit(c.Val, target))
+}
+
+func coerceLit(v sqltypes.Value, target sqltypes.Type) sqltypes.Value {
+	if v.Null {
+		return sqltypes.NewNull(target)
+	}
+	switch {
+	case target == sqltypes.Date && v.Typ == sqltypes.String:
+		if days, err := sqltypes.DateFromString(strings.TrimSpace(v.S)); err == nil {
+			return sqltypes.NewDate(days)
+		}
+	case target == sqltypes.Float64 && v.Typ == sqltypes.Int64:
+		return sqltypes.NewFloat(float64(v.I))
+	}
+	return v
+}

@@ -1,0 +1,270 @@
+package sql
+
+import (
+	"fmt"
+	"sync"
+
+	"apollo/internal/catalog"
+	"apollo/internal/plan"
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+	"apollo/internal/table"
+)
+
+// Engine executes SQL statements against a catalog. Query planning options
+// (mode, parallelism, memory grant) come from PlanOpts; DDL options for new
+// tables start from TableOpts and are overridden by WITH clauses.
+type Engine struct {
+	Cat       *catalog.Catalog
+	PlanOpts  plan.Options
+	TableOpts table.Options
+	// OnCreate, when set, runs for every table created via SQL (the public
+	// API uses it to start background tuple movers).
+	OnCreate func(*table.Table)
+
+	statsOnce  sync.Once
+	statsCache *plan.StatsCache
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Schema   *sqltypes.Schema // non-nil for SELECT/EXPLAIN
+	Rows     []sqltypes.Row   // SELECT results
+	Affected int              // DML row count
+	Message  string           // DDL/EXPLAIN text
+	Compiled *plan.Compiled   // SELECT: the compiled query (stats, explain)
+}
+
+// Exec parses and executes one statement.
+func (e *Engine) Exec(src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(st Statement) (*Result, error) {
+	switch x := st.(type) {
+	case *Select:
+		return e.runSelect(x)
+	case *Explain:
+		return e.explain(x.Query)
+	case *CreateTable:
+		return e.createTable(x)
+	case *DropTable:
+		if err := e.Cat.Drop(x.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("dropped table %s", x.Name)}, nil
+	case *Insert:
+		return e.insert(x)
+	case *Delete:
+		return e.delete(x)
+	case *Update:
+		return e.update(x)
+	case *Reorganize:
+		t, err := e.Cat.Get(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.FlushOpen(); err != nil {
+			return nil, err
+		}
+		if _, err := t.MergeSmallGroups(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("reorganized %s", x.Table)}, nil
+	case *Rebuild:
+		t, err := e.Cat.Get(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Rebuild(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("rebuilt %s", x.Table)}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+func (e *Engine) compile(s *Select) (*plan.Compiled, error) {
+	b := &Binder{Tables: e.Cat}
+	node, err := b.BindSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	e.statsOnce.Do(func() { e.statsCache = plan.NewStatsCache() })
+	opts := e.PlanOpts
+	if opts.StatsCache == nil {
+		opts.StatsCache = e.statsCache
+	}
+	return plan.Compile(node, opts)
+}
+
+func (e *Engine) runSelect(s *Select) (*Result, error) {
+	c, err := e.compile(s)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: c.Schema, Rows: rows, Compiled: c}, nil
+}
+
+func (e *Engine) explain(s *Select) (*Result, error) {
+	c, err := e.compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: c.Schema, Message: c.Explain(), Compiled: c}, nil
+}
+
+func (e *Engine) createTable(ct *CreateTable) (*Result, error) {
+	opts := e.TableOpts
+	if opts.Columnstore.PrimaryDictCap == 0 {
+		opts = table.DefaultOptions()
+	}
+	if ct.RowGroupSize > 0 {
+		opts.RowGroupSize = ct.RowGroupSize
+	}
+	if ct.BulkThreshold > 0 {
+		opts.BulkLoadThreshold = ct.BulkThreshold
+	}
+	if ct.Archive {
+		opts.Columnstore.Tier = storage.Archival
+	}
+	if ct.NoReorder {
+		opts.Columnstore.Reorder = false
+	}
+	t, err := e.Cat.Create(ct.Name, sqltypes.NewSchema(ct.Cols...), opts)
+	if err != nil {
+		return nil, err
+	}
+	if e.OnCreate != nil {
+		e.OnCreate(t)
+	}
+	return &Result{Message: fmt.Sprintf("created table %s", ct.Name)}, nil
+}
+
+// evalLiteralRow evaluates an INSERT row of literal expressions.
+func (e *Engine) evalLiteralRow(t *table.Table, exprs []Expr) (sqltypes.Row, error) {
+	if len(exprs) != t.Schema.Len() {
+		return nil, fmt.Errorf("sql: INSERT has %d values, table %s has %d columns", len(exprs), t.Name, t.Schema.Len())
+	}
+	b := &Binder{Tables: e.Cat}
+	empty := &scope{}
+	row := make(sqltypes.Row, len(exprs))
+	for i, ast := range exprs {
+		bound, err := b.bindExpr(ast, empty)
+		if err != nil {
+			return nil, err
+		}
+		v := bound.Eval(nil)
+		row[i] = coerceLit(v, t.Schema.Cols[i].Typ)
+	}
+	return row, nil
+}
+
+func (e *Engine) insert(ins *Insert) (*Result, error) {
+	t, err := e.Cat.Get(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]sqltypes.Row, len(ins.Rows))
+	for i, rx := range ins.Rows {
+		row, err := e.evalLiteralRow(t, rx)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	// Large literal batches take the bulk path, small ones trickle (§4.2).
+	if len(rows) >= t.Opts.BulkLoadThreshold {
+		if err := t.BulkLoad(rows); err != nil {
+			return nil, err
+		}
+	} else if err := t.InsertMany(rows); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: len(rows)}, nil
+}
+
+// bindRowPred binds a WHERE clause against a table's schema and returns a
+// row predicate for the DML path.
+func (e *Engine) bindRowPred(t *table.Table, where Expr) (func(sqltypes.Row) bool, error) {
+	if where == nil {
+		return func(sqltypes.Row) bool { return true }, nil
+	}
+	b := &Binder{Tables: e.Cat}
+	bound, err := b.bindExpr(where, tableScope(t.Name, t))
+	if err != nil {
+		return nil, err
+	}
+	return func(r sqltypes.Row) bool {
+		v := bound.Eval(r)
+		return !v.Null && v.I != 0
+	}, nil
+}
+
+func (e *Engine) delete(d *Delete) (*Result, error) {
+	t, err := e.Cat.Get(d.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := e.bindRowPred(t, d.Where)
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.DeleteWhere(pred)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (e *Engine) update(u *Update) (*Result, error) {
+	t, err := e.Cat.Get(u.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := e.bindRowPred(t, u.Where)
+	if err != nil {
+		return nil, err
+	}
+	b := &Binder{Tables: e.Cat}
+	sc := tableScope(u.Table, t)
+	cols := make([]int, len(u.Cols))
+	bound := make([]func(sqltypes.Row) sqltypes.Value, len(u.Cols))
+	for i, name := range u.Cols {
+		idx := t.Schema.ColIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q in UPDATE", name)
+		}
+		cols[i] = idx
+		be, err := b.bindExpr(u.Exprs[i], sc)
+		if err != nil {
+			return nil, err
+		}
+		typ := t.Schema.Cols[idx].Typ
+		bound[i] = func(r sqltypes.Row) sqltypes.Value { return coerceLit(be.Eval(r), typ) }
+	}
+	n, err := t.UpdateWhere(pred, func(r sqltypes.Row) sqltypes.Row {
+		vals := make([]sqltypes.Value, len(cols))
+		for i := range cols {
+			vals[i] = bound[i](r)
+		}
+		for i, c := range cols {
+			r[c] = vals[i]
+		}
+		return r
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}

@@ -1,0 +1,811 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"apollo/internal/exec"
+	"apollo/internal/sqltypes"
+)
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokOp, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: "+format+" (near offset %d)", append(args, p.cur().pos)...)
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.accept(tokKeyword, "EXPLAIN"):
+		s, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Query: s}, nil
+	case p.accept(tokKeyword, "CREATE"):
+		return p.createTable()
+	case p.accept(tokKeyword, "DROP"):
+		if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	case p.accept(tokKeyword, "INSERT"):
+		return p.insert()
+	case p.accept(tokKeyword, "DELETE"):
+		return p.delete()
+	case p.accept(tokKeyword, "UPDATE"):
+		return p.update()
+	case p.accept(tokKeyword, "REORGANIZE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Reorganize{Table: name}, nil
+	case p.accept(tokKeyword, "REBUILD"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Rebuild{Table: name}, nil
+	default:
+		return nil, p.errf("unsupported statement starting with %q", p.cur().text)
+	}
+}
+
+func (p *parser) ident() (string, error) {
+	if p.at(tokIdent, "") {
+		return p.next().text, nil
+	}
+	return "", p.errf("expected identifier, found %q", p.cur().text)
+}
+
+func (p *parser) createTable() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var typName string
+		switch {
+		case p.at(tokIdent, ""):
+			typName = strings.ToUpper(p.next().text)
+		case p.at(tokKeyword, "DATE"):
+			p.next()
+			typName = "DATE"
+		default:
+			return nil, p.errf("expected type name, found %q", p.cur().text)
+		}
+		typ := sqltypes.ParseType(typName)
+		if typ == sqltypes.Unknown {
+			return nil, p.errf("unknown type %q", typName)
+		}
+		col := sqltypes.Column{Name: colName, Typ: typ, Nullable: true}
+		if p.accept(tokKeyword, "NOT") {
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return nil, err
+			}
+			col.Nullable = false
+		} else {
+			p.accept(tokKeyword, "NULL")
+		}
+		ct.Cols = append(ct.Cols, col)
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "WITH") {
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		for {
+			opt, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			switch opt {
+			case "rowgroup_size", "bulk_threshold":
+				if _, err := p.expect(tokOp, "="); err != nil {
+					return nil, err
+				}
+				t, err := p.expect(tokNumber, "")
+				if err != nil {
+					return nil, err
+				}
+				n, err := strconv.Atoi(t.text)
+				if err != nil {
+					return nil, p.errf("bad number %q", t.text)
+				}
+				if opt == "rowgroup_size" {
+					ct.RowGroupSize = n
+				} else {
+					ct.BulkThreshold = n
+				}
+			case "archive":
+				ct.Archive = true
+			case "noreorder":
+				ct.NoReorder = true
+			default:
+				return nil, p.errf("unknown table option %q", opt)
+			}
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	return ct, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	for {
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func (p *parser) delete() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: name}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = w
+	}
+	return d, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		u.Cols = append(u.Cols, col)
+		u.Exprs = append(u.Exprs, e)
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = w
+	}
+	return u, nil
+}
+
+func (p *parser) selectStmt() (*Select, error) {
+	s, err := p.selectCore()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "UNION") {
+		if _, err := p.expect(tokKeyword, "ALL"); err != nil {
+			return nil, p.errf("only UNION ALL is supported")
+		}
+		next, err := p.selectCore()
+		if err != nil {
+			return nil, err
+		}
+		s.UnionAll = append(s.UnionAll, next)
+	}
+	// ORDER BY / LIMIT after a union chain apply to the whole union.
+	if err := p.orderLimit(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) selectCore() (*Select, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	s := &Select{Limit: -1}
+	s.Distinct = p.accept(tokKeyword, "DISTINCT")
+
+	for {
+		if p.accept(tokOp, "*") {
+			s.Items = append(s.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.at(tokIdent, "") {
+				item.Alias = p.next().text
+			}
+			s.Items = append(s.Items, item)
+		}
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+
+	if p.accept(tokKeyword, "FROM") {
+		first := true
+		for {
+			if first {
+				fi, err := p.tableRef(exec.Inner, false)
+				if err != nil {
+					return nil, err
+				}
+				s.From = append(s.From, fi)
+				first = false
+			}
+			switch {
+			case p.accept(tokOp, ","):
+				fi, err := p.tableRef(exec.Inner, false)
+				if err != nil {
+					return nil, err
+				}
+				s.From = append(s.From, fi)
+			case p.at(tokKeyword, "JOIN"), p.at(tokKeyword, "INNER"),
+				p.at(tokKeyword, "LEFT"), p.at(tokKeyword, "RIGHT"), p.at(tokKeyword, "FULL"):
+				jt := exec.Inner
+				switch {
+				case p.accept(tokKeyword, "INNER"):
+				case p.accept(tokKeyword, "LEFT"):
+					jt = exec.LeftOuter
+					if p.accept(tokKeyword, "SEMI") {
+						jt = exec.LeftSemi
+					} else if p.accept(tokKeyword, "ANTI") {
+						jt = exec.LeftAnti
+					} else {
+						p.accept(tokKeyword, "OUTER")
+					}
+				case p.accept(tokKeyword, "RIGHT"):
+					jt = exec.RightOuter
+					p.accept(tokKeyword, "OUTER")
+				case p.accept(tokKeyword, "FULL"):
+					jt = exec.FullOuter
+					p.accept(tokKeyword, "OUTER")
+				}
+				if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+					return nil, err
+				}
+				fi, err := p.tableRef(jt, true)
+				if err != nil {
+					return nil, err
+				}
+				s.From = append(s.From, fi)
+			default:
+				goto fromDone
+			}
+		}
+	}
+fromDone:
+
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		h, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	return s, nil
+}
+
+// orderLimit parses the trailing ORDER BY / LIMIT / OFFSET clauses.
+func (p *parser) orderLimit(s *Select) error {
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return err
+			}
+			oi := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				oi.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			s.OrderBy = append(s.OrderBy, oi)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return p.errf("bad LIMIT %q", t.text)
+		}
+		s.Limit = n
+		if p.accept(tokKeyword, "OFFSET") {
+			t, err := p.expect(tokNumber, "")
+			if err != nil {
+				return err
+			}
+			off, err := strconv.Atoi(t.text)
+			if err != nil {
+				return p.errf("bad OFFSET %q", t.text)
+			}
+			s.Offset = off
+		}
+	}
+	return nil
+}
+
+func (p *parser) tableRef(jt exec.JoinType, needOn bool) (FromItem, error) {
+	name, err := p.ident()
+	if err != nil {
+		return FromItem{}, err
+	}
+	fi := FromItem{Table: name, Alias: name, JoinKind: jt}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.ident()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.Alias = a
+	} else if p.at(tokIdent, "") {
+		fi.Alias = p.next().text
+	}
+	if needOn {
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return FromItem{}, err
+		}
+		on, err := p.expr()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.On = on
+	}
+	return fi, nil
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(tokKeyword, "IS") {
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullX{E: l, Negate: neg}, nil
+	}
+	neg := false
+	if p.at(tokKeyword, "NOT") {
+		// Lookahead for NOT IN / NOT LIKE / NOT BETWEEN.
+		save := p.i
+		p.next()
+		if p.at(tokKeyword, "IN") || p.at(tokKeyword, "LIKE") || p.at(tokKeyword, "BETWEEN") {
+			neg = true
+		} else {
+			p.i = save
+			return l, nil
+		}
+	}
+	switch {
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		in := &InX{E: l, Negate: neg}
+		for {
+			v, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.Vals = append(in.Vals, v)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case p.accept(tokKeyword, "LIKE"):
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &LikeX{E: l, Pattern: t.text, Negate: neg}, nil
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenX{E: l, Lo: lo, Hi: hi, Negate: neg}, nil
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.accept(tokOp, op) {
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Bin{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: "+", L: l, R: r}
+		case p.accept(tokOp, "-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "*"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: "*", L: l, R: r}
+		case p.accept(tokOp, "/"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: "/", L: l, R: r}
+		case p.accept(tokOp, "%"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: "%", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.accept(tokOp, "-") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Lit); ok && lit.Val.Typ == sqltypes.Int64 {
+			return &Lit{Val: sqltypes.NewInt(-lit.Val.I)}, nil
+		}
+		if lit, ok := e.(*Lit); ok && lit.Val.Typ == sqltypes.Float64 {
+			return &Lit{Val: sqltypes.NewFloat(-lit.Val.F)}, nil
+		}
+		return &Unary{Op: "-", E: e}, nil
+	}
+	return p.primary()
+}
+
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+var dateFuncs = map[string]bool{"YEAR": true, "MONTH": true, "DAY": true}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Lit{Val: sqltypes.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Lit{Val: sqltypes.NewInt(n)}, nil
+
+	case t.kind == tokString:
+		p.next()
+		return &Lit{Val: sqltypes.NewString(t.text)}, nil
+
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.next()
+		return &Lit{Val: sqltypes.NewBool(t.text == "TRUE")}, nil
+
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return &Lit{Val: sqltypes.NewNull(sqltypes.Unknown)}, nil
+
+	case t.kind == tokKeyword && t.text == "DATE":
+		// DATE 'YYYY-MM-DD' literal.
+		p.next()
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		days, err := sqltypes.DateFromString(s.text)
+		if err != nil {
+			return nil, p.errf("bad date literal %q", s.text)
+		}
+		return &Lit{Val: sqltypes.NewDate(days)}, nil
+
+	case t.kind == tokKeyword && (aggFuncs[t.text] || dateFuncs[t.text]):
+		p.next()
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		c := &Call{Name: t.text}
+		if t.text == "COUNT" && p.accept(tokOp, "*") {
+			c.Star = true
+		} else {
+			c.Distinct = p.accept(tokKeyword, "DISTINCT")
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			c.Arg = arg
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return c, nil
+
+	case t.kind == tokIdent:
+		p.next()
+		if p.accept(tokOp, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &Col{Qual: t.text, Name: col}, nil
+		}
+		return &Col{Name: t.text}, nil
+
+	case p.accept(tokOp, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.text)
+	}
+}

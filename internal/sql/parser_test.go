@@ -1,0 +1,235 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"apollo/internal/exec"
+	"apollo/internal/sqltypes"
+)
+
+func parseSelect(t *testing.T, src string) *Select {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	s, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("parse %q: got %T", src, st)
+	}
+	return s
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex("SELECT a_1, 'it''s', 3.5 -- comment\n<> != <= >= ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a_1", ",", "it's", ",", "3.5", "<>", "<>", "<=", ">=", ";", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	if _, err := lex("SELECT @x"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	s := parseSelect(t, `SELECT DISTINCT a, SUM(b) AS total, COUNT(*)
+		FROM t1 x JOIN t2 ON x.k = t2.k LEFT OUTER JOIN t3 ON t2.j = t3.j
+		WHERE a > 1 AND b IN (1, 2) GROUP BY a HAVING COUNT(*) > 2
+		ORDER BY total DESC, 1 LIMIT 10 OFFSET 5;`)
+	if !s.Distinct || len(s.Items) != 3 {
+		t.Fatalf("items = %d distinct = %v", len(s.Items), s.Distinct)
+	}
+	if s.Items[1].Alias != "total" {
+		t.Fatalf("alias = %q", s.Items[1].Alias)
+	}
+	if len(s.From) != 3 || s.From[0].Alias != "x" || s.From[2].JoinKind != exec.LeftOuter {
+		t.Fatalf("from = %+v", s.From)
+	}
+	if len(s.GroupBy) != 1 || s.Having == nil {
+		t.Fatal("group/having missing")
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", s.OrderBy)
+	}
+	if s.Limit != 10 || s.Offset != 5 {
+		t.Fatalf("limit/offset = %d/%d", s.Limit, s.Offset)
+	}
+}
+
+func TestParseUnionChain(t *testing.T) {
+	s := parseSelect(t, "SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v ORDER BY 1 LIMIT 3")
+	if len(s.UnionAll) != 2 {
+		t.Fatalf("union branches = %d", len(s.UnionAll))
+	}
+	if len(s.OrderBy) != 1 || s.Limit != 3 {
+		t.Fatal("trailing order/limit lost")
+	}
+	if _, err := Parse("SELECT a FROM t UNION SELECT a FROM u"); err == nil {
+		t.Fatal("bare UNION accepted")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	s := parseSelect(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := s.Where.(*Bin)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("root = %#v", s.Where)
+	}
+	and, ok := or.R.(*Bin)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right = %#v", or.R)
+	}
+	// Arithmetic: 1 + 2 * 3 parses as 1 + (2*3).
+	s2 := parseSelect(t, "SELECT 1 + 2 * 3 FROM t")
+	add := s2.Items[0].Expr.(*Bin)
+	if add.Op != "+" {
+		t.Fatalf("root op = %s", add.Op)
+	}
+	if mul, ok := add.R.(*Bin); !ok || mul.Op != "*" {
+		t.Fatalf("right = %#v", add.R)
+	}
+}
+
+func TestParseSpecialPredicates(t *testing.T) {
+	s := parseSelect(t, `SELECT a FROM t WHERE a IS NOT NULL AND b NOT LIKE 'x%'
+		AND c NOT BETWEEN 1 AND 5 AND d NOT IN (1, 2)`)
+	conj := flattenAnd(s.Where)
+	if len(conj) != 4 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if n, ok := conj[0].(*IsNullX); !ok || !n.Negate {
+		t.Fatalf("IS NOT NULL = %#v", conj[0])
+	}
+	if l, ok := conj[1].(*LikeX); !ok || !l.Negate {
+		t.Fatalf("NOT LIKE = %#v", conj[1])
+	}
+	if b, ok := conj[2].(*BetweenX); !ok || !b.Negate {
+		t.Fatalf("NOT BETWEEN = %#v", conj[2])
+	}
+	if in, ok := conj[3].(*InX); !ok || !in.Negate {
+		t.Fatalf("NOT IN = %#v", conj[3])
+	}
+}
+
+func flattenAnd(e Expr) []Expr {
+	if b, ok := e.(*Bin); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+func TestParseNegativeNumbersAndDates(t *testing.T) {
+	s := parseSelect(t, "SELECT -5, -2.5, DATE '2013-06-22' FROM t")
+	if lit := s.Items[0].Expr.(*Lit); lit.Val.I != -5 {
+		t.Fatalf("int = %v", lit.Val)
+	}
+	if lit := s.Items[1].Expr.(*Lit); lit.Val.F != -2.5 {
+		t.Fatalf("float = %v", lit.Val)
+	}
+	d := s.Items[2].Expr.(*Lit)
+	if d.Val.Typ != sqltypes.Date || sqltypes.DateToString(d.Val.I) != "2013-06-22" {
+		t.Fatalf("date = %v", d.Val)
+	}
+	if _, err := Parse("SELECT DATE 'bogus' FROM t"); err == nil {
+		t.Fatal("bad date literal accepted")
+	}
+}
+
+func TestParseDDLAndDML(t *testing.T) {
+	st, err := Parse("CREATE TABLE t (a BIGINT NOT NULL, b VARCHAR NULL, c DATE) WITH (rowgroup_size = 64, archive)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if len(ct.Cols) != 3 || ct.Cols[0].Nullable || !ct.Cols[1].Nullable {
+		t.Fatalf("cols = %+v", ct.Cols)
+	}
+	if ct.RowGroupSize != 64 || !ct.Archive {
+		t.Fatalf("options = %+v", ct)
+	}
+
+	st, err = Parse("INSERT INTO t VALUES (1, 'a', DATE '2000-01-01'), (2, NULL, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins := st.(*Insert); len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("insert = %+v", ins)
+	}
+
+	st, _ = Parse("UPDATE t SET a = a + 1, b = 'x' WHERE a < 5")
+	if up := st.(*Update); len(up.Cols) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", st)
+	}
+
+	st, _ = Parse("DELETE FROM t")
+	if d := st.(*Delete); d.Where != nil {
+		t.Fatal("phantom where")
+	}
+
+	if st, _ := Parse("REORGANIZE t"); st.(*Reorganize).Table != "t" {
+		t.Fatal("reorganize")
+	}
+	if st, _ := Parse("REBUILD t"); st.(*Rebuild).Table != "t" {
+		t.Fatal("rebuild")
+	}
+	if st, _ := Parse("DROP TABLE t"); st.(*DropTable).Name != "t" {
+		t.Fatal("drop")
+	}
+	if st, _ := Parse("EXPLAIN SELECT a FROM t"); st.(*Explain).Query == nil {
+		t.Fatal("explain")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a BLOB)",
+		"INSERT INTO t (1)",
+		"SELECT a FROM t JOIN u",           // missing ON
+		"SELECT a FROM t LIMIT x",          // non-numeric limit
+		"SELECT COUNT(DISTINCT) FROM t",    // missing arg
+		"SELECT a FROM t; SELECT b FROM t", // trailing statement
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywordsLowercaseIdents(t *testing.T) {
+	s := parseSelect(t, "select A, B from T where A like 'x%'")
+	if c := s.Items[0].Expr.(*Col); c.Name != "a" {
+		t.Fatalf("ident not lower-cased: %q", c.Name)
+	}
+	if s.From[0].Table != "t" {
+		t.Fatalf("table = %q", s.From[0].Table)
+	}
+	if strings.ToUpper(s.From[0].Table) != "T" {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,344 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"apollo/internal/catalog"
+	"apollo/internal/plan"
+	"apollo/internal/storage"
+	"apollo/internal/table"
+)
+
+func newEngine(t *testing.T, mode plan.Mode) *Engine {
+	t.Helper()
+	store := storage.NewStore(storage.DefaultBufferPoolBytes)
+	opts := table.DefaultOptions()
+	opts.RowGroupSize = 200
+	opts.BulkLoadThreshold = 50
+	return &Engine{
+		Cat:       catalog.New(store),
+		PlanOpts:  plan.Options{Mode: mode},
+		TableOpts: opts,
+	}
+}
+
+func mustExec(t *testing.T, e *Engine, sql string) *Result {
+	t.Helper()
+	res, err := e.Exec(sql)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+// seed loads a small sales schema used by most tests.
+func seed(t *testing.T, e *Engine) {
+	t.Helper()
+	mustExec(t, e, `CREATE TABLE sales (
+		id BIGINT NOT NULL, cust BIGINT NOT NULL, amount DOUBLE,
+		region VARCHAR NOT NULL, sold DATE NOT NULL)`)
+	mustExec(t, e, `CREATE TABLE customers (cid BIGINT NOT NULL, cname VARCHAR NOT NULL, tier VARCHAR NOT NULL)`)
+
+	regions := []string{"north", "south", "east", "west"}
+	tiers := []string{"gold", "silver"}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO sales VALUES ")
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		amount := fmt.Sprintf("%d.%02d", i%97, i%100)
+		if i%50 == 3 {
+			amount = "NULL"
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %s, '%s', DATE '1994-01-%02d')",
+			i, i%20, amount, regions[i%4], 1+i%28)
+	}
+	mustExec(t, e, sb.String())
+
+	sb.Reset()
+	sb.WriteString("INSERT INTO customers VALUES ")
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "(%d, 'cust%d', '%s')", i, i, tiers[i%2])
+	}
+	mustExec(t, e, sb.String())
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	seed(t, e)
+	res := mustExec(t, e, "SELECT COUNT(*) FROM sales")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 1000 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+}
+
+func TestSelectAcrossModesAgree(t *testing.T) {
+	queries := []string{
+		"SELECT region, COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales GROUP BY region ORDER BY region",
+		"SELECT * FROM sales WHERE id < 10 ORDER BY id",
+		"SELECT s.region, c.tier, SUM(s.amount) AS total FROM sales s JOIN customers c ON s.cust = c.cid WHERE s.sold >= DATE '1994-01-10' GROUP BY s.region, c.tier ORDER BY total DESC, region, tier",
+		"SELECT cname FROM customers c LEFT SEMI JOIN sales s ON c.cid = s.cust ORDER BY cname",
+		"SELECT c.cname, COUNT(*) AS n FROM customers c LEFT OUTER JOIN sales s ON c.cid = s.cust AND s.amount > 90 GROUP BY c.cname HAVING COUNT(*) > 1 ORDER BY n DESC, cname LIMIT 5",
+		"SELECT DISTINCT region FROM sales ORDER BY region",
+		"SELECT id FROM sales WHERE region = 'north' UNION ALL SELECT id FROM sales WHERE region = 'south' ORDER BY 1 LIMIT 20",
+		"SELECT region, COUNT(DISTINCT cust) FROM sales GROUP BY region ORDER BY region",
+		"SELECT id, amount FROM sales WHERE amount BETWEEN 10 AND 20 AND region IN ('north', 'east') ORDER BY id",
+		"SELECT id FROM sales WHERE region LIKE 'no%' AND id % 7 = 0 ORDER BY id",
+		"SELECT MONTH(sold), COUNT(*) FROM sales GROUP BY MONTH(sold) ORDER BY 1",
+		"SELECT id FROM sales WHERE amount IS NULL ORDER BY id",
+		"SELECT id, amount * 2 + 1 FROM sales WHERE NOT (region = 'west' OR id > 500) ORDER BY id DESC LIMIT 10 OFFSET 3",
+		"SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY SUM(amount) DESC",
+	}
+	engines := map[string]*Engine{
+		"2014": newEngine(t, plan.Mode2014),
+		"2012": newEngine(t, plan.Mode2012),
+		"row":  newEngine(t, plan.ModeRow),
+	}
+	for _, e := range engines {
+		seed(t, e)
+	}
+	for _, q := range queries {
+		var want []string
+		for name, e := range engines {
+			res := mustExec(t, e, q)
+			var got []string
+			for _, r := range res.Rows {
+				got = append(got, r.String())
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: %q: %d rows vs %d", name, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: %q: row %d: %s vs %s", name, q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateValues(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	mustExec(t, e, "CREATE TABLE t (g BIGINT NOT NULL, v BIGINT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1, 10), (1, 20), (2, NULL), (2, 5), (3, NULL)")
+	res := mustExec(t, e, "SELECT g, COUNT(*), COUNT(v), SUM(v), AVG(v) FROM t GROUP BY g ORDER BY g")
+	want := []string{
+		"[1 2 2 30 15.0]",
+		"[2 2 1 5 5.0]",
+		"[3 1 0 NULL NULL]",
+	}
+	for i, r := range res.Rows {
+		if r.String() != want[i] {
+			t.Fatalf("row %d = %s, want %s", i, r, want[i])
+		}
+	}
+}
+
+func TestDeleteUpdate(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	seed(t, e)
+	res := mustExec(t, e, "DELETE FROM sales WHERE region = 'west'")
+	if res.Affected != 250 {
+		t.Fatalf("deleted %d", res.Affected)
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM sales")
+	if res.Rows[0][0].I != 750 {
+		t.Fatalf("count after delete = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, e, "UPDATE sales SET amount = amount + 1000 WHERE region = 'north' AND id < 8")
+	if res.Affected != 2 {
+		t.Fatalf("updated %d", res.Affected)
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM sales WHERE amount >= 1000")
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("updated rows visible = %v", res.Rows[0][0])
+	}
+	// Row count unchanged by update.
+	res = mustExec(t, e, "SELECT COUNT(*) FROM sales")
+	if res.Rows[0][0].I != 750 {
+		t.Fatalf("count after update = %v", res.Rows[0][0])
+	}
+}
+
+func TestReorganize(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	seed(t, e)
+	tb, _ := e.Cat.Get("sales")
+	if tb.Stat().CompressedRows == 0 {
+		t.Fatal("bulk insert should have compressed row groups")
+	}
+	mustExec(t, e, "INSERT INTO sales VALUES (9999, 1, 1.0, 'north', DATE '1994-02-01')")
+	if tb.Stat().DeltaRows == 0 {
+		t.Fatal("trickle insert should land in a delta store")
+	}
+	mustExec(t, e, "REORGANIZE sales")
+	if st := tb.Stat(); st.DeltaRows != 0 {
+		t.Fatalf("delta rows after reorganize: %+v", st)
+	}
+	res := mustExec(t, e, "SELECT COUNT(*) FROM sales WHERE id = 9999")
+	if res.Rows[0][0].I != 1 {
+		t.Fatal("row lost in reorganize")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	seed(t, e)
+	res := mustExec(t, e, "EXPLAIN SELECT region, COUNT(*) FROM sales WHERE sold > DATE '1994-01-15' GROUP BY region")
+	if !strings.Contains(res.Message, "batch mode") || !strings.Contains(res.Message, "Scan(sales") {
+		t.Fatalf("explain = %s", res.Message)
+	}
+	e2 := newEngine(t, plan.ModeRow)
+	seed(t, e2)
+	res = mustExec(t, e2, "EXPLAIN SELECT COUNT(*) FROM sales GROUP BY region")
+	if !strings.Contains(res.Message, "row mode") {
+		t.Fatalf("explain = %s", res.Message)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	mustExec(t, e, "CREATE TABLE tmp (a BIGINT)")
+	mustExec(t, e, "DROP TABLE tmp")
+	if _, err := e.Exec("SELECT * FROM tmp"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	if _, err := e.Exec("DROP TABLE tmp"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+}
+
+func TestCreateTableOptions(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	mustExec(t, e, "CREATE TABLE arch (a BIGINT NOT NULL, s VARCHAR NOT NULL) WITH (rowgroup_size = 100, bulk_threshold = 10, archive)")
+	tb, err := e.Cat.Get("arch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Opts.RowGroupSize != 100 || tb.Opts.BulkLoadThreshold != 10 {
+		t.Fatalf("opts = %+v", tb.Opts)
+	}
+	if tb.Opts.Columnstore.Tier != storage.Archival {
+		t.Fatal("archive tier not applied")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	seed(t, e)
+	bad := []string{
+		"SELECT nosuchcol FROM sales",
+		"SELECT * FROM nosuchtable",
+		"SELECT id FROM sales WHERE region LIKE 5",
+		"SELECT region FROM sales GROUP BY sold",                  // region not grouped
+		"INSERT INTO sales VALUES (1)",                            // wrong arity
+		"CREATE TABLE sales (a BIGINT)",                           // duplicate
+		"SELECT id FROM sales UNION ALL SELECT region FROM sales", // type mismatch
+		"SELECT FROM sales",
+		"SELEC 1",
+		"SELECT id FROM sales WHERE",
+	}
+	for _, q := range bad {
+		if _, err := e.Exec(q); err == nil {
+			t.Errorf("no error for %q", q)
+		}
+	}
+}
+
+func TestNullHandlingInWhere(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	mustExec(t, e, "CREATE TABLE n (a BIGINT)")
+	mustExec(t, e, "INSERT INTO n VALUES (1), (NULL), (3)")
+	res := mustExec(t, e, "SELECT COUNT(*) FROM n WHERE a <> 1")
+	if res.Rows[0][0].I != 1 { // NULL <> 1 is NULL, not true
+		t.Fatalf("three-valued logic broken: %v", res.Rows[0][0])
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM n WHERE a IS NULL")
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("IS NULL broken: %v", res.Rows[0][0])
+	}
+}
+
+func TestQualifiedStarAndAliases(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	seed(t, e)
+	res := mustExec(t, e, "SELECT s.id AS sale_id, c.cname FROM sales AS s JOIN customers AS c ON s.cust = c.cid WHERE s.id = 7")
+	if len(res.Rows) != 1 || res.Schema.Cols[0].Name != "sale_id" {
+		t.Fatalf("aliased join: %v, %v", res.Rows, res.Schema)
+	}
+	if res.Rows[0][1].S != "cust7" {
+		t.Fatalf("join row = %v", res.Rows[0])
+	}
+}
+
+func TestSelfJoinWithAliases(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	seed(t, e)
+	res := mustExec(t, e, "SELECT COUNT(*) FROM customers a JOIN customers b ON a.tier = b.tier")
+	// 10 gold x 10 gold + 10 silver x 10 silver = 200.
+	if res.Rows[0][0].I != 200 {
+		t.Fatalf("self join count = %v", res.Rows[0][0])
+	}
+}
+
+func TestCommaJoinWithWhere(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	seed(t, e)
+	a := mustExec(t, e, "SELECT COUNT(*) FROM sales s, customers c WHERE s.cust = c.cid AND c.tier = 'gold'")
+	b := mustExec(t, e, "SELECT COUNT(*) FROM sales s JOIN customers c ON s.cust = c.cid WHERE c.tier = 'gold'")
+	if a.Rows[0][0].I != b.Rows[0][0].I {
+		t.Fatalf("comma join %v != explicit join %v", a.Rows[0][0], b.Rows[0][0])
+	}
+}
+
+func TestAntiJoin(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	mustExec(t, e, "CREATE TABLE a (x BIGINT NOT NULL)")
+	mustExec(t, e, "CREATE TABLE b (y BIGINT NOT NULL)")
+	mustExec(t, e, "INSERT INTO a VALUES (1), (2), (3), (4)")
+	mustExec(t, e, "INSERT INTO b VALUES (2), (4)")
+	res := mustExec(t, e, "SELECT x FROM a LEFT ANTI JOIN b ON a.x = b.y ORDER BY x")
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 1 || res.Rows[1][0].I != 3 {
+		t.Fatalf("anti join = %v", res.Rows)
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	e := newEngine(t, plan.Mode2014)
+	seed(t, e)
+	mustExec(t, e, "DELETE FROM sales WHERE id % 3 = 0")
+	mustExec(t, e, "INSERT INTO sales VALUES (5000, 1, 2.0, 'north', DATE '1994-03-01')")
+	tb, _ := e.Cat.Get("sales")
+	before := tb.Stat()
+	if before.DeletedRows == 0 || before.DeltaRows == 0 {
+		t.Fatalf("precondition: %+v", before)
+	}
+	liveBefore := mustExec(t, e, "SELECT COUNT(*), SUM(id) FROM sales").Rows[0]
+
+	mustExec(t, e, "REBUILD sales")
+	after := tb.Stat()
+	if after.DeletedRows != 0 || after.DeltaRows != 0 {
+		t.Fatalf("rebuild left ghosts: %+v", after)
+	}
+	if after.CompressedRows != tb.Rows() {
+		t.Fatalf("compressed %d != live %d", after.CompressedRows, tb.Rows())
+	}
+	liveAfter := mustExec(t, e, "SELECT COUNT(*), SUM(id) FROM sales").Rows[0]
+	if liveBefore.String() != liveAfter.String() {
+		t.Fatalf("rebuild changed results: %v vs %v", liveBefore, liveAfter)
+	}
+	// Rebuild must shrink storage when many rows were deleted.
+	if after.DiskBytes >= before.DiskBytes {
+		t.Fatalf("rebuild did not reclaim space: %d >= %d", after.DiskBytes, before.DiskBytes)
+	}
+}

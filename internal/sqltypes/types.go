@@ -1,0 +1,147 @@
+// Package sqltypes defines the engine-wide SQL type system: column types,
+// scalar values, rows, schemas, comparison/hashing semantics, and a compact
+// binary row codec used by delta stores and spill files.
+//
+// The type repertoire mirrors the subset of SQL Server types the paper's
+// workloads exercise: 64-bit integers, double-precision floats, booleans,
+// variable-length strings, and dates (stored as days since the Unix epoch).
+package sqltypes
+
+import "fmt"
+
+// Type identifies a SQL column type.
+type Type uint8
+
+// Supported column types.
+const (
+	Unknown Type = iota
+	Int64        // 64-bit signed integer
+	Float64      // double-precision float
+	Bool         // boolean
+	String       // variable-length UTF-8 string
+	Date         // days since 1970-01-01
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case Bool:
+		return "BOOLEAN"
+	case String:
+		return "VARCHAR"
+	case Date:
+		return "DATE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ParseType maps a SQL type name (as produced by Type.String, plus common
+// aliases) to a Type. It returns Unknown for unrecognized names.
+func ParseType(s string) Type {
+	switch s {
+	case "BIGINT", "INT", "INTEGER", "SMALLINT", "TINYINT":
+		return Int64
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC":
+		return Float64
+	case "BOOLEAN", "BOOL", "BIT":
+		return Bool
+	case "VARCHAR", "CHAR", "TEXT", "NVARCHAR", "STRING":
+		return String
+	case "DATE":
+		return Date
+	default:
+		return Unknown
+	}
+}
+
+// Numeric reports whether the type supports arithmetic.
+func (t Type) Numeric() bool { return t == Int64 || t == Float64 }
+
+// FixedWidth reports whether values of the type occupy a fixed number of
+// bytes when encoded (everything except String).
+func (t Type) FixedWidth() bool { return t != String && t != Unknown }
+
+// Column describes one column of a schema.
+type Column struct {
+	Name     string
+	Typ      Type
+	Nullable bool
+}
+
+// String renders the column as "name TYPE [NULL]".
+func (c Column) String() string {
+	if c.Nullable {
+		return fmt.Sprintf("%s %s NULL", c.Name, c.Typ)
+	}
+	return fmt.Sprintf("%s %s", c.Name, c.Typ)
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// ColIndex returns the index of the named column, or -1 if absent.
+// Column name matching is exact (the SQL binder lower-cases identifiers
+// before they reach the schema).
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns a new schema holding the columns at the given indices.
+func (s *Schema) Project(idx []int) *Schema {
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = s.Cols[j]
+	}
+	return &Schema{Cols: cols}
+}
+
+// Concat returns a schema with other's columns appended after s's.
+func (s *Schema) Concat(other *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Cols)+len(other.Cols))
+	cols = append(cols, s.Cols...)
+	cols = append(cols, other.Cols...)
+	return &Schema{Cols: cols}
+}
+
+// Equal reports whether two schemas have identical columns.
+func (s *Schema) Equal(other *Schema) bool {
+	if len(s.Cols) != len(other.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if s.Cols[i] != other.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(a BIGINT, b VARCHAR NULL)".
+func (s *Schema) String() string {
+	out := "("
+	for i, c := range s.Cols {
+		if i > 0 {
+			out += ", "
+		}
+		out += c.String()
+	}
+	return out + ")"
+}

@@ -1,0 +1,199 @@
+// Package stats derives optimizer statistics from columnstore metadata — the
+// query-optimization enhancement of §6: segment directories already record
+// per-segment min/max/null counts, so table statistics come almost for free,
+// and bookmark-based sampling (§4.4) supplies histograms.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/table"
+)
+
+// ColStats summarizes one column.
+type ColStats struct {
+	Min, Max  sqltypes.Value
+	NullCount int
+	// DistinctEst is a coarse distinct-count estimate: dictionary sizes for
+	// string columns, min(rows, value range) for integers.
+	DistinctEst int
+}
+
+// TableStats summarizes a table at collection time.
+type TableStats struct {
+	Rows int
+	Cols []ColStats
+}
+
+// Collect derives statistics from segment metadata plus a pass over delta
+// rows (which are few by construction).
+func Collect(t *table.Table) *TableStats {
+	snap := t.Snapshot()
+	ncols := snap.Schema.Len()
+	ts := &TableStats{Cols: make([]ColStats, ncols)}
+	for i := range ts.Cols {
+		ts.Cols[i].Min = sqltypes.NewNull(snap.Schema.Cols[i].Typ)
+		ts.Cols[i].Max = sqltypes.NewNull(snap.Schema.Cols[i].Typ)
+	}
+	merge := func(c int, v sqltypes.Value) {
+		if v.Null {
+			ts.Cols[c].NullCount++
+			return
+		}
+		if ts.Cols[c].Min.Null || sqltypes.Compare(v, ts.Cols[c].Min) < 0 {
+			ts.Cols[c].Min = v
+		}
+		if ts.Cols[c].Max.Null || sqltypes.Compare(v, ts.Cols[c].Max) > 0 {
+			ts.Cols[c].Max = v
+		}
+	}
+
+	for _, g := range snap.Groups {
+		live := g.Rows
+		if bm := snap.Deletes[g.ID]; bm != nil {
+			live -= bm.Count()
+		}
+		ts.Rows += live
+		for c := range ts.Cols {
+			seg := &g.Segs[c]
+			ts.Cols[c].NullCount += seg.NullCount
+			if !seg.Min.Null {
+				merge(c, seg.Min)
+			}
+			if !seg.Max.Null {
+				merge(c, seg.Max)
+			}
+		}
+	}
+	for _, row := range snap.Delta {
+		ts.Rows++
+		for c, v := range row {
+			merge(c, v)
+		}
+	}
+
+	// Distinct estimates.
+	for c := range ts.Cols {
+		col := snap.Schema.Cols[c]
+		switch {
+		case col.Typ == sqltypes.String:
+			if d := t.Index().Primary(c); d != nil {
+				ts.Cols[c].DistinctEst = max(d.Len(), 1)
+			} else {
+				ts.Cols[c].DistinctEst = max(ts.Rows/10, 1)
+			}
+		case !ts.Cols[c].Min.Null && col.Typ != sqltypes.Float64:
+			span := ts.Cols[c].Max.I - ts.Cols[c].Min.I + 1
+			if span < 1 || span > int64(ts.Rows) {
+				span = int64(max(ts.Rows, 1))
+			}
+			ts.Cols[c].DistinctEst = int(span)
+		default:
+			ts.Cols[c].DistinctEst = max(ts.Rows, 1)
+		}
+	}
+	return ts
+}
+
+// RangeSelectivity estimates the fraction of rows with column col in
+// [lo, hi] (NULL bounds unbounded) assuming a uniform distribution between
+// the column's min and max.
+func (ts *TableStats) RangeSelectivity(col int, lo, hi sqltypes.Value) float64 {
+	cs := ts.Cols[col]
+	if ts.Rows == 0 || cs.Min.Null {
+		return 0
+	}
+	mn, mx := cs.Min.AsFloat(), cs.Max.AsFloat()
+	if cs.Min.Typ == sqltypes.String {
+		// No numeric domain: equality selects 1/distinct, ranges are guessed.
+		if !lo.Null && !hi.Null && sqltypes.Compare(lo, hi) == 0 {
+			return 1 / float64(max(cs.DistinctEst, 1))
+		}
+		return 0.3
+	}
+	span := mx - mn
+	if span <= 0 {
+		// Single-valued column: either the range covers it or not.
+		v := cs.Min
+		if (!lo.Null && sqltypes.Compare(v, lo) < 0) || (!hi.Null && sqltypes.Compare(v, hi) > 0) {
+			return 0
+		}
+		return 1
+	}
+	l, h := mn, mx
+	if !lo.Null {
+		l = math.Max(l, lo.AsFloat())
+	}
+	if !hi.Null {
+		h = math.Min(h, hi.AsFloat())
+	}
+	if h < l {
+		return 0
+	}
+	sel := (h - l) / span
+	// Equality on integers: at least 1/distinct.
+	if !lo.Null && !hi.Null && sqltypes.Compare(lo, hi) == 0 {
+		sel = 1 / float64(max(cs.DistinctEst, 1))
+	}
+	return clamp01(sel)
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Histogram is an equi-depth histogram built from a bookmark sample (§4.4).
+type Histogram struct {
+	Bounds []sqltypes.Value // ascending upper bounds, one per bucket
+	Depth  float64          // estimated rows per bucket
+	Rows   int              // table rows at build time
+}
+
+// BuildHistogram samples the table via bookmarks and builds an equi-depth
+// histogram with the given bucket count over column col.
+func BuildHistogram(t *table.Table, col, buckets, sampleSize int, rng *rand.Rand) *Histogram {
+	rows := t.Sample(sampleSize, rng)
+	vals := make([]sqltypes.Value, 0, len(rows))
+	for _, r := range rows {
+		if !r[col].Null {
+			vals = append(vals, r[col])
+		}
+	}
+	if len(vals) == 0 || buckets < 1 {
+		return &Histogram{Rows: t.Rows()}
+	}
+	sort.Slice(vals, func(a, b int) bool { return sqltypes.Compare(vals[a], vals[b]) < 0 })
+	h := &Histogram{Rows: t.Rows()}
+	per := len(vals) / buckets
+	if per < 1 {
+		per = 1
+	}
+	for i := per - 1; i < len(vals); i += per {
+		h.Bounds = append(h.Bounds, vals[i])
+	}
+	if len(h.Bounds) == 0 || sqltypes.Compare(h.Bounds[len(h.Bounds)-1], vals[len(vals)-1]) != 0 {
+		h.Bounds = append(h.Bounds, vals[len(vals)-1])
+	}
+	h.Depth = float64(h.Rows) / float64(len(h.Bounds))
+	return h
+}
+
+// EstimateLE estimates how many rows have column value <= v.
+func (h *Histogram) EstimateLE(v sqltypes.Value) float64 {
+	if len(h.Bounds) == 0 {
+		return 0
+	}
+	i := sort.Search(len(h.Bounds), func(j int) bool {
+		return sqltypes.Compare(h.Bounds[j], v) >= 0
+	})
+	return float64(i) * h.Depth
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewStore(1 << 20)
+	data := []byte("hello columnstore")
+	id, err := s.Put(data, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestArchivalRoundTripAndRatio(t *testing.T) {
+	s := NewStore(1 << 20)
+	// Compressible data: repeated pattern.
+	data := bytes.Repeat([]byte("abcdefgh"), 4096)
+	id, err := s.Put(data, Archival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("archival round trip mismatch")
+	}
+	disk, raw, err := s.SizeOf(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != len(data) {
+		t.Fatalf("raw size = %d", raw)
+	}
+	if disk >= raw/4 {
+		t.Fatalf("archival did not compress: disk=%d raw=%d", disk, raw)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewStore(0)
+	if _, err := s.Get(999); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore(1 << 20)
+	id, _ := s.Put([]byte("x"), None)
+	if _, err := s.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete(id)
+	if _, err := s.Get(id); err == nil {
+		t.Fatal("expected error after delete")
+	}
+	if s.SizeOnDisk() != 0 {
+		t.Fatal("size not zero after delete")
+	}
+}
+
+func TestBufferPoolHitsAndEviction(t *testing.T) {
+	s := NewStore(100) // tiny pool
+	small, _ := s.Put(make([]byte, 40), None)
+	big, _ := s.Put(make([]byte, 80), None)
+
+	s.Get(small)
+	s.Get(small)
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.Reads != 1 {
+		t.Fatalf("stats after warm read: %+v", st)
+	}
+
+	// Reading big evicts small (40+80 > 100).
+	s.Get(big)
+	s.Get(small)
+	st = s.Stats()
+	if st.Reads != 3 {
+		t.Fatalf("expected 3 disk reads, got %d", st.Reads)
+	}
+}
+
+func TestZeroCapacityPoolNeverCaches(t *testing.T) {
+	s := NewStore(0)
+	id, _ := s.Put([]byte("abc"), None)
+	s.Get(id)
+	s.Get(id)
+	if st := s.Stats(); st.Reads != 2 || st.CacheHits != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEvictAllForcesColdReads(t *testing.T) {
+	s := NewStore(1 << 20)
+	id, _ := s.Put([]byte("abc"), None)
+	s.Get(id)
+	s.EvictAll()
+	s.Get(id)
+	if st := s.Stats(); st.Reads != 2 {
+		t.Fatalf("expected 2 disk reads, got %d", st.Reads)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	for _, comp := range []Compression{None, Archival} {
+		s := NewStore(1 << 20)
+		id, _ := s.Put(bytes.Repeat([]byte("data"), 100), comp)
+		if err := s.Corrupt(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(id); err == nil {
+			t.Fatalf("%v: corruption not detected", comp)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s := NewStore(1 << 20)
+	id, _ := s.Put([]byte("x"), None)
+	s.Get(id)
+	s.ResetStats()
+	if st := s.Stats(); st != (IOStats{}) {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+}
+
+func TestDecompressAccounting(t *testing.T) {
+	s := NewStore(0)
+	data := bytes.Repeat([]byte("z"), 1000)
+	id, _ := s.Put(data, Archival)
+	s.Get(id)
+	st := s.Stats()
+	if st.DecompressCalls != 1 || st.BytesDecompressd != 1000 {
+		t.Fatalf("decompress stats: %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore(1 << 16)
+	var ids []BlobID
+	for i := 0; i < 50; i++ {
+		data := make([]byte, 100+i)
+		rand.New(rand.NewSource(int64(i))).Read(data)
+		id, err := s.Put(data, None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				id := ids[rng.Intn(len(ids))]
+				if _, err := s.Get(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,90 @@
+package table
+
+import (
+	"apollo/internal/bits"
+	"apollo/internal/colstore"
+	"apollo/internal/sqltypes"
+)
+
+// Snapshot is a consistent read view of a table for the duration of a query:
+// the compressed row groups that existed at snapshot time, per-group delete
+// bitmaps frozen at snapshot time, and a materialized copy of the delta
+// rows. Scans built on a snapshot are unaffected by concurrent DML and the
+// tuple mover. A row group can appear while its source delta rows are also in
+// the snapshot only if the mover published it after the snapshot was cut —
+// impossible because the group list and delta list are read under one lock.
+type Snapshot struct {
+	Table   *Table
+	Schema  *sqltypes.Schema
+	Groups  []*colstore.RowGroup
+	Deletes map[int]*bits.Bitmap // nil entry = no deletes in that group
+	Delta   []sqltypes.Row       // live delta rows, materialized
+}
+
+// Snapshot captures a consistent view for a query. Materialized delta rows
+// are cached across snapshots and invalidated by the table's delta epoch, so
+// read-mostly workloads do not re-decode delta stores per query. Snapshot
+// delta rows are shared and must be treated as read-only.
+func (t *Table) Snapshot() *Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := &Snapshot{
+		Table:   t,
+		Schema:  t.Schema,
+		Groups:  t.idx.Groups(),
+		Deletes: make(map[int]*bits.Bitmap),
+	}
+	for _, g := range s.Groups {
+		if bm := t.deletes.Snapshot(g.ID); bm != nil {
+			s.Deletes[g.ID] = bm
+		}
+	}
+
+	t.snapMu.Lock()
+	if t.snapEpoch == t.deltaEpoch && t.snapValid {
+		s.Delta = t.snapDelta
+		t.snapMu.Unlock()
+		return s
+	}
+	t.snapMu.Unlock()
+
+	collect := func(st interface {
+		Scan(func(uint64, sqltypes.Row) bool) error
+	}) {
+		st.Scan(func(_ uint64, row sqltypes.Row) bool {
+			s.Delta = append(s.Delta, row)
+			return true
+		})
+	}
+	collect(t.open)
+	for _, d := range t.closed {
+		collect(d)
+	}
+	for _, d := range t.moving {
+		collect(d)
+	}
+
+	t.snapMu.Lock()
+	t.snapDelta = s.Delta
+	t.snapEpoch = t.deltaEpoch
+	t.snapValid = true
+	t.snapMu.Unlock()
+	return s
+}
+
+// OpenColumn opens a column reader for one of the snapshot's groups.
+func (s *Snapshot) OpenColumn(g *colstore.RowGroup, col int) (*colstore.ColumnReader, error) {
+	return s.Table.idx.OpenColumn(g, col)
+}
+
+// Rows returns the snapshot's live row count.
+func (s *Snapshot) Rows() int {
+	n := len(s.Delta)
+	for _, g := range s.Groups {
+		n += g.Rows
+		if bm := s.Deletes[g.ID]; bm != nil {
+			n -= bm.Count()
+		}
+	}
+	return n
+}

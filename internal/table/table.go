@@ -1,0 +1,910 @@
+// Package table implements the paper's updatable clustered columnstore index
+// (§4): a table whose base storage is a columnstore index, augmented with
+// delta stores that absorb trickle inserts, a delete bitmap covering
+// compressed row groups, and a tuple mover that compresses CLOSED delta
+// stores into row groups in the background. Bulk loads above a threshold
+// bypass delta stores and compress directly; updates are delete + insert.
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"apollo/internal/colstore"
+	"apollo/internal/delta"
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+)
+
+// Options configure a clustered columnstore table.
+type Options struct {
+	// RowGroupSize is the target rows per compressed row group (the paper
+	// uses about one million). A delta store closes when it reaches this.
+	RowGroupSize int
+	// BulkLoadThreshold is the minimum batch size that compresses directly
+	// instead of landing in a delta store (102,400 in the shipped system).
+	BulkLoadThreshold int
+	// Columnstore selects segment compression options (tier, reordering,
+	// dictionary policy).
+	Columnstore colstore.Options
+}
+
+// DefaultOptions mirrors the shipped system's constants.
+func DefaultOptions() Options {
+	return Options{
+		RowGroupSize:      1 << 20,
+		BulkLoadThreshold: 102400,
+		Columnstore:       colstore.DefaultOptions(),
+	}
+}
+
+// Locator is a bookmark (§4.4): a stable address of a row, either (row group,
+// tuple id) for compressed rows or (delta store, key) for delta rows.
+type Locator struct {
+	InDelta bool
+	Group   int    // compressed: row group id
+	Tuple   int    // compressed: tuple id within the group
+	DeltaID int    // delta: store id
+	Key     uint64 // delta: tuple key
+}
+
+func (l Locator) String() string {
+	if l.InDelta {
+		return fmt.Sprintf("delta(%d,%d)", l.DeltaID, l.Key)
+	}
+	return fmt.Sprintf("rg(%d,%d)", l.Group, l.Tuple)
+}
+
+// Table is an updatable clustered columnstore table.
+type Table struct {
+	Name   string
+	Schema *sqltypes.Schema
+	Opts   Options
+
+	mu      sync.RWMutex
+	idx     *colstore.Index
+	open    *delta.Store
+	closed  []*delta.Store
+	moving  map[int]*delta.Store
+	deltaID int
+	deletes *delta.DeleteBitmap
+
+	// deltaEpoch increments on every mutation of delta-store contents; the
+	// snapshot cache (snapshot.go) uses it to reuse materialized delta rows
+	// across queries when nothing changed.
+	deltaEpoch uint64
+	snapMu     sync.Mutex
+	snapDelta  []sqltypes.Row
+	snapEpoch  uint64
+	snapValid  bool
+
+	// compressMu serializes row-group compression (tuple mover vs bulk load)
+	// so the shared primary dictionaries see a single writer.
+	compressMu sync.Mutex
+
+	mover *mover
+}
+
+// New creates an empty clustered columnstore table.
+func New(store *storage.Store, name string, schema *sqltypes.Schema, opts Options) *Table {
+	if opts.RowGroupSize <= 0 {
+		opts.RowGroupSize = DefaultOptions().RowGroupSize
+	}
+	if opts.BulkLoadThreshold <= 0 {
+		opts.BulkLoadThreshold = DefaultOptions().BulkLoadThreshold
+	}
+	t := &Table{
+		Name:    name,
+		Schema:  schema,
+		Opts:    opts,
+		idx:     colstore.NewIndex(store, schema, opts.Columnstore),
+		deletes: delta.NewDeleteBitmap(),
+		moving:  make(map[int]*delta.Store),
+	}
+	t.open = t.newDeltaStoreLocked()
+	return t
+}
+
+// Index exposes the compressed columnstore index (read-only use).
+func (t *Table) Index() *colstore.Index { return t.idx }
+
+// Deletes exposes the delete bitmap (read-only use).
+func (t *Table) Deletes() *delta.DeleteBitmap { return t.deletes }
+
+func (t *Table) newDeltaStoreLocked() *delta.Store {
+	t.deltaID++
+	return delta.NewStore(t.deltaID, t.Schema)
+}
+
+func (t *Table) checkRow(row sqltypes.Row) error {
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("table %s: row width %d, want %d", t.Name, len(row), t.Schema.Len())
+	}
+	for i, col := range t.Schema.Cols {
+		v := row[i]
+		if v.Null {
+			if !col.Nullable {
+				return fmt.Errorf("table %s: NULL in non-nullable column %s", t.Name, col.Name)
+			}
+			continue
+		}
+		want := col.Typ
+		got := v.Typ
+		if got != want && !(want.Numeric() && got.Numeric()) {
+			return fmt.Errorf("table %s: column %s expects %v, got %v", t.Name, col.Name, want, got)
+		}
+	}
+	return nil
+}
+
+// coerceRow normalizes numeric types to the column types.
+func (t *Table) coerceRow(row sqltypes.Row) sqltypes.Row {
+	out := row.Clone()
+	for i, col := range t.Schema.Cols {
+		v := out[i]
+		if v.Null {
+			out[i] = sqltypes.NewNull(col.Typ)
+			continue
+		}
+		switch {
+		case col.Typ == sqltypes.Float64 && v.Typ == sqltypes.Int64:
+			out[i] = sqltypes.NewFloat(float64(v.I))
+		case col.Typ == sqltypes.Int64 && v.Typ == sqltypes.Float64:
+			out[i] = sqltypes.NewInt(int64(v.F))
+		default:
+			out[i].Typ = col.Typ
+		}
+	}
+	return out
+}
+
+// Insert trickle-inserts one row into the open delta store (§4.2). When the
+// open store reaches RowGroupSize it is closed and a new one opened; the
+// tuple mover picks up closed stores.
+func (t *Table) Insert(row sqltypes.Row) (Locator, error) {
+	if err := t.checkRow(row); err != nil {
+		return Locator{}, err
+	}
+	row = t.coerceRow(row)
+	t.mu.Lock()
+	key, err := t.open.Insert(row)
+	if err != nil {
+		t.mu.Unlock()
+		return Locator{}, err
+	}
+	t.deltaEpoch++
+	loc := Locator{InDelta: true, DeltaID: t.open.ID, Key: key}
+	var closedNow bool
+	if t.open.Rows() >= t.Opts.RowGroupSize {
+		t.open.Close()
+		t.closed = append(t.closed, t.open)
+		t.open = t.newDeltaStoreLocked()
+		closedNow = true
+	}
+	t.mu.Unlock()
+	if closedNow {
+		t.kickMover()
+	}
+	return loc, nil
+}
+
+// InsertMany trickle-inserts rows one at a time (the non-bulk path).
+func (t *Table) InsertMany(rows []sqltypes.Row) error {
+	for _, r := range rows {
+		if _, err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BulkLoad loads rows through the bulk path (§4.2): full row groups compress
+// directly; a trailing remainder at or above BulkLoadThreshold also
+// compresses (as a smaller row group); a remainder below the threshold is
+// trickle-inserted into the open delta store.
+func (t *Table) BulkLoad(rows []sqltypes.Row) error {
+	for _, r := range rows {
+		if err := t.checkRow(r); err != nil {
+			return err
+		}
+	}
+	coerced := make([]sqltypes.Row, len(rows))
+	for i, r := range rows {
+		coerced[i] = t.coerceRow(r)
+	}
+	i := 0
+	for len(coerced)-i >= t.Opts.RowGroupSize {
+		if err := t.compressRows(coerced[i : i+t.Opts.RowGroupSize]); err != nil {
+			return err
+		}
+		i += t.Opts.RowGroupSize
+	}
+	rem := coerced[i:]
+	if len(rem) == 0 {
+		return nil
+	}
+	if len(rem) >= t.Opts.BulkLoadThreshold {
+		return t.compressRows(rem)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.deltaEpoch++
+	for _, r := range rem {
+		if _, err := t.open.Insert(r); err != nil {
+			return err
+		}
+	}
+	if t.open.Rows() >= t.Opts.RowGroupSize {
+		t.open.Close()
+		t.closed = append(t.closed, t.open)
+		t.open = t.newDeltaStoreLocked()
+	}
+	return nil
+}
+
+// compressRows builds one compressed row group directly from rows.
+func (t *Table) compressRows(rows []sqltypes.Row) error {
+	t.compressMu.Lock()
+	defer t.compressMu.Unlock()
+	bufs := colstore.BuffersFromRows(t.Schema, rows)
+	_, err := t.idx.CompressRowGroup(bufs)
+	return err
+}
+
+// FetchRow resolves a bookmark to its row. Deleted or stale locators report
+// ok=false.
+func (t *Table) FetchRow(loc Locator) (sqltypes.Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.fetchRowLocked(loc)
+}
+
+func (t *Table) fetchRowLocked(loc Locator) (sqltypes.Row, bool) {
+	if loc.InDelta {
+		if s := t.deltaByIDLocked(loc.DeltaID); s != nil {
+			return s.Get(loc.Key)
+		}
+		return nil, false
+	}
+	if t.deletes.IsDeleted(loc.Group, loc.Tuple) {
+		return nil, false
+	}
+	g := t.idx.Group(loc.Group)
+	if g == nil || loc.Tuple < 0 || loc.Tuple >= g.Rows {
+		return nil, false
+	}
+	row := make(sqltypes.Row, t.Schema.Len())
+	for c := range t.Schema.Cols {
+		r, err := t.idx.OpenColumn(g, c)
+		if err != nil {
+			return nil, false
+		}
+		row[c] = r.Value(loc.Tuple)
+	}
+	return row, true
+}
+
+func (t *Table) deltaByIDLocked(id int) *delta.Store {
+	if t.open != nil && t.open.ID == id {
+		return t.open
+	}
+	for _, s := range t.closed {
+		if s.ID == id {
+			return s
+		}
+	}
+	return t.moving[id]
+}
+
+// DeleteAt marks the row at loc deleted (§4.1): delta rows are removed from
+// their B-tree; compressed rows are marked in the delete bitmap.
+func (t *Table) DeleteAt(loc Locator) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteAtLocked(loc)
+}
+
+func (t *Table) deleteAtLocked(loc Locator) bool {
+	if loc.InDelta {
+		s := t.deltaByIDLocked(loc.DeltaID)
+		if s != nil && s.Delete(loc.Key) {
+			t.deltaEpoch++
+			return true
+		}
+		return false
+	}
+	g := t.idx.Group(loc.Group)
+	if g == nil || loc.Tuple < 0 || loc.Tuple >= g.Rows {
+		return false
+	}
+	return t.deletes.Delete(loc.Group, loc.Tuple)
+}
+
+// DeleteWhere deletes all rows matching pred and returns the count. The scan
+// and the deletes run under one exclusive lock, so DML is serialized.
+func (t *Table) DeleteWhere(pred func(sqltypes.Row) bool) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	locs, err := t.matchLocked(pred)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, loc := range locs {
+		if t.deleteAtLocked(loc) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// UpdateWhere applies set to every row matching pred, implemented as
+// delete + insert per the paper's §4.1. It returns the update count.
+func (t *Table) UpdateWhere(pred func(sqltypes.Row) bool, set func(sqltypes.Row) sqltypes.Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	locs, err := t.matchLocked(pred)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, loc := range locs {
+		row, ok := t.fetchRowLocked(loc)
+		if !ok {
+			continue
+		}
+		updated := set(row.Clone())
+		if err := t.checkRow(updated); err != nil {
+			return n, err
+		}
+		if !t.deleteAtLocked(loc) {
+			continue
+		}
+		if _, err := t.open.Insert(t.coerceRow(updated)); err != nil {
+			return n, err
+		}
+		t.deltaEpoch++
+		n++
+	}
+	if t.open.Rows() >= t.Opts.RowGroupSize {
+		t.open.Close()
+		t.closed = append(t.closed, t.open)
+		t.open = t.newDeltaStoreLocked()
+	}
+	return n, nil
+}
+
+// matchLocked scans the whole table row-at-a-time collecting locators of rows
+// matching pred. DML-path only; queries use the vectorized scan.
+func (t *Table) matchLocked(pred func(sqltypes.Row) bool) ([]Locator, error) {
+	var locs []Locator
+	for _, g := range t.idx.Groups() {
+		readers := make([]*colstore.ColumnReader, t.Schema.Len())
+		for c := range readers {
+			r, err := t.idx.OpenColumn(g, c)
+			if err != nil {
+				return nil, err
+			}
+			readers[c] = r
+		}
+		del := t.deletes.Snapshot(g.ID)
+		row := make(sqltypes.Row, t.Schema.Len())
+		for i := 0; i < g.Rows; i++ {
+			if del != nil && del.Get(i) {
+				continue
+			}
+			for c, r := range readers {
+				row[c] = r.Value(i)
+			}
+			if pred(row) {
+				locs = append(locs, Locator{Group: g.ID, Tuple: i})
+			}
+		}
+	}
+	scanDelta := func(s *delta.Store) error {
+		return s.Scan(func(k uint64, row sqltypes.Row) bool {
+			if pred(row) {
+				locs = append(locs, Locator{InDelta: true, DeltaID: s.ID, Key: k})
+			}
+			return true
+		})
+	}
+	for _, s := range t.closed {
+		if err := scanDelta(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range t.moving {
+		if err := scanDelta(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := scanDelta(t.open); err != nil {
+		return nil, err
+	}
+	return locs, nil
+}
+
+// Rows returns the live row count: compressed minus deleted plus delta rows.
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.idx.Rows() - t.deletes.Count()
+	n += t.open.Rows()
+	for _, s := range t.closed {
+		n += s.Rows()
+	}
+	for _, s := range t.moving {
+		n += s.Rows()
+	}
+	return n
+}
+
+// Stats summarizes table state for monitoring and experiments.
+type Stats struct {
+	CompressedGroups int
+	CompressedRows   int
+	DeletedRows      int
+	DeltaStores      int // open + closed + moving
+	DeltaRows        int
+	DiskBytes        int
+	RawBytes         int
+	DeltaMemBytes    int
+}
+
+// Stat returns a snapshot of table statistics.
+func (t *Table) Stat() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := Stats{
+		CompressedGroups: len(t.idx.Groups()),
+		CompressedRows:   t.idx.Rows(),
+		DeletedRows:      t.deletes.Count(),
+		DiskBytes:        t.idx.DiskBytes(),
+		RawBytes:         t.idx.RawBytes(),
+	}
+	add := func(s *delta.Store) {
+		st.DeltaStores++
+		st.DeltaRows += s.Rows()
+		st.DeltaMemBytes += s.MemBytes()
+	}
+	add(t.open)
+	for _, s := range t.closed {
+		add(s)
+	}
+	for _, s := range t.moving {
+		add(s)
+	}
+	return st
+}
+
+// Sample draws up to n rows uniformly at random using bookmarks (§4.4):
+// random positions in the logical row space resolve through locators, with
+// deleted rows skipped. Positions are batched per row group so each sampled
+// group's segments are opened (and decoded) once, not once per row.
+func (t *Table) Sample(n int, rng *rand.Rand) []sqltypes.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	// Build the position -> locator space: compressed groups first, then
+	// delta stores (keys materialized for random access).
+	type span struct {
+		rows  int
+		group *colstore.RowGroup
+		keys  []uint64
+		store *delta.Store
+	}
+	var spans []span
+	total := 0
+	for _, g := range t.idx.Groups() {
+		spans = append(spans, span{rows: g.Rows, group: g})
+		total += g.Rows
+	}
+	collect := func(s *delta.Store) {
+		if s.Rows() == 0 {
+			return
+		}
+		keys := make([]uint64, 0, s.Rows())
+		s.Scan(func(k uint64, _ sqltypes.Row) bool { keys = append(keys, k); return true })
+		spans = append(spans, span{rows: len(keys), keys: keys, store: s})
+		total += len(keys)
+	}
+	collect(t.open)
+	for _, s := range t.closed {
+		collect(s)
+	}
+	for _, s := range t.moving {
+		collect(s)
+	}
+	if total == 0 {
+		return nil
+	}
+
+	out := make([]sqltypes.Row, 0, n)
+	readerCache := map[int][]*colstore.ColumnReader{}
+	attempts := 0
+	for len(out) < n && attempts < 4*n+100 {
+		// Draw a batch of picks, grouped by span, then resolve span by span.
+		want := n - len(out)
+		bySpan := map[int][]int{}
+		for i := 0; i < want; i++ {
+			attempts++
+			pos := rng.Intn(total)
+			for si := range spans {
+				if pos < spans[si].rows {
+					bySpan[si] = append(bySpan[si], pos)
+					break
+				}
+				pos -= spans[si].rows
+			}
+		}
+		for si, positions := range bySpan {
+			sp := &spans[si]
+			if sp.group == nil {
+				for _, pos := range positions {
+					if row, ok := sp.store.Get(sp.keys[pos]); ok {
+						out = append(out, row)
+					}
+				}
+				continue
+			}
+			readers := readerCache[sp.group.ID]
+			if readers == nil {
+				readers = make([]*colstore.ColumnReader, t.Schema.Len())
+				ok := true
+				for c := range readers {
+					r, err := t.idx.OpenColumn(sp.group, c)
+					if err != nil {
+						ok = false
+						break
+					}
+					readers[c] = r
+				}
+				if !ok {
+					continue
+				}
+				readerCache[sp.group.ID] = readers
+			}
+			for _, pos := range positions {
+				if t.deletes.IsDeleted(sp.group.ID, pos) {
+					continue
+				}
+				row := make(sqltypes.Row, t.Schema.Len())
+				for c, r := range readers {
+					row[c] = r.Value(pos)
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// --- Tuple mover (§4.3) ---
+
+// MoveOnce compresses one CLOSED delta store into a row group, replaying any
+// deletes that arrived during compression via the delete buffer. It reports
+// whether a store was moved.
+func (t *Table) MoveOnce() (bool, error) {
+	t.mu.Lock()
+	if len(t.closed) == 0 {
+		t.mu.Unlock()
+		return false, nil
+	}
+	s := t.closed[0]
+	t.closed = t.closed[1:]
+	keys, rows, err := s.BeginMove()
+	if err != nil {
+		t.mu.Unlock()
+		return false, err
+	}
+	t.moving[s.ID] = s
+	t.mu.Unlock()
+
+	if len(rows) == 0 {
+		// Everything was deleted while the store sat closed; just drop it.
+		t.mu.Lock()
+		delete(t.moving, s.ID)
+		t.deltaEpoch++
+		t.mu.Unlock()
+		return true, nil
+	}
+
+	// Compression happens outside the table lock: inserts and queries
+	// proceed concurrently (the paper's tuple mover does not block trickle
+	// inserts). The built group is published under the table lock together
+	// with the removal of the source delta store, so no snapshot can see the
+	// same row twice.
+	t.compressMu.Lock()
+	bufs := colstore.BuffersFromRows(t.Schema, rows)
+	g, perm, err := t.idx.BuildRowGroup(bufs)
+	t.compressMu.Unlock()
+	if err != nil {
+		// Put the store back so rows are not lost.
+		t.mu.Lock()
+		delete(t.moving, s.ID)
+		t.closed = append([]*delta.Store{s}, t.closed...)
+		t.mu.Unlock()
+		return false, err
+	}
+
+	// Inverse permutation: old position -> new tuple id.
+	inv := make([]int, len(rows))
+	if perm == nil {
+		for i := range inv {
+			inv[i] = i
+		}
+	} else {
+		for newPos, oldPos := range perm {
+			inv[oldPos] = newPos
+		}
+	}
+
+	t.mu.Lock()
+	t.idx.PublishGroup(g)
+	// Replay deletes that landed while we compressed.
+	for _, k := range s.DrainDeleteBuffer() {
+		i := sort.Search(len(keys), func(j int) bool { return keys[j] >= k })
+		if i < len(keys) && keys[i] == k {
+			t.deletes.Delete(g.ID, inv[i])
+		}
+	}
+	delete(t.moving, s.ID)
+	t.deltaEpoch++
+	t.mu.Unlock()
+	return true, nil
+}
+
+// MoveAll drains every closed delta store.
+func (t *Table) MoveAll() error {
+	for {
+		moved, err := t.MoveOnce()
+		if err != nil {
+			return err
+		}
+		if !moved {
+			return nil
+		}
+	}
+}
+
+// FlushOpen force-closes the open delta store (regardless of size) and moves
+// everything — used by loads that want a fully compressed table.
+func (t *Table) FlushOpen() error {
+	t.mu.Lock()
+	if t.open.Rows() > 0 {
+		t.open.Close()
+		t.closed = append(t.closed, t.open)
+		t.open = t.newDeltaStoreLocked()
+	}
+	t.mu.Unlock()
+	return t.MoveAll()
+}
+
+type mover struct {
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartTupleMover launches the background tuple mover, which wakes on a timer
+// and whenever a delta store closes.
+func (t *Table) StartTupleMover(interval time.Duration) {
+	t.mu.Lock()
+	if t.mover != nil {
+		t.mu.Unlock()
+		return
+	}
+	m := &mover{kick: make(chan struct{}, 1), stop: make(chan struct{}), done: make(chan struct{})}
+	t.mover = m
+	t.mu.Unlock()
+
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+			case <-m.kick:
+			}
+			for {
+				moved, err := t.MoveOnce()
+				if err != nil || !moved {
+					break
+				}
+			}
+		}
+	}()
+}
+
+// StopTupleMover stops the background tuple mover and waits for it to exit.
+func (t *Table) StopTupleMover() {
+	t.mu.Lock()
+	m := t.mover
+	t.mover = nil
+	t.mu.Unlock()
+	if m == nil {
+		return
+	}
+	close(m.stop)
+	<-m.done
+}
+
+func (t *Table) kickMover() {
+	t.mu.RLock()
+	m := t.mover
+	t.mu.RUnlock()
+	if m != nil {
+		select {
+		case m.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Rebuild recompresses the whole table (ALTER INDEX ... REBUILD in §4):
+// deleted rows are physically removed, delta rows are folded into compressed
+// row groups, and the delete bitmap empties. The table is locked for the
+// duration (rebuild is an offline maintenance operation in this engine).
+func (t *Table) Rebuild() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Collect all live rows.
+	var rows []sqltypes.Row
+	for _, g := range t.idx.Groups() {
+		readers := make([]*colstore.ColumnReader, t.Schema.Len())
+		for c := range readers {
+			r, err := t.idx.OpenColumn(g, c)
+			if err != nil {
+				return err
+			}
+			readers[c] = r
+		}
+		del := t.deletes.Snapshot(g.ID)
+		for i := 0; i < g.Rows; i++ {
+			if del != nil && del.Get(i) {
+				continue
+			}
+			row := make(sqltypes.Row, t.Schema.Len())
+			for c, r := range readers {
+				row[c] = r.Value(i)
+			}
+			rows = append(rows, row)
+		}
+	}
+	collect := func(s *delta.Store) error {
+		return s.Scan(func(_ uint64, row sqltypes.Row) bool {
+			rows = append(rows, row)
+			return true
+		})
+	}
+	if err := collect(t.open); err != nil {
+		return err
+	}
+	for _, s := range t.closed {
+		if err := collect(s); err != nil {
+			return err
+		}
+	}
+	for _, s := range t.moving {
+		if err := collect(s); err != nil {
+			return err
+		}
+	}
+
+	// Build replacement row groups before tearing anything down.
+	t.compressMu.Lock()
+	var newGroups []*colstore.RowGroup
+	for i := 0; i < len(rows); i += t.Opts.RowGroupSize {
+		end := i + t.Opts.RowGroupSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		bufs := colstore.BuffersFromRows(t.Schema, rows[i:end])
+		g, _, err := t.idx.BuildRowGroup(bufs)
+		if err != nil {
+			t.compressMu.Unlock()
+			return err
+		}
+		newGroups = append(newGroups, g)
+	}
+	t.compressMu.Unlock()
+
+	// Swap: drop old groups and delta state, publish the rebuilt groups.
+	for _, g := range t.idx.Groups() {
+		t.idx.RemoveGroup(g.ID)
+		t.deletes.DropGroup(g.ID)
+	}
+	for _, g := range newGroups {
+		t.idx.PublishGroup(g)
+	}
+	t.open = t.newDeltaStoreLocked()
+	t.closed = nil
+	t.moving = make(map[int]*delta.Store)
+	t.deltaEpoch++
+	return nil
+}
+
+// MergeSmallGroups consolidates undersized compressed row groups (live rows
+// below half the target row-group size) into full-size groups, dropping
+// their delete-bitmap entries in the process. REORGANIZE runs it after
+// draining delta stores; SQL Server gained the equivalent self-merge in the
+// release after the paper as a natural extension of the tuple mover.
+// It returns the number of groups merged away.
+func (t *Table) MergeSmallGroups() (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	half := t.Opts.RowGroupSize / 2
+	var victims []*colstore.RowGroup
+	for _, g := range t.idx.Groups() {
+		live := g.Rows - t.deletes.DeletedInGroup(g.ID)
+		if live < half {
+			victims = append(victims, g)
+		}
+	}
+	if len(victims) < 2 {
+		return 0, nil
+	}
+
+	// Materialize the victims' live rows.
+	var rows []sqltypes.Row
+	for _, g := range victims {
+		readers := make([]*colstore.ColumnReader, t.Schema.Len())
+		for c := range readers {
+			r, err := t.idx.OpenColumn(g, c)
+			if err != nil {
+				return 0, err
+			}
+			readers[c] = r
+		}
+		del := t.deletes.Snapshot(g.ID)
+		for i := 0; i < g.Rows; i++ {
+			if del != nil && del.Get(i) {
+				continue
+			}
+			row := make(sqltypes.Row, t.Schema.Len())
+			for c, r := range readers {
+				row[c] = r.Value(i)
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	// Build replacements, then swap.
+	t.compressMu.Lock()
+	var merged []*colstore.RowGroup
+	for i := 0; i < len(rows); i += t.Opts.RowGroupSize {
+		end := i + t.Opts.RowGroupSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		bufs := colstore.BuffersFromRows(t.Schema, rows[i:end])
+		g, _, err := t.idx.BuildRowGroup(bufs)
+		if err != nil {
+			t.compressMu.Unlock()
+			return 0, err
+		}
+		merged = append(merged, g)
+	}
+	t.compressMu.Unlock()
+
+	for _, g := range victims {
+		t.idx.RemoveGroup(g.ID)
+		t.deletes.DropGroup(g.ID)
+	}
+	for _, g := range merged {
+		t.idx.PublishGroup(g)
+	}
+	return len(victims) - len(merged), nil
+}

@@ -1,0 +1,150 @@
+package vector
+
+import (
+	"fmt"
+
+	"apollo/internal/sqltypes"
+)
+
+// Batch is a set of column vectors holding up to ~DefaultBatchSize rows,
+// together with a selection vector of qualifying physical row indices.
+// A nil Sel means all physical rows 0..NumRows-1 qualify.
+type Batch struct {
+	Schema *sqltypes.Schema
+	Vecs   []*Vector
+	Sel    []int // ascending physical indices of qualifying rows; nil = all
+	nrows  int   // physical rows materialized in the vectors
+}
+
+// NewBatch allocates a batch for schema with capacity rows.
+func NewBatch(schema *sqltypes.Schema, capacity int) *Batch {
+	b := &Batch{Schema: schema, Vecs: make([]*Vector, schema.Len())}
+	for i, c := range schema.Cols {
+		b.Vecs[i] = NewVector(c.Typ, capacity)
+	}
+	return b
+}
+
+// NumRows returns the number of physical rows in the batch's vectors.
+func (b *Batch) NumRows() int { return b.nrows }
+
+// SetNumRows declares n physical rows, resizing vectors as needed, clearing
+// null bitmaps, and clearing the selection (all rows qualify). Call it before
+// filling the vectors for a new batch.
+func (b *Batch) SetNumRows(n int) {
+	for _, v := range b.Vecs {
+		if v.Len() != n {
+			v.Resize(n)
+		}
+		if v.Nulls != nil {
+			v.Nulls.Reset()
+		}
+	}
+	b.nrows = n
+	b.Sel = nil
+}
+
+// Len returns the number of qualifying rows.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.nrows
+}
+
+// RowIdx maps qualifying-row ordinal i to a physical row index.
+func (b *Batch) RowIdx(i int) int {
+	if b.Sel != nil {
+		return b.Sel[i]
+	}
+	return i
+}
+
+// Reset clears the batch for reuse, keeping allocated storage.
+func (b *Batch) Reset() {
+	b.nrows = 0
+	b.Sel = nil
+	for _, v := range b.Vecs {
+		if v.Nulls != nil {
+			v.Nulls.Reset()
+		}
+	}
+}
+
+// AppendRow appends a materialized row, growing vectors as needed. It clears
+// any selection (the appended row qualifies along with all physical rows).
+func (b *Batch) AppendRow(row sqltypes.Row) {
+	if len(row) != len(b.Vecs) {
+		panic(fmt.Sprintf("vector: row width %d, batch width %d", len(row), len(b.Vecs)))
+	}
+	i := b.nrows
+	for c, v := range b.Vecs {
+		v.Resize(i + 1)
+		v.SetValue(i, row[c])
+	}
+	b.nrows++
+	b.Sel = nil
+}
+
+// Row materializes qualifying row i as a sqltypes.Row.
+func (b *Batch) Row(i int) sqltypes.Row {
+	p := b.RowIdx(i)
+	row := make(sqltypes.Row, len(b.Vecs))
+	for c, v := range b.Vecs {
+		row[c] = v.Value(p)
+	}
+	return row
+}
+
+// RowInto materializes qualifying row i into row, which must have the batch's
+// width.
+func (b *Batch) RowInto(i int, row sqltypes.Row) {
+	p := b.RowIdx(i)
+	for c, v := range b.Vecs {
+		row[c] = v.Value(p)
+	}
+}
+
+// Compact physically removes disqualified rows so Sel becomes nil. Operators
+// that hand vectors to dense kernels (e.g. hash build) call this when the
+// selection is sparse.
+func (b *Batch) Compact() {
+	if b.Sel == nil {
+		return
+	}
+	for _, v := range b.Vecs {
+		for dst, src := range b.Sel {
+			v.CopyRow(dst, v, src)
+		}
+		v.Resize(len(b.Sel))
+	}
+	b.nrows = len(b.Sel)
+	b.Sel = nil
+}
+
+// Project returns a batch exposing only the columns at idx. Vectors are
+// shared, not copied; the selection is shared too.
+func (b *Batch) Project(idx []int) *Batch {
+	out := &Batch{
+		Schema: b.Schema.Project(idx),
+		Vecs:   make([]*Vector, len(idx)),
+		Sel:    b.Sel,
+		nrows:  b.nrows,
+	}
+	for i, j := range idx {
+		out.Vecs[i] = b.Vecs[j]
+	}
+	return out
+}
+
+// String summarizes the batch for debugging.
+func (b *Batch) String() string {
+	return fmt.Sprintf("Batch{rows=%d qualifying=%d cols=%d}", b.nrows, b.Len(), len(b.Vecs))
+}
+
+// SetRowCountNoReset declares n physical rows without resizing vectors or
+// clearing null bitmaps — for callers that assembled the vectors themselves.
+func (b *Batch) SetRowCountNoReset(n int) {
+	b.nrows = n
+	b.Sel = nil
+}

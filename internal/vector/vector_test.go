@@ -1,0 +1,157 @@
+package vector
+
+import (
+	"testing"
+
+	"apollo/internal/sqltypes"
+)
+
+func testSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Name: "a", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "b", Typ: sqltypes.Float64, Nullable: true},
+		sqltypes.Column{Name: "c", Typ: sqltypes.String},
+	)
+}
+
+func TestVectorSetGet(t *testing.T) {
+	for _, typ := range []sqltypes.Type{sqltypes.Int64, sqltypes.Float64, sqltypes.String, sqltypes.Bool, sqltypes.Date} {
+		v := NewVector(typ, 4)
+		var want sqltypes.Value
+		switch typ {
+		case sqltypes.Float64:
+			want = sqltypes.NewFloat(2.5)
+		case sqltypes.String:
+			want = sqltypes.NewString("x")
+		case sqltypes.Bool:
+			want = sqltypes.NewBool(true)
+		case sqltypes.Date:
+			want = sqltypes.NewDate(100)
+		default:
+			want = sqltypes.NewInt(-9)
+		}
+		v.SetValue(2, want)
+		if got := v.Value(2); sqltypes.Compare(got, want) != 0 {
+			t.Errorf("%v: got %v, want %v", typ, got, want)
+		}
+		v.SetNull(2)
+		if !v.Value(2).Null {
+			t.Errorf("%v: null not set", typ)
+		}
+		v.SetValue(2, want) // overwrite clears null
+		if v.Value(2).Null {
+			t.Errorf("%v: overwrite did not clear null", typ)
+		}
+	}
+}
+
+func TestVectorResizePreservesPrefix(t *testing.T) {
+	v := NewVector(sqltypes.Int64, 2)
+	v.I64[0], v.I64[1] = 7, 8
+	v.Resize(10)
+	if v.Len() != 10 || v.I64[0] != 7 || v.I64[1] != 8 {
+		t.Fatal("resize lost data")
+	}
+	v.Resize(1)
+	if v.Len() != 1 || v.I64[0] != 7 {
+		t.Fatal("shrink wrong")
+	}
+}
+
+func TestBatchAppendAndRow(t *testing.T) {
+	b := NewBatch(testSchema(), 0)
+	r1 := sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewFloat(1.5), sqltypes.NewString("one")}
+	r2 := sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewNull(sqltypes.Float64), sqltypes.NewString("two")}
+	b.AppendRow(r1)
+	b.AppendRow(r2)
+	if b.Len() != 2 || b.NumRows() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	got := b.Row(1)
+	if got[0].I != 2 || !got[1].Null || got[2].S != "two" {
+		t.Fatalf("Row(1) = %v", got)
+	}
+}
+
+func TestBatchSelection(t *testing.T) {
+	b := NewBatch(testSchema(), 0)
+	for i := 0; i < 5; i++ {
+		b.AppendRow(sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewFloat(float64(i)), sqltypes.NewString("r")})
+	}
+	b.Sel = []int{1, 3}
+	if b.Len() != 2 {
+		t.Fatalf("Len with sel = %d", b.Len())
+	}
+	if b.Row(0)[0].I != 1 || b.Row(1)[0].I != 3 {
+		t.Fatal("selection indexing wrong")
+	}
+	b.Compact()
+	if b.Sel != nil || b.NumRows() != 2 {
+		t.Fatal("compact wrong")
+	}
+	if b.Row(0)[0].I != 1 || b.Row(1)[0].I != 3 {
+		t.Fatal("compact lost rows")
+	}
+}
+
+func TestBatchCompactPreservesNulls(t *testing.T) {
+	b := NewBatch(testSchema(), 0)
+	b.AppendRow(sqltypes.Row{sqltypes.NewInt(0), sqltypes.NewFloat(0), sqltypes.NewString("a")})
+	b.AppendRow(sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewNull(sqltypes.Float64), sqltypes.NewString("b")})
+	b.AppendRow(sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewFloat(2), sqltypes.NewString("c")})
+	b.Sel = []int{1, 2}
+	b.Compact()
+	if !b.Row(0)[1].Null {
+		t.Fatal("null lost in compact")
+	}
+	if b.Row(1)[1].Null {
+		t.Fatal("phantom null after compact")
+	}
+}
+
+func TestBatchProjectSharesVectors(t *testing.T) {
+	b := NewBatch(testSchema(), 0)
+	b.AppendRow(sqltypes.Row{sqltypes.NewInt(5), sqltypes.NewFloat(5), sqltypes.NewString("five")})
+	p := b.Project([]int{2, 0})
+	if p.Schema.Cols[0].Name != "c" || p.Len() != 1 {
+		t.Fatal("project schema wrong")
+	}
+	row := p.Row(0)
+	if row[0].S != "five" || row[1].I != 5 {
+		t.Fatalf("projected row = %v", row)
+	}
+	// Mutation through the original must be visible (shared storage).
+	b.Vecs[0].I64[0] = 42
+	if p.Row(0)[1].I != 42 {
+		t.Fatal("project copied storage")
+	}
+}
+
+func TestBatchSetNumRowsClearsStaleNulls(t *testing.T) {
+	b := NewBatch(testSchema(), 4)
+	b.SetNumRows(4)
+	b.Vecs[1].SetNull(3)
+	b.SetNumRows(4)
+	if b.Vecs[1].IsNull(3) {
+		t.Fatal("stale null survived SetNumRows")
+	}
+}
+
+func TestBatchRowInto(t *testing.T) {
+	b := NewBatch(testSchema(), 0)
+	b.AppendRow(sqltypes.Row{sqltypes.NewInt(9), sqltypes.NewFloat(9), sqltypes.NewString("nine")})
+	row := make(sqltypes.Row, 3)
+	b.RowInto(0, row)
+	if row[0].I != 9 || row[2].S != "nine" {
+		t.Fatalf("RowInto = %v", row)
+	}
+}
+
+func TestAppendRowWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatch(testSchema(), 0).AppendRow(sqltypes.Row{sqltypes.NewInt(1)})
+}
