@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run over the packages with concurrency-sensitive code
+# (parallel scan, tuple mover, storage fault injection, chaos tests).
+race:
+	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql
+
+# Full CI gate: build, vet, tests, race detector.
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+clean:
+	$(GO) clean -testcache

@@ -18,12 +18,14 @@
 package apollo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"apollo/internal/catalog"
 	"apollo/internal/plan"
+	"apollo/internal/qerr"
 	"apollo/internal/sql"
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
@@ -199,9 +201,18 @@ type QueryStats struct {
 	Spills               int64
 }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement under a background context.
 func (db *DB) Exec(stmt string) (*Result, error) {
-	r, err := db.engine.Exec(stmt)
+	return db.ExecContext(context.Background(), stmt)
+}
+
+// ExecContext parses and executes one SQL statement under ctx. SELECTs honor
+// cancellation and deadlines at batch granularity through the whole operator
+// tree, including parallel scan workers; a cancelled query returns ctx.Err()
+// (possibly wrapped in a QueryError naming the operator that observed it —
+// errors.Is(err, context.Canceled) still matches).
+func (db *DB) ExecContext(ctx context.Context, stmt string) (*Result, error) {
+	r, err := db.engine.ExecContext(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +244,11 @@ func (db *DB) Exec(stmt string) (*Result, error) {
 
 // Query is Exec for SELECT statements (alias for readability).
 func (db *DB) Query(stmt string) (*Result, error) { return db.Exec(stmt) }
+
+// QueryContext is ExecContext for SELECT statements (alias for readability).
+func (db *DB) QueryContext(ctx context.Context, stmt string) (*Result, error) {
+	return db.ExecContext(ctx, stmt)
+}
 
 // MustExec runs a statement and panics on error (setup code and examples).
 func (db *DB) MustExec(stmt string) *Result {
@@ -319,6 +335,45 @@ func (t *Table) Stats() TableStats {
 
 // Rows returns the live row count.
 func (t *Table) Rows() int { return t.t.Rows() }
+
+// TableHealth is a snapshot of a table's tuple-mover health: success and
+// failure counters, the last error, and the current retry backoff. See
+// table.Health for field semantics.
+type TableHealth = table.Health
+
+// Health returns the table's tuple-mover health snapshot.
+func (t *Table) Health() TableHealth { return t.t.Health() }
+
+// --- Fault injection (testing / chaos engineering) ---
+
+// FaultConfig configures probabilistic storage fault injection: transient
+// read/write errors, read-side bit-flip corruption (caught by segment
+// checksums), and added read latency. See storage.FaultConfig.
+type FaultConfig = storage.FaultConfig
+
+// InjectStorageFaults installs a fault injector on the database's blob
+// store. Transient read errors are retried with bounded exponential backoff;
+// corruption fails fast with an error naming the blob. Pass a zero rate
+// config with only ReadLatency set to simulate slow storage.
+func (db *DB) InjectStorageFaults(cfg FaultConfig) {
+	db.store.SetFaultInjector(storage.NewFaultInjector(cfg))
+}
+
+// ClearStorageFaults removes any installed fault injector.
+func (db *DB) ClearStorageFaults() { db.store.SetFaultInjector(nil) }
+
+// IsTransientError reports whether err is (or wraps) a transient storage
+// fault that was retried and still failed.
+func IsTransientError(err error) bool { return storage.IsTransient(err) }
+
+// IsCorruptionError reports whether err is (or wraps) a storage corruption
+// (checksum mismatch) error.
+func IsCorruptionError(err error) bool { return storage.IsCorruption(err) }
+
+// IsQueryError reports whether err is a structured query-execution error
+// (operator-attributed failure, contained panic, or cancellation observed
+// inside the operator tree).
+func IsQueryError(err error) bool { return qerr.Is(err) }
 
 // IOStats reports storage-level counters for the whole database.
 type IOStats = storage.IOStats

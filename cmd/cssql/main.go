@@ -9,6 +9,9 @@
 //
 //	.tables          list tables
 //	.stats <table>   physical table statistics
+//	.health <table>  tuple-mover health (failures, backoff, last error)
+//	.faults <read> <write> <corrupt>  inject storage faults (rates in [0,1])
+//	.faults off      clear fault injection
 //	.mode            show the execution mode
 //	.quit            exit
 package main
@@ -109,6 +112,44 @@ func dot(db *apollo.DB, cmd string) bool {
 		fmt.Printf("compressed row groups: %d (%d rows)\ndelta rows: %d\ndeleted rows: %d\ndisk bytes: %d (raw %d, ratio %.2fx)\n",
 			s.CompressedGroups, s.CompressedRows, s.DeltaRows, s.DeletedRows,
 			s.DiskBytes, s.RawBytes, float64(s.RawBytes)/float64(max(s.DiskBytes, 1)))
+	case ".health":
+		if len(fields) != 2 {
+			fmt.Println("usage: .health <table>")
+			break
+		}
+		t, err := db.Table(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		h := t.Health()
+		fmt.Printf("tuple mover running: %v\nmoves: %d, failures: %d (consecutive: %d)\n",
+			h.MoverRunning, h.Moves, h.Failures, h.ConsecutiveFailures)
+		if h.LastError != nil {
+			fmt.Printf("last error: %v (at %s)\ncurrent backoff: %v\n",
+				h.LastError, h.LastErrorTime.Format(time.RFC3339), h.Backoff)
+		}
+	case ".faults":
+		if len(fields) == 2 && fields[1] == "off" {
+			db.ClearStorageFaults()
+			fmt.Println("fault injection cleared")
+			break
+		}
+		if len(fields) != 4 {
+			fmt.Println("usage: .faults <readRate> <writeRate> <corruptRate> | .faults off")
+			break
+		}
+		var read, write, corrupt float64
+		if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%g %g %g", &read, &write, &corrupt); err != nil {
+			fmt.Println("usage: .faults <readRate> <writeRate> <corruptRate> | .faults off")
+			break
+		}
+		db.InjectStorageFaults(apollo.FaultConfig{
+			ReadErrorRate:  read,
+			WriteErrorRate: write,
+			CorruptionRate: corrupt,
+		})
+		fmt.Printf("injecting faults: read %.2g, write %.2g, corrupt %.2g\n", read, write, corrupt)
 	case ".mode":
 		fmt.Println("see -mode flag; restart to change")
 	default:

@@ -84,9 +84,20 @@ func (s *Store) BeginMove() (keys []uint64, rows []sqltypes.Row, err error) {
 		return true
 	})
 	if err != nil {
+		s.state = Closed // leave the store retriable
 		return nil, nil, fmt.Errorf("delta: decode during move: %w", err)
 	}
 	return keys, rows, nil
+}
+
+// AbortMove transitions Moving -> Closed after a failed compression so the
+// tuple mover can retry the store later. Deletes that arrived while Moving
+// were already applied to the tree, so a retry's BeginMove sees the current
+// row set; the delete buffer is discarded (BeginMove resets it anyway).
+func (s *Store) AbortMove() {
+	if s.state == Moving {
+		s.state = Closed
+	}
 }
 
 // DrainDeleteBuffer returns keys deleted while Moving and resets the buffer.

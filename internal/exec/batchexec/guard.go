@@ -1,0 +1,73 @@
+package batchexec
+
+import (
+	"context"
+
+	"apollo/internal/qerr"
+	"apollo/internal/sqltypes"
+	"apollo/internal/vector"
+)
+
+// Guard is the per-operator fault boundary. It wraps an operator with:
+//
+//   - panic containment: a panic in the wrapped operator's Open/Next/Close is
+//     recovered and converted to a qerr.QueryError carrying the operator
+//     name, so one bad segment or operator bug fails one query, never the
+//     process;
+//   - operator attribution: plain errors bubbling up are wrapped (once, by
+//     the innermost guard) so every failure names its component;
+//   - cancellation: each Next call checks the query context, guaranteeing
+//     batch-granularity response to cancellation and deadlines even through
+//     operators that buffer or transform many batches per call.
+//
+// The plan compiler wraps every physical batch operator in a Guard.
+type Guard struct {
+	In   Operator
+	Name string
+	ctx  context.Context
+}
+
+// NewGuard wraps op as the named fault boundary.
+func NewGuard(op Operator, name string) *Guard { return &Guard{In: op, Name: name} }
+
+// Schema implements Operator.
+func (g *Guard) Schema() *sqltypes.Schema { return g.In.Schema() }
+
+// Open implements Operator.
+func (g *Guard) Open(ctx context.Context) (err error) {
+	g.ctx = ctx
+	defer g.contain(&err)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return qerr.New(g.Name, g.In.Open(ctx))
+}
+
+// Next implements Operator.
+func (g *Guard) Next() (b *vector.Batch, err error) {
+	defer func() {
+		if e := qerr.FromPanic(g.Name, qerr.NoGroup, recover()); e != nil {
+			b, err = nil, e
+		}
+	}()
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	b, err = g.In.Next()
+	return b, qerr.New(g.Name, err)
+}
+
+// Close implements Operator.
+func (g *Guard) Close() (err error) {
+	defer g.contain(&err)
+	return qerr.New(g.Name, g.In.Close())
+}
+
+// contain converts a recovered panic into the returned error.
+func (g *Guard) contain(errp *error) {
+	if e := qerr.FromPanic(g.Name, qerr.NoGroup, recover()); e != nil {
+		*errp = e
+	}
+}

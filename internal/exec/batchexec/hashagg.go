@@ -1,6 +1,8 @@
 package batchexec
 
 import (
+	"context"
+
 	"apollo/internal/exec"
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
@@ -155,8 +157,8 @@ const aggSpillPartitions = 8
 // fast path for a single integer-family group column), each aggregate
 // argument is evaluated once per batch into a vector, and accumulation runs
 // in tight loops over the vector payloads.
-func (h *HashAgg) Open() error {
-	if err := h.In.Open(); err != nil {
+func (h *HashAgg) Open(ctx context.Context) error {
+	if err := h.In.Open(ctx); err != nil {
 		return err
 	}
 	defer h.In.Close()
@@ -206,6 +208,9 @@ func (h *HashAgg) Open() error {
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		b, err := h.In.Next()
 		if err != nil {
 			return err
@@ -326,6 +331,9 @@ func (h *HashAgg) Open() error {
 	// Process spilled partitions: each holds a disjoint subset of the
 	// overflow groups and is aggregated in memory.
 	for _, part := range parts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		rows, err := part.readAll()
 		if err != nil {
 			return err
@@ -351,7 +359,7 @@ func (h *HashAgg) Open() error {
 	}
 
 	h.out = &Values{Rows: results, Sch: h.schema}
-	return h.out.Open()
+	return h.out.Open(ctx)
 }
 
 // accumulate folds one aggregate over a batch, vectorized where the state

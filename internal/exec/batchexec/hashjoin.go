@@ -1,6 +1,7 @@
 package batchexec
 
 import (
+	"context"
 	"fmt"
 
 	"apollo/internal/bloom"
@@ -45,6 +46,7 @@ type HashJoin struct {
 	SpillStore *storage.Store
 
 	schema  *sqltypes.Schema
+	ctx     context.Context
 	core    *joinCore
 	pending []*vector.Batch
 	state   int // 0 probing, 1 unmatched-build, 2 done
@@ -79,19 +81,20 @@ func (h *HashJoin) Schema() *sqltypes.Schema { return h.schema }
 
 // Open implements Operator: drains the build side, publishes the bitmap
 // filter, then opens the probe side.
-func (h *HashJoin) Open() error {
+func (h *HashJoin) Open(ctx context.Context) error {
+	h.ctx = ctx
 	h.pending = nil
 	h.state = 0
 	h.spilled = false
 	h.partIdx = -1
 
-	buildRows, overflow, err := h.drainBuild()
+	buildRows, overflow, err := h.drainBuild(ctx)
 	if err != nil {
 		return err
 	}
 
 	if overflow {
-		if err := h.enterSpillMode(buildRows); err != nil {
+		if err := h.enterSpillMode(ctx, buildRows); err != nil {
 			return err
 		}
 		return nil // probe drained inside enterSpillMode
@@ -99,20 +102,23 @@ func (h *HashJoin) Open() error {
 
 	h.core = newJoinCore(h, buildRows)
 	h.publishBloom(buildRows)
-	return h.Probe.Open()
+	return h.Probe.Open(ctx)
 }
 
 // drainBuild consumes the build input, stopping early (overflow=true) only in
 // accounting terms — all rows are always returned; overflow indicates the
 // grant was exceeded.
-func (h *HashJoin) drainBuild() ([]sqltypes.Row, bool, error) {
-	if err := h.Build.Open(); err != nil {
+func (h *HashJoin) drainBuild(ctx context.Context) ([]sqltypes.Row, bool, error) {
+	if err := h.Build.Open(ctx); err != nil {
 		return nil, false, err
 	}
 	defer h.Build.Close()
 	var rows []sqltypes.Row
 	overflow := false
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		b, err := h.Build.Next()
 		if err != nil {
 			return nil, false, err
@@ -502,7 +508,7 @@ const spillPartitions = 8
 
 // enterSpillMode partitions build rows and the entire probe input to spill
 // files, then joins partition pairs one at a time.
-func (h *HashJoin) enterSpillMode(buildRows []sqltypes.Row) error {
+func (h *HashJoin) enterSpillMode(ctx context.Context, buildRows []sqltypes.Row) error {
 	h.spilled = true
 	h.Tracker.Release(h.reservedBytes)
 	h.reservedBytes = 0
@@ -522,11 +528,14 @@ func (h *HashJoin) enterSpillMode(buildRows []sqltypes.Row) error {
 	}
 	h.publishBloom(buildRows)
 
-	if err := h.Probe.Open(); err != nil {
+	if err := h.Probe.Open(ctx); err != nil {
 		return err
 	}
 	defer h.Probe.Close()
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		b, err := h.Probe.Next()
 		if err != nil {
 			return err
@@ -563,6 +572,9 @@ func (h *HashJoin) partitionOf(r sqltypes.Row, keys []int) int {
 // nextSpilled advances through partition pairs.
 func (h *HashJoin) nextSpilled() (*vector.Batch, error) {
 	for {
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Emit probe batches of the current partition.
 		if h.partIdx >= 0 && h.partIdx < spillPartitions {
 			if h.partProbePos < len(h.partProbeRows) {

@@ -5,30 +5,56 @@
 // hash-join builds; hash join supports the full join repertoire the upcoming
 // release added (inner, outer, semi, anti); hash aggregation spills under
 // memory pressure instead of failing.
+//
+// Queries run under a context.Context threaded through Open: operators
+// observe cancellation and deadlines at batch granularity, and the parallel
+// scan's workers shut down through the same context. Panics are contained at
+// operator boundaries (see Guard) and converted to qerr.QueryErrors, so a
+// corrupt segment or an operator bug fails one query, never the process.
 package batchexec
 
 import (
+	"context"
+
+	"apollo/internal/qerr"
 	"apollo/internal/sqltypes"
 	"apollo/internal/vector"
 )
 
-// Operator produces a stream of batches. Next returns nil at end of stream.
-// Returned batches are owned by the consumer until the next Next call.
+// Operator produces a stream of batches. Open receives the query context;
+// implementations must stop producing (returning ctx.Err()) promptly after
+// cancellation. Next returns nil at end of stream. Returned batches are owned
+// by the consumer until the next Next call.
 type Operator interface {
 	Schema() *sqltypes.Schema
-	Open() error
+	Open(ctx context.Context) error
 	Next() (*vector.Batch, error)
 	Close() error
 }
 
-// Drain runs an operator to completion, materializing qualifying rows.
+// Drain runs an operator to completion under a background context.
 func Drain(op Operator) ([]sqltypes.Row, error) {
-	if err := op.Open(); err != nil {
+	return DrainContext(context.Background(), op)
+}
+
+// DrainContext runs an operator to completion, materializing qualifying rows.
+// It is the executor's outermost panic-containment boundary: a panic anywhere
+// in an unguarded operator tree is converted to a QueryError instead of
+// crashing the process.
+func DrainContext(ctx context.Context, op Operator) (out []sqltypes.Row, err error) {
+	defer func() {
+		if e := qerr.FromPanic("executor", qerr.NoGroup, recover()); e != nil {
+			out, err = nil, e
+		}
+	}()
+	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
 	defer op.Close()
-	var out []sqltypes.Row
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, err
@@ -42,15 +68,27 @@ func Drain(op Operator) ([]sqltypes.Row, error) {
 	}
 }
 
-// Count runs an operator to completion, returning the qualifying row count
-// without materializing rows.
+// Count runs an operator to completion under a background context.
 func Count(op Operator) (int, error) {
-	if err := op.Open(); err != nil {
+	return CountContext(context.Background(), op)
+}
+
+// CountContext runs an operator to completion, returning the qualifying row
+// count without materializing rows.
+func CountContext(ctx context.Context, op Operator) (n int, err error) {
+	defer func() {
+		if e := qerr.FromPanic("executor", qerr.NoGroup, recover()); e != nil {
+			n, err = 0, e
+		}
+	}()
+	if err := op.Open(ctx); err != nil {
 		return 0, err
 	}
 	defer op.Close()
-	n := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return 0, err
@@ -73,7 +111,7 @@ type Values struct {
 func (v *Values) Schema() *sqltypes.Schema { return v.Sch }
 
 // Open implements Operator.
-func (v *Values) Open() error { v.pos = 0; return nil }
+func (v *Values) Open(ctx context.Context) error { v.pos = 0; return nil }
 
 // Next implements Operator.
 func (v *Values) Next() (*vector.Batch, error) {

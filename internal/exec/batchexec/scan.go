@@ -1,6 +1,7 @@
 package batchexec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -9,6 +10,7 @@ import (
 	"apollo/internal/colstore"
 	"apollo/internal/encoding"
 	"apollo/internal/expr"
+	"apollo/internal/qerr"
 	"apollo/internal/sqltypes"
 	"apollo/internal/table"
 	"apollo/internal/vector"
@@ -73,18 +75,21 @@ type Scan struct {
 	Parallel  int // >1 enables a parallel gather exchange over row groups
 
 	schema *sqltypes.Schema
+	ctx    context.Context // query context, set by Open
 
 	// Serial iteration state.
 	gi     int
 	cur    *groupCursor
 	deltaI int
 
-	// Parallel state.
+	// Parallel state. cancel aborts the workers' derived context; it fires
+	// on Close, on query-context cancellation (inherited), and on the first
+	// worker error so siblings stop streaming batches immediately.
 	ch      chan *vector.Batch
 	errOnce sync.Once
 	err     error
 	wg      sync.WaitGroup
-	cancel  chan struct{}
+	cancel  context.CancelFunc
 }
 
 // NewScan constructs a scan producing the given table columns.
@@ -96,14 +101,17 @@ func NewScan(snap *table.Snapshot, cols []int) *Scan {
 func (s *Scan) Schema() *sqltypes.Schema { return s.schema }
 
 // Open implements Operator.
-func (s *Scan) Open() error {
+func (s *Scan) Open(ctx context.Context) error {
+	s.ctx = ctx
 	s.gi, s.deltaI = 0, 0
 	s.cur = nil
+	s.err = nil
+	s.errOnce = sync.Once{}
 	if s.Stats == nil {
 		s.Stats = &ScanStats{}
 	}
 	if s.Parallel > 1 {
-		s.startParallel()
+		s.startParallel(ctx)
 	}
 	return nil
 }
@@ -111,7 +119,7 @@ func (s *Scan) Open() error {
 // Close implements Operator.
 func (s *Scan) Close() error {
 	if s.cancel != nil {
-		close(s.cancel)
+		s.cancel()
 		// Drain so workers unblock and exit.
 		for range s.ch {
 		}
@@ -124,12 +132,22 @@ func (s *Scan) Close() error {
 
 // Next implements Operator.
 func (s *Scan) Next() (*vector.Batch, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.Parallel > 1 {
-		b, ok := <-s.ch
-		if !ok {
-			return nil, s.err
+		select {
+		case b, ok := <-s.ch:
+			if !ok {
+				// Channel closed: all workers exited. s.err is published
+				// before the close (workers finish before the closer's
+				// Wait returns), so this read is safe.
+				return nil, s.err
+			}
+			return b, nil
+		case <-s.ctx.Done():
+			return nil, s.ctx.Err()
 		}
-		return b, nil
 	}
 	for {
 		if s.cur != nil {
@@ -139,11 +157,14 @@ func (s *Scan) Next() (*vector.Batch, error) {
 			s.cur = nil
 		}
 		if s.gi < len(s.Snap.Groups) {
+			if err := s.ctx.Err(); err != nil {
+				return nil, err
+			}
 			g := s.Snap.Groups[s.gi]
 			s.gi++
 			cur, err := s.openGroup(g)
 			if err != nil {
-				return nil, err
+				return nil, qerr.WithGroup("scan", g.ID, err)
 			}
 			s.cur = cur // may be nil (eliminated)
 			continue
@@ -500,11 +521,15 @@ func (s *Scan) deltaRowQualifies(row sqltypes.Row) bool {
 
 // startParallel launches workers that process row groups independently and a
 // final worker for delta rows, gathering batches into one channel (§5's
-// exchange operator, gather form).
-func (s *Scan) startParallel() {
+// exchange operator, gather form). Workers run under a context derived from
+// the query context: cancellation, Close, and the first worker error all
+// shut the exchange down. Worker panics are contained and converted to
+// QueryErrors carrying the row-group id.
+func (s *Scan) startParallel(ctx context.Context) {
 	nw := s.Parallel
 	s.ch = make(chan *vector.Batch, nw)
-	s.cancel = make(chan struct{})
+	wctx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
 	groups := s.Snap.Groups
 	var next int64 = -1
 
@@ -512,14 +537,25 @@ func (s *Scan) startParallel() {
 	for w := 0; w < nw; w++ {
 		go func(worker int) {
 			defer s.wg.Done()
+			gid := qerr.NoGroup // row group under processing, for panic reports
+			defer func() {
+				if e := qerr.FromPanic("scan", gid, recover()); e != nil {
+					s.fail(e)
+				}
+			}()
 			for {
+				if wctx.Err() != nil {
+					return
+				}
 				gi := int(atomic.AddInt64(&next, 1))
 				if gi >= len(groups) {
 					break
 				}
-				cur, err := s.openGroup(groups[gi])
+				g := groups[gi]
+				gid = g.ID
+				cur, err := s.openGroup(g)
 				if err != nil {
-					s.errOnce.Do(func() { s.err = err })
+					s.fail(qerr.WithGroup("scan", g.ID, err))
 					return
 				}
 				if cur == nil {
@@ -528,22 +564,26 @@ func (s *Scan) startParallel() {
 				for b := cur.nextBatch(); b != nil; b = cur.nextBatch() {
 					select {
 					case s.ch <- b:
-					case <-s.cancel:
+					case <-wctx.Done():
 						return
 					}
 				}
 			}
+			gid = qerr.NoGroup
 			// Worker 0 also handles delta rows after groups are claimed.
 			if worker == 0 {
 				pos := 0
 				for pos < len(s.Snap.Delta) {
+					if wctx.Err() != nil {
+						return
+					}
 					b := s.deltaBatch(&pos)
 					if b == nil {
 						continue
 					}
 					select {
 					case s.ch <- b:
-					case <-s.cancel:
+					case <-wctx.Done():
 						return
 					}
 				}
@@ -552,6 +592,17 @@ func (s *Scan) startParallel() {
 	}
 	go func() {
 		s.wg.Wait()
+		cancel() // release the derived context if workers finished naturally
 		close(s.ch)
 	}()
+}
+
+// fail records the first worker error and cancels sibling workers, so an
+// error in one row group stops the whole exchange instead of letting the
+// survivors keep streaming batches until the consumer drains them.
+func (s *Scan) fail(err error) {
+	s.errOnce.Do(func() {
+		s.err = err
+		s.cancel()
+	})
 }

@@ -2,6 +2,7 @@ package batchexec
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"apollo/internal/exec"
@@ -21,7 +22,7 @@ type Filter struct {
 func (f *Filter) Schema() *sqltypes.Schema { return f.In.Schema() }
 
 // Open implements Operator.
-func (f *Filter) Open() error { return f.In.Open() }
+func (f *Filter) Open(ctx context.Context) error { return f.In.Open(ctx) }
 
 // Next implements Operator.
 func (f *Filter) Next() (*vector.Batch, error) {
@@ -62,7 +63,7 @@ func NewProject(in Operator, exprs []expr.Expr, names []string) *Project {
 func (p *Project) Schema() *sqltypes.Schema { return p.schema }
 
 // Open implements Operator.
-func (p *Project) Open() error { return p.In.Open() }
+func (p *Project) Open(ctx context.Context) error { return p.In.Open(ctx) }
 
 // Next implements Operator.
 func (p *Project) Next() (*vector.Batch, error) {
@@ -110,7 +111,7 @@ type Limit struct {
 func (l *Limit) Schema() *sqltypes.Schema { return l.In.Schema() }
 
 // Open implements Operator.
-func (l *Limit) Open() error { l.seen, l.sent = 0, 0; return l.In.Open() }
+func (l *Limit) Open(ctx context.Context) error { l.seen, l.sent = 0, 0; return l.In.Open(ctx) }
 
 // Next implements Operator.
 func (l *Limit) Next() (*vector.Batch, error) {
@@ -157,10 +158,10 @@ type UnionAll struct {
 func (u *UnionAll) Schema() *sqltypes.Schema { return u.Ins[0].Schema() }
 
 // Open implements Operator.
-func (u *UnionAll) Open() error {
+func (u *UnionAll) Open(ctx context.Context) error {
 	u.i = 0
 	for _, in := range u.Ins {
-		if err := in.Open(); err != nil {
+		if err := in.Open(ctx); err != nil {
 			return err
 		}
 	}
@@ -204,14 +205,14 @@ type Sort struct {
 func (s *Sort) Schema() *sqltypes.Schema { return s.In.Schema() }
 
 // Open implements Operator.
-func (s *Sort) Open() error {
-	rows, err := Drain(s.In)
+func (s *Sort) Open(ctx context.Context) error {
+	rows, err := DrainContext(ctx, s.In)
 	if err != nil {
 		return err
 	}
 	sortRows(rows, s.Keys)
 	s.out = &Values{Rows: rows, Sch: s.In.Schema()}
-	return s.out.Open()
+	return s.out.Open(ctx)
 }
 
 func sortRows(rows []sqltypes.Row, keys []exec.SortKey) {
@@ -257,13 +258,16 @@ func (h *rowHeap) Pop() any {
 }
 
 // Open implements Operator.
-func (t *TopN) Open() error {
-	if err := t.In.Open(); err != nil {
+func (t *TopN) Open(ctx context.Context) error {
+	if err := t.In.Open(ctx); err != nil {
 		return err
 	}
 	defer t.In.Close()
 	h := &rowHeap{keys: t.Keys}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		b, err := t.In.Next()
 		if err != nil {
 			return err
@@ -287,7 +291,7 @@ func (t *TopN) Open() error {
 		rows[i] = heap.Pop(h).(sqltypes.Row)
 	}
 	t.out = &Values{Rows: rows, Sch: t.In.Schema()}
-	return t.out.Open()
+	return t.out.Open(ctx)
 }
 
 // Next implements Operator.

@@ -6,11 +6,13 @@
 package rowexec
 
 import (
+	"context"
 	"sort"
 
 	"apollo/internal/colstore"
 	"apollo/internal/exec"
 	"apollo/internal/expr"
+	"apollo/internal/qerr"
 	"apollo/internal/sqltypes"
 	"apollo/internal/table"
 )
@@ -27,12 +29,34 @@ type Operator interface {
 
 // Drain runs an operator to completion, collecting (cloned) rows.
 func Drain(op Operator) ([]sqltypes.Row, error) {
+	return DrainContext(context.Background(), op)
+}
+
+// DrainContext runs an operator to completion under a query context,
+// checking for cancellation every rowCheckInterval rows. Row-mode operators
+// are pull-based and single-threaded, so the drain loop is the one
+// cancellation point and the one panic-containment boundary the mode needs:
+// a panic anywhere in the iterator stack is converted to a QueryError
+// instead of killing the process. Blocking operators (sort, aggregation)
+// respond once their input drain loop observes the context.
+func DrainContext(ctx context.Context, op Operator) (out []sqltypes.Row, err error) {
+	defer func() {
+		if e := qerr.FromPanic("rowexec", qerr.NoGroup, recover()); e != nil {
+			out, err = nil, e
+		}
+	}()
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
 	defer op.Close()
-	var out []sqltypes.Row
+	n := 0
 	for {
+		if n%rowCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		n++
 		r, err := op.Next()
 		if err != nil {
 			return nil, err
@@ -43,6 +67,11 @@ func Drain(op Operator) ([]sqltypes.Row, error) {
 		out = append(out, r.Clone())
 	}
 }
+
+// rowCheckInterval is how many rows the row-mode drain loop pulls between
+// context checks — frequent enough for prompt cancellation, rare enough to
+// stay off the per-tuple hot path.
+const rowCheckInterval = 1024
 
 // --- Columnstore scan (row mode) ---
 

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"apollo/internal/exec"
@@ -84,12 +85,20 @@ func (c *Compiled) Explain() string {
 	return "execution: " + mode + "\n" + Tree(c.Plan)
 }
 
-// Run executes the query and materializes the result rows.
+// Run executes the query under a background context.
 func (c *Compiled) Run() ([]sqltypes.Row, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the query and materializes the result rows. The
+// context's cancellation and deadline are honored at batch granularity in
+// batch mode and per row block in row mode; a cancelled query returns
+// ctx.Err() after its operators (including parallel scan workers) shut down.
+func (c *Compiled) RunContext(ctx context.Context) ([]sqltypes.Row, error) {
 	if c.BatchMode {
-		return batchexec.Drain(c.batch)
+		return batchexec.DrainContext(ctx, c.batch)
 	}
-	return rowexec.Drain(c.row)
+	return rowexec.DrainContext(ctx, c.row)
 }
 
 // Compile optimizes the logical plan and lowers it to a physical operator
@@ -156,70 +165,84 @@ func (cc *batchCompiler) getTracker() *batchexec.Tracker {
 	return cc.tracker
 }
 
+// compile lowers a plan node and wraps the physical operator in a Guard, the
+// per-operator fault boundary (panic containment, operator attribution on
+// errors, and per-batch cancellation checks).
 func (cc *batchCompiler) compile(n Node) (batchexec.Operator, error) {
+	op, name, err := cc.compileNode(n)
+	if err != nil {
+		return nil, err
+	}
+	return batchexec.NewGuard(op, name), nil
+}
+
+func (cc *batchCompiler) compileNode(n Node) (batchexec.Operator, string, error) {
 	switch x := n.(type) {
 	case *Scan:
-		return cc.compileScan(x)
+		op, err := cc.compileScan(x)
+		return op, "scan", err
 
 	case *Filter:
 		in, err := cc.compile(x.In)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return &batchexec.Filter{In: in, Pred: x.Pred}, nil
+		return &batchexec.Filter{In: in, Pred: x.Pred}, "filter", nil
 
 	case *Project:
 		in, err := cc.compile(x.In)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return batchexec.NewProject(in, x.Exprs, x.Names), nil
+		return batchexec.NewProject(in, x.Exprs, x.Names), "project", nil
 
 	case *Join:
-		return cc.compileJoin(x)
+		op, err := cc.compileJoin(x)
+		return op, "hashjoin", err
 
 	case *Agg:
 		if op, ok := tryMetadataAgg(x); ok {
 			cc.compiled.MetadataOnly = true
-			return op, nil
+			return op, "metaagg", nil
 		}
-		return cc.compileAgg(x)
+		op, err := cc.compileAgg(x)
+		return op, "hashagg", err
 
 	case *Sort:
 		in, err := cc.compile(x.In)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return &batchexec.Sort{In: in, Keys: x.Keys}, nil
+		return &batchexec.Sort{In: in, Keys: x.Keys}, "sort", nil
 
 	case *Limit:
 		// ORDER BY + LIMIT compiles to the batch Top-N operator.
 		if s, ok := x.In.(*Sort); ok && x.N >= 0 && x.Offset == 0 {
 			in, err := cc.compile(s.In)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
-			return &batchexec.TopN{In: in, Keys: s.Keys, N: x.N}, nil
+			return &batchexec.TopN{In: in, Keys: s.Keys, N: x.N}, "topn", nil
 		}
 		in, err := cc.compile(x.In)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return &batchexec.Limit{In: in, Offset: x.Offset, N: x.N}, nil
+		return &batchexec.Limit{In: in, Offset: x.Offset, N: x.N}, "limit", nil
 
 	case *Union:
 		ins := make([]batchexec.Operator, len(x.Ins))
 		for i, c := range x.Ins {
 			op, err := cc.compile(c)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			ins[i] = op
 		}
-		return &batchexec.UnionAll{Ins: ins}, nil
+		return &batchexec.UnionAll{Ins: ins}, "union", nil
 
 	default:
-		return nil, fmt.Errorf("plan: cannot lower %T to batch mode", n)
+		return nil, "", fmt.Errorf("plan: cannot lower %T to batch mode", n)
 	}
 }
 

@@ -1,0 +1,87 @@
+// Package qerr defines the engine's structured query-error type. A
+// QueryError names the failing component — the operator that raised it and,
+// when known, the row group it was processing — so a failure in a deep
+// operator tree surfaces as "hashjoin: ..." or "scan (row group 7): ..."
+// instead of an anonymous error or, worse, a process-killing panic.
+//
+// The executor's panic-containment boundaries (the batch-mode Guard operator
+// and the parallel scan's worker wrappers) use FromPanic to convert a
+// recovered panic into a QueryError carrying the panic value and stack, so
+// one bad segment fails one query, never the process.
+package qerr
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// NoGroup marks a QueryError not attributable to a specific row group.
+const NoGroup = -1
+
+// QueryError is a structured execution error: which operator failed, which
+// row group it was processing (NoGroup when not applicable), whether the
+// failure was a contained panic, and the underlying cause.
+type QueryError struct {
+	Op       string // operator name: "scan", "hashjoin", "hashagg", ...
+	Group    int    // row group id, or NoGroup
+	Panicked bool   // true when converted from a recovered panic
+	Err      error  // underlying cause
+	Stack    []byte // captured stack for panics (diagnostics only)
+}
+
+// Error implements error.
+func (e *QueryError) Error() string {
+	where := e.Op
+	if e.Group != NoGroup {
+		where = fmt.Sprintf("%s (row group %d)", e.Op, e.Group)
+	}
+	if e.Panicked {
+		return fmt.Sprintf("query error in %s: panic: %v", where, e.Err)
+	}
+	return fmt.Sprintf("query error in %s: %v", where, e.Err)
+}
+
+// Unwrap exposes the cause so errors.Is/As see through the wrapper (e.g.
+// context.Canceled, storage corruption errors).
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// New wraps err as a QueryError raised by op with no row-group attribution.
+// A nil err returns nil; an err that already is a QueryError is returned
+// unchanged so nesting operators don't stack wrappers.
+func New(op string, err error) error {
+	return WithGroup(op, NoGroup, err)
+}
+
+// WithGroup wraps err as a QueryError raised by op while processing row
+// group. Nil errors and existing QueryErrors pass through unchanged.
+func WithGroup(op string, group int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		return err
+	}
+	return &QueryError{Op: op, Group: group, Err: err}
+}
+
+// FromPanic converts a recovered panic value into a QueryError. Callers pass
+// the result of recover(); a nil recovery returns nil so it can be used
+// unconditionally in deferred handlers.
+func FromPanic(op string, group int, rec any) error {
+	if rec == nil {
+		return nil
+	}
+	cause, ok := rec.(error)
+	if !ok {
+		cause = fmt.Errorf("%v", rec)
+	}
+	return &QueryError{Op: op, Group: group, Panicked: true, Err: cause, Stack: debug.Stack()}
+}
+
+// Is reports whether err is (or wraps) a QueryError.
+func Is(err error) bool {
+	var qe *QueryError
+	return errors.As(err, &qe)
+}

@@ -1,0 +1,65 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWrappingAndUnwrap(t *testing.T) {
+	base := errors.New("disk on fire")
+	err := WithGroup("scan", 7, base)
+	if !Is(err) {
+		t.Fatal("Is = false for QueryError")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("errors.Is does not see through QueryError")
+	}
+	if got := err.Error(); !strings.Contains(got, "scan (row group 7)") {
+		t.Fatalf("message %q lacks component attribution", got)
+	}
+	// Re-wrapping must not stack.
+	again := New("hashjoin", err)
+	var qe *QueryError
+	if !errors.As(again, &qe) || qe.Op != "scan" {
+		t.Fatalf("rewrap changed attribution: %v", again)
+	}
+	if New("scan", nil) != nil {
+		t.Fatal("New(nil) != nil")
+	}
+}
+
+func TestContextErrorsVisible(t *testing.T) {
+	err := New("guard", context.Canceled)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("context.Canceled hidden by QueryError")
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	if FromPanic("scan", NoGroup, nil) != nil {
+		t.Fatal("nil recovery must produce nil error")
+	}
+	err := func() (err error) {
+		defer func() { err = FromPanic("scan", 3, recover()) }()
+		panic("index out of range")
+	}()
+	var qe *QueryError
+	if !errors.As(err, &qe) || !qe.Panicked || qe.Group != 3 {
+		t.Fatalf("panic not converted: %v", err)
+	}
+	if len(qe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	// Error panics keep their identity through Unwrap.
+	sentinel := fmt.Errorf("sentinel")
+	err = func() (err error) {
+		defer func() { err = FromPanic("hashagg", NoGroup, recover()) }()
+		panic(sentinel)
+	}()
+	if !errors.Is(err, sentinel) {
+		t.Fatal("error panic lost identity")
+	}
+}

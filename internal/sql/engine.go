@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -35,20 +36,35 @@ type Result struct {
 	Compiled *plan.Compiled   // SELECT: the compiled query (stats, explain)
 }
 
-// Exec parses and executes one statement.
+// Exec parses and executes one statement under a background context.
 func (e *Engine) Exec(src string) (*Result, error) {
+	return e.ExecContext(context.Background(), src)
+}
+
+// ExecContext parses and executes one statement under ctx: SELECTs honor
+// cancellation and deadlines at batch granularity through the whole operator
+// tree; every statement checks the context before starting work.
+func (e *Engine) ExecContext(ctx context.Context, src string) (*Result, error) {
 	st, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecStmt(st)
+	return e.ExecStmtContext(ctx, st)
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement under a background context.
 func (e *Engine) ExecStmt(st Statement) (*Result, error) {
+	return e.ExecStmtContext(context.Background(), st)
+}
+
+// ExecStmtContext executes a parsed statement under ctx.
+func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch x := st.(type) {
 	case *Select:
-		return e.runSelect(x)
+		return e.runSelect(ctx, x)
 	case *Explain:
 		return e.explain(x.Query)
 	case *CreateTable:
@@ -104,12 +120,12 @@ func (e *Engine) compile(s *Select) (*plan.Compiled, error) {
 	return plan.Compile(node, opts)
 }
 
-func (e *Engine) runSelect(s *Select) (*Result, error) {
+func (e *Engine) runSelect(ctx context.Context, s *Select) (*Result, error) {
 	c, err := e.compile(s)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := c.Run()
+	rows, err := c.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func putGet(t *testing.T, s *Store, data []byte, comp Compression) BlobID {
+	t.Helper()
+	id, err := s.Put(data, comp)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	return id
+}
+
+// A 100% read-error rate with retries exhausted must surface a typed
+// TransientError naming the blob; dropping the rate to zero recovers.
+func TestTransientFaultsExhaustRetries(t *testing.T) {
+	s := NewStore(0) // no cache: every Get is a disk read
+	s.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond})
+	id := putGet(t, s, []byte("hello columnstore"), None)
+
+	s.SetFaultInjector(NewFaultInjector(FaultConfig{ReadErrorRate: 1, Seed: 1}))
+	_, err := s.Get(id)
+	if err == nil {
+		t.Fatal("Get succeeded under 100% fault rate")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("error not transient: %v", err)
+	}
+	var te *TransientError
+	if !errors.As(err, &te) || te.Blob != id {
+		t.Fatalf("transient error does not name blob %d: %v", id, err)
+	}
+	if got := s.Stats().Retries; got != 2 {
+		t.Fatalf("Retries = %d, want 2 (3 attempts)", got)
+	}
+
+	s.SetFaultInjector(nil)
+	if _, err := s.Get(id); err != nil {
+		t.Fatalf("Get after clearing faults: %v", err)
+	}
+}
+
+// A fault rate low enough for the retry budget must succeed transparently,
+// recording the retries in the stats.
+func TestTransientFaultsRetriedToSuccess(t *testing.T) {
+	s := NewStore(0)
+	s.SetRetryPolicy(RetryPolicy{MaxAttempts: 50, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond})
+	s.SetFaultInjector(NewFaultInjector(FaultConfig{ReadErrorRate: 0.5, Seed: 42}))
+	id := putGet(t, s, []byte("retry me"), Archival)
+
+	for i := 0; i < 20; i++ {
+		if _, err := s.Get(id); err != nil {
+			t.Fatalf("Get %d failed despite retry budget: %v", i, err)
+		}
+	}
+	if s.Stats().Retries == 0 {
+		t.Fatal("no retries recorded at 50% fault rate")
+	}
+}
+
+// Injected bit-flip corruption must fail fast as a CorruptionError naming
+// the blob — and must not damage the at-rest bytes.
+func TestInjectedCorruptionFailsFast(t *testing.T) {
+	s := NewStore(0)
+	id := putGet(t, s, []byte("precious bytes"), None)
+
+	s.SetFaultInjector(NewFaultInjector(FaultConfig{CorruptionRate: 1, Seed: 7}))
+	before := s.Stats().Reads
+	_, err := s.Get(id)
+	var ce *CorruptionError
+	if !errors.As(err, &ce) || ce.Blob != id {
+		t.Fatalf("want CorruptionError for blob %d, got %v", id, err)
+	}
+	if IsTransient(err) {
+		t.Fatal("corruption classified as transient")
+	}
+	if got := s.Stats().Reads - before; got != 1 {
+		t.Fatalf("corruption was retried: %d read attempts", got)
+	}
+
+	// At-rest data is intact: clearing the injector recovers the blob.
+	s.SetFaultInjector(nil)
+	data, err := s.Get(id)
+	if err != nil || string(data) != "precious bytes" {
+		t.Fatalf("blob damaged by injector: %q, %v", data, err)
+	}
+}
+
+// The legacy Corrupt helper (persistent damage) also classifies as
+// corruption under the typed-error API.
+func TestPersistentCorruptionTyped(t *testing.T) {
+	s := NewStore(DefaultBufferPoolBytes)
+	id := putGet(t, s, make([]byte, 1024), None)
+	if err := s.Corrupt(id); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Get(id)
+	if !IsCorruption(err) {
+		t.Fatalf("want corruption error, got %v", err)
+	}
+}
+
+// Write faults surface on Put as transient errors.
+func TestWriteFaults(t *testing.T) {
+	s := NewStore(0)
+	s.SetFaultInjector(NewFaultInjector(FaultConfig{WriteErrorRate: 1, Seed: 3}))
+	if _, err := s.Put([]byte("x"), None); !IsTransient(err) {
+		t.Fatalf("want transient write fault, got %v", err)
+	}
+	if s.Stats().FaultsInjected == 0 {
+		t.Fatal("injector did not count the fault")
+	}
+}
+
+// Cache hits bypass the injector entirely: hot data stays readable even
+// under a 100% device fault rate.
+func TestCacheHitsBypassFaults(t *testing.T) {
+	s := NewStore(DefaultBufferPoolBytes)
+	id := putGet(t, s, []byte("hot"), None)
+	if _, err := s.Get(id); err != nil { // populate cache
+		t.Fatal(err)
+	}
+	s.SetFaultInjector(NewFaultInjector(FaultConfig{ReadErrorRate: 1, Seed: 9}))
+	if _, err := s.Get(id); err != nil {
+		t.Fatalf("cache hit hit the injector: %v", err)
+	}
+}

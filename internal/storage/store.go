@@ -19,6 +19,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // BlobID identifies a blob within a Store.
@@ -51,6 +52,8 @@ type IOStats struct {
 	CacheMisses      int64
 	DecompressCalls  int64 // archival blobs inflated
 	BytesDecompressd int64 // logical bytes produced by inflation
+	Retries          int64 // read attempts repeated after a transient fault
+	FaultsInjected   int64 // faults raised by the attached FaultInjector
 }
 
 type blobMeta struct {
@@ -77,7 +80,13 @@ type Store struct {
 	stats struct {
 		reads, writes, bytesRead, bytesWritten atomic.Int64
 		hits, misses, decompCalls, decompBytes atomic.Int64
+		retries                                atomic.Int64
 	}
+
+	// Fault-tolerance knobs: an optional fault injector on the read/write
+	// paths, and the retry policy for transient read failures.
+	fault atomic.Pointer[FaultInjector]
+	retry atomic.Pointer[RetryPolicy]
 }
 
 type cacheEntry struct {
@@ -100,9 +109,30 @@ func NewStore(bufferPoolBytes int64) *Store {
 	}
 }
 
+// SetFaultInjector attaches (or, with nil, removes) a fault injector on the
+// store's read and write paths. Safe to call concurrently with I/O.
+func (s *Store) SetFaultInjector(f *FaultInjector) { s.fault.Store(f) }
+
+// SetRetryPolicy overrides the retry policy for transient read failures.
+func (s *Store) SetRetryPolicy(p RetryPolicy) { s.retry.Store(&p) }
+
+func (s *Store) retryPolicy() RetryPolicy {
+	if p := s.retry.Load(); p != nil {
+		return *p
+	}
+	return DefaultRetryPolicy()
+}
+
 // Put stores data under a fresh BlobID at the given compression tier and
-// returns the id. The input slice is not retained.
+// returns the id. The input slice is not retained. Injected write faults
+// surface as TransientErrors without retry: writers own durability decisions
+// (the tuple mover re-queues its delta store; bulk loads fail the statement).
 func (s *Store) Put(data []byte, comp Compression) (BlobID, error) {
+	if f := s.fault.Load(); f != nil {
+		if err := f.beforeWrite(); err != nil {
+			return 0, err
+		}
+	}
 	sum := crc32.ChecksumIEEE(data)
 	var onDisk []byte
 	switch comp {
@@ -139,6 +169,11 @@ func (s *Store) Put(data []byte, comp Compression) (BlobID, error) {
 
 // Get returns the raw (decompressed) bytes of a blob. The returned slice is
 // shared with the buffer pool and must not be modified.
+//
+// Transient read faults (see FaultInjector) are retried with exponential
+// backoff under the store's RetryPolicy. Checksum mismatches fail fast as
+// CorruptionErrors naming the blob: re-reading cannot repair wrong at-rest
+// bytes, so burning retry budget on them only delays the report.
 func (s *Store) Get(id BlobID) ([]byte, error) {
 	s.mu.Lock()
 	if el, ok := s.cache[id]; ok {
@@ -154,8 +189,33 @@ func (s *Store) Get(id BlobID) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("storage: blob %d not found", id)
 	}
-
 	s.stats.misses.Add(1)
+
+	policy := s.retryPolicy()
+	attempts := max(policy.MaxAttempts, 1)
+	for attempt := 0; ; attempt++ {
+		raw, err := s.readOnce(id, onDisk, meta)
+		if err == nil {
+			s.cacheInsert(id, raw)
+			return raw, nil
+		}
+		if !IsTransient(err) || attempt+1 >= attempts {
+			return nil, err
+		}
+		s.stats.retries.Add(1)
+		time.Sleep(policy.backoff(attempt))
+	}
+}
+
+// readOnce performs one "disk" read attempt: fault hooks, inflation, and
+// checksum verification.
+func (s *Store) readOnce(id BlobID, onDisk []byte, meta blobMeta) ([]byte, error) {
+	f := s.fault.Load()
+	if f != nil {
+		if err := f.beforeRead(id); err != nil {
+			return nil, err
+		}
+	}
 	s.stats.reads.Add(1)
 	s.stats.bytesRead.Add(int64(len(onDisk)))
 
@@ -176,11 +236,12 @@ func (s *Store) Get(id BlobID) ([]byte, error) {
 		s.stats.decompCalls.Add(1)
 		s.stats.decompBytes.Add(int64(len(raw)))
 	}
-	if crc32.ChecksumIEEE(raw) != meta.checksum {
-		return nil, fmt.Errorf("storage: blob %d checksum mismatch (corruption)", id)
+	if f != nil {
+		raw = f.corruptRead(raw)
 	}
-
-	s.cacheInsert(id, raw)
+	if crc32.ChecksumIEEE(raw) != meta.checksum {
+		return nil, &CorruptionError{Blob: id}
+	}
 	return raw, nil
 }
 
@@ -270,7 +331,7 @@ func (s *Store) Corrupt(id BlobID) error {
 
 // Stats returns a snapshot of the store's I/O counters.
 func (s *Store) Stats() IOStats {
-	return IOStats{
+	st := IOStats{
 		Reads:            s.stats.reads.Load(),
 		Writes:           s.stats.writes.Load(),
 		BytesRead:        s.stats.bytesRead.Load(),
@@ -279,7 +340,12 @@ func (s *Store) Stats() IOStats {
 		CacheMisses:      s.stats.misses.Load(),
 		DecompressCalls:  s.stats.decompCalls.Load(),
 		BytesDecompressd: s.stats.decompBytes.Load(),
+		Retries:          s.stats.retries.Load(),
 	}
+	if f := s.fault.Load(); f != nil {
+		st.FaultsInjected = f.Injected()
+	}
+	return st
 }
 
 // ResetStats zeroes the I/O counters.
@@ -292,4 +358,5 @@ func (s *Store) ResetStats() {
 	s.stats.misses.Store(0)
 	s.stats.decompCalls.Store(0)
 	s.stats.decompBytes.Store(0)
+	s.stats.retries.Store(0)
 }

@@ -1,0 +1,96 @@
+package table
+
+import (
+	"sync"
+	"time"
+)
+
+// Tuple-mover retry backoff bounds. After a MoveOnce failure the background
+// mover waits the current backoff before retrying, doubling up to the cap;
+// one success resets it. The base is small because most failures are
+// transient storage hiccups that clear immediately.
+const (
+	moverBaseBackoff = 5 * time.Millisecond
+	moverMaxBackoff  = time.Second
+)
+
+// Health is a point-in-time snapshot of a table's tuple-mover health,
+// exposed through Table.Health for monitoring and tests. A table with
+// ConsecutiveFailures > 0 has closed delta stores it cannot currently
+// compress; the mover keeps retrying with exponential backoff and the rows
+// stay queryable from the delta store in the meantime, so the condition is
+// degraded, not lossy.
+type Health struct {
+	MoverRunning        bool          // background tuple mover is active
+	Moves               int64         // delta stores successfully compressed
+	Failures            int64         // total MoveOnce errors observed
+	ConsecutiveFailures int           // failures since the last success
+	LastError           error         // most recent MoveOnce error (nil if none)
+	LastErrorTime       time.Time     // when LastError occurred
+	Backoff             time.Duration // current retry backoff (0 when healthy)
+}
+
+// moverHealth accumulates MoveOnce outcomes. Every MoveOnce call reports
+// here — including foreground MoveAll/FlushOpen callers — so Health reflects
+// the table's compression pipeline no matter who drives it.
+type moverHealth struct {
+	mu          sync.Mutex
+	moves       int64
+	failures    int64
+	consecutive int
+	lastErr     error
+	lastErrTime time.Time
+	backoff     time.Duration
+}
+
+func (h *moverHealth) recordSuccess() {
+	h.mu.Lock()
+	h.moves++
+	h.consecutive = 0
+	h.backoff = 0
+	h.mu.Unlock()
+}
+
+// recordFailure notes one MoveOnce error and returns the backoff the caller
+// should wait before retrying.
+func (h *moverHealth) recordFailure(err error) time.Duration {
+	h.mu.Lock()
+	h.failures++
+	h.consecutive++
+	h.lastErr = err
+	h.lastErrTime = time.Now()
+	switch {
+	case h.backoff == 0:
+		h.backoff = moverBaseBackoff
+	case h.backoff < moverMaxBackoff:
+		h.backoff *= 2
+		if h.backoff > moverMaxBackoff {
+			h.backoff = moverMaxBackoff
+		}
+	}
+	d := h.backoff
+	h.mu.Unlock()
+	return d
+}
+
+func (h *moverHealth) snapshot(running bool) Health {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Health{
+		MoverRunning:        running,
+		Moves:               h.moves,
+		Failures:            h.failures,
+		ConsecutiveFailures: h.consecutive,
+		LastError:           h.lastErr,
+		LastErrorTime:       h.lastErrTime,
+		Backoff:             h.backoff,
+	}
+}
+
+// Health returns a snapshot of the table's tuple-mover health.
+func (t *Table) Health() Health {
+	t.mu.RLock()
+	running := t.mover != nil
+	t.mu.RUnlock()
+	return t.health.snapshot(running)
+}

@@ -85,7 +85,8 @@ type Table struct {
 	// so the shared primary dictionaries see a single writer.
 	compressMu sync.Mutex
 
-	mover *mover
+	mover  *mover
+	health moverHealth
 }
 
 // New creates an empty clustered columnstore table.
@@ -590,8 +591,17 @@ func (t *Table) Sample(n int, rng *rand.Rand) []sqltypes.Row {
 
 // MoveOnce compresses one CLOSED delta store into a row group, replaying any
 // deletes that arrived during compression via the delete buffer. It reports
-// whether a store was moved.
-func (t *Table) MoveOnce() (bool, error) {
+// whether a store was moved. Every outcome is recorded in the table's health
+// struct (see Health); on failure the source store is re-queued so no rows
+// are lost and a later retry can succeed.
+func (t *Table) MoveOnce() (moved bool, err error) {
+	defer func() {
+		if err != nil {
+			t.health.recordFailure(err)
+		} else if moved {
+			t.health.recordSuccess()
+		}
+	}()
 	t.mu.Lock()
 	if len(t.closed) == 0 {
 		t.mu.Unlock()
@@ -601,6 +611,8 @@ func (t *Table) MoveOnce() (bool, error) {
 	t.closed = t.closed[1:]
 	keys, rows, err := s.BeginMove()
 	if err != nil {
+		// BeginMove does not consume the store; re-queue it for retry.
+		t.closed = append([]*delta.Store{s}, t.closed...)
 		t.mu.Unlock()
 		return false, err
 	}
@@ -626,9 +638,11 @@ func (t *Table) MoveOnce() (bool, error) {
 	g, perm, err := t.idx.BuildRowGroup(bufs)
 	t.compressMu.Unlock()
 	if err != nil {
-		// Put the store back so rows are not lost.
+		// Put the store back (and roll it back to CLOSED) so rows are not
+		// lost and a later retry can move it.
 		t.mu.Lock()
 		delete(t.moving, s.ID)
+		s.AbortMove()
 		t.closed = append([]*delta.Store{s}, t.closed...)
 		t.mu.Unlock()
 		return false, err
@@ -716,14 +730,37 @@ func (t *Table) StartTupleMover(interval time.Duration) {
 			case <-ticker.C:
 			case <-m.kick:
 			}
-			for {
-				moved, err := t.MoveOnce()
-				if err != nil || !moved {
-					break
-				}
+			if !t.drainClosed(m) {
+				return
 			}
 		}
 	}()
+}
+
+// drainClosed moves closed delta stores until none remain, retrying failures
+// with exponential backoff (the self-healing path: MoveOnce re-queues the
+// store, its error lands in the health struct, and the next attempt waits
+// out the current backoff). Returns false if the mover was stopped while
+// waiting.
+func (t *Table) drainClosed(m *mover) bool {
+	for {
+		moved, err := t.MoveOnce()
+		if err == nil {
+			if !moved {
+				return true
+			}
+			continue
+		}
+		// MoveOnce recorded the failure; wait out the backoff it chose,
+		// staying responsive to StopTupleMover.
+		timer := time.NewTimer(t.health.snapshot(true).Backoff)
+		select {
+		case <-m.stop:
+			timer.Stop()
+			return false
+		case <-timer.C:
+		}
+	}
 }
 
 // StopTupleMover stops the background tuple mover and waits for it to exit.
