@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet race check bench bench-smoke clean
 
 all: check
 
@@ -23,6 +23,11 @@ check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Quick late-materialization check: dict-coded vs eagerly decoded string
+# execution (see BENCH_dictexec.json for recorded numbers).
+bench-smoke:
+	$(GO) test -bench='BenchmarkGroupByString|BenchmarkJoinOnString' -benchtime=1x -run=^$$ ./internal/exec/batchexec
 
 clean:
 	$(GO) clean -testcache

@@ -199,6 +199,10 @@ type QueryStats struct {
 	RowsOutput           int64
 	DeltaRowsScanned     int64
 	Spills               int64
+	// Late materialization: per-batch string column gathers that stayed
+	// dict-coded vs. those decoded eagerly at the scan.
+	StringColsCoded        int64
+	StringColsMaterialized int64
 }
 
 // Exec parses and executes one SQL statement under a background context.
@@ -234,6 +238,8 @@ func (db *DB) ExecContext(ctx context.Context, stmt string) (*Result, error) {
 			out.Stats.RowsAfterBloomFilter += st.RowsAfterBloom
 			out.Stats.RowsOutput += st.RowsOutput
 			out.Stats.DeltaRowsScanned += st.DeltaRows
+			out.Stats.StringColsCoded += st.StringColsCoded
+			out.Stats.StringColsMaterialized += st.StringColsMaterialized
 		}
 		if tr := r.Compiled.Tracker; tr != nil {
 			out.Stats.Spills = tr.Spills()

@@ -191,6 +191,9 @@ func runOne(db *apollo.DB, stmt string) {
 		if res.Stats.RowGroupsEliminated > 0 {
 			fmt.Printf(", %d/%d row groups eliminated", res.Stats.RowGroupsEliminated, res.Stats.RowGroups)
 		}
+		if res.Stats.StringColsCoded > 0 {
+			fmt.Printf(", %d coded string gathers", res.Stats.StringColsCoded)
+		}
 		fmt.Println(")")
 	default:
 		fmt.Printf("%d rows affected (%v)\n", res.Affected, elapsed.Round(time.Microsecond))

@@ -27,6 +27,11 @@ type ColumnReader struct {
 	primaryVals []string
 	local       *encoding.Dict
 	localVals   []string
+
+	// Late-materialization state: codedState caches whether this segment can
+	// emit primary-dictionary codes directly (local codes remapped via remap).
+	codedState int      // 0 = undecided, 1 = can emit codes, 2 = must materialize
+	remap      []uint32 // local code -> primary id; nil when no local dict
 }
 
 // OpenColumn reads and decodes a segment from the store. primary is the
@@ -104,6 +109,7 @@ func (r *ColumnReader) Value(i int) sqltypes.Value {
 
 // MaterializeInto decodes rows [start, start+n) into v, resizing it to n.
 func (r *ColumnReader) MaterializeInto(v *vector.Vector, start, n int) {
+	v.ClearCoded()
 	v.Resize(n)
 	if v.Nulls != nil {
 		v.Nulls.Reset()
@@ -326,11 +332,85 @@ func (r *ColumnReader) LookupCode(s string) (uint64, bool) {
 	return 0, false
 }
 
+// CanEmitCodes reports whether this segment's column can be emitted as
+// primary-dictionary codes (late materialization). True for dict-encoded
+// segments whose local dictionary, if any, remaps fully into the primary
+// dictionary; false for numeric segments and for segments holding values the
+// primary dictionary has never seen.
+func (r *ColumnReader) CanEmitCodes() bool {
+	if r.codedState == 0 {
+		r.prepareCoded()
+	}
+	return r.codedState == 1
+}
+
+func (r *ColumnReader) prepareCoded() {
+	r.codedState = 2
+	if r.Meta.Enc != EncDict || r.primary == nil {
+		return
+	}
+	if r.local == nil {
+		r.codedState = 1
+		return
+	}
+	// Remap local codes to primary ids. A local value may have entered the
+	// primary dictionary after this segment was built (the dictionary only
+	// grows); if every local value resolves, the whole segment can travel in
+	// primary code space. Otherwise fall back to eager materialization.
+	remap := make([]uint32, len(r.localVals))
+	for i, s := range r.localVals {
+		id, ok := r.primary.Lookup(s)
+		if !ok {
+			return
+		}
+		if int(id) >= len(r.primaryVals) {
+			// The id postdates our snapshot; refresh — ids are stable, so the
+			// new snapshot covers it and keeps every previously valid code.
+			r.primaryVals = r.primary.SnapshotValues()
+		}
+		remap[i] = id
+	}
+	r.remap = remap
+	r.codedState = 1
+}
+
+// GatherCodesInto fills v with primary-dictionary codes for the rows at idxs
+// without decoding any string. The caller must have checked CanEmitCodes.
+func (r *ColumnReader) GatherCodesInto(v *vector.Vector, idxs []int) {
+	n := len(idxs)
+	v.MakeCoded(r.primary, r.primaryVals, n)
+	if v.Nulls != nil {
+		v.Nulls.Reset()
+	}
+	cut := uint64(r.Meta.DictCut)
+	if r.remap == nil {
+		for i, j := range idxs {
+			v.Codes[i] = r.codes[j]
+		}
+	} else {
+		for i, j := range idxs {
+			c := r.codes[j]
+			if c >= cut {
+				c = uint64(r.remap[c-cut])
+			}
+			v.Codes[i] = c
+		}
+	}
+	if r.nulls != nil {
+		for i, j := range idxs {
+			if r.nulls.Get(j) {
+				v.SetNull(i)
+			}
+		}
+	}
+}
+
 // GatherInto decodes the rows at idxs (ascending physical positions) into v,
 // resizing it to len(idxs). Vectorized scans use it to materialize only the
 // rows that survived filtering on encoded data.
 func (r *ColumnReader) GatherInto(v *vector.Vector, idxs []int) {
 	n := len(idxs)
+	v.ClearCoded()
 	v.Resize(n)
 	if v.Nulls != nil {
 		v.Nulls.Reset()

@@ -3,6 +3,7 @@ package batchexec
 import (
 	"context"
 
+	"apollo/internal/encoding"
 	"apollo/internal/exec"
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
@@ -178,6 +179,59 @@ func (h *HashAgg) Open(ctx context.Context) error {
 		intGroups = make(map[int64]*aggGroup)
 	}
 
+	// Code-grouping fast path for a single string group column: dict-coded
+	// batches group on raw dictionary codes — a dense array when the
+	// dictionary is small, a code-keyed map otherwise — and no group key is
+	// decoded except once when its group is created. Materialized rows
+	// (delta store, fallback segments) bridge into the same groups via a
+	// dictionary lookup, falling back to a string-keyed map for values the
+	// shared dictionary has never seen; this is sound because dictionary ids
+	// are stable, so code and string identify a group interchangeably.
+	fastStr := len(h.GroupBy) == 1 && inSchema.Cols[h.GroupBy[0]].Typ == sqltypes.String
+	const denseDictLimit = 1 << 14
+	var strGroups map[string]*aggGroup
+	var codeMap map[uint64]*aggGroup
+	var codeArr []*aggGroup
+	var codedDict *encoding.Dict
+	var codedVals []string
+	if fastStr {
+		strGroups = make(map[string]*aggGroup)
+	}
+	lookupCode := func(code uint64) *aggGroup {
+		if codeArr != nil {
+			if code < uint64(len(codeArr)) {
+				return codeArr[code]
+			}
+			return nil
+		}
+		return codeMap[code]
+	}
+	storeCode := func(code uint64, g *aggGroup) {
+		if codeArr != nil {
+			if code >= uint64(len(codeArr)) {
+				if code < denseDictLimit {
+					na := make([]*aggGroup, code+1+code/2)
+					copy(na, codeArr)
+					codeArr = na
+				} else {
+					// Dictionary outgrew the dense range: degrade to a map.
+					codeMap = make(map[uint64]*aggGroup, len(codeArr))
+					for c, gr := range codeArr {
+						if gr != nil {
+							codeMap[uint64(c)] = gr
+						}
+					}
+					codeArr = nil
+					codeMap[code] = g
+					return
+				}
+			}
+			codeArr[code] = g
+			return
+		}
+		codeMap[code] = g
+	}
+
 	var scalarGroup *aggGroup
 	if len(h.GroupBy) == 0 {
 		scalarGroup = h.newGroup(nil)
@@ -185,7 +239,6 @@ func (h *HashAgg) Open(ctx context.Context) error {
 	}
 
 	keyVals := make(sqltypes.Row, len(h.GroupBy))
-	row := make(sqltypes.Row, inSchema.Len())
 	var ptrs []*aggGroup
 	argVecs := make([]*vector.Vector, len(h.Aggs))
 	for i, spec := range h.Aggs {
@@ -201,10 +254,11 @@ func (h *HashAgg) Open(ctx context.Context) error {
 			parts[j] = newSpillPartition(h.SpillStore, inSchema)
 		}
 	}
+	// spillRow routes physical row i of a (compacted) batch to a partition by
+	// group-key hash; the partition writes dict-coded cells as raw codes.
 	spillRow := func(b *vector.Batch, i int, key string) error {
-		b.RowInto(i, row)
 		part := int(hashString(key)>>57) % aggSpillPartitions
-		return parts[part].add(row)
+		return parts[part].addBatchRow(b, i)
 	}
 
 	for {
@@ -278,6 +332,98 @@ func (h *HashAgg) Open(ctx context.Context) error {
 					h.reserved += cost
 					grp = h.newGroup(sqltypes.Row{{Typ: typ, I: k}})
 					intGroups[k] = grp
+					order = append(order, grp)
+				}
+				ptrs[i] = grp
+			}
+		case fastStr:
+			vec := b.Vecs[h.GroupBy[0]]
+			if vec.IsCoded() {
+				if codedDict == nil {
+					codedDict = vec.Dict
+					codedVals = vec.DictVals
+					if len(codedVals) <= denseDictLimit {
+						codeArr = make([]*aggGroup, len(codedVals))
+					} else {
+						codeMap = make(map[uint64]*aggGroup, 1024)
+					}
+				} else if vec.Dict == codedDict && len(vec.DictVals) > len(codedVals) {
+					codedVals = vec.DictVals
+				}
+			}
+			sameDict := vec.IsCoded() && vec.Dict == codedDict
+			for i := 0; i < n; i++ {
+				if vec.IsNull(i) {
+					if nullGroup == nil {
+						cost := int64(64 + 64*len(h.Aggs))
+						if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
+							h.Tracker.Release(0)
+						} else {
+							h.reserved += cost
+						}
+						nullGroup = h.newGroup(sqltypes.Row{sqltypes.NewNull(sqltypes.String)})
+						order = append(order, nullGroup)
+					}
+					ptrs[i] = nullGroup
+					continue
+				}
+				var code uint64
+				var s string
+				haveCode := false
+				if sameDict {
+					code = vec.Codes[i]
+					haveCode = true
+				} else {
+					s = vec.StrAt(i)
+					if codedDict != nil {
+						if id, ok := codedDict.Lookup(s); ok {
+							code, haveCode = uint64(id), true
+						}
+					}
+				}
+				var grp *aggGroup
+				if haveCode {
+					grp = lookupCode(code)
+				} else {
+					grp = strGroups[s]
+				}
+				if grp == nil {
+					if haveCode {
+						if sameDict {
+							s = codedVals[code] // decode once per new group
+						}
+						// The value may already own a group created from a
+						// materialized row before any coded batch arrived.
+						if g2 := strGroups[s]; g2 != nil {
+							storeCode(code, g2)
+							ptrs[i] = g2
+							continue
+						}
+					}
+					if spilling {
+						if err := spillRow(b, i, s); err != nil {
+							return err
+						}
+						ptrs[i] = nil
+						continue
+					}
+					cost := int64(64+len(s)) + int64(64*len(h.Aggs))
+					if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
+						h.Tracker.NoteSpill()
+						startSpilling()
+						if err := spillRow(b, i, s); err != nil {
+							return err
+						}
+						ptrs[i] = nil
+						continue
+					}
+					h.reserved += cost
+					grp = h.newGroup(sqltypes.Row{sqltypes.NewString(s)})
+					if haveCode {
+						storeCode(code, grp)
+					} else {
+						strGroups[s] = grp
+					}
 					order = append(order, grp)
 				}
 				ptrs[i] = grp

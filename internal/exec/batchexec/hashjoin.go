@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"apollo/internal/bloom"
+	"apollo/internal/encoding"
 	"apollo/internal/exec"
 	"apollo/internal/expr"
 	"apollo/internal/sqltypes"
@@ -88,32 +89,108 @@ func (h *HashJoin) Open(ctx context.Context) error {
 	h.spilled = false
 	h.partIdx = -1
 
-	buildRows, overflow, err := h.drainBuild(ctx)
+	build, overflow, err := h.drainBuild(ctx)
 	if err != nil {
 		return err
 	}
 
 	if overflow {
-		if err := h.enterSpillMode(ctx, buildRows); err != nil {
+		if err := h.enterSpillMode(ctx, build); err != nil {
 			return err
 		}
 		return nil // probe drained inside enterSpillMode
 	}
 
-	h.core = newJoinCore(h, buildRows)
-	h.publishBloom(buildRows)
+	h.core = newJoinCore(h, build)
+	h.publishBloom(build)
 	return h.Probe.Open(ctx)
 }
 
-// drainBuild consumes the build input, stopping early (overflow=true) only in
-// accounting terms — all rows are always returned; overflow indicates the
-// grant was exceeded.
-func (h *HashJoin) drainBuild(ctx context.Context) ([]sqltypes.Row, bool, error) {
+// buildSide is the drained build input as concatenated column vectors.
+// String columns keep their dict-coded form when every build batch shared the
+// column's dictionary; otherwise the column is transparently materialized.
+type buildSide struct {
+	cols []*vector.Vector
+	len  int
+}
+
+// appendBuildVec appends src rows [0, n) onto dst, preserving the coded form
+// when both sides share a dictionary and materializing dst otherwise.
+func appendBuildVec(dst, src *vector.Vector, n int) {
+	off := dst.Len()
+	if off == 0 && src.IsCoded() && !dst.IsCoded() {
+		dst.MakeCoded(src.Dict, src.DictVals, 0)
+	}
+	if dst.IsCoded() && src.IsCoded() && dst.Dict == src.Dict {
+		if len(src.DictVals) > len(dst.DictVals) {
+			dst.DictVals = src.DictVals
+		}
+		dst.Codes = append(dst.Codes, src.Codes[:n]...)
+	} else {
+		dst.Materialize() // no-op unless coded: representation mismatch
+		switch {
+		case dst.Typ == sqltypes.Float64:
+			dst.F64 = append(dst.F64, src.F64[:n]...)
+		case dst.Typ == sqltypes.String:
+			for i := 0; i < n; i++ {
+				s := ""
+				if !src.IsNull(i) {
+					s = src.StrAt(i)
+				}
+				dst.Str = append(dst.Str, s)
+			}
+		default:
+			dst.I64 = append(dst.I64, src.I64[:n]...)
+		}
+	}
+	if src.Nulls != nil && src.Nulls.Any() {
+		for i := 0; i < n; i++ {
+			if src.Nulls.Get(i) {
+				dst.SetNull(off + i)
+			}
+		}
+	}
+}
+
+// htEntryBytes approximates per-row hash-table overhead (map entry plus
+// candidate-list slice) for the join build grant.
+const htEntryBytes = 48
+
+// batchBytes estimates a compacted batch's in-memory footprint for grant
+// accounting; coded columns cost 8 bytes per row regardless of string length.
+func batchBytes(b *vector.Batch) int64 {
+	n := int64(b.NumRows())
+	total := int64(48) + 24*n
+	for _, v := range b.Vecs {
+		switch {
+		case v.IsCoded():
+			total += 8 * n
+		case v.Typ == sqltypes.String:
+			total += 16 * n
+			for _, s := range v.Str {
+				total += int64(len(s))
+			}
+		default:
+			total += 8 * n
+		}
+	}
+	return total
+}
+
+// drainBuild consumes the build input into concatenated build columns,
+// keeping dict-coded string columns coded. overflow=true means the memory
+// grant was exceeded (all rows are still collected; the caller partitions
+// them to spill files).
+func (h *HashJoin) drainBuild(ctx context.Context) (*buildSide, bool, error) {
 	if err := h.Build.Open(ctx); err != nil {
 		return nil, false, err
 	}
 	defer h.Build.Close()
-	var rows []sqltypes.Row
+	bs := h.Build.Schema()
+	build := &buildSide{cols: make([]*vector.Vector, bs.Len())}
+	for ci, col := range bs.Cols {
+		build.cols[ci] = vector.NewVector(col.Typ, 0)
+	}
 	overflow := false
 	for {
 		if err := ctx.Err(); err != nil {
@@ -124,34 +201,41 @@ func (h *HashJoin) drainBuild(ctx context.Context) ([]sqltypes.Row, bool, error)
 			return nil, false, err
 		}
 		if b == nil {
-			return rows, overflow, nil
+			return build, overflow, nil
 		}
-		for i := 0; i < b.Len(); i++ {
-			row := b.Row(i)
-			n := rowBytes(row)
-			if !overflow && !h.Tracker.TryReserve(n) {
-				overflow = h.SpillStore != nil
-				if overflow {
-					h.Tracker.NoteSpill()
-				}
-			}
-			if !overflow {
-				h.reservedBytes += n
-			}
-			rows = append(rows, row)
+		b.Compact()
+		n := b.NumRows()
+		if n == 0 {
+			continue
 		}
+		// The grant covers the retained columns plus the hash table about
+		// to be built over them (map entry + candidate-list overhead).
+		sz := batchBytes(b) + htEntryBytes*int64(n)
+		if !overflow && !h.Tracker.TryReserve(sz) {
+			overflow = h.SpillStore != nil
+			if overflow {
+				h.Tracker.NoteSpill()
+			}
+		}
+		if !overflow {
+			h.reservedBytes += sz
+		}
+		for ci := range build.cols {
+			appendBuildVec(build.cols[ci], b.Vecs[ci], n)
+		}
+		build.len += n
 	}
 }
 
-func (h *HashJoin) publishBloom(buildRows []sqltypes.Row) {
+func (h *HashJoin) publishBloom(build *buildSide) {
 	if h.BloomOut == nil || len(h.BuildKeys) != 1 {
 		return
 	}
-	f := bloom.New(len(buildRows), bloom.DefaultBitsPerKey)
-	k := h.BuildKeys[0]
-	for _, r := range buildRows {
-		if !r[k].Null {
-			f.Add(r[k])
+	f := bloom.New(build.len, bloom.DefaultBitsPerKey)
+	kv := build.cols[h.BuildKeys[0]]
+	for i := 0; i < build.len; i++ {
+		if !kv.IsNull(i) {
+			f.Add(kv.Value(i))
 		}
 	}
 	h.BloomOut.F = f
@@ -216,51 +300,71 @@ func (h *HashJoin) Next() (*vector.Batch, error) {
 
 // --- In-memory join core ---
 
-// joinCore joins a fixed build row set against streamed probe batches. The
-// build side is also materialized column-wise so join output is assembled
-// with typed gather loops instead of per-row value copies.
+// joinCore joins a fixed build side against streamed probe batches. The build
+// side lives as concatenated column vectors (dict-coded string columns stay
+// coded), so join output is assembled with typed gather loops — coded columns
+// gather codes, never strings.
+//
+// Exactly one hash table kind is populated, chosen by the build key's type
+// and representation: htInt for a single int64-family key, htCode for a
+// single dict-coded string key (keyed on dictionary ids), htStr for a single
+// materialized string key, htGen for everything else (encoded multi-column
+// keys).
 type joinCore struct {
-	h         *HashJoin
-	buildRows []sqltypes.Row
-	buildCols []*vector.Vector
-	matched   []bool
-	// Fast path: single int64-family key.
-	htInt map[int64][]int32
-	// General path: encoded multi-column keys.
-	htGen  map[string][]int32
-	keyBuf []byte
+	h       *HashJoin
+	build   *buildSide
+	matched []bool
+
+	htInt    map[int64][]int32
+	htCode   map[uint64][]int32
+	codeDict *encoding.Dict // dictionary htCode ids belong to
+	codeVals []string       // its snapshot (covers every build code)
+	htStr    map[string][]int32
+	htGen    map[string][]int32
+	keyBuf   []byte
 }
 
-func newJoinCore(h *HashJoin, buildRows []sqltypes.Row) *joinCore {
-	c := &joinCore{h: h, buildRows: buildRows, matched: make([]bool, len(buildRows))}
-	bs := h.Build.Schema()
-	c.buildCols = make([]*vector.Vector, bs.Len())
-	for ci, col := range bs.Cols {
-		v := vector.NewVector(col.Typ, len(buildRows))
-		for i, r := range buildRows {
-			v.SetValue(i, r[ci])
-		}
-		c.buildCols[ci] = v
-	}
-	if c.fastKey() {
-		c.htInt = make(map[int64][]int32, len(buildRows))
-		k := h.BuildKeys[0]
-		for i, r := range buildRows {
-			v := r[k]
-			if v.Null {
-				continue
+func newJoinCore(h *HashJoin, build *buildSide) *joinCore {
+	c := &joinCore{h: h, build: build, matched: make([]bool, build.len)}
+	n := build.len
+	if len(h.BuildKeys) == 1 {
+		kv := build.cols[h.BuildKeys[0]]
+		switch {
+		case c.fastKey():
+			c.htInt = make(map[int64][]int32, n)
+			for i := 0; i < n; i++ {
+				if !kv.IsNull(i) {
+					c.htInt[kv.I64[i]] = append(c.htInt[kv.I64[i]], int32(i))
+				}
 			}
-			c.htInt[keyInt(v)] = append(c.htInt[keyInt(v)], int32(i))
+			return c
+		case kv.IsCoded():
+			c.htCode = make(map[uint64][]int32, n)
+			c.codeDict = kv.Dict
+			c.codeVals = kv.DictVals
+			for i := 0; i < n; i++ {
+				if !kv.IsNull(i) {
+					c.htCode[kv.Codes[i]] = append(c.htCode[kv.Codes[i]], int32(i))
+				}
+			}
+			return c
+		case kv.Typ == sqltypes.String:
+			c.htStr = make(map[string][]int32, n)
+			for i := 0; i < n; i++ {
+				if !kv.IsNull(i) {
+					c.htStr[kv.Str[i]] = append(c.htStr[kv.Str[i]], int32(i))
+				}
+			}
+			return c
 		}
-		return c
 	}
-	c.htGen = make(map[string][]int32, len(buildRows))
+	c.htGen = make(map[string][]int32, n)
 	keyVals := make([]sqltypes.Value, len(h.BuildKeys))
-	for i, r := range buildRows {
+	for i := 0; i < n; i++ {
 		null := false
 		for j, k := range h.BuildKeys {
-			keyVals[j] = r[k]
-			null = null || r[k].Null
+			keyVals[j] = build.cols[k].Value(i)
+			null = null || keyVals[j].Null
 		}
 		if null {
 			continue
@@ -285,14 +389,83 @@ func (c *joinCore) fastKey() bool {
 	return intFamily(bt) && intFamily(pt)
 }
 
-func keyInt(v sqltypes.Value) int64 { return v.I }
-
-// lookup returns build row candidates for probe row values.
-func (c *joinCore) lookup(keyVals []sqltypes.Value) []int32 {
-	if c.htInt != nil {
-		return c.htInt[keyInt(keyVals[0])]
+// prober returns a per-batch candidate lookup for the compacted batch b.
+// For htCode it bridges every probe representation into code space: same-dict
+// probes look codes up directly; foreign-dict probes translate each distinct
+// probe code at most once (memoized — one dictionary lookup per distinct
+// value, not per row); materialized probes translate through the build
+// dictionary per row. A string absent from the build dictionary has no build
+// matches by construction.
+func (c *joinCore) prober(b *vector.Batch) func(i int) (cands []int32, null bool) {
+	h := c.h
+	switch {
+	case c.htInt != nil:
+		kv := b.Vecs[h.ProbeKeys[0]]
+		return func(i int) ([]int32, bool) {
+			if kv.IsNull(i) {
+				return nil, true
+			}
+			return c.htInt[kv.I64[i]], false
+		}
+	case c.htCode != nil:
+		kv := b.Vecs[h.ProbeKeys[0]]
+		if kv.IsCoded() && kv.Dict == c.codeDict {
+			return func(i int) ([]int32, bool) {
+				if kv.IsNull(i) {
+					return nil, true
+				}
+				return c.htCode[kv.Codes[i]], false
+			}
+		}
+		if kv.IsCoded() {
+			memo := make(map[uint64][]int32, 64)
+			vals := kv.DictVals
+			return func(i int) ([]int32, bool) {
+				if kv.IsNull(i) {
+					return nil, true
+				}
+				code := kv.Codes[i]
+				cands, ok := memo[code]
+				if !ok {
+					if id, found := c.codeDict.Lookup(vals[code]); found {
+						cands = c.htCode[uint64(id)]
+					}
+					memo[code] = cands
+				}
+				return cands, false
+			}
+		}
+		return func(i int) ([]int32, bool) {
+			if kv.IsNull(i) {
+				return nil, true
+			}
+			if id, ok := c.codeDict.Lookup(kv.Str[i]); ok {
+				return c.htCode[uint64(id)], false
+			}
+			return nil, false
+		}
+	case c.htStr != nil:
+		kv := b.Vecs[h.ProbeKeys[0]]
+		return func(i int) ([]int32, bool) {
+			if kv.IsNull(i) {
+				return nil, true
+			}
+			return c.htStr[kv.StrAt(i)], false
+		}
+	default:
+		keyVals := make([]sqltypes.Value, len(h.ProbeKeys))
+		return func(i int) ([]int32, bool) {
+			null := false
+			for j, k := range h.ProbeKeys {
+				keyVals[j] = b.Vecs[k].Value(i)
+				null = null || keyVals[j].Null
+			}
+			if null {
+				return nil, true
+			}
+			return c.htGen[string(exec.EncodeKey(c.keyBuf[:0], keyVals))], false
+		}
 	}
-	return c.htGen[string(exec.EncodeKey(c.keyBuf[:0], keyVals))]
 }
 
 // probeBatch joins one probe batch, returning zero or more output batches.
@@ -305,22 +478,18 @@ func (c *joinCore) probeBatch(b *vector.Batch) []*vector.Batch {
 	}
 
 	probeWidth := h.Probe.Schema().Len()
-	keyVals := make([]sqltypes.Value, len(h.ProbeKeys))
 	joined := make(sqltypes.Row, probeWidth+h.Build.Schema().Len())
+	lookup := c.prober(b)
 
 	switch h.Type {
 	case exec.LeftSemi, exec.LeftAnti:
 		sel := make([]int, 0, n)
 		for i := 0; i < n; i++ {
-			null := false
-			for j, k := range h.ProbeKeys {
-				keyVals[j] = b.Vecs[k].Value(i)
-				null = null || keyVals[j].Null
-			}
+			cands, null := lookup(i)
 			found := false
 			if !null {
-				for _, bi := range c.lookup(keyVals) {
-					if c.residualOK(b, i, c.buildRows[bi], joined, probeWidth) {
+				for _, bi := range cands {
+					if c.residualOK(b, i, bi, joined, probeWidth) {
 						found = true
 						break
 					}
@@ -340,11 +509,12 @@ func (c *joinCore) probeBatch(b *vector.Batch) []*vector.Batch {
 	// Inner/outer joins: collect matching (probe, build) pairs, then gather
 	// them into output batches column by column.
 	var probeIdx, buildIdx []int32 // buildIdx -1 = null-extended
-	if c.htInt != nil && !b.Vecs[h.ProbeKeys[0]].HasNulls() && h.Residual == nil {
+	leftOuter := h.Type == exec.LeftOuter || h.Type == exec.FullOuter
+	pkv := b.Vecs[h.ProbeKeys[0]]
+	switch {
+	case c.htInt != nil && !pkv.HasNulls() && h.Residual == nil:
 		// Hot path: single non-null int key, no residual.
-		keys := b.Vecs[h.ProbeKeys[0]].I64[:n]
-		leftOuter := h.Type == exec.LeftOuter || h.Type == exec.FullOuter
-		for i, k := range keys {
+		for i, k := range pkv.I64[:n] {
 			matches := c.htInt[k]
 			if len(matches) == 0 {
 				if leftOuter {
@@ -359,17 +529,31 @@ func (c *joinCore) probeBatch(b *vector.Batch) []*vector.Batch {
 				buildIdx = append(buildIdx, bi)
 			}
 		}
-	} else {
-		for i := 0; i < n; i++ {
-			null := false
-			for j, k := range h.ProbeKeys {
-				keyVals[j] = b.Vecs[k].Value(i)
-				null = null || keyVals[j].Null
+	case c.htCode != nil && pkv.IsCoded() && pkv.Dict == c.codeDict && !pkv.HasNulls() && h.Residual == nil:
+		// Hot path: both key sides share a dictionary — the join runs
+		// entirely in code space, no string is touched.
+		for i, k := range pkv.Codes[:n] {
+			matches := c.htCode[k]
+			if len(matches) == 0 {
+				if leftOuter {
+					probeIdx = append(probeIdx, int32(i))
+					buildIdx = append(buildIdx, -1)
+				}
+				continue
 			}
+			for _, bi := range matches {
+				c.matched[bi] = true
+				probeIdx = append(probeIdx, int32(i))
+				buildIdx = append(buildIdx, bi)
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			cands, null := lookup(i)
 			matched := false
 			if !null {
-				for _, bi := range c.lookup(keyVals) {
-					if c.residualOK(b, i, c.buildRows[bi], joined, probeWidth) {
+				for _, bi := range cands {
+					if c.residualOK(b, i, bi, joined, probeWidth) {
 						matched = true
 						c.matched[bi] = true
 						probeIdx = append(probeIdx, int32(i))
@@ -377,7 +561,7 @@ func (c *joinCore) probeBatch(b *vector.Batch) []*vector.Batch {
 					}
 				}
 			}
-			if !matched && (h.Type == exec.LeftOuter || h.Type == exec.FullOuter) {
+			if !matched && leftOuter {
 				probeIdx = append(probeIdx, int32(i))
 				buildIdx = append(buildIdx, -1)
 			}
@@ -405,7 +589,7 @@ func (c *joinCore) gather(b *vector.Batch, probeIdx, buildIdx []int32, probeWidt
 	for ci := 0; ci < probeWidth; ci++ {
 		gatherVec(out.Vecs[ci], b.Vecs[ci], probeIdx)
 	}
-	for ci, src := range c.buildCols {
+	for ci, src := range c.build.cols {
 		dst := out.Vecs[probeWidth+ci]
 		gatherVec(dst, src, buildIdx)
 		for i, bi := range buildIdx {
@@ -418,28 +602,42 @@ func (c *joinCore) gather(b *vector.Batch, probeIdx, buildIdx []int32, probeWidt
 }
 
 // gatherVec copies src rows at idxs into dst (negative indexes are left for
-// the caller to null out).
+// the caller to null out). A dict-coded src stays coded: the gather moves
+// 8-byte codes, not strings.
 func gatherVec(dst, src *vector.Vector, idxs []int32) {
-	switch dst.Typ {
-	case sqltypes.Float64:
-		d := dst.F64[:len(idxs)]
+	if src.IsCoded() {
+		dst.MakeCoded(src.Dict, src.DictVals, len(idxs))
+		d := dst.Codes[:len(idxs)]
 		for i, j := range idxs {
 			if j >= 0 {
-				d[i] = src.F64[j]
+				d[i] = src.Codes[j]
+			} else {
+				d[i] = 0 // null-extended; caller nulls the row
 			}
 		}
-	case sqltypes.String:
-		d := dst.Str[:len(idxs)]
-		for i, j := range idxs {
-			if j >= 0 {
-				d[i] = src.Str[j]
+	} else {
+		dst.ClearCoded()
+		switch dst.Typ {
+		case sqltypes.Float64:
+			d := dst.F64[:len(idxs)]
+			for i, j := range idxs {
+				if j >= 0 {
+					d[i] = src.F64[j]
+				}
 			}
-		}
-	default:
-		d := dst.I64[:len(idxs)]
-		for i, j := range idxs {
-			if j >= 0 {
-				d[i] = src.I64[j]
+		case sqltypes.String:
+			d := dst.Str[:len(idxs)]
+			for i, j := range idxs {
+				if j >= 0 {
+					d[i] = src.Str[j]
+				}
+			}
+		default:
+			d := dst.I64[:len(idxs)]
+			for i, j := range idxs {
+				if j >= 0 {
+					d[i] = src.I64[j]
+				}
 			}
 		}
 	}
@@ -452,14 +650,16 @@ func gatherVec(dst, src *vector.Vector, idxs []int32) {
 	}
 }
 
-func (c *joinCore) residualOK(b *vector.Batch, probeIdx int, build sqltypes.Row, joined sqltypes.Row, probeWidth int) bool {
+func (c *joinCore) residualOK(b *vector.Batch, probeIdx int, bi int32, joined sqltypes.Row, probeWidth int) bool {
 	if c.h.Residual == nil {
 		return true
 	}
 	for ci := 0; ci < probeWidth; ci++ {
 		joined[ci] = b.Vecs[ci].Value(probeIdx)
 	}
-	copy(joined[probeWidth:], build)
+	for ci, v := range c.build.cols {
+		joined[probeWidth+ci] = v.Value(int(bi))
+	}
 	v := c.h.Residual.Eval(joined)
 	return !v.Null && v.I != 0
 }
@@ -484,8 +684,8 @@ func (c *joinCore) unmatchedBuild() []*vector.Batch {
 		for ci := 0; ci < probeWidth; ci++ {
 			out.Vecs[ci].SetNull(outRows)
 		}
-		for ci, v := range c.buildRows[bi] {
-			out.Vecs[probeWidth+ci].SetValue(outRows, v)
+		for ci, src := range c.build.cols {
+			out.Vecs[probeWidth+ci].CopyRow(outRows, src, bi)
 		}
 		outRows++
 		if outRows == vector.DefaultBatchSize {
@@ -507,8 +707,11 @@ func (c *joinCore) unmatchedBuild() []*vector.Batch {
 const spillPartitions = 8
 
 // enterSpillMode partitions build rows and the entire probe input to spill
-// files, then joins partition pairs one at a time.
-func (h *HashJoin) enterSpillMode(ctx context.Context, buildRows []sqltypes.Row) error {
+// files, then joins partition pairs one at a time. Dict-coded columns spill
+// as codes (spillPartition's tagged encoding); partition assignment hashes
+// decoded key values so both sides partition consistently regardless of
+// representation.
+func (h *HashJoin) enterSpillMode(ctx context.Context, build *buildSide) error {
 	h.spilled = true
 	h.Tracker.Release(h.reservedBytes)
 	h.reservedBytes = 0
@@ -520,13 +723,14 @@ func (h *HashJoin) enterSpillMode(ctx context.Context, buildRows []sqltypes.Row)
 		h.partProbe[i] = newSpillPartition(h.SpillStore, h.Probe.Schema())
 	}
 
-	for _, r := range buildRows {
-		p := h.partitionOf(r, h.BuildKeys)
-		if err := h.partBuild[p].add(r); err != nil {
+	bb := batchWithRows(h.Build.Schema(), build.cols, build.len)
+	for i := 0; i < build.len; i++ {
+		p := partitionOfVecs(build.cols, i, h.BuildKeys)
+		if err := h.partBuild[p].addBatchRow(bb, i); err != nil {
 			return err
 		}
 	}
-	h.publishBloom(buildRows)
+	h.publishBloom(build)
 
 	if err := h.Probe.Open(ctx); err != nil {
 		return err
@@ -544,9 +748,9 @@ func (h *HashJoin) enterSpillMode(ctx context.Context, buildRows []sqltypes.Row)
 			break
 		}
 		for i := 0; i < b.Len(); i++ {
-			r := b.Row(i)
-			p := h.partitionOf(r, h.ProbeKeys)
-			if err := h.partProbe[p].add(r); err != nil {
+			r := b.RowIdx(i)
+			p := partitionOfVecs(b.Vecs, r, h.ProbeKeys)
+			if err := h.partProbe[p].addBatchRow(b, r); err != nil {
 				return err
 			}
 		}
@@ -555,15 +759,16 @@ func (h *HashJoin) enterSpillMode(ctx context.Context, buildRows []sqltypes.Row)
 	return nil
 }
 
-// partitionOf assigns a row to a spill partition by key hash; NULL keys land
-// in partition 0 (they never match, but outer joins still emit them).
-func (h *HashJoin) partitionOf(r sqltypes.Row, keys []int) int {
+// partitionOfVecs assigns physical row r to a spill partition by key hash;
+// NULL keys land in partition 0 (they never match, but outer joins still emit
+// them).
+func partitionOfVecs(vecs []*vector.Vector, r int, keys []int) int {
 	var acc uint64 = 14695981039346656037
 	for _, k := range keys {
-		if r[k].Null {
+		if vecs[k].IsNull(r) {
 			return 0
 		}
-		acc = (acc ^ sqltypes.Hash(r[k])) * 1099511628211
+		acc = (acc ^ sqltypes.Hash(vecs[k].Value(r))) * 1099511628211
 	}
 	// Use high bits: low bits fed the in-memory hash table.
 	return int(acc>>57) % spillPartitions
@@ -617,7 +822,8 @@ func (h *HashJoin) nextSpilled() (*vector.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		h.core = newJoinCore(h, buildRows)
+		bb := rowsToBatch(h.Build.Schema(), buildRows)
+		h.core = newJoinCore(h, &buildSide{cols: bb.Vecs, len: bb.NumRows()})
 		h.partProbeRows = probeRows
 		h.partProbePos = 0
 	}

@@ -6,6 +6,16 @@
 // release added (inner, outer, semi, anti); hash aggregation spills under
 // memory pressure instead of failing.
 //
+// String columns practice late materialization: dict-encoded segments emit
+// raw dictionary codes (vector.Vector's coded form, sharing the table's
+// primary dictionary), and operators consume them directly — comparisons
+// translate to code space, hash agg groups on codes, hash join builds and
+// probes on codes when both sides share a dictionary, and spill files carry
+// codes. Strings decode only at the pipeline edge (Batch.Row) or at an
+// explicit Materialize boundary chosen by the planner. Batches are
+// mixed-representation: delta-store rows travel materialized alongside coded
+// segment batches, and every consumer bridges the two forms.
+//
 // Queries run under a context.Context threaded through Open: operators
 // observe cancellation and deadlines at batch granularity, and the parallel
 // scan's workers shut down through the same context. Panics are contained at

@@ -4,8 +4,12 @@ import (
 	"math/rand"
 	"testing"
 
+	"apollo/internal/exec"
+	"apollo/internal/exec/rowexec"
 	"apollo/internal/expr"
 	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+	"apollo/internal/table"
 )
 
 // Property: for random range predicates, a scan with encoded-domain pushdown
@@ -186,5 +190,214 @@ func TestQuickDictPredEquivalence(t *testing.T) {
 		if pushed.Stats.RowsAfterRange >= pushed.Stats.RowsConsidered && len(a) < 2000 {
 			t.Fatalf("pred %d: no encoded-domain narrowing", pi)
 		}
+	}
+}
+
+// --- Late-materialization parity: batch mode (dict codes end to end) vs the
+// row engine (plain strings) must agree exactly on string-heavy plans. ---
+
+func strSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Name: "id", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "cat", Typ: sqltypes.String, Nullable: true},
+		sqltypes.Column{Name: "val", Typ: sqltypes.Int64},
+	)
+}
+
+// makeStrRows produces rows whose string column draws from cats with ~1/12
+// NULLs mixed in.
+func makeStrRows(n int, seed int64, cats []string) []sqltypes.Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		cat := sqltypes.NewString(cats[rng.Intn(len(cats))])
+		if rng.Intn(12) == 0 {
+			cat = sqltypes.NewNull(sqltypes.String)
+		}
+		rows[i] = sqltypes.Row{sqltypes.NewInt(int64(i)), cat, sqltypes.NewInt(int64(rng.Intn(1000)))}
+	}
+	return rows
+}
+
+// loadStrTable bulk-loads 90% into small compressed row groups (several
+// dictionary-coded segments) and trickles the rest through the delta store, so
+// batch scans emit a mix of coded and materialized string vectors.
+func loadStrTable(t *testing.T, rows []sqltypes.Row) *table.Table {
+	t.Helper()
+	store := storage.NewStore(storage.DefaultBufferPoolBytes)
+	opts := table.Options{RowGroupSize: 400, BulkLoadThreshold: 100, Columnstore: table.DefaultOptions().Columnstore}
+	tb := table.New(store, "s", strSchema(), opts)
+	split := len(rows) * 9 / 10
+	if err := tb.BulkLoad(rows[:split]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.InsertMany(rows[split:]); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func rowModeRows(t *testing.T, op rowexec.Operator) map[string]int {
+	t.Helper()
+	rows, err := rowexec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int{}
+	for _, r := range rows {
+		key := ""
+		for _, v := range r {
+			key += v.String() + "|"
+		}
+		out[key]++
+	}
+	return out
+}
+
+var catAggs = []exec.AggSpec{
+	{Kind: exec.CountStar, Name: "n"},
+	{Kind: exec.Sum, Arg: expr.NewColRef(1, "val", sqltypes.Int64), Name: "s"},
+	{Kind: exec.Min, Arg: expr.NewColRef(1, "val", sqltypes.Int64), Name: "lo"},
+}
+
+// Property: GROUP BY on a string column — grouping on raw dictionary codes
+// with materialized delta rows mixed in — matches the row engine, including
+// the NULL group.
+func TestQuickStringGroupByParity(t *testing.T) {
+	cats := []string{"north", "south", "east", "west", "axis", "blade", "crest", "dune", "ember", "frost"}
+	tb := loadStrTable(t, makeStrRows(5000, 211, cats))
+
+	bScan := NewScan(tb.Snapshot(), []int{1, 2})
+	bScan.Stats = &ScanStats{}
+	batch := gotRows(t, NewHashAgg(bScan, []int{0}, []string{"cat"}, catAggs))
+
+	rScan := rowexec.NewScan(tb.Snapshot(), nil, []int{1, 2})
+	rAgg := rowexec.NewHashAggregate(rScan, []expr.Expr{expr.NewColRef(0, "cat", sqltypes.String)}, []string{"cat"}, catAggs)
+	want := rowModeRows(t, rAgg)
+
+	if !mapsEqual(batch, want) {
+		t.Fatalf("string GROUP BY diverged: batch %d keys, row %d keys", len(batch), len(want))
+	}
+	if bScan.Stats.StringColsCoded == 0 {
+		t.Fatal("scan emitted no coded string vectors — late materialization inactive")
+	}
+}
+
+// Property: DISTINCT over a string column (grouping with no aggregates)
+// matches the row engine.
+func TestQuickStringDistinctParity(t *testing.T) {
+	cats := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	tb := loadStrTable(t, makeStrRows(3000, 223, cats))
+
+	batch := gotRows(t, NewHashAgg(NewScan(tb.Snapshot(), []int{1}), []int{0}, []string{"cat"}, nil))
+	rScan := rowexec.NewScan(tb.Snapshot(), nil, []int{1})
+	want := rowModeRows(t, rowexec.NewHashAggregate(rScan, []expr.Expr{expr.NewColRef(0, "cat", sqltypes.String)}, []string{"cat"}, nil))
+	if !mapsEqual(batch, want) {
+		t.Fatalf("string DISTINCT diverged: batch %d keys, row %d keys", len(batch), len(want))
+	}
+}
+
+// Property: joining on a string key matches the row engine for every join
+// type. The two tables are loaded separately, so their dictionaries are
+// distinct objects: the probe side crosses dictionaries (the memoized
+// code-translation path), and delta rows exercise the materialized bridges.
+func TestQuickStringJoinParity(t *testing.T) {
+	probeCats := []string{"north", "south", "east", "west", "inland", "offshore"}
+	buildCats := []string{"east", "west", "inland", "highland", "lowland"}
+	ptb := loadStrTable(t, makeStrRows(1200, 307, probeCats))
+	btb := loadStrTable(t, makeStrRows(400, 311, buildCats))
+
+	for _, jt := range []exec.JoinType{exec.Inner, exec.LeftOuter, exec.RightOuter, exec.FullOuter, exec.LeftSemi, exec.LeftAnti} {
+		bj, err := NewHashJoin(
+			NewScan(ptb.Snapshot(), []int{0, 1}), NewScan(btb.Snapshot(), []int{1, 2}),
+			[]int{1}, []int{0}, jt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := gotRows(t, bj)
+
+		rj, err := rowexec.NewHashJoin(
+			rowexec.NewScan(ptb.Snapshot(), nil, []int{0, 1}), rowexec.NewScan(btb.Snapshot(), nil, []int{1, 2}),
+			[]expr.Expr{expr.NewColRef(1, "cat", sqltypes.String)},
+			[]expr.Expr{expr.NewColRef(0, "cat", sqltypes.String)}, jt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rowModeRows(t, rj)
+
+		if !mapsEqual(batch, want) {
+			t.Fatalf("%v string join diverged: batch %d keys, row %d keys", jt, len(batch), len(want))
+		}
+	}
+}
+
+// Property: a same-table self join on the string key (both sides share one
+// dictionary — the pure code-space hot path) matches the row engine.
+func TestQuickStringSelfJoinParity(t *testing.T) {
+	cats := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	tb := loadStrTable(t, makeStrRows(700, 401, cats))
+
+	bj, err := NewHashJoin(
+		NewScan(tb.Snapshot(), []int{0, 1}), NewScan(tb.Snapshot(), []int{1}),
+		[]int{1}, []int{0}, exec.Inner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := gotRows(t, bj)
+
+	rj, err := rowexec.NewHashJoin(
+		rowexec.NewScan(tb.Snapshot(), nil, []int{0, 1}), rowexec.NewScan(tb.Snapshot(), nil, []int{1}),
+		[]expr.Expr{expr.NewColRef(1, "cat", sqltypes.String)},
+		[]expr.Expr{expr.NewColRef(0, "cat", sqltypes.String)}, exec.Inner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rowModeRows(t, rj); !mapsEqual(batch, want) {
+		t.Fatalf("self join diverged: batch %d keys, row %d keys", len(batch), len(want))
+	}
+}
+
+// Property: string GROUP BY and string join stay correct when forced through
+// the spill path (tiny memory grant), which round-trips dictionary codes
+// through spill files.
+func TestQuickStringSpillParity(t *testing.T) {
+	cats := []string{"red", "orange", "yellow", "green", "blue", "indigo", "violet"}
+	tb := loadStrTable(t, makeStrRows(2000, 503, cats))
+
+	agg := NewHashAgg(NewScan(tb.Snapshot(), []int{1, 2}), []int{0}, []string{"cat"}, catAggs)
+	agg.Tracker = NewTracker(1 << 10)
+	agg.SpillStore = storage.NewStore(0)
+	batch := gotRows(t, agg)
+	if agg.Tracker.Spills() == 0 {
+		t.Fatal("aggregation did not spill under a 1 KiB grant")
+	}
+	rScan := rowexec.NewScan(tb.Snapshot(), nil, []int{1, 2})
+	want := rowModeRows(t, rowexec.NewHashAggregate(rScan, []expr.Expr{expr.NewColRef(0, "cat", sqltypes.String)}, []string{"cat"}, catAggs))
+	if !mapsEqual(batch, want) {
+		t.Fatalf("spilled string GROUP BY diverged: batch %d keys, row %d keys", len(batch), len(want))
+	}
+
+	btb := loadStrTable(t, makeStrRows(500, 509, cats))
+	bj, err := NewHashJoin(
+		NewScan(tb.Snapshot(), []int{0, 1}), NewScan(btb.Snapshot(), []int{1, 2}),
+		[]int{1}, []int{0}, exec.FullOuter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj.Tracker = NewTracker(1 << 10)
+	bj.SpillStore = storage.NewStore(0)
+	jbatch := gotRows(t, bj)
+	if bj.Tracker.Spills() == 0 {
+		t.Fatal("join did not spill under a 1 KiB grant")
+	}
+	rj, err := rowexec.NewHashJoin(
+		rowexec.NewScan(tb.Snapshot(), nil, []int{0, 1}), rowexec.NewScan(btb.Snapshot(), nil, []int{1, 2}),
+		[]expr.Expr{expr.NewColRef(1, "cat", sqltypes.String)},
+		[]expr.Expr{expr.NewColRef(0, "cat", sqltypes.String)}, exec.FullOuter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jwant := rowModeRows(t, rj); !mapsEqual(jbatch, jwant) {
+		t.Fatalf("spilled string join diverged: batch %d keys, row %d keys", len(jbatch), len(jwant))
 	}
 }

@@ -56,6 +56,12 @@ type ScanStats struct {
 	RowsAfterBloom   int64 // rows surviving bitmap filters
 	RowsOutput       int64 // rows surviving the residual predicate
 	DeltaRows        int64 // delta-store rows examined (row-mode side)
+
+	// Late-materialization accounting: per batch, how many dict-encoded
+	// string columns were emitted as raw codes (decoded lazily downstream)
+	// versus eagerly decoded into strings (local-dict fallback).
+	StringColsCoded        int64
+	StringColsMaterialized int64
 }
 
 // Scan is the batch-mode columnstore scan. It produces the table columns
@@ -433,8 +439,21 @@ func (c *groupCursor) nextBatch() *vector.Batch {
 
 		b := vector.NewBatch(c.scan.schema, n)
 		b.SetNumRows(n)
+		st := c.scan.Stats
 		for i, r := range c.readers {
-			r.GatherInto(b.Vecs[i], idxs)
+			// Late materialization: dict-encoded segments emit codes sharing
+			// the primary dictionary; strings decode only at the pipeline
+			// edge. Segments whose local dictionary cannot be remapped into
+			// the primary dictionary fall back to eager decoding.
+			if r.CanEmitCodes() {
+				r.GatherCodesInto(b.Vecs[i], idxs)
+				atomic.AddInt64(&st.StringColsCoded, 1)
+			} else {
+				r.GatherInto(b.Vecs[i], idxs)
+				if r.Meta.Enc == colstore.EncDict {
+					atomic.AddInt64(&st.StringColsMaterialized, 1)
+				}
+			}
 		}
 		if c.scan.Residual != nil {
 			expr.ApplyFilter(c.scan.Residual, b)

@@ -194,6 +194,36 @@ func (u *UnionAll) Close() error {
 	return first
 }
 
+// Materialize is an explicit late-materialization boundary: it compacts each
+// batch (so rows disqualified upstream are never decoded) and decodes every
+// dict-coded string vector into per-row strings. The planner inserts it in
+// front of operators that consume whole rows (Sort, TopN) so they pay one
+// vectorized decode instead of a per-row branch; operators that understand
+// codes never see one.
+type Materialize struct {
+	In Operator
+}
+
+// Schema implements Operator.
+func (m *Materialize) Schema() *sqltypes.Schema { return m.In.Schema() }
+
+// Open implements Operator.
+func (m *Materialize) Open(ctx context.Context) error { return m.In.Open(ctx) }
+
+// Next implements Operator.
+func (m *Materialize) Next() (*vector.Batch, error) {
+	b, err := m.In.Next()
+	if err != nil || b == nil {
+		return b, err
+	}
+	b.Compact()
+	b.MaterializeAll()
+	return b, nil
+}
+
+// Close implements Operator.
+func (m *Materialize) Close() error { return m.In.Close() }
+
 // Sort materializes, orders, and re-batches its input.
 type Sort struct {
 	In   Operator

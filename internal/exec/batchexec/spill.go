@@ -1,11 +1,15 @@
 package batchexec
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync/atomic"
 
+	"apollo/internal/encoding"
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
+	"apollo/internal/vector"
 )
 
 // Tracker is a memory grant (§5): hash operators reserve against it and spill
@@ -76,27 +80,180 @@ func rowBytes(row sqltypes.Row) int64 {
 
 // spillPartition accumulates rows destined for one spill file and flushes
 // them to the storage substrate (paying accounted write I/O).
+//
+// String cells use a tagged encoding so dict-coded vectors spill without
+// decoding: a coded cell is written as its dictionary code (tag 1) when the
+// column's dictionary matches the partition's per-column binding, set on the
+// first coded write; anything else is written inline (tag 0). Spill files
+// live and die within one query on one process, so holding the *encoding.Dict
+// pointer across the round trip is sound, and codes written against a
+// dictionary snapshot stay decodable because dictionary ids are never
+// reassigned.
 type spillPartition struct {
 	schema *sqltypes.Schema
 	store  *storage.Store
 	buf    []byte
 	rows   int
 	blobs  []storage.BlobID
+	dicts  []*encoding.Dict // per-column dictionary binding for coded cells
 }
 
 const spillChunkBytes = 1 << 20
 
 func newSpillPartition(store *storage.Store, schema *sqltypes.Schema) *spillPartition {
-	return &spillPartition{schema: schema, store: store}
+	return &spillPartition{schema: schema, store: store, dicts: make([]*encoding.Dict, schema.Len())}
 }
 
 func (p *spillPartition) add(row sqltypes.Row) error {
-	p.buf = sqltypes.EncodeRow(p.buf, p.schema, row)
+	p.buf = p.encodeRow(p.buf, row)
 	p.rows++
 	if len(p.buf) >= spillChunkBytes {
 		return p.flush()
 	}
 	return nil
+}
+
+// addBatchRow spills physical row r of b. Dict-coded string cells are
+// written as raw codes — no decoding on the spill write path.
+func (p *spillPartition) addBatchRow(b *vector.Batch, r int) error {
+	p.buf = p.encodeBatchRow(p.buf, b, r)
+	p.rows++
+	if len(p.buf) >= spillChunkBytes {
+		return p.flush()
+	}
+	return nil
+}
+
+func (p *spillPartition) encodeRow(dst []byte, row sqltypes.Row) []byte {
+	n := len(p.schema.Cols)
+	nullOff := len(dst)
+	for i := 0; i < (n+7)/8; i++ {
+		dst = append(dst, 0)
+	}
+	for c, col := range p.schema.Cols {
+		v := row[c]
+		if v.Null {
+			dst[nullOff+c/8] |= 1 << uint(c%8)
+			continue
+		}
+		switch col.Typ {
+		case sqltypes.Int64, sqltypes.Date:
+			dst = binary.AppendVarint(dst, v.I)
+		case sqltypes.Bool:
+			dst = append(dst, byte(v.I&1))
+		case sqltypes.Float64:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		default: // String
+			dst = append(dst, 0)
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+func (p *spillPartition) encodeBatchRow(dst []byte, b *vector.Batch, r int) []byte {
+	n := len(p.schema.Cols)
+	nullOff := len(dst)
+	for i := 0; i < (n+7)/8; i++ {
+		dst = append(dst, 0)
+	}
+	for c, col := range p.schema.Cols {
+		v := b.Vecs[c]
+		if v.IsNull(r) {
+			dst[nullOff+c/8] |= 1 << uint(c%8)
+			continue
+		}
+		switch col.Typ {
+		case sqltypes.Int64, sqltypes.Date:
+			dst = binary.AppendVarint(dst, v.I64[r])
+		case sqltypes.Bool:
+			dst = append(dst, byte(v.I64[r]&1))
+		case sqltypes.Float64:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F64[r]))
+		default: // String
+			if v.IsCoded() {
+				if p.dicts[c] == nil {
+					p.dicts[c] = v.Dict
+				}
+				if p.dicts[c] == v.Dict {
+					dst = append(dst, 1)
+					dst = binary.AppendUvarint(dst, v.Codes[r])
+					continue
+				}
+			}
+			s := v.StrAt(r)
+			dst = append(dst, 0)
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
+	}
+	return dst
+}
+
+// decodeRow decodes one spilled row, resolving coded string cells through the
+// given per-column dictionary snapshots.
+func (p *spillPartition) decodeRow(buf []byte, dictVals [][]string) (sqltypes.Row, int, error) {
+	ncols := len(p.schema.Cols)
+	nullBytes := (ncols + 7) / 8
+	if len(buf) < nullBytes {
+		return nil, 0, fmt.Errorf("batchexec: spill row truncated in null bitmap")
+	}
+	nulls := buf[:nullBytes]
+	pos := nullBytes
+	row := make(sqltypes.Row, ncols)
+	for c, col := range p.schema.Cols {
+		if nulls[c/8]&(1<<uint(c%8)) != 0 {
+			row[c] = sqltypes.NewNull(col.Typ)
+			continue
+		}
+		switch col.Typ {
+		case sqltypes.Int64, sqltypes.Date:
+			v, n := binary.Varint(buf[pos:])
+			if n <= 0 {
+				return nil, 0, fmt.Errorf("batchexec: bad spill varint in column %d", c)
+			}
+			pos += n
+			row[c] = sqltypes.Value{Typ: col.Typ, I: v}
+		case sqltypes.Bool:
+			if pos >= len(buf) {
+				return nil, 0, fmt.Errorf("batchexec: spill row truncated in column %d", c)
+			}
+			row[c] = sqltypes.Value{Typ: sqltypes.Bool, I: int64(buf[pos] & 1)}
+			pos++
+		case sqltypes.Float64:
+			if pos+8 > len(buf) {
+				return nil, 0, fmt.Errorf("batchexec: spill row truncated in column %d", c)
+			}
+			row[c] = sqltypes.Value{Typ: sqltypes.Float64, F: math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))}
+			pos += 8
+		default: // String
+			if pos >= len(buf) {
+				return nil, 0, fmt.Errorf("batchexec: spill row truncated in column %d", c)
+			}
+			tag := buf[pos]
+			pos++
+			u, n := binary.Uvarint(buf[pos:])
+			if n <= 0 {
+				return nil, 0, fmt.Errorf("batchexec: bad spill string in column %d", c)
+			}
+			pos += n
+			if tag == 1 {
+				vals := dictVals[c]
+				if vals == nil || u >= uint64(len(vals)) {
+					return nil, 0, fmt.Errorf("batchexec: spill code %d out of dictionary range in column %d", u, c)
+				}
+				row[c] = sqltypes.NewString(vals[u])
+				continue
+			}
+			if pos+int(u) > len(buf) {
+				return nil, 0, fmt.Errorf("batchexec: spill row truncated in column %d", c)
+			}
+			row[c] = sqltypes.NewString(string(buf[pos : pos+int(u)]))
+			pos += int(u)
+		}
+	}
+	return row, pos, nil
 }
 
 func (p *spillPartition) flush() error {
@@ -112,11 +269,18 @@ func (p *spillPartition) flush() error {
 	return nil
 }
 
-// readAll loads the partition's rows back (accounted read I/O) and frees the
+// readAll loads the partition's rows back (accounted read I/O), decoding
+// coded string cells lazily through the bound dictionaries, and frees the
 // spill blobs.
 func (p *spillPartition) readAll() ([]sqltypes.Row, error) {
 	if err := p.flush(); err != nil {
 		return nil, err
+	}
+	dictVals := make([][]string, len(p.dicts))
+	for c, d := range p.dicts {
+		if d != nil {
+			dictVals[c] = d.SnapshotValues()
+		}
 	}
 	out := make([]sqltypes.Row, 0, p.rows)
 	for _, id := range p.blobs {
@@ -126,7 +290,7 @@ func (p *spillPartition) readAll() ([]sqltypes.Row, error) {
 		}
 		pos := 0
 		for pos < len(data) {
-			row, n, err := sqltypes.DecodeRow(data[pos:], p.schema)
+			row, n, err := p.decodeRow(data[pos:], dictVals)
 			if err != nil {
 				return nil, fmt.Errorf("batchexec: spill decode: %w", err)
 			}

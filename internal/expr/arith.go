@@ -274,6 +274,27 @@ func (x *InList) EvalVec(b *vector.Batch, out *vector.Vector) {
 	}
 	tmp := vector.NewVector(x.E.Type(), n)
 	x.E.EvalVec(b, tmp)
+	if tmp.IsCoded() {
+		// Translate the IN list to code space once: membership becomes a
+		// lookup in a small code set, with no per-row decode.
+		codeSet := make(map[uint64]bool, len(x.Vals))
+		for _, c := range x.Vals {
+			if c.Null || c.Typ != sqltypes.String {
+				continue
+			}
+			if id, ok := tmp.Dict.Lookup(c.S); ok && int(id) < len(tmp.DictVals) {
+				codeSet[uint64(id)] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if tmp.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			out.I64[i] = b2i(codeSet[tmp.Codes[i]])
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
 		if tmp.IsNull(i) {
 			out.SetNull(i)
@@ -326,6 +347,29 @@ func (x *Like) EvalVec(b *vector.Batch, out *vector.Vector) {
 	}
 	tmp := vector.NewVector(sqltypes.String, n)
 	x.E.EvalVec(b, tmp)
+	if tmp.IsCoded() {
+		// Evaluate the pattern at most once per distinct dictionary entry
+		// (memo: 0 = unevaluated, 1 = match, 2 = no match).
+		memo := make([]int8, len(tmp.DictVals))
+		for i := 0; i < n; i++ {
+			if tmp.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			c := tmp.Codes[i]
+			m := memo[c]
+			if m == 0 {
+				if likeMatch(tmp.DictVals[c], x.Pattern) != x.Negate {
+					m = 1
+				} else {
+					m = 2
+				}
+				memo[c] = m
+			}
+			out.I64[i] = b2i(m == 1)
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
 		if tmp.IsNull(i) {
 			out.SetNull(i)

@@ -47,10 +47,28 @@ func (c *ColRef) Type() sqltypes.Type { return c.Typ }
 // Eval implements Expr.
 func (c *ColRef) Eval(row sqltypes.Row) sqltypes.Value { return row[c.Idx] }
 
-// EvalVec implements Expr by copying the referenced vector.
+// EvalVec implements Expr by copying the referenced vector. Dict-coded
+// string vectors stay coded: codes are copied and the dictionary reference
+// shared, so no string is decoded.
 func (c *ColRef) EvalVec(b *vector.Batch, out *vector.Vector) {
 	src := b.Vecs[c.Idx]
 	n := b.NumRows()
+	if src.IsCoded() {
+		out.MakeCoded(src.Dict, src.DictVals, n)
+		if out.Nulls != nil {
+			out.Nulls.Reset()
+		}
+		copy(out.Codes, src.Codes[:n])
+		if src.Nulls != nil {
+			for i := 0; i < n; i++ {
+				if src.Nulls.Get(i) {
+					out.SetNull(i)
+				}
+			}
+		}
+		return
+	}
+	out.ClearCoded()
 	out.Resize(n)
 	if out.Nulls != nil {
 		out.Nulls.Reset()
@@ -275,10 +293,66 @@ func cmpF64Const(src *vector.Vector, k float64, op CmpOp, n int, out *vector.Vec
 }
 
 func cmpStrConst(src *vector.Vector, k string, op CmpOp, n int, out *vector.Vector) {
+	if src.IsCoded() {
+		cmpCodedConst(src, k, op, n, out)
+		return
+	}
 	s := src.Str[:n]
 	o := out.I64[:n]
 	for i, v := range s {
 		o[i] = b2i(op.matches(strings.Compare(v, k)))
+	}
+	propagateNulls(src, n, out)
+}
+
+// cmpCodedConst compares a dict-coded vector against a string constant in
+// code space: equality translates to a single dictionary lookup, ordered
+// comparisons are evaluated at most once per distinct dictionary entry
+// (memoized), and no row's string is ever decoded.
+func cmpCodedConst(src *vector.Vector, k string, op CmpOp, n int, out *vector.Vector) {
+	codes := src.Codes[:n]
+	o := out.I64[:n]
+	switch op {
+	case EQ, NE:
+		var match uint64
+		found := false
+		if id, ok := src.Dict.Lookup(k); ok && int(id) < len(src.DictVals) {
+			match, found = uint64(id), true
+		}
+		if !found {
+			// Constant absent from the dictionary: EQ is all-false, NE all-true.
+			fill := b2i(op == NE)
+			for i := range o {
+				o[i] = fill
+			}
+		} else if op == EQ {
+			for i, c := range codes {
+				o[i] = b2i(c == match)
+			}
+		} else {
+			for i, c := range codes {
+				o[i] = b2i(c != match)
+			}
+		}
+	default:
+		// memo: 0 = unevaluated, 1 = true, 2 = false per dictionary entry.
+		memo := make([]int8, len(src.DictVals))
+		nulls := src.Nulls
+		for i, c := range codes {
+			if nulls != nil && nulls.Get(i) {
+				continue // codes at NULL rows are unspecified
+			}
+			m := memo[c]
+			if m == 0 {
+				if op.matches(strings.Compare(src.DictVals[c], k)) {
+					m = 1
+				} else {
+					m = 2
+				}
+				memo[c] = m
+			}
+			o[i] = b2i(m == 1)
+		}
 	}
 	propagateNulls(src, n, out)
 }

@@ -213,7 +213,7 @@ func (cc *batchCompiler) compileNode(n Node) (batchexec.Operator, string, error)
 		if err != nil {
 			return nil, "", err
 		}
-		return &batchexec.Sort{In: in, Keys: x.Keys}, "sort", nil
+		return &batchexec.Sort{In: materializeIfStrings(in), Keys: x.Keys}, "sort", nil
 
 	case *Limit:
 		// ORDER BY + LIMIT compiles to the batch Top-N operator.
@@ -222,7 +222,7 @@ func (cc *batchCompiler) compileNode(n Node) (batchexec.Operator, string, error)
 			if err != nil {
 				return nil, "", err
 			}
-			return &batchexec.TopN{In: in, Keys: s.Keys, N: x.N}, "topn", nil
+			return &batchexec.TopN{In: materializeIfStrings(in), Keys: s.Keys, N: x.N}, "topn", nil
 		}
 		in, err := cc.compile(x.In)
 		if err != nil {
@@ -244,6 +244,20 @@ func (cc *batchCompiler) compileNode(n Node) (batchexec.Operator, string, error)
 	default:
 		return nil, "", fmt.Errorf("plan: cannot lower %T to batch mode", n)
 	}
+}
+
+// materializeIfStrings is the planner's late-materialization point: in front
+// of row-consuming operators (Sort, TopN) a dict-coded string vector would be
+// decoded row by row, so insert an explicit Materialize boundary that decodes
+// each surviving batch once, vectorized. Plans without string columns are
+// unaffected.
+func materializeIfStrings(in batchexec.Operator) batchexec.Operator {
+	for _, c := range in.Schema().Cols {
+		if c.Typ == sqltypes.String {
+			return batchexec.NewGuard(&batchexec.Materialize{In: in}, "materialize")
+		}
+	}
+	return in
 }
 
 // compileScan splits the scan filter into exact encoded-domain pushdowns and

@@ -73,13 +73,17 @@ func (b *Batch) Reset() {
 
 // AppendRow appends a materialized row, growing vectors as needed. It clears
 // any selection (the appended row qualifies along with all physical rows).
+// Vector growth doubles capacity, so appending n rows is O(n) overall rather
+// than O(n²) reallocation.
 func (b *Batch) AppendRow(row sqltypes.Row) {
 	if len(row) != len(b.Vecs) {
 		panic(fmt.Sprintf("vector: row width %d, batch width %d", len(row), len(b.Vecs)))
 	}
 	i := b.nrows
 	for c, v := range b.Vecs {
-		v.Resize(i + 1)
+		if v.Len() < i+1 {
+			v.Resize(i + 1)
+		}
 		v.SetValue(i, row[c])
 	}
 	b.nrows++
@@ -120,6 +124,15 @@ func (b *Batch) Compact() {
 	}
 	b.nrows = len(b.Sel)
 	b.Sel = nil
+}
+
+// MaterializeAll decodes every dict-coded vector in the batch into per-row
+// strings. Callers that need dense decoded payloads should Compact first so
+// disqualified rows are never decoded.
+func (b *Batch) MaterializeAll() {
+	for _, v := range b.Vecs {
+		v.Materialize()
+	}
 }
 
 // Project returns a batch exposing only the columns at idx. Vectors are

@@ -3,12 +3,21 @@
 // plus a "qualifying rows" selection vector. Filters disqualify rows by
 // shrinking the selection instead of copying data, so a batch flows through
 // an operator pipeline with near-zero per-row overhead.
+//
+// String vectors come in two physical forms. The *materialized* form holds
+// per-row Go strings in Str. The *dict-coded* form holds per-row dictionary
+// ids in Codes plus a shared *encoding.Dict reference and an id->value
+// snapshot; the strings themselves are decoded only when a consumer asks for
+// them (late materialization). Operators that understand codes work on the
+// Codes payload directly; everything else goes through Value, which decodes
+// transparently.
 package vector
 
 import (
 	"fmt"
 
 	"apollo/internal/bits"
+	"apollo/internal/encoding"
 	"apollo/internal/sqltypes"
 )
 
@@ -18,12 +27,21 @@ const DefaultBatchSize = 900
 
 // Vector is a typed column of values within a batch. Int64, Bool and Date
 // payloads share the I64 slice; nulls are tracked in an optional bitmap.
+//
+// A String vector is dict-coded when Dict is non-nil: the payload lives in
+// Codes (Str is nil) and row i decodes as DictVals[Codes[i]]. DictVals is a
+// stable snapshot of the shared dictionary taken when the vector was coded;
+// every code in the vector is < len(DictVals). Codes at NULL rows are
+// unspecified and must not be decoded.
 type Vector struct {
-	Typ   sqltypes.Type
-	I64   []int64
-	F64   []float64
-	Str   []string
-	Nulls *bits.Bitmap // nil when the vector holds no NULLs
+	Typ      sqltypes.Type
+	I64      []int64
+	F64      []float64
+	Str      []string
+	Codes    []uint64       // dict-coded payload; valid iff Dict != nil
+	Dict     *encoding.Dict // shared dictionary identity; nil = materialized
+	DictVals []string       // id->value snapshot covering every code
+	Nulls    *bits.Bitmap   // nil when the vector holds no NULLs
 }
 
 // NewVector allocates a vector of the given type with capacity for n rows.
@@ -40,22 +58,116 @@ func NewVector(t sqltypes.Type, n int) *Vector {
 	return v
 }
 
-// Resize grows or shrinks the vector's payload to n rows, preserving a prefix.
+// IsCoded reports whether the vector is in dict-coded form.
+func (v *Vector) IsCoded() bool { return v.Dict != nil }
+
+// MakeCoded switches a String vector into dict-coded form with n rows whose
+// codes decode through vals (a snapshot of d). Existing string contents are
+// discarded; the caller fills Codes.
+func (v *Vector) MakeCoded(d *encoding.Dict, vals []string, n int) {
+	if v.Typ != sqltypes.String {
+		panic("vector: MakeCoded on non-string vector")
+	}
+	v.Str = nil
+	v.Dict = d
+	v.DictVals = vals
+	if cap(v.Codes) >= n {
+		v.Codes = v.Codes[:n]
+	} else {
+		v.Codes = make([]uint64, n)
+	}
+}
+
+// Materialize decodes a dict-coded vector into per-row strings. It is a
+// no-op on materialized vectors. NULL rows decode to "".
+func (v *Vector) Materialize() {
+	if !v.IsCoded() {
+		return
+	}
+	n := len(v.Codes)
+	s := make([]string, n)
+	if v.Nulls != nil && v.Nulls.Any() {
+		for i, c := range v.Codes {
+			if !v.Nulls.Get(i) {
+				s[i] = v.DictVals[c]
+			}
+		}
+	} else {
+		for i, c := range v.Codes {
+			s[i] = v.DictVals[c]
+		}
+	}
+	v.Str = s
+	v.Codes = nil
+	v.Dict = nil
+	v.DictVals = nil
+}
+
+// ClearCoded returns the vector to materialized form WITHOUT decoding; the
+// payload contents become undefined. For callers about to overwrite every
+// row.
+func (v *Vector) ClearCoded() {
+	if v.Dict == nil {
+		return
+	}
+	v.Dict = nil
+	v.DictVals = nil
+	v.Codes = nil
+}
+
+// StrAt returns the string at row i, decoding through the dictionary when
+// coded. The caller must have checked IsNull(i) first.
+func (v *Vector) StrAt(i int) string {
+	if v.Dict != nil {
+		return v.DictVals[v.Codes[i]]
+	}
+	return v.Str[i]
+}
+
+// growCap doubles cap until it covers n, so repeated Resize(n+1) calls are
+// amortized O(1) per row.
+func growCap(c, n int) int {
+	if c == 0 {
+		c = 8
+	}
+	for c < n {
+		c *= 2
+	}
+	return c
+}
+
+// Resize grows or shrinks the vector's payload to n rows, preserving a
+// prefix. Growth doubles capacity; shrinking a Str vector zeroes the tail so
+// the backing array does not pin truncated strings against the GC.
 func (v *Vector) Resize(n int) {
-	switch v.Typ {
-	case sqltypes.Float64:
+	switch {
+	case v.Dict != nil:
+		if cap(v.Codes) >= n {
+			v.Codes = v.Codes[:n]
+		} else {
+			nc := make([]uint64, n, growCap(cap(v.Codes), n))
+			copy(nc, v.Codes)
+			v.Codes = nc
+		}
+	case v.Typ == sqltypes.Float64:
 		if cap(v.F64) >= n {
 			v.F64 = v.F64[:n]
 		} else {
-			nf := make([]float64, n)
+			nf := make([]float64, n, growCap(cap(v.F64), n))
 			copy(nf, v.F64)
 			v.F64 = nf
 		}
-	case sqltypes.String:
+	case v.Typ == sqltypes.String:
 		if cap(v.Str) >= n {
+			if old := len(v.Str); n < old {
+				tail := v.Str[n:old]
+				for i := range tail {
+					tail[i] = ""
+				}
+			}
 			v.Str = v.Str[:n]
 		} else {
-			ns := make([]string, n)
+			ns := make([]string, n, growCap(cap(v.Str), n))
 			copy(ns, v.Str)
 			v.Str = ns
 		}
@@ -63,7 +175,7 @@ func (v *Vector) Resize(n int) {
 		if cap(v.I64) >= n {
 			v.I64 = v.I64[:n]
 		} else {
-			ni := make([]int64, n)
+			ni := make([]int64, n, growCap(cap(v.I64), n))
 			copy(ni, v.I64)
 			v.I64 = ni
 		}
@@ -72,10 +184,12 @@ func (v *Vector) Resize(n int) {
 
 // Len returns the physical row capacity currently materialized.
 func (v *Vector) Len() int {
-	switch v.Typ {
-	case sqltypes.Float64:
+	switch {
+	case v.Dict != nil:
+		return len(v.Codes)
+	case v.Typ == sqltypes.Float64:
 		return len(v.F64)
-	case sqltypes.String:
+	case v.Typ == sqltypes.String:
 		return len(v.Str)
 	default:
 		return len(v.I64)
@@ -103,32 +217,47 @@ func (v *Vector) ClearNull(i int) {
 // HasNulls reports whether any row is NULL.
 func (v *Vector) HasNulls() bool { return v.Nulls != nil && v.Nulls.Any() }
 
-// Value materializes row i as a sqltypes.Value.
+// Value materializes row i as a sqltypes.Value, decoding dictionary codes
+// lazily.
 func (v *Vector) Value(i int) sqltypes.Value {
 	if v.IsNull(i) {
 		return sqltypes.NewNull(v.Typ)
 	}
-	switch v.Typ {
-	case sqltypes.Float64:
+	switch {
+	case v.Dict != nil:
+		return sqltypes.Value{Typ: v.Typ, S: v.DictVals[v.Codes[i]]}
+	case v.Typ == sqltypes.Float64:
 		return sqltypes.Value{Typ: v.Typ, F: v.F64[i]}
-	case sqltypes.String:
+	case v.Typ == sqltypes.String:
 		return sqltypes.Value{Typ: v.Typ, S: v.Str[i]}
 	default:
 		return sqltypes.Value{Typ: v.Typ, I: v.I64[i]}
 	}
 }
 
-// SetValue stores val (which must match the vector's type or be NULL) at row i.
+// SetValue stores val (which must match the vector's type or be NULL) at row
+// i. Storing a string into a coded vector re-encodes through the dictionary
+// when possible and materializes the whole vector otherwise.
 func (v *Vector) SetValue(i int, val sqltypes.Value) {
 	if val.Null {
 		v.SetNull(i)
 		return
 	}
 	v.ClearNull(i)
-	switch v.Typ {
-	case sqltypes.Float64:
+	switch {
+	case v.Dict != nil:
+		if id, ok := v.Dict.Lookup(val.S); ok {
+			if int(id) >= len(v.DictVals) {
+				v.DictVals = v.Dict.SnapshotValues()
+			}
+			v.Codes[i] = uint64(id)
+			return
+		}
+		v.Materialize()
+		v.Str[i] = val.S
+	case v.Typ == sqltypes.Float64:
 		v.F64[i] = val.F
-	case sqltypes.String:
+	case v.Typ == sqltypes.String:
 		v.Str[i] = val.S
 	default:
 		v.I64[i] = val.I
@@ -136,17 +265,27 @@ func (v *Vector) SetValue(i int, val sqltypes.Value) {
 }
 
 // CopyRow copies row src of from into row dst of v. The vectors must share a
-// type.
+// type; coded and materialized string forms are bridged transparently.
 func (v *Vector) CopyRow(dst int, from *Vector, src int) {
 	if from.IsNull(src) {
 		v.SetNull(dst)
 		return
 	}
 	v.ClearNull(dst)
-	switch v.Typ {
-	case sqltypes.Float64:
+	switch {
+	case v.Dict != nil:
+		if from.Dict == v.Dict {
+			v.Codes[dst] = from.Codes[src]
+			return
+		}
+		v.SetValue(dst, from.Value(src))
+	case v.Typ == sqltypes.Float64:
 		v.F64[dst] = from.F64[src]
-	case sqltypes.String:
+	case v.Typ == sqltypes.String:
+		if from.Dict != nil {
+			v.Str[dst] = from.DictVals[from.Codes[src]]
+			return
+		}
 		v.Str[dst] = from.Str[src]
 	default:
 		v.I64[dst] = from.I64[src]
@@ -155,5 +294,5 @@ func (v *Vector) CopyRow(dst int, from *Vector, src int) {
 
 // String summarizes the vector for debugging.
 func (v *Vector) String() string {
-	return fmt.Sprintf("Vector{%v len=%d nulls=%v}", v.Typ, v.Len(), v.HasNulls())
+	return fmt.Sprintf("Vector{%v len=%d nulls=%v coded=%v}", v.Typ, v.Len(), v.HasNulls(), v.IsCoded())
 }
