@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-smoke clean
+.PHONY: all build test vet race fuzz-smoke check bench bench-smoke bench-parallel clean
 
 all: check
 
@@ -14,12 +14,22 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector run over the packages with concurrency-sensitive code
-# (parallel scan, tuple mover, storage fault injection, chaos tests).
+# (parallel scan, exchange operators, tuple mover, storage fault injection,
+# chaos tests) plus the planner/expression/colstore packages the exchange
+# layer leans on.
 race:
-	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql
+	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql ./internal/plan ./internal/expr ./internal/colstore
 
-# Full CI gate: build, vet, tests, race detector.
-check: build vet test race
+# Short seeded-corpus fuzz run over the encoding round-trip/robustness targets
+# (bitpack, RLE, dictionary). Seconds per target: enough to catch regressions
+# in the untrusted-input bounds checks without stalling CI.
+fuzz-smoke:
+	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzBitpackRoundtrip -fuzztime=5s
+	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzRLERoundtrip -fuzztime=5s
+	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzDictRoundtrip -fuzztime=5s
+
+# Full CI gate: build, vet, tests, race detector, fuzz smoke.
+check: build vet test race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -28,6 +38,11 @@ bench:
 # execution (see BENCH_dictexec.json for recorded numbers).
 bench-smoke:
 	$(GO) test -bench='BenchmarkGroupByString|BenchmarkJoinOnString' -benchtime=1x -run=^$$ ./internal/exec/batchexec
+
+# Exchange-layer DOP sweep: serial vs parallel aggregation and join (see
+# BENCH_parallel.json for recorded numbers and host caveats).
+bench-parallel:
+	$(GO) test -bench='BenchmarkParallelAgg|BenchmarkParallelJoin' -benchtime=1x -run=^$$ ./internal/exec/batchexec
 
 clean:
 	$(GO) clean -testcache

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"apollo/internal/catalog"
+	"apollo/internal/exec/batchexec"
 	"apollo/internal/plan"
 	"apollo/internal/qerr"
 	"apollo/internal/sql"
@@ -87,7 +88,10 @@ type Config struct {
 	BufferPoolBytes int64
 	// Mode selects the execution rule set.
 	Mode ExecutionMode
-	// Parallel is the scan degree of parallelism (<=1 serial).
+	// Parallel is the pipeline-wide degree of parallelism (<=1 serial): row
+	// group workers at the scan, and above it exchange workers running
+	// replicated filter/project stages into parallel partial aggregation and
+	// partitioned parallel hash joins.
 	Parallel int
 	// MemoryBudget caps hash join/aggregation memory; exceeding it spills.
 	// 0 = unlimited.
@@ -186,6 +190,21 @@ type Result struct {
 	MetadataOnly bool
 	// Stats summarizes scan-level pushdown effects of a SELECT.
 	Stats QueryStats
+	// Operators summarizes per-operator execution of a batch-mode SELECT,
+	// merged across exchange worker replicas (see OperatorStats).
+	Operators []OperatorStats
+}
+
+// OperatorStats is one operator's merged execution summary: output batches
+// and rows summed across its worker replicas, the replica count that actually
+// ran, and the wall time of the slowest replica (replicas overlap, so summing
+// their wall times would overstate elapsed time).
+type OperatorStats struct {
+	Op      string
+	Workers int
+	Batches int64
+	Rows    int64
+	MaxWall time.Duration
 }
 
 // QueryStats aggregates scan counters across a query's scans.
@@ -244,8 +263,36 @@ func (db *DB) ExecContext(ctx context.Context, stmt string) (*Result, error) {
 		if tr := r.Compiled.Tracker; tr != nil {
 			out.Stats.Spills = tr.Spills()
 		}
+		out.Operators = mergeOpStats(r.Compiled.OpStats)
 	}
 	return out, nil
+}
+
+// mergeOpStats folds per-instance operator counters into one row per
+// operator name, in first-seen (roughly top-down plan) order. Instances that
+// never ran — replicas on compiled-but-not-taken paths — are skipped.
+func mergeOpStats(stats []*batchexec.OpStats) []OperatorStats {
+	var merged []OperatorStats
+	byOp := map[string]int{}
+	for _, st := range stats {
+		if st.Batches == 0 && st.WallNs == 0 {
+			continue
+		}
+		i, ok := byOp[st.Op]
+		if !ok {
+			i = len(merged)
+			byOp[st.Op] = i
+			merged = append(merged, OperatorStats{Op: st.Op})
+		}
+		m := &merged[i]
+		m.Workers++
+		m.Batches += st.Batches
+		m.Rows += st.Rows
+		if w := time.Duration(st.WallNs); w > m.MaxWall {
+			m.MaxWall = w
+		}
+	}
+	return merged
 }
 
 // Query is Exec for SELECT statements (alias for readability).

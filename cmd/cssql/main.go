@@ -195,6 +195,17 @@ func runOne(db *apollo.DB, stmt string) {
 			fmt.Printf(", %d coded string gathers", res.Stats.StringColsCoded)
 		}
 		fmt.Println(")")
+		if len(res.Operators) > 0 {
+			parts := make([]string, len(res.Operators))
+			for i, op := range res.Operators {
+				w := ""
+				if op.Workers > 1 {
+					w = fmt.Sprintf("×%d", op.Workers)
+				}
+				parts[i] = fmt.Sprintf("%s%s %dr %v", op.Op, w, op.Rows, op.MaxWall.Round(time.Microsecond))
+			}
+			fmt.Printf("operators: %s\n", strings.Join(parts, " | "))
+		}
 	default:
 		fmt.Printf("%d rows affected (%v)\n", res.Affected, elapsed.Round(time.Microsecond))
 	}

@@ -167,16 +167,23 @@ func UnmarshalPacked(buf []byte) (Packed, int, error) {
 	if n <= 0 {
 		return p, 0, fmt.Errorf("encoding: bad packed count")
 	}
+	// Bound the count before any int conversion: a buffer cannot hold more
+	// values than it has bits, and an unchecked huge uvarint would overflow
+	// the int width computation below (untrusted input hardening; the fuzz
+	// targets exercise these paths with adversarial buffers).
+	if cnt > uint64(len(buf))*8 {
+		return p, 0, fmt.Errorf("encoding: packed count %d exceeds buffer", cnt)
+	}
 	pos += n
 	dlen, n := binary.Uvarint(buf[pos:])
 	if n <= 0 {
 		return p, 0, fmt.Errorf("encoding: bad packed data length")
 	}
 	pos += n
-	if pos+int(dlen) > len(buf) {
+	if dlen > uint64(len(buf)-pos) {
 		return p, 0, fmt.Errorf("encoding: packed data truncated")
 	}
-	if want := (int(cnt)*int(w) + 7) / 8; int(dlen) != want {
+	if want := (cnt*w + 7) / 8; dlen != want {
 		return p, 0, fmt.Errorf("encoding: packed data length %d, want %d", dlen, want)
 	}
 	p.Width = int(w)

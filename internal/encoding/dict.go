@@ -110,7 +110,9 @@ func UnmarshalDict(buf []byte) (*Dict, int, error) {
 			return nil, 0, fmt.Errorf("encoding: dict truncated at entry %d", i)
 		}
 		pos += n
-		if pos+int(l) > len(buf) {
+		// Compare in uint64: an adversarial length would wrap the int
+		// conversion negative and slip past a pos+int(l) bounds check.
+		if l > uint64(len(buf)-pos) {
 			return nil, 0, fmt.Errorf("encoding: dict value truncated at entry %d", i)
 		}
 		d.Add(string(buf[pos : pos+int(l)]))

@@ -1,0 +1,155 @@
+package encoding
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// The fuzz targets below each do two things with one input: (1) interpret the
+// bytes as values and check that encode → marshal → unmarshal → decode is the
+// identity, and (2) feed the raw bytes straight into the unmarshal routines,
+// which must reject corrupt input with an error — never panic or misparse —
+// since segment payloads come back from storage, where fault injection (and
+// real disks) can hand back arbitrary bytes.
+
+// fuzzVals derives a uint64 slice from fuzz bytes: a width selector byte
+// followed by values assembled from the remaining bytes, masked so the fuzzer
+// explores narrow widths (long runs, small dictionaries) as well as wide ones.
+func fuzzVals(data []byte) []uint64 {
+	if len(data) == 0 {
+		return nil
+	}
+	width := int(data[0]%64) + 1
+	mask := uint64(1)<<uint(width) - 1
+	if width == 64 {
+		mask = ^uint64(0)
+	}
+	data = data[1:]
+	vals := make([]uint64, 0, len(data)/2+1)
+	for i := 0; i < len(data); i += 2 {
+		var v uint64
+		for j := i; j < i+2 && j < len(data); j++ {
+			v = v<<8 | uint64(data[j])
+		}
+		vals = append(vals, v&mask)
+	}
+	return vals
+}
+
+func FuzzBitpackRoundtrip(f *testing.F) {
+	f.Add([]byte{7, 1, 2, 3, 4, 255, 0})
+	f.Add([]byte{63, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := fuzzVals(data)
+		p := PackSlice(vals)
+		for i, want := range vals {
+			if got := p.Get(i); got != want {
+				t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+			}
+		}
+		dec := p.DecodeAll(make([]uint64, len(vals)))
+		for i, want := range vals {
+			if dec[i] != want {
+				t.Fatalf("DecodeAll[%d] = %d, want %d", i, dec[i], want)
+			}
+		}
+		buf := p.Marshal(nil)
+		q, read, err := UnmarshalPacked(buf)
+		if err != nil {
+			t.Fatalf("UnmarshalPacked(Marshal): %v", err)
+		}
+		if read != len(buf) || q.N != p.N || q.Width != p.Width || !bytes.Equal(q.Data, p.Data) {
+			t.Fatalf("packed roundtrip mismatch: read %d/%d, n %d/%d, width %d/%d",
+				read, len(buf), q.N, p.N, q.Width, p.Width)
+		}
+
+		// Raw bytes must never panic; successful parses must stay in bounds.
+		if r, _, err := UnmarshalPacked(data); err == nil {
+			if r.N > 0 {
+				_ = r.Get(r.N - 1)
+				_ = r.DecodeAll(make([]uint64, r.N))
+			}
+		}
+	})
+}
+
+func FuzzRLERoundtrip(f *testing.F) {
+	f.Add([]byte{2, 1, 1, 1, 1, 9, 9, 9, 9})
+	f.Add([]byte{64, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(binary.AppendUvarint(binary.AppendUvarint(nil, 1<<40), 1<<40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := fuzzVals(data)
+		r := RLEEncode(vals)
+		if r.Len() != len(vals) {
+			t.Fatalf("RLE.Len = %d, want %d", r.Len(), len(vals))
+		}
+		for i, want := range vals {
+			if got := r.Get(i); got != want {
+				t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+			}
+		}
+		dec := r.DecodeAll(make([]uint64, len(vals)))
+		for i, want := range vals {
+			if dec[i] != want {
+				t.Fatalf("DecodeAll[%d] = %d, want %d", i, dec[i], want)
+			}
+		}
+		buf := r.Marshal(nil)
+		q, read, err := UnmarshalRLE(buf)
+		if err != nil {
+			t.Fatalf("UnmarshalRLE(Marshal): %v", err)
+		}
+		if read != len(buf) || q.Len() != r.Len() || q.Runs() != r.Runs() {
+			t.Fatalf("rle roundtrip mismatch: read %d/%d, len %d/%d, runs %d/%d",
+				read, len(buf), q.Len(), r.Len(), q.Runs(), r.Runs())
+		}
+
+		if q2, _, err := UnmarshalRLE(data); err == nil && q2.Len() > 0 {
+			_ = q2.Get(q2.Len() - 1)
+			_ = q2.DecodeAll(make([]uint64, q2.Len()))
+		}
+	})
+}
+
+func FuzzDictRoundtrip(f *testing.F) {
+	f.Add([]byte("north\x00south\x00east\x00west"))
+	f.Add([]byte{0, 0, 0})
+	f.Add(binary.AppendUvarint(nil, 1<<50))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDict()
+		var ids []uint32
+		var strs []string
+		for _, part := range bytes.Split(data, []byte{0}) {
+			s := string(part)
+			ids = append(ids, d.Add(s))
+			strs = append(strs, s)
+		}
+		for i, id := range ids {
+			if got := d.Value(id); got != strs[i] {
+				t.Fatalf("Value(Add(%q)) = %q", strs[i], got)
+			}
+			if id2, ok := d.Lookup(strs[i]); !ok || id2 != id {
+				t.Fatalf("Lookup(%q) = %d,%v, want %d", strs[i], id2, ok, id)
+			}
+		}
+		buf := d.Marshal(nil)
+		q, read, err := UnmarshalDict(buf)
+		if err != nil {
+			t.Fatalf("UnmarshalDict(Marshal): %v", err)
+		}
+		if read != len(buf) || q.Len() != d.Len() {
+			t.Fatalf("dict roundtrip mismatch: read %d/%d, len %d/%d", read, len(buf), q.Len(), d.Len())
+		}
+		for i, s := range d.SnapshotValues() {
+			if q.Value(uint32(i)) != s {
+				t.Fatalf("dict entry %d: %q != %q", i, q.Value(uint32(i)), s)
+			}
+		}
+
+		if q2, _, err := UnmarshalDict(data); err == nil && q2.Len() > 0 {
+			_ = q2.Value(uint32(q2.Len() - 1))
+		}
+	})
+}

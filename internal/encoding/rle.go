@@ -104,6 +104,12 @@ func UnmarshalRLE(buf []byte) (*RLE, int, error) {
 		return nil, 0, fmt.Errorf("encoding: bad rle run count")
 	}
 	pos += n
+	// Every run takes at least two bytes (value + count uvarints), so a run
+	// count beyond that bound is corrupt; checking before allocation keeps an
+	// adversarial header from sizing the slices (untrusted input hardening).
+	if runs > uint64(len(buf)-pos)/2 {
+		return nil, 0, fmt.Errorf("encoding: rle run count %d exceeds buffer", runs)
+	}
 	r := &RLE{
 		Values: make([]uint64, runs),
 		Counts: make([]uint32, runs),
@@ -117,7 +123,7 @@ func UnmarshalRLE(buf []byte) (*RLE, int, error) {
 		}
 		pos += n
 		c, n2 := binary.Uvarint(buf[pos:])
-		if n2 <= 0 || c == 0 {
+		if n2 <= 0 || c == 0 || c > 0xFFFFFFFF {
 			return nil, 0, fmt.Errorf("encoding: bad rle count at run %d", i)
 		}
 		pos += n2

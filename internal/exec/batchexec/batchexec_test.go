@@ -2,6 +2,7 @@ package batchexec
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -84,21 +85,81 @@ func reference(rows []sqltypes.Row, pred func(sqltypes.Row) bool, proj []int) ma
 	return out
 }
 
+// rowKey canonicalizes one row for order-insensitive comparison. Float values
+// are rounded to 8 significant digits: parallel partial aggregation adds
+// floats in a different order than the serial pipeline, so sums legitimately
+// differ in the last few ulps while any real defect is orders of magnitude
+// larger.
+func rowKey(r sqltypes.Row) string {
+	key := ""
+	for _, v := range r {
+		if v.Typ == sqltypes.Float64 && !v.Null {
+			v.F = roundSig(v.F)
+		}
+		key += v.String() + "|"
+	}
+	return key
+}
+
+// roundSig rounds f to 8 significant digits (keeping Value.String formatting
+// intact for integral floats).
+func roundSig(f float64) float64 {
+	if f == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return f
+	}
+	scale := math.Pow(10, 8-math.Ceil(math.Log10(math.Abs(f))))
+	return math.Round(f*scale) / scale
+}
+
+// rowMultiset canonicalizes rows into an order-insensitive multiset. Parallel
+// pipelines interleave batches nondeterministically (worker scheduling decides
+// gather order), so parity between plans is always asserted on multisets,
+// never on slice order.
+func rowMultiset(rows []sqltypes.Row) map[string]int {
+	out := map[string]int{}
+	for _, r := range rows {
+		out[rowKey(r)]++
+	}
+	return out
+}
+
+// multisetDiff describes how two row multisets differ ("" when equal).
+func multisetDiff(got, want map[string]int) string {
+	var diffs []string
+	for k, v := range want {
+		if got[k] != v {
+			diffs = append(diffs, fmt.Sprintf("row %q: got %d, want %d", k, got[k], v))
+		}
+	}
+	for k, v := range got {
+		if _, ok := want[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("row %q: got %d, want 0", k, v))
+		}
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	if len(diffs) > 8 {
+		diffs = append(diffs[:8], fmt.Sprintf("... and %d more", len(diffs)-8))
+	}
+	return strings.Join(diffs, "\n")
+}
+
+// assertSameRows asserts two row sets are equal irrespective of order.
+func assertSameRows(t *testing.T, label string, got, want []sqltypes.Row) {
+	t.Helper()
+	if d := multisetDiff(rowMultiset(got), rowMultiset(want)); d != "" {
+		t.Errorf("%s: result mismatch (order-insensitive):\n%s", label, d)
+	}
+}
+
 func gotRows(t *testing.T, op Operator) map[string]int {
 	t.Helper()
 	rows, err := Drain(op)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := map[string]int{}
-	for _, r := range rows {
-		key := ""
-		for _, v := range r {
-			key += v.String() + "|"
-		}
-		out[key]++
-	}
-	return out
+	return rowMultiset(rows)
 }
 
 func mapsEqual(a, b map[string]int) bool {

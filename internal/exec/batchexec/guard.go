@@ -2,11 +2,27 @@ package batchexec
 
 import (
 	"context"
+	"time"
 
 	"apollo/internal/qerr"
 	"apollo/internal/sqltypes"
 	"apollo/internal/vector"
 )
+
+// OpStats counts one physical operator instance's execution: batches and rows
+// it produced and the wall time spent inside its Open and Next calls
+// (inclusive of children, so an exchange worker's leaf stages overlap their
+// consumers). Worker is the exchange worker replica id, or -1 for the serial
+// / final pipeline. Each instance is written by exactly one goroutine; the
+// exchange joins its workers before results flow, so readers observe settled
+// values once the query finishes.
+type OpStats struct {
+	Op      string
+	Worker  int
+	Batches int64
+	Rows    int64
+	WallNs  int64
+}
 
 // Guard is the per-operator fault boundary. It wraps an operator with:
 //
@@ -24,7 +40,13 @@ import (
 type Guard struct {
 	In   Operator
 	Name string
-	ctx  context.Context
+
+	// Stats, when non-nil, accumulates this instance's output counters; the
+	// plan compiler registers one per guard so per-worker pipeline costs
+	// surface in the query result.
+	Stats *OpStats
+
+	ctx context.Context
 }
 
 // NewGuard wraps op as the named fault boundary.
@@ -33,12 +55,17 @@ func NewGuard(op Operator, name string) *Guard { return &Guard{In: op, Name: nam
 // Schema implements Operator.
 func (g *Guard) Schema() *sqltypes.Schema { return g.In.Schema() }
 
-// Open implements Operator.
+// Open implements Operator. Open time is charged to Stats because blocking
+// operators (aggregation, join build) do their heavy lifting there.
 func (g *Guard) Open(ctx context.Context) (err error) {
 	g.ctx = ctx
 	defer g.contain(&err)
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if g.Stats != nil {
+		start := time.Now()
+		defer func() { g.Stats.WallNs += time.Since(start).Nanoseconds() }()
 	}
 	return qerr.New(g.Name, g.In.Open(ctx))
 }
@@ -55,7 +82,18 @@ func (g *Guard) Next() (b *vector.Batch, err error) {
 			return nil, err
 		}
 	}
+	var start time.Time
+	if g.Stats != nil {
+		start = time.Now()
+	}
 	b, err = g.In.Next()
+	if g.Stats != nil {
+		g.Stats.WallNs += time.Since(start).Nanoseconds()
+		if b != nil {
+			g.Stats.Batches++
+			g.Stats.Rows += int64(b.Len())
+		}
+	}
 	return b, qerr.New(g.Name, err)
 }
 

@@ -16,6 +16,9 @@ import (
 // hash-partitioned to spill files and aggregated partition by partition after
 // the input is consumed (hybrid hash aggregation), so memory pressure
 // degrades throughput instead of failing the query.
+//
+// The grouping state lives in an aggTable so that ParallelAgg can run one
+// table per exchange worker and merge the partial states afterwards.
 type HashAgg struct {
 	In      Operator
 	GroupBy []int // input column indexes
@@ -25,23 +28,30 @@ type HashAgg struct {
 	Tracker    *Tracker
 	SpillStore *storage.Store
 
-	schema   *sqltypes.Schema
-	out      *Values
-	reserved int64
+	schema *sqltypes.Schema
+	out    *Values
+	table  *aggTable
 }
 
 // NewHashAgg builds a batch aggregation. Group-by keys are input columns;
 // aggregate arguments are expressions over the input schema.
 func NewHashAgg(in Operator, groupBy []int, names []string, aggs []exec.AggSpec) *HashAgg {
+	return &HashAgg{In: in, GroupBy: groupBy, Names: names, Aggs: aggs,
+		schema: aggOutputSchema(in.Schema(), groupBy, names, aggs)}
+}
+
+// aggOutputSchema is the output layout shared by HashAgg and ParallelAgg:
+// group-by keys first, then one column per aggregate.
+func aggOutputSchema(in *sqltypes.Schema, groupBy []int, names []string, aggs []exec.AggSpec) *sqltypes.Schema {
 	cols := make([]sqltypes.Column, 0, len(groupBy)+len(aggs))
 	for i, g := range groupBy {
-		c := in.Schema().Cols[g]
+		c := in.Cols[g]
 		cols = append(cols, sqltypes.Column{Name: names[i], Typ: c.Typ, Nullable: true})
 	}
 	for _, a := range aggs {
 		cols = append(cols, sqltypes.Column{Name: a.Name, Typ: a.ResultType(), Nullable: true})
 	}
-	return &HashAgg{In: in, GroupBy: groupBy, Names: names, Aggs: aggs, schema: sqltypes.NewSchema(cols...)}
+	return sqltypes.NewSchema(cols...)
 }
 
 // Schema implements Operator.
@@ -63,9 +73,9 @@ type aggAcc struct {
 	distinct map[string]bool
 }
 
-func (h *HashAgg) newGroup(keyVals sqltypes.Row) *aggGroup {
-	g := &aggGroup{keyVals: keyVals, states: make([]aggAcc, len(h.Aggs))}
-	for i, spec := range h.Aggs {
+func newAggGroup(aggs []exec.AggSpec, keyVals sqltypes.Row) *aggGroup {
+	g := &aggGroup{keyVals: keyVals, states: make([]aggAcc, len(aggs))}
+	for i, spec := range aggs {
 		if spec.Distinct {
 			g.states[i].distinct = make(map[string]bool)
 		}
@@ -107,6 +117,28 @@ func (g *aggGroup) add(aggs []exec.AggSpec, row sqltypes.Row) {
 			}
 		}
 		st.seen = true
+	}
+}
+
+// merge folds another group's partial accumulator states into g. Counts and
+// sums add; min/max compare under the seen flags. DISTINCT states are not
+// mergeable (see ParallelizableAggs), so merge is only reached for specs
+// without them.
+func (g *aggGroup) merge(aggs []exec.AggSpec, o *aggGroup) {
+	for i := range aggs {
+		st, os := &g.states[i], &o.states[i]
+		st.count += os.count
+		st.sumI += os.sumI
+		st.sumF += os.sumF
+		if os.seen {
+			if !st.seen || sqltypes.Compare(os.min, st.min) < 0 {
+				st.min = os.min
+			}
+			if !st.seen || sqltypes.Compare(os.max, st.max) > 0 {
+				st.max = os.max
+			}
+			st.seen = true
+		}
 	}
 }
 
@@ -153,114 +185,397 @@ func (g *aggGroup) finalize(aggs []exec.AggSpec) sqltypes.Row {
 
 const aggSpillPartitions = 8
 
+// aggTable holds the grouping and accumulation state of one hash aggregation:
+// the generic encoded-key group map, the single-column fast paths (integer
+// keys, dict-code string keys), the NULL and scalar groups, and the spill
+// partitions. HashAgg drives one table over its whole input; ParallelAgg
+// drives one table per exchange worker and merges them (mergeAggTables).
+type aggTable struct {
+	aggs       []exec.AggSpec
+	groupBy    []int
+	inSchema   *sqltypes.Schema
+	tracker    *Tracker
+	spillStore *storage.Store
+
+	groups      map[string]*aggGroup
+	intGroups   map[int64]*aggGroup
+	nullGroup   *aggGroup
+	scalarGroup *aggGroup
+	order       []*aggGroup
+	parts       []*spillPartition
+	spilling    bool
+	reserved    int64
+
+	// Fast path state: fastInt applies to a single integer-family group
+	// column; fastStr to a single string group column. Dict-coded batches
+	// group on raw dictionary codes — a dense array when the dictionary is
+	// small, a code-keyed map otherwise — and no group key is decoded except
+	// once when its group is created. Materialized rows (delta store,
+	// fallback segments) bridge into the same groups via a dictionary lookup,
+	// falling back to a string-keyed map for values the shared dictionary has
+	// never seen; this is sound because dictionary ids are stable, so code
+	// and string identify a group interchangeably.
+	fastInt   bool
+	fastStr   bool
+	strGroups map[string]*aggGroup
+	codeMap   map[uint64]*aggGroup
+	codeArr   []*aggGroup
+	codedDict *encoding.Dict
+	codedVals []string
+
+	// Per-batch scratch.
+	keyVals sqltypes.Row
+	ptrs    []*aggGroup
+	argVecs []*vector.Vector
+}
+
+const denseDictLimit = 1 << 14
+
+func newAggTable(inSchema *sqltypes.Schema, groupBy []int, aggs []exec.AggSpec, tracker *Tracker, spillStore *storage.Store) *aggTable {
+	t := &aggTable{
+		aggs:       aggs,
+		groupBy:    groupBy,
+		inSchema:   inSchema,
+		tracker:    tracker,
+		spillStore: spillStore,
+		groups:     make(map[string]*aggGroup),
+		keyVals:    make(sqltypes.Row, len(groupBy)),
+		argVecs:    make([]*vector.Vector, len(aggs)),
+	}
+	t.fastInt = len(groupBy) == 1 && inSchema.Cols[groupBy[0]].Typ != sqltypes.Float64 &&
+		inSchema.Cols[groupBy[0]].Typ != sqltypes.String
+	if t.fastInt {
+		t.intGroups = make(map[int64]*aggGroup)
+	}
+	t.fastStr = len(groupBy) == 1 && inSchema.Cols[groupBy[0]].Typ == sqltypes.String
+	if t.fastStr {
+		t.strGroups = make(map[string]*aggGroup)
+	}
+	if len(groupBy) == 0 {
+		t.scalarGroup = newAggGroup(aggs, nil)
+		t.order = append(t.order, t.scalarGroup)
+	}
+	for i, spec := range aggs {
+		if spec.Arg != nil {
+			t.argVecs[i] = vector.NewVector(spec.Arg.Type(), vector.DefaultBatchSize)
+		}
+	}
+	return t
+}
+
+func (t *aggTable) lookupCode(code uint64) *aggGroup {
+	if t.codeArr != nil {
+		if code < uint64(len(t.codeArr)) {
+			return t.codeArr[code]
+		}
+		return nil
+	}
+	return t.codeMap[code]
+}
+
+func (t *aggTable) storeCode(code uint64, g *aggGroup) {
+	if t.codeArr != nil {
+		if code >= uint64(len(t.codeArr)) {
+			if code < denseDictLimit {
+				na := make([]*aggGroup, code+1+code/2)
+				copy(na, t.codeArr)
+				t.codeArr = na
+			} else {
+				// Dictionary outgrew the dense range: degrade to a map.
+				t.codeMap = make(map[uint64]*aggGroup, len(t.codeArr))
+				for c, gr := range t.codeArr {
+					if gr != nil {
+						t.codeMap[uint64(c)] = gr
+					}
+				}
+				t.codeArr = nil
+				t.codeMap[code] = g
+				return
+			}
+		}
+		t.codeArr[code] = g
+		return
+	}
+	t.codeMap[code] = g
+}
+
+func (t *aggTable) startSpilling() {
+	t.spilling = true
+	t.parts = make([]*spillPartition, aggSpillPartitions)
+	for j := range t.parts {
+		t.parts[j] = newSpillPartition(t.spillStore, t.inSchema)
+	}
+}
+
+// spillRow routes physical row i of a (compacted) batch to a partition by
+// group-key hash; the partition writes dict-coded cells as raw codes.
+func (t *aggTable) spillRow(b *vector.Batch, i int, key string) error {
+	part := int(hashString(key)>>57) % aggSpillPartitions
+	return t.parts[part].addBatchRow(b, i)
+}
+
+// addBatch folds one compacted batch into the table. Aggregation is
+// vectorized: group pointers are resolved per batch (with the single-column
+// fast paths), each aggregate argument is evaluated once per batch into a
+// vector, and accumulation runs in tight loops over the vector payloads.
+func (t *aggTable) addBatch(b *vector.Batch) error {
+	b.Compact()
+	n := b.NumRows()
+	if n == 0 {
+		return nil
+	}
+	if cap(t.ptrs) < n {
+		t.ptrs = make([]*aggGroup, n)
+	}
+	ptrs := t.ptrs[:n]
+
+	// Resolve the group of every row.
+	switch {
+	case t.scalarGroup != nil:
+		for i := range ptrs {
+			ptrs[i] = t.scalarGroup
+		}
+	case t.fastInt:
+		vec := b.Vecs[t.groupBy[0]]
+		typ := t.inSchema.Cols[t.groupBy[0]].Typ
+		for i := 0; i < n; i++ {
+			if vec.IsNull(i) {
+				if t.nullGroup == nil {
+					cost := int64(64 + 64*len(t.aggs))
+					if !t.tracker.TryReserve(cost) && t.spillStore != nil {
+						// A single NULL group is cheap; charge it anyway.
+						t.tracker.Release(0)
+					} else {
+						t.reserved += cost
+					}
+					t.nullGroup = newAggGroup(t.aggs, sqltypes.Row{sqltypes.NewNull(typ)})
+					t.order = append(t.order, t.nullGroup)
+				}
+				ptrs[i] = t.nullGroup
+				continue
+			}
+			k := vec.I64[i]
+			grp := t.intGroups[k]
+			if grp == nil {
+				if t.spilling {
+					t.keyVals[0] = sqltypes.Value{Typ: typ, I: k}
+					if err := t.spillRow(b, i, string(exec.EncodeKey(nil, t.keyVals))); err != nil {
+						return err
+					}
+					ptrs[i] = nil
+					continue
+				}
+				cost := int64(64 + 64*len(t.aggs))
+				if !t.tracker.TryReserve(cost) && t.spillStore != nil {
+					t.tracker.NoteSpill()
+					t.startSpilling()
+					t.keyVals[0] = sqltypes.Value{Typ: typ, I: k}
+					if err := t.spillRow(b, i, string(exec.EncodeKey(nil, t.keyVals))); err != nil {
+						return err
+					}
+					ptrs[i] = nil
+					continue
+				}
+				t.reserved += cost
+				grp = newAggGroup(t.aggs, sqltypes.Row{{Typ: typ, I: k}})
+				t.intGroups[k] = grp
+				t.order = append(t.order, grp)
+			}
+			ptrs[i] = grp
+		}
+	case t.fastStr:
+		vec := b.Vecs[t.groupBy[0]]
+		if vec.IsCoded() {
+			if t.codedDict == nil {
+				t.codedDict = vec.Dict
+				t.codedVals = vec.DictVals
+				if len(t.codedVals) <= denseDictLimit {
+					t.codeArr = make([]*aggGroup, len(t.codedVals))
+				} else {
+					t.codeMap = make(map[uint64]*aggGroup, 1024)
+				}
+			} else if vec.Dict == t.codedDict && len(vec.DictVals) > len(t.codedVals) {
+				t.codedVals = vec.DictVals
+			}
+		}
+		sameDict := vec.IsCoded() && vec.Dict == t.codedDict
+		for i := 0; i < n; i++ {
+			if vec.IsNull(i) {
+				if t.nullGroup == nil {
+					cost := int64(64 + 64*len(t.aggs))
+					if !t.tracker.TryReserve(cost) && t.spillStore != nil {
+						t.tracker.Release(0)
+					} else {
+						t.reserved += cost
+					}
+					t.nullGroup = newAggGroup(t.aggs, sqltypes.Row{sqltypes.NewNull(sqltypes.String)})
+					t.order = append(t.order, t.nullGroup)
+				}
+				ptrs[i] = t.nullGroup
+				continue
+			}
+			var code uint64
+			var s string
+			haveCode := false
+			if sameDict {
+				code = vec.Codes[i]
+				haveCode = true
+			} else {
+				s = vec.StrAt(i)
+				if t.codedDict != nil {
+					if id, ok := t.codedDict.Lookup(s); ok {
+						code, haveCode = uint64(id), true
+					}
+				}
+			}
+			var grp *aggGroup
+			if haveCode {
+				grp = t.lookupCode(code)
+			} else {
+				grp = t.strGroups[s]
+			}
+			if grp == nil {
+				if haveCode {
+					if sameDict {
+						s = t.codedVals[code] // decode once per new group
+					}
+					// The value may already own a group created from a
+					// materialized row before any coded batch arrived.
+					if g2 := t.strGroups[s]; g2 != nil {
+						t.storeCode(code, g2)
+						ptrs[i] = g2
+						continue
+					}
+				}
+				if t.spilling {
+					if err := t.spillRow(b, i, s); err != nil {
+						return err
+					}
+					ptrs[i] = nil
+					continue
+				}
+				cost := int64(64+len(s)) + int64(64*len(t.aggs))
+				if !t.tracker.TryReserve(cost) && t.spillStore != nil {
+					t.tracker.NoteSpill()
+					t.startSpilling()
+					if err := t.spillRow(b, i, s); err != nil {
+						return err
+					}
+					ptrs[i] = nil
+					continue
+				}
+				t.reserved += cost
+				grp = newAggGroup(t.aggs, sqltypes.Row{sqltypes.NewString(s)})
+				if haveCode {
+					t.storeCode(code, grp)
+				} else {
+					t.strGroups[s] = grp
+				}
+				t.order = append(t.order, grp)
+			}
+			ptrs[i] = grp
+		}
+	default:
+		for i := 0; i < n; i++ {
+			for c, g := range t.groupBy {
+				t.keyVals[c] = b.Vecs[g].Value(i)
+			}
+			key := string(exec.EncodeKey(nil, t.keyVals))
+			grp := t.groups[key]
+			if grp == nil {
+				if t.spilling {
+					if err := t.spillRow(b, i, key); err != nil {
+						return err
+					}
+					ptrs[i] = nil
+					continue
+				}
+				cost := rowBytes(t.keyVals) + int64(64*len(t.aggs))
+				if !t.tracker.TryReserve(cost) && t.spillStore != nil {
+					t.tracker.NoteSpill()
+					t.startSpilling()
+					if err := t.spillRow(b, i, key); err != nil {
+						return err
+					}
+					ptrs[i] = nil
+					continue
+				}
+				t.reserved += cost
+				grp = newAggGroup(t.aggs, t.keyVals.Clone())
+				t.groups[key] = grp
+				t.order = append(t.order, grp)
+			}
+			ptrs[i] = grp
+		}
+	}
+
+	// Accumulate each aggregate over the batch.
+	for k := range t.aggs {
+		t.accumulate(k, b, ptrs, t.argVecs[k])
+	}
+	return nil
+}
+
+// results finalizes the in-memory groups and then the spilled partitions.
+// Each spilled partition holds a disjoint subset of the overflow groups (the
+// in-memory groups were created before spilling began and absorb their rows
+// directly), so partitions are aggregated independently in memory.
+func (t *aggTable) results(ctx context.Context) ([]sqltypes.Row, error) {
+	var results []sqltypes.Row
+	for _, grp := range t.order {
+		results = append(results, grp.finalize(t.aggs))
+	}
+	for _, part := range t.parts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rows, err := part.readAll()
+		if err != nil {
+			return nil, err
+		}
+		pgroups := make(map[string]*aggGroup)
+		var porder []*aggGroup
+		for _, r := range rows {
+			for c, g := range t.groupBy {
+				t.keyVals[c] = r[g]
+			}
+			key := string(exec.EncodeKey(nil, t.keyVals))
+			grp := pgroups[key]
+			if grp == nil {
+				grp = newAggGroup(t.aggs, t.keyVals.Clone())
+				pgroups[key] = grp
+				porder = append(porder, grp)
+			}
+			grp.add(t.aggs, r)
+		}
+		for _, grp := range porder {
+			results = append(results, grp.finalize(t.aggs))
+		}
+	}
+	return results, nil
+}
+
+// release returns the table's memory grant and drops any unread spill blobs.
+func (t *aggTable) release() {
+	t.tracker.Release(t.reserved)
+	t.reserved = 0
+	for _, p := range t.parts {
+		if p != nil {
+			p.drop()
+		}
+	}
+	t.parts = nil
+}
+
 // Open implements Operator: consumes the whole input and aggregates.
-// Aggregation is vectorized: group pointers are resolved per batch (with a
-// fast path for a single integer-family group column), each aggregate
-// argument is evaluated once per batch into a vector, and accumulation runs
-// in tight loops over the vector payloads.
 func (h *HashAgg) Open(ctx context.Context) error {
 	if err := h.In.Open(ctx); err != nil {
 		return err
 	}
 	defer h.In.Close()
 
-	inSchema := h.In.Schema()
-	groups := make(map[string]*aggGroup)
-	var intGroups map[int64]*aggGroup
-	var nullGroup *aggGroup
-	var order []*aggGroup
-	var parts []*spillPartition
-	spilling := false
-
-	// Fast path applies to a single integer-family group column.
-	fastInt := len(h.GroupBy) == 1 && inSchema.Cols[h.GroupBy[0]].Typ != sqltypes.Float64 &&
-		inSchema.Cols[h.GroupBy[0]].Typ != sqltypes.String
-	if fastInt {
-		intGroups = make(map[int64]*aggGroup)
-	}
-
-	// Code-grouping fast path for a single string group column: dict-coded
-	// batches group on raw dictionary codes — a dense array when the
-	// dictionary is small, a code-keyed map otherwise — and no group key is
-	// decoded except once when its group is created. Materialized rows
-	// (delta store, fallback segments) bridge into the same groups via a
-	// dictionary lookup, falling back to a string-keyed map for values the
-	// shared dictionary has never seen; this is sound because dictionary ids
-	// are stable, so code and string identify a group interchangeably.
-	fastStr := len(h.GroupBy) == 1 && inSchema.Cols[h.GroupBy[0]].Typ == sqltypes.String
-	const denseDictLimit = 1 << 14
-	var strGroups map[string]*aggGroup
-	var codeMap map[uint64]*aggGroup
-	var codeArr []*aggGroup
-	var codedDict *encoding.Dict
-	var codedVals []string
-	if fastStr {
-		strGroups = make(map[string]*aggGroup)
-	}
-	lookupCode := func(code uint64) *aggGroup {
-		if codeArr != nil {
-			if code < uint64(len(codeArr)) {
-				return codeArr[code]
-			}
-			return nil
-		}
-		return codeMap[code]
-	}
-	storeCode := func(code uint64, g *aggGroup) {
-		if codeArr != nil {
-			if code >= uint64(len(codeArr)) {
-				if code < denseDictLimit {
-					na := make([]*aggGroup, code+1+code/2)
-					copy(na, codeArr)
-					codeArr = na
-				} else {
-					// Dictionary outgrew the dense range: degrade to a map.
-					codeMap = make(map[uint64]*aggGroup, len(codeArr))
-					for c, gr := range codeArr {
-						if gr != nil {
-							codeMap[uint64(c)] = gr
-						}
-					}
-					codeArr = nil
-					codeMap[code] = g
-					return
-				}
-			}
-			codeArr[code] = g
-			return
-		}
-		codeMap[code] = g
-	}
-
-	var scalarGroup *aggGroup
-	if len(h.GroupBy) == 0 {
-		scalarGroup = h.newGroup(nil)
-		order = append(order, scalarGroup)
-	}
-
-	keyVals := make(sqltypes.Row, len(h.GroupBy))
-	var ptrs []*aggGroup
-	argVecs := make([]*vector.Vector, len(h.Aggs))
-	for i, spec := range h.Aggs {
-		if spec.Arg != nil {
-			argVecs[i] = vector.NewVector(spec.Arg.Type(), vector.DefaultBatchSize)
-		}
-	}
-
-	startSpilling := func() {
-		spilling = true
-		parts = make([]*spillPartition, aggSpillPartitions)
-		for j := range parts {
-			parts[j] = newSpillPartition(h.SpillStore, inSchema)
-		}
-	}
-	// spillRow routes physical row i of a (compacted) batch to a partition by
-	// group-key hash; the partition writes dict-coded cells as raw codes.
-	spillRow := func(b *vector.Batch, i int, key string) error {
-		part := int(hashString(key)>>57) % aggSpillPartitions
-		return parts[part].addBatchRow(b, i)
-	}
-
+	t := newAggTable(h.In.Schema(), h.GroupBy, h.Aggs, h.Tracker, h.SpillStore)
+	h.table = t
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -272,246 +587,23 @@ func (h *HashAgg) Open(ctx context.Context) error {
 		if b == nil {
 			break
 		}
-		b.Compact()
-		n := b.NumRows()
-		if n == 0 {
-			continue
-		}
-		if cap(ptrs) < n {
-			ptrs = make([]*aggGroup, n)
-		}
-		ptrs = ptrs[:n]
-
-		// Resolve the group of every row.
-		switch {
-		case scalarGroup != nil:
-			for i := range ptrs {
-				ptrs[i] = scalarGroup
-			}
-		case fastInt:
-			vec := b.Vecs[h.GroupBy[0]]
-			typ := inSchema.Cols[h.GroupBy[0]].Typ
-			for i := 0; i < n; i++ {
-				if vec.IsNull(i) {
-					if nullGroup == nil {
-						cost := int64(64 + 64*len(h.Aggs))
-						if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
-							// A single NULL group is cheap; charge it anyway.
-							h.Tracker.Release(0)
-						} else {
-							h.reserved += cost
-						}
-						nullGroup = h.newGroup(sqltypes.Row{sqltypes.NewNull(typ)})
-						order = append(order, nullGroup)
-					}
-					ptrs[i] = nullGroup
-					continue
-				}
-				k := vec.I64[i]
-				grp := intGroups[k]
-				if grp == nil {
-					if spilling {
-						keyVals[0] = sqltypes.Value{Typ: typ, I: k}
-						if err := spillRow(b, i, string(exec.EncodeKey(nil, keyVals))); err != nil {
-							return err
-						}
-						ptrs[i] = nil
-						continue
-					}
-					cost := int64(64 + 64*len(h.Aggs))
-					if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
-						h.Tracker.NoteSpill()
-						startSpilling()
-						keyVals[0] = sqltypes.Value{Typ: typ, I: k}
-						if err := spillRow(b, i, string(exec.EncodeKey(nil, keyVals))); err != nil {
-							return err
-						}
-						ptrs[i] = nil
-						continue
-					}
-					h.reserved += cost
-					grp = h.newGroup(sqltypes.Row{{Typ: typ, I: k}})
-					intGroups[k] = grp
-					order = append(order, grp)
-				}
-				ptrs[i] = grp
-			}
-		case fastStr:
-			vec := b.Vecs[h.GroupBy[0]]
-			if vec.IsCoded() {
-				if codedDict == nil {
-					codedDict = vec.Dict
-					codedVals = vec.DictVals
-					if len(codedVals) <= denseDictLimit {
-						codeArr = make([]*aggGroup, len(codedVals))
-					} else {
-						codeMap = make(map[uint64]*aggGroup, 1024)
-					}
-				} else if vec.Dict == codedDict && len(vec.DictVals) > len(codedVals) {
-					codedVals = vec.DictVals
-				}
-			}
-			sameDict := vec.IsCoded() && vec.Dict == codedDict
-			for i := 0; i < n; i++ {
-				if vec.IsNull(i) {
-					if nullGroup == nil {
-						cost := int64(64 + 64*len(h.Aggs))
-						if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
-							h.Tracker.Release(0)
-						} else {
-							h.reserved += cost
-						}
-						nullGroup = h.newGroup(sqltypes.Row{sqltypes.NewNull(sqltypes.String)})
-						order = append(order, nullGroup)
-					}
-					ptrs[i] = nullGroup
-					continue
-				}
-				var code uint64
-				var s string
-				haveCode := false
-				if sameDict {
-					code = vec.Codes[i]
-					haveCode = true
-				} else {
-					s = vec.StrAt(i)
-					if codedDict != nil {
-						if id, ok := codedDict.Lookup(s); ok {
-							code, haveCode = uint64(id), true
-						}
-					}
-				}
-				var grp *aggGroup
-				if haveCode {
-					grp = lookupCode(code)
-				} else {
-					grp = strGroups[s]
-				}
-				if grp == nil {
-					if haveCode {
-						if sameDict {
-							s = codedVals[code] // decode once per new group
-						}
-						// The value may already own a group created from a
-						// materialized row before any coded batch arrived.
-						if g2 := strGroups[s]; g2 != nil {
-							storeCode(code, g2)
-							ptrs[i] = g2
-							continue
-						}
-					}
-					if spilling {
-						if err := spillRow(b, i, s); err != nil {
-							return err
-						}
-						ptrs[i] = nil
-						continue
-					}
-					cost := int64(64+len(s)) + int64(64*len(h.Aggs))
-					if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
-						h.Tracker.NoteSpill()
-						startSpilling()
-						if err := spillRow(b, i, s); err != nil {
-							return err
-						}
-						ptrs[i] = nil
-						continue
-					}
-					h.reserved += cost
-					grp = h.newGroup(sqltypes.Row{sqltypes.NewString(s)})
-					if haveCode {
-						storeCode(code, grp)
-					} else {
-						strGroups[s] = grp
-					}
-					order = append(order, grp)
-				}
-				ptrs[i] = grp
-			}
-		default:
-			for i := 0; i < n; i++ {
-				for c, g := range h.GroupBy {
-					keyVals[c] = b.Vecs[g].Value(i)
-				}
-				key := string(exec.EncodeKey(nil, keyVals))
-				grp := groups[key]
-				if grp == nil {
-					if spilling {
-						if err := spillRow(b, i, key); err != nil {
-							return err
-						}
-						ptrs[i] = nil
-						continue
-					}
-					cost := rowBytes(keyVals) + int64(64*len(h.Aggs))
-					if !h.Tracker.TryReserve(cost) && h.SpillStore != nil {
-						h.Tracker.NoteSpill()
-						startSpilling()
-						if err := spillRow(b, i, key); err != nil {
-							return err
-						}
-						ptrs[i] = nil
-						continue
-					}
-					h.reserved += cost
-					grp = h.newGroup(keyVals.Clone())
-					groups[key] = grp
-					order = append(order, grp)
-				}
-				ptrs[i] = grp
-			}
-		}
-
-		// Accumulate each aggregate over the batch.
-		for k := range h.Aggs {
-			h.accumulate(k, b, ptrs, argVecs[k])
-		}
-	}
-
-	// Finalize in-memory groups.
-	var results []sqltypes.Row
-	for _, grp := range order {
-		results = append(results, grp.finalize(h.Aggs))
-	}
-
-	// Process spilled partitions: each holds a disjoint subset of the
-	// overflow groups and is aggregated in memory.
-	for _, part := range parts {
-		if err := ctx.Err(); err != nil {
+		if err := t.addBatch(b); err != nil {
 			return err
 		}
-		rows, err := part.readAll()
-		if err != nil {
-			return err
-		}
-		pgroups := make(map[string]*aggGroup)
-		var porder []*aggGroup
-		for _, r := range rows {
-			for c, g := range h.GroupBy {
-				keyVals[c] = r[g]
-			}
-			key := string(exec.EncodeKey(nil, keyVals))
-			grp := pgroups[key]
-			if grp == nil {
-				grp = h.newGroup(keyVals.Clone())
-				pgroups[key] = grp
-				porder = append(porder, grp)
-			}
-			grp.add(h.Aggs, r)
-		}
-		for _, grp := range porder {
-			results = append(results, grp.finalize(h.Aggs))
-		}
 	}
 
+	results, err := t.results(ctx)
+	if err != nil {
+		return err
+	}
 	h.out = &Values{Rows: results, Sch: h.schema}
 	return h.out.Open(ctx)
 }
 
 // accumulate folds one aggregate over a batch, vectorized where the state
 // kind allows; NULL rows and spilled rows (nil group pointers) are skipped.
-func (h *HashAgg) accumulate(k int, b *vector.Batch, ptrs []*aggGroup, argVec *vector.Vector) {
-	spec := &h.Aggs[k]
+func (t *aggTable) accumulate(k int, b *vector.Batch, ptrs []*aggGroup, argVec *vector.Vector) {
+	spec := &t.aggs[k]
 	n := b.NumRows()
 	if spec.Kind == exec.CountStar {
 		for _, g := range ptrs {
@@ -621,8 +713,10 @@ func (h *HashAgg) Next() (*vector.Batch, error) { return h.out.Next() }
 
 // Close implements Operator.
 func (h *HashAgg) Close() error {
-	h.Tracker.Release(h.reserved)
-	h.reserved = 0
+	if h.table != nil {
+		h.table.release()
+		h.table = nil
+	}
 	h.out = nil
 	return nil
 }

@@ -46,9 +46,20 @@ type HashJoin struct {
 	Tracker    *Tracker
 	SpillStore *storage.Store
 
+	// Parallel > 1 runs the probe phase as a partitioned exchange: the build
+	// side is hash-partitioned into Parallel private cores and probe batches
+	// are routed to the owning partition (exchange.go). ProbeExchange and
+	// ProbePipes optionally carry planner-replicated per-worker probe stages;
+	// when nil the workers share Probe directly. A build-side memory overflow
+	// falls back to the serial grace-hash path regardless of Parallel.
+	Parallel      int
+	ProbeExchange *SharedSource
+	ProbePipes    []Operator
+
 	schema  *sqltypes.Schema
 	ctx     context.Context
 	core    *joinCore
+	par     *parallelJoin
 	pending []*vector.Batch
 	state   int // 0 probing, 1 unmatched-build, 2 done
 
@@ -101,8 +112,11 @@ func (h *HashJoin) Open(ctx context.Context) error {
 		return nil // probe drained inside enterSpillMode
 	}
 
-	h.core = newJoinCore(h, build)
 	h.publishBloom(build)
+	if h.Parallel > 1 {
+		return h.startParallel(ctx, build)
+	}
+	h.core = newJoinCore(h, build)
 	return h.Probe.Open(ctx)
 }
 
@@ -257,6 +271,14 @@ func (h *HashJoin) Close() error {
 		}
 	}
 	h.partBuild, h.partProbe = nil, nil
+	if h.par != nil {
+		h.par.shutdown()
+		h.par = nil
+		if h.ProbeExchange != nil {
+			return h.ProbeExchange.Base().Close()
+		}
+		return h.Probe.Close()
+	}
 	if !h.spilled {
 		return h.Probe.Close()
 	}
@@ -266,6 +288,9 @@ func (h *HashJoin) Close() error {
 // Next implements Operator.
 func (h *HashJoin) Next() (*vector.Batch, error) {
 	for {
+		if h.par != nil {
+			return h.nextParallel()
+		}
 		if len(h.pending) > 0 {
 			b := h.pending[0]
 			h.pending = h.pending[1:]

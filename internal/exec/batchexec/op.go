@@ -34,7 +34,10 @@ import (
 // Operator produces a stream of batches. Open receives the query context;
 // implementations must stop producing (returning ctx.Err()) promptly after
 // cancellation. Next returns nil at end of stream. Returned batches are owned
-// by the consumer until the next Next call.
+// by the consumer until the next Next call; in practice every producer in
+// this package allocates a fresh batch per Next (or forwards its child's),
+// which is what lets the exchange operators (exchange.go) hand batches to a
+// different goroutine than the one that will issue the next Next.
 type Operator interface {
 	Schema() *sqltypes.Schema
 	Open(ctx context.Context) error

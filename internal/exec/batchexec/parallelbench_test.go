@@ -1,0 +1,151 @@
+package batchexec
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+	"apollo/internal/table"
+)
+
+// Benchmarks for the exchange layer: the same aggregation and join plans at
+// DOP 1 (the serial HashAgg/HashJoin operators) and DOP 2/4/8 (ParallelAgg and
+// the partitioned parallel HashJoin). Scan parallelism follows the pipeline
+// DOP, matching the planner's lowering. On a multi-core host the DOP>1
+// variants spread the pipeline across cores; on a single-core host they
+// measure the exchange overhead instead (see BENCH_parallel.json).
+
+const (
+	parBenchFactRows = 120000
+	parBenchDimRows  = 3000
+	parBenchGroups   = 256
+)
+
+var (
+	parBenchOnce sync.Once
+	parBenchFact *table.Table
+	parBenchDim  *table.Table
+)
+
+// parBenchSchema is an SSB-flavored fact layout: a key into the dimension, a
+// measure, and a low-cardinality group column.
+func parBenchSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Name: "id", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "dk", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "g", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "rev", Typ: sqltypes.Int64},
+	)
+}
+
+func parBenchDimSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Name: "k", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "cat", Typ: sqltypes.String},
+	)
+}
+
+func parBenchSetup(b *testing.B) (*table.Table, *table.Table) {
+	b.Helper()
+	parBenchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(77))
+		rows := make([]sqltypes.Row, parBenchFactRows)
+		for i := range rows {
+			rows[i] = sqltypes.Row{
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewInt(int64(rng.Intn(parBenchDimRows))),
+				sqltypes.NewInt(int64(rng.Intn(parBenchGroups))),
+				sqltypes.NewInt(int64(rng.Intn(10000))),
+			}
+		}
+		store := storage.NewStore(storage.DefaultBufferPoolBytes)
+		opts := table.Options{RowGroupSize: 10000, BulkLoadThreshold: 100, Columnstore: table.DefaultOptions().Columnstore}
+		fact := table.New(store, "pfact", parBenchSchema(), opts)
+		if err := fact.BulkLoad(rows); err != nil {
+			panic(err)
+		}
+		dimRows := make([]sqltypes.Row, parBenchDimRows)
+		for i := range dimRows {
+			dimRows[i] = sqltypes.Row{
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewString(fmt.Sprintf("cat-%03d", i%97)),
+			}
+		}
+		dim := table.New(store, "pdim", parBenchDimSchema(), opts)
+		if err := dim.BulkLoad(dimRows); err != nil {
+			panic(err)
+		}
+		parBenchFact = fact
+		parBenchDim = dim
+	})
+	return parBenchFact, parBenchDim
+}
+
+func parBenchScan(tb *table.Table, cols []int, dop int) *Scan {
+	s := NewScan(tb.Snapshot(), cols)
+	s.Parallel = dop
+	return s
+}
+
+// BenchmarkParallelAgg measures GROUP BY g / COUNT, SUM(rev) over the fact
+// table at each DOP.
+func BenchmarkParallelAgg(b *testing.B) {
+	fact, _ := parBenchSetup(b)
+	aggs := []exec.AggSpec{
+		{Kind: exec.CountStar, Name: "n"},
+		{Kind: exec.Sum, Arg: expr.NewColRef(1, "rev", sqltypes.Int64), Name: "s"},
+	}
+	for _, dop := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var op Operator
+				if dop == 1 {
+					op = NewHashAgg(parBenchScan(fact, []int{2, 3}, dop), []int{0}, []string{"g"}, aggs)
+				} else {
+					op = parallelAggOver(parBenchScan(fact, []int{2, 3}, dop), dop, []int{0}, []string{"g"}, aggs)
+				}
+				rows, err := Drain(op)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != parBenchGroups {
+					b.Fatalf("got %d groups, want %d", len(rows), parBenchGroups)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelJoin measures a fact-dim inner join (dimension build side,
+// fact probe side) at each DOP; the probe phase is where partitioned
+// parallelism applies.
+func BenchmarkParallelJoin(b *testing.B) {
+	fact, dim := parBenchSetup(b)
+	for _, dop := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j, err := NewHashJoin(
+					parBenchScan(fact, []int{1, 3}, dop), parBenchScan(dim, []int{0, 1}, 1),
+					[]int{0}, []int{0}, exec.Inner, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dop > 1 {
+					j.Parallel = dop
+				}
+				n, err := Count(j)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != parBenchFactRows {
+					b.Fatalf("got %d rows, want %d", n, parBenchFactRows)
+				}
+			}
+		})
+	}
+}

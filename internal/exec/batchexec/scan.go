@@ -546,7 +546,10 @@ func (s *Scan) deltaRowQualifies(row sqltypes.Row) bool {
 // QueryErrors carrying the row-group id.
 func (s *Scan) startParallel(ctx context.Context) {
 	nw := s.Parallel
-	s.ch = make(chan *vector.Batch, nw)
+	// Two buffered batches per worker: enough slack that scan workers keep
+	// decoding while downstream exchange workers (parallel aggregation or
+	// join splitters) drain the gather concurrently.
+	s.ch = make(chan *vector.Batch, 2*nw)
 	wctx, cancel := context.WithCancel(ctx)
 	s.cancel = cancel
 	groups := s.Snap.Groups

@@ -38,8 +38,13 @@ func (m Mode) String() string {
 
 // Options control compilation.
 type Options struct {
-	Mode     Mode
-	Parallel int // scan DOP (degree of parallelism); <=1 serial
+	Mode Mode
+	// Parallel is the pipeline-wide degree of parallelism; <=1 is serial.
+	// It sets the scan's row-group worker count and, above the scan, the
+	// exchange worker count: aggregations run as parallel partial/final
+	// aggregation and hash joins as partitioned parallel joins, with the
+	// stateless stages between (filters, projections) replicated per worker.
+	Parallel int
 
 	// MemoryBudget caps hash-operator memory; 0 = unlimited. SpillStore
 	// receives spill partitions (required for a finite budget to take
@@ -72,6 +77,12 @@ type Compiled struct {
 	// ScanStats exposes per-scan pushdown counters (batch mode only),
 	// in scan discovery order.
 	ScanStats []*batchexec.ScanStats
+	// OpStats exposes per-operator execution counters (batch mode only), one
+	// entry per physical operator instance — exchange worker replicas
+	// included, identified by OpStats.Worker. Instances on compiled-but-not-
+	// taken paths (e.g. the serial probe replica a parallel join keeps for
+	// its spill fallback) report zeros. Values settle when the query ends.
+	OpStats []*batchexec.OpStats
 	// Tracker exposes spill accounting (batch mode only).
 	Tracker *batchexec.Tracker
 }
@@ -173,7 +184,59 @@ func (cc *batchCompiler) compile(n Node) (batchexec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return batchexec.NewGuard(op, name), nil
+	return cc.guard(op, name, -1), nil
+}
+
+// guard wraps op in its fault boundary and registers per-operator execution
+// counters; worker is the exchange replica id (-1 for the serial or final
+// pipeline).
+func (cc *batchCompiler) guard(op batchexec.Operator, name string, worker int) batchexec.Operator {
+	g := batchexec.NewGuard(op, name)
+	g.Stats = &batchexec.OpStats{Op: name, Worker: worker}
+	cc.compiled.OpStats = append(cc.compiled.OpStats, g.Stats)
+	return g
+}
+
+// compilePipeline compiles n for use below an exchange: the top run of
+// stateless per-batch stages (Filter, Project) is cut off and returned as a
+// builder that stamps out one replica per exchange worker, and everything
+// below the cut — the pipeline breaker or leaf — is compiled exactly once
+// (scans must not be duplicated: bloom wiring and ScanStats registration
+// assume one physical scan per logical scan, and the scan's own row-group
+// workers already parallelize it).
+func (cc *batchCompiler) compilePipeline(n Node) (batchexec.Operator, func(src batchexec.Operator, worker int) batchexec.Operator, error) {
+	var steps []Node
+	base := n
+cut:
+	for {
+		switch x := base.(type) {
+		case *Filter:
+			steps = append(steps, x)
+			base = x.In
+		case *Project:
+			steps = append(steps, x)
+			base = x.In
+		default:
+			break cut
+		}
+	}
+	baseOp, err := cc.compile(base)
+	if err != nil {
+		return nil, nil, err
+	}
+	chain := func(src batchexec.Operator, worker int) batchexec.Operator {
+		op := src
+		for i := len(steps) - 1; i >= 0; i-- {
+			switch x := steps[i].(type) {
+			case *Filter:
+				op = cc.guard(&batchexec.Filter{In: op, Pred: x.Pred}, "filter", worker)
+			case *Project:
+				op = cc.guard(batchexec.NewProject(op, x.Exprs, x.Names), "project", worker)
+			}
+		}
+		return op
+	}
+	return baseOp, chain, nil
 }
 
 func (cc *batchCompiler) compileNode(n Node) (batchexec.Operator, string, error) {
@@ -205,8 +268,7 @@ func (cc *batchCompiler) compileNode(n Node) (batchexec.Operator, string, error)
 			cc.compiled.MetadataOnly = true
 			return op, "metaagg", nil
 		}
-		op, err := cc.compileAgg(x)
-		return op, "hashagg", err
+		return cc.compileAgg(x)
 
 	case *Sort:
 		in, err := cc.compile(x.In)
@@ -382,13 +444,36 @@ func compatibleBound(col, bound sqltypes.Type) bool {
 	return bound != sqltypes.String
 }
 
+// compileJoin lowers a join. With a pipeline DOP above one the probe phase
+// becomes a partitioned exchange: the probe-side filter/project stages are
+// replicated per worker over a shared source, and the join partitions its
+// build side into one private core per worker (exchange.go). The serial probe
+// replica is kept — it carries the schema and the grace-hash spill fallback.
 func (cc *batchCompiler) compileJoin(x *Join) (batchexec.Operator, error) {
 	if len(x.LeftKeys) == 0 {
 		return nil, fmt.Errorf("plan: batch join requires at least one equality key")
 	}
-	probe, err := cc.compile(x.Left)
-	if err != nil {
-		return nil, err
+	dop := cc.opts.Parallel
+	var probe batchexec.Operator
+	var shared *batchexec.SharedSource
+	var pipes []batchexec.Operator
+	if dop > 1 {
+		base, chain, err := cc.compilePipeline(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		shared = batchexec.NewSharedSource(base)
+		pipes = make([]batchexec.Operator, dop)
+		for w := range pipes {
+			pipes[w] = chain(shared.Worker(), w)
+		}
+		probe = chain(base, -1)
+	} else {
+		var err error
+		probe, err = cc.compile(x.Left)
+		if err != nil {
+			return nil, err
+		}
 	}
 	build, err := cc.compile(x.Right)
 	if err != nil {
@@ -404,6 +489,11 @@ func (cc *batchCompiler) compileJoin(x *Join) (batchexec.Operator, error) {
 	}
 	j.Tracker = cc.getTracker()
 	j.SpillStore = cc.opts.SpillStore
+	if dop > 1 {
+		j.Parallel = dop
+		j.ProbeExchange = shared
+		j.ProbePipes = pipes
+	}
 
 	// Bitmap filter opportunity: single-key inner/semi join whose probe key
 	// traces to a base-table scan column, with a build side meaningfully
@@ -462,8 +552,13 @@ func (cc *batchCompiler) placeBlooms() {
 }
 
 // compileAgg inserts a projection materializing group keys and aggregate
-// arguments as columns, then builds the vectorized hash aggregation.
-func (cc *batchCompiler) compileAgg(x *Agg) (batchexec.Operator, error) {
+// arguments as columns, then builds the vectorized hash aggregation. With a
+// pipeline DOP above one, the aggregation is cut into partial/final form:
+// each exchange worker runs a replica of the filter/project stages plus the
+// key/argument projection feeding a private partial aggregation, and the
+// final merge combines the partial states. DISTINCT aggregates keep the
+// serial operator (their partial states are not mergeable).
+func (cc *batchCompiler) compileAgg(x *Agg) (batchexec.Operator, string, error) {
 	var exprs []expr.Expr
 	var names []string
 	for i, g := range x.GroupBy {
@@ -480,19 +575,36 @@ func (cc *batchCompiler) compileAgg(x *Agg) (batchexec.Operator, error) {
 			aggs[i].Arg = expr.NewColRef(pos, names[pos], sp.Arg.Type())
 		}
 	}
-	in, err := cc.compile(x.In)
-	if err != nil {
-		return nil, err
-	}
-	var inOp batchexec.Operator = batchexec.NewProject(in, exprs, names)
 	groupBy := make([]int, len(x.GroupBy))
 	for i := range groupBy {
 		groupBy[i] = i
 	}
+
+	if dop := cc.opts.Parallel; dop > 1 && batchexec.ParallelizableAggs(aggs) {
+		base, chain, err := cc.compilePipeline(x.In)
+		if err != nil {
+			return nil, "", err
+		}
+		shared := batchexec.NewSharedSource(base)
+		pipes := make([]batchexec.Operator, dop)
+		for w := range pipes {
+			pipes[w] = cc.guard(batchexec.NewProject(chain(shared.Worker(), w), exprs, names), "project", w)
+		}
+		agg := batchexec.NewParallelAgg(shared, pipes, groupBy, x.Names, aggs)
+		agg.Tracker = cc.getTracker()
+		agg.SpillStore = cc.opts.SpillStore
+		return agg, "parallelagg", nil
+	}
+
+	in, err := cc.compile(x.In)
+	if err != nil {
+		return nil, "", err
+	}
+	var inOp batchexec.Operator = batchexec.NewProject(in, exprs, names)
 	agg := batchexec.NewHashAgg(inOp, groupBy, x.Names, aggs)
 	agg.Tracker = cc.getTracker()
 	agg.SpillStore = cc.opts.SpillStore
-	return agg, nil
+	return agg, "hashagg", nil
 }
 
 // keyColumns requires join keys to be plain column references.

@@ -1,0 +1,281 @@
+package apollo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// parallelParityQueries are the SQL shapes every DOP must answer identically:
+// filtered group-bys on integer and string keys, fact-dim joins (inner and
+// outer) feeding aggregation, scalar aggregation, a DISTINCT aggregate (which
+// the planner must route to the serial aggregation path), UNION ALL, and an
+// ordered limited scan. All but the last are compared order-insensitively;
+// the ORDER BY query is compared positionally.
+var parallelParityQueries = []struct {
+	name    string
+	sql     string
+	ordered bool
+}{
+	{"group-int", "SELECT fk, COUNT(*), SUM(amount), MIN(amount), MAX(amount) FROM fact WHERE fk < 40 GROUP BY fk", false},
+	{"group-string", "SELECT region, COUNT(*), AVG(amount) FROM fact WHERE region <> 'west' GROUP BY region", false},
+	{"scalar", "SELECT COUNT(*), SUM(amount) FROM fact", false},
+	{"join-agg", "SELECT name, COUNT(*), SUM(amount) FROM fact JOIN dim ON fk = k GROUP BY name", false},
+	{"outer-join", "SELECT id, name FROM fact LEFT OUTER JOIN dim ON fk = k WHERE id < 500", false},
+	{"distinct-agg", "SELECT region, COUNT(DISTINCT fk) FROM fact GROUP BY region", false},
+	{"union-all", "SELECT fk FROM fact WHERE fk < 5 UNION ALL SELECT k FROM dim WHERE k >= 55", false},
+	{"order-limit", "SELECT id, region FROM fact WHERE fk = 7 ORDER BY id LIMIT 20", true},
+}
+
+// loadParallelFixture opens a DB at the given DOP and loads identical
+// deterministic fact/dim tables: multiple row groups, delta rows, NULLs, and a
+// dim domain that only partially covers the fact foreign keys (so outer joins
+// produce NULL-extended rows).
+func loadParallelFixture(t *testing.T, parallel int) *DB {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.RowGroupSize = 400
+	cfg.BulkLoadThreshold = 100
+	cfg.TupleMoverInterval = 0
+	cfg.Parallel = parallel
+	db := Open(cfg)
+	t.Cleanup(db.Close)
+
+	factSchema := &Schema{Cols: []Column{
+		{Name: "id", Typ: Int64},
+		{Name: "fk", Typ: Int64},
+		{Name: "amount", Typ: Float64, Nullable: true},
+		{Name: "region", Typ: String},
+	}}
+	fact, err := db.CreateTable("fact", factSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []string{"north", "south", "east", "west"}
+	rng := rand.New(rand.NewSource(4242))
+	rows := make([]Row, 6000)
+	for i := range rows {
+		amount := NewFloat(float64(rng.Intn(100000)) / 100)
+		if rng.Intn(20) == 0 {
+			amount = NewNull(Float64)
+		}
+		rows[i] = Row{NewInt(int64(i)), NewInt(int64(rng.Intn(80))), amount, NewString(regions[rng.Intn(len(regions))])}
+	}
+	split := len(rows) * 9 / 10
+	if err := fact.BulkLoad(rows[:split]); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[split:] {
+		if err := fact.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dimSchema := &Schema{Cols: []Column{
+		{Name: "k", Typ: Int64},
+		{Name: "name", Typ: String},
+	}}
+	dim, err := db.CreateTable("dim", dimSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dimRows := make([]Row, 60) // fks 60..79 have no dim row
+	for i := range dimRows {
+		dimRows[i] = Row{NewInt(int64(i)), NewString(fmt.Sprintf("name-%02d", i%7))}
+	}
+	if err := dim.BulkLoad(dimRows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// resultMultiset canonicalizes a result for order-insensitive comparison.
+// Floats are rounded to 8 significant digits: parallel partial aggregation
+// sums in a different order than the serial plan, so float aggregates
+// legitimately differ in the last few ulps.
+func resultMultiset(res *Result) map[string]int {
+	out := map[string]int{}
+	for _, r := range res.Rows {
+		key := ""
+		for _, v := range r {
+			if v.Typ == Float64 && !v.Null && v.F != 0 && !math.IsNaN(v.F) && !math.IsInf(v.F, 0) {
+				scale := math.Pow(10, 8-math.Ceil(math.Log10(math.Abs(v.F))))
+				v.F = math.Round(v.F*scale) / scale
+			}
+			key += v.String() + "|"
+		}
+		out[key]++
+	}
+	return out
+}
+
+func sameMultiset(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelQueryParity runs every query shape at DOP 1, 2, and 8 against
+// identical data and requires identical (order-normalized) results.
+func TestParallelQueryParity(t *testing.T) {
+	serial := loadParallelFixture(t, 1)
+	for _, q := range parallelParityQueries {
+		want, err := serial.Query(q.sql)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", q.name, err)
+		}
+		for _, dop := range []int{2, 8} {
+			db := loadParallelFixture(t, dop)
+			got, err := db.Query(q.sql)
+			if err != nil {
+				t.Fatalf("%s dop=%d: %v", q.name, dop, err)
+			}
+			if len(got.Rows) != len(want.Rows) {
+				t.Fatalf("%s dop=%d: %d rows, want %d", q.name, dop, len(got.Rows), len(want.Rows))
+			}
+			if q.ordered {
+				for i := range want.Rows {
+					for c := range want.Rows[i] {
+						if got.Rows[i][c].String() != want.Rows[i][c].String() {
+							t.Fatalf("%s dop=%d: row %d col %d = %v, want %v",
+								q.name, dop, i, c, got.Rows[i][c], want.Rows[i][c])
+						}
+					}
+				}
+			} else if !sameMultiset(resultMultiset(got), resultMultiset(want)) {
+				t.Fatalf("%s dop=%d: result multiset diverged from serial", q.name, dop)
+			}
+		}
+	}
+}
+
+// TestParallelQueryOperatorStats asserts a DOP-8 aggregation query surfaces
+// merged per-operator stats with multiple active worker replicas.
+func TestParallelQueryOperatorStats(t *testing.T) {
+	db := loadParallelFixture(t, 8)
+	res, err := db.Query("SELECT region, COUNT(*), SUM(amount) FROM fact GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Operators) == 0 {
+		t.Fatal("no operator stats on a parallel query")
+	}
+	byOp := map[string]OperatorStats{}
+	for _, os := range res.Operators {
+		byOp[os.Op] = os
+	}
+	agg, ok := byOp["parallelagg"]
+	if !ok {
+		t.Fatalf("no parallelagg operator in stats: %+v", res.Operators)
+	}
+	if agg.Rows != 4 {
+		t.Fatalf("parallelagg rows = %d, want 4 groups", agg.Rows)
+	}
+	proj, ok := byOp["project"]
+	if !ok {
+		t.Fatalf("no project operator in stats: %+v", res.Operators)
+	}
+	if proj.Workers < 2 {
+		t.Fatalf("project ran on %d workers, want replicated (>=2)", proj.Workers)
+	}
+	// The merged "project" line sums the replicated pipeline projections (all
+	// 6000 fact rows split across workers) plus the final output projection
+	// over the group rows.
+	if proj.Rows < 6000 {
+		t.Fatalf("project rows = %d, want >= 6000", proj.Rows)
+	}
+}
+
+// TestParallelQueryCancellation cancels a DOP-8 GROUP BY over slow cold reads
+// mid-pipeline and requires a prompt context.Canceled with no leaked workers.
+func TestParallelQueryCancellation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BufferPoolBytes = 0
+	cfg.RowGroupSize = 400
+	cfg.BulkLoadThreshold = 100
+	cfg.TupleMoverInterval = 0
+	cfg.Parallel = 8
+	db := Open(cfg)
+	defer db.Close()
+	tb, err := db.CreateTable("big", &Schema{Cols: []Column{
+		{Name: "id", Typ: Int64}, {Name: "g", Typ: Int64}, {Name: "v", Typ: Float64}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 8000)
+	for i := range rows {
+		rows[i] = Row{NewInt(int64(i)), NewInt(int64(i % 31)), NewFloat(float64(i) * 0.25)}
+	}
+	if err := tb.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	db.InjectStorageFaults(FaultConfig{ReadLatency: 2 * time.Millisecond})
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(8*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	start := time.Now()
+	_, qerr := db.QueryContext(ctx, "SELECT g, COUNT(*), SUM(v) FROM big GROUP BY g")
+	if !errors.Is(qerr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", qerr)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation not prompt: %v", elapsed)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestParallelQueryFaultInjection runs a DOP-8 join+aggregation with a 100%
+// read-fault rate and requires a prompt typed error and clean worker shutdown.
+func TestParallelQueryFaultInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BufferPoolBytes = 0
+	cfg.RowGroupSize = 400
+	cfg.BulkLoadThreshold = 100
+	cfg.TupleMoverInterval = 0
+	cfg.Parallel = 8
+	db := Open(cfg)
+	defer db.Close()
+	tb, err := db.CreateTable("big", &Schema{Cols: []Column{
+		{Name: "id", Typ: Int64}, {Name: "g", Typ: Int64}, {Name: "v", Typ: Float64}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 4000)
+	for i := range rows {
+		rows[i] = Row{NewInt(int64(i)), NewInt(int64(i % 13)), NewFloat(float64(i))}
+	}
+	if err := tb.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	db.InjectStorageFaults(FaultConfig{ReadErrorRate: 1, Seed: 9})
+	base := runtime.NumGoroutine()
+	start := time.Now()
+	_, qerr := db.Query("SELECT g, COUNT(*) FROM big GROUP BY g")
+	if qerr == nil {
+		t.Fatal("expected injected read faults to surface")
+	}
+	if !typedFailure(qerr) {
+		t.Fatalf("fault not a typed error: %v", qerr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fault response not prompt: %v", elapsed)
+	}
+	db.ClearStorageFaults()
+	waitForGoroutines(t, base)
+}
