@@ -20,11 +20,13 @@ package apollo
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
 	"apollo/internal/catalog"
 	"apollo/internal/exec/batchexec"
+	"apollo/internal/metrics"
 	"apollo/internal/plan"
 	"apollo/internal/qerr"
 	"apollo/internal/sql"
@@ -110,6 +112,12 @@ type Config struct {
 	NoSegmentElimination bool
 	NoBloom              bool
 	NoReorder            bool
+	// TraceWriter, when set, receives one JSON trace event per operator
+	// lifecycle transition (open, next-batch, eos, error, close) for every
+	// query, with monotonic timestamps. See metrics.TraceEvent for the
+	// schema. The writer is shared across concurrent queries; events are
+	// serialized, one object per line.
+	TraceWriter io.Writer
 }
 
 // DefaultConfig returns the production-like configuration.
@@ -149,6 +157,10 @@ func Open(cfg Config) *DB {
 	}
 
 	db := &DB{cfg: cfg, store: store, cat: cat}
+	var tracer *metrics.Tracer
+	if cfg.TraceWriter != nil {
+		tracer = metrics.NewTracer(cfg.TraceWriter)
+	}
 	db.engine = &sql.Engine{
 		Cat: cat,
 		PlanOpts: plan.Options{
@@ -158,6 +170,7 @@ func Open(cfg Config) *DB {
 			SpillStore:           store,
 			NoSegmentElimination: cfg.NoSegmentElimination,
 			NoBloom:              cfg.NoBloom,
+			Tracer:               tracer,
 		},
 		TableOpts: topts,
 	}
@@ -442,3 +455,17 @@ func (db *DB) EvictCaches() { db.store.EvictAll() }
 
 // DiskBytes reports total at-rest storage bytes.
 func (db *DB) DiskBytes() int64 { return db.store.SizeOnDisk() }
+
+// --- Engine metrics ---
+
+// WriteMetrics dumps the process-wide engine metrics registry to w in
+// Prometheus text exposition format: storage I/O and fault counters, segment
+// decode histograms, scan/pushdown counters, operator fast-path hit rates,
+// exchange worker activity, tuple-mover health gauges, and plan-compilation
+// counters. The registry is shared by every DB in the process.
+func (db *DB) WriteMetrics(w io.Writer) error { return metrics.Default.WriteText(w) }
+
+// MetricsSnapshot returns the current value of every registered engine
+// metric, keyed by metric name (histograms contribute name_count and
+// name_sum entries). Useful for asserting deltas in tests.
+func (db *DB) MetricsSnapshot() map[string]float64 { return metrics.Default.Snapshot() }

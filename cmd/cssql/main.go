@@ -12,6 +12,7 @@
 //	.health <table>  tuple-mover health (failures, backoff, last error)
 //	.faults <read> <write> <corrupt>  inject storage faults (rates in [0,1])
 //	.faults off      clear fault injection
+//	.metrics [prefix]  dump engine metrics (Prometheus text format)
 //	.mode            show the execution mode
 //	.quit            exit
 package main
@@ -150,6 +151,29 @@ func dot(db *apollo.DB, cmd string) bool {
 			CorruptionRate: corrupt,
 		})
 		fmt.Printf("injecting faults: read %.2g, write %.2g, corrupt %.2g\n", read, write, corrupt)
+	case ".metrics":
+		var sb strings.Builder
+		if err := db.WriteMetrics(&sb); err != nil {
+			fmt.Println(err)
+			break
+		}
+		out := sb.String()
+		if len(fields) == 2 {
+			var kept []string
+			for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+				name := line
+				if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+					name = rest
+				} else if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+					name = rest
+				}
+				if strings.HasPrefix(name, fields[1]) {
+					kept = append(kept, line)
+				}
+			}
+			out = strings.Join(kept, "\n") + "\n"
+		}
+		fmt.Print(out)
 	case ".mode":
 		fmt.Println("see -mode flag; restart to change")
 	default:

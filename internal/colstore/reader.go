@@ -2,6 +2,7 @@ package colstore
 
 import (
 	"fmt"
+	"time"
 
 	"apollo/internal/bits"
 	"apollo/internal/encoding"
@@ -41,9 +42,17 @@ func OpenColumn(store *storage.Store, meta *SegmentMeta, col sqltypes.Column, pr
 	if err != nil {
 		return nil, fmt.Errorf("colstore: read segment: %w", err)
 	}
+	decodeStart := time.Now()
 	codes, nulls, err := unmarshalPayload(payload)
 	if err != nil {
 		return nil, err
+	}
+	if meta.Enc == EncDict {
+		mSegDict.Inc()
+		mDecodeDict.Observe(time.Since(decodeStart).Seconds())
+	} else {
+		mSegNumeric.Inc()
+		mDecodeNumeric.Observe(time.Since(decodeStart).Seconds())
 	}
 	if len(codes) != meta.Rows {
 		return nil, fmt.Errorf("colstore: segment has %d rows, directory says %d", len(codes), meta.Rows)

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"time"
 
 	"apollo/internal/exec"
 	"apollo/internal/qerr"
@@ -200,6 +201,9 @@ func (p *ParallelAgg) Open(ctx context.Context) error {
 }
 
 func (p *ParallelAgg) runWorker(ctx context.Context, w int, tables []*aggTable) error {
+	mExchangeWorkers.Inc()
+	start := time.Now()
+	defer func() { mExchangeBusy.Observe(time.Since(start).Seconds()) }()
 	pipe := p.Pipes[w]
 	if err := pipe.Open(ctx); err != nil {
 		return err
@@ -570,6 +574,9 @@ func (h *HashJoin) startParallel(ctx context.Context, build *buildSide) error {
 // sub-batches. Rows are copied (gatherVec, codes stay codes) so partitions
 // never share vector storage with each other or the source batch.
 func (h *HashJoin) splitProbe(ctx context.Context, pj *parallelJoin, pipe Operator, route []chan *vector.Batch) {
+	mExchangeWorkers.Inc()
+	start := time.Now()
+	defer func() { mExchangeBusy.Observe(time.Since(start).Seconds()) }()
 	if err := pipe.Open(ctx); err != nil {
 		pj.fail(err)
 		return
@@ -641,6 +648,9 @@ func (h *HashJoin) splitProbe(ctx context.Context, pj *parallelJoin, pipe Operat
 // probePartition joins routed probe batches against one partition core, then
 // emits the partition's unmatched build rows (right/full outer).
 func (h *HashJoin) probePartition(ctx context.Context, pj *parallelJoin, core *joinCore, in <-chan *vector.Batch) {
+	mExchangeWorkers.Inc()
+	start := time.Now()
+	defer func() { mExchangeBusy.Observe(time.Since(start).Seconds()) }()
 	for b := range in {
 		if ctx.Err() != nil {
 			return

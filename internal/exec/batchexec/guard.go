@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"apollo/internal/metrics"
 	"apollo/internal/qerr"
 	"apollo/internal/sqltypes"
 	"apollo/internal/vector"
@@ -46,6 +47,11 @@ type Guard struct {
 	// surface in the query result.
 	Stats *OpStats
 
+	// Trace, when non-nil, receives a structured event per operator lifecycle
+	// transition (open / batch / eos / error / close), tagged with Query.
+	Trace *metrics.Tracer
+	Query uint64
+
 	ctx context.Context
 }
 
@@ -64,10 +70,32 @@ func (g *Guard) Open(ctx context.Context) (err error) {
 		return err
 	}
 	if g.Stats != nil {
+		// Stats are a per-execution snapshot: re-running a reused Compiled
+		// plan must not accumulate counts across runs.
+		*g.Stats = OpStats{Op: g.Stats.Op, Worker: g.Stats.Worker}
 		start := time.Now()
 		defer func() { g.Stats.WallNs += time.Since(start).Nanoseconds() }()
 	}
-	return qerr.New(g.Name, g.In.Open(ctx))
+	if g.Trace != nil {
+		g.emit("open", 0, nil)
+	}
+	err = qerr.New(g.Name, g.In.Open(ctx))
+	if err != nil && g.Trace != nil {
+		g.emit("error", 0, err)
+	}
+	return err
+}
+
+// emit sends one trace event for this operator instance.
+func (g *Guard) emit(event string, rows int, err error) {
+	ev := metrics.TraceEvent{Query: g.Query, Op: g.Name, Worker: -1, Event: event, Rows: rows}
+	if g.Stats != nil {
+		ev.Worker = g.Stats.Worker
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	g.Trace.Emit(ev)
 }
 
 // Next implements Operator.
@@ -94,12 +122,25 @@ func (g *Guard) Next() (b *vector.Batch, err error) {
 			g.Stats.Rows += int64(b.Len())
 		}
 	}
+	if g.Trace != nil {
+		switch {
+		case err != nil:
+			g.emit("error", 0, err)
+		case b != nil:
+			g.emit("batch", b.Len(), nil)
+		default:
+			g.emit("eos", 0, nil)
+		}
+	}
 	return b, qerr.New(g.Name, err)
 }
 
 // Close implements Operator.
 func (g *Guard) Close() (err error) {
 	defer g.contain(&err)
+	if g.Trace != nil {
+		g.emit("close", 0, nil)
+	}
 	return qerr.New(g.Name, g.In.Close())
 }
 

@@ -336,6 +336,7 @@ func (t *aggTable) addBatch(b *vector.Batch) error {
 			ptrs[i] = t.scalarGroup
 		}
 	case t.fastInt:
+		mAggBatchesFastInt.Inc()
 		vec := b.Vecs[t.groupBy[0]]
 		typ := t.inSchema.Cols[t.groupBy[0]].Typ
 		for i := 0; i < n; i++ {
@@ -399,6 +400,11 @@ func (t *aggTable) addBatch(b *vector.Batch) error {
 			}
 		}
 		sameDict := vec.IsCoded() && vec.Dict == t.codedDict
+		if sameDict {
+			mAggBatchesCoded.Inc()
+		} else {
+			mAggBatchesStr.Inc()
+		}
 		for i := 0; i < n; i++ {
 			if vec.IsNull(i) {
 				if t.nullGroup == nil {
@@ -476,6 +482,7 @@ func (t *aggTable) addBatch(b *vector.Batch) error {
 			ptrs[i] = grp
 		}
 	default:
+		mAggBatchesGeneric.Inc()
 		for i := 0; i < n; i++ {
 			for c, g := range t.groupBy {
 				t.keyVals[c] = b.Vecs[g].Value(i)

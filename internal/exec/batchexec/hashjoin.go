@@ -539,6 +539,7 @@ func (c *joinCore) probeBatch(b *vector.Batch) []*vector.Batch {
 	switch {
 	case c.htInt != nil && !pkv.HasNulls() && h.Residual == nil:
 		// Hot path: single non-null int key, no residual.
+		mJoinBatchesInt.Inc()
 		for i, k := range pkv.I64[:n] {
 			matches := c.htInt[k]
 			if len(matches) == 0 {
@@ -557,6 +558,7 @@ func (c *joinCore) probeBatch(b *vector.Batch) []*vector.Batch {
 	case c.htCode != nil && pkv.IsCoded() && pkv.Dict == c.codeDict && !pkv.HasNulls() && h.Residual == nil:
 		// Hot path: both key sides share a dictionary — the join runs
 		// entirely in code space, no string is touched.
+		mJoinBatchesCode.Inc()
 		for i, k := range pkv.Codes[:n] {
 			matches := c.htCode[k]
 			if len(matches) == 0 {
@@ -573,6 +575,7 @@ func (c *joinCore) probeBatch(b *vector.Batch) []*vector.Batch {
 			}
 		}
 	default:
+		mJoinBatchesGeneric.Inc()
 		for i := 0; i < n; i++ {
 			cands, null := lookup(i)
 			matched := false

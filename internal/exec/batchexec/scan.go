@@ -49,13 +49,17 @@ type BloomPred struct {
 // Fields are updated atomically (parallel scans share one instance).
 type ScanStats struct {
 	Groups           int64 // row groups considered
+	GroupsScanned    int64 // groups that survived segment elimination
 	GroupsEliminated int64 // skipped entirely via segment metadata
 	SegmentsOpened   int64
 	RowsConsidered   int64 // rows in non-eliminated groups
+	RowsDeleted      int64 // rows dropped by delete bitmaps
 	RowsAfterRange   int64 // rows surviving encoded-domain range pushdown
 	RowsAfterBloom   int64 // rows surviving bitmap filters
-	RowsOutput       int64 // rows surviving the residual predicate
+	RowsResidual     int64 // rows dropped by the residual predicate (group side)
+	RowsOutput       int64 // rows emitted (group side + delta side)
 	DeltaRows        int64 // delta-store rows examined (row-mode side)
+	DeltaRowsOutput  int64 // delta rows that qualified and were emitted
 
 	// Late-materialization accounting: per batch, how many dict-encoded
 	// string columns were emitted as raw codes (decoded lazily downstream)
@@ -115,6 +119,10 @@ func (s *Scan) Open(ctx context.Context) error {
 	s.errOnce = sync.Once{}
 	if s.Stats == nil {
 		s.Stats = &ScanStats{}
+	} else {
+		// Stats are a per-execution snapshot: a reused Compiled plan (or a
+		// re-Opened operator tree) must not accumulate counts across runs.
+		*s.Stats = ScanStats{}
 	}
 	if s.Parallel > 1 {
 		s.startParallel(ctx)
@@ -202,15 +210,19 @@ type groupCursor struct {
 func (s *Scan) openGroup(g *colstore.RowGroup) (*groupCursor, error) {
 	st := s.Stats
 	atomic.AddInt64(&st.Groups, 1)
+	mScanGroups.Inc()
 
 	// Segment elimination on metadata (§2.3).
 	for _, p := range s.Pushdowns {
 		if !g.Segs[p.Col].CanMatchRange(p.Lo, p.Hi) {
 			atomic.AddInt64(&st.GroupsEliminated, 1)
+			mScanGroupsEliminated.Inc()
 			return nil, nil
 		}
 	}
+	atomic.AddInt64(&st.GroupsScanned, 1)
 	atomic.AddInt64(&st.RowsConsidered, int64(g.Rows))
+	mScanRowsConsidered.Add(int64(g.Rows))
 
 	// Encoded-domain pushdown: narrow a qualifying index list using codes.
 	qual := make([]int, 0, g.Rows)
@@ -220,6 +232,8 @@ func (s *Scan) openGroup(g *colstore.RowGroup) (*groupCursor, error) {
 			qual = append(qual, i)
 		}
 	}
+	atomic.AddInt64(&st.RowsDeleted, int64(g.Rows-len(qual)))
+	mScanRowsDeleted.Add(int64(g.Rows - len(qual)))
 
 	openCache := map[int]*colstore.ColumnReader{}
 	open := func(col int) (*colstore.ColumnReader, error) {
@@ -448,20 +462,24 @@ func (c *groupCursor) nextBatch() *vector.Batch {
 			if r.CanEmitCodes() {
 				r.GatherCodesInto(b.Vecs[i], idxs)
 				atomic.AddInt64(&st.StringColsCoded, 1)
+				mScanColsCoded.Inc()
 			} else {
 				r.GatherInto(b.Vecs[i], idxs)
 				if r.Meta.Enc == colstore.EncDict {
 					atomic.AddInt64(&st.StringColsMaterialized, 1)
+					mScanColsMaterialized.Inc()
 				}
 			}
 		}
 		if c.scan.Residual != nil {
 			expr.ApplyFilter(c.scan.Residual, b)
 		}
+		atomic.AddInt64(&st.RowsResidual, int64(n-b.Len()))
 		if b.Len() == 0 {
 			continue
 		}
-		atomic.AddInt64(&c.scan.Stats.RowsOutput, int64(b.Len()))
+		atomic.AddInt64(&st.RowsOutput, int64(b.Len()))
+		mScanRowsOutput.Add(int64(b.Len()))
 		return b
 	}
 	return nil
@@ -478,6 +496,7 @@ func (s *Scan) deltaBatch(pos *int) *vector.Batch {
 		row := rows[*pos]
 		*pos++
 		atomic.AddInt64(&s.Stats.DeltaRows, 1)
+		mScanDeltaRows.Inc()
 		if s.deltaRowQualifies(row) {
 			picked = append(picked, row)
 		}
@@ -492,7 +511,9 @@ func (s *Scan) deltaBatch(pos *int) *vector.Batch {
 			b.Vecs[c].SetValue(i, row[col])
 		}
 	}
+	atomic.AddInt64(&s.Stats.DeltaRowsOutput, int64(len(picked)))
 	atomic.AddInt64(&s.Stats.RowsOutput, int64(len(picked)))
+	mScanRowsOutput.Add(int64(len(picked)))
 	return b
 }
 

@@ -47,6 +47,7 @@ func (t *Tracker) Release(n int64) {
 func (t *Tracker) NoteSpill() {
 	if t != nil {
 		t.spills.Add(1)
+		mSpills.Inc()
 	}
 }
 

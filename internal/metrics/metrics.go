@@ -1,0 +1,326 @@
+// Package metrics is the engine's observability substrate: a process-wide
+// registry of lock-free counters, gauges, and fixed-bucket histograms that
+// every layer (storage, colstore, delta, tuple mover, batch executor,
+// planner) increments on its hot paths, plus a structured query tracer
+// (trace.go).
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost. Inc/Add/Observe are single atomic adds (a histogram
+//     Observe is two adds plus a branch-free bucket search over a handful of
+//     bounds). No maps, no locks, no allocation after registration. Metric
+//     handles are resolved once, at package init of the instrumented layer,
+//     never per operation.
+//  2. One process-wide registry (Default). The engine is embeddable and a
+//     process may open several DBs; counters are cumulative across all of
+//     them, like any process metric. Per-query numbers come from the query's
+//     own ScanStats/OpStats snapshots, not from this registry.
+//  3. Text exposition. WriteText renders the Prometheus text format
+//     (# HELP / # TYPE plus samples) so the output can be scraped, diffed,
+//     or piped into promtool untouched.
+//
+// Metric names may carry a constant label set in the usual brace syntax
+// ("apollo_colstore_decode_seconds{enc=\"dict\"}"): series sharing a base
+// name are grouped under one HELP/TYPE header and each keeps its labels.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug; they are applied as-is so
+// tests can detect them in the exposition).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down (queue depths, current
+// backoff, worker counts).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop (gauges are not hot-path metrics).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram over float64 observations.
+// Buckets are upper bounds in increasing order; an implicit +Inf bucket
+// catches the tail. Observe is lock-free: one bucket add, one count add, and
+// a CAS loop for the sum.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // one per bound, plus +Inf at the end
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCounts returns the cumulative per-bucket counts (last entry = +Inf).
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// DurationBuckets is the default bucket ladder for sub-second latencies, in
+// seconds: 1µs .. 1s by decades with a 3x midpoint each decade.
+var DurationBuckets = []float64{
+	1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1,
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name   string // full series name, possibly with {labels}
+	base   string // name stripped of labels
+	labels string // label body without braces ("" when unlabeled)
+	help   string
+	kind   metricKind
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Registry holds named metrics. Registration takes a mutex; reads and
+// updates of registered metrics are lock-free. Re-registering a name returns
+// the existing metric, so package-level var blocks in different layers can
+// share series safely.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry every engine layer registers into.
+var Default = NewRegistry()
+
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered with a different kind", name))
+		}
+		return m
+	}
+	base, labels := splitName(name)
+	m := &metric{name: name, base: base, labels: labels, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = &Histogram{}
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. help is recorded on first registration only.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name with the given
+// bucket upper bounds (sorted ascending; nil = DurationBuckets), creating it
+// on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, help, kindHistogram)
+	m.h.init(bounds)
+	return m.h
+}
+
+var histInitMu sync.Mutex
+
+func (h *Histogram) init(bounds []float64) {
+	histInitMu.Lock()
+	defer histInitMu.Unlock()
+	if h.buckets != nil {
+		return
+	}
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	h.bounds = append([]float64(nil), bounds...)
+	h.buckets = make([]atomic.Int64, len(bounds)+1)
+}
+
+// Snapshot returns the current value of every counter and gauge by full
+// series name (histograms report <name>_count and <name>_sum). Tests diff
+// two snapshots around an operation to assert per-operation deltas.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.ordered))
+	for _, m := range r.ordered {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = float64(m.c.Value())
+		case kindGauge:
+			out[m.name] = m.g.Value()
+		case kindHistogram:
+			out[m.name+"_count"] = float64(m.h.Count())
+			out[m.name+"_sum"] = m.h.Sum()
+		}
+	}
+	return out
+}
+
+// WriteText renders the registry in the Prometheus text exposition format.
+// Series sharing a base name emit one # HELP/# TYPE header (first
+// registration's help wins) followed by every labeled sample.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.ordered...)
+	r.mu.Unlock()
+
+	written := map[string]bool{}
+	for _, m := range ms {
+		if !written[m.base] {
+			written[m.base] = true
+			kind := "counter"
+			switch m.kind {
+			case kindGauge:
+				kind = "gauge"
+			case kindHistogram:
+				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.base, m.help, m.base, kind); err != nil {
+				return err
+			}
+		}
+		if err := m.writeSamples(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *metric) series(suffix, extraLabels string) string {
+	labels := m.labels
+	if extraLabels != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extraLabels
+	}
+	if labels == "" {
+		return m.base + suffix
+	}
+	return m.base + suffix + "{" + labels + "}"
+}
+
+func (m *metric) writeSamples(w io.Writer) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.series("", ""), m.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", m.series("", ""), formatFloat(m.g.Value()))
+		return err
+	case kindHistogram:
+		counts := m.h.BucketCounts()
+		for i, bound := range m.h.bounds {
+			le := fmt.Sprintf(`le="%s"`, formatFloat(bound))
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.series("_bucket", le), counts[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", m.series("_bucket", `le="+Inf"`), counts[len(counts)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", m.series("_sum", ""), formatFloat(m.h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", m.series("_count", ""), m.h.Count())
+		return err
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,335 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	// Re-registration returns the same metric.
+	if c2 := r.Counter("test_total", "other help"); c2 != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value = %g, want 1.5", got)
+	}
+	g.Set(0)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("Value = %g, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "a histogram", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-5.605) > 1e-9 {
+		t.Fatalf("Sum = %g, want 5.605", got)
+	}
+	want := []int64{1, 3, 4, 5} // cumulative, +Inf last
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("BucketCounts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BucketCounts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "durations", nil)
+	h.Observe(2e-6)
+	if got := h.BucketCounts()[1]; got != 1 {
+		t.Fatalf("2µs should land in the 3µs bucket, counts=%v", h.BucketCounts())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	h := r.Histogram("lat", "", []float64{1})
+	before := r.Snapshot()
+	c.Add(3)
+	h.Observe(0.5)
+	after := r.Snapshot()
+	if d := after["ops_total"] - before["ops_total"]; d != 3 {
+		t.Fatalf("counter delta = %g, want 3", d)
+	}
+	if d := after["lat_count"] - before["lat_count"]; d != 1 {
+		t.Fatalf("histogram count delta = %g, want 1", d)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{10, 100})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %g, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestWriteTextLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`decode_total{enc="dict"}`, "decodes by encoding").Add(2)
+	r.Counter(`decode_total{enc="numeric"}`, "ignored duplicate help").Add(5)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# HELP decode_total") != 1 {
+		t.Fatalf("want exactly one HELP line for the shared base name, got:\n%s", out)
+	}
+	for _, want := range []string{`decode_total{enc="dict"} 2`, `decode_total{enc="numeric"} 5`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// promLine matches one Prometheus text-format sample line.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (\+Inf|-Inf|NaN|[0-9eE.+-]+)$`)
+
+// ValidatePrometheusText is a minimal parser for the exposition format used
+// by this test and re-used (by copy) in the engine-level format test: every
+// line must be a well-formed HELP/TYPE comment or sample, every sample's
+// base name must have a preceding TYPE, and histogram series must be
+// cumulative with _count equal to the +Inf bucket.
+func validatePrometheusText(t *testing.T, text string) {
+	t.Helper()
+	types := map[string]string{}
+	lastBucket := map[string]float64{}
+	infBucket := map[string]float64{}
+	counts := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("bad metric type in %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment %q", line)
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := types[base]; !ok {
+			if _, ok := types[name]; !ok {
+				t.Fatalf("sample %q has no TYPE header", line)
+			}
+		}
+		valStr := line[strings.LastIndexByte(line, ' ')+1:]
+		val, err := strconv.ParseFloat(strings.Replace(valStr, "+Inf", "Inf", 1), 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		series := line[:strings.LastIndexByte(line, ' ')]
+		switch {
+		case strings.Contains(series, "_bucket{"):
+			key := series[:strings.Index(series, "_bucket{")]
+			if val < lastBucket[key] {
+				t.Fatalf("histogram %s buckets not cumulative at %q", key, line)
+			}
+			lastBucket[key] = val
+			if strings.Contains(series, `le="+Inf"`) {
+				infBucket[key] = val
+			}
+		case strings.HasSuffix(name, "_count"):
+			counts[strings.TrimSuffix(name, "_count")] = val
+		}
+	}
+	for key, inf := range infBucket {
+		if c, ok := counts[key]; ok && c != inf {
+			t.Fatalf("histogram %s: _count %g != +Inf bucket %g", key, c, inf)
+		}
+	}
+}
+
+func TestWriteTextIsValidPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a").Add(7)
+	r.Gauge("b_current", "gauges b").Set(-1.25)
+	h := r.Histogram("c_seconds", "times c", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(7)
+	r.Counter(`d_total{kind="x"}`, "labeled").Inc()
+	r.Histogram(`e_seconds{enc="dict"}`, "labeled histogram", nil).Observe(0.2)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validatePrometheusText(t, buf.String())
+
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"# TYPE b_current gauge",
+		"# TYPE c_seconds histogram",
+		`c_seconds_bucket{le="+Inf"} 3`,
+		"c_seconds_count 3",
+		`e_seconds_bucket{enc="dict",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultRegistryWriteText(t *testing.T) {
+	// The process-wide registry accumulates series from every instrumented
+	// layer that was linked into the test binary; whatever is there must
+	// render as valid exposition text.
+	var buf bytes.Buffer
+	if err := Default.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validatePrometheusText(t, buf.String())
+}
+
+func TestTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(TraceEvent{Query: 7, Op: "scan", Worker: -1, Event: "open"})
+	tr.Emit(TraceEvent{Query: 7, Op: "scan", Worker: -1, Event: "batch", Rows: 900})
+	tr.Emit(TraceEvent{Query: 7, Op: "scan", Worker: -1, Event: "close"})
+
+	var last int64 = -1
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if ev.TsNs < last {
+			t.Fatalf("timestamps not monotone: %d after %d", ev.TsNs, last)
+		}
+		last = ev.TsNs
+		if ev.Query != 7 || ev.Op != "scan" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("got %d events, want 3", n)
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(TraceEvent{Op: "scan", Event: "open"}) // must not panic
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Emit(TraceEvent{Op: fmt.Sprintf("op%d", w), Event: "batch", Rows: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("interleaved write produced invalid JSON line: %v", err)
+		}
+		n++
+	}
+	if n != 200 {
+		t.Fatalf("got %d events, want 200", n)
+	}
+}

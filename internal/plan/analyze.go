@@ -1,0 +1,108 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"apollo/internal/exec/batchexec"
+)
+
+// ExplainAnalyze renders the executed plan tree with per-node counters: rows
+// and batches emitted, wall time, worker replica counts, and for scans the
+// full segment-elimination and pushdown breakdown. It must be called after
+// the query has run (the SQL engine's EXPLAIN ANALYZE executes first); on a
+// plan that never ran, every counter reads zero.
+//
+// Rows, batches, and segment counts are deterministic for a given database
+// state — at DOP>1 each batch is processed by exactly one worker, so sums
+// across replicas do not depend on scheduling — while wall times vary run to
+// run. Golden tests normalize the wall fields and pin everything else.
+func (c *Compiled) ExplainAnalyze() string {
+	mode := "row mode"
+	if c.BatchMode {
+		mode = "batch mode"
+	}
+	if c.MetadataOnly {
+		mode += " (metadata only)"
+	}
+	header := "execution: " + mode + "\n"
+	if !c.BatchMode {
+		// Row mode has no per-operator counters; show the plain tree.
+		return header + Tree(c.Plan)
+	}
+	return header + TreeAnnotated(c.Plan, c.annotateNode)
+}
+
+// annotateNode builds the bracketed stats annotation for one plan node.
+func (c *Compiled) annotateNode(n Node) string {
+	var sb strings.Builder
+
+	own, aux := c.splitInstances(n)
+	if len(own) > 0 {
+		rows, batches, wall := sumOpStats(own)
+		fmt.Fprintf(&sb, "[rows=%d batches=%d wall=%s", rows, batches, formatWall(wall))
+		if len(own) > 1 {
+			fmt.Fprintf(&sb, " workers=%d", len(own))
+		}
+		sb.WriteString("]")
+	}
+	// Auxiliary replicas registered under this node (the key/argument
+	// projections feeding a parallel aggregation) are its input stage.
+	if len(aux) > 0 {
+		rows, _, _ := sumOpStats(aux)
+		fmt.Fprintf(&sb, " [input rows=%d workers=%d]", rows, len(aux))
+	}
+
+	if s, ok := n.(*Scan); ok {
+		if st := c.ScanStatsByNode[s]; st != nil {
+			if sb.Len() > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb,
+				"[groups=%d scanned=%d eliminated=%d segments=%d rows: considered=%d deleted=%d after_range=%d after_bloom=%d residual_dropped=%d delta=%d delta_out=%d out=%d",
+				st.Groups, st.GroupsScanned, st.GroupsEliminated, st.SegmentsOpened,
+				st.RowsConsidered, st.RowsDeleted, st.RowsAfterRange, st.RowsAfterBloom,
+				st.RowsResidual, st.DeltaRows, st.DeltaRowsOutput, st.RowsOutput)
+			if st.StringColsCoded > 0 || st.StringColsMaterialized > 0 {
+				fmt.Fprintf(&sb, " coded_cols=%d materialized_cols=%d",
+					st.StringColsCoded, st.StringColsMaterialized)
+			}
+			sb.WriteString("]")
+		}
+	}
+	return sb.String()
+}
+
+// splitInstances separates a node's own operator instances from auxiliary
+// stage replicas registered under it (instances whose Op differs from the
+// node's lowered operator name).
+func (c *Compiled) splitInstances(n Node) (own, aux []*batchexec.OpStats) {
+	name := c.OpNameByNode[n]
+	for _, st := range c.StatsByNode[n] {
+		if st.Op == name {
+			own = append(own, st)
+		} else {
+			aux = append(aux, st)
+		}
+	}
+	return own, aux
+}
+
+// sumOpStats totals rows and batches across instances (deterministic: each
+// batch is processed by exactly one replica) and takes the maximum wall time
+// (replicas run concurrently, so the slowest bounds the stage).
+func sumOpStats(sts []*batchexec.OpStats) (rows, batches, wallNs int64) {
+	for _, st := range sts {
+		rows += st.Rows
+		batches += st.Batches
+		if st.WallNs > wallNs {
+			wallNs = st.WallNs
+		}
+	}
+	return rows, batches, wallNs
+}
+
+func formatWall(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -3,11 +3,13 @@ package plan
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"apollo/internal/exec"
 	"apollo/internal/exec/batchexec"
 	"apollo/internal/exec/rowexec"
 	"apollo/internal/expr"
+	"apollo/internal/metrics"
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
 )
@@ -60,6 +62,10 @@ type Options struct {
 	// StatsCache, when set, is reused across compilations (the SQL engine
 	// keeps one per database so statistics are not re-collected per query).
 	StatsCache *StatsCache
+
+	// Tracer, when set, receives a structured trace event per operator
+	// lifecycle transition during execution (batch mode only).
+	Tracer *metrics.Tracer
 }
 
 // Compiled is an executable query.
@@ -85,6 +91,22 @@ type Compiled struct {
 	OpStats []*batchexec.OpStats
 	// Tracker exposes spill accounting (batch mode only).
 	Tracker *batchexec.Tracker
+
+	// QueryID is a process-unique id stamped on this compilation; trace
+	// events carry it so interleaved queries can be demultiplexed.
+	QueryID uint64
+	// StatsByNode maps each logical plan node to the OpStats instances of
+	// the physical operators lowered from it — the node's own operator plus
+	// any per-worker stage replicas (batch mode only). EXPLAIN ANALYZE sums
+	// these per node.
+	StatsByNode map[Node][]*batchexec.OpStats
+	// OpNameByNode records the physical operator name each node lowered to,
+	// distinguishing a node's own instances from auxiliary stage replicas
+	// registered under it (e.g. the key/argument projections feeding a
+	// parallel aggregation).
+	OpNameByNode map[Node]string
+	// ScanStatsByNode maps each logical scan to its pushdown counters.
+	ScanStatsByNode map[*Scan]*batchexec.ScanStats
 }
 
 // Explain renders the optimized logical plan with the chosen mode.
@@ -129,7 +151,12 @@ func Compile(root Node, opts Options) (*Compiled, error) {
 	root = pruneColumns(root)
 
 	useBatch := opts.Mode == Mode2014 || (opts.Mode == Mode2012 && supported2012(root))
-	c := &Compiled{Plan: root, BatchMode: useBatch, Schema: outSchema}
+	c := &Compiled{Plan: root, BatchMode: useBatch, Schema: outSchema, QueryID: queryIDs.Add(1)}
+	if useBatch {
+		mCompiledBatch.Inc()
+	} else {
+		mCompiledRow.Inc()
+	}
 
 	if useBatch {
 		cc := &batchCompiler{opts: opts, sc: sc, compiled: c}
@@ -150,6 +177,9 @@ func Compile(root Node, opts Options) (*Compiled, error) {
 }
 
 // --- Batch-mode lowering ---
+
+// queryIDs hands out process-unique query ids for trace demultiplexing.
+var queryIDs atomic.Uint64
 
 type pendingBloom struct {
 	join    *batchexec.HashJoin
@@ -184,16 +214,34 @@ func (cc *batchCompiler) compile(n Node) (batchexec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cc.guard(op, name, -1), nil
+	cc.noteOpName(n, name)
+	return cc.guard(n, op, name, -1), nil
+}
+
+// noteOpName records which physical operator a node lowered to, so EXPLAIN
+// ANALYZE can tell the node's own stats from auxiliary replicas.
+func (cc *batchCompiler) noteOpName(n Node, name string) {
+	if cc.compiled.OpNameByNode == nil {
+		cc.compiled.OpNameByNode = map[Node]string{}
+	}
+	cc.compiled.OpNameByNode[n] = name
 }
 
 // guard wraps op in its fault boundary and registers per-operator execution
-// counters; worker is the exchange replica id (-1 for the serial or final
-// pipeline).
-func (cc *batchCompiler) guard(op batchexec.Operator, name string, worker int) batchexec.Operator {
+// counters under the logical node n; worker is the exchange replica id (-1
+// for the serial or final pipeline).
+func (cc *batchCompiler) guard(n Node, op batchexec.Operator, name string, worker int) batchexec.Operator {
 	g := batchexec.NewGuard(op, name)
 	g.Stats = &batchexec.OpStats{Op: name, Worker: worker}
+	g.Trace = cc.opts.Tracer
+	g.Query = cc.compiled.QueryID
 	cc.compiled.OpStats = append(cc.compiled.OpStats, g.Stats)
+	if n != nil {
+		if cc.compiled.StatsByNode == nil {
+			cc.compiled.StatsByNode = map[Node][]*batchexec.OpStats{}
+		}
+		cc.compiled.StatsByNode[n] = append(cc.compiled.StatsByNode[n], g.Stats)
+	}
 	return g
 }
 
@@ -224,14 +272,22 @@ cut:
 	if err != nil {
 		return nil, nil, err
 	}
+	if len(steps) > 0 {
+		mPipelinesCut.Inc()
+	}
 	chain := func(src batchexec.Operator, worker int) batchexec.Operator {
+		if worker >= 0 {
+			mStagesReplicated.Add(int64(len(steps)))
+		}
 		op := src
 		for i := len(steps) - 1; i >= 0; i-- {
 			switch x := steps[i].(type) {
 			case *Filter:
-				op = cc.guard(&batchexec.Filter{In: op, Pred: x.Pred}, "filter", worker)
+				cc.noteOpName(x, "filter")
+				op = cc.guard(x, &batchexec.Filter{In: op, Pred: x.Pred}, "filter", worker)
 			case *Project:
-				op = cc.guard(batchexec.NewProject(op, x.Exprs, x.Names), "project", worker)
+				cc.noteOpName(x, "project")
+				op = cc.guard(x, batchexec.NewProject(op, x.Exprs, x.Names), "project", worker)
 			}
 		}
 		return op
@@ -336,6 +392,10 @@ func (cc *batchCompiler) compileScan(x *Scan) (*batchexec.Scan, error) {
 	s.Parallel = cc.opts.Parallel
 	s.Stats = &batchexec.ScanStats{}
 	cc.compiled.ScanStats = append(cc.compiled.ScanStats, s.Stats)
+	if cc.compiled.ScanStatsByNode == nil {
+		cc.compiled.ScanStatsByNode = map[*Scan]*batchexec.ScanStats{}
+	}
+	cc.compiled.ScanStatsByNode[x] = s.Stats
 
 	var residual []expr.Expr
 	if x.Filter != nil {
@@ -588,7 +648,7 @@ func (cc *batchCompiler) compileAgg(x *Agg) (batchexec.Operator, string, error) 
 		shared := batchexec.NewSharedSource(base)
 		pipes := make([]batchexec.Operator, dop)
 		for w := range pipes {
-			pipes[w] = cc.guard(batchexec.NewProject(chain(shared.Worker(), w), exprs, names), "project", w)
+			pipes[w] = cc.guard(x, batchexec.NewProject(chain(shared.Worker(), w), exprs, names), "project", w)
 		}
 		agg := batchexec.NewParallelAgg(shared, pipes, groupBy, x.Names, aggs)
 		agg.Tracker = cc.getTracker()

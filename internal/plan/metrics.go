@@ -1,0 +1,14 @@
+package plan
+
+import "apollo/internal/metrics"
+
+var (
+	mCompiledBatch = metrics.Default.Counter(`apollo_plan_queries_compiled_total{mode="batch"}`,
+		"queries compiled, by effective execution mode")
+	mCompiledRow = metrics.Default.Counter(`apollo_plan_queries_compiled_total{mode="row"}`,
+		"queries compiled, by effective execution mode")
+	mPipelinesCut = metrics.Default.Counter("apollo_plan_pipelines_cut_total",
+		"pipelines whose stateless stage run was cut off for per-worker replication")
+	mStagesReplicated = metrics.Default.Counter("apollo_plan_stages_replicated_total",
+		"filter/project stage replicas stamped out for exchange workers")
+)

@@ -192,16 +192,30 @@ func (u *Union) String() string           { return fmt.Sprintf("UnionAll(%d inpu
 // Tree renders an indented plan tree (EXPLAIN output).
 func Tree(n Node) string {
 	var sb strings.Builder
-	tree(&sb, n, 0)
+	tree(&sb, n, 0, nil)
 	return sb.String()
 }
 
-func tree(sb *strings.Builder, n Node, depth int) {
+// TreeAnnotated renders the plan tree with a per-node annotation appended to
+// each line (EXPLAIN ANALYZE output). annot returning "" leaves a node bare.
+func TreeAnnotated(n Node, annot func(Node) string) string {
+	var sb strings.Builder
+	tree(&sb, n, 0, annot)
+	return sb.String()
+}
+
+func tree(sb *strings.Builder, n Node, depth int, annot func(Node) string) {
 	sb.WriteString(strings.Repeat("  ", depth))
 	sb.WriteString(n.String())
+	if annot != nil {
+		if a := annot(n); a != "" {
+			sb.WriteString(" ")
+			sb.WriteString(a)
+		}
+	}
 	sb.WriteString("\n")
 	for _, c := range children(n) {
-		tree(sb, c, depth+1)
+		tree(sb, c, depth+1, annot)
 	}
 }
 

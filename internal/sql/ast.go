@@ -50,8 +50,12 @@ type Reorganize struct{ Table string }
 // rows and folding delta rows into row groups (ALTER INDEX ... REBUILD).
 type Rebuild struct{ Table string }
 
-// Explain wraps a SELECT.
-type Explain struct{ Query *Select }
+// Explain wraps a SELECT. With Analyze set (EXPLAIN ANALYZE) the query is
+// executed and the rendered tree carries per-operator execution counters.
+type Explain struct {
+	Query   *Select
+	Analyze bool
+}
 
 // Select is a SELECT statement (possibly a UNION ALL chain).
 type Select struct {

@@ -66,6 +66,9 @@ func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, er
 	case *Select:
 		return e.runSelect(ctx, x)
 	case *Explain:
+		if x.Analyze {
+			return e.explainAnalyze(ctx, x.Query)
+		}
 		return e.explain(x.Query)
 	case *CreateTable:
 		return e.createTable(x)
@@ -138,6 +141,19 @@ func (e *Engine) explain(s *Select) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Schema: c.Schema, Message: c.Explain(), Compiled: c}, nil
+}
+
+// explainAnalyze executes the query (discarding its rows) and renders the
+// operator tree annotated with the per-operator counters that run produced.
+func (e *Engine) explainAnalyze(ctx context.Context, s *Select) (*Result, error) {
+	c, err := e.compile(s)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	return &Result{Schema: c.Schema, Message: c.ExplainAnalyze(), Compiled: c}, nil
 }
 
 func (e *Engine) createTable(ct *CreateTable) (*Result, error) {

@@ -1,0 +1,99 @@
+package sql
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"apollo/internal/plan"
+)
+
+// Golden-plan suite: EXPLAIN and EXPLAIN ANALYZE output for a fixed set of
+// query shapes is pinned against checked-in files. Run with -update to
+// regenerate after an intentional plan or annotation change:
+//
+//	go test ./internal/sql -run TestGoldenPlans -update
+//
+// ANALYZE goldens normalize wall times (the only nondeterministic field) and
+// pin everything else: rows, batches, worker counts, and the scan's full
+// segment-elimination breakdown. At DOP 8 each batch is still processed by
+// exactly one worker replica, so sums across replicas are reproducible.
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+var wallRE = regexp.MustCompile(`wall=[^ \]]+`)
+
+func normalizeAnalyze(s string) string { return wallRE.ReplaceAllString(s, "wall=<t>") }
+
+var goldenCases = []struct {
+	name  string
+	query string
+}{
+	{"scan_predicate", "SELECT id, amount FROM sales WHERE id BETWEEN 100 AND 250 AND region = 'north'"},
+	{"scan_residual_like", "SELECT id FROM sales WHERE region LIKE 'n%' AND id % 7 = 0"},
+	{"groupby_dict", "SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region"},
+	{"groupby_having", "SELECT cust, COUNT(*) AS n FROM sales GROUP BY cust HAVING COUNT(*) > 40"},
+	{"join_inner", "SELECT s.id, c.cname FROM sales s JOIN customers c ON s.cust = c.cid WHERE s.id < 100"},
+	{"join_left_outer", "SELECT c.cname, s.id FROM customers c LEFT OUTER JOIN sales s ON c.cid = s.cust AND s.amount > 90"},
+	{"join_semi", "SELECT cname FROM customers c LEFT SEMI JOIN sales s ON c.cid = s.cust"},
+	{"join_anti", "SELECT cname FROM customers c LEFT ANTI JOIN sales s ON c.cid = s.cust AND s.amount > 95"},
+	{"join_groupby", "SELECT c.tier, SUM(s.amount) FROM sales s JOIN customers c ON s.cust = c.cid GROUP BY c.tier"},
+	{"topn", "SELECT id, amount FROM sales ORDER BY amount DESC LIMIT 10"},
+	{"distinct", "SELECT DISTINCT region FROM sales"},
+	{"union_all", "SELECT id FROM sales WHERE region = 'north' UNION ALL SELECT id FROM sales WHERE region = 'south'"},
+	{"metadata_count", "SELECT COUNT(*) FROM sales"},
+	{"delta_scan", "SELECT COUNT(*) FROM sales WHERE id >= 1000"},
+}
+
+// goldenEngine builds the deterministic fixture: the standard seed (1000
+// bulk-loaded rows, 5 row groups of 200) plus a few trickled delta rows and
+// some deleted rows, so plans cover compressed, delta, and delete paths.
+func goldenEngine(t *testing.T, dop int) *Engine {
+	t.Helper()
+	e := newEngine(t, plan.Mode2014)
+	e.PlanOpts.Parallel = dop
+	seed(t, e)
+	mustExec(t, e, "INSERT INTO sales VALUES (1000, 3, 1.5, 'north', DATE '1994-02-01'), (1001, 7, 2.5, 'south', DATE '1994-02-02'), (1002, 3, 3.5, 'east', DATE '1994-02-03')")
+	mustExec(t, e, "DELETE FROM sales WHERE id % 100 = 7")
+	return e
+}
+
+func TestGoldenPlans(t *testing.T) {
+	for _, dop := range []int{1, 8} {
+		e := goldenEngine(t, dop)
+		for _, tc := range goldenCases {
+			t.Run(fmt.Sprintf("%s/dop%d", tc.name, dop), func(t *testing.T) {
+				explain := mustExec(t, e, "EXPLAIN "+tc.query).Message
+				analyze1 := normalizeAnalyze(mustExec(t, e, "EXPLAIN ANALYZE "+tc.query).Message)
+				// A second run must produce byte-identical normalized output:
+				// counters are per-query snapshots and replica sums do not
+				// depend on scheduling.
+				analyze2 := normalizeAnalyze(mustExec(t, e, "EXPLAIN ANALYZE "+tc.query).Message)
+				if analyze1 != analyze2 {
+					t.Fatalf("EXPLAIN ANALYZE not deterministic:\nfirst:\n%s\nsecond:\n%s", analyze1, analyze2)
+				}
+
+				content := "query: " + tc.query + "\n\n-- explain\n" + explain + "\n-- explain analyze\n" + analyze1
+				path := filepath.Join("testdata", "golden", fmt.Sprintf("%s.dop%d.golden", tc.name, dop))
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update to create): %v", err)
+				}
+				if string(want) != content {
+					t.Errorf("golden mismatch for %s (run with -update if intentional)\n--- want\n%s\n--- got\n%s", path, want, content)
+				}
+			})
+		}
+	}
+}

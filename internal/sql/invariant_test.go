@@ -1,0 +1,171 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+
+	"apollo/internal/exec/batchexec"
+	"apollo/internal/metrics"
+	"apollo/internal/plan"
+)
+
+// Metrics invariant suite: random queries must satisfy conservation laws
+// tying the scan counters, per-operator counters, and the process-wide
+// metrics registry together. The laws hold for any query and any DOP, so the
+// suite reuses the random query generator rather than a fixed list.
+
+func planChildren(n plan.Node) []plan.Node {
+	switch x := n.(type) {
+	case *plan.Filter:
+		return []plan.Node{x.In}
+	case *plan.Project:
+		return []plan.Node{x.In}
+	case *plan.Join:
+		return []plan.Node{x.Left, x.Right}
+	case *plan.Agg:
+		return []plan.Node{x.In}
+	case *plan.Sort:
+		return []plan.Node{x.In}
+	case *plan.Limit:
+		return []plan.Node{x.In}
+	case *plan.Union:
+		return x.Ins
+	default:
+		return nil
+	}
+}
+
+func walkPlan(n plan.Node, visit func(plan.Node)) {
+	visit(n)
+	for _, c := range planChildren(n) {
+		walkPlan(c, visit)
+	}
+}
+
+// splitNodeStats separates a node's own operator instances (Op matches the
+// node's lowered name) from auxiliary input-stage replicas registered under
+// it (the key/argument projections feeding a parallel aggregation).
+func splitNodeStats(c *plan.Compiled, n plan.Node) (own, aux []*batchexec.OpStats) {
+	name := c.OpNameByNode[n]
+	for _, st := range c.StatsByNode[n] {
+		if st.Op == name {
+			own = append(own, st)
+		} else {
+			aux = append(aux, st)
+		}
+	}
+	return own, aux
+}
+
+func sumRows(sts []*batchexec.OpStats) int64 {
+	var rows int64
+	for _, st := range sts {
+		rows += st.Rows
+	}
+	return rows
+}
+
+func TestMetricsInvariants(t *testing.T) {
+	for _, dop := range []int{1, 8} {
+		e := newEngine(t, plan.Mode2014)
+		e.PlanOpts.Parallel = dop
+		seed(t, e)
+		// Deletes, delta rows, and updated rows so scans cross every path.
+		mustExec(t, e, "DELETE FROM sales WHERE id % 17 = 3")
+		mustExec(t, e, "INSERT INTO sales VALUES (2001, 3, 7.25, 'north', DATE '1994-02-01'), (2002, 4, NULL, 'east', DATE '1994-02-02')")
+		mustExec(t, e, "UPDATE sales SET amount = amount + 5 WHERE id % 31 = 1")
+
+		rng := rand.New(rand.NewSource(20260806 + int64(dop)))
+		for q := 0; q < 60; q++ {
+			sqlText := randomQuery(rng)
+			before := metrics.Default.Snapshot()
+			res, err := e.Exec(sqlText)
+			if err != nil {
+				t.Fatalf("dop%d: %q: %v", dop, sqlText, err)
+			}
+			after := metrics.Default.Snapshot()
+			c := res.Compiled
+			if c == nil || !c.BatchMode || c.MetadataOnly {
+				// Metadata-only shortcuts never open a scan; nothing to check.
+				continue
+			}
+			checkQueryInvariants(t, dop, sqlText, c, int64(len(res.Rows)), before, after)
+		}
+	}
+}
+
+func checkQueryInvariants(t *testing.T, dop int, sqlText string, c *plan.Compiled, resultRows int64, before, after map[string]float64) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Errorf("dop%d: %q: "+format, append([]any{dop, sqlText}, args...)...)
+	}
+
+	var totalGroups, totalScanOut int64
+	walkPlan(c.Plan, func(n plan.Node) {
+		own, aux := splitNodeStats(c, n)
+
+		if s, ok := n.(*plan.Scan); ok {
+			st := c.ScanStatsByNode[s]
+			if st == nil {
+				fail("scan node has no ScanStats")
+				return
+			}
+			// Segment elimination partitions the row groups.
+			if st.Groups != st.GroupsScanned+st.GroupsEliminated {
+				fail("groups %d != scanned %d + eliminated %d", st.Groups, st.GroupsScanned, st.GroupsEliminated)
+			}
+			// Pushdown only ever narrows: considered − deleted ≥ after-range ≥ after-bloom.
+			if st.RowsAfterRange > st.RowsConsidered-st.RowsDeleted {
+				fail("after_range %d > considered %d - deleted %d", st.RowsAfterRange, st.RowsConsidered, st.RowsDeleted)
+			}
+			if st.RowsAfterBloom > st.RowsAfterRange {
+				fail("after_bloom %d > after_range %d", st.RowsAfterBloom, st.RowsAfterRange)
+			}
+			// Conservation on the group side: rows surviving pushdown either
+			// fail the residual predicate or are emitted.
+			if st.RowsAfterBloom-st.RowsResidual != st.RowsOutput-st.DeltaRowsOutput {
+				fail("after_bloom %d - residual %d != output %d - delta_output %d",
+					st.RowsAfterBloom, st.RowsResidual, st.RowsOutput, st.DeltaRowsOutput)
+			}
+			if st.DeltaRowsOutput > st.DeltaRows {
+				fail("delta output %d > delta scanned %d", st.DeltaRowsOutput, st.DeltaRows)
+			}
+			// The scan's guard counted exactly what the scan says it emitted.
+			if got := sumRows(own); got != st.RowsOutput {
+				fail("scan guard rows %d != ScanStats.RowsOutput %d", got, st.RowsOutput)
+			}
+			totalGroups += st.Groups
+			totalScanOut += st.RowsOutput
+		}
+
+		// Exchange law: the input-stage replicas under a node (parallel
+		// partial aggregation) together consume every row the child node
+		// produced — each batch is routed to exactly one worker.
+		if len(aux) > 0 {
+			kids := planChildren(n)
+			if len(kids) == 1 {
+				childOwn, _ := splitNodeStats(c, kids[0])
+				if got, want := sumRows(aux), sumRows(childOwn); got != want {
+					fail("input-stage rows %d != child output rows %d (%d replicas)", got, want, len(aux))
+				}
+			}
+		}
+	})
+
+	// The root operator's guard counted the rows the query returned.
+	rootOwn, _ := splitNodeStats(c, c.Plan)
+	if got := sumRows(rootOwn); got != resultRows {
+		fail("root operator rows %d != result rows %d", got, resultRows)
+	}
+
+	// Registry conservation: the process-wide counters moved by exactly what
+	// this query's scans report (tests run queries one at a time).
+	delta := func(name string) int64 { return int64(after[name] - before[name]) }
+	if got := delta("apollo_scan_rows_output_total"); got != totalScanOut {
+		fail("registry scan-rows-output delta %d != per-query total %d", got, totalScanOut)
+	}
+	if got := delta("apollo_scan_row_groups_total"); got != totalGroups {
+		fail("registry row-groups delta %d != per-query total %d", got, totalGroups)
+	}
+}

@@ -38,7 +38,7 @@ var keywords = map[string]bool{
 	"OUTER": true, "ON": true, "CREATE": true, "TABLE": true, "DROP": true,
 	"INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
 	"UPDATE": true, "SET": true, "DISTINCT": true, "UNION": true, "ALL": true,
-	"EXPLAIN": true, "TRUE": true, "FALSE": true, "WITH": true,
+	"EXPLAIN": true, "ANALYZE": true, "TRUE": true, "FALSE": true, "WITH": true,
 	"REORGANIZE": true, "REBUILD": true, "EXISTS": true, "CASE": true, "COUNT": true,
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "YEAR": true,
 	"MONTH": true, "DAY": true, "DATE": true, "SEMI": true, "ANTI": true,

@@ -64,11 +64,12 @@ func (p *parser) statement() (Statement, error) {
 	case p.at(tokKeyword, "SELECT"):
 		return p.selectStmt()
 	case p.accept(tokKeyword, "EXPLAIN"):
+		analyze := p.accept(tokKeyword, "ANALYZE")
 		s, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: s}, nil
+		return &Explain{Query: s, Analyze: analyze}, nil
 	case p.accept(tokKeyword, "CREATE"):
 		return p.createTable()
 	case p.accept(tokKeyword, "DROP"):

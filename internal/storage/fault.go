@@ -132,6 +132,7 @@ func (f *FaultInjector) roll(rate float64) bool {
 	hit := f.rng.Float64() < rate
 	if hit {
 		f.injected++
+		mFaultsInjected.Inc()
 	}
 	f.mu.Unlock()
 	return hit

@@ -1,0 +1,27 @@
+package storage
+
+import "apollo/internal/metrics"
+
+// Process-wide series for the storage layer, resolved once at init. The
+// per-Store IOStats counters remain the authoritative per-store numbers;
+// these aggregate across every store in the process for the .metrics dump.
+var (
+	mReads = metrics.Default.Counter("apollo_storage_reads_total",
+		"blob read attempts that reached the disk path (cache misses, incl. retries)")
+	mReadBytes = metrics.Default.Counter("apollo_storage_read_bytes_total",
+		"at-rest bytes read from the disk path")
+	mWrites = metrics.Default.Counter("apollo_storage_writes_total",
+		"blob writes")
+	mWrittenBytes = metrics.Default.Counter("apollo_storage_written_bytes_total",
+		"at-rest bytes written")
+	mCacheHits = metrics.Default.Counter("apollo_storage_cache_hits_total",
+		"buffer-pool hits")
+	mCacheMisses = metrics.Default.Counter("apollo_storage_cache_misses_total",
+		"buffer-pool misses")
+	mRetries = metrics.Default.Counter("apollo_storage_retries_total",
+		"read attempts repeated after a transient fault")
+	mCorruption = metrics.Default.Counter("apollo_storage_corruption_total",
+		"reads failing checksum verification")
+	mFaultsInjected = metrics.Default.Counter("apollo_storage_faults_injected_total",
+		"faults raised by attached fault injectors")
+)

@@ -164,6 +164,8 @@ func (s *Store) Put(data []byte, comp Compression) (BlobID, error) {
 
 	s.stats.writes.Add(1)
 	s.stats.bytesWritten.Add(int64(len(onDisk)))
+	mWrites.Inc()
+	mWrittenBytes.Add(int64(len(onDisk)))
 	return id, nil
 }
 
@@ -181,6 +183,7 @@ func (s *Store) Get(id BlobID) ([]byte, error) {
 		data := el.Value.(*cacheEntry).data
 		s.mu.Unlock()
 		s.stats.hits.Add(1)
+		mCacheHits.Inc()
 		return data, nil
 	}
 	onDisk, ok := s.blobs[id]
@@ -190,6 +193,7 @@ func (s *Store) Get(id BlobID) ([]byte, error) {
 		return nil, fmt.Errorf("storage: blob %d not found", id)
 	}
 	s.stats.misses.Add(1)
+	mCacheMisses.Inc()
 
 	policy := s.retryPolicy()
 	attempts := max(policy.MaxAttempts, 1)
@@ -203,6 +207,7 @@ func (s *Store) Get(id BlobID) ([]byte, error) {
 			return nil, err
 		}
 		s.stats.retries.Add(1)
+		mRetries.Inc()
 		time.Sleep(policy.backoff(attempt))
 	}
 }
@@ -218,6 +223,8 @@ func (s *Store) readOnce(id BlobID, onDisk []byte, meta blobMeta) ([]byte, error
 	}
 	s.stats.reads.Add(1)
 	s.stats.bytesRead.Add(int64(len(onDisk)))
+	mReads.Inc()
+	mReadBytes.Add(int64(len(onDisk)))
 
 	var raw []byte
 	switch meta.comp {
@@ -240,6 +247,7 @@ func (s *Store) readOnce(id BlobID, onDisk []byte, meta blobMeta) ([]byte, error
 		raw = f.corruptRead(raw)
 	}
 	if crc32.ChecksumIEEE(raw) != meta.checksum {
+		mCorruption.Inc()
 		return nil, &CorruptionError{Blob: id}
 	}
 	return raw, nil

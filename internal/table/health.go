@@ -49,6 +49,9 @@ func (h *moverHealth) recordSuccess() {
 	h.consecutive = 0
 	h.backoff = 0
 	h.mu.Unlock()
+	mMoverMoves.Inc()
+	mMoverBackoff.Set(0)
+	mMoverConsecFailures.Set(0)
 }
 
 // recordFailure notes one MoveOnce error and returns the backoff the caller
@@ -69,7 +72,11 @@ func (h *moverHealth) recordFailure(err error) time.Duration {
 		}
 	}
 	d := h.backoff
+	consec := h.consecutive
 	h.mu.Unlock()
+	mMoverFailures.Inc()
+	mMoverBackoff.Set(d.Seconds())
+	mMoverConsecFailures.Set(float64(consec))
 	return d
 }
 

@@ -1,0 +1,19 @@
+package table
+
+import "apollo/internal/metrics"
+
+// Tuple-mover series. Counters accumulate across every table in the process;
+// the gauges reflect the most recent health transition of whichever mover
+// reported last (per-table numbers come from Table.Health()).
+var (
+	mMoverMoves = metrics.Default.Counter("apollo_mover_moves_total",
+		"delta stores successfully compressed into row groups")
+	mMoverFailures = metrics.Default.Counter("apollo_mover_failures_total",
+		"MoveOnce errors observed")
+	mMoverAborts = metrics.Default.Counter("apollo_mover_aborts_total",
+		"compressions aborted and rolled back (store re-queued)")
+	mMoverBackoff = metrics.Default.Gauge("apollo_mover_backoff_seconds",
+		"current tuple-mover retry backoff (0 when healthy)")
+	mMoverConsecFailures = metrics.Default.Gauge("apollo_mover_consecutive_failures",
+		"failures since the last successful move")
+)

@@ -645,6 +645,7 @@ func (t *Table) MoveOnce() (moved bool, err error) {
 		s.AbortMove()
 		t.closed = append([]*delta.Store{s}, t.closed...)
 		t.mu.Unlock()
+		mMoverAborts.Inc()
 		return false, err
 	}
 
