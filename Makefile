@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke cover check bench bench-smoke bench-parallel clean
+.PHONY: all build test vet race fuzz-smoke cover check crash crash-full bench bench-smoke bench-parallel bench-wal clean
 
 all: check
 
@@ -27,6 +27,17 @@ fuzz-smoke:
 	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzBitpackRoundtrip -fuzztime=5s
 	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzRLERoundtrip -fuzztime=5s
 	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzDictRoundtrip -fuzztime=5s
+	$(GO) test ./internal/wal -run='^$$' -fuzz=FuzzWALRecord -fuzztime=5s
+
+# Crash-injection matrix: kill a scripted workload at randomized WAL byte
+# offsets and verify recovery lands on an exact committed prefix (zero
+# acknowledged loss under fsync=always). 8 crash points per policy; `make
+# crash-full` runs the 64-point matrix.
+crash:
+	$(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption' -count=1 .
+
+crash-full:
+	APOLLO_CRASH_FULL=1 $(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption' -count=1 -v .
 
 # Per-package statement coverage. internal/metrics (the observability core,
 # locked in by this repo's golden/invariant suites) has a hard 70% floor;
@@ -45,8 +56,8 @@ cover:
 		}'
 
 # Full CI gate: build, vet, tests (incl. golden plans + metrics invariants),
-# race detector, fuzz smoke, coverage floor.
-check: build vet test race fuzz-smoke cover
+# race detector, fuzz smoke, crash matrix, coverage floor.
+check: build vet test race fuzz-smoke crash cover
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -60,6 +71,11 @@ bench-smoke:
 # BENCH_parallel.json for recorded numbers and host caveats).
 bench-parallel:
 	$(GO) test -bench='BenchmarkParallelAgg|BenchmarkParallelJoin' -benchtime=1x -run=^$$ ./internal/exec/batchexec
+
+# WAL append throughput across fsync policies (see BENCH_wal.json for
+# recorded numbers).
+bench-wal:
+	$(GO) test -bench='BenchmarkAppend' -run=^$$ ./internal/wal
 
 clean:
 	$(GO) clean -testcache

@@ -27,13 +27,19 @@ import (
 	"apollo/internal/catalog"
 	"apollo/internal/exec/batchexec"
 	"apollo/internal/metrics"
+	"apollo/internal/persist"
 	"apollo/internal/plan"
 	"apollo/internal/qerr"
 	"apollo/internal/sql"
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
 	"apollo/internal/table"
+	"apollo/internal/wal"
 )
+
+// ErrCorrupt matches mid-log WAL damage surfaced by OpenDir (a torn tail is
+// repaired silently; anything else refuses to open). Use errors.Is.
+var ErrCorrupt = wal.ErrCorrupt
 
 // Value is a scalar SQL value.
 type Value = sqltypes.Value
@@ -118,6 +124,21 @@ type Config struct {
 	// schema. The writer is shared across concurrent queries; events are
 	// serialized, one object per line.
 	TraceWriter io.Writer
+
+	// Durability (OpenDir only; Open ignores these).
+
+	// FsyncPolicy selects the WAL fsync discipline: "always" (default —
+	// group commit, zero loss), "interval" (timer-driven, bounded loss), or
+	// "off" (page cache only).
+	FsyncPolicy string
+	// FsyncInterval is the flush period under FsyncPolicy "interval"
+	// (default 10ms).
+	FsyncInterval time.Duration
+	// WALSegmentBytes rotates WAL segment files at this size (default 16 MiB).
+	WALSegmentBytes int64
+	// WALCrashAt kills the process once the WAL has written this many
+	// cumulative bytes (crash-injection testing; 0 disables).
+	WALCrashAt int64
 }
 
 // DefaultConfig returns the production-like configuration.
@@ -131,17 +152,70 @@ func DefaultConfig() Config {
 
 // DB is a database instance.
 type DB struct {
-	cfg    Config
-	store  *storage.Store
-	cat    *catalog.Catalog
-	engine *sql.Engine
+	cfg     Config
+	store   *storage.Store
+	cat     *catalog.Catalog
+	engine  *sql.Engine
+	wal     *wal.Writer // nil for in-memory databases
+	dataDir string
+	rec     RecoveryInfo
 }
 
 // Open creates an in-process database.
 func Open(cfg Config) *DB {
 	store := storage.NewStore(cfg.BufferPoolBytes)
 	cat := catalog.New(store)
+	return newDB(cfg, store, cat)
+}
 
+// OpenDir opens (or creates) a durable database rooted at dir. Recovery runs
+// first: the newest valid checkpoint image is restored and the write-ahead
+// log is replayed over it, truncating a torn tail left by a crash. Damage
+// anywhere else in the log fails the open with an error matching
+// wal.ErrCorrupt. All DDL and DML on the returned DB is logged; durability
+// of acknowledged writes follows cfg.FsyncPolicy.
+func OpenDir(dir string, cfg Config) (*DB, error) {
+	policy, err := wal.ParsePolicy(cfg.FsyncPolicy)
+	if err != nil {
+		return nil, err
+	}
+	store := storage.NewStore(cfg.BufferPoolBytes)
+	cat := catalog.New(store)
+	res, err := persist.Recover(dir, store, cat, wal.Options{
+		Policy:       policy,
+		Interval:     cfg.FsyncInterval,
+		SegmentBytes: cfg.WALSegmentBytes,
+		CrashAt:      cfg.WALCrashAt,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("apollo: open %s: %w", dir, err)
+	}
+	db := newDB(cfg, store, cat)
+	db.wal = res.Writer
+	db.dataDir = dir
+	db.rec = RecoveryInfo{
+		CheckpointSeq:   res.CheckpointSeq,
+		ReplayedRecords: res.ReplayedRecords,
+		TruncatedTail:   res.TruncatedTail,
+		OrphanBlobs:     res.OrphanBlobs,
+		BlobsLoaded:     res.BlobsLoaded,
+	}
+	// Spills are scratch data; route them to a private in-memory store so
+	// they never write through to the blob directory.
+	db.engine.PlanOpts.SpillStore = storage.NewStore(cfg.BufferPoolBytes)
+	// Recovered tables get their background movers started here (the engine
+	// hook only fires for tables created through SQL).
+	if cfg.TupleMoverInterval > 0 {
+		for _, name := range cat.List() {
+			if t, err := cat.Get(name); err == nil {
+				t.StartTupleMover(cfg.TupleMoverInterval)
+			}
+		}
+	}
+	return db, nil
+}
+
+func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog) *DB {
 	topts := table.DefaultOptions()
 	if cfg.RowGroupSize > 0 {
 		topts.RowGroupSize = cfg.RowGroupSize
@@ -182,9 +256,56 @@ func Open(cfg Config) *DB {
 	return db
 }
 
-// Close stops background workers. The database is in-memory; closing does
-// not persist anything.
-func (db *DB) Close() { db.cat.Close() }
+// Close stops background workers. For a durable database (OpenDir) it also
+// flushes and closes the write-ahead log; for an in-memory one (Open),
+// closing does not persist anything.
+func (db *DB) Close() {
+	db.cat.Close()
+	if db.wal != nil {
+		db.wal.Close()
+	}
+}
+
+// --- Durability (OpenDir databases) ---
+
+// RecoveryInfo summarizes what recovery did when a durable database opened.
+type RecoveryInfo struct {
+	CheckpointSeq   uint64 // replay point of the checkpoint image used (0 = none)
+	ReplayedRecords int64  // WAL records applied over the image
+	TruncatedTail   bool   // a torn tail was found and truncated
+	OrphanBlobs     int    // unreferenced blob files garbage-collected
+	BlobsLoaded     int    // blob files loaded from disk
+}
+
+// RecoveryInfo reports the recovery summary of an OpenDir database (zero
+// value for in-memory databases).
+func (db *DB) RecoveryInfo() RecoveryInfo { return db.rec }
+
+// Durable reports whether the database persists to disk.
+func (db *DB) Durable() bool { return db.wal != nil }
+
+// Checkpoint writes a checkpoint image of every table and truncates the
+// write-ahead log below it, bounding recovery time. Concurrent DML is safe
+// (the checkpoint is fuzzy; replay is idempotent). Returns the new WAL
+// replay point, or an error on an in-memory database.
+func (db *DB) Checkpoint() (uint64, error) {
+	if db.wal == nil {
+		return 0, fmt.Errorf("apollo: checkpoint on an in-memory database")
+	}
+	return persist.WriteCheckpoint(db.dataDir, db.wal, db.cat)
+}
+
+// WALStats reports the write-ahead log position (zero value for in-memory
+// databases).
+type WALStats = wal.Stats
+
+// WALStats returns the current WAL position and fsync policy.
+func (db *DB) WALStats() WALStats {
+	if db.wal == nil {
+		return WALStats{}
+	}
+	return db.wal.Stat()
+}
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -420,9 +541,13 @@ type FaultConfig = storage.FaultConfig
 // InjectStorageFaults installs a fault injector on the database's blob
 // store. Transient read errors are retried with bounded exponential backoff;
 // corruption fails fast with an error naming the blob. Pass a zero rate
-// config with only ReadLatency set to simulate slow storage.
-func (db *DB) InjectStorageFaults(cfg FaultConfig) {
-	db.store.SetFaultInjector(storage.NewFaultInjector(cfg))
+// config with only ReadLatency set to simulate slow storage. Returns the
+// resolved RNG seed (cfg.Seed, or clock-derived when 0) so a failing run can
+// be replayed exactly.
+func (db *DB) InjectStorageFaults(cfg FaultConfig) int64 {
+	inj := storage.NewFaultInjector(cfg)
+	db.store.SetFaultInjector(inj)
+	return inj.Seed()
 }
 
 // ClearStorageFaults removes any installed fault injector.

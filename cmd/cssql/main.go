@@ -2,16 +2,21 @@
 //
 // Usage:
 //
-//	cssql [-mode 2014|2012|row] [-parallel N] [-ssb SF]
+//	cssql [-mode 2014|2012|row] [-parallel N] [-ssb SF] [-data DIR] [-fsync always|interval|off]
 //
+// With -data the database is durable: it recovers from DIR on startup
+// (checkpoint image + WAL replay) and logs all DDL/DML to a write-ahead log
+// whose fsync discipline -fsync selects. Without -data it is in-memory.
 // The -ssb flag preloads a Star Schema Benchmark warehouse (tables
 // lineorder, dwdate, customer, supplier, part). Dot-commands:
 //
 //	.tables          list tables
 //	.stats <table>   physical table statistics
 //	.health <table>  tuple-mover health (failures, backoff, last error)
-//	.faults <read> <write> <corrupt>  inject storage faults (rates in [0,1])
+//	.faults <read> <write> <corrupt> [seed]  inject storage faults (rates in [0,1])
 //	.faults off      clear fault injection
+//	.checkpoint      write a checkpoint image and truncate the WAL (-data only)
+//	.wal             show WAL position, fsync policy, and recovery summary
 //	.metrics [prefix]  dump engine metrics (Prometheus text format)
 //	.mode            show the execution mode
 //	.quit            exit
@@ -33,12 +38,15 @@ func main() {
 	mode := flag.String("mode", "2014", "execution mode: 2014, 2012, or row")
 	parallel := flag.Int("parallel", 0, "scan degree of parallelism")
 	ssb := flag.Float64("ssb", 0, "preload an SSB warehouse at this scale factor")
+	dataDir := flag.String("data", "", "durable database directory (empty = in-memory)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy with -data: always, interval, or off")
 	flag.Parse()
 
 	cfg := apollo.DefaultConfig()
 	cfg.Parallel = *parallel
 	cfg.RowGroupSize = 1 << 16
 	cfg.BulkLoadThreshold = 4096
+	cfg.FsyncPolicy = *fsync
 	switch *mode {
 	case "2014":
 		cfg.Mode = apollo.Mode2014
@@ -50,7 +58,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cssql: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-	db := apollo.Open(cfg)
+	var db *apollo.DB
+	if *dataDir != "" {
+		var err error
+		db, err = apollo.OpenDir(*dataDir, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cssql: %v\n", err)
+			os.Exit(1)
+		}
+		rec := db.RecoveryInfo()
+		fmt.Printf("recovered %s: %d blob files, checkpoint seq %d, %d WAL records replayed",
+			*dataDir, rec.BlobsLoaded, rec.CheckpointSeq, rec.ReplayedRecords)
+		if rec.TruncatedTail {
+			fmt.Print(", torn tail truncated")
+		}
+		if rec.OrphanBlobs > 0 {
+			fmt.Printf(", %d orphan blobs removed", rec.OrphanBlobs)
+		}
+		fmt.Println()
+	} else {
+		db = apollo.Open(cfg)
+	}
 	defer db.Close()
 
 	if *ssb > 0 {
@@ -136,21 +164,49 @@ func dot(db *apollo.DB, cmd string) bool {
 			fmt.Println("fault injection cleared")
 			break
 		}
-		if len(fields) != 4 {
-			fmt.Println("usage: .faults <readRate> <writeRate> <corruptRate> | .faults off")
+		if len(fields) != 4 && len(fields) != 5 {
+			fmt.Println("usage: .faults <readRate> <writeRate> <corruptRate> [seed] | .faults off")
 			break
 		}
 		var read, write, corrupt float64
-		if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%g %g %g", &read, &write, &corrupt); err != nil {
-			fmt.Println("usage: .faults <readRate> <writeRate> <corruptRate> | .faults off")
+		var seed int64
+		if _, err := fmt.Sscanf(strings.Join(fields[1:4], " "), "%g %g %g", &read, &write, &corrupt); err != nil {
+			fmt.Println("usage: .faults <readRate> <writeRate> <corruptRate> [seed] | .faults off")
 			break
 		}
-		db.InjectStorageFaults(apollo.FaultConfig{
+		if len(fields) == 5 {
+			if _, err := fmt.Sscanf(fields[4], "%d", &seed); err != nil {
+				fmt.Println("usage: .faults <readRate> <writeRate> <corruptRate> [seed] | .faults off")
+				break
+			}
+		}
+		resolved := db.InjectStorageFaults(apollo.FaultConfig{
 			ReadErrorRate:  read,
 			WriteErrorRate: write,
 			CorruptionRate: corrupt,
+			Seed:           seed,
 		})
-		fmt.Printf("injecting faults: read %.2g, write %.2g, corrupt %.2g\n", read, write, corrupt)
+		fmt.Printf("injecting faults: read %.2g, write %.2g, corrupt %.2g (seed %d — pass it back to replay this sequence)\n",
+			read, write, corrupt, resolved)
+	case ".checkpoint":
+		seq, err := db.Checkpoint()
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		ws := db.WALStats()
+		fmt.Printf("checkpoint written (WAL replay point seq %d, current segment %d)\n", seq, ws.Seq)
+	case ".wal":
+		if !db.Durable() {
+			fmt.Println("in-memory database (start with -data DIR for durability)")
+			break
+		}
+		ws := db.WALStats()
+		rec := db.RecoveryInfo()
+		fmt.Printf("segment seq: %d\nappended bytes: %d (durable: %d)\nfsync policy: %s\n",
+			ws.Seq, ws.TotalBytes, ws.SyncedBytes, ws.Policy)
+		fmt.Printf("last recovery: checkpoint seq %d, %d records replayed, torn tail: %v\n",
+			rec.CheckpointSeq, rec.ReplayedRecords, rec.TruncatedTail)
 	case ".metrics":
 		var sb strings.Builder
 		if err := db.WriteMetrics(&sb); err != nil {

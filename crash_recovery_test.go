@@ -1,0 +1,216 @@
+package apollo_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"apollo"
+	"apollo/internal/wal"
+	"apollo/internal/wal/crashtest"
+)
+
+// TestMain dispatches harness children: when the crash matrix re-executes
+// this test binary with APOLLO_CRASH_CHILD=1, the child runs the scripted
+// workload (and dies at its armed crash point) instead of the test suite.
+func TestMain(m *testing.M) {
+	if crashtest.IsChild() {
+		crashtest.RunChild() // exits
+	}
+	os.Exit(m.Run())
+}
+
+// runChild executes the scripted workload in a child process against dir,
+// with the WAL armed to crash at byte offset crashAt (0 = run to
+// completion). Returns the child's exit code.
+func runChild(t *testing.T, dir string, crashAt int64, policy string, extraEnv ...string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"APOLLO_CRASH_CHILD=1",
+		"APOLLO_CRASH_DIR="+dir,
+		fmt.Sprintf("APOLLO_CRASH_AT=%d", crashAt),
+		"APOLLO_CRASH_FSYNC="+policy,
+	)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		if ee.ExitCode() != 3 { // 3 = armed crash fired, anything else is a bug
+			t.Fatalf("child exit %d (crashAt=%d policy=%s):\n%s", ee.ExitCode(), crashAt, policy, out)
+		}
+		return ee.ExitCode()
+	}
+	t.Fatalf("child failed to run: %v\n%s", err, out)
+	return -1
+}
+
+// verifyRecovered recovers dir and checks the committed-prefix property:
+// the table state equals the state after exactly K scripted ops for some K.
+// K = -1 means the table itself never became durable (the crash hit the
+// CREATE TABLE record) — legitimate only when nothing was acknowledged.
+func verifyRecovered(t *testing.T, dir, policy string, expected [][32]byte) (int, apollo.RecoveryInfo) {
+	t.Helper()
+	db, err := apollo.OpenDir(dir, crashtest.Config(policy))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer db.Close()
+	if _, err := db.Table("k"); err != nil {
+		return -1, db.RecoveryInfo()
+	}
+	sum, rows, err := crashtest.Checksum(db)
+	if err != nil {
+		t.Fatalf("checksum after recovery: %v", err)
+	}
+	for k := len(expected) - 1; k >= 0; k-- {
+		if expected[k] == sum {
+			return k, db.RecoveryInfo()
+		}
+	}
+	t.Fatalf("recovered state (%d rows) matches no prefix of the script — partial or reordered ops survived", rows)
+	return -1, apollo.RecoveryInfo{}
+}
+
+// TestCrashRecoveryMatrix kills the workload at randomized WAL byte offsets
+// and verifies recovery lands on an exact committed prefix every time. Under
+// fsync=always the prefix must cover every acknowledged op (zero loss);
+// under fsync=interval acknowledged ops may be lost (bounded by the flush
+// interval) but the state must still be an exact prefix. Set
+// APOLLO_CRASH_FULL=1 for the 64-point matrix (8 by default).
+func TestCrashRecoveryMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix spawns child processes; skipped in -short")
+	}
+	points := 8
+	if os.Getenv("APOLLO_CRASH_FULL") != "" {
+		points = 64
+	}
+	for _, policy := range []string{"always", "interval"} {
+		t.Run("fsync="+policy, func(t *testing.T) {
+			expected, err := crashtest.ExpectedChecksums(policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Baseline run to completion: no crash, learn the WAL size.
+			base := t.TempDir()
+			if code := runChild(t, base, 0, policy); code != 0 {
+				t.Fatalf("baseline child crashed (exit %d)", code)
+			}
+			total, err := crashtest.ReadWALTotal(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k, _ := verifyRecovered(t, base, policy, expected); k != len(expected)-1 {
+				t.Fatalf("crash-free run recovered to prefix %d, want %d", k, len(expected)-1)
+			}
+
+			rng := rand.New(rand.NewSource(20130622)) // deterministic matrix
+			for i := 0; i < points; i++ {
+				crashAt := 17 + rng.Int63n(total-17)
+				t.Run(fmt.Sprintf("crashAt=%d", crashAt), func(t *testing.T) {
+					dir := t.TempDir()
+					if code := runChild(t, dir, crashAt, policy); code != 3 {
+						t.Fatalf("child survived armed crash point %d (exit %d)", crashAt, code)
+					}
+					acked, err := crashtest.ReadProgress(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					k, _ := verifyRecovered(t, dir, policy, expected)
+					if k == -1 {
+						if acked != 0 {
+							t.Fatalf("table lost after %d acknowledged ops", acked)
+						}
+						return // crash hit the CREATE TABLE record itself
+					}
+					if k > acked+1 {
+						t.Fatalf("recovered prefix %d is ahead of acknowledged %d + one in-flight op", k, acked)
+					}
+					if policy == "always" && k < acked {
+						t.Fatalf("fsync=always lost acknowledged ops: recovered prefix %d < acknowledged %d", k, acked)
+					}
+					if policy == "interval" && k < acked {
+						t.Logf("fsync=interval lost %d acknowledged ops (allowed, bounded by flush interval)", acked-k)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestCrashMidCheckpoint kills the child immediately after the checkpoint
+// image becomes durable but before the checkpoint-end record and the WAL
+// truncation — the most delicate window of the checkpoint protocol.
+func TestCrashMidCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process; skipped in -short")
+	}
+	expected, err := crashtest.ExpectedChecksums("always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if code := runChild(t, dir, 0, "always", "APOLLO_CRASH_MIDCKPT=1"); code != 3 {
+		t.Fatalf("child survived mid-checkpoint kill (exit %d)", code)
+	}
+	acked, err := crashtest.ReadProgress(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, rec := verifyRecovered(t, dir, "always", expected)
+	if k < acked {
+		t.Fatalf("mid-checkpoint crash lost acknowledged ops: prefix %d < acknowledged %d", k, acked)
+	}
+	if rec.CheckpointSeq == 0 {
+		t.Fatal("recovery ignored the durable checkpoint image")
+	}
+}
+
+// TestRecoveryRefusesMidLogCorruption flips a byte in the interior of the
+// log: that is not a torn tail, and recovery must refuse with ErrCorrupt
+// rather than silently replay a damaged history.
+func TestRecoveryRefusesMidLogCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process; skipped in -short")
+	}
+	dir := t.TempDir()
+	if code := runChild(t, dir, 0, "always"); code != 0 {
+		t.Fatalf("baseline child crashed (exit %d)", code)
+	}
+	// Find the newest WAL segment and damage a frame in its interior.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments found: %v", err)
+	}
+	seg := segs[len(segs)-1]
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) < 200 {
+		t.Fatalf("segment too small to corrupt mid-file: %d bytes", len(buf))
+	}
+	buf[len(buf)/2] ^= 0x01
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = apollo.OpenDir(dir, crashtest.Config("always"))
+	if err == nil {
+		t.Fatal("recovery accepted a corrupt log")
+	}
+	if !errors.Is(err, apollo.ErrCorrupt) || !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("corruption error does not locate the damage: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
 	"apollo/internal/table"
+	"apollo/internal/wal"
 )
 
 // Catalog maps table names to clustered columnstore tables. It is safe for
@@ -18,11 +19,21 @@ type Catalog struct {
 
 	mu     sync.RWMutex
 	tables map[string]*table.Table
+	wal    *wal.Writer
 }
 
 // New creates an empty catalog backed by the given blob store.
 func New(store *storage.Store) *Catalog {
 	return &Catalog{store: store, tables: make(map[string]*table.Table)}
+}
+
+// SetWAL attaches a write-ahead log: DDL is logged, and every table created
+// afterwards logs its DML. Attach before any DDL (normally right after New
+// or recovery).
+func (c *Catalog) SetWAL(w *wal.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wal = w
 }
 
 // Store returns the catalog's blob store.
@@ -46,9 +57,30 @@ func (c *Catalog) Create(name string, schema *sqltypes.Schema, opts table.Option
 	if _, ok := c.tables[name]; ok {
 		return nil, fmt.Errorf("catalog: table %s already exists", name)
 	}
+	if c.wal != nil {
+		rec := &wal.Record{Type: wal.TCreateTable, Table: name, Payload: table.EncodeTableDef(schema, opts)}
+		if err := c.wal.Append(rec); err != nil {
+			return nil, err
+		}
+	}
 	t := table.New(c.store, name, schema, opts)
+	t.SetWAL(c.wal)
 	c.tables[name] = t
 	return t, nil
+}
+
+// Install registers a table without logging — the recovery path, where the
+// table was reconstructed from a checkpoint image or a replayed create
+// record. The WAL is attached so post-recovery DML logs normally.
+func (c *Catalog) Install(t *table.Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: table %s already exists", t.Name)
+	}
+	t.SetWAL(c.wal)
+	c.tables[t.Name] = t
+	return nil
 }
 
 // Get returns the named table, or an error.
@@ -66,11 +98,18 @@ func (c *Catalog) Get(name string) (*table.Table, error) {
 func (c *Catalog) Drop(name string) error {
 	c.mu.Lock()
 	t, ok := c.tables[name]
-	delete(c.tables, name)
-	c.mu.Unlock()
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("catalog: table %s does not exist", name)
 	}
+	if c.wal != nil {
+		if err := c.wal.Append(&wal.Record{Type: wal.TDropTable, Table: name}); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+	}
+	delete(c.tables, name)
+	c.mu.Unlock()
 	t.StopTupleMover()
 	return nil
 }

@@ -162,6 +162,51 @@ func (x *Index) PublishGroup(g *RowGroup) {
 	x.mu.Unlock()
 }
 
+// NextGroupID returns the id the next published group will receive. The
+// durable write path peeks it so the publish WAL record can carry the id the
+// group will actually get (the peek and the publish happen under the table
+// lock, so no other publish can slip between).
+func (x *Index) NextGroupID() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.nextID
+}
+
+// RestoreGroup appends a group honoring its preassigned ID, advancing the
+// id counter past it. Idempotent: a group whose id is already in the
+// directory is ignored (false), which makes WAL replay over a checkpoint
+// image that already contains the group a no-op.
+func (x *Index) RestoreGroup(g *RowGroup) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for _, e := range x.groups {
+		if e.ID == g.ID {
+			return false
+		}
+	}
+	x.groups = append(x.groups, g)
+	if g.ID >= x.nextID {
+		x.nextID = g.ID + 1
+	}
+	return true
+}
+
+// RestorePrimary replaces column col's primary dictionary (recovery path;
+// not safe concurrent with scans).
+func (x *Index) RestorePrimary(col int, d *encoding.Dict) {
+	x.primaries[col] = d
+}
+
+// SetNextGroupID raises the next group id to at least id (restore path;
+// keeps retired ids retired across a checkpoint/restore cycle).
+func (x *Index) SetNextGroupID(id int) {
+	x.mu.Lock()
+	if id > x.nextID {
+		x.nextID = id
+	}
+	x.mu.Unlock()
+}
+
 // primaryOrDummy guarantees buildSegment a non-nil dictionary for string
 // columns; non-string columns never touch it.
 func primaryOrDummy(d *encoding.Dict) *encoding.Dict {

@@ -1,0 +1,289 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"apollo/internal/encoding"
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+)
+
+// Serialization of the segment directory for the WAL and checkpoint images.
+// Segment payload blobs are durable on their own (the blob store writes
+// through to disk), so a group-publish record or checkpoint entry carries
+// only metadata: row counts, min/max bounds, encodings, and blob ids — plus
+// the primary-dictionary values the build appended, which otherwise live
+// only in memory.
+
+// appendValue serializes one sqltypes.Value.
+func appendValue(dst []byte, v sqltypes.Value) []byte {
+	dst = append(dst, byte(v.Typ))
+	if v.Null {
+		return append(dst, 1)
+	}
+	dst = append(dst, 0)
+	switch v.Typ {
+	case sqltypes.String:
+		dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+		dst = append(dst, v.S...)
+	case sqltypes.Float64:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+	default:
+		dst = binary.AppendVarint(dst, v.I)
+	}
+	return dst
+}
+
+// readValue decodes one value, returning the bytes consumed.
+func readValue(buf []byte) (sqltypes.Value, int, error) {
+	if len(buf) < 2 {
+		return sqltypes.Value{}, 0, fmt.Errorf("colstore: truncated value")
+	}
+	v := sqltypes.Value{Typ: sqltypes.Type(buf[0]), Null: buf[1] == 1}
+	pos := 2
+	if v.Null {
+		return v, pos, nil
+	}
+	switch v.Typ {
+	case sqltypes.String:
+		l, n := binary.Uvarint(buf[pos:])
+		if n <= 0 || l > uint64(len(buf)-pos-n) {
+			return v, 0, fmt.Errorf("colstore: bad string value length")
+		}
+		pos += n
+		v.S = string(buf[pos : pos+int(l)])
+		pos += int(l)
+	case sqltypes.Float64:
+		if pos+8 > len(buf) {
+			return v, 0, fmt.Errorf("colstore: truncated float value")
+		}
+		v.F = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+		pos += 8
+	default:
+		i, n := binary.Varint(buf[pos:])
+		if n <= 0 {
+			return v, 0, fmt.Errorf("colstore: bad int value")
+		}
+		v.I = i
+		pos += n
+	}
+	return v, pos, nil
+}
+
+func appendSegmentMeta(dst []byte, m *SegmentMeta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(m.Rows))
+	dst = binary.AppendUvarint(dst, uint64(m.NullCount))
+	dst = appendValue(dst, m.Min)
+	dst = appendValue(dst, m.Max)
+	dst = append(dst, byte(m.Enc), byte(m.Numeric.Kind))
+	dst = binary.AppendVarint(dst, m.Numeric.Base)
+	dst = append(dst, byte(m.Numeric.Scale))
+	dst = binary.AppendUvarint(dst, uint64(m.DictCut))
+	dst = append(dst, byte(m.Comp))
+	dst = binary.AppendUvarint(dst, uint64(m.Blob))
+	dst = binary.AppendUvarint(dst, uint64(m.LocalDict))
+	dst = binary.AppendUvarint(dst, uint64(m.DiskBytes))
+	dst = binary.AppendUvarint(dst, uint64(m.RawBytes))
+	return dst
+}
+
+func readSegmentMeta(buf []byte) (SegmentMeta, int, error) {
+	var m SegmentMeta
+	pos := 0
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("colstore: truncated segment meta")
+		}
+		pos += n
+		return v, nil
+	}
+	rows, err := uv()
+	if err != nil {
+		return m, 0, err
+	}
+	nulls, err := uv()
+	if err != nil {
+		return m, 0, err
+	}
+	m.Rows, m.NullCount = int(rows), int(nulls)
+	var vn int
+	if m.Min, vn, err = readValue(buf[pos:]); err != nil {
+		return m, 0, err
+	}
+	pos += vn
+	if m.Max, vn, err = readValue(buf[pos:]); err != nil {
+		return m, 0, err
+	}
+	pos += vn
+	if pos+2 > len(buf) {
+		return m, 0, fmt.Errorf("colstore: truncated segment meta")
+	}
+	m.Enc = EncKind(buf[pos])
+	m.Numeric.Kind = encoding.NumKind(buf[pos+1])
+	pos += 2
+	base, n := binary.Varint(buf[pos:])
+	if n <= 0 {
+		return m, 0, fmt.Errorf("colstore: truncated segment meta")
+	}
+	m.Numeric.Base = base
+	pos += n
+	if pos >= len(buf) {
+		return m, 0, fmt.Errorf("colstore: truncated segment meta")
+	}
+	m.Numeric.Scale = int8(buf[pos])
+	pos++
+	cut, err := uv()
+	if err != nil {
+		return m, 0, err
+	}
+	m.DictCut = uint32(cut)
+	if pos >= len(buf) {
+		return m, 0, fmt.Errorf("colstore: truncated segment meta")
+	}
+	m.Comp = CompKind(buf[pos])
+	pos++
+	blob, err := uv()
+	if err != nil {
+		return m, 0, err
+	}
+	local, err := uv()
+	if err != nil {
+		return m, 0, err
+	}
+	disk, err := uv()
+	if err != nil {
+		return m, 0, err
+	}
+	raw, err := uv()
+	if err != nil {
+		return m, 0, err
+	}
+	m.Blob = storage.BlobID(blob)
+	m.LocalDict = storage.BlobID(local)
+	m.DiskBytes, m.RawBytes = int(disk), int(raw)
+	return m, pos, nil
+}
+
+// AppendRowGroup serializes a row group directory entry.
+func AppendRowGroup(dst []byte, g *RowGroup) []byte {
+	dst = binary.AppendUvarint(dst, uint64(g.ID))
+	dst = binary.AppendUvarint(dst, uint64(g.Rows))
+	dst = binary.AppendUvarint(dst, uint64(len(g.Segs)))
+	for i := range g.Segs {
+		dst = appendSegmentMeta(dst, &g.Segs[i])
+	}
+	return dst
+}
+
+// ReadRowGroup decodes a row group entry, returning the bytes consumed.
+func ReadRowGroup(buf []byte) (*RowGroup, int, error) {
+	pos := 0
+	id, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("colstore: truncated row group")
+	}
+	pos += n
+	rows, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("colstore: truncated row group")
+	}
+	pos += n
+	nsegs, n := binary.Uvarint(buf[pos:])
+	if n <= 0 || nsegs > 1<<20 {
+		return nil, 0, fmt.Errorf("colstore: bad segment count")
+	}
+	pos += n
+	g := &RowGroup{ID: int(id), Rows: int(rows), Segs: make([]SegmentMeta, nsegs)}
+	for i := range g.Segs {
+		m, n, err := readSegmentMeta(buf[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		g.Segs[i] = m
+		pos += n
+	}
+	return g, pos, nil
+}
+
+// DictAppend records the primary-dictionary growth of one string column
+// during a row-group build: the dictionary had Prev entries before the build
+// and Vals were appended (ids Prev..Prev+len(Vals)-1).
+type DictAppend struct {
+	Col  int
+	Prev int
+	Vals []string
+}
+
+// Publish is the payload of a group-publish WAL record: the new group's
+// directory entry plus the dictionary entries its build added.
+type Publish struct {
+	Group *RowGroup
+	Dicts []DictAppend
+}
+
+// MarshalPublish serializes a publish payload.
+func MarshalPublish(p *Publish) []byte {
+	dst := AppendRowGroup(nil, p.Group)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Dicts)))
+	for _, da := range p.Dicts {
+		dst = binary.AppendUvarint(dst, uint64(da.Col))
+		dst = binary.AppendUvarint(dst, uint64(da.Prev))
+		dst = binary.AppendUvarint(dst, uint64(len(da.Vals)))
+		for _, v := range da.Vals {
+			dst = binary.AppendUvarint(dst, uint64(len(v)))
+			dst = append(dst, v...)
+		}
+	}
+	return dst
+}
+
+// UnmarshalPublish decodes a publish payload.
+func UnmarshalPublish(buf []byte) (*Publish, error) {
+	g, pos, err := ReadRowGroup(buf)
+	if err != nil {
+		return nil, err
+	}
+	nd, n := binary.Uvarint(buf[pos:])
+	if n <= 0 || nd > 1<<20 {
+		return nil, fmt.Errorf("colstore: bad dict-append count")
+	}
+	pos += n
+	p := &Publish{Group: g, Dicts: make([]DictAppend, 0, nd)}
+	for i := uint64(0); i < nd; i++ {
+		var da DictAppend
+		col, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("colstore: truncated dict append")
+		}
+		pos += n
+		prev, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("colstore: truncated dict append")
+		}
+		pos += n
+		nv, n := binary.Uvarint(buf[pos:])
+		if n <= 0 || nv > 1<<24 {
+			return nil, fmt.Errorf("colstore: bad dict value count")
+		}
+		pos += n
+		da.Col, da.Prev = int(col), int(prev)
+		da.Vals = make([]string, 0, nv)
+		for j := uint64(0); j < nv; j++ {
+			l, n := binary.Uvarint(buf[pos:])
+			if n <= 0 || l > uint64(len(buf)-pos-n) {
+				return nil, fmt.Errorf("colstore: truncated dict value")
+			}
+			pos += n
+			da.Vals = append(da.Vals, string(buf[pos:pos+int(l)]))
+			pos += int(l)
+		}
+		p.Dicts = append(p.Dicts, da)
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("colstore: %d trailing bytes in publish payload", len(buf)-pos)
+	}
+	return p, nil
+}

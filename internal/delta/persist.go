@@ -1,0 +1,93 @@
+package delta
+
+import (
+	"fmt"
+
+	"apollo/internal/bits"
+)
+
+// Durability hooks. The WAL logs delta mutations as (store id, tuple key,
+// encoded row); recovery replays them through the Restore* methods below,
+// which bypass lifecycle checks — replay reconstructs history, including
+// inserts into stores that were later closed.
+
+// InsertEncoded appends an already-encoded row, returning its key. The write
+// path uses it so the same encoded bytes serve both the tree and the WAL
+// record without encoding twice. The slice is retained; callers must not
+// reuse it.
+func (s *Store) InsertEncoded(encoded []byte) (uint64, error) {
+	if s.state != Open {
+		return 0, fmt.Errorf("delta: insert into %v store", s.state)
+	}
+	key := s.nextKey
+	s.nextKey++
+	s.tree.Put(key, encoded)
+	return key, nil
+}
+
+// RestoreRow inserts an encoded row at a specific key, bumping the key
+// counter past it. Idempotent under re-replay (Put overwrites).
+func (s *Store) RestoreRow(key uint64, encoded []byte) {
+	s.tree.Put(key, encoded)
+	if key >= s.nextKey {
+		s.nextKey = key + 1
+	}
+}
+
+// RestoreDelete removes a key without delete-buffer side effects.
+func (s *Store) RestoreDelete(key uint64) bool {
+	return s.tree.Delete(key)
+}
+
+// SetState forces the lifecycle state (restore path).
+func (s *Store) SetState(st State) { s.state = st }
+
+// NextKey returns the key the next insert will receive.
+func (s *Store) NextKey() uint64 { return s.nextKey }
+
+// SetNextKey forces the next insert key (restore path; keys already consumed
+// by rows that were since deleted must stay consumed, or replayed deletes
+// would hit re-used keys).
+func (s *Store) SetNextKey(k uint64) {
+	if k > s.nextKey {
+		s.nextKey = k
+	}
+}
+
+// DumpRaw iterates the store's encoded rows in ascending key order without
+// decoding (checkpoint image writer). The byte slices are the tree's own;
+// do not modify or retain them.
+func (s *Store) DumpRaw(fn func(key uint64, encoded []byte) bool) {
+	s.tree.AscendAll(fn)
+}
+
+// Dump returns each group's delete-bitmap words, trailing zero words
+// trimmed. Groups with no set bits are omitted.
+func (d *DeleteBitmap) Dump() map[int][]uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[int][]uint64, len(d.perGroup))
+	for g, bm := range d.perGroup {
+		words := append([]uint64(nil), bm.Words()...)
+		for len(words) > 0 && words[len(words)-1] == 0 {
+			words = words[:len(words)-1]
+		}
+		if len(words) > 0 {
+			out[g] = words
+		}
+	}
+	return out
+}
+
+// Restore replaces the bitmap's contents from a Dump.
+func (d *DeleteBitmap) Restore(groups map[int][]uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.perGroup = make(map[int]*bits.Bitmap, len(groups))
+	d.count = 0
+	for g, words := range groups {
+		bm := bits.FromWords(append([]uint64(nil), words...))
+		d.perGroup[g] = bm
+		d.count += bm.Count()
+	}
+}

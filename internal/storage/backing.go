@@ -1,0 +1,213 @@
+package storage
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Blob file layout (one file per blob, named blob-<id>.blob):
+//
+//	magic     4 bytes "APBL"
+//	version   1 byte
+//	comp      1 byte (Compression)
+//	rawLen    uvarint (decompressed size)
+//	checksum  4 bytes LE (crc32 IEEE of the raw bytes, as in blobMeta)
+//	payload   the at-rest (possibly deflated) bytes
+//
+// Files are written to a temp name and renamed into place so a crash never
+// leaves a half-written file under a blob name; stray .tmp files are ignored
+// (and removed) at load time.
+
+const (
+	blobMagic   = "APBL"
+	blobVersion = 1
+	blobSuffix  = ".blob"
+	blobPrefix  = "blob-"
+)
+
+// DiskBacking persists a Store's blobs as numbered files in a directory.
+// Writes go through at Put time (write-through), so by the time a row-group
+// publish record enters the WAL its segment payloads are already on disk; the
+// log only carries directory metadata.
+type DiskBacking struct {
+	dir        string
+	syncWrites bool
+}
+
+// OpenDiskBacking opens (creating if needed) a blob directory. With
+// syncWrites set, every blob file is fsynced before the write is
+// acknowledged; otherwise durability rides on the OS page cache (sufficient
+// against process crashes, not power loss).
+func OpenDiskBacking(dir string, syncWrites bool) (*DiskBacking, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create blob dir: %w", err)
+	}
+	return &DiskBacking{dir: dir, syncWrites: syncWrites}, nil
+}
+
+// Dir returns the backing directory.
+func (b *DiskBacking) Dir() string { return b.dir }
+
+func (b *DiskBacking) path(id BlobID) string {
+	return filepath.Join(b.dir, fmt.Sprintf("%s%d%s", blobPrefix, uint64(id), blobSuffix))
+}
+
+// write persists one blob's at-rest bytes and metadata.
+func (b *DiskBacking) write(id BlobID, onDisk []byte, meta blobMeta) error {
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, blobMagic...)
+	hdr = append(hdr, blobVersion, byte(meta.comp))
+	hdr = binary.AppendUvarint(hdr, uint64(meta.rawLen))
+	hdr = binary.LittleEndian.AppendUint32(hdr, meta.checksum)
+
+	tmp := b.path(id) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create blob file: %w", err)
+	}
+	if _, err := f.Write(hdr); err == nil {
+		_, err = f.Write(onDisk)
+	}
+	if err == nil && b.syncWrites {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write blob %d: %w", id, err)
+	}
+	if err := os.Rename(tmp, b.path(id)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: publish blob %d: %w", id, err)
+	}
+	return nil
+}
+
+// remove deletes a blob file (best effort; a missing file is fine).
+func (b *DiskBacking) remove(id BlobID) {
+	os.Remove(b.path(id))
+}
+
+// load reads every blob file in the directory, returning contents keyed by id.
+// Leftover .tmp files from an interrupted write are removed.
+func (b *DiskBacking) load() (map[BlobID][]byte, map[BlobID]blobMeta, error) {
+	ents, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: read blob dir: %w", err)
+	}
+	blobs := make(map[BlobID][]byte)
+	metas := make(map[BlobID]blobMeta)
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(b.dir, name))
+			continue
+		}
+		idStr, ok := strings.CutPrefix(name, blobPrefix)
+		if !ok {
+			continue
+		}
+		idStr, ok = strings.CutSuffix(idStr, blobSuffix)
+		if !ok {
+			continue
+		}
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(b.dir, name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: read blob file %s: %w", name, err)
+		}
+		onDisk, meta, err := parseBlobFile(buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: blob file %s: %w", name, err)
+		}
+		blobs[BlobID(id)] = onDisk
+		metas[BlobID(id)] = meta
+	}
+	return blobs, metas, nil
+}
+
+func parseBlobFile(buf []byte) ([]byte, blobMeta, error) {
+	var meta blobMeta
+	if len(buf) < 6 || string(buf[:4]) != blobMagic {
+		return nil, meta, fmt.Errorf("bad magic")
+	}
+	if buf[4] != blobVersion {
+		return nil, meta, fmt.Errorf("unsupported version %d", buf[4])
+	}
+	meta.comp = Compression(buf[5])
+	pos := 6
+	rawLen, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, meta, fmt.Errorf("bad raw length")
+	}
+	pos += n
+	if pos+4 > len(buf) {
+		return nil, meta, fmt.Errorf("truncated header")
+	}
+	meta.checksum = binary.LittleEndian.Uint32(buf[pos:])
+	pos += 4
+	meta.rawLen = int(rawLen)
+	onDisk := append([]byte(nil), buf[pos:]...)
+	meta.diskLen = len(onDisk)
+	return onDisk, meta, nil
+}
+
+// AttachBacking makes the store write-through to disk: every subsequent Put
+// also writes a blob file, and Delete removes it. Attach before any writes
+// that must be durable.
+func (s *Store) AttachBacking(b *DiskBacking) { s.backing.Store(b) }
+
+// LoadFromBacking repopulates the store from its backing directory,
+// replacing current contents and emptying the buffer pool. The next BlobID
+// continues past the highest loaded id. Returns the number of blobs loaded.
+func (s *Store) LoadFromBacking() (int, error) {
+	b := s.backing.Load()
+	if b == nil {
+		return 0, fmt.Errorf("storage: no disk backing attached")
+	}
+	blobs, metas, err := b.load()
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs = blobs
+	s.meta = metas
+	s.cache = make(map[BlobID]*list.Element)
+	s.lru.Init()
+	s.cacheBytes = 0
+	for id := range blobs {
+		if uint64(id) > s.nextID {
+			s.nextID = uint64(id)
+		}
+	}
+	return len(blobs), nil
+}
+
+// RetainOnly deletes every blob (and its backing file) whose id is not in
+// keep. Recovery uses it to garbage-collect orphans: blobs written by a
+// publish or checkpoint that crashed before its WAL record became durable.
+func (s *Store) RetainOnly(keep map[BlobID]bool) int {
+	s.mu.Lock()
+	var drop []BlobID
+	for id := range s.blobs {
+		if !keep[id] {
+			drop = append(drop, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range drop {
+		s.Delete(id)
+	}
+	return len(drop)
+}

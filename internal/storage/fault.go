@@ -99,7 +99,8 @@ type FaultConfig struct {
 // FaultInjector injects storage faults per FaultConfig. It is attached to a
 // Store with SetFaultInjector and is safe for concurrent use.
 type FaultInjector struct {
-	cfg FaultConfig
+	cfg  FaultConfig
+	seed int64 // resolved seed (never 0); reported so runs are reproducible
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -113,8 +114,13 @@ func NewFaultInjector(cfg FaultConfig) *FaultInjector {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	return &FaultInjector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &FaultInjector{cfg: cfg, seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
+
+// Seed returns the resolved RNG seed, whether configured or drawn from the
+// clock. Re-running with FaultConfig.Seed set to this value reproduces the
+// same fault sequence for the same operation order.
+func (f *FaultInjector) Seed() int64 { return f.seed }
 
 // Injected reports how many faults this injector has raised.
 func (f *FaultInjector) Injected() int64 {

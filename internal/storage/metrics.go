@@ -20,6 +20,8 @@ var (
 		"buffer-pool misses")
 	mRetries = metrics.Default.Counter("apollo_storage_retries_total",
 		"read attempts repeated after a transient fault")
+	mWriteRetries = metrics.Default.Counter("apollo_storage_write_retries_total",
+		"write attempts repeated after a transient fault")
 	mCorruption = metrics.Default.Counter("apollo_storage_corruption_total",
 		"reads failing checksum verification")
 	mFaultsInjected = metrics.Default.Counter("apollo_storage_faults_injected_total",

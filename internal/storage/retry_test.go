@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPutRetriesTransientFaults: Put rides out transient write faults with
+// bounded retry+backoff, counts each retry, and still stores the blob.
+func TestPutRetriesTransientFaults(t *testing.T) {
+	s := NewStore(0)
+	s.SetRetryPolicy(RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Microsecond, MaxBackoff: 10 * time.Microsecond})
+	// ~50% write fault rate: with 8 attempts, failing all of them has
+	// probability 2^-8 per Put; over 50 Puts a spurious total failure is
+	// still possible, so only assert that successes happened and retries
+	// were counted.
+	s.SetFaultInjector(NewFaultInjector(FaultConfig{WriteErrorRate: 0.5, Seed: 42}))
+	var ok int
+	for i := 0; i < 50; i++ {
+		if id, err := s.Put([]byte("payload"), None); err == nil {
+			if got, gerr := s.Get(id); gerr != nil || string(got) != "payload" {
+				t.Fatalf("stored blob unreadable: %v", gerr)
+			}
+			ok++
+		} else if !IsTransient(err) {
+			t.Fatalf("non-transient error from Put: %v", err)
+		}
+	}
+	if ok < 40 {
+		t.Fatalf("only %d/50 Puts survived a 50%% fault rate with 8 attempts", ok)
+	}
+	if s.Stats().WriteRetries == 0 {
+		t.Fatal("no write retries counted under a 50% fault rate")
+	}
+}
+
+// TestPutRetryExhaustion: a 100% fault rate exhausts the budget; the error
+// is transient-typed and retries were attempted.
+func TestPutRetryExhaustion(t *testing.T) {
+	s := NewStore(0)
+	s.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond})
+	s.SetFaultInjector(NewFaultInjector(FaultConfig{WriteErrorRate: 1, Seed: 7}))
+	_, err := s.Put([]byte("doomed"), None)
+	if !IsTransient(err) {
+		t.Fatalf("want transient error after exhaustion, got %v", err)
+	}
+	if got := s.Stats().WriteRetries; got != 2 { // 3 attempts = 2 retries
+		t.Fatalf("counted %d retries, want 2", got)
+	}
+}
+
+// TestInjectorSeedExposed: the injector reports its resolved seed — the
+// handle needed to replay a failing fault sequence.
+func TestInjectorSeedExposed(t *testing.T) {
+	if got := NewFaultInjector(FaultConfig{Seed: 1234}).Seed(); got != 1234 {
+		t.Fatalf("explicit seed not preserved: %d", got)
+	}
+	a := NewFaultInjector(FaultConfig{}).Seed()
+	if a == 0 {
+		t.Fatal("clock-derived seed resolved to 0; cannot be replayed")
+	}
+}
+
+// TestStatsResetRace hammers Stats and ResetStats concurrently with
+// reads/writes; run under -race this pins down the snapshot/reset
+// serialization (ResetStats used to tear concurrent Stats snapshots).
+func TestStatsResetRace(t *testing.T) {
+	s := NewStore(1 << 16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, err := s.Put([]byte("race-payload"), None)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(id); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Delete(id)
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				if st.Writes < 0 || st.Reads < 0 {
+					t.Errorf("negative counters in snapshot: %+v", st)
+					return
+				}
+				if i%10 == 0 {
+					s.ResetStats()
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -53,6 +53,7 @@ type IOStats struct {
 	DecompressCalls  int64 // archival blobs inflated
 	BytesDecompressd int64 // logical bytes produced by inflation
 	Retries          int64 // read attempts repeated after a transient fault
+	WriteRetries     int64 // write attempts repeated after a transient fault
 	FaultsInjected   int64 // faults raised by the attached FaultInjector
 }
 
@@ -77,16 +78,24 @@ type Store struct {
 	cache      map[BlobID]*list.Element
 	lru        *list.List // front = most recent; values are *cacheEntry
 
-	stats struct {
+	// statsMu serializes Stats against ResetStats so a snapshot taken during
+	// a reset never mixes pre- and post-reset counters. Hot-path increments
+	// stay lock-free atomics.
+	statsMu sync.Mutex
+	stats   struct {
 		reads, writes, bytesRead, bytesWritten atomic.Int64
 		hits, misses, decompCalls, decompBytes atomic.Int64
-		retries                                atomic.Int64
+		retries, writeRetries                  atomic.Int64
 	}
 
 	// Fault-tolerance knobs: an optional fault injector on the read/write
 	// paths, and the retry policy for transient read failures.
 	fault atomic.Pointer[FaultInjector]
 	retry atomic.Pointer[RetryPolicy]
+
+	// Optional disk backing: when attached, Put writes through to a blob
+	// file and Delete removes it.
+	backing atomic.Pointer[DiskBacking]
 }
 
 type cacheEntry struct {
@@ -124,13 +133,30 @@ func (s *Store) retryPolicy() RetryPolicy {
 }
 
 // Put stores data under a fresh BlobID at the given compression tier and
-// returns the id. The input slice is not retained. Injected write faults
-// surface as TransientErrors without retry: writers own durability decisions
-// (the tuple mover re-queues its delta store; bulk loads fail the statement).
+// returns the id. The input slice is not retained.
+//
+// Transient write faults are retried with the same bounded exponential
+// backoff as Get: blob writes are idempotent up to id allocation (the id is
+// assigned only after the fault window), so retrying inside Put is safe and
+// spares every writer — tuple mover, bulk load, spill — its own retry loop.
+// A fault that outlives the budget surfaces as a TransientError and the
+// caller owns the durability decision (the mover re-queues its delta store;
+// bulk loads fail the statement).
 func (s *Store) Put(data []byte, comp Compression) (BlobID, error) {
 	if f := s.fault.Load(); f != nil {
-		if err := f.beforeWrite(); err != nil {
-			return 0, err
+		policy := s.retryPolicy()
+		attempts := max(policy.MaxAttempts, 1)
+		for attempt := 0; ; attempt++ {
+			err := f.beforeWrite()
+			if err == nil {
+				break
+			}
+			if !IsTransient(err) || attempt+1 >= attempts {
+				return 0, err
+			}
+			s.stats.writeRetries.Add(1)
+			mWriteRetries.Inc()
+			time.Sleep(policy.backoff(attempt))
 		}
 	}
 	sum := crc32.ChecksumIEEE(data)
@@ -155,12 +181,25 @@ func (s *Store) Put(data []byte, comp Compression) (BlobID, error) {
 		return 0, fmt.Errorf("storage: unknown compression %d", comp)
 	}
 
+	meta := blobMeta{comp: comp, rawLen: len(data), diskLen: len(onDisk), checksum: sum}
 	s.mu.Lock()
 	s.nextID++
 	id := BlobID(s.nextID)
 	s.blobs[id] = onDisk
-	s.meta[id] = blobMeta{comp: comp, rawLen: len(data), diskLen: len(onDisk), checksum: sum}
+	s.meta[id] = meta
 	s.mu.Unlock()
+
+	if b := s.backing.Load(); b != nil {
+		if err := b.write(id, onDisk, meta); err != nil {
+			// Undo the in-memory insert: a blob that is not on disk must not
+			// be visible, or recovery would diverge from the live store.
+			s.mu.Lock()
+			delete(s.blobs, id)
+			delete(s.meta, id)
+			s.mu.Unlock()
+			return 0, err
+		}
+	}
 
 	s.stats.writes.Add(1)
 	s.stats.bytesWritten.Add(int64(len(onDisk)))
@@ -277,10 +316,10 @@ func (s *Store) cacheInsert(id BlobID, data []byte) {
 	}
 }
 
-// Delete removes a blob and evicts it from the buffer pool.
+// Delete removes a blob, evicts it from the buffer pool, and removes its
+// backing file if a disk backing is attached.
 func (s *Store) Delete(id BlobID) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.blobs, id)
 	delete(s.meta, id)
 	if el, ok := s.cache[id]; ok {
@@ -288,6 +327,10 @@ func (s *Store) Delete(id BlobID) {
 		s.lru.Remove(el)
 		delete(s.cache, id)
 		s.cacheBytes -= int64(len(e.data))
+	}
+	s.mu.Unlock()
+	if b := s.backing.Load(); b != nil {
+		b.remove(id)
 	}
 }
 
@@ -337,8 +380,12 @@ func (s *Store) Corrupt(id BlobID) error {
 	return nil
 }
 
-// Stats returns a snapshot of the store's I/O counters.
+// Stats returns a snapshot of the store's I/O counters. The snapshot is
+// consistent with respect to ResetStats: a concurrent reset either precedes
+// the whole snapshot or follows it, never splits it.
 func (s *Store) Stats() IOStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	st := IOStats{
 		Reads:            s.stats.reads.Load(),
 		Writes:           s.stats.writes.Load(),
@@ -349,6 +396,7 @@ func (s *Store) Stats() IOStats {
 		DecompressCalls:  s.stats.decompCalls.Load(),
 		BytesDecompressd: s.stats.decompBytes.Load(),
 		Retries:          s.stats.retries.Load(),
+		WriteRetries:     s.stats.writeRetries.Load(),
 	}
 	if f := s.fault.Load(); f != nil {
 		st.FaultsInjected = f.Injected()
@@ -356,8 +404,11 @@ func (s *Store) Stats() IOStats {
 	return st
 }
 
-// ResetStats zeroes the I/O counters.
+// ResetStats zeroes the I/O counters. It holds the same lock as Stats so a
+// concurrent snapshot never observes some counters reset and others not.
 func (s *Store) ResetStats() {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	s.stats.reads.Store(0)
 	s.stats.writes.Store(0)
 	s.stats.bytesRead.Store(0)
@@ -367,4 +418,5 @@ func (s *Store) ResetStats() {
 	s.stats.decompCalls.Store(0)
 	s.stats.decompBytes.Store(0)
 	s.stats.retries.Store(0)
+	s.stats.writeRetries.Store(0)
 }

@@ -1,0 +1,255 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"apollo/internal/colstore"
+	"apollo/internal/delta"
+	"apollo/internal/encoding"
+)
+
+// Checkpoint image of one table's state. The image captures everything the
+// WAL would otherwise have to replay: delta-store contents (encoded rows),
+// the delete bitmap, the row-group directory, and the primary dictionaries.
+// Segment payload blobs are NOT in the image — they live as blob files in
+// the store's disk backing and the directory references them by id.
+
+const (
+	imgStateOpen   byte = 0
+	imgStateClosed byte = 1
+)
+
+// MarshalState serializes the table's mutable state under the table lock.
+// Records logged before this call are fully reflected; records logged after
+// are not — the checkpoint protocol replays them idempotently.
+func (t *Table) MarshalState() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	dst := binary.AppendUvarint(nil, uint64(t.deltaID))
+
+	// Delta stores: the open store first, then closed and moving (moving
+	// stores image as CLOSED — their in-flight build is not durable until
+	// its publish record is, and recovery re-moves them).
+	stores := make([]*delta.Store, 0, 1+len(t.closed)+len(t.moving))
+	states := make([]byte, 0, cap(stores))
+	stores = append(stores, t.open)
+	states = append(states, imgStateOpen)
+	for _, s := range t.closed {
+		stores = append(stores, s)
+		states = append(states, imgStateClosed)
+	}
+	for _, s := range t.moving {
+		stores = append(stores, s)
+		states = append(states, imgStateClosed)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(stores)))
+	for i, s := range stores {
+		dst = binary.AppendUvarint(dst, uint64(s.ID))
+		dst = append(dst, states[i])
+		dst = binary.AppendUvarint(dst, s.NextKey())
+		dst = binary.AppendUvarint(dst, uint64(s.Rows()))
+		s.DumpRaw(func(key uint64, enc []byte) bool {
+			dst = binary.AppendUvarint(dst, key)
+			dst = binary.AppendUvarint(dst, uint64(len(enc)))
+			dst = append(dst, enc...)
+			return true
+		})
+	}
+
+	// Delete bitmap, group ids sorted for a deterministic image.
+	dump := t.deletes.Dump()
+	gids := make([]int, 0, len(dump))
+	for g := range dump {
+		gids = append(gids, g)
+	}
+	sort.Ints(gids)
+	dst = binary.AppendUvarint(dst, uint64(len(gids)))
+	for _, g := range gids {
+		words := dump[g]
+		dst = binary.AppendUvarint(dst, uint64(g))
+		dst = binary.AppendUvarint(dst, uint64(len(words)))
+		for _, w := range words {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+	}
+
+	// Row-group directory.
+	groups := t.idx.Groups()
+	dst = binary.AppendUvarint(dst, uint64(len(groups)))
+	for _, g := range groups {
+		dst = colstore.AppendRowGroup(dst, g)
+	}
+	dst = binary.AppendUvarint(dst, uint64(t.idx.NextGroupID()))
+
+	// Primary dictionaries.
+	for c := range t.Schema.Cols {
+		d := t.idx.Primary(c)
+		if d == nil {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		dst = d.Marshal(dst)
+	}
+	return dst
+}
+
+// RestoreState rebuilds the table's mutable state from a MarshalState image.
+// The table must be freshly created (New) with the same schema and options.
+func (t *Table) RestoreState(buf []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	pos := 0
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("table %s: truncated state image", t.Name)
+		}
+		pos += n
+		return v, nil
+	}
+
+	deltaID, err := uv()
+	if err != nil {
+		return err
+	}
+	t.deltaID = int(deltaID)
+
+	nstores, err := uv()
+	if err != nil {
+		return err
+	}
+	if nstores == 0 || nstores > 1<<20 {
+		return fmt.Errorf("table %s: bad delta store count %d", t.Name, nstores)
+	}
+	t.open = nil
+	t.closed = nil
+	t.moving = make(map[int]*delta.Store)
+	for i := uint64(0); i < nstores; i++ {
+		id, err := uv()
+		if err != nil {
+			return err
+		}
+		if pos >= len(buf) {
+			return fmt.Errorf("table %s: truncated state image", t.Name)
+		}
+		state := buf[pos]
+		pos++
+		nextKey, err := uv()
+		if err != nil {
+			return err
+		}
+		nrows, err := uv()
+		if err != nil {
+			return err
+		}
+		s := delta.NewStore(int(id), t.Schema)
+		for j := uint64(0); j < nrows; j++ {
+			key, err := uv()
+			if err != nil {
+				return err
+			}
+			l, err := uv()
+			if err != nil {
+				return err
+			}
+			if l > uint64(len(buf)-pos) {
+				return fmt.Errorf("table %s: truncated delta row in image", t.Name)
+			}
+			s.RestoreRow(key, append([]byte(nil), buf[pos:pos+int(l)]...))
+			pos += int(l)
+		}
+		s.SetNextKey(nextKey)
+		switch state {
+		case imgStateOpen:
+			if t.open != nil {
+				return fmt.Errorf("table %s: two open delta stores in image", t.Name)
+			}
+			t.open = s
+		case imgStateClosed:
+			s.SetState(delta.Closed)
+			t.closed = append(t.closed, s)
+		default:
+			return fmt.Errorf("table %s: bad delta state %d in image", t.Name, state)
+		}
+	}
+	if t.open == nil {
+		return fmt.Errorf("table %s: no open delta store in image", t.Name)
+	}
+
+	ngroupsDel, err := uv()
+	if err != nil {
+		return err
+	}
+	if ngroupsDel > 1<<20 {
+		return fmt.Errorf("table %s: bad delete-bitmap group count", t.Name)
+	}
+	delDump := make(map[int][]uint64, ngroupsDel)
+	for i := uint64(0); i < ngroupsDel; i++ {
+		g, err := uv()
+		if err != nil {
+			return err
+		}
+		nwords, err := uv()
+		if err != nil {
+			return err
+		}
+		if nwords > uint64(len(buf)-pos)/8 {
+			return fmt.Errorf("table %s: truncated delete bitmap in image", t.Name)
+		}
+		words := make([]uint64, nwords)
+		for j := range words {
+			words[j] = binary.LittleEndian.Uint64(buf[pos:])
+			pos += 8
+		}
+		delDump[int(g)] = words
+	}
+	t.deletes.Restore(delDump)
+
+	ngroups, err := uv()
+	if err != nil {
+		return err
+	}
+	if ngroups > 1<<24 {
+		return fmt.Errorf("table %s: bad row-group count", t.Name)
+	}
+	for i := uint64(0); i < ngroups; i++ {
+		g, n, err := colstore.ReadRowGroup(buf[pos:])
+		if err != nil {
+			return fmt.Errorf("table %s: %w", t.Name, err)
+		}
+		pos += n
+		t.idx.RestoreGroup(g)
+	}
+	nextGroupID, err := uv()
+	if err != nil {
+		return err
+	}
+	t.idx.SetNextGroupID(int(nextGroupID))
+
+	for c := range t.Schema.Cols {
+		if pos >= len(buf) {
+			return fmt.Errorf("table %s: truncated dictionaries in image", t.Name)
+		}
+		present := buf[pos]
+		pos++
+		if present == 0 {
+			continue
+		}
+		d, n, err := encoding.UnmarshalDict(buf[pos:])
+		if err != nil {
+			return fmt.Errorf("table %s: %w", t.Name, err)
+		}
+		pos += n
+		t.idx.RestorePrimary(c, d)
+	}
+	if pos != len(buf) {
+		return fmt.Errorf("table %s: %d trailing bytes in state image", t.Name, len(buf)-pos)
+	}
+	t.deltaEpoch++
+	return nil
+}

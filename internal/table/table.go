@@ -17,6 +17,7 @@ import (
 	"apollo/internal/delta"
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
+	"apollo/internal/wal"
 )
 
 // Options configure a clustered columnstore table.
@@ -82,8 +83,16 @@ type Table struct {
 	snapValid  bool
 
 	// compressMu serializes row-group compression (tuple mover vs bulk load)
-	// so the shared primary dictionaries see a single writer.
+	// so the shared primary dictionaries see a single writer. Paths that hold
+	// both locks take compressMu BEFORE t.mu; keeping builds and their
+	// publish records under one compressMu hold also makes WAL publish order
+	// equal build order, which dictionary-append replay depends on.
 	compressMu sync.Mutex
+
+	// wal, when set, receives a record for every durable mutation. Records
+	// are appended inside the same t.mu critical section that applies the
+	// change, so per-table log order equals apply order.
+	wal *wal.Writer
 
 	mover  *mover
 	health moverHealth
@@ -107,6 +116,20 @@ func New(store *storage.Store, name string, schema *sqltypes.Schema, opts Option
 	}
 	t.open = t.newDeltaStoreLocked()
 	return t
+}
+
+// SetWAL attaches a write-ahead log; subsequent mutations are logged.
+// Attach before any DML (normally right after New or recovery).
+func (t *Table) SetWAL(w *wal.Writer) { t.wal = w }
+
+// logWAL appends a record for this table. A nil writer (non-durable table)
+// is a no-op.
+func (t *Table) logWAL(rec *wal.Record) error {
+	if t.wal == nil {
+		return nil
+	}
+	rec.Table = t.Name
+	return t.wal.Append(rec)
 }
 
 // Index exposes the compressed columnstore index (read-only use).
@@ -171,25 +194,52 @@ func (t *Table) Insert(row sqltypes.Row) (Locator, error) {
 	}
 	row = t.coerceRow(row)
 	t.mu.Lock()
-	key, err := t.open.Insert(row)
+	loc, closedNow, err := t.insertOpenLocked(row)
+	t.mu.Unlock()
 	if err != nil {
-		t.mu.Unlock()
 		return Locator{}, err
 	}
-	t.deltaEpoch++
-	loc := Locator{InDelta: true, DeltaID: t.open.ID, Key: key}
-	var closedNow bool
-	if t.open.Rows() >= t.Opts.RowGroupSize {
-		t.open.Close()
-		t.closed = append(t.closed, t.open)
-		t.open = t.newDeltaStoreLocked()
-		closedNow = true
-	}
-	t.mu.Unlock()
 	if closedNow {
 		t.kickMover()
 	}
 	return loc, nil
+}
+
+// insertOpenLocked logs and applies one insert into the open delta store,
+// closing it (with a logged transition) when it reaches RowGroupSize. The
+// record goes first: the key is known before the insert (keys are assigned
+// monotonically), and on append failure nothing has been applied.
+func (t *Table) insertOpenLocked(row sqltypes.Row) (Locator, bool, error) {
+	enc := sqltypes.EncodeRow(nil, t.Schema, row)
+	key := t.open.NextKey()
+	if err := t.logWAL(&wal.Record{Type: wal.TDeltaInsert, A: uint64(t.open.ID), B: key, Payload: enc}); err != nil {
+		return Locator{}, false, err
+	}
+	if _, err := t.open.InsertEncoded(enc); err != nil {
+		return Locator{}, false, err
+	}
+	t.deltaEpoch++
+	loc := Locator{InDelta: true, DeltaID: t.open.ID, Key: key}
+	if t.open.Rows() >= t.Opts.RowGroupSize {
+		if err := t.closeOpenLocked(); err != nil {
+			return loc, false, err
+		}
+		return loc, true, nil
+	}
+	return loc, false, nil
+}
+
+// closeOpenLocked logs and applies the open-store transition: the current
+// open store becomes CLOSED (mover input) and a fresh open store is created.
+func (t *Table) closeOpenLocked() error {
+	old := t.open
+	if err := t.logWAL(&wal.Record{Type: wal.TDeltaClose, A: uint64(old.ID), B: uint64(t.deltaID + 1)}); err != nil {
+		return err
+	}
+	old.Close()
+	t.closed = append(t.closed, old)
+	t.open = t.newDeltaStoreLocked()
+	return nil
 }
 
 // InsertMany trickle-inserts rows one at a time (the non-bulk path).
@@ -232,27 +282,72 @@ func (t *Table) BulkLoad(rows []sqltypes.Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.deltaEpoch++
 	for _, r := range rem {
-		if _, err := t.open.Insert(r); err != nil {
+		if _, _, err := t.insertOpenLocked(r); err != nil {
 			return err
 		}
-	}
-	if t.open.Rows() >= t.Opts.RowGroupSize {
-		t.open.Close()
-		t.closed = append(t.closed, t.open)
-		t.open = t.newDeltaStoreLocked()
 	}
 	return nil
 }
 
-// compressRows builds one compressed row group directly from rows.
+// compressRows builds one compressed row group directly from rows and
+// publishes it (bulk-load path; no delta store is consumed).
 func (t *Table) compressRows(rows []sqltypes.Row) error {
 	t.compressMu.Lock()
 	defer t.compressMu.Unlock()
 	bufs := colstore.BuffersFromRows(t.Schema, rows)
-	_, err := t.idx.CompressRowGroup(bufs)
-	return err
+	g, _, dicts, err := t.buildGroup(bufs)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.publishLocked(g, dicts, 0)
+}
+
+// buildGroup builds (but does not publish) a row group, capturing the
+// primary-dictionary entries the build appended so the publish WAL record can
+// replay them. Caller holds compressMu.
+func (t *Table) buildGroup(bufs []*colstore.ColumnBuf) (*colstore.RowGroup, []int, []colstore.DictAppend, error) {
+	prev := make([]int, t.Schema.Len())
+	for c := range t.Schema.Cols {
+		if d := t.idx.Primary(c); d != nil {
+			prev[c] = d.Len()
+		}
+	}
+	g, perm, err := t.idx.BuildRowGroup(bufs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var dicts []colstore.DictAppend
+	for c := range t.Schema.Cols {
+		d := t.idx.Primary(c)
+		if d == nil {
+			continue
+		}
+		if cur := d.Len(); cur > prev[c] {
+			vals := append([]string(nil), d.SnapshotValues()[prev[c]:cur]...)
+			dicts = append(dicts, colstore.DictAppend{Col: c, Prev: prev[c], Vals: vals})
+		}
+	}
+	return g, perm, dicts, nil
+}
+
+// publishLocked assigns the group the id it will carry in the directory,
+// logs the publish (group metadata + dictionary appends; the segment blobs
+// are already durable via the store's write-through backing), and installs
+// it. consumed names the delta store the group replaces (0 = none). Caller
+// holds t.mu, and compressMu whenever another build could interleave.
+func (t *Table) publishLocked(g *colstore.RowGroup, dicts []colstore.DictAppend, consumed int) error {
+	g.ID = t.idx.NextGroupID()
+	if t.wal != nil {
+		payload := colstore.MarshalPublish(&colstore.Publish{Group: g, Dicts: dicts})
+		if err := t.logWAL(&wal.Record{Type: wal.TGroupPublish, A: uint64(consumed), Payload: payload}); err != nil {
+			return err
+		}
+	}
+	t.idx.RestoreGroup(g)
+	return nil
 }
 
 // FetchRow resolves a bookmark to its row. Deleted or stale locators report
@@ -301,27 +396,42 @@ func (t *Table) deltaByIDLocked(id int) *delta.Store {
 }
 
 // DeleteAt marks the row at loc deleted (§4.1): delta rows are removed from
-// their B-tree; compressed rows are marked in the delete bitmap.
+// their B-tree; compressed rows are marked in the delete bitmap. A WAL
+// append failure reports false (the delete did not happen).
 func (t *Table) DeleteAt(loc Locator) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.deleteAtLocked(loc)
+	ok, _ := t.deleteAtLocked(loc)
+	return ok
 }
 
-func (t *Table) deleteAtLocked(loc Locator) bool {
+func (t *Table) deleteAtLocked(loc Locator) (bool, error) {
 	if loc.InDelta {
 		s := t.deltaByIDLocked(loc.DeltaID)
-		if s != nil && s.Delete(loc.Key) {
-			t.deltaEpoch++
-			return true
+		if s == nil {
+			return false, nil
 		}
-		return false
+		if _, ok := s.Get(loc.Key); !ok {
+			return false, nil
+		}
+		if err := t.logWAL(&wal.Record{Type: wal.TDeltaDelete, A: uint64(loc.DeltaID), B: loc.Key}); err != nil {
+			return false, err
+		}
+		s.Delete(loc.Key)
+		t.deltaEpoch++
+		return true, nil
 	}
 	g := t.idx.Group(loc.Group)
 	if g == nil || loc.Tuple < 0 || loc.Tuple >= g.Rows {
-		return false
+		return false, nil
 	}
-	return t.deletes.Delete(loc.Group, loc.Tuple)
+	if t.deletes.IsDeleted(loc.Group, loc.Tuple) {
+		return false, nil
+	}
+	if err := t.logWAL(&wal.Record{Type: wal.TDeleteSet, A: uint64(loc.Group), B: uint64(loc.Tuple)}); err != nil {
+		return false, err
+	}
+	return t.deletes.Delete(loc.Group, loc.Tuple), nil
 }
 
 // DeleteWhere deletes all rows matching pred and returns the count. The scan
@@ -335,7 +445,11 @@ func (t *Table) DeleteWhere(pred func(sqltypes.Row) bool) (int, error) {
 	}
 	n := 0
 	for _, loc := range locs {
-		if t.deleteAtLocked(loc) {
+		ok, err := t.deleteAtLocked(loc)
+		if err != nil {
+			return n, err
+		}
+		if ok {
 			n++
 		}
 	}
@@ -361,19 +475,17 @@ func (t *Table) UpdateWhere(pred func(sqltypes.Row) bool, set func(sqltypes.Row)
 		if err := t.checkRow(updated); err != nil {
 			return n, err
 		}
-		if !t.deleteAtLocked(loc) {
-			continue
-		}
-		if _, err := t.open.Insert(t.coerceRow(updated)); err != nil {
+		deleted, err := t.deleteAtLocked(loc)
+		if err != nil {
 			return n, err
 		}
-		t.deltaEpoch++
+		if !deleted {
+			continue
+		}
+		if _, _, err := t.insertOpenLocked(t.coerceRow(updated)); err != nil {
+			return n, err
+		}
 		n++
-	}
-	if t.open.Rows() >= t.Opts.RowGroupSize {
-		t.open.Close()
-		t.closed = append(t.closed, t.open)
-		t.open = t.newDeltaStoreLocked()
 	}
 	return n, nil
 }
@@ -622,6 +734,13 @@ func (t *Table) MoveOnce() (moved bool, err error) {
 	if len(rows) == 0 {
 		// Everything was deleted while the store sat closed; just drop it.
 		t.mu.Lock()
+		if werr := t.logWAL(&wal.Record{Type: wal.TDeltaDrop, A: uint64(s.ID)}); werr != nil {
+			s.AbortMove()
+			t.closed = append([]*delta.Store{s}, t.closed...)
+			delete(t.moving, s.ID)
+			t.mu.Unlock()
+			return false, werr
+		}
 		delete(t.moving, s.ID)
 		t.deltaEpoch++
 		t.mu.Unlock()
@@ -632,12 +751,13 @@ func (t *Table) MoveOnce() (moved bool, err error) {
 	// proceed concurrently (the paper's tuple mover does not block trickle
 	// inserts). The built group is published under the table lock together
 	// with the removal of the source delta store, so no snapshot can see the
-	// same row twice.
+	// same row twice. compressMu stays held through the publish so the WAL
+	// publish record lands in build order (see the field comment).
 	t.compressMu.Lock()
 	bufs := colstore.BuffersFromRows(t.Schema, rows)
-	g, perm, err := t.idx.BuildRowGroup(bufs)
-	t.compressMu.Unlock()
+	g, perm, dicts, err := t.buildGroup(bufs)
 	if err != nil {
+		t.compressMu.Unlock()
 		// Put the store back (and roll it back to CLOSED) so rows are not
 		// lost and a later retry can move it.
 		t.mu.Lock()
@@ -662,18 +782,38 @@ func (t *Table) MoveOnce() (moved bool, err error) {
 	}
 
 	t.mu.Lock()
-	t.idx.PublishGroup(g)
-	// Replay deletes that landed while we compressed.
+	if werr := t.publishLocked(g, dicts, s.ID); werr != nil {
+		// The publish record never made it to the log; roll back like a
+		// build failure. The group's blobs become orphans (recovery GCs
+		// them; in-process they are unreachable but small).
+		delete(t.moving, s.ID)
+		s.AbortMove()
+		t.closed = append([]*delta.Store{s}, t.closed...)
+		t.mu.Unlock()
+		t.compressMu.Unlock()
+		mMoverAborts.Inc()
+		return false, werr
+	}
+	// Replay deletes that landed while we compressed. Each is logged as a
+	// delete-bitmap set on the new group: replay of the publish record drops
+	// the whole delta store, so the buffered keys must survive as bitmap
+	// entries. A log error past this point cannot be rolled back (the group
+	// is published); finish applying and surface it.
+	var logErr error
 	for _, k := range s.DrainDeleteBuffer() {
 		i := sort.Search(len(keys), func(j int) bool { return keys[j] >= k })
 		if i < len(keys) && keys[i] == k {
+			if werr := t.logWAL(&wal.Record{Type: wal.TDeleteSet, A: uint64(g.ID), B: uint64(inv[i])}); werr != nil && logErr == nil {
+				logErr = werr
+			}
 			t.deletes.Delete(g.ID, inv[i])
 		}
 	}
 	delete(t.moving, s.ID)
 	t.deltaEpoch++
 	t.mu.Unlock()
-	return true, nil
+	t.compressMu.Unlock()
+	return true, logErr
 }
 
 // MoveAll drains every closed delta store.
@@ -694,9 +834,10 @@ func (t *Table) MoveAll() error {
 func (t *Table) FlushOpen() error {
 	t.mu.Lock()
 	if t.open.Rows() > 0 {
-		t.open.Close()
-		t.closed = append(t.closed, t.open)
-		t.open = t.newDeltaStoreLocked()
+		if err := t.closeOpenLocked(); err != nil {
+			t.mu.Unlock()
+			return err
+		}
 	}
 	t.mu.Unlock()
 	return t.MoveAll()
@@ -794,6 +935,9 @@ func (t *Table) kickMover() {
 // row groups, and the delete bitmap empties. The table is locked for the
 // duration (rebuild is an offline maintenance operation in this engine).
 func (t *Table) Rebuild() error {
+	// compressMu before t.mu: the table-wide lock order (see compressMu doc).
+	t.compressMu.Lock()
+	defer t.compressMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
@@ -840,31 +984,42 @@ func (t *Table) Rebuild() error {
 		}
 	}
 
-	// Build replacement row groups before tearing anything down.
-	t.compressMu.Lock()
+	// Build replacement row groups before tearing anything down (compressMu
+	// is already held for the whole rebuild).
 	var newGroups []*colstore.RowGroup
+	var newDicts [][]colstore.DictAppend
 	for i := 0; i < len(rows); i += t.Opts.RowGroupSize {
 		end := i + t.Opts.RowGroupSize
 		if end > len(rows) {
 			end = len(rows)
 		}
 		bufs := colstore.BuffersFromRows(t.Schema, rows[i:end])
-		g, _, err := t.idx.BuildRowGroup(bufs)
+		g, _, dicts, err := t.buildGroup(bufs)
 		if err != nil {
-			t.compressMu.Unlock()
 			return err
 		}
 		newGroups = append(newGroups, g)
+		newDicts = append(newDicts, dicts)
 	}
-	t.compressMu.Unlock()
 
 	// Swap: drop old groups and delta state, publish the rebuilt groups.
+	// Retires are logged before the blobs go away so a crash between them
+	// only leaves orphan blob files (recovery GCs those), never a directory
+	// entry whose blobs are gone.
 	for _, g := range t.idx.Groups() {
+		if err := t.logWAL(&wal.Record{Type: wal.TGroupRetire, A: uint64(g.ID)}); err != nil {
+			return err
+		}
 		t.idx.RemoveGroup(g.ID)
 		t.deletes.DropGroup(g.ID)
 	}
-	for _, g := range newGroups {
-		t.idx.PublishGroup(g)
+	for i, g := range newGroups {
+		if err := t.publishLocked(g, newDicts[i], 0); err != nil {
+			return err
+		}
+	}
+	if err := t.logWAL(&wal.Record{Type: wal.TTableReset, A: uint64(t.deltaID + 1)}); err != nil {
+		return err
 	}
 	t.open = t.newDeltaStoreLocked()
 	t.closed = nil
@@ -880,6 +1035,8 @@ func (t *Table) Rebuild() error {
 // release after the paper as a natural extension of the tuple mover.
 // It returns the number of groups merged away.
 func (t *Table) MergeSmallGroups() (int, error) {
+	t.compressMu.Lock()
+	defer t.compressMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
@@ -919,30 +1076,34 @@ func (t *Table) MergeSmallGroups() (int, error) {
 		}
 	}
 
-	// Build replacements, then swap.
-	t.compressMu.Lock()
+	// Build replacements, then swap (compressMu held for the whole merge).
 	var merged []*colstore.RowGroup
+	var mergedDicts [][]colstore.DictAppend
 	for i := 0; i < len(rows); i += t.Opts.RowGroupSize {
 		end := i + t.Opts.RowGroupSize
 		if end > len(rows) {
 			end = len(rows)
 		}
 		bufs := colstore.BuffersFromRows(t.Schema, rows[i:end])
-		g, _, err := t.idx.BuildRowGroup(bufs)
+		g, _, dicts, err := t.buildGroup(bufs)
 		if err != nil {
-			t.compressMu.Unlock()
 			return 0, err
 		}
 		merged = append(merged, g)
+		mergedDicts = append(mergedDicts, dicts)
 	}
-	t.compressMu.Unlock()
 
 	for _, g := range victims {
+		if err := t.logWAL(&wal.Record{Type: wal.TGroupRetire, A: uint64(g.ID)}); err != nil {
+			return 0, err
+		}
 		t.idx.RemoveGroup(g.ID)
 		t.deletes.DropGroup(g.ID)
 	}
-	for _, g := range merged {
-		t.idx.PublishGroup(g)
+	for i, g := range merged {
+		if err := t.publishLocked(g, mergedDicts[i], 0); err != nil {
+			return 0, err
+		}
 	}
 	return len(victims) - len(merged), nil
 }

@@ -1,0 +1,91 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+)
+
+// Table-definition codec: the payload of create-table WAL records and the
+// catalog section of checkpoint images. Covers everything needed to
+// reconstruct an empty table identically — schema plus the options that
+// affect on-disk layout.
+
+// EncodeTableDef serializes a schema and options.
+func EncodeTableDef(schema *sqltypes.Schema, opts Options) []byte {
+	dst := binary.AppendUvarint(nil, uint64(schema.Len()))
+	for _, c := range schema.Cols {
+		dst = binary.AppendUvarint(dst, uint64(len(c.Name)))
+		dst = append(dst, c.Name...)
+		flags := byte(0)
+		if c.Nullable {
+			flags = 1
+		}
+		dst = append(dst, byte(c.Typ), flags)
+	}
+	dst = binary.AppendUvarint(dst, uint64(opts.RowGroupSize))
+	dst = binary.AppendUvarint(dst, uint64(opts.BulkLoadThreshold))
+	cflags := byte(0)
+	if opts.Columnstore.Reorder {
+		cflags |= 1
+	}
+	dst = append(dst, byte(opts.Columnstore.Tier), cflags)
+	dst = binary.AppendUvarint(dst, uint64(opts.Columnstore.PrimaryDictCap))
+	return dst
+}
+
+// DecodeTableDef reverses EncodeTableDef.
+func DecodeTableDef(buf []byte) (*sqltypes.Schema, Options, error) {
+	var opts Options
+	pos := 0
+	ncols, n := binary.Uvarint(buf[pos:])
+	if n <= 0 || ncols > 1<<16 {
+		return nil, opts, fmt.Errorf("table: bad column count in table def")
+	}
+	pos += n
+	cols := make([]sqltypes.Column, 0, ncols)
+	for i := uint64(0); i < ncols; i++ {
+		l, n := binary.Uvarint(buf[pos:])
+		if n <= 0 || l > uint64(len(buf)-pos-n) {
+			return nil, opts, fmt.Errorf("table: bad column name in table def")
+		}
+		pos += n
+		name := string(buf[pos : pos+int(l)])
+		pos += int(l)
+		if pos+2 > len(buf) {
+			return nil, opts, fmt.Errorf("table: truncated table def")
+		}
+		cols = append(cols, sqltypes.Column{Name: name, Typ: sqltypes.Type(buf[pos]), Nullable: buf[pos+1]&1 != 0})
+		pos += 2
+	}
+	rgs, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, opts, fmt.Errorf("table: truncated table def")
+	}
+	pos += n
+	blt, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, opts, fmt.Errorf("table: truncated table def")
+	}
+	pos += n
+	if pos+2 > len(buf) {
+		return nil, opts, fmt.Errorf("table: truncated table def")
+	}
+	opts.RowGroupSize = int(rgs)
+	opts.BulkLoadThreshold = int(blt)
+	opts.Columnstore.Tier = storage.Compression(buf[pos])
+	opts.Columnstore.Reorder = buf[pos+1]&1 != 0
+	pos += 2
+	cap64, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, opts, fmt.Errorf("table: truncated table def")
+	}
+	pos += n
+	opts.Columnstore.PrimaryDictCap = int(cap64)
+	if pos != len(buf) {
+		return nil, opts, fmt.Errorf("table: %d trailing bytes in table def", len(buf)-pos)
+	}
+	return sqltypes.NewSchema(cols...), opts, nil
+}

@@ -1,0 +1,50 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Append throughput under each fsync policy, serial and with concurrent
+// appenders sharing group commits. Record BENCH_wal.json from these.
+func BenchmarkAppend(b *testing.B) {
+	for _, policy := range []Policy{FsyncAlways, FsyncInterval, FsyncOff} {
+		b.Run(fmt.Sprintf("fsync=%s", policy), func(b *testing.B) {
+			w, err := Create(b.TempDir(), 1, Options{Policy: policy, Interval: time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			rec := &Record{Type: TDeltaInsert, Table: "bench", A: 1, B: 2, Payload: make([]byte, 100)}
+			b.SetBytes(int64(len(rec.AppendBody(nil))) + frameHeadLen)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAppendParallel(b *testing.B) {
+	for _, policy := range []Policy{FsyncAlways, FsyncInterval, FsyncOff} {
+		b.Run(fmt.Sprintf("fsync=%s", policy), func(b *testing.B) {
+			w, err := Create(b.TempDir(), 1, Options{Policy: policy, Interval: time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rec := &Record{Type: TDeltaInsert, Table: "bench", A: 1, B: 2, Payload: make([]byte, 100)}
+				for pb.Next() {
+					if err := w.Append(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

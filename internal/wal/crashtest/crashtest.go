@@ -1,0 +1,266 @@
+// Package crashtest is the crash-injection harness for durability testing.
+// A parent test re-executes its own test binary as a child process that runs
+// a deterministic scripted workload against a durable database with a WAL
+// crash point armed (wal.Options.CrashAt): at a chosen byte offset the
+// writer flushes a partial frame and kills the process, simulating a power
+// cut mid-write. The parent then recovers the directory and verifies the
+// committed-prefix property: the recovered state equals the state after
+// exactly K workload operations for some K — no holes, no partial
+// operations — and under fsync=always, K covers every operation the child
+// acknowledged before dying.
+//
+// Environment protocol (set by the parent, read by RunChild):
+//
+//	APOLLO_CRASH_CHILD=1     marks the child (TestMain dispatches to RunChild)
+//	APOLLO_CRASH_DIR=...     database directory
+//	APOLLO_CRASH_AT=N        WAL byte offset to crash at (0 = run to completion)
+//	APOLLO_CRASH_FSYNC=...   fsync policy: always, interval, off
+//	APOLLO_CRASH_MIDCKPT=1   die right after the checkpoint image is durable,
+//	                         before the checkpoint-end record
+package crashtest
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"apollo"
+	"apollo/internal/persist"
+)
+
+// Op is one scripted workload operation.
+type Op struct {
+	Kind string // "insert", "delete", "flush", "checkpoint"
+	ID   int64  // insert/delete operand
+}
+
+// Script is the deterministic workload both the child executes and the
+// parent simulates. Phases: trickle inserts (small row groups force delta
+// closes and moves), deletes against both delta and compressed rows, an
+// explicit flush, a mid-workload checkpoint, then a second wave of inserts
+// and deletes so kill points land after the checkpoint too.
+func Script() []Op {
+	var ops []Op
+	for i := int64(1); i <= 40; i++ {
+		ops = append(ops, Op{Kind: "insert", ID: i})
+	}
+	ops = append(ops, Op{Kind: "flush"})
+	for i := int64(2); i <= 20; i += 3 {
+		ops = append(ops, Op{Kind: "delete", ID: i})
+	}
+	ops = append(ops, Op{Kind: "checkpoint"})
+	for i := int64(41); i <= 70; i++ {
+		ops = append(ops, Op{Kind: "insert", ID: i})
+	}
+	for i := int64(50); i <= 60; i += 2 {
+		ops = append(ops, Op{Kind: "delete", ID: i})
+	}
+	ops = append(ops, Op{Kind: "flush"})
+	for i := int64(71); i <= 80; i++ {
+		ops = append(ops, Op{Kind: "insert", ID: i})
+	}
+	return ops
+}
+
+// Config returns the database configuration the harness uses: tiny row
+// groups so the workload exercises delta close, tuple moves, and compressed
+// groups; manual tuple mover so the op sequence is deterministic.
+func Config(fsyncPolicy string) apollo.Config {
+	cfg := apollo.DefaultConfig()
+	cfg.TupleMoverInterval = 0
+	cfg.RowGroupSize = 16
+	cfg.BulkLoadThreshold = 1 << 20 // keep everything on the trickle path
+	cfg.FsyncPolicy = fsyncPolicy
+	return cfg
+}
+
+// Apply runs one op against db. Flushes and checkpoints are state-neutral;
+// inserts and deletes change the logical table.
+func Apply(db *apollo.DB, op Op) error {
+	switch op.Kind {
+	case "insert":
+		t, err := db.Table("k")
+		if err != nil {
+			return err
+		}
+		return t.Insert(apollo.Row{apollo.NewInt(op.ID), apollo.NewString(fmt.Sprintf("v-%d", op.ID))})
+	case "delete":
+		_, err := db.Exec(fmt.Sprintf("DELETE FROM k WHERE id = %d", op.ID))
+		return err
+	case "flush":
+		t, err := db.Table("k")
+		if err != nil {
+			return err
+		}
+		return t.Reorganize()
+	case "checkpoint":
+		if !db.Durable() {
+			return nil
+		}
+		_, err := db.Checkpoint()
+		return err
+	default:
+		return fmt.Errorf("crashtest: unknown op %q", op.Kind)
+	}
+}
+
+// Checksum fingerprints the table's logical contents: SHA-256 over the
+// sorted (id, v) pairs. Physical layout (delta vs compressed, group count)
+// does not affect it.
+func Checksum(db *apollo.DB) ([32]byte, int, error) {
+	res, err := db.Query("SELECT id, v FROM k")
+	if err != nil {
+		return [32]byte{}, 0, err
+	}
+	type kv struct {
+		id int64
+		v  string
+	}
+	rows := make([]kv, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		rows = append(rows, kv{r[0].I, r[1].S})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	h := sha256.New()
+	for _, r := range rows {
+		var idb [8]byte
+		binary.LittleEndian.PutUint64(idb[:], uint64(r.id))
+		h.Write(idb[:])
+		h.Write([]byte(r.v))
+		h.Write([]byte{0})
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, len(rows), nil
+}
+
+// ExpectedChecksums simulates the script on an in-memory database and
+// returns the logical checksum after each prefix: out[k] is the state after
+// the first k operations (out[0] = empty table).
+func ExpectedChecksums(fsyncPolicy string) ([][32]byte, error) {
+	cfg := Config(fsyncPolicy)
+	db := apollo.Open(cfg)
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE k (id BIGINT, v VARCHAR)"); err != nil {
+		return nil, err
+	}
+	script := Script()
+	out := make([][32]byte, 0, len(script)+1)
+	sum, _, err := Checksum(db)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sum)
+	for _, op := range script {
+		if op.Kind == "checkpoint" {
+			// no-op in-memory; keep indexes aligned
+			out = append(out, out[len(out)-1])
+			continue
+		}
+		if err := Apply(db, op); err != nil {
+			return nil, err
+		}
+		if sum, _, err = Checksum(db); err != nil {
+			return nil, err
+		}
+		out = append(out, sum)
+	}
+	return out, nil
+}
+
+// progressPath is the file where the child records acknowledged progress.
+func progressPath(dir string) string { return filepath.Join(dir, "progress") }
+
+// totalPath is where a crash-free child records the final WAL byte count.
+func totalPath(dir string) string { return filepath.Join(dir, "wal-total") }
+
+// ReadProgress returns how many operations the child acknowledged (the
+// count it durably recorded before the crash).
+func ReadProgress(dir string) (int, error) {
+	b, err := os.ReadFile(progressPath(dir))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(string(b))
+}
+
+// ReadWALTotal returns the total WAL bytes a crash-free run wrote.
+func ReadWALTotal(dir string) (int64, error) {
+	b, err := os.ReadFile(totalPath(dir))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(string(b), 10, 64)
+}
+
+// markProgress durably records that ops 0..n-1 are acknowledged.
+func markProgress(dir string, n int) error {
+	f, err := os.OpenFile(progressPath(dir)+".tmp", os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.WriteString(strconv.Itoa(n)); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(progressPath(dir)+".tmp", progressPath(dir))
+}
+
+// IsChild reports whether this process is a harness child.
+func IsChild() bool { return os.Getenv("APOLLO_CRASH_CHILD") == "1" }
+
+// RunChild executes the scripted workload per the environment protocol and
+// exits: code 0 on completion, code 3 when the armed crash point fires (the
+// WAL writer calls os.Exit(3)), code 1 on unexpected errors. Call from
+// TestMain before m.Run when IsChild().
+func RunChild() {
+	dir := os.Getenv("APOLLO_CRASH_DIR")
+	crashAt, _ := strconv.ParseInt(os.Getenv("APOLLO_CRASH_AT"), 10, 64)
+	policy := os.Getenv("APOLLO_CRASH_FSYNC")
+	if policy == "" {
+		policy = "always"
+	}
+	cfg := Config(policy)
+	cfg.WALCrashAt = crashAt
+	if os.Getenv("APOLLO_CRASH_MIDCKPT") == "1" {
+		persist.TestHookAfterImage = func() { os.Exit(3) }
+	}
+	db, err := apollo.OpenDir(dir, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest child: open: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := db.Exec("CREATE TABLE k (id BIGINT, v VARCHAR)"); err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest child: create: %v\n", err)
+		os.Exit(1)
+	}
+	for i, op := range Script() {
+		if err := Apply(db, op); err != nil {
+			fmt.Fprintf(os.Stderr, "crashtest child: op %d (%s %d): %v\n", i, op.Kind, op.ID, err)
+			os.Exit(1)
+		}
+		if err := markProgress(dir, i+1); err != nil {
+			fmt.Fprintf(os.Stderr, "crashtest child: progress: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	total := db.WALStats().TotalBytes
+	db.Close()
+	if err := os.WriteFile(totalPath(dir), []byte(strconv.FormatInt(total, 10)), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest child: total: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

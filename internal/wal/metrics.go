@@ -1,0 +1,18 @@
+package wal
+
+import "apollo/internal/metrics"
+
+// Process-wide series for the write-ahead log, aggregated across every
+// Writer/Scan in the process (one per durable DB in practice).
+var (
+	mAppends = metrics.Default.Counter("apollo_wal_appends_total",
+		"records appended to the write-ahead log")
+	mAppendBytes = metrics.Default.Counter("apollo_wal_bytes_total",
+		"framed bytes appended to the write-ahead log")
+	mFsyncs = metrics.Default.Counter("apollo_wal_fsyncs_total",
+		"fsync calls issued by the write-ahead log (group commits, rotations, interval flushes)")
+	mSegments = metrics.Default.Counter("apollo_wal_segments_total",
+		"write-ahead log segment files opened")
+	mTruncatedTail = metrics.Default.Counter("apollo_recovery_truncated_tail_total",
+		"torn write-ahead log tails dropped during recovery scans")
+)

@@ -1,0 +1,150 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt is the sentinel for unrecoverable log damage: a frame that fails
+// validation anywhere other than the writable tail of the final segment.
+// Damage at the tail is the expected signature of a torn write and is
+// truncated silently; damage followed by more log data means the at-rest
+// bytes are wrong and replaying past it would apply a different history than
+// the one that was committed.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// CorruptError reports where the log is damaged. errors.Is(err, ErrCorrupt)
+// matches it.
+type CorruptError struct {
+	Seg    uint64 // damaged segment sequence
+	Offset int64  // byte offset of the bad frame within the segment
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt log: segment %d offset %d: %s", e.Seg, e.Offset, e.Reason)
+}
+
+// Is reports whether target is the ErrCorrupt sentinel.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// ScanResult summarizes a recovery scan.
+type ScanResult struct {
+	Records   int64  // valid records delivered to the callback
+	LastSeq   uint64 // highest segment sequence seen (fromSeq-1 if none)
+	Truncated bool   // a torn tail was found (and repaired when repair=true)
+}
+
+// Scan replays every record in dir's segments with sequence >= fromSeq, in
+// order, calling fn for each. The torn-tail rule: a frame that is short,
+// oversized, or CRC-damaged at the very end of the final segment is treated
+// as an interrupted append — the tail is dropped (and physically truncated
+// when repair is true, so a later recovery does not misread it as mid-file
+// damage). The same damage anywhere else returns a *CorruptError wrapping
+// ErrCorrupt. fn returning an error aborts the scan.
+func Scan(dir string, fromSeq uint64, repair bool, fn func(seq uint64, rec *Record) error) (ScanResult, error) {
+	res := ScanResult{}
+	if fromSeq > 0 {
+		res.LastSeq = fromSeq - 1
+	}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return res, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var scan []uint64
+	for _, s := range seqs {
+		if s >= fromSeq {
+			scan = append(scan, s)
+		}
+	}
+	for i, seq := range scan {
+		last := i == len(scan)-1
+		if seq > res.LastSeq {
+			res.LastSeq = seq
+		}
+		if err := scanSegment(dir, seq, last, repair, &res, fn); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// scanSegment replays one segment file. last marks the final segment, where
+// tail damage is torn-write truncation rather than corruption.
+func scanSegment(dir string, seq uint64, last, repair bool, res *ScanResult, fn func(uint64, *Record) error) error {
+	path := filepath.Join(dir, SegmentName(seq))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: read segment %d: %w", seq, err)
+	}
+	size := int64(len(buf))
+
+	// torn reports tail damage: truncate (physically when repair) and stop.
+	torn := func(goodEnd int64, reason string) error {
+		if !last {
+			return &CorruptError{Seg: seq, Offset: goodEnd, Reason: reason}
+		}
+		res.Truncated = true
+		mTruncatedTail.Inc()
+		if repair {
+			if err := os.Truncate(path, goodEnd); err != nil {
+				return fmt.Errorf("wal: truncate torn tail of segment %d: %w", seq, err)
+			}
+		}
+		return nil
+	}
+
+	if size < segHeaderLen {
+		return torn(0, "short segment header")
+	}
+	if string(buf[:8]) != segMagic {
+		return &CorruptError{Seg: seq, Offset: 0, Reason: "bad segment magic"}
+	}
+	if got := binary.LittleEndian.Uint64(buf[8:16]); got != seq {
+		return &CorruptError{Seg: seq, Offset: 8, Reason: fmt.Sprintf("segment header seq %d, want %d", got, seq)}
+	}
+
+	off := int64(segHeaderLen)
+	for off < size {
+		if off+frameHeadLen > size {
+			return torn(off, "short frame header")
+		}
+		blen := int64(binary.LittleEndian.Uint32(buf[off:]))
+		crc := binary.LittleEndian.Uint32(buf[off+4:])
+		if blen <= 0 || blen > MaxRecordBytes {
+			// A garbage length gives no trustworthy frame boundary, so
+			// nothing after it can be parsed either way; at the tail of the
+			// final segment it is the signature of a torn length prefix.
+			return torn(off, fmt.Sprintf("invalid frame length %d", blen))
+		}
+		end := off + frameHeadLen + blen
+		if end > size {
+			return torn(off, "frame extends past end of segment")
+		}
+		body := buf[off+frameHeadLen : end]
+		atTail := last && end == size
+		if crc32.Checksum(body, castagnoli) != crc {
+			if atTail {
+				return torn(off, "crc mismatch in final frame")
+			}
+			return &CorruptError{Seg: seq, Offset: off, Reason: "crc mismatch"}
+		}
+		rec, err := UnmarshalRecord(body)
+		if err != nil {
+			// The CRC matched, so the body is what was written; a parse
+			// failure means a framing bug or version skew, not a torn write.
+			return &CorruptError{Seg: seq, Offset: off, Reason: err.Error()}
+		}
+		if err := fn(seq, rec); err != nil {
+			return err
+		}
+		res.Records++
+		off = end
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Segment file layout:
+//
+//	header   16 bytes: 8-byte magic "APWAL001" + segment seq uint64 LE
+//	frames   repeated: [len uint32 LE][crc32c uint32 LE][body]
+//
+// crc32c (Castagnoli) covers the body only. A frame is valid when its declared
+// length is in (0, MaxRecordBytes], the body is fully present, and the CRC
+// matches.
+
+const (
+	segMagic      = "APWAL001"
+	segHeaderLen  = 16
+	frameHeadLen  = 8
+	segFileSuffix = ".wal"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy selects when appended records are fsynced to disk.
+type Policy uint8
+
+// Fsync policies.
+const (
+	// FsyncAlways group-commits: every Append returns only after the record
+	// is durable (concurrent appenders share one fsync).
+	FsyncAlways Policy = iota
+	// FsyncInterval fsyncs on a background timer; a crash loses at most one
+	// interval of acknowledged appends.
+	FsyncInterval
+	// FsyncOff never fsyncs during operation (Close still does); durability
+	// is whatever the OS page cache survives.
+	FsyncOff
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return "off"
+	}
+}
+
+// ParsePolicy maps "always" / "interval" / "off" to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	default:
+		return FsyncAlways, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+	}
+}
+
+// Options configure a Writer.
+type Options struct {
+	// Policy selects the fsync discipline (default FsyncAlways).
+	Policy Policy
+	// Interval is the FsyncInterval flush period (default 10ms).
+	Interval time.Duration
+	// SegmentBytes rotates to a new segment file once the current one
+	// reaches this size (default 16 MiB).
+	SegmentBytes int64
+	// CrashAt is a crash-injection test hook: once the writer's cumulative
+	// byte count (headers included) would pass CrashAt, it writes only the
+	// bytes up to that offset, flushes them, and kills the process. Zero
+	// disables it. See internal/wal/crashtest.
+	CrashAt int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 10 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	return o
+}
+
+// Writer appends framed records to segment files. It is safe for concurrent
+// use; appends serialize internally and FsyncAlways commits in groups.
+type Writer struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	seq      uint64
+	segBytes int64 // bytes written to the current segment
+	total    int64 // cumulative bytes across all segments, headers included
+	closed   bool
+
+	synced atomic.Int64 // high-water mark of durable cumulative bytes
+	syncMu sync.Mutex   // serializes fsyncs (group commit)
+
+	intervalStop chan struct{}
+	intervalDone chan struct{}
+}
+
+// Create opens a writer on dir starting a fresh segment with the given
+// sequence number. dir is created if missing. Existing segments are left
+// untouched; recovery chooses startSeq past them.
+func Create(dir string, startSeq uint64, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	w := &Writer{dir: dir, opts: opts.withDefaults(), seq: startSeq}
+	if err := w.openSegmentLocked(startSeq); err != nil {
+		return nil, err
+	}
+	if w.opts.Policy == FsyncInterval {
+		w.intervalStop = make(chan struct{})
+		w.intervalDone = make(chan struct{})
+		go w.intervalLoop()
+	}
+	return w, nil
+}
+
+// SegmentName returns the file name of segment seq.
+func SegmentName(seq uint64) string {
+	return fmt.Sprintf("%08d%s", seq, segFileSuffix)
+}
+
+// parseSegmentName extracts the sequence number from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, segFileSuffix)
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the segment sequence numbers present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func (w *Writer) openSegmentLocked(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, SegmentName(seq)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment %d: %w", seq, err)
+	}
+	w.f = f
+	w.seq = seq
+	w.segBytes = 0
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	if err := w.writeRawLocked(hdr[:]); err != nil {
+		return err
+	}
+	mSegments.Inc()
+	return nil
+}
+
+// writeRawLocked writes b to the current segment applying the crash-injection
+// hook: if the cumulative byte count would pass CrashAt, only the prefix up
+// to CrashAt is written (then flushed) and the process exits — simulating a
+// torn write at an arbitrary log offset.
+func (w *Writer) writeRawLocked(b []byte) error {
+	if w.opts.CrashAt > 0 {
+		remaining := w.opts.CrashAt - w.total
+		if remaining <= 0 {
+			w.f.Sync()
+			os.Exit(3)
+		}
+		if int64(len(b)) > remaining {
+			w.f.Write(b[:remaining])
+			w.f.Sync()
+			os.Exit(3)
+		}
+	}
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("wal: write segment %d: %w", w.seq, err)
+	}
+	w.total += int64(len(b))
+	w.segBytes += int64(len(b))
+	return nil
+}
+
+// Append frames and appends one record. Under FsyncAlways it returns only
+// once the record is durable.
+func (w *Writer) Append(rec *Record) error {
+	body := rec.AppendBody(nil)
+	if len(body) > MaxRecordBytes {
+		return fmt.Errorf("wal: record body %d bytes exceeds max %d", len(body), MaxRecordBytes)
+	}
+	frame := make([]byte, frameHeadLen, frameHeadLen+len(body))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(body, castagnoli))
+	frame = append(frame, body...)
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: writer closed")
+	}
+	if w.segBytes+int64(len(frame)) > w.opts.SegmentBytes && w.segBytes > segHeaderLen {
+		if err := w.rotateLocked(); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+	}
+	if err := w.writeRawLocked(frame); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	target := w.total
+	w.mu.Unlock()
+
+	mAppends.Inc()
+	mAppendBytes.Add(int64(len(frame)))
+	if w.opts.Policy == FsyncAlways {
+		return w.syncTo(target)
+	}
+	return nil
+}
+
+// rotateLocked syncs and closes the current segment and opens the next one.
+// The sync runs under every policy: once a segment is closed no later fsync
+// can reach it, so the durable watermark must cover it now.
+func (w *Writer) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync segment %d: %w", w.seq, err)
+	}
+	mFsyncs.Inc()
+	advanceWatermark(&w.synced, w.total)
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment %d: %w", w.seq, err)
+	}
+	return w.openSegmentLocked(w.seq + 1)
+}
+
+// Rotate forces a segment rotation and returns the new segment's sequence
+// number. Checkpoints rotate so the image's replay point is a segment
+// boundary.
+func (w *Writer) Rotate() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: writer closed")
+	}
+	if err := w.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return w.seq, nil
+}
+
+// syncTo blocks until the durable watermark reaches target. Concurrent
+// callers batch: one fsync covers every record appended before it ran.
+func (w *Writer) syncTo(target int64) error {
+	if w.synced.Load() >= target {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced.Load() >= target {
+		return nil
+	}
+	w.mu.Lock()
+	f := w.f
+	cur := w.total
+	w.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	mFsyncs.Inc()
+	advanceWatermark(&w.synced, cur)
+	return nil
+}
+
+func advanceWatermark(w *atomic.Int64, v int64) {
+	for {
+		cur := w.Load()
+		if v <= cur || w.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Sync flushes all appended records to disk regardless of policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	target := w.total
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return fmt.Errorf("wal: writer closed")
+	}
+	return w.syncTo(target)
+}
+
+func (w *Writer) intervalLoop() {
+	defer close(w.intervalDone)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.intervalStop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			target := w.total
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return
+			}
+			w.syncTo(target)
+		}
+	}
+}
+
+// RemoveSegmentsBelow deletes segment files with sequence < seq (checkpoint
+// truncation: everything below the image's replay point is covered by it).
+func (w *Writer) RemoveSegmentsBelow(seq uint64) error {
+	seqs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range seqs {
+		if s < seq {
+			if err := os.Remove(filepath.Join(w.dir, SegmentName(s))); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats is a snapshot of the writer's position.
+type Stats struct {
+	Seq         uint64 // current segment sequence
+	TotalBytes  int64  // cumulative bytes appended, headers included
+	SyncedBytes int64  // durable high-water mark
+	Policy      Policy
+}
+
+// Stat returns the writer's current position.
+func (w *Writer) Stat() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{Seq: w.seq, TotalBytes: w.total, SyncedBytes: w.synced.Load(), Policy: w.opts.Policy}
+}
+
+// Close flushes and closes the log. Safe to call once.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	f := w.f
+	w.mu.Unlock()
+	if w.intervalStop != nil {
+		close(w.intervalStop)
+		<-w.intervalDone
+	}
+	err := f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
