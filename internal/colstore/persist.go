@@ -218,10 +218,16 @@ type DictAppend struct {
 }
 
 // Publish is the payload of a group-publish WAL record: the new group's
-// directory entry plus the dictionary entries its build added.
+// directory entry, the dictionary entries its build added, and the tuple ids
+// already deleted at publish time (deletes that arrived while the tuple mover
+// compressed the source delta store). Deletes ride in the publish record
+// because the two must be one atomic log append: a crash between a durable
+// publish and separately-logged delete-bitmap records would replay the
+// publish (dropping the delta store) and resurrect the acknowledged deletes.
 type Publish struct {
-	Group *RowGroup
-	Dicts []DictAppend
+	Group   *RowGroup
+	Dicts   []DictAppend
+	Deletes []int
 }
 
 // MarshalPublish serializes a publish payload.
@@ -236,6 +242,10 @@ func MarshalPublish(p *Publish) []byte {
 			dst = binary.AppendUvarint(dst, uint64(len(v)))
 			dst = append(dst, v...)
 		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(p.Deletes)))
+	for _, tid := range p.Deletes {
+		dst = binary.AppendUvarint(dst, uint64(tid))
 	}
 	return dst
 }
@@ -281,6 +291,22 @@ func UnmarshalPublish(buf []byte) (*Publish, error) {
 			pos += int(l)
 		}
 		p.Dicts = append(p.Dicts, da)
+	}
+	if pos < len(buf) {
+		ndel, n := binary.Uvarint(buf[pos:])
+		if n <= 0 || ndel > uint64(g.Rows) {
+			return nil, fmt.Errorf("colstore: bad publish delete count")
+		}
+		pos += n
+		p.Deletes = make([]int, 0, ndel)
+		for i := uint64(0); i < ndel; i++ {
+			tid, n := binary.Uvarint(buf[pos:])
+			if n <= 0 || tid >= uint64(g.Rows) {
+				return nil, fmt.Errorf("colstore: bad publish delete tuple id")
+			}
+			pos += n
+			p.Deletes = append(p.Deletes, int(tid))
+		}
 	}
 	if pos != len(buf) {
 		return nil, fmt.Errorf("colstore: %d trailing bytes in publish payload", len(buf)-pos)

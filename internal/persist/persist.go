@@ -292,18 +292,39 @@ func Recover(dataDir string, store *storage.Store, cat *catalog.Catalog, opts wa
 		return nil, err
 	}
 	var images []tableImage
+	skippedNewer := false
+	found := false
 	for i := len(ckpts) - 1; i >= 0; i-- {
 		buf, err := os.ReadFile(ckptPath(dataDir, ckpts[i]))
-		if err != nil {
-			continue
+		if err == nil {
+			seq, tables, uerr := unmarshalCheckpoint(buf)
+			if uerr == nil && seq == ckpts[i] {
+				res.CheckpointSeq = seq
+				images = tables
+				found = true
+				break
+			}
 		}
-		seq, tables, err := unmarshalCheckpoint(buf)
-		if err != nil || seq != ckpts[i] {
-			continue
+		skippedNewer = true
+	}
+	if !found && len(ckpts) > 0 {
+		// Every image on disk is damaged. Replaying from nothing would scan
+		// a log whose prefix the newest checkpoint already truncated —
+		// silent partial recovery, not a usable fallback.
+		return nil, fmt.Errorf("persist: no valid checkpoint image among %d candidates: %w", len(ckpts), wal.ErrCorrupt)
+	}
+	if found && skippedNewer {
+		// A damaged checkpoint newer than the one chosen existed, so its
+		// truncation may already have deleted the chosen image's segments.
+		// The rotate that produced the chosen image created segment
+		// CheckpointSeq; if that file is gone, the log between the two
+		// checkpoints is gone with it and replay would recover a partial
+		// state. (Scan also rejects ranges not starting at CheckpointSeq;
+		// this catches the WAL being emptied entirely.)
+		if _, serr := os.Stat(filepath.Join(WALDir(dataDir), wal.SegmentName(res.CheckpointSeq))); serr != nil {
+			return nil, fmt.Errorf("persist: checkpoint %d usable only with WAL segment %d, which is missing: %w",
+				res.CheckpointSeq, res.CheckpointSeq, wal.ErrCorrupt)
 		}
-		res.CheckpointSeq = seq
-		images = tables
-		break
 	}
 	for _, ti := range images {
 		schema, topts, err := table.DecodeTableDef(ti.def)

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"reflect"
@@ -239,8 +240,10 @@ func TestOrphanBlobGC(t *testing.T) {
 	}
 }
 
-// TestCheckpointImageCorruptFallsBack: a damaged newest image is skipped in
-// favor of an older valid one (or a full-log replay), never trusted.
+// TestCheckpointImageCorruptFallsBack: a damaged newest image is never
+// trusted. With no older valid image to fall back to — and the WAL's
+// pre-checkpoint prefix already truncated — recovery must refuse with
+// ErrCorrupt rather than silently open a partial (here: empty) state.
 func TestCheckpointImageCorruptFallsBack(t *testing.T) {
 	dir := t.TempDir()
 	cat, w, _ := openEnv(t, dir)
@@ -273,18 +276,12 @@ func TestCheckpointImageCorruptFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cat2, w2, res := openEnv(t, dir)
-	defer w2.Close()
-	if res.CheckpointSeq != 0 {
-		t.Fatalf("recovery trusted a corrupt image (seq %d)", res.CheckpointSeq)
+	store := storage.NewStore(1 << 20)
+	_, err = Recover(dir, store, catalog.New(store), wal.Options{Policy: wal.FsyncOff})
+	if err == nil {
+		t.Fatal("recovery accepted a directory whose only checkpoint image is corrupt")
 	}
-	// The table was created before the checkpoint; with the image rejected
-	// and pre-checkpoint segments truncated, it is simply absent — which is
-	// honest data loss, not silent corruption.
-	if _, err := cat2.Get("f"); err == nil {
-		tb2, _ := cat2.Get("f")
-		if len(liveIDs(t, tb2)) != 0 {
-			t.Fatal("recovery fabricated rows from a corrupt image")
-		}
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("recover: got %v, want ErrCorrupt", err)
 	}
 }

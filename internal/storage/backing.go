@@ -87,7 +87,22 @@ func (b *DiskBacking) write(id BlobID, onDisk []byte, meta blobMeta) error {
 		os.Remove(tmp)
 		return fmt.Errorf("storage: publish blob %d: %w", id, err)
 	}
+	if b.syncWrites {
+		// The rename's directory entry must be durable before the WAL record
+		// referencing this blob is: fsyncing only the file leaves a power-loss
+		// window where the publish record survives but the blob does not.
+		syncDir(b.dir)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable (best effort;
+// some platforms reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // remove deletes a blob file (best effort; a missing file is fine).

@@ -1,0 +1,96 @@
+package table
+
+import (
+	"testing"
+
+	"apollo/internal/colstore"
+	"apollo/internal/storage"
+	"apollo/internal/wal"
+)
+
+// TestMovePublishCarriesPendingDeletes: a delete acknowledged while the tuple
+// mover compresses its store must survive replay of any log prefix that
+// contains the publish record. The publish and its pending deletes have to be
+// ONE atomic append — logging delete-bitmap records separately after the
+// publish leaves a crash window where the publish is durable but the deletes
+// are not, and recovery resurrects an acknowledged delete.
+func TestMovePublishCarriesPendingDeletes(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Create(dir, 1, wal.Options{Policy: wal.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{RowGroupSize: 8, BulkLoadThreshold: 1 << 20, Columnstore: DefaultOptions().Columnstore}
+	store := storage.NewStore(storage.DefaultBufferPoolBytes)
+	src := New(store, "p", testSchema(), opts)
+	src.SetWAL(w)
+
+	var locs []Locator
+	for i := int64(1); i <= 8; i++ { // 8th insert closes the store
+		loc, err := src.Insert(mkRow(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs = append(locs, loc)
+	}
+	// Delete id 3 while the mover has the store in Moving: the row is already
+	// compressed into the pending group, so the delete lands in the store's
+	// delete buffer and must ride inside the publish record.
+	src.moverTestHookAfterBuild = func() {
+		if !src.DeleteAt(locs[2]) {
+			t.Error("mid-move delete failed")
+		}
+	}
+	moved, err := src.MoveOnce()
+	if err != nil || !moved {
+		t.Fatalf("MoveOnce: moved=%v err=%v", moved, err)
+	}
+	src.moverTestHookAfterBuild = nil
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []*wal.Record
+	if _, err := wal.Scan(dir, 1, false, func(_ uint64, rec *wal.Record) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pubIdx := -1
+	for i, r := range recs {
+		if r.Type == wal.TGroupPublish {
+			pubIdx = i
+		}
+	}
+	if pubIdx < 0 {
+		t.Fatal("no publish record in log")
+	}
+	p, err := colstore.UnmarshalPublish(recs[pubIdx].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Deletes) != 1 {
+		t.Fatalf("publish record carries %d pending deletes, want 1", len(p.Deletes))
+	}
+
+	// Replay exactly the prefix ending at the publish record — the state a
+	// crash immediately after the publish fsync recovers to.
+	dst := New(store, "p", testSchema(), opts)
+	for _, r := range recs[:pubIdx+1] {
+		if err := dst.ReplayRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst.FinishRecovery()
+	occ := snapshotOccurrences(t, dst.Snapshot())
+	for i := int64(1); i <= 8; i++ {
+		want := 1
+		if i == 3 {
+			want = 0
+		}
+		if occ[i] != want {
+			t.Fatalf("after publish-prefix replay: id %d visible %d times, want %d", i, occ[i], want)
+		}
+	}
+}

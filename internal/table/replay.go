@@ -98,6 +98,12 @@ func (t *Table) replayPublishLocked(consumed int, payload []byte) error {
 		}
 	}
 	t.idx.RestoreGroup(p.Group)
+	// Deletes that arrived while the mover compressed ride inside the publish
+	// record (one atomic append); set their bitmap entries now that the group
+	// exists. Idempotent: setting an already-set bit is a no-op.
+	for _, tid := range p.Deletes {
+		t.deletes.Delete(p.Group.ID, tid)
+	}
 	if consumed != 0 {
 		t.replayDropLocked(consumed)
 	}

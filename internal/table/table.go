@@ -96,6 +96,12 @@ type Table struct {
 
 	mover  *mover
 	health moverHealth
+
+	// moverTestHookAfterBuild, when set, runs in MoveOnce after the row group
+	// is built but before it is published — the window where the source store
+	// is Moving and concurrent deletes land in its delete buffer. Tests use it
+	// to exercise the publish-with-pending-deletes path deterministically.
+	moverTestHookAfterBuild func()
 }
 
 // New creates an empty clustered columnstore table.
@@ -302,7 +308,7 @@ func (t *Table) compressRows(rows []sqltypes.Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.publishLocked(g, dicts, 0)
+	return t.publishLocked(g, dicts, 0, nil)
 }
 
 // buildGroup builds (but does not publish) a row group, capturing the
@@ -336,17 +342,23 @@ func (t *Table) buildGroup(bufs []*colstore.ColumnBuf) (*colstore.RowGroup, []in
 // publishLocked assigns the group the id it will carry in the directory,
 // logs the publish (group metadata + dictionary appends; the segment blobs
 // are already durable via the store's write-through backing), and installs
-// it. consumed names the delta store the group replaces (0 = none). Caller
-// holds t.mu, and compressMu whenever another build could interleave.
-func (t *Table) publishLocked(g *colstore.RowGroup, dicts []colstore.DictAppend, consumed int) error {
+// it. consumed names the delta store the group replaces (0 = none). deletes
+// lists tuple ids already deleted at publish time (deletes that landed while
+// the mover compressed); they travel inside the publish record so publish and
+// deletes are one atomic log append. Caller holds t.mu, and compressMu
+// whenever another build could interleave.
+func (t *Table) publishLocked(g *colstore.RowGroup, dicts []colstore.DictAppend, consumed int, deletes []int) error {
 	g.ID = t.idx.NextGroupID()
 	if t.wal != nil {
-		payload := colstore.MarshalPublish(&colstore.Publish{Group: g, Dicts: dicts})
+		payload := colstore.MarshalPublish(&colstore.Publish{Group: g, Dicts: dicts, Deletes: deletes})
 		if err := t.logWAL(&wal.Record{Type: wal.TGroupPublish, A: uint64(consumed), Payload: payload}); err != nil {
 			return err
 		}
 	}
 	t.idx.RestoreGroup(g)
+	for _, tid := range deletes {
+		t.deletes.Delete(g.ID, tid)
+	}
 	return nil
 }
 
@@ -781,11 +793,30 @@ func (t *Table) MoveOnce() (moved bool, err error) {
 		}
 	}
 
+	if t.moverTestHookAfterBuild != nil {
+		t.moverTestHookAfterBuild()
+	}
+
 	t.mu.Lock()
-	if werr := t.publishLocked(g, dicts, s.ID); werr != nil {
+	// Deletes that landed while we compressed were acknowledged durably as
+	// TDeltaDelete records; replay of the publish record drops the whole
+	// delta store, so the buffered keys must survive as delete-bitmap
+	// entries on the new group. They travel inside the publish record
+	// itself — a separately-logged delete after a durable publish is a
+	// crash window that resurrects acknowledged deletes.
+	var pending []int
+	for _, k := range s.DrainDeleteBuffer() {
+		i := sort.Search(len(keys), func(j int) bool { return keys[j] >= k })
+		if i < len(keys) && keys[i] == k {
+			pending = append(pending, inv[i])
+		}
+	}
+	if werr := t.publishLocked(g, dicts, s.ID, pending); werr != nil {
 		// The publish record never made it to the log; roll back like a
 		// build failure. The group's blobs become orphans (recovery GCs
-		// them; in-process they are unreachable but small).
+		// them; in-process they are unreachable but small). The drained
+		// delete buffer is already reflected in the store's tree, so a
+		// retry's BeginMove sees the post-delete row set.
 		delete(t.moving, s.ID)
 		s.AbortMove()
 		t.closed = append([]*delta.Store{s}, t.closed...)
@@ -794,26 +825,11 @@ func (t *Table) MoveOnce() (moved bool, err error) {
 		mMoverAborts.Inc()
 		return false, werr
 	}
-	// Replay deletes that landed while we compressed. Each is logged as a
-	// delete-bitmap set on the new group: replay of the publish record drops
-	// the whole delta store, so the buffered keys must survive as bitmap
-	// entries. A log error past this point cannot be rolled back (the group
-	// is published); finish applying and surface it.
-	var logErr error
-	for _, k := range s.DrainDeleteBuffer() {
-		i := sort.Search(len(keys), func(j int) bool { return keys[j] >= k })
-		if i < len(keys) && keys[i] == k {
-			if werr := t.logWAL(&wal.Record{Type: wal.TDeleteSet, A: uint64(g.ID), B: uint64(inv[i])}); werr != nil && logErr == nil {
-				logErr = werr
-			}
-			t.deletes.Delete(g.ID, inv[i])
-		}
-	}
 	delete(t.moving, s.ID)
 	t.deltaEpoch++
 	t.mu.Unlock()
 	t.compressMu.Unlock()
-	return true, logErr
+	return true, nil
 }
 
 // MoveAll drains every closed delta store.
@@ -1014,7 +1030,7 @@ func (t *Table) Rebuild() error {
 		t.deletes.DropGroup(g.ID)
 	}
 	for i, g := range newGroups {
-		if err := t.publishLocked(g, newDicts[i], 0); err != nil {
+		if err := t.publishLocked(g, newDicts[i], 0, nil); err != nil {
 			return err
 		}
 	}
@@ -1101,7 +1117,7 @@ func (t *Table) MergeSmallGroups() (int, error) {
 		t.deletes.DropGroup(g.ID)
 	}
 	for i, g := range merged {
-		if err := t.publishLocked(g, mergedDicts[i], 0); err != nil {
+		if err := t.publishLocked(g, mergedDicts[i], 0, nil); err != nil {
 			return 0, err
 		}
 	}

@@ -62,7 +62,20 @@ func Scan(dir string, fromSeq uint64, repair bool, fn func(seq uint64, rec *Reco
 			scan = append(scan, s)
 		}
 	}
+	// The writer numbers segments consecutively and checkpoint truncation only
+	// removes a prefix, so the replay range must be gap-free and — when a
+	// checkpoint set fromSeq — start exactly there (the rotate that produced
+	// the image created segment fromSeq). A hole means committed records are
+	// gone; replaying around it would silently recover a different history.
+	if len(scan) > 0 && fromSeq > 0 && scan[0] != fromSeq {
+		return res, &CorruptError{Seg: fromSeq, Offset: 0,
+			Reason: fmt.Sprintf("log starts at segment %d, want %d (missing segments)", scan[0], fromSeq)}
+	}
 	for i, seq := range scan {
+		if i > 0 && seq != scan[i-1]+1 {
+			return res, &CorruptError{Seg: scan[i-1] + 1, Offset: 0,
+				Reason: fmt.Sprintf("segment gap: %d followed by %d", scan[i-1], seq)}
+		}
 		last := i == len(scan)-1
 		if seq > res.LastSeq {
 			res.LastSeq = seq

@@ -383,7 +383,12 @@ func (w *Writer) Stat() Stats {
 	return Stats{Seq: w.seq, TotalBytes: w.total, SyncedBytes: w.synced.Load(), Policy: w.opts.Policy}
 }
 
-// Close flushes and closes the log. Safe to call once.
+// Close flushes and closes the log. Safe to call once. The final sync and
+// the file close run under syncMu: a concurrent syncTo (an Append racing the
+// close) holds syncMu while it fsyncs, so Close cannot close the file out
+// from under it — and once Close's own sync advances the watermark, any
+// late syncTo sees its target already durable and returns without touching
+// the closed file.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -391,13 +396,21 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
-	f := w.f
 	w.mu.Unlock()
 	if w.intervalStop != nil {
 		close(w.intervalStop)
 		<-w.intervalDone
 	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	f := w.f
+	total := w.total
+	w.mu.Unlock()
 	err := f.Sync()
+	if err == nil {
+		advanceWatermark(&w.synced, total)
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -383,6 +383,58 @@ func TestScanFromSeqSkipsOld(t *testing.T) {
 	}
 }
 
+// TestScanRejectsMissingSegments: a hole in the segment sequence (a deleted
+// or lost file) means committed records are gone; the scan must surface
+// ErrCorrupt, not silently replay around it.
+func TestScanRejectsMissingSegments(t *testing.T) {
+	mkLog := func(t *testing.T) string {
+		dir := t.TempDir()
+		w, err := Create(dir, 1, Options{Policy: FsyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seg := 0; seg < 3; seg++ {
+			for i := 0; i < 5; i++ {
+				if err := w.Append(mkRec(seg*5 + i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if seg < 2 {
+				if _, err := w.Rotate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("gap-mid-log", func(t *testing.T) {
+		dir := mkLog(t)
+		if err := os.Remove(filepath.Join(dir, SegmentName(2))); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Scan(dir, 1, false, func(uint64, *Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("segment gap: got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("missing-checkpoint-segment", func(t *testing.T) {
+		dir := mkLog(t)
+		if err := os.Remove(filepath.Join(dir, SegmentName(1))); err != nil {
+			t.Fatal(err)
+		}
+		// A checkpoint set fromSeq=1; the log starting at 2 means segment 1's
+		// committed records are gone.
+		_, err := Scan(dir, 1, false, func(uint64, *Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("missing first segment: got %v, want ErrCorrupt", err)
+		}
+	})
+}
+
 func TestEmptyDirScan(t *testing.T) {
 	res, err := Scan(t.TempDir(), 0, true, func(uint64, *Record) error { return nil })
 	if err != nil {
