@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke cover check crash crash-full bench bench-smoke bench-parallel bench-wal clean
+.PHONY: all build test vet race fuzz-smoke cover check crash crash-full bench bench-smoke bench-parallel bench-wal bench-mvcc clean
 
 all: check
 
@@ -15,10 +15,11 @@ vet:
 
 # Race-detector run over the packages with concurrency-sensitive code
 # (parallel scan, exchange operators, tuple mover, storage fault injection,
-# chaos tests) plus the planner/expression/colstore packages the exchange
+# chaos tests, the transaction manager and its multi-session tests in the
+# root package) plus the planner/expression/colstore packages the exchange
 # layer leans on.
 race:
-	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql ./internal/plan ./internal/expr ./internal/colstore
+	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql ./internal/plan ./internal/expr ./internal/colstore ./internal/txn ./internal/wal
 
 # Short seeded-corpus fuzz run over the encoding round-trip/robustness targets
 # (bitpack, RLE, dictionary). Seconds per target: enough to catch regressions
@@ -31,13 +32,15 @@ fuzz-smoke:
 
 # Crash-injection matrix: kill a scripted workload at randomized WAL byte
 # offsets and verify recovery lands on an exact committed prefix (zero
-# acknowledged loss under fsync=always). 8 crash points per policy; `make
-# crash-full` runs the 64-point matrix.
+# acknowledged loss under fsync=always), plus the multi-writer matrix where
+# concurrent transactional sessions must recover atomically (no torn
+# transactions, rollbacks never resurface). `make crash-full` runs the
+# 64-point single-writer and 16-point multi-writer matrices.
 crash:
-	$(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption' -count=1 .
+	$(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix' -count=1 .
 
 crash-full:
-	APOLLO_CRASH_FULL=1 $(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption' -count=1 -v .
+	APOLLO_CRASH_FULL=1 $(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix' -count=1 -v .
 
 # Per-package statement coverage. internal/metrics (the observability core,
 # locked in by this repo's golden/invariant suites) has a hard 70% floor;
@@ -76,6 +79,11 @@ bench-parallel:
 # recorded numbers).
 bench-wal:
 	$(GO) test -bench='BenchmarkAppend' -run=^$$ ./internal/wal
+
+# Mixed transactional workload vs session count, with fsyncs-per-commit from
+# the group-commit path (see BENCH_mvcc.json for recorded numbers).
+bench-mvcc:
+	$(GO) test -bench='BenchmarkMVCCSessions' -benchtime=1x -run=^$$ .
 
 clean:
 	$(GO) clean -testcache

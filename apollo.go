@@ -34,6 +34,7 @@ import (
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
 	"apollo/internal/table"
+	"apollo/internal/txn"
 	"apollo/internal/wal"
 )
 
@@ -157,6 +158,7 @@ type DB struct {
 	cat     *catalog.Catalog
 	engine  *sql.Engine
 	wal     *wal.Writer // nil for in-memory databases
+	txns    *txn.Manager
 	dataDir string
 	rec     RecoveryInfo
 }
@@ -165,7 +167,7 @@ type DB struct {
 func Open(cfg Config) *DB {
 	store := storage.NewStore(cfg.BufferPoolBytes)
 	cat := catalog.New(store)
-	return newDB(cfg, store, cat)
+	return newDB(cfg, store, cat, nil)
 }
 
 // OpenDir opens (or creates) a durable database rooted at dir. Recovery runs
@@ -190,8 +192,7 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("apollo: open %s: %w", dir, err)
 	}
-	db := newDB(cfg, store, cat)
-	db.wal = res.Writer
+	db := newDB(cfg, store, cat, res.Writer)
 	db.dataDir = dir
 	db.rec = RecoveryInfo{
 		CheckpointSeq:   res.CheckpointSeq,
@@ -215,7 +216,7 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 	return db, nil
 }
 
-func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog) *DB {
+func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog, w *wal.Writer) *DB {
 	topts := table.DefaultOptions()
 	if cfg.RowGroupSize > 0 {
 		topts.RowGroupSize = cfg.RowGroupSize
@@ -230,7 +231,9 @@ func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog) *DB {
 		topts.Columnstore.Reorder = false
 	}
 
-	db := &DB{cfg: cfg, store: store, cat: cat}
+	db := &DB{cfg: cfg, store: store, cat: cat, wal: w}
+	db.txns = txn.NewManager(w)
+	cat.SetClock(db.txns)
 	var tracer *metrics.Tracer
 	if cfg.TraceWriter != nil {
 		tracer = metrics.NewTracer(cfg.TraceWriter)
@@ -247,6 +250,7 @@ func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog) *DB {
 			Tracer:               tracer,
 		},
 		TableOpts: topts,
+		Txns:      db.txns,
 	}
 	if cfg.TupleMoverInterval > 0 {
 		db.engine.OnCreate = func(t *table.Table) {
@@ -256,10 +260,12 @@ func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog) *DB {
 	return db
 }
 
-// Close stops background workers. For a durable database (OpenDir) it also
+// Close stops background workers, rolling back every in-flight transaction
+// (their sessions see ErrClosed). For a durable database (OpenDir) it also
 // flushes and closes the write-ahead log; for an in-memory one (Open),
 // closing does not persist anything.
 func (db *DB) Close() {
+	db.txns.Close()
 	db.cat.Close()
 	if db.wal != nil {
 		db.wal.Close()
@@ -292,7 +298,7 @@ func (db *DB) Checkpoint() (uint64, error) {
 	if db.wal == nil {
 		return 0, fmt.Errorf("apollo: checkpoint on an in-memory database")
 	}
-	return persist.WriteCheckpoint(db.dataDir, db.wal, db.cat)
+	return persist.WriteCheckpoint(db.dataDir, db.wal, db.cat, db.txns)
 }
 
 // WALStats reports the write-ahead log position (zero value for in-memory
@@ -373,6 +379,11 @@ func (db *DB) ExecContext(ctx context.Context, stmt string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return convertResult(r), nil
+}
+
+// convertResult maps an engine result to the public Result shape.
+func convertResult(r *sql.Result) *Result {
 	out := &Result{Rows: r.Rows, Affected: r.Affected, Message: r.Message}
 	if r.Schema != nil {
 		for _, c := range r.Schema.Cols {
@@ -399,7 +410,7 @@ func (db *DB) ExecContext(ctx context.Context, stmt string) (*Result, error) {
 		}
 		out.Operators = mergeOpStats(r.Compiled.OpStats)
 	}
-	return out, nil
+	return out
 }
 
 // mergeOpStats folds per-instance operator counters into one row per

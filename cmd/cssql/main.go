@@ -15,6 +15,9 @@
 //	.health <table>  tuple-mover health (failures, backoff, last error)
 //	.faults <read> <write> <corrupt> [seed]  inject storage faults (rates in [0,1])
 //	.faults off      clear fault injection
+//	.begin           start a transaction (statements queue under snapshot isolation)
+//	.commit          commit the open transaction
+//	.rollback        discard the open transaction
 //	.checkpoint      write a checkpoint image and truncate the WAL (-data only)
 //	.wal             show WAL position, fsync policy, and recovery summary
 //	.metrics [prefix]  dump engine metrics (Prometheus text format)
@@ -90,27 +93,40 @@ func main() {
 		fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
 	}
 
+	// One session for the whole REPL: BEGIN/COMMIT/ROLLBACK (or the matching
+	// dot-commands) bracket transactions; statements in between share its
+	// snapshot. Close rolls back anything left open at exit.
+	sess := db.Session()
+	defer sess.Close()
+
 	fmt.Println("apollo SQL shell — end statements with ';', '.quit' to exit")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var stmt strings.Builder
-	fmt.Print("sql> ")
+	prompt := func() {
+		if sess.InTxn() {
+			fmt.Print("txn> ")
+		} else {
+			fmt.Print("sql> ")
+		}
+	}
+	prompt()
 	for sc.Scan() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if stmt.Len() == 0 && strings.HasPrefix(trimmed, ".") {
-			if dot(db, trimmed) {
+			if dot(db, sess, trimmed) {
 				return
 			}
-			fmt.Print("sql> ")
+			prompt()
 			continue
 		}
 		stmt.WriteString(line)
 		stmt.WriteString("\n")
 		if strings.HasSuffix(trimmed, ";") {
-			runOne(db, stmt.String())
+			runOne(sess, stmt.String())
 			stmt.Reset()
-			fmt.Print("sql> ")
+			prompt()
 		} else if stmt.Len() > 0 {
 			fmt.Print("  -> ")
 		}
@@ -118,11 +134,19 @@ func main() {
 }
 
 // dot handles dot-commands; returns true to exit.
-func dot(db *apollo.DB, cmd string) bool {
+func dot(db *apollo.DB, sess *apollo.Session, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case ".quit", ".exit":
 		return true
+	case ".begin", ".commit", ".rollback":
+		// Sugar for the SQL statements, so transactions work without
+		// remembering the trailing semicolon.
+		if res, err := sess.Exec(strings.TrimPrefix(fields[0], ".")); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println(res.Message)
+		}
 	case ".tables":
 		for _, t := range db.Tables() {
 			fmt.Println(t)
@@ -238,9 +262,9 @@ func dot(db *apollo.DB, cmd string) bool {
 	return false
 }
 
-func runOne(db *apollo.DB, stmt string) {
+func runOne(sess *apollo.Session, stmt string) {
 	start := time.Now()
-	res, err := db.Exec(strings.TrimSpace(stmt))
+	res, err := sess.Exec(strings.TrimSpace(stmt))
 	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Println("error:", err)

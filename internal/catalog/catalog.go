@@ -20,6 +20,7 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*table.Table
 	wal    *wal.Writer
+	clock  table.Clock
 }
 
 // New creates an empty catalog backed by the given blob store.
@@ -34,6 +35,18 @@ func (c *Catalog) SetWAL(w *wal.Writer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.wal = w
+}
+
+// SetClock attaches the transaction-timestamp clock to every current table
+// and every table created or installed afterwards. Without a clock, tables
+// run in the settled single-writer mode (tests, embedded use).
+func (c *Catalog) SetClock(clk table.Clock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clk
+	for _, t := range c.tables {
+		t.SetClock(clk)
+	}
 }
 
 // Store returns the catalog's blob store.
@@ -65,6 +78,9 @@ func (c *Catalog) Create(name string, schema *sqltypes.Schema, opts table.Option
 	}
 	t := table.New(c.store, name, schema, opts)
 	t.SetWAL(c.wal)
+	if c.clock != nil {
+		t.SetClock(c.clock)
+	}
 	c.tables[name] = t
 	return t, nil
 }
@@ -79,6 +95,9 @@ func (c *Catalog) Install(t *table.Table) error {
 		return fmt.Errorf("catalog: table %s already exists", t.Name)
 	}
 	t.SetWAL(c.wal)
+	if c.clock != nil {
+		t.SetClock(c.clock)
+	}
 	c.tables[t.Name] = t
 	return nil
 }

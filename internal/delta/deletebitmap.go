@@ -13,8 +13,15 @@ import (
 // semantics.
 type DeleteBitmap struct {
 	mu       sync.RWMutex
-	perGroup map[int]*bits.Bitmap
-	count    int
+	perGroup map[int]*bits.Bitmap // settled deletes (below every active snapshot)
+	count    int                  // settled count
+
+	// recent holds committed deletes whose timestamps are still above the
+	// snapshot horizon: snapshots older than the commit must not see them.
+	// Settle folds them into perGroup once the horizon passes.
+	recent map[gt]uint64 // -> commit timestamp
+	// pending holds provisional deletes of still-running transactions.
+	pending map[gt]uint64 // -> TxnBit-tagged owner id
 }
 
 // NewDeleteBitmap returns an empty delete bitmap.
@@ -22,52 +29,65 @@ func NewDeleteBitmap() *DeleteBitmap {
 	return &DeleteBitmap{perGroup: make(map[int]*bits.Bitmap)}
 }
 
-// Delete marks (group, tuple) deleted, reporting whether it was newly marked.
+// Delete marks (group, tuple) deleted in the settled bitmap, reporting
+// whether it was newly marked. This is the version-free path (recovery
+// replay, publishes of settled buffered deletes); snapshot-respecting
+// deletes go through MarkDeleted.
 func (d *DeleteBitmap) Delete(group, tuple int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	bm := d.perGroup[group]
-	if bm == nil {
-		bm = bits.New(tuple + 1)
-		d.perGroup[group] = bm
-	}
-	if bm.Get(tuple) {
+	k := gt{group, tuple}
+	if _, ok := d.recent[k]; ok {
+		// Already committed-deleted; just settle it now.
+		delete(d.recent, k)
+		d.setLocked(group, tuple)
 		return false
 	}
-	bm.Set(tuple)
-	d.count++
+	bm := d.perGroup[group]
+	if bm != nil && bm.Get(tuple) {
+		return false
+	}
+	d.setLocked(group, tuple)
 	return true
 }
 
-// IsDeleted reports whether (group, tuple) is marked deleted.
+// IsDeleted reports whether (group, tuple) is deleted in the latest
+// committed state (settled or recent; pending deletes don't count until
+// their transaction commits).
 func (d *DeleteBitmap) IsDeleted(group, tuple int) bool {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	bm := d.perGroup[group]
-	return bm != nil && bm.Get(tuple)
-}
-
-// Snapshot returns a copy of the group's bitmap for a consistent scan, or nil
-// when the group has no deletes.
-func (d *DeleteBitmap) Snapshot(group int) *bits.Bitmap {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	bm := d.perGroup[group]
-	if bm == nil || !bm.Any() {
-		return nil
+	if bm := d.perGroup[group]; bm != nil && bm.Get(tuple) {
+		return true
 	}
-	return bm.Clone()
+	if len(d.recent) > 0 {
+		_, ok := d.recent[gt{group, tuple}]
+		return ok
+	}
+	return false
 }
 
-// DeletedInGroup counts deleted rows in a group.
+// Snapshot returns a copy of the group's latest-committed bitmap (settled
+// plus recent) for a consistent scan, or nil when the group has no deletes.
+// Snapshot-relative readers use SnapshotView instead.
+func (d *DeleteBitmap) Snapshot(group int) *bits.Bitmap {
+	return d.SnapshotView(group, MaxTS, 0)
+}
+
+// DeletedInGroup counts latest-committed deleted rows in a group.
 func (d *DeleteBitmap) DeletedInGroup(group int) int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	bm := d.perGroup[group]
-	if bm == nil {
-		return 0
+	n := 0
+	if bm := d.perGroup[group]; bm != nil {
+		n = bm.Count()
 	}
-	return bm.Count()
+	for k := range d.recent {
+		if k.group == group {
+			n++
+		}
+	}
+	return n
 }
 
 // DropGroup forgets a group's deletes (after the group itself is removed,
@@ -79,11 +99,21 @@ func (d *DeleteBitmap) DropGroup(group int) {
 		d.count -= bm.Count()
 		delete(d.perGroup, group)
 	}
+	for k := range d.recent {
+		if k.group == group {
+			delete(d.recent, k)
+		}
+	}
+	for k := range d.pending {
+		if k.group == group {
+			delete(d.pending, k)
+		}
+	}
 }
 
-// Count totals deleted rows across all groups.
+// Count totals latest-committed deleted rows across all groups.
 func (d *DeleteBitmap) Count() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.count
+	return d.count + len(d.recent)
 }

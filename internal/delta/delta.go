@@ -34,6 +34,17 @@ func (s State) String() string {
 	}
 }
 
+// BufferedDelete is one delete recorded while a store is Moving. End carries
+// the deleted row's end field: zero for a settled delete, a commit timestamp
+// for a committed-but-unsettled one, a TxnBit-tagged id for a provisional
+// one. The tuple mover only publishes once every buffered End is settled
+// below the snapshot horizon, so published delete-bitmap entries never need
+// versions.
+type BufferedDelete struct {
+	Key uint64
+	End uint64
+}
+
 // Store is one delta store: rows keyed by a monotonically increasing tuple
 // key. It is not internally synchronized; the table layer serializes access.
 type Store struct {
@@ -43,9 +54,14 @@ type Store struct {
 	nextKey uint64
 	state   State
 
+	// vers holds the begin/end version fields of rows that are not settled:
+	// provisionally written, committed above the snapshot horizon, or
+	// tombstoned awaiting purge. Rows absent from it are settled live.
+	vers map[uint64]RowVersion
+
 	// deleteBuffer records keys deleted while the store is Moving; the tuple
 	// mover translates them into delete-bitmap entries on the new row group.
-	deleteBuffer []uint64
+	deleteBuffer []BufferedDelete
 }
 
 // NewStore creates an empty, open delta store.
@@ -68,6 +84,12 @@ func (s *Store) Close() {
 func (s *Store) BeginMove() (keys []uint64, rows []sqltypes.Row, err error) {
 	if s.state != Closed {
 		return nil, nil, fmt.Errorf("delta: BeginMove on %v store", s.state)
+	}
+	if len(s.vers) > 0 {
+		// Compressed row groups carry no per-row versions, so a store can
+		// only move once every row in it is settled (purged below the
+		// oldest active snapshot). The tuple mover checks this and retries.
+		return nil, nil, fmt.Errorf("delta: BeginMove on store with %d unsettled row versions", len(s.vers))
 	}
 	s.state = Moving
 	s.deleteBuffer = s.deleteBuffer[:0]
@@ -100,12 +122,16 @@ func (s *Store) AbortMove() {
 	}
 }
 
-// DrainDeleteBuffer returns keys deleted while Moving and resets the buffer.
-func (s *Store) DrainDeleteBuffer() []uint64 {
-	out := append([]uint64(nil), s.deleteBuffer...)
+// DrainDeleteBuffer returns deletes recorded while Moving and resets the
+// buffer.
+func (s *Store) DrainDeleteBuffer() []BufferedDelete {
+	out := append([]BufferedDelete(nil), s.deleteBuffer...)
 	s.deleteBuffer = s.deleteBuffer[:0]
 	return out
 }
+
+// PeekDeleteBuffer returns the buffered deletes without draining them.
+func (s *Store) PeekDeleteBuffer() []BufferedDelete { return s.deleteBuffer }
 
 // Insert appends a row and returns its key. Only Open stores accept inserts.
 func (s *Store) Insert(row sqltypes.Row) (uint64, error) {
@@ -118,13 +144,18 @@ func (s *Store) Insert(row sqltypes.Row) (uint64, error) {
 	return key, nil
 }
 
-// Delete removes the row with the given key, reporting whether it existed.
-// Deletes against a Moving store are also recorded in the delete buffer so
-// the tuple mover can replay them onto the compressed row group.
+// Delete physically removes the row with the given key, reporting whether it
+// existed. This is the settled path (recovery replay and version-free
+// fast paths); snapshot-respecting deletes go through MarkDeleted. Deletes
+// against a Moving store are also recorded in the delete buffer so the tuple
+// mover can replay them onto the compressed row group.
 func (s *Store) Delete(key uint64) bool {
 	ok := s.tree.Delete(key)
-	if ok && s.state == Moving {
-		s.deleteBuffer = append(s.deleteBuffer, key)
+	if ok {
+		delete(s.vers, key)
+		if s.state == Moving {
+			s.deleteBuffer = append(s.deleteBuffer, BufferedDelete{Key: key})
+		}
 	}
 	return ok
 }

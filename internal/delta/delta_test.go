@@ -105,7 +105,7 @@ func TestDeleteBufferDuringMove(t *testing.T) {
 	s.Delete(keys[3])
 	s.Delete(keys[7])
 	buf := s.DrainDeleteBuffer()
-	if len(buf) != 2 || buf[0] != keys[3] || buf[1] != keys[7] {
+	if len(buf) != 2 || buf[0].Key != keys[3] || buf[1].Key != keys[7] {
 		t.Fatalf("delete buffer = %v", buf)
 	}
 	if len(s.DrainDeleteBuffer()) != 0 {

@@ -62,12 +62,28 @@ func (s *Store) DumpRaw(fn func(key uint64, encoded []byte) bool) {
 }
 
 // Dump returns each group's delete-bitmap words, trailing zero words
-// trimmed. Groups with no set bits are omitted.
+// trimmed. Groups with no set bits are omitted. Recent (committed but
+// unsettled) deletes are folded in: recovery restores into a world with no
+// active snapshots, so the settled/recent distinction does not survive an
+// image. Pending (provisional) deletes are NOT included — the image writer
+// dumps them separately via DumpPending.
 func (d *DeleteBitmap) Dump() map[int][]uint64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make(map[int][]uint64, len(d.perGroup))
+	merged := make(map[int]*bits.Bitmap, len(d.perGroup))
 	for g, bm := range d.perGroup {
+		merged[g] = bm.Clone()
+	}
+	for k := range d.recent {
+		bm := merged[k.group]
+		if bm == nil {
+			bm = bits.New(k.tuple + 1)
+			merged[k.group] = bm
+		}
+		bm.Set(k.tuple)
+	}
+	out := make(map[int][]uint64, len(merged))
+	for g, bm := range merged {
 		words := append([]uint64(nil), bm.Words()...)
 		for len(words) > 0 && words[len(words)-1] == 0 {
 			words = words[:len(words)-1]
@@ -85,6 +101,8 @@ func (d *DeleteBitmap) Restore(groups map[int][]uint64) {
 	defer d.mu.Unlock()
 	d.perGroup = make(map[int]*bits.Bitmap, len(groups))
 	d.count = 0
+	d.recent = nil
+	d.pending = nil
 	for g, words := range groups {
 		bm := bits.FromWords(append([]uint64(nil), words...))
 		d.perGroup[g] = bm

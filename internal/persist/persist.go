@@ -32,7 +32,9 @@ import (
 )
 
 const (
-	ckptMagic  = "APCKP001"
+	// ckptMagic versions the image format; 002 added row-version and
+	// pending-delete sections to each table's state (MVCC).
+	ckptMagic  = "APCKP002"
 	ckptPrefix = "checkpoint-"
 	ckptSuffix = ".ckpt"
 )
@@ -171,17 +173,38 @@ func unmarshalCheckpoint(buf []byte) (uint64, []tableImage, error) {
 	return seq, tables, nil
 }
 
+// Barrier locks out the transaction commit pipeline (txn.Manager implements
+// it via CommitBarrier's underlying mutex semantics).
+type Barrier interface {
+	Lock()
+	Unlock()
+}
+
 // WriteCheckpoint takes a fuzzy checkpoint: rotate the WAL (the new
 // segment's sequence becomes the image's replay point), snapshot every
 // table, write the image durably, log checkpoint-end, and truncate segments
 // below the replay point. Concurrent DML is safe; its records land in the
 // new segment and replay idempotently.
-func WriteCheckpoint(dataDir string, w *wal.Writer, cat *catalog.Catalog) (uint64, error) {
+//
+// barrier (nil allowed) is held across the rotation so no transaction commit
+// straddles the replay point: without it, a TCommit record could land below
+// the rotation (truncated away) while its version flips reach the image late
+// or not at all — recovery would then roll back a committed transaction.
+// With the barrier, any commit whose TCommit is below the rotation has fully
+// applied before the image is cut, and any commit after it replays.
+func WriteCheckpoint(dataDir string, w *wal.Writer, cat *catalog.Catalog, barrier Barrier) (uint64, error) {
+	if barrier == nil {
+		barrier = noBarrier{}
+	}
+	barrier.Lock()
 	seq, err := w.Rotate()
 	if err != nil {
+		barrier.Unlock()
 		return 0, err
 	}
-	if err := w.Append(&wal.Record{Type: wal.TCheckpointBegin, A: seq}); err != nil {
+	err = w.Append(&wal.Record{Type: wal.TCheckpointBegin, A: seq})
+	barrier.Unlock()
+	if err != nil {
 		return 0, err
 	}
 
@@ -245,6 +268,12 @@ func WriteCheckpoint(dataDir string, w *wal.Writer, cat *catalog.Catalog) (uint6
 	}
 	return seq, nil
 }
+
+// noBarrier is the Barrier used when no transaction manager exists.
+type noBarrier struct{}
+
+func (noBarrier) Lock()   {}
+func (noBarrier) Unlock() {}
 
 // syncDir fsyncs a directory so a rename within it is durable (best effort;
 // some platforms reject directory fsync).
@@ -340,13 +369,30 @@ func Recover(dataDir string, store *storage.Store, cat *catalog.Catalog, opts wa
 		}
 	}
 
-	// Replay the log over the image. repair=true: a torn tail is physically
-	// truncated so later scans see a clean log.
-	scan, err := wal.Scan(WALDir(dataDir), res.CheckpointSeq, true, func(_ uint64, rec *wal.Record) error {
-		return applyRecord(store, cat, rec)
+	// Replay pass 1: repair a torn tail and collect the committed-transaction
+	// set. A transaction is committed iff its TCommit record survives in the
+	// (repaired) durable log; everything else rolls back. Nothing is applied
+	// in this pass — the committed set must be known before any transactional
+	// record is interpreted.
+	committed := make(map[uint64]uint64)
+	scan1, err := wal.Scan(WALDir(dataDir), res.CheckpointSeq, true, func(_ uint64, rec *wal.Record) error {
+		if rec.Type == wal.TCommit {
+			committed[rec.Txn] = rec.A
+		}
+		return nil
+	})
+	res.TruncatedTail = scan1.Truncated
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay pass 2: apply the committed prefix over the image. Records of
+	// uncommitted transactions are skipped; TCommit finalizes any provisional
+	// state the fuzzy image captured for its transaction.
+	scan, err := wal.Scan(WALDir(dataDir), res.CheckpointSeq, false, func(_ uint64, rec *wal.Record) error {
+		return applyRecord(store, cat, rec, committed)
 	})
 	res.ReplayedRecords = scan.Records
-	res.TruncatedTail = scan.Truncated
 	if err != nil {
 		return nil, err
 	}
@@ -384,8 +430,30 @@ func Recover(dataDir string, store *storage.Store, cat *catalog.Catalog, opts wa
 	return res, nil
 }
 
-// applyRecord dispatches one replayed record.
-func applyRecord(store *storage.Store, cat *catalog.Catalog, rec *wal.Record) error {
+// applyRecord dispatches one replayed record. committed maps transaction ids
+// to commit timestamps (from pass 1); records of transactions outside it are
+// dropped — the committed-prefix property.
+func applyRecord(store *storage.Store, cat *catalog.Catalog, rec *wal.Record, committed map[uint64]uint64) error {
+	if rec.Txn != 0 {
+		switch rec.Type {
+		case wal.TBegin, wal.TAbort:
+			return nil
+		case wal.TCommit:
+			// Finalize provisional state the fuzzy image may hold for this
+			// transaction (records replayed from the log applied physically
+			// already). The transaction may span tables, so fan out.
+			for _, name := range cat.List() {
+				if t, err := cat.Get(name); err == nil {
+					t.CommitTxn(rec.Txn, rec.A)
+				}
+			}
+			return nil
+		default:
+			if _, ok := committed[rec.Txn]; !ok {
+				return nil // transaction never committed; discard its effects
+			}
+		}
+	}
 	switch rec.Type {
 	case wal.TCreateTable:
 		if _, err := cat.Get(rec.Table); err == nil {

@@ -179,7 +179,7 @@ func TestCheckpointWhileDirty(t *testing.T) {
 	}
 	deleteIDs(t, tb, func(id int64) bool { return id == 3 })
 
-	seq, err := WriteCheckpoint(dir, w, cat)
+	seq, err := WriteCheckpoint(dir, w, cat, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestCheckpointImageCorruptFallsBack(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	seq, err := WriteCheckpoint(dir, w, cat)
+	seq, err := WriteCheckpoint(dir, w, cat, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

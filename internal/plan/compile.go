@@ -12,6 +12,7 @@ import (
 	"apollo/internal/metrics"
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
+	"apollo/internal/table"
 )
 
 // Mode selects the execution rule set.
@@ -66,6 +67,11 @@ type Options struct {
 	// Tracer, when set, receives a structured trace event per operator
 	// lifecycle transition during execution (batch mode only).
 	Tracer *metrics.Tracer
+
+	// View pins every scan to one read view: a snapshot timestamp and, inside
+	// a transaction, the owning transaction id (its own provisional writes are
+	// visible). The zero value reads each table's current stable snapshot.
+	View table.ReadView
 }
 
 // Compiled is an executable query.
@@ -168,7 +174,7 @@ func Compile(root Node, opts Options) (*Compiled, error) {
 		c.batch = op
 		return c, nil
 	}
-	op, err := compileRow(root)
+	op, err := compileRow(root, opts.View)
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +326,7 @@ func (cc *batchCompiler) compileNode(n Node) (batchexec.Operator, string, error)
 		return op, "hashjoin", err
 
 	case *Agg:
-		if op, ok := tryMetadataAgg(x); ok {
+		if op, ok := tryMetadataAgg(x, cc.opts.View); ok {
 			cc.compiled.MetadataOnly = true
 			return op, "metaagg", nil
 		}
@@ -388,7 +394,7 @@ func (cc *batchCompiler) compileScan(x *Scan) (*batchexec.Scan, error) {
 			cols[i] = i
 		}
 	}
-	s := batchexec.NewScan(x.Table.Snapshot(), cols)
+	s := batchexec.NewScan(x.Table.SnapshotView(cc.opts.View), cols)
 	s.Parallel = cc.opts.Parallel
 	s.Stats = &batchexec.ScanStats{}
 	cc.compiled.ScanStats = append(cc.compiled.ScanStats, s.Stats)
@@ -685,7 +691,7 @@ func keyColumns(lks, rks []expr.Expr) ([]int, []int, error) {
 
 // --- Row-mode lowering ---
 
-func compileRow(n Node) (rowexec.Operator, error) {
+func compileRow(n Node, view table.ReadView) (rowexec.Operator, error) {
 	switch x := n.(type) {
 	case *Scan:
 		cols := x.Cols
@@ -693,28 +699,28 @@ func compileRow(n Node) (rowexec.Operator, error) {
 		if x.Filter != nil {
 			filter = x.Filter // bound to full table schema, as Scan expects
 		}
-		return rowexec.NewScan(x.Table.Snapshot(), filter, cols), nil
+		return rowexec.NewScan(x.Table.SnapshotView(view), filter, cols), nil
 
 	case *Filter:
-		in, err := compileRow(x.In)
+		in, err := compileRow(x.In, view)
 		if err != nil {
 			return nil, err
 		}
 		return &rowexec.Filter{In: in, Pred: x.Pred}, nil
 
 	case *Project:
-		in, err := compileRow(x.In)
+		in, err := compileRow(x.In, view)
 		if err != nil {
 			return nil, err
 		}
 		return rowexec.NewProject(in, x.Exprs, x.Names), nil
 
 	case *Join:
-		probe, err := compileRow(x.Left)
+		probe, err := compileRow(x.Left, view)
 		if err != nil {
 			return nil, err
 		}
-		build, err := compileRow(x.Right)
+		build, err := compileRow(x.Right, view)
 		if err != nil {
 			return nil, err
 		}
@@ -725,21 +731,21 @@ func compileRow(n Node) (rowexec.Operator, error) {
 		return rowexec.NewHashJoin(probe, build, x.LeftKeys, x.RightKeys, x.Type, x.Residual)
 
 	case *Agg:
-		in, err := compileRow(x.In)
+		in, err := compileRow(x.In, view)
 		if err != nil {
 			return nil, err
 		}
 		return rowexec.NewHashAggregate(in, x.GroupBy, x.Names, x.Aggs), nil
 
 	case *Sort:
-		in, err := compileRow(x.In)
+		in, err := compileRow(x.In, view)
 		if err != nil {
 			return nil, err
 		}
 		return &rowexec.Sort{In: in, Keys: x.Keys}, nil
 
 	case *Limit:
-		in, err := compileRow(x.In)
+		in, err := compileRow(x.In, view)
 		if err != nil {
 			return nil, err
 		}
@@ -748,7 +754,7 @@ func compileRow(n Node) (rowexec.Operator, error) {
 	case *Union:
 		ins := make([]rowexec.Operator, len(x.Ins))
 		for i, c := range x.Ins {
-			op, err := compileRow(c)
+			op, err := compileRow(c, view)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@ import (
 	"apollo/internal/exec/batchexec"
 	"apollo/internal/expr"
 	"apollo/internal/sqltypes"
+	"apollo/internal/table"
 )
 
 // tryMetadataAgg recognizes scalar aggregations answerable from the segment
@@ -18,7 +19,7 @@ import (
 // COUNT(*) or MIN/MAX of a plain column; MIN/MAX additionally require a
 // delete-free table (a deleted row could hold the extremum). Delta rows are
 // folded in by scanning them directly (they are few by construction).
-func tryMetadataAgg(a *Agg) (batchexec.Operator, bool) {
+func tryMetadataAgg(a *Agg, view table.ReadView) (batchexec.Operator, bool) {
 	if len(a.GroupBy) != 0 {
 		return nil, false
 	}
@@ -40,7 +41,7 @@ func tryMetadataAgg(a *Agg) (batchexec.Operator, bool) {
 		}
 	}
 
-	snap := scan.Table.Snapshot()
+	snap := scan.Table.SnapshotView(view)
 	if needMinMax {
 		for _, bm := range snap.Deletes {
 			if bm != nil && bm.Any() {

@@ -50,6 +50,15 @@ type Reorganize struct{ Table string }
 // rows and folding delta rows into row groups (ALTER INDEX ... REBUILD).
 type Rebuild struct{ Table string }
 
+// Begin is BEGIN [TRANSACTION]: start a snapshot-isolation transaction.
+type Begin struct{}
+
+// Commit is COMMIT [TRANSACTION].
+type Commit struct{}
+
+// Rollback is ROLLBACK [TRANSACTION].
+type Rollback struct{}
+
 // Explain wraps a SELECT. With Analyze set (EXPLAIN ANALYZE) the query is
 // executed and the rendered tree carries per-operator execution counters.
 type Explain struct {
@@ -103,6 +112,9 @@ func (*Reorganize) stmt()  {}
 func (*Rebuild) stmt()     {}
 func (*Explain) stmt()     {}
 func (*Select) stmt()      {}
+func (*Begin) stmt()       {}
+func (*Commit) stmt()      {}
+func (*Rollback) stmt()    {}
 
 // Expr is a parsed (unbound) expression.
 type Expr interface{ expr() }

@@ -2,6 +2,7 @@ package sql
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -10,6 +11,7 @@ import (
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
 	"apollo/internal/table"
+	"apollo/internal/txn"
 )
 
 // Engine executes SQL statements against a catalog. Query planning options
@@ -22,6 +24,9 @@ type Engine struct {
 	// OnCreate, when set, runs for every table created via SQL (the public
 	// API uses it to start background tuple movers).
 	OnCreate func(*table.Table)
+	// Txns, when set, enables transactions: sessions can BEGIN/COMMIT/
+	// ROLLBACK, and autocommit SELECTs pin a consistent cross-table snapshot.
+	Txns *txn.Manager
 
 	statsOnce  sync.Once
 	statsCache *plan.StatsCache
@@ -57,19 +62,33 @@ func (e *Engine) ExecStmt(st Statement) (*Result, error) {
 	return e.ExecStmtContext(context.Background(), st)
 }
 
-// ExecStmtContext executes a parsed statement under ctx.
+// ExecStmtContext executes a parsed statement under ctx (autocommit; use a
+// Session for multi-statement transactions).
 func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, error) {
+	return e.execStmt(ctx, st, nil)
+}
+
+// execStmt executes one statement, inside transaction tx when non-nil.
+func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if tx != nil {
+		switch st.(type) {
+		case *CreateTable, *DropTable, *Reorganize, *Rebuild:
+			return nil, fmt.Errorf("sql: DDL and index maintenance are not allowed inside a transaction")
+		}
+	}
 	switch x := st.(type) {
+	case *Begin, *Commit, *Rollback:
+		return nil, fmt.Errorf("sql: transaction control requires a session (Engine.NewSession)")
 	case *Select:
-		return e.runSelect(ctx, x)
+		return e.runSelect(ctx, x, tx)
 	case *Explain:
 		if x.Analyze {
-			return e.explainAnalyze(ctx, x.Query)
+			return e.explainAnalyze(ctx, x.Query, tx)
 		}
-		return e.explain(x.Query)
+		return e.explain(x.Query, tx)
 	case *CreateTable:
 		return e.createTable(x)
 	case *DropTable:
@@ -78,11 +97,11 @@ func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, er
 		}
 		return &Result{Message: fmt.Sprintf("dropped table %s", x.Name)}, nil
 	case *Insert:
-		return e.insert(x)
+		return e.insert(x, tx)
 	case *Delete:
-		return e.delete(x)
+		return e.delete(x, tx)
 	case *Update:
-		return e.update(x)
+		return e.update(x, tx)
 	case *Reorganize:
 		t, err := e.Cat.Get(x.Table)
 		if err != nil {
@@ -109,7 +128,7 @@ func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, er
 	}
 }
 
-func (e *Engine) compile(s *Select) (*plan.Compiled, error) {
+func (e *Engine) compile(s *Select, view table.ReadView) (*plan.Compiled, error) {
 	b := &Binder{Tables: e.Cat}
 	node, err := b.BindSelect(s)
 	if err != nil {
@@ -120,11 +139,31 @@ func (e *Engine) compile(s *Select) (*plan.Compiled, error) {
 	if opts.StatsCache == nil {
 		opts.StatsCache = e.statsCache
 	}
+	opts.View = view
 	return plan.Compile(node, opts)
 }
 
-func (e *Engine) runSelect(ctx context.Context, s *Select) (*Result, error) {
-	c, err := e.compile(s)
+// queryView resolves the read view a SELECT runs under. Inside a transaction
+// it is the transaction's snapshot (own writes visible); in autocommit with a
+// transaction manager present, the current stable timestamp is pinned for the
+// duration so all scans share one cross-table snapshot and the settling
+// horizon cannot pass it mid-query. The release func is a no-op when nothing
+// was pinned.
+func (e *Engine) queryView(tx *txn.Txn) (table.ReadView, func()) {
+	if tx != nil {
+		return tx.View(), func() {}
+	}
+	if e.Txns != nil {
+		asOf, release := e.Txns.PinRead()
+		return table.ReadView{AsOf: asOf}, release
+	}
+	return table.ReadView{}, func() {}
+}
+
+func (e *Engine) runSelect(ctx context.Context, s *Select, tx *txn.Txn) (*Result, error) {
+	view, release := e.queryView(tx)
+	defer release()
+	c, err := e.compile(s, view)
 	if err != nil {
 		return nil, err
 	}
@@ -135,8 +174,10 @@ func (e *Engine) runSelect(ctx context.Context, s *Select) (*Result, error) {
 	return &Result{Schema: c.Schema, Rows: rows, Compiled: c}, nil
 }
 
-func (e *Engine) explain(s *Select) (*Result, error) {
-	c, err := e.compile(s)
+func (e *Engine) explain(s *Select, tx *txn.Txn) (*Result, error) {
+	view, release := e.queryView(tx)
+	defer release()
+	c, err := e.compile(s, view)
 	if err != nil {
 		return nil, err
 	}
@@ -145,8 +186,10 @@ func (e *Engine) explain(s *Select) (*Result, error) {
 
 // explainAnalyze executes the query (discarding its rows) and renders the
 // operator tree annotated with the per-operator counters that run produced.
-func (e *Engine) explainAnalyze(ctx context.Context, s *Select) (*Result, error) {
-	c, err := e.compile(s)
+func (e *Engine) explainAnalyze(ctx context.Context, s *Select, tx *txn.Txn) (*Result, error) {
+	view, release := e.queryView(tx)
+	defer release()
+	c, err := e.compile(s, view)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +245,16 @@ func (e *Engine) evalLiteralRow(t *table.Table, exprs []Expr) (sqltypes.Row, err
 	return row, nil
 }
 
-func (e *Engine) insert(ins *Insert) (*Result, error) {
+// dmlErr passes a DML error through, counting write-write conflicts so the
+// retry rate shows up in the engine metrics.
+func (e *Engine) dmlErr(err error) error {
+	if err != nil && e.Txns != nil && errors.Is(err, table.ErrWriteConflict) {
+		e.Txns.ConflictSeen()
+	}
+	return err
+}
+
+func (e *Engine) insert(ins *Insert, tx *txn.Txn) (*Result, error) {
 	t, err := e.Cat.Get(ins.Table)
 	if err != nil {
 		return nil, err
@@ -214,6 +266,20 @@ func (e *Engine) insert(ins *Insert) (*Result, error) {
 			return nil, err
 		}
 		rows[i] = row
+	}
+	if tx != nil {
+		// Transactional inserts always trickle through the delta store: the
+		// bulk path publishes compressed row groups directly, which have no
+		// per-row version state to roll back.
+		if err := tx.Touch(t); err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			if _, err := t.InsertTxn(tx.Ref(), row); err != nil {
+				return nil, e.dmlErr(err)
+			}
+		}
+		return &Result{Affected: len(rows)}, nil
 	}
 	// Large literal batches take the bulk path, small ones trickle (§4.2).
 	if len(rows) >= t.Opts.BulkLoadThreshold {
@@ -243,7 +309,7 @@ func (e *Engine) bindRowPred(t *table.Table, where Expr) (func(sqltypes.Row) boo
 	}, nil
 }
 
-func (e *Engine) delete(d *Delete) (*Result, error) {
+func (e *Engine) delete(d *Delete, tx *txn.Txn) (*Result, error) {
 	t, err := e.Cat.Get(d.Table)
 	if err != nil {
 		return nil, err
@@ -252,14 +318,22 @@ func (e *Engine) delete(d *Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n, err := t.DeleteWhere(pred)
+	var n int
+	if tx != nil {
+		if err := tx.Touch(t); err != nil {
+			return nil, err
+		}
+		n, err = t.DeleteWhereTxn(tx.Ref(), pred)
+	} else {
+		n, err = t.DeleteWhere(pred)
+	}
 	if err != nil {
-		return nil, err
+		return nil, e.dmlErr(err)
 	}
 	return &Result{Affected: n}, nil
 }
 
-func (e *Engine) update(u *Update) (*Result, error) {
+func (e *Engine) update(u *Update, tx *txn.Txn) (*Result, error) {
 	t, err := e.Cat.Get(u.Table)
 	if err != nil {
 		return nil, err
@@ -285,7 +359,7 @@ func (e *Engine) update(u *Update) (*Result, error) {
 		typ := t.Schema.Cols[idx].Typ
 		bound[i] = func(r sqltypes.Row) sqltypes.Value { return coerceLit(be.Eval(r), typ) }
 	}
-	n, err := t.UpdateWhere(pred, func(r sqltypes.Row) sqltypes.Row {
+	set := func(r sqltypes.Row) sqltypes.Row {
 		vals := make([]sqltypes.Value, len(cols))
 		for i := range cols {
 			vals[i] = bound[i](r)
@@ -294,9 +368,18 @@ func (e *Engine) update(u *Update) (*Result, error) {
 			r[c] = vals[i]
 		}
 		return r
-	})
+	}
+	var n int
+	if tx != nil {
+		if err := tx.Touch(t); err != nil {
+			return nil, err
+		}
+		n, err = t.UpdateWhereTxn(tx.Ref(), pred, set)
+	} else {
+		n, err = t.UpdateWhere(pred, set)
+	}
 	if err != nil {
-		return nil, err
+		return nil, e.dmlErr(err)
 	}
 	return &Result{Affected: n}, nil
 }

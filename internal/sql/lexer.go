@@ -42,6 +42,7 @@ var keywords = map[string]bool{
 	"REORGANIZE": true, "REBUILD": true, "EXISTS": true, "CASE": true, "COUNT": true,
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "YEAR": true,
 	"MONTH": true, "DAY": true, "DATE": true, "SEMI": true, "ANTI": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
 }
 
 type lexer struct {

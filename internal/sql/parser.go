@@ -99,6 +99,15 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		return &Rebuild{Table: name}, nil
+	case p.accept(tokKeyword, "BEGIN"):
+		p.accept(tokKeyword, "TRANSACTION")
+		return &Begin{}, nil
+	case p.accept(tokKeyword, "COMMIT"):
+		p.accept(tokKeyword, "TRANSACTION")
+		return &Commit{}, nil
+	case p.accept(tokKeyword, "ROLLBACK"):
+		p.accept(tokKeyword, "TRANSACTION")
+		return &Rollback{}, nil
 	default:
 		return nil, p.errf("unsupported statement starting with %q", p.cur().text)
 	}

@@ -1,0 +1,128 @@
+package sql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"apollo/internal/table"
+	"apollo/internal/txn"
+)
+
+// Session is one client's statement stream: it owns at most one open
+// transaction and routes statements through it. Sessions are cheap; create
+// one per connection (cssql keeps one for the whole REPL). A Session is not
+// safe for concurrent use — that is the usual one-statement-at-a-time
+// connection discipline — but distinct sessions are independent.
+type Session struct {
+	e  *Engine
+	tx *txn.Txn
+}
+
+// NewSession creates a session. Transactions require Engine.Txns; without a
+// manager the session still works in autocommit.
+func (e *Engine) NewSession() *Session { return &Session{e: e} }
+
+// InTxn reports whether a transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil && !s.tx.Done() }
+
+// DoneErr reports why the session's transaction ended abnormally (ErrClosed
+// when DB.Close aborted it), or nil.
+func (s *Session) DoneErr() error {
+	if s.tx != nil {
+		return s.tx.Err()
+	}
+	return nil
+}
+
+// Exec parses and executes one statement under a background context.
+func (s *Session) Exec(src string) (*Result, error) {
+	return s.ExecContext(context.Background(), src)
+}
+
+// ExecContext parses and executes one statement under ctx, inside the open
+// transaction if any. BEGIN/COMMIT/ROLLBACK manage the transaction. A failed
+// DML statement does not auto-rollback: the session keeps the transaction so
+// the client can decide — except on ErrWriteConflict, where the transaction
+// is already poisoned and is rolled back before the error is returned (the
+// client retries from BEGIN).
+func (s *Session) ExecContext(ctx context.Context, src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmtContext(ctx, st)
+}
+
+// ExecStmtContext executes a parsed statement (see ExecContext).
+func (s *Session) ExecStmtContext(ctx context.Context, st Statement) (*Result, error) {
+	switch st.(type) {
+	case *Begin:
+		return s.begin(ctx)
+	case *Commit:
+		return s.commit(ctx)
+	case *Rollback:
+		return s.rollback(ctx)
+	}
+	// A transaction aborted from under the session (DB close) is detected
+	// here rather than deep in a statement, for a clear error.
+	if s.tx != nil && s.tx.Done() {
+		s.tx = nil
+		return nil, txn.ErrClosed
+	}
+	res, err := s.e.execStmt(ctx, st, s.tx)
+	if err != nil && s.tx != nil && errors.Is(err, table.ErrWriteConflict) {
+		// First-writer-wins already discarded the losing write; the rest of
+		// the transaction cannot proceed, so release its snapshot now.
+		s.tx.Rollback(ctx)
+		s.tx = nil
+	}
+	return res, err
+}
+
+func (s *Session) begin(ctx context.Context) (*Result, error) {
+	if s.e.Txns == nil {
+		return nil, fmt.Errorf("sql: this database does not support transactions")
+	}
+	if s.InTxn() {
+		return nil, fmt.Errorf("sql: transaction already open (COMMIT or ROLLBACK first)")
+	}
+	tx, err := s.e.Txns.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.tx = tx
+	return &Result{Message: "begin"}, nil
+}
+
+func (s *Session) commit(ctx context.Context) (*Result, error) {
+	if s.tx == nil {
+		return nil, fmt.Errorf("sql: no transaction open")
+	}
+	tx := s.tx
+	s.tx = nil
+	if err := tx.Commit(ctx); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "commit"}, nil
+}
+
+func (s *Session) rollback(ctx context.Context) (*Result, error) {
+	if s.tx == nil {
+		return nil, fmt.Errorf("sql: no transaction open")
+	}
+	tx := s.tx
+	s.tx = nil
+	if err := tx.Rollback(ctx); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "rollback"}, nil
+}
+
+// Close rolls back any open transaction (session teardown).
+func (s *Session) Close(ctx context.Context) {
+	if s.tx != nil {
+		s.tx.Rollback(ctx)
+		s.tx = nil
+	}
+}

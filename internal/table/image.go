@@ -94,6 +94,53 @@ func (t *Table) MarshalState() []byte {
 		dst = append(dst, 1)
 		dst = d.Marshal(dst)
 	}
+
+	// Row-version entries of unsettled delta rows (provisional writes of
+	// in-flight transactions, commits above the snapshot horizon, tombstones
+	// awaiting purge), sorted for a deterministic image. Restore re-derives
+	// the per-transaction intent index from the TxnBit-tagged fields, so
+	// provisional state needs no separate section.
+	type verEnt struct {
+		storeID int
+		key     uint64
+		v       delta.RowVersion
+	}
+	var vers []verEnt
+	for _, s := range stores {
+		s.DumpVersions(func(key uint64, v delta.RowVersion) bool {
+			vers = append(vers, verEnt{storeID: s.ID, key: key, v: v})
+			return true
+		})
+	}
+	sort.Slice(vers, func(i, j int) bool {
+		if vers[i].storeID != vers[j].storeID {
+			return vers[i].storeID < vers[j].storeID
+		}
+		return vers[i].key < vers[j].key
+	})
+	dst = binary.AppendUvarint(dst, uint64(len(vers)))
+	for _, e := range vers {
+		dst = binary.AppendUvarint(dst, uint64(e.storeID))
+		dst = binary.AppendUvarint(dst, e.key)
+		dst = binary.AppendUvarint(dst, e.v.Begin)
+		dst = binary.AppendUvarint(dst, e.v.End)
+	}
+
+	// Provisional delete-bitmap entries (the committed ones were folded into
+	// the base bitmap by Dump above).
+	pend := t.deletes.DumpPending()
+	sort.Slice(pend, func(i, j int) bool {
+		if pend[i].Group != pend[j].Group {
+			return pend[i].Group < pend[j].Group
+		}
+		return pend[i].Tuple < pend[j].Tuple
+	})
+	dst = binary.AppendUvarint(dst, uint64(len(pend)))
+	for _, p := range pend {
+		dst = binary.AppendUvarint(dst, uint64(p.Group))
+		dst = binary.AppendUvarint(dst, uint64(p.Tuple))
+		dst = binary.AppendUvarint(dst, p.Owner)
+	}
 	return dst
 }
 
@@ -247,6 +294,75 @@ func (t *Table) RestoreState(buf []byte) error {
 		pos += n
 		t.idx.RestorePrimary(c, d)
 	}
+	// Row-version entries; TxnBit-tagged fields rebuild the per-transaction
+	// intent index so recovery can finalize or roll the owners back.
+	t.txnPending = nil
+	byID := make(map[int]*delta.Store, 1+len(t.closed))
+	byID[t.open.ID] = t.open
+	for _, s := range t.closed {
+		byID[s.ID] = s
+	}
+	nvers, err := uv()
+	if err != nil {
+		return err
+	}
+	if nvers > 1<<28 {
+		return fmt.Errorf("table %s: bad row-version count", t.Name)
+	}
+	for i := uint64(0); i < nvers; i++ {
+		sid, err := uv()
+		if err != nil {
+			return err
+		}
+		key, err := uv()
+		if err != nil {
+			return err
+		}
+		begin, err := uv()
+		if err != nil {
+			return err
+		}
+		end, err := uv()
+		if err != nil {
+			return err
+		}
+		s := byID[int(sid)]
+		if s == nil {
+			return fmt.Errorf("table %s: row version for unknown delta store %d", t.Name, sid)
+		}
+		s.RestoreVersion(key, delta.RowVersion{Begin: begin, End: end})
+		if begin&delta.TxnBit != 0 {
+			t.addIntentLocked(begin, intent{kind: intentInsert, deltaID: int(sid), key: key})
+		}
+		if end&delta.TxnBit != 0 {
+			t.addIntentLocked(end, intent{kind: intentDeltaDelete, deltaID: int(sid), key: key})
+		}
+	}
+
+	npend, err := uv()
+	if err != nil {
+		return err
+	}
+	if npend > 1<<28 {
+		return fmt.Errorf("table %s: bad pending-delete count", t.Name)
+	}
+	for i := uint64(0); i < npend; i++ {
+		g, err := uv()
+		if err != nil {
+			return err
+		}
+		tu, err := uv()
+		if err != nil {
+			return err
+		}
+		owner, err := uv()
+		if err != nil {
+			return err
+		}
+		t.deletes.RestorePending(int(g), int(tu), owner)
+		t.addIntentLocked(owner, intent{kind: intentBitmapDelete, group: int(g), tuple: int(tu)})
+	}
+
 	if pos != len(buf) {
 		return fmt.Errorf("table %s: %d trailing bytes in state image", t.Name, len(buf)-pos)
 	}

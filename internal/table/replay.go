@@ -145,7 +145,9 @@ func (t *Table) replayResetLocked(newOpenID int) {
 
 // FinishRecovery normalizes post-replay state: any store left in Moving
 // (crash mid-move, publish never logged) returns to Closed so the tuple
-// mover can retry it.
+// mover can retry it; transactions still holding provisional effects (their
+// TCommit never made the durable log) roll back; and with no snapshots alive
+// at recovery, everything left settles.
 func (t *Table) FinishRecovery() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -154,6 +156,10 @@ func (t *Table) FinishRecovery() {
 		t.closed = append(t.closed, s)
 	}
 	t.moving = make(map[int]*delta.Store)
+	for id := range t.txnPending {
+		t.abortTxnLocked(id)
+	}
+	t.settleLocked()
 }
 
 // LiveBlobs records the blob ids reachable from the table's directory into

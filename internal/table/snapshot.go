@@ -3,6 +3,7 @@ package table
 import (
 	"apollo/internal/bits"
 	"apollo/internal/colstore"
+	"apollo/internal/delta"
 	"apollo/internal/sqltypes"
 )
 
@@ -16,42 +17,56 @@ import (
 type Snapshot struct {
 	Table   *Table
 	Schema  *sqltypes.Schema
+	AsOf    uint64 // resolved commit timestamp the snapshot reads at
 	Groups  []*colstore.RowGroup
 	Deletes map[int]*bits.Bitmap // nil entry = no deletes in that group
 	Delta   []sqltypes.Row       // live delta rows, materialized
 }
 
-// Snapshot captures a consistent view for a query. Materialized delta rows
-// are cached across snapshots and invalidated by the table's delta epoch, so
-// read-mostly workloads do not re-decode delta stores per query. Snapshot
-// delta rows are shared and must be treated as read-only.
+// Snapshot captures a consistent view of the latest committed state.
 func (t *Table) Snapshot() *Snapshot {
+	return t.SnapshotView(ReadView{})
+}
+
+// SnapshotView captures a consistent view as seen by view: the snapshot at
+// view.AsOf (zero = latest committed) including view.Self's own uncommitted
+// writes. Materialized delta rows are cached across snapshots and invalidated
+// by the table's delta epoch, so read-mostly workloads do not re-decode delta
+// stores per query; when every store is settled the cache is view-independent
+// (all views see the same rows). Snapshot delta rows are shared and must be
+// treated as read-only.
+func (t *Table) SnapshotView(view ReadView) *Snapshot {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	asOf := view.AsOf
+	if asOf == 0 {
+		asOf = t.stableTSLocked()
+	}
 	s := &Snapshot{
 		Table:   t,
 		Schema:  t.Schema,
+		AsOf:    asOf,
 		Groups:  t.idx.Groups(),
 		Deletes: make(map[int]*bits.Bitmap),
 	}
 	for _, g := range s.Groups {
-		if bm := t.deletes.Snapshot(g.ID); bm != nil {
+		if bm := t.deletes.SnapshotView(g.ID, asOf, view.Self); bm != nil {
 			s.Deletes[g.ID] = bm
 		}
 	}
 
 	t.snapMu.Lock()
-	if t.snapEpoch == t.deltaEpoch && t.snapValid {
+	if t.snapValid && t.snapEpoch == t.deltaEpoch &&
+		(t.snapAnyView || (t.snapAsOf == asOf && t.snapSelf == view.Self)) {
 		s.Delta = t.snapDelta
 		t.snapMu.Unlock()
 		return s
 	}
 	t.snapMu.Unlock()
 
-	collect := func(st interface {
-		Scan(func(uint64, sqltypes.Row) bool) error
-	}) {
-		st.Scan(func(_ uint64, row sqltypes.Row) bool {
+	anyView := !t.anyDeltaUnsettledLocked()
+	collect := func(st *delta.Store) {
+		st.ScanVisible(asOf, view.Self, func(_ uint64, row sqltypes.Row) bool {
 			s.Delta = append(s.Delta, row)
 			return true
 		})
@@ -67,6 +82,9 @@ func (t *Table) Snapshot() *Snapshot {
 	t.snapMu.Lock()
 	t.snapDelta = s.Delta
 	t.snapEpoch = t.deltaEpoch
+	t.snapAsOf = asOf
+	t.snapSelf = view.Self
+	t.snapAnyView = anyView
 	t.snapValid = true
 	t.snapMu.Unlock()
 	return s

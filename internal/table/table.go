@@ -73,14 +73,23 @@ type Table struct {
 	deltaID int
 	deletes *delta.DeleteBitmap
 
+	// clock is the transaction manager's timestamp view (nil = no manager;
+	// every write settles immediately). txnPending indexes the provisional
+	// effects of each in-flight transaction for commit/abort/recovery.
+	clock      Clock
+	txnPending map[uint64][]intent
+
 	// deltaEpoch increments on every mutation of delta-store contents; the
 	// snapshot cache (snapshot.go) uses it to reuse materialized delta rows
 	// across queries when nothing changed.
-	deltaEpoch uint64
-	snapMu     sync.Mutex
-	snapDelta  []sqltypes.Row
-	snapEpoch  uint64
-	snapValid  bool
+	deltaEpoch  uint64
+	snapMu      sync.Mutex
+	snapDelta   []sqltypes.Row
+	snapEpoch   uint64
+	snapAsOf    uint64 // view the cached delta rows were materialized for
+	snapSelf    uint64
+	snapAnyView bool // cached rows valid for every view (all stores settled)
+	snapValid   bool
 
 	// compressMu serializes row-group compression (tuple mover vs bulk load)
 	// so the shared primary dictionaries see a single writer. Paths that hold
@@ -135,6 +144,23 @@ func (t *Table) logWAL(rec *wal.Record) error {
 		return nil
 	}
 	rec.Table = t.Name
+	return t.wal.Append(rec)
+}
+
+// logTxnWAL appends a record tagged with a transaction id. Transactional
+// records skip the per-record fsync: the transaction is committed only by
+// its TCommit record, whose durability wait covers the whole log prefix.
+// txn zero falls back to the autocommit path.
+func (t *Table) logTxnWAL(rec *wal.Record, txn uint64) error {
+	if t.wal == nil {
+		return nil
+	}
+	rec.Table = t.Name
+	rec.Txn = txn
+	if txn != 0 {
+		_, err := t.wal.AppendAsync(rec)
+		return err
+	}
 	return t.wal.Append(rec)
 }
 
@@ -195,12 +221,21 @@ func (t *Table) coerceRow(row sqltypes.Row) sqltypes.Row {
 // open store reaches RowGroupSize it is closed and a new one opened; the
 // tuple mover picks up closed stores.
 func (t *Table) Insert(row sqltypes.Row) (Locator, error) {
+	return t.InsertTxn(TxnRef{}, row)
+}
+
+// InsertTxn trickle-inserts one row on behalf of tx (the zero TxnRef means
+// autocommit). A transactional insert is provisional — invisible to other
+// sessions until the transaction commits.
+func (t *Table) InsertTxn(tx TxnRef, row sqltypes.Row) (Locator, error) {
 	if err := t.checkRow(row); err != nil {
 		return Locator{}, err
 	}
 	row = t.coerceRow(row)
 	t.mu.Lock()
-	loc, closedNow, err := t.insertOpenLocked(row)
+	wc := t.writeCtxLocked(tx)
+	loc, closedNow, err := t.insertOpenLocked(row, wc)
+	t.finishWrite(wc)
 	t.mu.Unlock()
 	if err != nil {
 		return Locator{}, err
@@ -215,14 +250,17 @@ func (t *Table) Insert(row sqltypes.Row) (Locator, error) {
 // closing it (with a logged transition) when it reaches RowGroupSize. The
 // record goes first: the key is known before the insert (keys are assigned
 // monotonically), and on append failure nothing has been applied.
-func (t *Table) insertOpenLocked(row sqltypes.Row) (Locator, bool, error) {
+func (t *Table) insertOpenLocked(row sqltypes.Row, wc writeCtx) (Locator, bool, error) {
 	enc := sqltypes.EncodeRow(nil, t.Schema, row)
 	key := t.open.NextKey()
-	if err := t.logWAL(&wal.Record{Type: wal.TDeltaInsert, A: uint64(t.open.ID), B: key, Payload: enc}); err != nil {
+	if err := t.logTxnWAL(&wal.Record{Type: wal.TDeltaInsert, A: uint64(t.open.ID), B: key, Payload: enc}, wc.self); err != nil {
 		return Locator{}, false, err
 	}
-	if _, err := t.open.InsertEncoded(enc); err != nil {
+	if _, err := t.open.InsertEncodedAt(enc, wc.ts); err != nil {
 		return Locator{}, false, err
+	}
+	if wc.self != 0 {
+		t.addIntentLocked(wc.self, intent{kind: intentInsert, deltaID: t.open.ID, key: key})
 	}
 	t.deltaEpoch++
 	loc := Locator{InDelta: true, DeltaID: t.open.ID, Key: key}
@@ -288,8 +326,10 @@ func (t *Table) BulkLoad(rows []sqltypes.Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	wc := t.writeCtxLocked(TxnRef{})
+	defer t.finishWrite(wc)
 	for _, r := range rem {
-		if _, _, err := t.insertOpenLocked(r); err != nil {
+		if _, _, err := t.insertOpenLocked(r, wc); err != nil {
 			return err
 		}
 	}
@@ -371,13 +411,22 @@ func (t *Table) FetchRow(loc Locator) (sqltypes.Row, bool) {
 }
 
 func (t *Table) fetchRowLocked(loc Locator) (sqltypes.Row, bool) {
+	return t.fetchRowViewLocked(loc, t.stableTSLocked(), 0)
+}
+
+// fetchRowViewLocked resolves a bookmark as seen by a snapshot at asOf taken
+// by self.
+func (t *Table) fetchRowViewLocked(loc Locator, asOf, self uint64) (sqltypes.Row, bool) {
 	if loc.InDelta {
 		if s := t.deltaByIDLocked(loc.DeltaID); s != nil {
+			if !s.Version(loc.Key).VisibleAt(asOf, self) {
+				return nil, false
+			}
 			return s.Get(loc.Key)
 		}
 		return nil, false
 	}
-	if t.deletes.IsDeleted(loc.Group, loc.Tuple) {
+	if t.deletes.IsDeletedAt(loc.Group, loc.Tuple, asOf, self) {
 		return nil, false
 	}
 	g := t.idx.Group(loc.Group)
@@ -395,6 +444,25 @@ func (t *Table) fetchRowLocked(loc Locator) (sqltypes.Row, bool) {
 	return row, true
 }
 
+// anyDeltaUnsettledLocked reports whether any delta store carries version
+// state (provisional rows, unsettled commits, or tombstones).
+func (t *Table) anyDeltaUnsettledLocked() bool {
+	if t.open.Unsettled() {
+		return true
+	}
+	for _, s := range t.closed {
+		if s.Unsettled() {
+			return true
+		}
+	}
+	for _, s := range t.moving {
+		if s.Unsettled() {
+			return true
+		}
+	}
+	return false
+}
+
 func (t *Table) deltaByIDLocked(id int) *delta.Store {
 	if t.open != nil && t.open.ID == id {
 		return t.open
@@ -408,28 +476,48 @@ func (t *Table) deltaByIDLocked(id int) *delta.Store {
 }
 
 // DeleteAt marks the row at loc deleted (§4.1): delta rows are removed from
-// their B-tree; compressed rows are marked in the delete bitmap. A WAL
-// append failure reports false (the delete did not happen).
+// their B-tree (or tombstoned when snapshots pin them); compressed rows are
+// marked in the delete bitmap. A WAL append failure reports false (the
+// delete did not happen).
 func (t *Table) DeleteAt(loc Locator) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	ok, _ := t.deleteAtLocked(loc)
+	ok, _ := t.DeleteAtTxn(TxnRef{}, loc)
 	return ok
 }
 
-func (t *Table) deleteAtLocked(loc Locator) (bool, error) {
+// DeleteAtTxn deletes the row at loc on behalf of tx, surfacing
+// ErrWriteConflict when another transaction already wrote the row.
+func (t *Table) DeleteAtTxn(tx TxnRef, loc Locator) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	wc := t.writeCtxLocked(tx)
+	defer t.finishWrite(wc)
+	return t.deleteAtLocked(loc, wc)
+}
+
+// deleteAtLocked deletes the row at loc on behalf of wc. The sequence is
+// probe, log, mark — all under t.mu: the probe rejects conflicts and
+// already-deleted rows before anything is logged (a conflict must leave no
+// record, or recovery would replay the loser's delete), and the mark after a
+// successful append cannot fail because the lock kept the probed state fixed.
+func (t *Table) deleteAtLocked(loc Locator, wc writeCtx) (bool, error) {
 	if loc.InDelta {
 		s := t.deltaByIDLocked(loc.DeltaID)
 		if s == nil {
 			return false, nil
 		}
-		if _, ok := s.Get(loc.Key); !ok {
+		switch s.CheckDelete(loc.Key, wc.self, wc.asOf) {
+		case delta.MarkNotFound:
 			return false, nil
+		case delta.MarkConflict:
+			return false, ErrWriteConflict
 		}
-		if err := t.logWAL(&wal.Record{Type: wal.TDeltaDelete, A: uint64(loc.DeltaID), B: loc.Key}); err != nil {
+		if err := t.logTxnWAL(&wal.Record{Type: wal.TDeltaDelete, A: uint64(loc.DeltaID), B: loc.Key}, wc.self); err != nil {
 			return false, err
 		}
-		s.Delete(loc.Key)
+		s.MarkDeleted(loc.Key, wc.ts, wc.self, wc.asOf)
+		if wc.self != 0 {
+			t.addIntentLocked(wc.self, intent{kind: intentDeltaDelete, deltaID: loc.DeltaID, key: loc.Key})
+		}
 		t.deltaEpoch++
 		return true, nil
 	}
@@ -437,27 +525,44 @@ func (t *Table) deleteAtLocked(loc Locator) (bool, error) {
 	if g == nil || loc.Tuple < 0 || loc.Tuple >= g.Rows {
 		return false, nil
 	}
-	if t.deletes.IsDeleted(loc.Group, loc.Tuple) {
+	switch t.deletes.CheckDelete(loc.Group, loc.Tuple, wc.self, wc.asOf) {
+	case delta.MarkNotFound:
 		return false, nil
+	case delta.MarkConflict:
+		return false, ErrWriteConflict
 	}
-	if err := t.logWAL(&wal.Record{Type: wal.TDeleteSet, A: uint64(loc.Group), B: uint64(loc.Tuple)}); err != nil {
+	if err := t.logTxnWAL(&wal.Record{Type: wal.TDeleteSet, A: uint64(loc.Group), B: uint64(loc.Tuple)}, wc.self); err != nil {
 		return false, err
 	}
-	return t.deletes.Delete(loc.Group, loc.Tuple), nil
+	t.deletes.MarkDeleted(loc.Group, loc.Tuple, wc.ts, wc.self, wc.asOf)
+	if wc.self != 0 {
+		t.addIntentLocked(wc.self, intent{kind: intentBitmapDelete, group: loc.Group, tuple: loc.Tuple})
+	}
+	t.deltaEpoch++
+	return true, nil
 }
 
 // DeleteWhere deletes all rows matching pred and returns the count. The scan
 // and the deletes run under one exclusive lock, so DML is serialized.
 func (t *Table) DeleteWhere(pred func(sqltypes.Row) bool) (int, error) {
+	return t.DeleteWhereTxn(TxnRef{}, pred)
+}
+
+// DeleteWhereTxn deletes all rows matching pred on behalf of tx. The
+// statement sees tx's snapshot (plus its own earlier writes); a row a
+// concurrent transaction already wrote surfaces as ErrWriteConflict.
+func (t *Table) DeleteWhereTxn(tx TxnRef, pred func(sqltypes.Row) bool) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	locs, err := t.matchLocked(pred)
+	wc := t.writeCtxLocked(tx)
+	defer t.finishWrite(wc)
+	locs, err := t.matchLocked(pred, wc)
 	if err != nil {
 		return 0, err
 	}
 	n := 0
 	for _, loc := range locs {
-		ok, err := t.deleteAtLocked(loc)
+		ok, err := t.deleteAtLocked(loc, wc)
 		if err != nil {
 			return n, err
 		}
@@ -471,15 +576,24 @@ func (t *Table) DeleteWhere(pred func(sqltypes.Row) bool) (int, error) {
 // UpdateWhere applies set to every row matching pred, implemented as
 // delete + insert per the paper's §4.1. It returns the update count.
 func (t *Table) UpdateWhere(pred func(sqltypes.Row) bool, set func(sqltypes.Row) sqltypes.Row) (int, error) {
+	return t.UpdateWhereTxn(TxnRef{}, pred, set)
+}
+
+// UpdateWhereTxn applies set to every row matching pred on behalf of tx
+// (delete + insert under one write context, so both halves carry the same
+// timestamp and no snapshot sees the delete without the insert).
+func (t *Table) UpdateWhereTxn(tx TxnRef, pred func(sqltypes.Row) bool, set func(sqltypes.Row) sqltypes.Row) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	locs, err := t.matchLocked(pred)
+	wc := t.writeCtxLocked(tx)
+	defer t.finishWrite(wc)
+	locs, err := t.matchLocked(pred, wc)
 	if err != nil {
 		return 0, err
 	}
 	n := 0
 	for _, loc := range locs {
-		row, ok := t.fetchRowLocked(loc)
+		row, ok := t.fetchRowViewLocked(loc, wc.asOf, wc.self)
 		if !ok {
 			continue
 		}
@@ -487,14 +601,14 @@ func (t *Table) UpdateWhere(pred func(sqltypes.Row) bool, set func(sqltypes.Row)
 		if err := t.checkRow(updated); err != nil {
 			return n, err
 		}
-		deleted, err := t.deleteAtLocked(loc)
+		deleted, err := t.deleteAtLocked(loc, wc)
 		if err != nil {
 			return n, err
 		}
 		if !deleted {
 			continue
 		}
-		if _, _, err := t.insertOpenLocked(t.coerceRow(updated)); err != nil {
+		if _, _, err := t.insertOpenLocked(t.coerceRow(updated), wc); err != nil {
 			return n, err
 		}
 		n++
@@ -503,8 +617,11 @@ func (t *Table) UpdateWhere(pred func(sqltypes.Row) bool, set func(sqltypes.Row)
 }
 
 // matchLocked scans the whole table row-at-a-time collecting locators of rows
-// matching pred. DML-path only; queries use the vectorized scan.
-func (t *Table) matchLocked(pred func(sqltypes.Row) bool) ([]Locator, error) {
+// matching pred as seen by wc's snapshot. DML-path only; queries use the
+// vectorized scan. The insert half of an update appends to the open store
+// mid-iteration, so the open store is scanned through a key bound captured
+// first — but callers collect locators fully before mutating anyway.
+func (t *Table) matchLocked(pred func(sqltypes.Row) bool, wc writeCtx) ([]Locator, error) {
 	var locs []Locator
 	for _, g := range t.idx.Groups() {
 		readers := make([]*colstore.ColumnReader, t.Schema.Len())
@@ -515,7 +632,7 @@ func (t *Table) matchLocked(pred func(sqltypes.Row) bool) ([]Locator, error) {
 			}
 			readers[c] = r
 		}
-		del := t.deletes.Snapshot(g.ID)
+		del := t.deletes.SnapshotView(g.ID, wc.asOf, wc.self)
 		row := make(sqltypes.Row, t.Schema.Len())
 		for i := 0; i < g.Rows; i++ {
 			if del != nil && del.Get(i) {
@@ -530,7 +647,7 @@ func (t *Table) matchLocked(pred func(sqltypes.Row) bool) ([]Locator, error) {
 		}
 	}
 	scanDelta := func(s *delta.Store) error {
-		return s.Scan(func(k uint64, row sqltypes.Row) bool {
+		return s.ScanVisible(wc.asOf, wc.self, func(k uint64, row sqltypes.Row) bool {
 			if pred(row) {
 				locs = append(locs, Locator{InDelta: true, DeltaID: s.ID, Key: k})
 			}
@@ -553,17 +670,20 @@ func (t *Table) matchLocked(pred func(sqltypes.Row) bool) ([]Locator, error) {
 	return locs, nil
 }
 
-// Rows returns the live row count: compressed minus deleted plus delta rows.
+// Rows returns the live row count in the latest committed state: compressed
+// minus deleted plus delta rows (provisional inserts excluded, tombstoned
+// rows excluded).
 func (t *Table) Rows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	stable := t.stableTSLocked()
 	n := t.idx.Rows() - t.deletes.Count()
-	n += t.open.Rows()
+	n += t.open.LiveRows(stable, 0)
 	for _, s := range t.closed {
-		n += s.Rows()
+		n += s.LiveRows(stable, 0)
 	}
 	for _, s := range t.moving {
-		n += s.Rows()
+		n += s.LiveRows(stable, 0)
 	}
 	return n
 }
@@ -628,12 +748,16 @@ func (t *Table) Sample(n int, rng *rand.Rand) []sqltypes.Row {
 		spans = append(spans, span{rows: g.Rows, group: g})
 		total += g.Rows
 	}
+	stable := t.stableTSLocked()
 	collect := func(s *delta.Store) {
 		if s.Rows() == 0 {
 			return
 		}
 		keys := make([]uint64, 0, s.Rows())
-		s.Scan(func(k uint64, _ sqltypes.Row) bool { keys = append(keys, k); return true })
+		s.ScanVisible(stable, 0, func(k uint64, _ sqltypes.Row) bool { keys = append(keys, k); return true })
+		if len(keys) == 0 {
+			return
+		}
 		spans = append(spans, span{rows: len(keys), keys: keys, store: s})
 		total += len(keys)
 	}
@@ -727,12 +851,25 @@ func (t *Table) MoveOnce() (moved bool, err error) {
 		}
 	}()
 	t.mu.Lock()
-	if len(t.closed) == 0 {
+	// Settle first: commits since the last pass may have pushed the horizon
+	// past this store's remaining version state. A store that still carries
+	// versions (rows pinned by active snapshots or in-flight transactions)
+	// cannot compress — row groups have no per-row versions — so skip it and
+	// report nothing to move; the next pass retries after the horizon moves.
+	t.settleLocked()
+	pick := -1
+	for i, s := range t.closed {
+		if !s.Unsettled() {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
 		t.mu.Unlock()
 		return false, nil
 	}
-	s := t.closed[0]
-	t.closed = t.closed[1:]
+	s := t.closed[pick]
+	t.closed = append(t.closed[:pick], t.closed[pick+1:]...)
 	keys, rows, err := s.BeginMove()
 	if err != nil {
 		// BeginMove does not consume the store; re-queue it for retry.
@@ -798,6 +935,26 @@ func (t *Table) MoveOnce() (moved bool, err error) {
 	}
 
 	t.mu.Lock()
+	// Publishing strips the source store's version state, so every delete
+	// that landed while we compressed must be settled (committed at or below
+	// the horizon) before the group can go live — otherwise a pinned snapshot
+	// would see the row vanish, or an uncommitted delete would become
+	// permanent. If any buffered delete is still provisional or above the
+	// horizon, put the store back and let a later pass retry; the built
+	// group's blobs become orphans (recovery GCs them).
+	t.settleLocked()
+	h := t.horizonLocked()
+	for _, bd := range s.PeekDeleteBuffer() {
+		if bd.End != 0 && (bd.End&delta.TxnBit != 0 || bd.End > h) {
+			delete(t.moving, s.ID)
+			s.AbortMove()
+			t.closed = append([]*delta.Store{s}, t.closed...)
+			t.mu.Unlock()
+			t.compressMu.Unlock()
+			mMoverAborts.Inc()
+			return false, nil
+		}
+	}
 	// Deletes that landed while we compressed were acknowledged durably as
 	// TDeltaDelete records; replay of the publish record drops the whole
 	// delta store, so the buffered keys must survive as delete-bitmap
@@ -805,9 +962,9 @@ func (t *Table) MoveOnce() (moved bool, err error) {
 	// itself — a separately-logged delete after a durable publish is a
 	// crash window that resurrects acknowledged deletes.
 	var pending []int
-	for _, k := range s.DrainDeleteBuffer() {
-		i := sort.Search(len(keys), func(j int) bool { return keys[j] >= k })
-		if i < len(keys) && keys[i] == k {
+	for _, bd := range s.DrainDeleteBuffer() {
+		i := sort.Search(len(keys), func(j int) bool { return keys[j] >= bd.Key })
+		if i < len(keys) && keys[i] == bd.Key {
 			pending = append(pending, inv[i])
 		}
 	}
@@ -957,6 +1114,14 @@ func (t *Table) Rebuild() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
+	// Rebuild flattens everything into version-free compressed groups, so it
+	// cannot run while transactions hold provisional state or snapshots pin
+	// unsettled versions.
+	t.settleLocked()
+	if len(t.txnPending) > 0 || t.deletes.AnyUnsettled() || t.anyDeltaUnsettledLocked() {
+		return ErrBusyTxns
+	}
+
 	// Collect all live rows.
 	var rows []sqltypes.Row
 	for _, g := range t.idx.Groups() {
@@ -1056,9 +1221,15 @@ func (t *Table) MergeSmallGroups() (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
+	// Merging rewrites groups without version state, so skip groups whose
+	// delete sets are still in flux (recent or pending entries).
+	t.settleLocked()
 	half := t.Opts.RowGroupSize / 2
 	var victims []*colstore.RowGroup
 	for _, g := range t.idx.Groups() {
+		if t.deletes.HasUnsettled(g.ID) {
+			continue
+		}
 		live := g.Rows - t.deletes.DeletedInGroup(g.ID)
 		if live < half {
 			victims = append(victims, g)

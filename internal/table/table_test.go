@@ -288,9 +288,9 @@ func TestMoveOnceReplaysDeleteBuffer(t *testing.T) {
 	}
 	tb.mu.Lock()
 	tb.idx.PublishGroup(g)
-	for _, k := range s.DrainDeleteBuffer() {
+	for _, bd := range s.DrainDeleteBuffer() {
 		for i, kk := range keys {
-			if kk == k {
+			if kk == bd.Key {
 				tb.deletes.Delete(g.ID, inv[i])
 			}
 		}

@@ -1,0 +1,141 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"apollo/internal/delta"
+)
+
+func TestCommitTimestampWatermark(t *testing.T) {
+	m := NewManager(nil)
+	if got := m.StableTS(); got != 0 {
+		t.Fatalf("fresh StableTS = %d, want 0", got)
+	}
+	a := m.AllocCommitTS()
+	b := m.AllocCommitTS()
+	if a != 1 || b != 2 {
+		t.Fatalf("AllocCommitTS gave %d, %d, want 1, 2", a, b)
+	}
+	// Finishing the later allocation first must not expose a snapshot that
+	// includes b but not a.
+	m.FinishCommitTS(b)
+	if got := m.StableTS(); got != 0 {
+		t.Fatalf("StableTS = %d with ts %d still pending, want 0", got, a)
+	}
+	m.FinishCommitTS(a)
+	if got := m.StableTS(); got != 2 {
+		t.Fatalf("StableTS = %d after both finished, want 2", got)
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	m := NewManager(nil)
+	ctx := context.Background()
+	if got := m.Horizon(); got != delta.MaxTS {
+		t.Fatalf("idle horizon = %d, want MaxTS", got)
+	}
+
+	// Advance the clock so snapshots are nonzero.
+	for i := 0; i < 5; i++ {
+		m.FinishCommitTS(m.AllocCommitTS())
+	}
+	tx, err := m.Begin(ctx) // snap = 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Horizon(); got != 5 {
+		t.Fatalf("horizon with active txn = %d, want its snapshot 5", got)
+	}
+
+	m.FinishCommitTS(m.AllocCommitTS()) // stable = 6
+	asOf, release := m.PinRead()
+	if asOf != 6 {
+		t.Fatalf("PinRead = %d, want 6", asOf)
+	}
+	pending := m.AllocCommitTS() // ts 7, pending
+	if got := m.Horizon(); got != 5 {
+		t.Fatalf("horizon = %d, want 5 (oldest constraint is the txn)", got)
+	}
+	if err := tx.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Horizon(); got != 6 {
+		t.Fatalf("horizon = %d after txn ended, want 6 (pin and pending ts)", got)
+	}
+	release()
+	if got := m.Horizon(); got != 6 {
+		t.Fatalf("horizon = %d, want 6 (pending ts 7 holds it at 6)", got)
+	}
+	release() // idempotent
+	m.FinishCommitTS(pending)
+	if got := m.Horizon(); got != delta.MaxTS {
+		t.Fatalf("horizon = %d after all constraints gone, want MaxTS", got)
+	}
+}
+
+func TestReadOnlyCommitAndDone(t *testing.T) {
+	m := NewManager(nil)
+	ctx := context.Background()
+	tx, err := m.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.ID()&delta.TxnBit == 0 {
+		t.Fatalf("transaction id %#x missing TxnBit", tx.ID())
+	}
+	if tx.Done() {
+		t.Fatal("fresh transaction reports done")
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !tx.Done() || tx.Err() != nil {
+		t.Fatalf("after commit: done=%v err=%v, want done, nil", tx.Done(), tx.Err())
+	}
+	if err := tx.Commit(ctx); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("second commit: %v, want ErrTxnDone", err)
+	}
+	if err := tx.Rollback(ctx); err != nil {
+		t.Fatalf("rollback after commit should be a silent no-op, got %v", err)
+	}
+	if m.ActiveCount() != 0 {
+		t.Fatalf("active count %d, want 0", m.ActiveCount())
+	}
+}
+
+func TestCloseAbortsActive(t *testing.T) {
+	m := NewManager(nil)
+	ctx := context.Background()
+	tx, err := m.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close() // idempotent
+	if !tx.Done() {
+		t.Fatal("transaction not aborted by Close")
+	}
+	if err := tx.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("aborted txn Err = %v, want ErrClosed", err)
+	}
+	if err := tx.Commit(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("commit after Close: %v, want ErrClosed", err)
+	}
+	if _, err := m.Begin(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("begin after Close: %v, want ErrClosed", err)
+	}
+	if got := m.Horizon(); got != delta.MaxTS {
+		t.Fatalf("horizon = %d after Close, want MaxTS (no snapshots held)", got)
+	}
+}
+
+func TestBeginHonorsContext(t *testing.T) {
+	m := NewManager(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Begin(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("begin with cancelled ctx: %v, want context.Canceled", err)
+	}
+}

@@ -20,13 +20,19 @@
 package crashtest
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
+	"time"
 
 	"apollo"
 	"apollo/internal/persist"
@@ -237,10 +243,19 @@ func RunChild() {
 	if os.Getenv("APOLLO_CRASH_MIDCKPT") == "1" {
 		persist.TestHookAfterImage = func() { os.Exit(3) }
 	}
+	multi, _ := strconv.Atoi(os.Getenv("APOLLO_CRASH_MULTI"))
+	if multi > 0 {
+		// Multi-writer runs are nondeterministic anyway, so run the tuple
+		// mover aggressively to put moves under the crash point too.
+		cfg.TupleMoverInterval = 2 * time.Millisecond
+	}
 	db, err := apollo.OpenDir(dir, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crashtest child: open: %v\n", err)
 		os.Exit(1)
+	}
+	if multi > 0 {
+		runMultiChild(db, dir, multi) // never returns
 	}
 	if _, err := db.Exec("CREATE TABLE k (id BIGINT, v VARCHAR)"); err != nil {
 		fmt.Fprintf(os.Stderr, "crashtest child: create: %v\n", err)
@@ -261,6 +276,182 @@ func RunChild() {
 	if err := os.WriteFile(totalPath(dir), []byte(strconv.FormatInt(total, 10)), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "crashtest child: total: %v\n", err)
 		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Multi-writer mode: N concurrent sessions run snapshot-isolation
+// transactions against two tables while a WAL crash point is armed. Unlike
+// the scripted single-writer mode the interleaving is nondeterministic, so
+// the parent verifies invariants rather than prefix checksums:
+//
+//   - table mw (sess, txid, part): each transaction inserts parts {0,1,2}
+//     for its (sess, txid) — a committed group has exactly 3 rows, never 1
+//     or 2 (no torn transactions).
+//   - table ctr (id, n): 4 seeded rows; each transaction increments one,
+//     so sum(n) equals the number of committed mw groups (cross-table
+//     atomicity) and contention on the 4 rows exercises first-writer-wins
+//     conflicts and retries.
+//   - transactions with txid%5 == 4 roll back deliberately and must never
+//     surface.
+//   - the child appends "sess txid" to an ack file only after Commit
+//     returns; under fsync=always every acked group must survive recovery.
+//
+// Extra environment (on top of the protocol above):
+//
+//	APOLLO_CRASH_MULTI=N     run N concurrent sessions instead of the script
+
+// MultiSetupOps is the number of autocommit setup statements the multi-writer
+// child runs before transactions start (CREATE TABLE x2 + 4 counter seeds).
+const MultiSetupOps = 6
+
+// multiCap bounds each session's transaction count so crash-free runs
+// terminate; it is high enough that armed crash points fire long before.
+const multiCap = 150
+
+func ackPath(dir string) string        { return filepath.Join(dir, "acks") }
+func setupBytesPath(dir string) string { return filepath.Join(dir, "setup-bytes") }
+
+// Ack is one acknowledged commit: the child wrote it after Commit returned.
+type Ack struct{ Sess, Txid int64 }
+
+// ReadAcks returns the commits the child acknowledged before dying. A torn
+// final line (crash mid-append) is skipped.
+func ReadAcks(dir string) ([]Ack, error) {
+	b, err := os.ReadFile(ackPath(dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var acks []Ack
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		var a Ack
+		if _, err := fmt.Sscanf(line, "%d %d", &a.Sess, &a.Txid); err != nil {
+			continue // torn tail
+		}
+		acks = append(acks, a)
+	}
+	return acks, nil
+}
+
+// ReadSetupBytes returns the WAL byte count after the multi-writer child's
+// setup statements, recorded by a crash-free run; crash points must land
+// above it so the tables exist in every recovered state.
+func ReadSetupBytes(dir string) (int64, error) {
+	b, err := os.ReadFile(setupBytesPath(dir))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(string(b), 10, 64)
+}
+
+// runMultiChild is the multi-writer child body: see the mode comment above.
+func runMultiChild(db *apollo.DB, dir string, sessions int) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "crashtest multi child: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	for _, stmt := range []string{
+		"CREATE TABLE mw (sess BIGINT, txid BIGINT, part BIGINT)",
+		"CREATE TABLE ctr (id BIGINT, n BIGINT)",
+		"INSERT INTO ctr VALUES (0, 0)",
+		"INSERT INTO ctr VALUES (1, 0)",
+		"INSERT INTO ctr VALUES (2, 0)",
+		"INSERT INTO ctr VALUES (3, 0)",
+	} {
+		if _, err := db.Exec(stmt); err != nil {
+			fail("setup %q: %v", stmt, err)
+		}
+	}
+	setupBytes := db.WALStats().TotalBytes
+	if err := os.WriteFile(setupBytesPath(dir)+".tmp", []byte(strconv.FormatInt(setupBytes, 10)), 0o644); err != nil {
+		fail("setup bytes: %v", err)
+	}
+	if err := os.Rename(setupBytesPath(dir)+".tmp", setupBytesPath(dir)); err != nil {
+		fail("setup bytes: %v", err)
+	}
+
+	ackF, err := os.OpenFile(ackPath(dir), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		fail("ack file: %v", err)
+	}
+	var ackMu sync.Mutex
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(s*7919 + 1))
+			for txid := int64(0); txid < multiCap; txid++ {
+			retry:
+				tx, err := db.Begin(ctx)
+				if err != nil {
+					errCh <- fmt.Errorf("session %d begin: %w", s, err)
+					return
+				}
+				for part := int64(0); part < 3; part++ {
+					if _, err := tx.Exec(fmt.Sprintf(
+						"INSERT INTO mw VALUES (%d, %d, %d)", s, txid, part)); err != nil {
+						errCh <- fmt.Errorf("session %d insert: %w", s, err)
+						return
+					}
+				}
+				// Contended increment: first-writer-wins may abort us; retry
+				// the whole transaction from Begin.
+				if _, err := tx.Exec(fmt.Sprintf(
+					"UPDATE ctr SET n = n + 1 WHERE id = %d", rng.Intn(4))); err != nil {
+					if errors.Is(err, apollo.ErrWriteConflict) {
+						goto retry
+					}
+					errCh <- fmt.Errorf("session %d update: %w", s, err)
+					return
+				}
+				if txid%5 == 4 {
+					if err := tx.Rollback(ctx); err != nil {
+						errCh <- fmt.Errorf("session %d rollback: %w", s, err)
+						return
+					}
+					continue
+				}
+				if err := tx.Commit(ctx); err != nil {
+					errCh <- fmt.Errorf("session %d commit: %w", s, err)
+					return
+				}
+				// Commit returned: under fsync=always the TCommit is durable,
+				// so acknowledge it. The ack itself is fsynced so the oracle
+				// only ever under-counts acknowledged commits, never invents.
+				ackMu.Lock()
+				_, werr := fmt.Fprintf(ackF, "%d %d\n", s, txid)
+				if werr == nil {
+					werr = ackF.Sync()
+				}
+				ackMu.Unlock()
+				if werr != nil {
+					errCh <- fmt.Errorf("session %d ack: %w", s, werr)
+					return
+				}
+			}
+		}(int64(s))
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		fail("%v", err)
+	}
+	if err := ackF.Close(); err != nil {
+		fail("ack close: %v", err)
+	}
+	total := db.WALStats().TotalBytes
+	db.Close()
+	if err := os.WriteFile(totalPath(dir), []byte(strconv.FormatInt(total, 10)), 0o644); err != nil {
+		fail("total: %v", err)
 	}
 	os.Exit(0)
 }

@@ -17,6 +17,8 @@ func FuzzWALRecord(f *testing.F) {
 		{Type: TDeltaInsert, Table: "t", A: 3, B: 999, Payload: []byte("encoded-row")},
 		{Type: TDeleteSet, Table: "a_longer_table_name", A: 1 << 40, B: 1<<63 - 1},
 		{Type: TCheckpointEnd, A: 42},
+		{Type: TDeltaInsert, Table: "t", A: 3, B: 7, Txn: 1<<63 | 5, Payload: []byte("row")},
+		{Type: TCommit, Txn: 1<<63 | 5, A: 17},
 	}
 	for _, r := range seeds {
 		f.Add(r.AppendBody(nil))
@@ -33,7 +35,7 @@ func FuzzWALRecord(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if rec2.Type != rec.Type || rec2.Table != rec.Table || rec2.A != rec.A || rec2.B != rec.B || !bytes.Equal(rec2.Payload, rec.Payload) {
+		if rec2.Type != rec.Type || rec2.Table != rec.Table || rec2.A != rec.A || rec2.B != rec.B || rec2.Txn != rec.Txn || !bytes.Equal(rec2.Payload, rec.Payload) {
 			t.Fatalf("re-decode mismatch: %+v vs %+v", rec2, rec)
 		}
 		if canon := rec2.AppendBody(nil); !bytes.Equal(canon, again) {

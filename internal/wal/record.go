@@ -49,6 +49,16 @@ const (
 	TCheckpointBegin
 	// TCheckpointEnd: A = same sequence, logged after the image is durable.
 	TCheckpointEnd
+	// TBegin: Txn = transaction id. Marks the start of an explicit
+	// transaction; carries no operands.
+	TBegin
+	// TCommit: Txn = transaction id, A = commit timestamp. A transaction is
+	// committed iff its TCommit is in the durable log; recovery discards the
+	// effects of any transaction without one.
+	TCommit
+	// TAbort: Txn = transaction id. Advisory: recovery ignores uncommitted
+	// transactions whether or not their abort was logged.
+	TAbort
 )
 
 func (t Type) String() string {
@@ -77,17 +87,27 @@ func (t Type) String() string {
 		return "checkpoint-begin"
 	case TCheckpointEnd:
 		return "checkpoint-end"
+	case TBegin:
+		return "txn-begin"
+	case TCommit:
+		return "txn-commit"
+	case TAbort:
+		return "txn-abort"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
 }
 
 // Record is one WAL entry. A and B are small numeric operands whose meaning
-// depends on Type; Payload carries variable-length bodies.
+// depends on Type; Payload carries variable-length bodies. Txn tags the
+// record with the transaction that produced it: zero means autocommit (the
+// record is committed by virtue of being in the log), nonzero means the
+// record's effects apply only if the log also holds a TCommit for that id.
 type Record struct {
 	Type    Type
 	Table   string
 	A, B    uint64
+	Txn     uint64
 	Payload []byte
 }
 
@@ -102,6 +122,7 @@ func (r *Record) AppendBody(dst []byte) []byte {
 	dst = append(dst, r.Table...)
 	dst = binary.AppendUvarint(dst, r.A)
 	dst = binary.AppendUvarint(dst, r.B)
+	dst = binary.AppendUvarint(dst, r.Txn)
 	dst = binary.AppendUvarint(dst, uint64(len(r.Payload)))
 	dst = append(dst, r.Payload...)
 	return dst
@@ -114,7 +135,7 @@ func UnmarshalRecord(body []byte) (*Record, error) {
 		return nil, fmt.Errorf("wal: empty record body")
 	}
 	r := &Record{Type: Type(body[0])}
-	if r.Type < TCreateTable || r.Type > TCheckpointEnd {
+	if r.Type < TCreateTable || r.Type > TAbort {
 		return nil, fmt.Errorf("wal: unknown record type %d", body[0])
 	}
 	pos := 1
@@ -133,6 +154,11 @@ func UnmarshalRecord(body []byte) (*Record, error) {
 	r.B, n = binary.Uvarint(body[pos:])
 	if n <= 0 {
 		return nil, fmt.Errorf("wal: bad operand B")
+	}
+	pos += n
+	r.Txn, n = binary.Uvarint(body[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("wal: bad transaction id")
 	}
 	pos += n
 	pl, n := binary.Uvarint(body[pos:])

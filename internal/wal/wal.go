@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -112,8 +113,10 @@ type Writer struct {
 	total    int64 // cumulative bytes across all segments, headers included
 	closed   bool
 
-	synced atomic.Int64 // high-water mark of durable cumulative bytes
-	syncMu sync.Mutex   // serializes fsyncs (group commit)
+	synced  atomic.Int64  // high-water mark of durable cumulative bytes
+	syncSem chan struct{} // cap 1: held by the goroutine doing the group fsync
+	noteMu  sync.Mutex
+	note    chan struct{} // closed and replaced whenever synced advances
 
 	intervalStop chan struct{}
 	intervalDone chan struct{}
@@ -126,7 +129,13 @@ func Create(dir string, startSeq uint64, opts Options) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
-	w := &Writer{dir: dir, opts: opts.withDefaults(), seq: startSeq}
+	w := &Writer{
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		seq:     startSeq,
+		syncSem: make(chan struct{}, 1),
+		note:    make(chan struct{}),
+	}
 	if err := w.openSegmentLocked(startSeq); err != nil {
 		return nil, err
 	}
@@ -221,9 +230,31 @@ func (w *Writer) writeRawLocked(b []byte) error {
 // Append frames and appends one record. Under FsyncAlways it returns only
 // once the record is durable.
 func (w *Writer) Append(rec *Record) error {
+	target, err := w.appendFrame(rec)
+	if err != nil {
+		return err
+	}
+	if w.opts.Policy == FsyncAlways {
+		return w.WaitDurable(context.Background(), target)
+	}
+	return nil
+}
+
+// AppendAsync appends one record without waiting for durability under any
+// policy, returning the durable target (the writer's cumulative byte offset
+// after the record). Transactional DML uses it: intra-transaction records
+// need no fsync of their own because a transaction is committed only by its
+// TCommit record — pass the final target to WaitDurable at commit and one
+// fsync covers the whole transaction (and, with concurrent sessions, their
+// transactions too).
+func (w *Writer) AppendAsync(rec *Record) (int64, error) {
+	return w.appendFrame(rec)
+}
+
+func (w *Writer) appendFrame(rec *Record) (int64, error) {
 	body := rec.AppendBody(nil)
 	if len(body) > MaxRecordBytes {
-		return fmt.Errorf("wal: record body %d bytes exceeds max %d", len(body), MaxRecordBytes)
+		return 0, fmt.Errorf("wal: record body %d bytes exceeds max %d", len(body), MaxRecordBytes)
 	}
 	frame := make([]byte, frameHeadLen, frameHeadLen+len(body))
 	binary.LittleEndian.PutUint32(frame[0:], uint32(len(body)))
@@ -233,27 +264,24 @@ func (w *Writer) Append(rec *Record) error {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		return fmt.Errorf("wal: writer closed")
+		return 0, fmt.Errorf("wal: writer closed")
 	}
 	if w.segBytes+int64(len(frame)) > w.opts.SegmentBytes && w.segBytes > segHeaderLen {
 		if err := w.rotateLocked(); err != nil {
 			w.mu.Unlock()
-			return err
+			return 0, err
 		}
 	}
 	if err := w.writeRawLocked(frame); err != nil {
 		w.mu.Unlock()
-		return err
+		return 0, err
 	}
 	target := w.total
 	w.mu.Unlock()
 
 	mAppends.Inc()
 	mAppendBytes.Add(int64(len(frame)))
-	if w.opts.Policy == FsyncAlways {
-		return w.syncTo(target)
-	}
-	return nil
+	return target, nil
 }
 
 // rotateLocked syncs and closes the current segment and opens the next one.
@@ -264,7 +292,7 @@ func (w *Writer) rotateLocked() error {
 		return fmt.Errorf("wal: sync segment %d: %w", w.seq, err)
 	}
 	mFsyncs.Inc()
-	advanceWatermark(&w.synced, w.total)
+	w.advanceSynced(w.total)
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("wal: close segment %d: %w", w.seq, err)
 	}
@@ -286,27 +314,67 @@ func (w *Writer) Rotate() (uint64, error) {
 	return w.seq, nil
 }
 
-// syncTo blocks until the durable watermark reaches target. Concurrent
-// callers batch: one fsync covers every record appended before it ran.
-func (w *Writer) syncTo(target int64) error {
-	if w.synced.Load() >= target {
-		return nil
+// WaitDurable blocks until the durable watermark reaches target, fsyncing if
+// needed. Concurrent callers batch: at most one goroutine holds the sync
+// token at a time and its fsync covers every record appended before it ran;
+// the rest wait on the watermark broadcast, so N sessions committing
+// concurrently share one fsync. Cancelling ctx abandons the wait (the record
+// stays appended and a later fsync will cover it); the fsyncing caller itself
+// completes the sync before observing cancellation.
+func (w *Writer) WaitDurable(ctx context.Context, target int64) error {
+	for w.synced.Load() < target {
+		w.noteMu.Lock()
+		note := w.note
+		w.noteMu.Unlock()
+		// Re-check after capturing the broadcast channel: an advance between
+		// the first check and the capture would otherwise be missed.
+		if w.synced.Load() >= target {
+			return nil
+		}
+		select {
+		case w.syncSem <- struct{}{}:
+			err := w.syncOnce()
+			<-w.syncSem
+			if err != nil {
+				return err
+			}
+		case <-note:
+			// Another goroutine's fsync advanced the watermark; loop.
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
-	w.syncMu.Lock()
-	defer w.syncMu.Unlock()
-	if w.synced.Load() >= target {
-		return nil
-	}
+	return nil
+}
+
+// syncOnce fsyncs the current segment and advances the watermark to the
+// byte count the sync covered. Caller must hold the sync token, which is
+// what keeps the file handle valid: Close acquires the token before closing
+// the file.
+func (w *Writer) syncOnce() error {
 	w.mu.Lock()
 	f := w.f
 	cur := w.total
 	w.mu.Unlock()
+	if w.synced.Load() >= cur {
+		return nil
+	}
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	mFsyncs.Inc()
-	advanceWatermark(&w.synced, cur)
+	w.advanceSynced(cur)
 	return nil
+}
+
+// advanceSynced raises the durable watermark and wakes every WaitDurable
+// blocked on it.
+func (w *Writer) advanceSynced(v int64) {
+	advanceWatermark(&w.synced, v)
+	w.noteMu.Lock()
+	close(w.note)
+	w.note = make(chan struct{})
+	w.noteMu.Unlock()
 }
 
 func advanceWatermark(w *atomic.Int64, v int64) {
@@ -318,6 +386,9 @@ func advanceWatermark(w *atomic.Int64, v int64) {
 	}
 }
 
+// Policy returns the writer's fsync policy.
+func (w *Writer) Policy() Policy { return w.opts.Policy }
+
 // Sync flushes all appended records to disk regardless of policy.
 func (w *Writer) Sync() error {
 	w.mu.Lock()
@@ -327,7 +398,7 @@ func (w *Writer) Sync() error {
 	if closed {
 		return fmt.Errorf("wal: writer closed")
 	}
-	return w.syncTo(target)
+	return w.WaitDurable(context.Background(), target)
 }
 
 func (w *Writer) intervalLoop() {
@@ -346,7 +417,7 @@ func (w *Writer) intervalLoop() {
 			if closed {
 				return
 			}
-			w.syncTo(target)
+			w.WaitDurable(context.Background(), target)
 		}
 	}
 }
@@ -384,11 +455,11 @@ func (w *Writer) Stat() Stats {
 }
 
 // Close flushes and closes the log. Safe to call once. The final sync and
-// the file close run under syncMu: a concurrent syncTo (an Append racing the
-// close) holds syncMu while it fsyncs, so Close cannot close the file out
-// from under it — and once Close's own sync advances the watermark, any
-// late syncTo sees its target already durable and returns without touching
-// the closed file.
+// the file close run while holding the sync token: a concurrent WaitDurable
+// (a commit racing the close) holds the token while it fsyncs, so Close
+// cannot close the file out from under it — and once Close's own sync
+// advances the watermark, any late waiter sees its target already durable
+// and returns without touching the closed file.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -401,15 +472,15 @@ func (w *Writer) Close() error {
 		close(w.intervalStop)
 		<-w.intervalDone
 	}
-	w.syncMu.Lock()
-	defer w.syncMu.Unlock()
+	w.syncSem <- struct{}{}
+	defer func() { <-w.syncSem }()
 	w.mu.Lock()
 	f := w.f
 	total := w.total
 	w.mu.Unlock()
 	err := f.Sync()
 	if err == nil {
-		advanceWatermark(&w.synced, total)
+		w.advanceSynced(total)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

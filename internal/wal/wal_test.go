@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -457,5 +458,53 @@ func TestOversizeRecordRejected(t *testing.T) {
 	}
 	if err := w.Append(mkRec(1)); err != nil {
 		t.Fatalf("writer unusable after oversize reject: %v", err)
+	}
+}
+
+// TestWaitDurableSharesFsync forces the group-commit path deterministically:
+// with the sync token held, N appenders all block in WaitDurable; releasing
+// the token lets exactly one of them fsync, and that single fsync must cover
+// every waiter. This is the cross-session group commit — N commits, one
+// fsync — without depending on scheduler timing.
+func TestWaitDurableSharesFsync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1, Options{Policy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	w.syncSem <- struct{}{} // hold the sync token: waiters must queue
+
+	const waiters = 16
+	var ready sync.WaitGroup
+	var done sync.WaitGroup
+	before := mFsyncs.Value()
+	for i := 0; i < waiters; i++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			target, err := w.AppendAsync(mkRec(i))
+			ready.Done()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := w.WaitDurable(context.Background(), target); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	ready.Wait() // every record is appended; waiters are queuing on the token
+	<-w.syncSem  // release: one waiter becomes the group syncer
+	done.Wait()
+
+	if got := mFsyncs.Value() - before; got != 1 {
+		t.Fatalf("%d commits used %d fsyncs, want exactly 1 shared fsync", waiters, got)
+	}
+	st := w.Stat()
+	if st.SyncedBytes < st.TotalBytes {
+		t.Fatalf("watermark %d below total %d after group sync", st.SyncedBytes, st.TotalBytes)
 	}
 }

@@ -1,0 +1,87 @@
+package apollo_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"apollo"
+)
+
+// BenchmarkMVCCSessions measures mixed-workload throughput against the
+// session count: each transaction inserts two rows and updates one
+// session-private hot row, then commits under fsync=always; every fourth
+// iteration the session also runs an analytic aggregate over the growing
+// table (snapshot readers never block on the writers). ns/op is per
+// transaction; the fsyncs/commit metric shows how much of the durability
+// cost the cross-session group commit amortizes (1.0 = every commit paid its
+// own fsync, lower = shared). Recorded numbers: BENCH_mvcc.json.
+func BenchmarkMVCCSessions(b *testing.B) {
+	for _, sessions := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			dir := b.TempDir()
+			cfg := apollo.DefaultConfig()
+			cfg.FsyncPolicy = "always"
+			db, err := apollo.OpenDir(dir, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			db.MustExec("CREATE TABLE mixed (sess BIGINT, n BIGINT, v BIGINT)")
+			db.MustExec("CREATE TABLE hot (id BIGINT, n BIGINT)")
+			for s := 0; s < sessions; s++ {
+				db.MustExec(fmt.Sprintf("INSERT INTO hot VALUES (%d, 0)", s))
+			}
+
+			ctx := context.Background()
+			perSession := (b.N + sessions - 1) / sessions
+			snap := db.MetricsSnapshot()
+			fsyncs0, commits0 := snap["apollo_wal_fsyncs_total"], snap["apollo_txn_commits_total"]
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for s := 0; s < sessions; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for n := 0; n < perSession; n++ {
+						tx, err := db.Begin(ctx)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := tx.Exec(fmt.Sprintf(
+							"INSERT INTO mixed VALUES (%d, %d, %d), (%d, %d, %d)",
+							s, n, n*3, s, n, n*7)); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := tx.Exec(fmt.Sprintf(
+							"UPDATE hot SET n = n + 1 WHERE id = %d", s)); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := tx.Commit(ctx); err != nil {
+							b.Error(err)
+							return
+						}
+						if n%4 == 0 {
+							if _, err := db.Query("SELECT sess, SUM(v) FROM mixed GROUP BY sess"); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			b.StopTimer()
+			snap = db.MetricsSnapshot()
+			commits := snap["apollo_txn_commits_total"] - commits0
+			if commits > 0 {
+				b.ReportMetric((snap["apollo_wal_fsyncs_total"]-fsyncs0)/commits, "fsyncs/commit")
+				b.ReportMetric(commits, "commits")
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package apollo
+
+import (
+	"context"
+
+	"apollo/internal/sql"
+	"apollo/internal/table"
+	"apollo/internal/txn"
+)
+
+// Transaction errors. All three are plain sentinel errors; match with
+// errors.Is.
+var (
+	// ErrWriteConflict is returned when a statement tries to modify a row
+	// another transaction wrote first (first-writer-wins snapshot isolation).
+	// The losing transaction has been rolled back; retry it from Begin.
+	ErrWriteConflict = table.ErrWriteConflict
+	// ErrClosed is returned when a transaction or statement runs against a
+	// closed database; in-flight transactions are rolled back by Close.
+	ErrClosed = txn.ErrClosed
+	// ErrTxnDone is returned when a Tx is used after Commit or Rollback.
+	ErrTxnDone = txn.ErrTxnDone
+)
+
+// Session is a SQL statement stream with transaction state: BEGIN, COMMIT,
+// and ROLLBACK statements work, and statements between them run inside the
+// open transaction under snapshot isolation. Statements outside a transaction
+// autocommit. A Session is not safe for concurrent use; open one per client.
+type Session struct {
+	s *sql.Session
+}
+
+// Session opens a new session.
+func (db *DB) Session() *Session { return &Session{s: db.engine.NewSession()} }
+
+// Exec parses and executes one statement under a background context.
+func (s *Session) Exec(stmt string) (*Result, error) {
+	return s.ExecContext(context.Background(), stmt)
+}
+
+// ExecContext parses and executes one statement under ctx.
+func (s *Session) ExecContext(ctx context.Context, stmt string) (*Result, error) {
+	r, err := s.s.ExecContext(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
+
+// InTxn reports whether the session has an open transaction.
+func (s *Session) InTxn() bool { return s.s.InTxn() }
+
+// Close rolls back any open transaction.
+func (s *Session) Close() { s.s.Close(context.Background()) }
+
+// Tx is an open transaction: statements executed through it see one snapshot
+// (plus the transaction's own writes) and become visible atomically at
+// Commit. Obtain one with DB.Begin. Not safe for concurrent use.
+type Tx struct {
+	s *sql.Session
+}
+
+// Begin starts a snapshot-isolation transaction. Writes of transactions that
+// committed after Begin are invisible; writing a row such a transaction
+// already wrote fails with ErrWriteConflict (first-writer-wins) and rolls
+// this transaction back.
+func (db *DB) Begin(ctx context.Context) (*Tx, error) {
+	s := db.engine.NewSession()
+	if _, err := s.ExecStmtContext(ctx, &sql.Begin{}); err != nil {
+		return nil, err
+	}
+	return &Tx{s: s}, nil
+}
+
+// Exec executes one statement inside the transaction (background context).
+func (tx *Tx) Exec(stmt string) (*Result, error) {
+	return tx.ExecContext(context.Background(), stmt)
+}
+
+// ExecContext executes one statement inside the transaction. On
+// ErrWriteConflict the transaction is rolled back; other statement errors
+// leave it open for the caller to decide.
+func (tx *Tx) ExecContext(ctx context.Context, stmt string) (*Result, error) {
+	if !tx.s.InTxn() {
+		return nil, tx.doneErr()
+	}
+	r, err := tx.s.ExecContext(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
+
+// Query is Exec for SELECT statements (alias for readability).
+func (tx *Tx) Query(stmt string) (*Result, error) { return tx.Exec(stmt) }
+
+// Commit makes the transaction's writes visible atomically and, under the
+// "always" fsync policy, waits until its commit record is durable — sharing
+// the fsync with commits from other sessions (group commit). The wait honors
+// ctx: on cancellation the commit is still applied and durable with the next
+// sync; only the confirmation is abandoned.
+func (tx *Tx) Commit(ctx context.Context) error {
+	if !tx.s.InTxn() {
+		return tx.doneErr()
+	}
+	_, err := tx.s.ExecStmtContext(ctx, &sql.Commit{})
+	return err
+}
+
+// Rollback discards the transaction's writes. Idempotent after Commit,
+// Rollback, or a conflict abort: returns ErrTxnDone (or ErrClosed) without
+// side effects.
+func (tx *Tx) Rollback(ctx context.Context) error {
+	if !tx.s.InTxn() {
+		return tx.doneErr()
+	}
+	_, err := tx.s.ExecStmtContext(ctx, &sql.Rollback{})
+	return err
+}
+
+// doneErr distinguishes "finished normally" from "aborted by DB.Close".
+func (tx *Tx) doneErr() error {
+	if err := tx.s.DoneErr(); err != nil {
+		return err
+	}
+	return ErrTxnDone
+}
