@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke cover check crash crash-full bench bench-smoke bench-parallel bench-wal bench-mvcc clean
+.PHONY: all build test vet race fuzz-smoke serve-smoke cover check crash crash-full bench bench-smoke bench-parallel bench-wal bench-mvcc clean
 
 all: check
 
@@ -17,9 +17,10 @@ vet:
 # (parallel scan, exchange operators, tuple mover, storage fault injection,
 # chaos tests, the transaction manager and its multi-session tests in the
 # root package) plus the planner/expression/colstore packages the exchange
-# layer leans on.
+# layer leans on, and the serving layer (wire handlers, session reaper,
+# admission broker, tenant handle cache).
 race:
-	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql ./internal/plan ./internal/expr ./internal/colstore ./internal/txn ./internal/wal
+	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql ./internal/plan ./internal/expr ./internal/colstore ./internal/txn ./internal/wal ./internal/server ./internal/server/broker ./internal/server/tenant
 
 # Short seeded-corpus fuzz run over the encoding round-trip/robustness targets
 # (bitpack, RLE, dictionary). Seconds per target: enough to catch regressions
@@ -29,6 +30,13 @@ fuzz-smoke:
 	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzRLERoundtrip -fuzztime=5s
 	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzDictRoundtrip -fuzztime=5s
 	$(GO) test ./internal/wal -run='^$$' -fuzz=FuzzWALRecord -fuzztime=5s
+
+# Serving acceptance: build the real apollod binary, start it with two
+# tenants sharing one process and one memory budget, and drive the HTTP API
+# end to end (streaming, cross-request transactions, admission shedding with
+# typed 429s, per-tenant /metrics counters).
+serve-smoke:
+	$(GO) test -run='^TestServeSmoke$$' -count=1 -v ./internal/server
 
 # Crash-injection matrix: kill a scripted workload at randomized WAL byte
 # offsets and verify recovery lands on an exact committed prefix (zero
@@ -59,8 +67,8 @@ cover:
 		}'
 
 # Full CI gate: build, vet, tests (incl. golden plans + metrics invariants),
-# race detector, fuzz smoke, crash matrix, coverage floor.
-check: build vet test race fuzz-smoke crash cover
+# race detector, fuzz smoke, serving smoke, crash matrix, coverage floor.
+check: build vet test race fuzz-smoke serve-smoke crash cover
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

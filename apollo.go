@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"apollo/internal/catalog"
@@ -125,6 +127,16 @@ type Config struct {
 	// schema. The writer is shared across concurrent queries; events are
 	// serialized, one object per line.
 	TraceWriter io.Writer
+	// CacheBudget, when set, makes the buffer pool draw from a byte budget
+	// shared with other DBs in the process instead of a private
+	// BufferPoolBytes pool — the multi-tenant configuration (see
+	// NewCacheBudget and internal/server/broker).
+	CacheBudget *CacheBudget
+	// RandSeed seeds the database's private RNG (fault-injection seed
+	// derivation and other instance-local randomness). 0 draws a seed from
+	// the clock; set it to make runs reproducible per instance even when
+	// many DBs share the process.
+	RandSeed int64
 
 	// Durability (OpenDir only; Open ignores these).
 
@@ -151,6 +163,14 @@ func DefaultConfig() Config {
 	}
 }
 
+// CacheBudget is a byte budget shared by the buffer pools of several DBs in
+// one process (see Config.CacheBudget). Create one with NewCacheBudget and
+// attach it to every tenant's Config.
+type CacheBudget = storage.Budget
+
+// NewCacheBudget creates a shared buffer-pool budget of cap bytes.
+func NewCacheBudget(cap int64) *CacheBudget { return storage.NewBudget(cap) }
+
 // DB is a database instance.
 type DB struct {
 	cfg     Config
@@ -161,6 +181,14 @@ type DB struct {
 	txns    *txn.Manager
 	dataDir string
 	rec     RecoveryInfo
+	closed  atomic.Bool
+
+	// Instance-local RNG (Config.RandSeed): fault-injection seed derivation
+	// must not consume a process-global source, or one tenant's runs would
+	// perturb another's reproducibility.
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	rngSeed int64
 }
 
 // Open creates an in-process database.
@@ -232,6 +260,14 @@ func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog, w *wal.Writer
 	}
 
 	db := &DB{cfg: cfg, store: store, cat: cat, wal: w}
+	db.rngSeed = cfg.RandSeed
+	if db.rngSeed == 0 {
+		db.rngSeed = time.Now().UnixNano()
+	}
+	db.rng = rand.New(rand.NewSource(db.rngSeed))
+	if cfg.CacheBudget != nil {
+		store.SetCacheBudget(cfg.CacheBudget)
+	}
 	db.txns = txn.NewManager(w)
 	cat.SetClock(db.txns)
 	var tracer *metrics.Tracer
@@ -261,16 +297,26 @@ func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog, w *wal.Writer
 }
 
 // Close stops background workers, rolling back every in-flight transaction
-// (their sessions see ErrClosed). For a durable database (OpenDir) it also
-// flushes and closes the write-ahead log; for an in-memory one (Open),
-// closing does not persist anything.
+// (their sessions see ErrClosed). Statements racing Close fail with a typed
+// ErrClosed instead of panicking: new statements are rejected at the door,
+// and in-flight ones finish against their in-memory snapshots or surface
+// ErrClosed from the transaction layer. For a durable database (OpenDir) it
+// also flushes and closes the write-ahead log; for an in-memory one (Open),
+// closing does not persist anything. Close is idempotent.
 func (db *DB) Close() {
+	if !db.closed.CompareAndSwap(false, true) {
+		return
+	}
+	db.engine.SetClosed()
 	db.txns.Close()
 	db.cat.Close()
 	if db.wal != nil {
 		db.wal.Close()
 	}
 }
+
+// Closed reports whether Close has been called.
+func (db *DB) Closed() bool { return db.closed.Load() }
 
 // --- Durability (OpenDir databases) ---
 
@@ -553,9 +599,19 @@ type FaultConfig = storage.FaultConfig
 // store. Transient read errors are retried with bounded exponential backoff;
 // corruption fails fast with an error naming the blob. Pass a zero rate
 // config with only ReadLatency set to simulate slow storage. Returns the
-// resolved RNG seed (cfg.Seed, or clock-derived when 0) so a failing run can
-// be replayed exactly.
+// resolved RNG seed (cfg.Seed, or drawn from the database's private RNG when
+// 0 — see Config.RandSeed) so a failing run can be replayed exactly; with
+// Config.RandSeed set, the sequence of derived seeds is itself reproducible
+// per instance, independent of other DBs in the process.
 func (db *DB) InjectStorageFaults(cfg FaultConfig) int64 {
+	if cfg.Seed == 0 {
+		db.rngMu.Lock()
+		cfg.Seed = db.rng.Int63()
+		if cfg.Seed == 0 { // Int63 can return 0; 0 means "pick for me"
+			cfg.Seed = 1
+		}
+		db.rngMu.Unlock()
+	}
 	inj := storage.NewFaultInjector(cfg)
 	db.store.SetFaultInjector(inj)
 	return inj.Seed()

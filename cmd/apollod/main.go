@@ -1,0 +1,137 @@
+// Command apollod serves apollo databases over HTTP: one process, N tenant
+// databases under a root data directory, one shared memory budget, admission
+// control, and Prometheus metrics.
+//
+// Usage:
+//
+//	apollod -root DIR -tenant name=key [-tenant name2=key2 ...] [flags]
+//
+// Each -tenant flag declares one servable tenant and its API key; the
+// tenant's database lives in DIR/name, created on first request and
+// recovered from its WAL on first request after a restart. Clients
+// authenticate with "Authorization: Bearer <key>" and reach:
+//
+//	POST /v1/exec, /v1/query (streaming), /v1/explain, /v1/sessions
+//	GET  /metrics, /healthz
+//
+// Resource flags:
+//
+//	-cache-bytes     shared buffer-pool budget for all tenants
+//	-grant-bytes     per-query memory grant (hash operators spill beyond it)
+//	-max-queries     global concurrent-query cap
+//	-max-per-tenant  per-tenant concurrent-query cap
+//	-queue-depth     per-tenant admission wait-queue bound (beyond it: 429)
+//	-queue-timeout   max admission wait before shedding
+//
+// See DESIGN.md §12 for the serving architecture.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"apollo"
+	"apollo/internal/server"
+	"apollo/internal/server/broker"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8329", "listen address")
+		root        = flag.String("root", "", "tenant data directory (required)")
+		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "shared buffer-pool budget in bytes")
+		grantBytes  = flag.Int64("grant-bytes", 64<<20, "per-query memory grant in bytes (0 = unlimited)")
+		maxQueries  = flag.Int("max-queries", 64, "global concurrent query cap (0 = unlimited)")
+		perTenant   = flag.Int("max-per-tenant", 8, "per-tenant concurrent query cap (0 = unlimited)")
+		queueDepth  = flag.Int("queue-depth", 16, "per-tenant admission wait queue bound")
+		queueWait   = flag.Duration("queue-timeout", 5*time.Second, "max admission wait before shedding (0 = request deadline)")
+		maxOpen     = flag.Int("max-open-tenants", 0, "max simultaneously open tenant databases (0 = unlimited)")
+		idleTenant  = flag.Duration("idle-tenant-timeout", 15*time.Minute, "close tenant databases idle this long (0 = never)")
+		idleTxn     = flag.Duration("idle-txn-timeout", time.Minute, "kill sessions holding a transaction idle this long")
+		idleSession = flag.Duration("idle-session-timeout", 15*time.Minute, "kill sessions idle this long")
+		fsync       = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
+		mode        = flag.String("mode", "2014", "execution mode: 2014, 2012, or row")
+		parallel    = flag.Int("parallel", 0, "scan degree of parallelism")
+	)
+	tenants := map[string]string{}
+	flag.Func("tenant", "tenant declaration name=apikey (repeatable)", func(v string) error {
+		name, key, ok := strings.Cut(v, "=")
+		if !ok || name == "" || key == "" {
+			return fmt.Errorf("want name=apikey, got %q", v)
+		}
+		tenants[name] = key
+		return nil
+	})
+	flag.Parse()
+
+	if *root == "" || len(tenants) == 0 {
+		fmt.Fprintln(os.Stderr, "apollod: -root and at least one -tenant name=key are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	dbcfg := apollo.DefaultConfig()
+	dbcfg.FsyncPolicy = *fsync
+	dbcfg.Parallel = *parallel
+	switch *mode {
+	case "2014":
+		dbcfg.Mode = apollo.Mode2014
+	case "2012":
+		dbcfg.Mode = apollo.Mode2012
+	case "row":
+		dbcfg.Mode = apollo.ModeRow
+	default:
+		fmt.Fprintf(os.Stderr, "apollod: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*root, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "apollod: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv, err := server.New(server.Config{
+		Root:       *root,
+		Tenants:    tenants,
+		DB:         dbcfg,
+		CacheBytes: *cacheBytes,
+		Limits: broker.Limits{
+			PerTenant:    *perTenant,
+			Global:       *maxQueries,
+			QueueDepth:   *queueDepth,
+			QueueTimeout: *queueWait,
+			GrantBytes:   *grantBytes,
+		},
+		MaxOpenTenants:     *maxOpen,
+		IdleTenantTimeout:  *idleTenant,
+		IdleTxnTimeout:     *idleTxn,
+		IdleSessionTimeout: *idleSession,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apollod: %v\n", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("apollod: serving %d tenant(s) from %s on %s (cache %d MiB, %d global / %d per-tenant slots)\n",
+		len(tenants), *root, *addr, *cacheBytes>>20, *maxQueries, *perTenant)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "apollod: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("apollod: %v, shutting down\n", s)
+	}
+	hs.Close()
+	srv.Close() // rolls back open transactions, closes every tenant
+}

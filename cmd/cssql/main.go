@@ -1,8 +1,16 @@
-// Command cssql is an interactive SQL shell over the apollo engine.
+// Command cssql is an interactive SQL shell over the apollo engine — either
+// embedded in-process, or as a client of a running apollod server.
 //
 // Usage:
 //
 //	cssql [-mode 2014|2012|row] [-parallel N] [-ssb SF] [-data DIR] [-fsync always|interval|off]
+//	cssql -url http://host:8329 -apikey KEY
+//
+// With -url the shell speaks the apollod wire API instead of opening an
+// embedded database: statements run on a server-side session (so BEGIN/
+// COMMIT/ROLLBACK work across requests), SELECT results stream, and
+// .metrics scrapes the server's Prometheus endpoint. The same REPL drives
+// both engines.
 //
 // With -data the database is durable: it recovers from DIR on startup
 // (checkpoint image + WAL replay) and logs all DDL/DML to a write-ahead log
@@ -27,6 +35,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"apollo"
+	"apollo/internal/server/client"
 	"apollo/internal/workload"
 )
 
@@ -43,7 +53,18 @@ func main() {
 	ssb := flag.Float64("ssb", 0, "preload an SSB warehouse at this scale factor")
 	dataDir := flag.String("data", "", "durable database directory (empty = in-memory)")
 	fsync := flag.String("fsync", "always", "WAL fsync policy with -data: always, interval, or off")
+	url := flag.String("url", "", "apollod server URL (client mode; requires -apikey)")
+	apikey := flag.String("apikey", "", "tenant API key for -url mode")
 	flag.Parse()
+
+	if *url != "" {
+		if *apikey == "" {
+			fmt.Fprintln(os.Stderr, "cssql: -url requires -apikey")
+			os.Exit(2)
+		}
+		clientREPL(*url, *apikey)
+		return
+	}
 
 	cfg := apollo.DefaultConfig()
 	cfg.Parallel = *parallel
@@ -345,4 +366,152 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// --- client mode (-url): the same REPL over the apollod wire API ---
+
+func clientREPL(url, key string) {
+	ctx := context.Background()
+	cl := client.New(url, key)
+	// A server-side session makes BEGIN/COMMIT/ROLLBACK work across
+	// requests, exactly like the embedded REPL's session.
+	if err := cl.OpenSession(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "cssql: connect %s: %v\n", url, err)
+		os.Exit(1)
+	}
+	defer cl.CloseSession(ctx)
+
+	inTxn := false
+	fmt.Printf("apollo SQL shell — connected to %s; end statements with ';', '.quit' to exit\n", url)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var stmt strings.Builder
+	prompt := func() {
+		if inTxn {
+			fmt.Print("txn> ")
+		} else {
+			fmt.Print("sql> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if stmt.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if clientDot(ctx, cl, trimmed, &inTxn) {
+				return
+			}
+			prompt()
+			continue
+		}
+		stmt.WriteString(line)
+		stmt.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			clientRun(ctx, cl, strings.TrimSpace(stmt.String()), &inTxn)
+			stmt.Reset()
+			prompt()
+		} else if stmt.Len() > 0 {
+			fmt.Print("  -> ")
+		}
+	}
+}
+
+// clientDot handles dot-commands in client mode; returns true to exit.
+func clientDot(ctx context.Context, cl *client.Client, cmd string, inTxn *bool) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".begin", ".commit", ".rollback":
+		clientRun(ctx, cl, strings.TrimPrefix(fields[0], "."), inTxn)
+	case ".explain":
+		if len(fields) < 2 {
+			fmt.Println("usage: .explain SELECT ...")
+			break
+		}
+		plan, err := cl.Explain(ctx, strings.TrimPrefix(strings.TrimSpace(cmd), ".explain "), false)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println(plan)
+	case ".metrics":
+		out, err := cl.Metrics(ctx)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if len(fields) == 2 {
+			var kept []string
+			for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+				name := line
+				if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+					name = rest
+				} else if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+					name = rest
+				}
+				if strings.HasPrefix(name, fields[1]) {
+					kept = append(kept, line)
+				}
+			}
+			out = strings.Join(kept, "\n") + "\n"
+		}
+		fmt.Print(out)
+	default:
+		fmt.Printf("unknown command %s (client mode supports .begin/.commit/.rollback/.explain/.metrics/.quit)\n", fields[0])
+	}
+	return false
+}
+
+// clientRun executes one statement over the wire, streaming SELECT rows.
+func clientRun(ctx context.Context, cl *client.Client, stmt string, inTxn *bool) {
+	start := time.Now()
+	const maxShow = 50
+	var shown, total int
+	res, err := cl.QueryStream(ctx, stmt, nil,
+		func(cols []client.Column) error {
+			names := make([]string, len(cols))
+			for i, c := range cols {
+				names[i] = c.Name
+			}
+			fmt.Println(strings.Join(names, " | "))
+			return nil
+		},
+		func(row []any) error {
+			total++
+			if shown >= maxShow {
+				return nil
+			}
+			shown++
+			parts := make([]string, len(row))
+			for i, v := range row {
+				switch x := v.(type) {
+				case nil:
+					parts[i] = "NULL"
+				case float64:
+					parts[i] = strings.TrimSuffix(fmt.Sprintf("%g", x), ".0")
+				default:
+					parts[i] = fmt.Sprint(x)
+				}
+			}
+			fmt.Println(strings.Join(parts, " | "))
+			return nil
+		})
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	*inTxn = res.InTxn
+	switch {
+	case total > 0 || res.Message == "" && res.Affected == 0:
+		if total > maxShow {
+			fmt.Printf("... (%d more rows)\n", total-maxShow)
+		}
+		fmt.Printf("(%d rows, %v over the wire)\n", total, elapsed.Round(time.Microsecond))
+	case res.Message != "":
+		fmt.Println(res.Message)
+	default:
+		fmt.Printf("%d rows affected (%v)\n", res.Affected, elapsed.Round(time.Microsecond))
+	}
 }

@@ -81,6 +81,40 @@ func DrainContext(ctx context.Context, op Operator) (out []sqltypes.Row, err err
 	}
 }
 
+// StreamContext runs an operator to completion, delivering each result row
+// to fn as it is produced instead of materializing the result set — the
+// serving path's chunked result encoding. Rows are owned by the callee only
+// for the duration of the call (they may alias batch storage); fn must copy
+// what it keeps. An error from fn aborts the query and is returned.
+func StreamContext(ctx context.Context, op Operator, fn func(sqltypes.Row) error) (err error) {
+	defer func() {
+		if e := qerr.FromPanic("executor", qerr.NoGroup, recover()); e != nil {
+			err = e
+		}
+	}()
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	defer op.Close()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		for i := 0; i < b.Len(); i++ {
+			if err := fn(b.Row(i)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
 // Count runs an operator to completion under a background context.
 func Count(op Operator) (int, error) {
 	return CountContext(context.Background(), op)

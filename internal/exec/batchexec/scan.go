@@ -107,6 +107,11 @@ func NewScan(snap *table.Snapshot, cols []int) *Scan {
 	return &Scan{Snap: snap, Cols: cols, schema: snap.Schema.Project(cols)}
 }
 
+// Rebind points the scan at a fresh snapshot of the same table, so a reused
+// compiled plan reads data as of its next execution rather than as of
+// compilation. Call between executions only (Open resets iteration state).
+func (s *Scan) Rebind(snap *table.Snapshot) { s.Snap = snap }
+
 // Schema implements Operator.
 func (s *Scan) Schema() *sqltypes.Schema { return s.schema }
 

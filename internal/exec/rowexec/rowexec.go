@@ -73,6 +73,41 @@ func DrainContext(ctx context.Context, op Operator) (out []sqltypes.Row, err err
 // stay off the per-tuple hot path.
 const rowCheckInterval = 1024
 
+// StreamContext runs an operator to completion, delivering each result row
+// to fn as it is produced instead of materializing the result set. Rows are
+// owned by the callee only for the duration of the call; fn must copy what
+// it keeps. An error from fn aborts the query and is returned.
+func StreamContext(ctx context.Context, op Operator, fn func(sqltypes.Row) error) (err error) {
+	defer func() {
+		if e := qerr.FromPanic("rowexec", qerr.NoGroup, recover()); e != nil {
+			err = e
+		}
+	}()
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer op.Close()
+	n := 0
+	for {
+		if n%rowCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n++
+		r, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			return nil
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+}
+
 // --- Columnstore scan (row mode) ---
 
 // Scan reads a table snapshot row-at-a-time: each compressed row group is
@@ -107,6 +142,10 @@ func NewScan(snap *table.Snapshot, filter expr.Expr, cols []int) *Scan {
 
 // Schema implements Operator.
 func (s *Scan) Schema() *sqltypes.Schema { return s.schema }
+
+// Rebind points the scan at a fresh snapshot of the same table (reused
+// compiled plans; see batchexec.Scan.Rebind). Call between executions only.
+func (s *Scan) Rebind(snap *table.Snapshot) { s.Snap = snap }
 
 // Open implements Operator.
 func (s *Scan) Open() error {

@@ -130,6 +130,53 @@ func (c *Const) String() string {
 	return c.Val.String()
 }
 
+// --- Parameter ---
+
+// Param is a prepared-statement placeholder (`?`): a mutable value cell
+// shared between a compiled plan and its prepared statement. Bind writes the
+// argument before each execution; evaluation then behaves like a Const.
+// Binding and execution must not overlap (a prepared statement runs one
+// execution at a time), which is the usual connection discipline.
+type Param struct {
+	// Idx is the 1-based placeholder position in the statement.
+	Idx int
+	typ sqltypes.Type
+	val sqltypes.Value
+}
+
+// NewParam builds the cell for placeholder idx (1-based). Until bound it
+// evaluates to NULL of its inferred type.
+func NewParam(idx int) *Param {
+	return &Param{Idx: idx, val: sqltypes.Value{Null: true}}
+}
+
+// SetType records the type the binder inferred from the placeholder's
+// context (comparison operand, target column).
+func (p *Param) SetType(t sqltypes.Type) { p.typ = t; p.val.Typ = t }
+
+// Bind sets the argument for the next execution.
+func (p *Param) Bind(v sqltypes.Value) { p.val = v }
+
+// Type implements Expr.
+func (p *Param) Type() sqltypes.Type { return p.typ }
+
+// Eval implements Expr.
+func (p *Param) Eval(sqltypes.Row) sqltypes.Value { return p.val }
+
+// EvalVec implements Expr.
+func (p *Param) EvalVec(b *vector.Batch, out *vector.Vector) {
+	n := b.NumRows()
+	out.Resize(n)
+	if out.Nulls != nil {
+		out.Nulls.Reset()
+	}
+	for i := 0; i < n; i++ {
+		out.SetValue(i, p.val)
+	}
+}
+
+func (p *Param) String() string { return fmt.Sprintf("$%d", p.Idx) }
+
 // --- Comparison ---
 
 // CmpOp is a comparison operator.

@@ -148,7 +148,7 @@ func ReferencedCols(e Expr, set map[int]bool) {
 	switch x := e.(type) {
 	case *ColRef:
 		set[x.Idx] = true
-	case *Const:
+	case *Const, *Param:
 	case *Cmp:
 		ReferencedCols(x.L, set)
 		ReferencedCols(x.R, set)
@@ -182,6 +182,10 @@ func Remap(e Expr, mapping map[int]int) Expr {
 		}
 		return &ColRef{Idx: ni, Name: x.Name, Typ: x.Typ}
 	case *Const:
+		return x
+	case *Param:
+		// Return the same cell so every copy of a compiled plan sees the
+		// value bound for the next execution.
 		return x
 	case *Cmp:
 		return &Cmp{Op: x.Op, L: Remap(x.L, mapping), R: Remap(x.R, mapping)}

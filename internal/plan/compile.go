@@ -72,6 +72,12 @@ type Options struct {
 	// a transaction, the owning transaction id (its own provisional writes are
 	// visible). The zero value reads each table's current stable snapshot.
 	View table.ReadView
+
+	// Reusable compiles for repeated execution (prepared statements): scans
+	// record rebind hooks so Compiled.Rebind can point them at a fresh
+	// snapshot per execution, and compile-time shortcuts that bake data into
+	// the plan (metadata-only aggregation) are disabled.
+	Reusable bool
 }
 
 // Compiled is an executable query.
@@ -113,6 +119,18 @@ type Compiled struct {
 	OpNameByNode map[Node]string
 	// ScanStatsByNode maps each logical scan to its pushdown counters.
 	ScanStatsByNode map[*Scan]*batchexec.ScanStats
+
+	// rebinds re-snapshots every scan (Options.Reusable compilations only).
+	rebinds []func(table.ReadView)
+}
+
+// Rebind points every scan in a reusable compilation at a fresh snapshot
+// taken under view, so the next execution reads current data instead of the
+// compile-time snapshot. Call between executions only.
+func (c *Compiled) Rebind(view table.ReadView) {
+	for _, f := range c.rebinds {
+		f(view)
+	}
 }
 
 // Explain renders the optimized logical plan with the chosen mode.
@@ -138,6 +156,17 @@ func (c *Compiled) RunContext(ctx context.Context) ([]sqltypes.Row, error) {
 		return batchexec.DrainContext(ctx, c.batch)
 	}
 	return rowexec.DrainContext(ctx, c.row)
+}
+
+// StreamContext executes the query, delivering each result row to fn as it
+// is produced instead of materializing the result set. Rows may alias
+// operator storage and are valid only for the duration of the call; fn must
+// copy what it keeps. An error from fn aborts the query and is returned.
+func (c *Compiled) StreamContext(ctx context.Context, fn func(sqltypes.Row) error) error {
+	if c.BatchMode {
+		return batchexec.StreamContext(ctx, c.batch, fn)
+	}
+	return rowexec.StreamContext(ctx, c.row, fn)
 }
 
 // Compile optimizes the logical plan and lowers it to a physical operator
@@ -174,7 +203,11 @@ func Compile(root Node, opts Options) (*Compiled, error) {
 		c.batch = op
 		return c, nil
 	}
-	op, err := compileRow(root, opts.View)
+	var reuse *Compiled
+	if opts.Reusable {
+		reuse = c
+	}
+	op, err := compileRow(root, opts.View, reuse)
 	if err != nil {
 		return nil, err
 	}
@@ -326,9 +359,13 @@ func (cc *batchCompiler) compileNode(n Node) (batchexec.Operator, string, error)
 		return op, "hashjoin", err
 
 	case *Agg:
-		if op, ok := tryMetadataAgg(x, cc.opts.View); ok {
-			cc.compiled.MetadataOnly = true
-			return op, "metaagg", nil
+		// Metadata-only answers are computed at compile time from the
+		// snapshot, so they cannot serve a reusable (prepared) plan.
+		if !cc.opts.Reusable {
+			if op, ok := tryMetadataAgg(x, cc.opts.View); ok {
+				cc.compiled.MetadataOnly = true
+				return op, "metaagg", nil
+			}
 		}
 		return cc.compileAgg(x)
 
@@ -395,6 +432,12 @@ func (cc *batchCompiler) compileScan(x *Scan) (*batchexec.Scan, error) {
 		}
 	}
 	s := batchexec.NewScan(x.Table.SnapshotView(cc.opts.View), cols)
+	if cc.opts.Reusable {
+		t := x.Table
+		cc.compiled.rebinds = append(cc.compiled.rebinds, func(v table.ReadView) {
+			s.Rebind(t.SnapshotView(v))
+		})
+	}
 	s.Parallel = cc.opts.Parallel
 	s.Stats = &batchexec.ScanStats{}
 	cc.compiled.ScanStats = append(cc.compiled.ScanStats, s.Stats)
@@ -691,7 +734,9 @@ func keyColumns(lks, rks []expr.Expr) ([]int, []int, error) {
 
 // --- Row-mode lowering ---
 
-func compileRow(n Node, view table.ReadView) (rowexec.Operator, error) {
+// compileRow lowers to the row engine. When reuse is non-nil (a reusable
+// compilation), each scan registers a rebind hook on it.
+func compileRow(n Node, view table.ReadView, reuse *Compiled) (rowexec.Operator, error) {
 	switch x := n.(type) {
 	case *Scan:
 		cols := x.Cols
@@ -699,28 +744,35 @@ func compileRow(n Node, view table.ReadView) (rowexec.Operator, error) {
 		if x.Filter != nil {
 			filter = x.Filter // bound to full table schema, as Scan expects
 		}
-		return rowexec.NewScan(x.Table.SnapshotView(view), filter, cols), nil
+		s := rowexec.NewScan(x.Table.SnapshotView(view), filter, cols)
+		if reuse != nil {
+			t := x.Table
+			reuse.rebinds = append(reuse.rebinds, func(v table.ReadView) {
+				s.Rebind(t.SnapshotView(v))
+			})
+		}
+		return s, nil
 
 	case *Filter:
-		in, err := compileRow(x.In, view)
+		in, err := compileRow(x.In, view, reuse)
 		if err != nil {
 			return nil, err
 		}
 		return &rowexec.Filter{In: in, Pred: x.Pred}, nil
 
 	case *Project:
-		in, err := compileRow(x.In, view)
+		in, err := compileRow(x.In, view, reuse)
 		if err != nil {
 			return nil, err
 		}
 		return rowexec.NewProject(in, x.Exprs, x.Names), nil
 
 	case *Join:
-		probe, err := compileRow(x.Left, view)
+		probe, err := compileRow(x.Left, view, reuse)
 		if err != nil {
 			return nil, err
 		}
-		build, err := compileRow(x.Right, view)
+		build, err := compileRow(x.Right, view, reuse)
 		if err != nil {
 			return nil, err
 		}
@@ -731,21 +783,21 @@ func compileRow(n Node, view table.ReadView) (rowexec.Operator, error) {
 		return rowexec.NewHashJoin(probe, build, x.LeftKeys, x.RightKeys, x.Type, x.Residual)
 
 	case *Agg:
-		in, err := compileRow(x.In, view)
+		in, err := compileRow(x.In, view, reuse)
 		if err != nil {
 			return nil, err
 		}
 		return rowexec.NewHashAggregate(in, x.GroupBy, x.Names, x.Aggs), nil
 
 	case *Sort:
-		in, err := compileRow(x.In, view)
+		in, err := compileRow(x.In, view, reuse)
 		if err != nil {
 			return nil, err
 		}
 		return &rowexec.Sort{In: in, Keys: x.Keys}, nil
 
 	case *Limit:
-		in, err := compileRow(x.In, view)
+		in, err := compileRow(x.In, view, reuse)
 		if err != nil {
 			return nil, err
 		}
@@ -754,7 +806,7 @@ func compileRow(n Node, view table.ReadView) (rowexec.Operator, error) {
 	case *Union:
 		ins := make([]rowexec.Operator, len(x.Ins))
 		for i, c := range x.Ins {
-			op, err := compileRow(c, view)
+			op, err := compileRow(c, view, reuse)
 			if err != nil {
 				return nil, err
 			}

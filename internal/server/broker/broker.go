@@ -1,0 +1,235 @@
+// Package broker owns the resources N tenant databases share when one
+// process serves them all: a single buffer-pool byte budget, per-query
+// memory grants, and admission control. Extracting these from per-DB Config
+// is what makes multi-tenancy safe — without it each tenant would size its
+// own caches and concurrency as if it had the machine to itself.
+//
+// Admission is two-level. A query first takes one of its tenant's slots
+// (per-tenant fairness: one tenant's burst cannot occupy the whole process),
+// then one of the global slots (process-wide cap). Waiters are bounded: once
+// a tenant's wait queue is full, further queries are shed immediately with a
+// typed *OverloadError the wire layer maps to HTTP 429. Queue depth, shed
+// counts, and wait times are exported per tenant through the process-wide
+// metrics registry.
+package broker
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"apollo/internal/metrics"
+	"apollo/internal/storage"
+)
+
+// Limits configures admission control. Zero values disable the
+// corresponding limit.
+type Limits struct {
+	// PerTenant caps concurrently executing queries per tenant.
+	PerTenant int
+	// Global caps concurrently executing queries process-wide.
+	Global int
+	// QueueDepth bounds how many queries may wait per tenant; one more is
+	// shed with *OverloadError. 0 sheds as soon as the tenant's slots are
+	// busy.
+	QueueDepth int
+	// QueueTimeout sheds a waiter that has not been admitted in time
+	// (0 = wait until the request context expires).
+	QueueTimeout time.Duration
+	// GrantBytes is the memory grant handed to each admitted query: the
+	// engine's hash-operator budget, so spilling enforces it.
+	GrantBytes int64
+}
+
+// Broker is the process-wide shared-resource layer.
+type Broker struct {
+	// Cache is the buffer-pool budget every tenant's store attaches to.
+	Cache *storage.Budget
+	lim   Limits
+
+	global chan struct{} // nil = unlimited
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	waitHist *metrics.Histogram
+}
+
+type tenantState struct {
+	slots  chan struct{} // nil = unlimited
+	queued int           // waiters, under Broker.mu
+
+	admitted *metrics.Counter
+	shed     *metrics.Counter
+	depth    *metrics.Gauge
+}
+
+// OverloadError reports a query shed by admission control: the tenant's (or
+// the global) wait queue was full or the waiter timed out. The wire layer
+// maps it to HTTP 429.
+type OverloadError struct {
+	Tenant string
+	Reason string // "queue full" or "queue timeout"
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("broker: tenant %q overloaded: %s", e.Tenant, e.Reason)
+}
+
+// New creates a broker with a shared cache budget of cacheBytes and the
+// given admission limits.
+func New(cacheBytes int64, lim Limits) *Broker {
+	b := &Broker{
+		Cache:   storage.NewBudget(cacheBytes),
+		lim:     lim,
+		tenants: map[string]*tenantState{},
+		waitHist: metrics.Default.Histogram("apollod_admission_wait_seconds",
+			"Time queries spent waiting for an admission slot.", metrics.DurationBuckets),
+	}
+	if lim.Global > 0 {
+		b.global = make(chan struct{}, lim.Global)
+	}
+	return b
+}
+
+// Limits returns the configured admission limits.
+func (b *Broker) Limits() Limits { return b.lim }
+
+// GrantBytes returns the per-query memory grant (0 = unlimited).
+func (b *Broker) GrantBytes() int64 { return b.lim.GrantBytes }
+
+// tenant returns (creating on first use) the named tenant's admission state.
+// Metric handles are cached here because registry registration takes a lock.
+func (b *Broker) tenant(name string) *tenantState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ts, ok := b.tenants[name]
+	if !ok {
+		l := label(name)
+		ts = &tenantState{
+			admitted: metrics.Default.Counter(
+				fmt.Sprintf(`apollod_queries_admitted_total{tenant=%q}`, l),
+				"Queries admitted past admission control, by tenant."),
+			shed: metrics.Default.Counter(
+				fmt.Sprintf(`apollod_queries_shed_total{tenant=%q}`, l),
+				"Queries shed by admission control, by tenant."),
+			depth: metrics.Default.Gauge(
+				fmt.Sprintf(`apollod_queue_depth{tenant=%q}`, l),
+				"Queries currently waiting for admission, by tenant."),
+		}
+		if b.lim.PerTenant > 0 {
+			ts.slots = make(chan struct{}, b.lim.PerTenant)
+		}
+		b.tenants[name] = ts
+	}
+	return ts
+}
+
+// label sanitizes a tenant name for use inside a Prometheus label value.
+func label(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\\' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// Admit blocks until the query may run, returning a release func the caller
+// must invoke when the query finishes. Sheds with *OverloadError when the
+// tenant's wait queue is full or the wait times out; returns ctx.Err() when
+// the request is cancelled first.
+func (b *Broker) Admit(ctx context.Context, tenant string) (func(), error) {
+	ts := b.tenant(tenant)
+
+	if b.lim.QueueTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.lim.QueueTimeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	// Tenant slot first (per-tenant fairness): free slot or the bounded
+	// wait queue. A query that cannot get either is shed immediately —
+	// shedding at the door beats queueing work the tenant cannot absorb.
+	if !tryAcquire(ts.slots) {
+		b.mu.Lock()
+		if ts.queued >= b.lim.QueueDepth {
+			b.mu.Unlock()
+			ts.shed.Inc()
+			return nil, &OverloadError{Tenant: tenant, Reason: "queue full"}
+		}
+		ts.queued++
+		ts.depth.Set(float64(ts.queued))
+		b.mu.Unlock()
+		err := acquire(ctx, ts.slots)
+		b.mu.Lock()
+		ts.queued--
+		ts.depth.Set(float64(ts.queued))
+		b.mu.Unlock()
+		if err != nil {
+			ts.shed.Inc()
+			return nil, b.shedErr(ctx, tenant, err)
+		}
+	}
+	// Then the global slot (process-wide cap). Waiters here hold their
+	// tenant slot, so total global waiters are bounded by the per-tenant
+	// limits; no separate queue bound is needed.
+	if err := acquire(ctx, b.global); err != nil {
+		releaseSlot(ts.slots)
+		ts.shed.Inc()
+		return nil, b.shedErr(ctx, tenant, err)
+	}
+	b.waitHist.Observe(time.Since(start).Seconds())
+	ts.admitted.Inc()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			releaseSlot(b.global)
+			releaseSlot(ts.slots)
+		})
+	}, nil
+}
+
+// shedErr distinguishes a caller cancellation (propagate ctx error) from an
+// admission timeout (typed overload).
+func (b *Broker) shedErr(ctx context.Context, tenant string, err error) error {
+	if b.lim.QueueTimeout > 0 && ctx.Err() == context.DeadlineExceeded {
+		return &OverloadError{Tenant: tenant, Reason: "queue timeout"}
+	}
+	return err
+}
+
+// tryAcquire takes a slot without blocking; true on success (or no limit).
+func tryAcquire(slots chan struct{}) bool {
+	if slots == nil {
+		return true
+	}
+	select {
+	case slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func acquire(ctx context.Context, slots chan struct{}) error {
+	if slots == nil {
+		return nil
+	}
+	select {
+	case slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func releaseSlot(slots chan struct{}) {
+	if slots != nil {
+		<-slots
+	}
+}

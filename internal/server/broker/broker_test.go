@@ -1,0 +1,233 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"apollo/internal/metrics"
+)
+
+func TestAdmitReleaseCycle(t *testing.T) {
+	b := New(0, Limits{PerTenant: 2, Global: 4, QueueDepth: 0})
+	ctx := context.Background()
+
+	r1, err := b.Admit(ctx, "a")
+	if err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	r2, err := b.Admit(ctx, "a")
+	if err != nil {
+		t.Fatalf("admit 2: %v", err)
+	}
+	// Slots full, queue depth 0: shed immediately with the typed error.
+	if _, err := b.Admit(ctx, "a"); err == nil {
+		t.Fatal("admit 3 should shed")
+	} else {
+		var oe *OverloadError
+		if !errors.As(err, &oe) || oe.Tenant != "a" || oe.Reason != "queue full" {
+			t.Fatalf("want OverloadError{a, queue full}, got %v", err)
+		}
+	}
+	// Another tenant is unaffected by tenant a's saturation.
+	r3, err := b.Admit(ctx, "b")
+	if err != nil {
+		t.Fatalf("tenant b should admit: %v", err)
+	}
+	r3()
+	r1()
+	// Releasing frees the slot for tenant a again.
+	r4, err := b.Admit(ctx, "a")
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	r4()
+	r4() // double release must be a no-op
+	r2()
+}
+
+func TestAdmitQueueWaits(t *testing.T) {
+	b := New(0, Limits{PerTenant: 1, QueueDepth: 1})
+	ctx := context.Background()
+
+	release, err := b.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan func(), 1)
+	go func() {
+		r, err := b.Admit(ctx, "a")
+		if err != nil {
+			t.Errorf("queued admit: %v", err)
+			admitted <- nil
+			return
+		}
+		admitted <- r
+	}()
+	// Wait until the goroutine is queued, then verify a third query sheds
+	// (slot busy, queue full).
+	waitFor(t, func() bool { return b.queuedFor("a") == 1 })
+	if _, err := b.Admit(ctx, "a"); err == nil {
+		t.Fatal("third query should shed: queue full")
+	}
+	release()
+	select {
+	case r := <-admitted:
+		if r != nil {
+			r()
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued query never admitted after release")
+	}
+}
+
+func TestAdmitQueueTimeout(t *testing.T) {
+	b := New(0, Limits{PerTenant: 1, QueueDepth: 4, QueueTimeout: 30 * time.Millisecond})
+	ctx := context.Background()
+
+	release, err := b.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, err = b.Admit(ctx, "a")
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue timeout" {
+		t.Fatalf("want OverloadError{queue timeout}, got %v", err)
+	}
+}
+
+func TestAdmitCallerCancel(t *testing.T) {
+	b := New(0, Limits{PerTenant: 1, QueueDepth: 4})
+	release, err := b.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		waitFor(t, func() bool { return b.queuedFor("a") == 1 })
+		cancel()
+	}()
+	_, err = b.Admit(ctx, "a")
+	// Caller cancellation propagates as the context error, not an overload.
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestGlobalLimitAcrossTenants(t *testing.T) {
+	b := New(0, Limits{PerTenant: 2, Global: 2, QueueDepth: 0, QueueTimeout: 30 * time.Millisecond})
+	ctx := context.Background()
+	r1, err := b.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Admit(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global cap reached: tenant c has free tenant slots but times out on the
+	// global slot.
+	_, err = b.Admit(ctx, "c")
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want OverloadError, got %v", err)
+	}
+	r1()
+	r3, err := b.Admit(ctx, "c")
+	if err != nil {
+		t.Fatalf("after global release: %v", err)
+	}
+	r3()
+	r2()
+}
+
+func TestPerTenantMetrics(t *testing.T) {
+	b := New(0, Limits{PerTenant: 1, QueueDepth: 0})
+	ctx := context.Background()
+	r, err := b.Admit(ctx, "metrics-t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Admit(ctx, "metrics-t") // sheds
+	r()
+
+	var text strings.Builder
+	if err := metrics.Default.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{
+		`apollod_queries_admitted_total{tenant="metrics-t"} 1`,
+		`apollod_queries_shed_total{tenant="metrics-t"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestAdmitConcurrent(t *testing.T) {
+	b := New(0, Limits{PerTenant: 4, Global: 8, QueueDepth: 64})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	running, maxRunning := 0, 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		tenant := "a"
+		if i%2 == 1 {
+			tenant = "b"
+		}
+		go func() {
+			defer wg.Done()
+			release, err := b.Admit(ctx, tenant)
+			if err != nil {
+				t.Errorf("admit: %v", err)
+				return
+			}
+			mu.Lock()
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if maxRunning > 8 {
+		t.Fatalf("global limit violated: %d concurrent", maxRunning)
+	}
+}
+
+// queuedFor reads a tenant's wait-queue depth (test helper).
+func (b *Broker) queuedFor(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ts, ok := b.tenants[name]
+	if !ok {
+		return 0
+	}
+	return ts.queued
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"apollo/internal/sqltypes"
+)
+
+// Wire value encoding: SQL scalars map onto the natural JSON types — NULL to
+// null, BIGINT/DOUBLE to numbers, BOOLEAN to true/false, VARCHAR to strings,
+// DATE to "YYYY-MM-DD" strings. Argument decoding is the inverse; integral
+// JSON numbers arrive as BIGINT and coerce to the placeholder's bound type
+// exactly like SQL literals do (strings parse as dates against DATE columns,
+// ints widen to float).
+
+// jsonValue renders one SQL value as a JSON-encodable Go value.
+func jsonValue(v sqltypes.Value) any {
+	if v.Null {
+		return nil
+	}
+	switch v.Typ {
+	case sqltypes.Int64:
+		return v.I
+	case sqltypes.Float64:
+		return v.F
+	case sqltypes.Bool:
+		return v.I != 0
+	case sqltypes.Date:
+		return sqltypes.DateToString(v.I)
+	default:
+		return v.S
+	}
+}
+
+// jsonRow renders a row for JSON encoding.
+func jsonRow(r sqltypes.Row) []any {
+	out := make([]any, len(r))
+	for i, v := range r {
+		out[i] = jsonValue(v)
+	}
+	return out
+}
+
+// argValue decodes one JSON argument into a SQL value. Numbers are decoded
+// via json.Number so int64 range is preserved.
+func argValue(raw json.RawMessage) (sqltypes.Value, error) {
+	var v any
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return sqltypes.Value{}, fmt.Errorf("bad argument %s: %w", raw, err)
+	}
+	switch x := v.(type) {
+	case nil:
+		return sqltypes.NewNull(sqltypes.Unknown), nil
+	case bool:
+		return sqltypes.NewBool(x), nil
+	case string:
+		return sqltypes.NewString(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return sqltypes.NewInt(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+			return sqltypes.Value{}, fmt.Errorf("bad numeric argument %s", x)
+		}
+		return sqltypes.NewFloat(f), nil
+	default:
+		return sqltypes.Value{}, fmt.Errorf("argument %s: arrays and objects are not SQL values", raw)
+	}
+}
+
+// decodeArgs converts a JSON argument list into SQL values.
+func decodeArgs(raw []json.RawMessage) ([]sqltypes.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	args := make([]sqltypes.Value, len(raw))
+	for i, r := range raw {
+		v, err := argValue(r)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return args, nil
+}

@@ -122,6 +122,10 @@ type Expr interface{ expr() }
 // Lit is a literal value.
 type Lit struct{ Val sqltypes.Value }
 
+// Param is a `?` prepared-statement placeholder. Idx is its 1-based position
+// in statement order.
+type Param struct{ Idx int }
+
 // Col is a column reference, optionally qualified.
 type Col struct{ Qual, Name string }
 
@@ -173,6 +177,7 @@ type Call struct {
 }
 
 func (*Lit) expr()      {}
+func (*Param) expr()    {}
 func (*Col) expr()      {}
 func (*Bin) expr()      {}
 func (*Unary) expr()    {}

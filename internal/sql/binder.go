@@ -19,6 +19,64 @@ type Resolver interface {
 // Binder turns parsed statements into logical plans and bound DML actions.
 type Binder struct {
 	Tables Resolver
+	// Params supplies the shared value cells for `?` placeholders. Nil means
+	// placeholders are an error (non-prepared statements).
+	Params *ParamBag
+}
+
+// ParamBag owns the placeholder value cells of one prepared statement. The
+// binder hands out cell i for placeholder ?i, so every occurrence in the
+// bound tree (and every compiled copy of it) shares one cell; BindArgs
+// updates them in place before each execution.
+type ParamBag struct {
+	cells []*expr.Param
+}
+
+// NewParamBag creates the cells for a statement with n placeholders.
+func NewParamBag(n int) *ParamBag {
+	pb := &ParamBag{cells: make([]*expr.Param, n)}
+	for i := range pb.cells {
+		pb.cells[i] = expr.NewParam(i + 1)
+	}
+	return pb
+}
+
+// Len returns the placeholder count.
+func (pb *ParamBag) Len() int { return len(pb.cells) }
+
+// cell returns the shared cell for 1-based placeholder idx.
+func (pb *ParamBag) cell(idx int) (*expr.Param, error) {
+	if idx < 1 || idx > len(pb.cells) {
+		return nil, fmt.Errorf("sql: parameter $%d out of range (statement has %d)", idx, len(pb.cells))
+	}
+	return pb.cells[idx-1], nil
+}
+
+// BindArgs writes the execution's arguments into the cells, coercing each to
+// the type the binder inferred from the placeholder's context (string
+// arguments compared against DATE columns parse as dates, ints widen to
+// float, exactly like literals).
+func (pb *ParamBag) BindArgs(args []sqltypes.Value) error {
+	if len(args) != len(pb.cells) {
+		return fmt.Errorf("sql: statement wants %d argument(s), got %d", len(pb.cells), len(args))
+	}
+	for i, v := range args {
+		if t := pb.cells[i].Type(); t != sqltypes.Unknown {
+			v = coerceLit(v, t)
+		}
+		pb.cells[i].Bind(v)
+	}
+	return nil
+}
+
+// inferParamType fixes an untyped placeholder's type from the context it is
+// used in (the opposite comparison operand, the target column, the BETWEEN
+// subject). First inference wins; later conflicting uses fail the usual type
+// checks instead of silently re-typing the cell.
+func inferParamType(e expr.Expr, from sqltypes.Type) {
+	if p, ok := e.(*expr.Param); ok && p.Type() == sqltypes.Unknown && from != sqltypes.Unknown {
+		p.SetType(from)
+	}
 }
 
 // scopeCol is one visible column during binding.
@@ -588,6 +646,12 @@ func (b *Binder) bindExpr(ast Expr, sc *scope) (expr.Expr, error) {
 	case *Lit:
 		return expr.NewConst(x.Val), nil
 
+	case *Param:
+		if b.Params == nil {
+			return nil, fmt.Errorf("sql: parameter placeholders require a prepared statement (Engine.Prepare)")
+		}
+		return b.Params.cell(x.Idx)
+
 	case *Col:
 		idx, typ, err := sc.resolve(x.Qual, x.Name)
 		if err != nil {
@@ -644,6 +708,7 @@ func (b *Binder) bindExpr(ast Expr, sc *scope) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		inferParamType(e, sqltypes.String)
 		if e.Type() != sqltypes.String {
 			return nil, fmt.Errorf("sql: LIKE requires a string operand")
 		}
@@ -662,6 +727,8 @@ func (b *Binder) bindExpr(ast Expr, sc *scope) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		inferParamType(lo, e.Type())
+		inferParamType(hi, e.Type())
 		lo = coerceConst(lo, e.Type())
 		hi = coerceConst(hi, e.Type())
 		rng := expr.NewAnd(expr.NewCmp(expr.GE, e, lo), expr.NewCmp(expr.LE, e, hi))
@@ -707,6 +774,9 @@ func combineBin(op string, l, r expr.Expr) (expr.Expr, error) {
 		return expr.NewOr(l, r), nil
 	}
 	if c, ok := cmpOps[op]; ok {
+		// Placeholders take the type of the opposite operand.
+		inferParamType(l, r.Type())
+		inferParamType(r, l.Type())
 		// Coerce string literals to dates when compared against DATE.
 		l2, r2 := l, r
 		if l.Type() == sqltypes.Date {
@@ -718,6 +788,8 @@ func combineBin(op string, l, r expr.Expr) (expr.Expr, error) {
 		return expr.NewCmp(c, l2, r2), nil
 	}
 	if a, ok := arithOps[op]; ok {
+		inferParamType(l, r.Type())
+		inferParamType(r, l.Type())
 		if !l.Type().Numeric() || !r.Type().Numeric() {
 			return nil, fmt.Errorf("sql: arithmetic requires numeric operands (got %v %s %v)", l.Type(), op, r.Type())
 		}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"apollo/internal/catalog"
+	"apollo/internal/expr"
 	"apollo/internal/plan"
 	"apollo/internal/sqltypes"
 	"apollo/internal/storage"
@@ -30,7 +32,16 @@ type Engine struct {
 
 	statsOnce  sync.Once
 	statsCache *plan.StatsCache
+	closed     atomic.Bool
 }
+
+// SetClosed marks the engine closed: every subsequent statement fails fast
+// with txn.ErrClosed. DB.Close sets this before tearing down the transaction
+// manager so statements racing Close get a typed error, not a panic.
+func (e *Engine) SetClosed() { e.closed.Store(true) }
+
+// Closed reports whether SetClosed has been called.
+func (e *Engine) Closed() bool { return e.closed.Load() }
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -73,6 +84,9 @@ func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Resu
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if e.closed.Load() {
+		return nil, txn.ErrClosed
+	}
 	if tx != nil {
 		switch st.(type) {
 		case *CreateTable, *DropTable, *Reorganize, *Rebuild:
@@ -97,11 +111,11 @@ func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Resu
 		}
 		return &Result{Message: fmt.Sprintf("dropped table %s", x.Name)}, nil
 	case *Insert:
-		return e.insert(x, tx)
+		return e.insert(x, tx, nil)
 	case *Delete:
-		return e.delete(x, tx)
+		return e.delete(x, tx, nil)
 	case *Update:
-		return e.update(x, tx)
+		return e.update(x, tx, nil)
 	case *Reorganize:
 		t, err := e.Cat.Get(x.Table)
 		if err != nil {
@@ -174,6 +188,40 @@ func (e *Engine) runSelect(ctx context.Context, s *Select, tx *txn.Txn) (*Result
 	return &Result{Schema: c.Schema, Rows: rows, Compiled: c}, nil
 }
 
+// RowSink receives one streamed result set: Schema once, then Row per result
+// row in order. Row arguments may alias executor storage and are valid only
+// for the duration of the call; implementations must copy what they keep. An
+// error from either method aborts the query.
+type RowSink interface {
+	Schema(*sqltypes.Schema) error
+	Row(sqltypes.Row) error
+}
+
+// streamSelect is runSelect with a row sink instead of a materialized result:
+// the serving path's chunked result encoding. The returned Result carries the
+// schema and compiled stats but no rows.
+func (e *Engine) streamSelect(ctx context.Context, s *Select, tx *txn.Txn, sink RowSink) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.closed.Load() {
+		return nil, txn.ErrClosed
+	}
+	view, release := e.queryView(tx)
+	defer release()
+	c, err := e.compile(s, view)
+	if err != nil {
+		return nil, err
+	}
+	if err := sink.Schema(c.Schema); err != nil {
+		return nil, err
+	}
+	if err := c.StreamContext(ctx, sink.Row); err != nil {
+		return nil, err
+	}
+	return &Result{Schema: c.Schema, Compiled: c}, nil
+}
+
 func (e *Engine) explain(s *Select, tx *txn.Txn) (*Result, error) {
 	view, release := e.queryView(tx)
 	defer release()
@@ -226,18 +274,22 @@ func (e *Engine) createTable(ct *CreateTable) (*Result, error) {
 	return &Result{Message: fmt.Sprintf("created table %s", ct.Name)}, nil
 }
 
-// evalLiteralRow evaluates an INSERT row of literal expressions.
-func (e *Engine) evalLiteralRow(t *table.Table, exprs []Expr) (sqltypes.Row, error) {
+// evalLiteralRow evaluates an INSERT row of literal (or parameter)
+// expressions. Placeholders take their target column's type.
+func (e *Engine) evalLiteralRow(t *table.Table, exprs []Expr, bag *ParamBag) (sqltypes.Row, error) {
 	if len(exprs) != t.Schema.Len() {
 		return nil, fmt.Errorf("sql: INSERT has %d values, table %s has %d columns", len(exprs), t.Name, t.Schema.Len())
 	}
-	b := &Binder{Tables: e.Cat}
+	b := &Binder{Tables: e.Cat, Params: bag}
 	empty := &scope{}
 	row := make(sqltypes.Row, len(exprs))
 	for i, ast := range exprs {
 		bound, err := b.bindExpr(ast, empty)
 		if err != nil {
 			return nil, err
+		}
+		if prm, ok := bound.(*expr.Param); ok {
+			prm.SetType(t.Schema.Cols[i].Typ)
 		}
 		v := bound.Eval(nil)
 		row[i] = coerceLit(v, t.Schema.Cols[i].Typ)
@@ -254,14 +306,14 @@ func (e *Engine) dmlErr(err error) error {
 	return err
 }
 
-func (e *Engine) insert(ins *Insert, tx *txn.Txn) (*Result, error) {
+func (e *Engine) insert(ins *Insert, tx *txn.Txn, bag *ParamBag) (*Result, error) {
 	t, err := e.Cat.Get(ins.Table)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]sqltypes.Row, len(ins.Rows))
 	for i, rx := range ins.Rows {
-		row, err := e.evalLiteralRow(t, rx)
+		row, err := e.evalLiteralRow(t, rx, bag)
 		if err != nil {
 			return nil, err
 		}
@@ -294,11 +346,11 @@ func (e *Engine) insert(ins *Insert, tx *txn.Txn) (*Result, error) {
 
 // bindRowPred binds a WHERE clause against a table's schema and returns a
 // row predicate for the DML path.
-func (e *Engine) bindRowPred(t *table.Table, where Expr) (func(sqltypes.Row) bool, error) {
+func (e *Engine) bindRowPred(t *table.Table, where Expr, bag *ParamBag) (func(sqltypes.Row) bool, error) {
 	if where == nil {
 		return func(sqltypes.Row) bool { return true }, nil
 	}
-	b := &Binder{Tables: e.Cat}
+	b := &Binder{Tables: e.Cat, Params: bag}
 	bound, err := b.bindExpr(where, tableScope(t.Name, t))
 	if err != nil {
 		return nil, err
@@ -309,12 +361,12 @@ func (e *Engine) bindRowPred(t *table.Table, where Expr) (func(sqltypes.Row) boo
 	}, nil
 }
 
-func (e *Engine) delete(d *Delete, tx *txn.Txn) (*Result, error) {
+func (e *Engine) delete(d *Delete, tx *txn.Txn, bag *ParamBag) (*Result, error) {
 	t, err := e.Cat.Get(d.Table)
 	if err != nil {
 		return nil, err
 	}
-	pred, err := e.bindRowPred(t, d.Where)
+	pred, err := e.bindRowPred(t, d.Where, bag)
 	if err != nil {
 		return nil, err
 	}
@@ -333,31 +385,18 @@ func (e *Engine) delete(d *Delete, tx *txn.Txn) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (e *Engine) update(u *Update, tx *txn.Txn) (*Result, error) {
+func (e *Engine) update(u *Update, tx *txn.Txn, bag *ParamBag) (*Result, error) {
 	t, err := e.Cat.Get(u.Table)
 	if err != nil {
 		return nil, err
 	}
-	pred, err := e.bindRowPred(t, u.Where)
+	pred, err := e.bindRowPred(t, u.Where, bag)
 	if err != nil {
 		return nil, err
 	}
-	b := &Binder{Tables: e.Cat}
-	sc := tableScope(u.Table, t)
-	cols := make([]int, len(u.Cols))
-	bound := make([]func(sqltypes.Row) sqltypes.Value, len(u.Cols))
-	for i, name := range u.Cols {
-		idx := t.Schema.ColIndex(name)
-		if idx < 0 {
-			return nil, fmt.Errorf("sql: unknown column %q in UPDATE", name)
-		}
-		cols[i] = idx
-		be, err := b.bindExpr(u.Exprs[i], sc)
-		if err != nil {
-			return nil, err
-		}
-		typ := t.Schema.Cols[idx].Typ
-		bound[i] = func(r sqltypes.Row) sqltypes.Value { return coerceLit(be.Eval(r), typ) }
+	cols, bound, err := e.bindSetClauses(t, u, bag)
+	if err != nil {
+		return nil, err
 	}
 	set := func(r sqltypes.Row) sqltypes.Row {
 		vals := make([]sqltypes.Value, len(cols))

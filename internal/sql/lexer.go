@@ -20,7 +20,7 @@ const (
 	tokNumber
 	tokString
 	tokOp    // operators and punctuation
-	tokParam // unused placeholder kinds keep room for extensions
+	tokParam // `?` prepared-statement placeholder
 )
 
 type token struct {
@@ -170,6 +170,10 @@ func (l *lexer) lexOp() error {
 	}
 	c := l.src[l.pos]
 	switch c {
+	case '?':
+		l.pos++
+		l.emit(tokParam, "?")
+		return nil
 	case '(', ')', ',', ';', '.', '*', '=', '<', '>', '+', '-', '/', '%':
 		l.pos++
 		l.emit(tokOp, string(c))

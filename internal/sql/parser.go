@@ -10,26 +10,43 @@ import (
 )
 
 type parser struct {
-	toks []token
-	i    int
+	toks    []token
+	i       int
+	nParams int // `?` placeholders seen, in statement order
 }
 
 // Parse parses one SQL statement (a trailing semicolon is allowed).
+// Placeholders are rejected: use ParseWithParams (Engine.Prepare) for
+// parameterized statements.
 func Parse(src string) (Statement, error) {
-	toks, err := lex(src)
+	st, n, err := ParseWithParams(src)
 	if err != nil {
 		return nil, err
+	}
+	if n > 0 {
+		return nil, fmt.Errorf("sql: statement has %d parameter placeholder(s); use Prepare", n)
+	}
+	return st, nil
+}
+
+// ParseWithParams parses one SQL statement that may contain `?` placeholders,
+// returning the placeholder count. Placeholders are numbered 1..n in the
+// order they appear.
+func ParseWithParams(src string) (Statement, int, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, 0, err
 	}
 	p := &parser{toks: toks}
 	st, err := p.statement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.accept(tokOp, ";")
 	if !p.at(tokEOF, "") {
-		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+		return nil, 0, p.errf("unexpected trailing input %q", p.cur().text)
 	}
-	return st, nil
+	return st, p.nParams, nil
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -733,6 +750,11 @@ var dateFuncs = map[string]bool{"YEAR": true, "MONTH": true, "DAY": true}
 func (p *parser) primary() (Expr, error) {
 	t := p.cur()
 	switch {
+	case t.kind == tokParam:
+		p.next()
+		p.nParams++
+		return &Param{Idx: p.nParams}, nil
+
 	case t.kind == tokNumber:
 		p.next()
 		if strings.Contains(t.text, ".") {

@@ -71,13 +71,39 @@ func (s *Session) ExecStmtContext(ctx context.Context, st Statement) (*Result, e
 		return nil, txn.ErrClosed
 	}
 	res, err := s.e.execStmt(ctx, st, s.tx)
+	s.noteDMLErr(ctx, err)
+	return res, err
+}
+
+// noteDMLErr applies the session's conflict policy to a statement error: on
+// ErrWriteConflict the transaction is already poisoned (first-writer-wins
+// discarded the losing write), so release its snapshot now — the client
+// retries from BEGIN.
+func (s *Session) noteDMLErr(ctx context.Context, err error) {
 	if err != nil && s.tx != nil && errors.Is(err, table.ErrWriteConflict) {
-		// First-writer-wins already discarded the losing write; the rest of
-		// the transaction cannot proceed, so release its snapshot now.
 		s.tx.Rollback(ctx)
 		s.tx = nil
 	}
-	return res, err
+}
+
+// StreamContext parses and executes one statement; a SELECT's rows are
+// delivered to sink as they are produced instead of materialized (the
+// returned Result then has no Rows). Any other statement executes exactly as
+// in ExecStmtContext and sink is not called.
+func (s *Session) StreamContext(ctx context.Context, src string, sink RowSink) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return s.ExecStmtContext(ctx, st)
+	}
+	if s.tx != nil && s.tx.Done() {
+		s.tx = nil
+		return nil, txn.ErrClosed
+	}
+	return s.e.streamSelect(ctx, sel, s.tx, sink)
 }
 
 func (s *Session) begin(ctx context.Context) (*Result, error) {

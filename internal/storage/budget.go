@@ -1,0 +1,48 @@
+package storage
+
+import "sync/atomic"
+
+// Budget is a byte budget shared by several buffer pools. A multi-tenant
+// process attaches one Budget to every tenant's Store (SetCacheBudget) so all
+// block/segment caches in the process draw from one memory pool instead of
+// each sizing its own: a hot tenant can use most of the pool while idle
+// tenants hold almost nothing, and the process-wide cache footprint stays
+// bounded no matter how many databases are open.
+//
+// Reservation is strict (TryReserve never overshoots the cap); fairness is
+// left to the stores: a store that cannot reserve evicts its own LRU tail
+// first and, if its cache is already empty, simply skips caching that read.
+// Eviction pressure therefore lands on the store doing the inserting, which
+// approximates global LRU well enough under skewed tenant traffic without a
+// cross-store lock.
+type Budget struct {
+	cap  int64
+	used atomic.Int64
+}
+
+// NewBudget creates a budget of cap bytes. A non-positive cap admits nothing
+// (every TryReserve fails), which disables caching on attached stores.
+func NewBudget(cap int64) *Budget { return &Budget{cap: cap} }
+
+// TryReserve atomically reserves n bytes, reporting whether the reservation
+// fit under the cap.
+func (b *Budget) TryReserve(n int64) bool {
+	for {
+		used := b.used.Load()
+		if used+n > b.cap {
+			return false
+		}
+		if b.used.CompareAndSwap(used, used+n) {
+			return true
+		}
+	}
+}
+
+// Release returns n previously reserved bytes.
+func (b *Budget) Release(n int64) { b.used.Add(-n) }
+
+// Cap returns the budget capacity in bytes.
+func (b *Budget) Cap() int64 { return b.cap }
+
+// Used returns the currently reserved bytes.
+func (b *Budget) Used() int64 { return b.used.Load() }

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// putAndGet writes a blob and immediately reads it back, which populates the
+// buffer pool (Put does not cache; the first Get does).
+func putAndGet(t *testing.T, s *Store, n int) BlobID {
+	t.Helper()
+	data := bytes.Repeat([]byte{0xAB}, n)
+	id, err := s.Put(data, None)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.Get(id); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	return id
+}
+
+func TestBudgetSharedAcrossStores(t *testing.T) {
+	b := NewBudget(1000)
+	a := NewStore(0)
+	c := NewStore(0)
+	a.SetCacheBudget(b)
+	c.SetCacheBudget(b)
+
+	// Fill most of the budget from store a, then insert from store c: the
+	// combined reservation must never exceed the cap.
+	for i := 0; i < 4; i++ {
+		putAndGet(t, a, 200)
+	}
+	for i := 0; i < 4; i++ {
+		putAndGet(t, c, 200)
+	}
+	if used := b.Used(); used > b.Cap() {
+		t.Fatalf("budget overshot: used %d > cap %d", used, b.Cap())
+	}
+	if b.Used() == 0 {
+		t.Fatal("nothing cached under the shared budget")
+	}
+}
+
+func TestBudgetEvictionReleases(t *testing.T) {
+	b := NewBudget(500)
+	s := NewStore(0)
+	s.SetCacheBudget(b)
+
+	// Each entry is 200 bytes; the third insert must evict the LRU tail and
+	// release its reservation rather than failing or overshooting.
+	ids := make([]BlobID, 3)
+	for i := range ids {
+		ids[i] = putAndGet(t, s, 200)
+	}
+	if used := b.Used(); used > b.Cap() {
+		t.Fatalf("budget overshot after eviction: used %d > cap %d", used, b.Cap())
+	}
+	// Oldest entry must have been evicted: reading it is a cache miss.
+	before := s.Stats().CacheMisses
+	if _, err := s.Get(ids[0]); err != nil {
+		t.Fatalf("Get evicted blob: %v", err)
+	}
+	if after := s.Stats().CacheMisses; after != before+1 {
+		t.Fatalf("expected a cache miss on the evicted blob (misses %d -> %d)", before, after)
+	}
+
+	// Delete and EvictAll must hand bytes back to the budget.
+	s.EvictAll()
+	if used := b.Used(); used != 0 {
+		t.Fatalf("EvictAll left %d bytes reserved", used)
+	}
+}
+
+func TestBudgetStarvedStoreSkipsCaching(t *testing.T) {
+	b := NewBudget(300)
+	hog := NewStore(0)
+	poor := NewStore(0)
+	hog.SetCacheBudget(b)
+	poor.SetCacheBudget(b)
+
+	putAndGet(t, hog, 300) // hog takes the whole budget
+	id := putAndGet(t, poor, 100)
+
+	// poor has no LRU tail of its own to evict, so the read stays uncached:
+	// a second Get misses again instead of deadlocking or overshooting.
+	before := poor.Stats().CacheMisses
+	if _, err := poor.Get(id); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if after := poor.Stats().CacheMisses; after != before+1 {
+		t.Fatalf("starved store unexpectedly cached (misses %d -> %d)", before, after)
+	}
+	if used := b.Used(); used != 300 {
+		t.Fatalf("budget used = %d, want 300 (hog only)", used)
+	}
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	b := NewBudget(4096)
+	stores := make([]*Store, 4)
+	for i := range stores {
+		stores[i] = NewStore(0)
+		stores[i].SetCacheBudget(b)
+	}
+	var wg sync.WaitGroup
+	for _, s := range stores {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			ids := make([]BlobID, 0, 16)
+			for i := 0; i < 16; i++ {
+				ids = append(ids, putAndGet(t, s, 256))
+			}
+			for _, id := range ids {
+				if _, err := s.Get(id); err != nil {
+					t.Errorf("Get: %v", err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if used := b.Used(); used > b.Cap() {
+		t.Fatalf("budget overshot under concurrency: used %d > cap %d", used, b.Cap())
+	}
+	for _, s := range stores {
+		s.EvictAll()
+	}
+	if used := b.Used(); used != 0 {
+		t.Fatalf("evicting all stores left %d bytes reserved", used)
+	}
+}

@@ -72,11 +72,14 @@ type Store struct {
 	meta   map[BlobID]blobMeta
 	nextID uint64
 
-	// Buffer pool: LRU over decompressed blob bytes.
+	// Buffer pool: LRU over decompressed blob bytes. With a shared budget
+	// attached, capacity checks go through it instead of cacheCap, so every
+	// store sharing the budget competes for one process-wide pool.
 	cacheCap   int64
 	cacheBytes int64
 	cache      map[BlobID]*list.Element
 	lru        *list.List // front = most recent; values are *cacheEntry
+	budget     *Budget    // nil = private pool of cacheCap bytes
 
 	// statsMu serializes Stats against ResetStats so a snapshot taken during
 	// a reset never mixes pre- and post-reset counters. Hot-path increments
@@ -99,8 +102,9 @@ type Store struct {
 }
 
 type cacheEntry struct {
-	id   BlobID
-	data []byte
+	id       BlobID
+	data     []byte
+	budgeted bool // bytes reserved from the shared budget, not the private cap
 }
 
 // DefaultBufferPoolBytes is the default buffer pool capacity.
@@ -116,6 +120,16 @@ func NewStore(bufferPoolBytes int64) *Store {
 		cache:    make(map[BlobID]*list.Element),
 		lru:      list.New(),
 	}
+}
+
+// SetCacheBudget attaches a shared cache budget: the buffer pool's capacity
+// checks go through the budget (shared with other stores) instead of the
+// store's private cap. Attach before the store sees traffic; entries cached
+// earlier keep their private accounting until evicted.
+func (s *Store) SetCacheBudget(b *Budget) {
+	s.mu.Lock()
+	s.budget = b
+	s.mu.Unlock()
 }
 
 // SetFaultInjector attaches (or, with nil, removes) a fault injector on the
@@ -293,26 +307,59 @@ func (s *Store) readOnce(id BlobID, onDisk []byte, meta blobMeta) ([]byte, error
 }
 
 func (s *Store) cacheInsert(id BlobID, data []byte) {
-	if s.cacheCap <= 0 || int64(len(data)) > s.cacheCap {
-		return
-	}
+	n := int64(len(data))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.cache[id]; ok {
 		return
 	}
-	el := s.lru.PushFront(&cacheEntry{id: id, data: data})
-	s.cache[id] = el
-	s.cacheBytes += int64(len(data))
-	for s.cacheBytes > s.cacheCap {
-		back := s.lru.Back()
-		if back == nil {
-			break
+	if s.budget != nil {
+		if n > s.budget.Cap() {
+			return
 		}
-		e := back.Value.(*cacheEntry)
-		s.lru.Remove(back)
-		delete(s.cache, e.id)
-		s.cacheBytes -= int64(len(e.data))
+		// Make room from our own LRU tail first; if our cache is already
+		// empty the budget is held by other stores and this read stays
+		// uncached (their entries age out under their own insert pressure).
+		for !s.budget.TryReserve(n) {
+			if !s.evictTailLocked() {
+				return
+			}
+		}
+	} else if s.cacheCap <= 0 || n > s.cacheCap {
+		return
+	}
+	el := s.lru.PushFront(&cacheEntry{id: id, data: data, budgeted: s.budget != nil})
+	s.cache[id] = el
+	s.cacheBytes += n
+	if s.budget == nil {
+		for s.cacheBytes > s.cacheCap {
+			if !s.evictTailLocked() {
+				break
+			}
+		}
+	}
+}
+
+// evictTailLocked drops the LRU tail entry, returning false when the cache
+// is empty. Caller holds s.mu.
+func (s *Store) evictTailLocked() bool {
+	back := s.lru.Back()
+	if back == nil {
+		return false
+	}
+	s.removeEntryLocked(back)
+	return true
+}
+
+// removeEntryLocked unlinks one cache entry and returns its bytes to
+// whichever pool accounted them. Caller holds s.mu.
+func (s *Store) removeEntryLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	s.lru.Remove(el)
+	delete(s.cache, e.id)
+	s.cacheBytes -= int64(len(e.data))
+	if e.budgeted && s.budget != nil {
+		s.budget.Release(int64(len(e.data)))
 	}
 }
 
@@ -323,10 +370,7 @@ func (s *Store) Delete(id BlobID) {
 	delete(s.blobs, id)
 	delete(s.meta, id)
 	if el, ok := s.cache[id]; ok {
-		e := el.Value.(*cacheEntry)
-		s.lru.Remove(el)
-		delete(s.cache, id)
-		s.cacheBytes -= int64(len(e.data))
+		s.removeEntryLocked(el)
 	}
 	s.mu.Unlock()
 	if b := s.backing.Load(); b != nil {
@@ -360,6 +404,8 @@ func (s *Store) SizeOnDisk() int64 {
 func (s *Store) EvictAll() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for s.evictTailLocked() {
+	}
 	s.cache = make(map[BlobID]*list.Element)
 	s.lru.Init()
 	s.cacheBytes = 0

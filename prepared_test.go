@@ -1,0 +1,162 @@
+package apollo
+
+import (
+	"context"
+	"testing"
+)
+
+func preparedDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(DefaultConfig())
+	t.Cleanup(db.Close)
+	db.MustExec(`CREATE TABLE events (id BIGINT, kind VARCHAR, amount DOUBLE, sold DATE)`)
+	db.MustExec(`INSERT INTO events VALUES
+		(1, 'click', 1.5, DATE '2013-06-01'),
+		(2, 'view',  2.5, DATE '2013-06-02'),
+		(3, 'click', 3.5, DATE '2013-06-03'),
+		(4, 'buy',  10.0, DATE '2013-06-04')`)
+	return db
+}
+
+func TestPreparedSelectReuse(t *testing.T) {
+	db := preparedDB(t)
+	st, err := db.Prepare(`SELECT id, amount FROM events WHERE kind = ? AND amount > ? ORDER BY id`)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if got := st.NumParams(); got != 2 {
+		t.Fatalf("NumParams = %d, want 2", got)
+	}
+	res, err := st.Exec(NewString("click"), NewFloat(1.0))
+	if err != nil {
+		t.Fatalf("Exec 1: %v", err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 1 || res.Rows[1][0].I != 3 {
+		t.Fatalf("Exec 1 rows = %v", res.Rows)
+	}
+	// Different arguments on the same plan.
+	res, err = st.Exec(NewString("buy"), NewFloat(5.0))
+	if err != nil {
+		t.Fatalf("Exec 2: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 4 {
+		t.Fatalf("Exec 2 rows = %v", res.Rows)
+	}
+	// Reuse must see rows inserted after Prepare (snapshot rebind).
+	db.MustExec(`INSERT INTO events VALUES (5, 'click', 9.0, DATE '2013-06-05')`)
+	res, err = st.Exec(NewString("click"), NewFloat(1.0))
+	if err != nil {
+		t.Fatalf("Exec 3: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("Exec 3 rows = %v, want 3 rows including the new insert", res.Rows)
+	}
+}
+
+func TestPreparedDateParam(t *testing.T) {
+	db := preparedDB(t)
+	st, err := db.Prepare(`SELECT COUNT(*) FROM events WHERE sold >= ?`)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	// A string argument against a DATE column must parse as a date.
+	res, err := st.Exec(NewString("2013-06-03"))
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("count = %v, want 2", res.Rows[0][0])
+	}
+	// Prepared aggregation must not serve a compile-time metadata answer.
+	db.MustExec(`INSERT INTO events VALUES (6, 'view', 1.0, DATE '2013-06-09')`)
+	res, err = st.Exec(NewString("2013-06-03"))
+	if err != nil {
+		t.Fatalf("Exec 2: %v", err)
+	}
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("count after insert = %v, want 3", res.Rows[0][0])
+	}
+}
+
+func TestPreparedDML(t *testing.T) {
+	db := preparedDB(t)
+	ins, err := db.Prepare(`INSERT INTO events VALUES (?, ?, ?, ?)`)
+	if err != nil {
+		t.Fatalf("Prepare INSERT: %v", err)
+	}
+	for i := int64(10); i < 13; i++ {
+		res, err := ins.Exec(NewInt(i), NewString("bulk"), NewFloat(float64(i)), NewString("2013-07-01"))
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if res.Affected != 1 {
+			t.Fatalf("insert %d affected = %d", i, res.Affected)
+		}
+	}
+	upd, err := db.Prepare(`UPDATE events SET amount = ? WHERE kind = ?`)
+	if err != nil {
+		t.Fatalf("Prepare UPDATE: %v", err)
+	}
+	res, err := upd.Exec(NewFloat(0.5), NewString("bulk"))
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if res.Affected != 3 {
+		t.Fatalf("update affected = %d, want 3", res.Affected)
+	}
+	del, err := db.Prepare(`DELETE FROM events WHERE id = ?`)
+	if err != nil {
+		t.Fatalf("Prepare DELETE: %v", err)
+	}
+	if res, err = del.Exec(NewInt(11)); err != nil || res.Affected != 1 {
+		t.Fatalf("delete: affected=%d err=%v", res.Affected, err)
+	}
+	q := db.MustExec(`SELECT COUNT(*), SUM(amount) FROM events WHERE kind = 'bulk'`)
+	if q.Rows[0][0].I != 2 || q.Rows[0][1].F != 1.0 {
+		t.Fatalf("final state = %v", q.Rows)
+	}
+}
+
+func TestPreparedInTransaction(t *testing.T) {
+	db := preparedDB(t)
+	st, err := db.Prepare(`INSERT INTO events VALUES (?, 'txn', 1.0, DATE '2013-08-01')`)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	sess := db.Session()
+	defer sess.Close()
+	ctx := context.Background()
+	if _, err := sess.Exec(`BEGIN`); err != nil {
+		t.Fatalf("BEGIN: %v", err)
+	}
+	if _, err := sess.ExecPrepared(ctx, st, NewInt(100)); err != nil {
+		t.Fatalf("ExecPrepared: %v", err)
+	}
+	// Uncommitted: invisible to autocommit readers.
+	if r := db.MustExec(`SELECT COUNT(*) FROM events WHERE kind = 'txn'`); r.Rows[0][0].I != 0 {
+		t.Fatalf("uncommitted insert visible: %v", r.Rows)
+	}
+	if _, err := sess.Exec(`COMMIT`); err != nil {
+		t.Fatalf("COMMIT: %v", err)
+	}
+	if r := db.MustExec(`SELECT COUNT(*) FROM events WHERE kind = 'txn'`); r.Rows[0][0].I != 1 {
+		t.Fatalf("committed insert missing: %v", r.Rows)
+	}
+}
+
+func TestPreparedErrors(t *testing.T) {
+	db := preparedDB(t)
+	if _, err := db.Exec(`SELECT * FROM events WHERE id = ?`); err == nil {
+		t.Fatal("placeholder through Exec should error")
+	}
+	if _, err := db.Prepare(`SELECT * FROM nosuch WHERE id = ?`); err == nil {
+		t.Fatal("Prepare against a missing table should error")
+	}
+	st, err := db.Prepare(`SELECT * FROM events WHERE id = ?`)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if _, err := st.Exec(); err == nil {
+		t.Fatal("wrong argument count should error")
+	}
+}

@@ -47,11 +47,90 @@ func (s *Session) ExecContext(ctx context.Context, stmt string) (*Result, error)
 	return convertResult(r), nil
 }
 
+// ExecPrepared executes a prepared statement inside the session's open
+// transaction, if any.
+func (s *Session) ExecPrepared(ctx context.Context, st *Stmt, args ...Value) (*Result, error) {
+	r, err := s.s.ExecPrepared(ctx, st.p, args...)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
+
+// StreamPrepared is ExecPrepared with a row sink: a prepared SELECT's rows
+// stream to sink as they are produced (the returned Result has no Rows); any
+// other statement executes as ExecPrepared and sink is never called.
+func (s *Session) StreamPrepared(ctx context.Context, st *Stmt, sink RowSink, args ...Value) (*Result, error) {
+	r, err := s.s.StreamPrepared(ctx, st.p, sink, args...)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
+
+// RowSink receives a streamed SELECT: Schema is called once, then Row once
+// per result row as it is produced. Rows alias executor storage and are only
+// valid for the duration of the call; implementations must copy what they
+// keep. An error from either method aborts the query and is returned from
+// StreamContext.
+type RowSink = sql.RowSink
+
+// StreamContext parses and executes one statement; a SELECT's rows are
+// delivered to sink as they are produced instead of materialized in the
+// Result (whose Rows is then nil). Any other statement executes exactly as
+// ExecContext and sink is never called. This is the serving path: results
+// flow to the wire without an O(result) buffer.
+func (s *Session) StreamContext(ctx context.Context, stmt string, sink RowSink) (*Result, error) {
+	r, err := s.s.StreamContext(ctx, stmt, sink)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
+
 // InTxn reports whether the session has an open transaction.
 func (s *Session) InTxn() bool { return s.s.InTxn() }
 
 // Close rolls back any open transaction.
 func (s *Session) Close() { s.s.Close(context.Background()) }
+
+// Stmt is a prepared, parameterized statement (`?` placeholders): parsed,
+// bound, and — for SELECTs — compiled once, then executed many times with
+// different arguments. SELECT executions re-point the compiled plan's scans
+// at a fresh snapshot, so reuse never reads stale data. A Stmt serializes
+// its executions internally.
+type Stmt struct {
+	p *sql.Prepared
+}
+
+// Prepare parses, binds, and compiles a statement with `?` placeholders.
+// Binding and planning errors surface here rather than at execution.
+func (db *DB) Prepare(src string) (*Stmt, error) {
+	p, err := db.engine.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{p: p}, nil
+}
+
+// NumParams returns the placeholder count.
+func (st *Stmt) NumParams() int { return st.p.NumParams() }
+
+// Exec executes the statement in autocommit under a background context.
+func (st *Stmt) Exec(args ...Value) (*Result, error) {
+	return st.ExecContext(context.Background(), args...)
+}
+
+// ExecContext executes the statement in autocommit with the given arguments,
+// one per placeholder in statement order. Arguments coerce like literals
+// (strings parse as dates against DATE columns, ints widen to float).
+func (st *Stmt) ExecContext(ctx context.Context, args ...Value) (*Result, error) {
+	r, err := st.p.ExecContext(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
 
 // Tx is an open transaction: statements executed through it see one snapshot
 // (plus the transaction's own writes) and become visible atomically at
