@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke serve-smoke cover check crash crash-full bench bench-smoke bench-parallel bench-wal bench-mvcc clean
+.PHONY: all build test vet race fuzz-smoke serve-smoke cover check crash crash-full bench bench-smoke bench-parallel bench-wal bench-mvcc bench-load bench-load-smoke clean
 
 all: check
 
@@ -20,16 +20,19 @@ vet:
 # layer leans on, and the serving layer (wire handlers, session reaper,
 # admission broker, tenant handle cache).
 race:
-	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql ./internal/plan ./internal/expr ./internal/colstore ./internal/txn ./internal/wal ./internal/server ./internal/server/broker ./internal/server/tenant
+	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql ./internal/plan ./internal/expr ./internal/colstore ./internal/txn ./internal/wal ./internal/server ./internal/server/broker ./internal/server/tenant ./internal/load
 
 # Short seeded-corpus fuzz run over the encoding round-trip/robustness targets
-# (bitpack, RLE, dictionary). Seconds per target: enough to catch regressions
-# in the untrusted-input bounds checks without stalling CI.
+# (bitpack, RLE, dictionary), the WAL record codec, and the bulk-load input
+# decoders (CSV, length-prefixed binary). Seconds per target: enough to catch
+# regressions in the untrusted-input bounds checks without stalling CI.
 fuzz-smoke:
 	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzBitpackRoundtrip -fuzztime=5s
 	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzRLERoundtrip -fuzztime=5s
 	$(GO) test ./internal/encoding -run='^$$' -fuzz=FuzzDictRoundtrip -fuzztime=5s
 	$(GO) test ./internal/wal -run='^$$' -fuzz=FuzzWALRecord -fuzztime=5s
+	$(GO) test ./internal/load -run='^$$' -fuzz=FuzzCSVLoad -fuzztime=5s
+	$(GO) test ./internal/load -run='^$$' -fuzz=FuzzBinaryLoad -fuzztime=5s
 
 # Serving acceptance: build the real apollod binary, start it with two
 # tenants sharing one process and one memory budget, and drive the HTTP API
@@ -42,13 +45,16 @@ serve-smoke:
 # offsets and verify recovery lands on an exact committed prefix (zero
 # acknowledged loss under fsync=always), plus the multi-writer matrix where
 # concurrent transactional sessions must recover atomically (no torn
-# transactions, rollbacks never resurface). `make crash-full` runs the
-# 64-point single-writer and 16-point multi-writer matrices.
+# transactions, rollbacks never resurface), plus the bulk-load matrix where
+# kills land inside atomic row-group publishes (whole group or none, never
+# torn; acknowledged loads survive at fsync=always). `make crash-full` runs
+# the 64-point single-writer, 16-point multi-writer, and 24-point bulk-load
+# matrices.
 crash:
-	$(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix' -count=1 .
+	$(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix|TestBulkLoadCrashMatrix' -count=1 .
 
 crash-full:
-	APOLLO_CRASH_FULL=1 $(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix' -count=1 -v .
+	APOLLO_CRASH_FULL=1 $(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix|TestBulkLoadCrashMatrix' -count=1 -v .
 
 # Per-package statement coverage. internal/metrics (the observability core,
 # locked in by this repo's golden/invariant suites) has a hard 70% floor;
@@ -67,8 +73,9 @@ cover:
 		}'
 
 # Full CI gate: build, vet, tests (incl. golden plans + metrics invariants),
-# race detector, fuzz smoke, serving smoke, crash matrix, coverage floor.
-check: build vet test race fuzz-smoke serve-smoke crash cover
+# race detector, fuzz smoke, serving smoke, crash matrix, bulk-load parity
+# sweep, coverage floor.
+check: build vet test race fuzz-smoke serve-smoke crash bench-load-smoke cover
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -92,6 +99,16 @@ bench-wal:
 # the group-commit path (see BENCH_mvcc.json for recorded numbers).
 bench-mvcc:
 	$(GO) test -bench='BenchmarkMVCCSessions' -benchtime=1x -run=^$$ .
+
+# Bulk-load ingest sweep: COPY a 120k-row CSV straight into compressed row
+# groups, then the same pipeline at fixed batch sizes plus one adaptive run,
+# recorded to BENCH_bulkload.json. Every leg is parity-gated.
+bench-load:
+	APOLLO_BENCH_BULKLOAD=BENCH_bulkload.json $(GO) test -run='^TestBulkLoadSweep$$' -count=1 -v .
+
+# CI smoke: the same sweep and parity gates without recording.
+bench-load-smoke:
+	$(GO) test -run='^TestBulkLoadSweep$$' -count=1 .
 
 clean:
 	$(GO) clean -testcache

@@ -258,6 +258,9 @@ func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog, w *wal.Writer
 	if cfg.NoReorder {
 		topts.Columnstore.Reorder = false
 	}
+	// Bulk loads compress per-column segments concurrently with the same DOP
+	// queries get (<=1 keeps the serial build).
+	topts.Columnstore.BuildParallel = cfg.Parallel
 
 	db := &DB{cfg: cfg, store: store, cat: cat, wal: w}
 	db.rngSeed = cfg.RandSeed

@@ -1,0 +1,188 @@
+package apollo_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"apollo"
+)
+
+// The bulk-load sweep: COPY a ≥100k-row CSV file straight into compressed
+// row groups, then drive the same pipeline at fixed batch sizes and once
+// with the adaptive controller. Every leg is parity-gated (exact COUNT and
+// SUM against closed-form values), so `make bench-load-smoke` fails CI if
+// the fast path drops, duplicates, or mangles rows. With
+// APOLLO_BENCH_BULKLOAD=<path> the sweep is recorded as JSON
+// (`make bench-load` writes BENCH_bulkload.json).
+
+const (
+	benchLoadRows      = 120_000
+	benchRowGroupSize  = 16384
+	benchBulkThreshold = 4096
+)
+
+// benchLoadCSV renders rows [0, n): id, id%97, and a 50-value string column
+// so dictionary encoding has something to chew on.
+func benchLoadCSV(n int) string {
+	var sb strings.Builder
+	sb.Grow(n * 16)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d,%d,v-%d\n", i, i%97, i%50)
+	}
+	return sb.String()
+}
+
+// benchParityGate checks the loaded table against closed-form aggregates.
+func benchParityGate(t *testing.T, db *apollo.DB, table string, n int) {
+	t.Helper()
+	res, err := db.Query(fmt.Sprintf("SELECT COUNT(*), SUM(id), SUM(grp) FROM %s", table))
+	if err != nil {
+		t.Fatalf("parity query on %s: %v", table, err)
+	}
+	wantSum := int64(n) * int64(n-1) / 2
+	var wantGrp int64
+	for i := 0; i < n; i++ {
+		wantGrp += int64(i % 97)
+	}
+	got := res.Rows[0]
+	if got[0].I != int64(n) || got[1].I != wantSum || got[2].I != wantGrp {
+		t.Fatalf("parity gate failed on %s: COUNT=%d SUM(id)=%d SUM(grp)=%d, want %d/%d/%d",
+			table, got[0].I, got[1].I, got[2].I, n, wantSum, wantGrp)
+	}
+}
+
+type benchSweepEntry struct {
+	BatchRows  int     `json:"batch_rows"` // 0 = adaptive
+	Rows       int     `json:"rows"`
+	Direct     int     `json:"direct"`
+	Delta      int     `json:"delta"`
+	Groups     int     `json:"groups"`
+	Seconds    float64 `json:"seconds"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	FinalTgt   int     `json:"final_target,omitempty"` // adaptive leg only
+	Batches    int     `json:"batches"`
+}
+
+func TestBulkLoadSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bulk-load sweep moves ~600k rows; skipped in -short")
+	}
+	cfg := apollo.DefaultConfig()
+	cfg.TupleMoverInterval = 0
+	cfg.FsyncPolicy = "off" // measure the pipeline, not the disk
+	db, err := apollo.OpenDir(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	withOpts := fmt.Sprintf("WITH (rowgroup_size=%d, bulk_threshold=%d)", benchRowGroupSize, benchBulkThreshold)
+	csv := benchLoadCSV(benchLoadRows)
+
+	// Leg 1 — SQL COPY from a file: the acceptance path. ≥100k rows must
+	// land as compressed row groups directly, with the delta store only
+	// catching a sub-threshold tail.
+	path := filepath.Join(t.TempDir(), "bench.csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE cp (id BIGINT, grp BIGINT, v VARCHAR) " + withOpts); err != nil {
+		t.Fatal(err)
+	}
+	copyStart := time.Now()
+	res, err := db.Exec(fmt.Sprintf("COPY cp FROM '%s' WITH (format='csv')", path))
+	if err != nil {
+		t.Fatalf("COPY: %v", err)
+	}
+	copySecs := time.Since(copyStart).Seconds()
+	if res.Affected != benchLoadRows {
+		t.Fatalf("COPY affected %d rows, want %d", res.Affected, benchLoadRows)
+	}
+	tb, err := db.Table("cp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tb.Stats()
+	if st.DeltaRows >= benchBulkThreshold {
+		t.Fatalf("COPY left %d rows in the delta store (want < %d: direct path only, sub-threshold tail at most)",
+			st.DeltaRows, benchBulkThreshold)
+	}
+	if st.CompressedRows != benchLoadRows-st.DeltaRows || st.CompressedGroups == 0 {
+		t.Fatalf("COPY compressed %d rows in %d groups, want %d", st.CompressedRows, st.CompressedGroups, benchLoadRows-st.DeltaRows)
+	}
+	benchParityGate(t, db, "cp", benchLoadRows)
+	copyEntry := benchSweepEntry{
+		BatchRows: benchRowGroupSize, Rows: benchLoadRows,
+		Direct: st.CompressedRows, Delta: st.DeltaRows, Groups: st.CompressedGroups,
+		Seconds: copySecs, RowsPerSec: float64(benchLoadRows) / copySecs,
+	}
+
+	// Legs 2..n — fixed batch sizes through the embedded API, then one
+	// adaptive run. The sweep needs rows/sec at ≥2 batch sizes on record.
+	ctx := context.Background()
+	sweep := []benchSweepEntry{}
+	for _, batch := range []int{benchBulkThreshold, benchBulkThreshold * 2, benchRowGroupSize, 0} {
+		table := fmt.Sprintf("ld_%d", batch)
+		if _, err := db.Exec(fmt.Sprintf("CREATE TABLE %s (id BIGINT, grp BIGINT, v VARCHAR) %s", table, withOpts)); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		lres, err := db.Load(ctx, apollo.LoadOptions{
+			Table:     table,
+			Reader:    strings.NewReader(csv),
+			BatchRows: batch,
+		})
+		if err != nil {
+			t.Fatalf("load batch=%d: %v", batch, err)
+		}
+		secs := time.Since(start).Seconds()
+		if lres.RowsLoaded != benchLoadRows || len(lres.DeadLetters) != 0 {
+			t.Fatalf("load batch=%d: %d rows, %d dead letters", batch, lres.RowsLoaded, len(lres.DeadLetters))
+		}
+		if lres.RowsDelta >= benchBulkThreshold {
+			t.Fatalf("load batch=%d left %d delta rows, want < %d", batch, lres.RowsDelta, benchBulkThreshold)
+		}
+		benchParityGate(t, db, table, benchLoadRows)
+		e := benchSweepEntry{
+			BatchRows: batch, Rows: lres.RowsLoaded,
+			Direct: lres.RowsDirect, Delta: lres.RowsDelta, Groups: lres.Groups,
+			Seconds: secs, RowsPerSec: float64(lres.RowsLoaded) / secs,
+			Batches: len(lres.Batches),
+		}
+		if batch == 0 {
+			e.FinalTgt = lres.FinalTarget
+		}
+		sweep = append(sweep, e)
+	}
+
+	out := os.Getenv("APOLLO_BENCH_BULKLOAD")
+	if out == "" {
+		return // smoke mode: parity gates passed, nothing to record
+	}
+	doc := map[string]any{
+		"bench":       "bulkload",
+		"date":        time.Now().UTC().Format("2006-01-02"),
+		"rows":        benchLoadRows,
+		"schema":      "id BIGINT, grp BIGINT, v VARCHAR",
+		"table_opts":  map[string]int{"rowgroup_size": benchRowGroupSize, "bulk_threshold": benchBulkThreshold},
+		"fsync":       "off",
+		"copy":        copyEntry,
+		"sweep":       sweep,
+		"note":        "single-process sweep on the CI host; relative shape matters, absolute rows/sec does not",
+		"adaptive_at": sweep[len(sweep)-1].FinalTgt,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recorded sweep to %s", out)
+}

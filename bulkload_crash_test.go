@@ -1,0 +1,149 @@
+package apollo_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"apollo"
+	"apollo/internal/wal/crashtest"
+)
+
+// bulkRecovered recovers a bulk-load crash directory and returns the number
+// of recovered rows N after asserting the structural invariants that hold at
+// ANY crash point:
+//
+//   - the recovered ids are exactly [0, N): the loader fed one contiguous
+//     ascending sequence, group publishes are atomic, and WAL replay is
+//     ordered, so there are never holes or duplicates;
+//   - the compressed portion is whole groups only: CompressedRows is a
+//     multiple of the group size and never exceeds the direct phase — a torn
+//     TGroupPublish must vanish entirely, not surface as a partial group;
+//   - physical placement survives recovery: direct rows are compressed,
+//     fallback rows are delta (the tuple mover is off, so nothing migrates).
+//
+// N == -1 means the table itself never became durable, legitimate only when
+// nothing was acknowledged (the caller checks).
+func bulkRecovered(t *testing.T, dir, policy string) int {
+	t.Helper()
+	db, err := apollo.OpenDir(dir, crashtest.BulkConfig(policy))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer db.Close()
+	tb, err := db.Table("bl")
+	if err != nil {
+		return -1
+	}
+	res, err := db.Query("SELECT id FROM bl")
+	if err != nil {
+		t.Fatalf("query after recovery: %v", err)
+	}
+	ids := make([]int64, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		ids = append(ids, r[0].I)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("recovered ids are not a contiguous prefix: ids[%d] = %d (a hole means a torn group or reordered replay)", i, id)
+		}
+	}
+	n := len(ids)
+
+	directRows := crashtest.BulkRounds * crashtest.BulkGroupRows
+	wantCompressed := n
+	if wantCompressed > directRows {
+		wantCompressed = directRows
+	}
+	st := tb.Stats()
+	if st.CompressedRows%crashtest.BulkGroupRows != 0 {
+		t.Fatalf("torn row group survived recovery: %d compressed rows is not a multiple of %d",
+			st.CompressedRows, crashtest.BulkGroupRows)
+	}
+	if st.CompressedRows != wantCompressed {
+		t.Fatalf("direct-path rows not recovered as compressed groups: %d compressed, want %d (of %d total)",
+			st.CompressedRows, wantCompressed, n)
+	}
+	if st.DeltaRows != n-wantCompressed {
+		t.Fatalf("delta fallback rows misplaced after recovery: %d delta, want %d (of %d total)",
+			st.DeltaRows, n-wantCompressed, n)
+	}
+	if n <= directRows && n%crashtest.BulkGroupRows != 0 {
+		t.Fatalf("recovered %d rows inside the direct phase — not a whole number of %d-row groups",
+			n, crashtest.BulkGroupRows)
+	}
+	return n
+}
+
+// TestBulkLoadCrashMatrix kills the bulk-load workload (db.Load, the COPY
+// pipeline) at randomized WAL byte offsets, so crash points land inside
+// atomic group publishes and inside batched delta-fallback inserts. Recovery
+// must show each row group whole or not at all — never torn — and under
+// fsync=always every acknowledged load call (direct round or delta batch)
+// must survive. Set APOLLO_CRASH_FULL=1 for the 24-point matrix (8 default).
+func TestBulkLoadCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix spawns child processes; skipped in -short")
+	}
+	points := 8
+	if os.Getenv("APOLLO_CRASH_FULL") != "" {
+		points = 24
+	}
+	for _, policy := range []string{"always", "interval"} {
+		t.Run("fsync="+policy, func(t *testing.T) {
+			// Baseline run to completion: no crash, learn the WAL size and
+			// where the CREATE TABLE ends so crash points land in load traffic.
+			base := t.TempDir()
+			if code := runChild(t, base, 0, policy, "APOLLO_CRASH_BULK=1"); code != 0 {
+				t.Fatalf("baseline child crashed (exit %d)", code)
+			}
+			total, err := crashtest.ReadWALTotal(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			setup, err := crashtest.ReadSetupBytes(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total <= setup+1 {
+				t.Fatalf("degenerate WAL: %d total bytes, %d setup", total, setup)
+			}
+			if n := bulkRecovered(t, base, policy); n != crashtest.BulkRowsAfter(crashtest.BulkUnits) {
+				t.Fatalf("crash-free run recovered %d rows, want %d", n, crashtest.BulkRowsAfter(crashtest.BulkUnits))
+			}
+
+			rng := rand.New(rand.NewSource(20130423)) // deterministic matrix
+			for i := 0; i < points; i++ {
+				crashAt := setup + 1 + rng.Int63n(total-setup-1)
+				t.Run(fmt.Sprintf("crashAt=%d", crashAt), func(t *testing.T) {
+					dir := t.TempDir()
+					if code := runChild(t, dir, crashAt, policy, "APOLLO_CRASH_BULK=1"); code != 3 {
+						t.Fatalf("child survived armed crash point %d (exit %d)", crashAt, code)
+					}
+					acked, err := crashtest.ReadProgress(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					n := bulkRecovered(t, dir, policy)
+					if n == -1 {
+						if acked != 0 {
+							t.Fatalf("table lost after %d acknowledged load calls", acked)
+						}
+						return
+					}
+					// At most one load call was in flight beyond the
+					// acknowledged count (progress is fsynced between calls).
+					if ceil := crashtest.BulkRowsAfter(acked + 1); n > ceil {
+						t.Fatalf("recovered %d rows, ahead of %d acknowledged calls + one in flight (max %d)", n, acked, ceil)
+					}
+					if floor := crashtest.BulkRowsAfter(acked); policy == "always" && n < floor {
+						t.Fatalf("fsync=always lost acknowledged loads: recovered %d rows < %d acknowledged", n, floor)
+					}
+				})
+			}
+		})
+	}
+}

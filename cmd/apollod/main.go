@@ -58,6 +58,7 @@ func main() {
 		fsync       = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
 		mode        = flag.String("mode", "2014", "execution mode: 2014, 2012, or row")
 		parallel    = flag.Int("parallel", 0, "scan degree of parallelism")
+		loadQueue   = flag.Int("load-queue-depth", 1024, "/v1/load bounded row channel between decoder and compressor")
 	)
 	tenants := map[string]string{}
 	flag.Func("tenant", "tenant declaration name=apikey (repeatable)", func(v string) error {
@@ -110,6 +111,7 @@ func main() {
 		IdleTenantTimeout:  *idleTenant,
 		IdleTxnTimeout:     *idleTxn,
 		IdleSessionTimeout: *idleSession,
+		LoadQueueDepth:     *loadQueue,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "apollod: %v\n", err)

@@ -21,6 +21,12 @@ type Options struct {
 	// primary dictionary; overflow values go to per-segment local
 	// dictionaries.
 	PrimaryDictCap int
+	// BuildParallel is the number of concurrent per-column segment encoders
+	// used when compressing a row group (<=1 = serial). Safe because each
+	// column's build touches only its own buffer and primary dictionary, and
+	// the blob store serializes Puts internally; the bulk loader sets it from
+	// the engine's DOP so wide tables compress columns side by side.
+	BuildParallel int
 }
 
 // DefaultOptions returns the standard index configuration.
@@ -140,15 +146,55 @@ func (x *Index) BuildRowGroup(bufs []*ColumnBuf) (*RowGroup, []int, error) {
 	}
 
 	g := &RowGroup{Rows: rows, Segs: make([]SegmentMeta, len(bufs))}
-	for i, b := range bufs {
-		primary := x.primaries[i]
-		meta, err := buildSegment(x.store, x.Opts.Tier, x.Schema.Cols[i], b, primaryOrDummy(primary), x.Opts.PrimaryDictCap, perm)
+	workers := x.Opts.BuildParallel
+	if workers > len(bufs) {
+		workers = len(bufs)
+	}
+	if workers <= 1 {
+		for i, b := range bufs {
+			primary := x.primaries[i]
+			meta, err := buildSegment(x.store, x.Opts.Tier, x.Schema.Cols[i], b, primaryOrDummy(primary), x.Opts.PrimaryDictCap, perm)
+			if err != nil {
+				return nil, nil, err
+			}
+			g.Segs[i] = meta
+		}
+		return g, perm, nil
+	}
+
+	// Parallel build: columns are independent (distinct buffers, distinct
+	// primary dictionaries, perm is read-only, the store's Put is
+	// mutex-guarded), so encode them on a bounded worker pool and keep the
+	// first error.
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		errs = make([]error, len(bufs))
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				meta, err := buildSegment(x.store, x.Opts.Tier, x.Schema.Cols[i], bufs[i], primaryOrDummy(x.primaries[i]), x.Opts.PrimaryDictCap, perm)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				g.Segs[i] = meta
+			}
+		}()
+	}
+	for i := range bufs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
-		g.Segs[i] = meta
 	}
-
 	return g, perm, nil
 }
 

@@ -1,0 +1,104 @@
+package load
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"apollo/internal/sqltypes"
+)
+
+// MaxFrameBytes caps one binary frame. A length prefix beyond it is treated
+// as a corrupt stream (fatal), not a dead letter: once the frame length is
+// untrustworthy the framing is lost and nothing after it can be decoded.
+const MaxFrameBytes = 1 << 26 // 64 MiB
+
+// BinaryReader decodes the length-prefixed binary load format: each row is
+// a uvarint byte length followed by the sqltypes row codec body (null
+// bitmap + fixed/varint columns). A frame whose body fails to decode is a
+// dead letter (*RowError) — the length prefix still bounds it, so the
+// stream stays in sync; a truncated or oversized frame is fatal.
+type BinaryReader struct {
+	br     *bufio.Reader
+	schema *sqltypes.Schema
+	buf    []byte
+	line   int
+	fatal  error // latched: once framing is lost the reader stays dead
+}
+
+// NewBinaryReader wraps r as a row source for schema.
+func NewBinaryReader(r io.Reader, schema *sqltypes.Schema) *BinaryReader {
+	return &BinaryReader{br: bufio.NewReaderSize(r, 64<<10), schema: schema}
+}
+
+// Next returns the next decoded row, io.EOF at clean end of input (a frame
+// boundary), or an error. Truncation mid-frame returns a fatal error, never
+// io.EOF.
+func (b *BinaryReader) Next() (sqltypes.Row, error) {
+	if b.fatal != nil {
+		return nil, b.fatal
+	}
+	b.line++
+	n, err := b.readFrameLen()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		b.fatal = err
+		return nil, err
+	}
+	if n == 0 || n > MaxFrameBytes {
+		b.fatal = fmt.Errorf("load: frame %d has invalid length %d (max %d)", b.line, n, int64(MaxFrameBytes))
+		return nil, b.fatal
+	}
+	if cap(b.buf) < int(n) {
+		b.buf = make([]byte, n)
+	}
+	frame := b.buf[:n]
+	if _, err := io.ReadFull(b.br, frame); err != nil {
+		b.fatal = fmt.Errorf("load: frame %d truncated: %w", b.line, err)
+		return nil, b.fatal
+	}
+	row, used, err := sqltypes.DecodeRow(frame, b.schema)
+	if err != nil {
+		return nil, &RowError{Line: b.line, Err: fmt.Errorf("undecodable frame: %w", err)}
+	}
+	if used != len(frame) {
+		return nil, &RowError{Line: b.line, Err: fmt.Errorf("frame has %d trailing bytes", len(frame)-used)}
+	}
+	return row, nil
+}
+
+// readFrameLen reads the uvarint length prefix byte by byte so a clean EOF
+// (no bytes at all) is distinguishable from truncation mid-prefix.
+func (b *BinaryReader) readFrameLen() (uint64, error) {
+	var n uint64
+	var shift uint
+	for i := 0; ; i++ {
+		c, err := b.br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i == 0 {
+				return 0, io.EOF
+			}
+			return 0, fmt.Errorf("load: frame %d length prefix truncated: %w", b.line, err)
+		}
+		if i == 9 && c > 1 || shift >= 64 {
+			return 0, fmt.Errorf("load: frame %d length prefix overflows uvarint", b.line)
+		}
+		n |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return n, nil
+		}
+		shift += 7
+	}
+}
+
+// AppendFrame appends one row in the binary load format (uvarint length +
+// row codec body) to dst. It is the encoder side of BinaryReader, used by
+// clients and tests that generate binary load streams.
+func AppendFrame(dst []byte, schema *sqltypes.Schema, row sqltypes.Row) []byte {
+	body := sqltypes.EncodeRow(nil, schema, row)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}

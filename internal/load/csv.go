@@ -1,0 +1,147 @@
+package load
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"apollo/internal/sqltypes"
+)
+
+// NullToken is the explicit CSV NULL marker (PostgreSQL COPY convention).
+// An empty unquoted field also decodes as NULL for non-string columns;
+// for string columns it is the empty string, so `\N` is the only way to
+// load a NULL VARCHAR.
+const NullToken = `\N`
+
+// CSVOptions configures a CSVReader.
+type CSVOptions struct {
+	Comma  rune // field delimiter; 0 = ','
+	Header bool // skip the first record
+}
+
+// CSVReader decodes CSV records into rows for the given schema. Records
+// with the wrong field count or unparsable values surface as *RowError —
+// encoding/csv recovers at the next record, so the reader stays usable and
+// the loader dead-letters the row.
+type CSVReader struct {
+	r      *csv.Reader
+	schema *sqltypes.Schema
+	opts   CSVOptions
+	line   int
+	header bool  // header still pending
+	fatal  error // latched: an I/O failure kills the stream for good
+}
+
+// NewCSVReader wraps r as a row source for schema.
+func NewCSVReader(r io.Reader, schema *sqltypes.Schema, opts CSVOptions) *CSVReader {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = schema.Len()
+	cr.ReuseRecord = true
+	return &CSVReader{r: cr, schema: schema, opts: opts, header: opts.Header}
+}
+
+// Next returns the next decoded row, io.EOF at end of input, or *RowError
+// for a malformed record.
+func (c *CSVReader) Next() (sqltypes.Row, error) {
+	if c.fatal != nil {
+		return nil, c.fatal
+	}
+	for {
+		rec, err := c.r.Read()
+		c.line++
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err != nil {
+			// encoding/csv parse errors (bad quoting, field-count mismatch)
+			// leave the reader positioned at the next record: recoverable.
+			if _, ok := err.(*csv.ParseError); ok {
+				return nil, &RowError{Line: c.line, Err: err}
+			}
+			c.fatal = fmt.Errorf("load: csv read at record %d: %w", c.line, err)
+			return nil, c.fatal
+		}
+		if c.header {
+			c.header = false
+			continue
+		}
+		row := make(sqltypes.Row, len(rec))
+		for i, field := range rec {
+			v, perr := parseCSVField(field, c.schema.Cols[i])
+			if perr != nil {
+				return nil, &RowError{Line: c.line, Err: fmt.Errorf("column %s: %w", c.schema.Cols[i].Name, perr)}
+			}
+			row[i] = v
+		}
+		return row, nil
+	}
+}
+
+// parseCSVField decodes one CSV field into a typed value.
+func parseCSVField(s string, col sqltypes.Column) (sqltypes.Value, error) {
+	if s == NullToken || (s == "" && col.Typ != sqltypes.String) {
+		return sqltypes.NewNull(col.Typ), nil
+	}
+	switch col.Typ {
+	case sqltypes.Int64:
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return sqltypes.Value{}, fmt.Errorf("invalid BIGINT %q", s)
+		}
+		return sqltypes.NewInt(i), nil
+	case sqltypes.Float64:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return sqltypes.Value{}, fmt.Errorf("invalid DOUBLE %q", s)
+		}
+		return sqltypes.NewFloat(f), nil
+	case sqltypes.Bool:
+		switch strings.ToLower(strings.TrimSpace(s)) {
+		case "true", "t", "1", "yes":
+			return sqltypes.NewBool(true), nil
+		case "false", "f", "0", "no":
+			return sqltypes.NewBool(false), nil
+		}
+		return sqltypes.Value{}, fmt.Errorf("invalid BOOLEAN %q", s)
+	case sqltypes.Date:
+		days, err := sqltypes.DateFromString(strings.TrimSpace(s))
+		if err != nil {
+			return sqltypes.Value{}, fmt.Errorf("invalid DATE %q", s)
+		}
+		return sqltypes.NewDate(days), nil
+	case sqltypes.String:
+		return sqltypes.NewString(s), nil
+	default:
+		return sqltypes.Value{}, fmt.Errorf("unsupported column type %v", col.Typ)
+	}
+}
+
+// CSVField renders a value as one CSV field using the loader's NULL
+// convention (the inverse of parseCSVField); useful for tests and tools
+// that generate load input.
+func CSVField(v sqltypes.Value) string {
+	if v.Null {
+		return NullToken
+	}
+	switch v.Typ {
+	case sqltypes.Int64:
+		return strconv.FormatInt(v.I, 10)
+	case sqltypes.Float64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case sqltypes.Bool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case sqltypes.Date:
+		return sqltypes.DateToString(v.I)
+	default:
+		return v.S
+	}
+}

@@ -1,0 +1,82 @@
+package load
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"apollo/internal/sqltypes"
+)
+
+// drain runs a reader to termination, asserting the RowReader contract on
+// untrusted input: every call returns a row, a recoverable *RowError, io.EOF,
+// or a fatal error — never a panic, and a fatal error terminates (the same
+// reader never yields rows again). Iterations are bounded so a fuzz input
+// can't loop forever.
+func drain(t *testing.T, r RowReader, schema *sqltypes.Schema) {
+	t.Helper()
+	const maxIters = 1 << 17
+	for i := 0; i < maxIters; i++ {
+		row, err := r.Next()
+		if err == io.EOF {
+			return
+		}
+		var re *RowError
+		if errors.As(err, &re) {
+			continue
+		}
+		if err != nil {
+			// Fatal: the reader must stay terminal.
+			if _, err2 := r.Next(); err2 == nil {
+				t.Fatalf("reader yielded a row after fatal error %v", err)
+			}
+			return
+		}
+		if len(row) != schema.Len() {
+			t.Fatalf("decoded row has %d columns, schema has %d", len(row), schema.Len())
+		}
+	}
+	t.Fatalf("reader did not terminate within %d iterations", maxIters)
+}
+
+func fuzzSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Name: "a", Typ: sqltypes.Int64, Nullable: true},
+		sqltypes.Column{Name: "b", Typ: sqltypes.String, Nullable: true},
+		sqltypes.Column{Name: "c", Typ: sqltypes.Float64, Nullable: true},
+		sqltypes.Column{Name: "d", Typ: sqltypes.Bool, Nullable: true},
+		sqltypes.Column{Name: "e", Typ: sqltypes.Date, Nullable: true},
+	)
+}
+
+func FuzzCSVLoad(f *testing.F) {
+	f.Add([]byte("1,a,1.5,true,2024-01-01\n2,b,2.5,false,2024-01-02\n"))
+	f.Add([]byte("\"unterminated,x,1,true,2024-01-01\n"))
+	f.Add([]byte("1,\"a\"b\",1,true,2024-01-01\n"))      // bare quote mid-field
+	f.Add([]byte("too,few\n1,2,3,4,5,6,7\n"))            // field-count chaos
+	f.Add([]byte(`\N,,\N,\N,\N` + "\n"))                 // null conventions
+	f.Add([]byte("9223372036854775808,x,1e999,2,13-13")) // overflow everything
+	f.Fuzz(func(t *testing.T, data []byte) {
+		drain(t, NewCSVReader(bytes.NewReader(data), fuzzSchema(), CSVOptions{}), fuzzSchema())
+		drain(t, NewCSVReader(bytes.NewReader(data), fuzzSchema(), CSVOptions{Comma: '|', Header: true}), fuzzSchema())
+	})
+}
+
+func FuzzBinaryLoad(f *testing.F) {
+	schema := fuzzSchema()
+	valid := AppendFrame(nil, schema, sqltypes.Row{
+		sqltypes.NewInt(42), sqltypes.NewString("hello"), sqltypes.NewFloat(3.14),
+		sqltypes.NewBool(true), sqltypes.NewDate(20000),
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                                                     // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f, 0x00})                         // oversized length
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}) // uvarint overflow
+	f.Add([]byte{0x03, 0x00, 0x00, 0x00})                                           // garbage body
+	f.Add(append(append([]byte{}, valid...), valid[:5]...))                         // valid then torn
+	f.Add([]byte{0x00, 0x02, '7', '0'})                                             // zero-length frame, then a decodable one: fatal must latch
+	f.Fuzz(func(t *testing.T, data []byte) {
+		drain(t, NewBinaryReader(bytes.NewReader(data), schema), schema)
+	})
+}

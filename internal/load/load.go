@@ -1,0 +1,369 @@
+// Package load implements the bulk-load pipeline (paper §4.2): decoders
+// stream rows out of CSV or length-prefixed binary input, the loader cuts
+// them into batches, and each batch either compresses directly into a row
+// group (at or above the table's bulk threshold, one atomic WAL group
+// publish) or falls back to a single batched delta insert. An adaptive
+// controller tunes the batch size against measured rows/sec and memory-grant
+// pressure; malformed input rows are dead-lettered up to a cap instead of
+// aborting the load.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"apollo/internal/sqltypes"
+	"apollo/internal/storage"
+)
+
+// Sink is the table-side surface the loader drives. *table.Table satisfies
+// it: CompressDirect publishes the batch as compressed row groups (atomic
+// per group under the WAL), InsertBatch trickle-inserts it into the delta
+// store with one durability wait for the whole batch.
+type Sink interface {
+	CompressDirect(rows []sqltypes.Row) (int, error)
+	InsertBatch(ctx context.Context, rows []sqltypes.Row) error
+}
+
+// RowReader produces decoded rows. Next returns io.EOF at clean end of
+// input, a *RowError for a malformed-but-recoverable row (the reader stays
+// usable and the loader dead-letters it), and any other error for a fatal
+// condition (lost framing, I/O failure) that aborts the load.
+type RowReader interface {
+	Next() (sqltypes.Row, error)
+}
+
+// RowError marks one undecodable input row. The reader has already skipped
+// past it; the loader records it as a dead letter and continues.
+type RowError struct {
+	Line int // 1-based input row/record number
+	Err  error
+}
+
+func (e *RowError) Error() string { return fmt.Sprintf("row %d: %v", e.Line, e.Err) }
+
+func (e *RowError) Unwrap() error { return e.Err }
+
+// DeadLetter is one rejected input row, returned in-band with the result.
+type DeadLetter struct {
+	Line   int    `json:"line"`
+	Reason string `json:"reason"`
+}
+
+// BatchStat records one flushed batch for the adaptive sweep.
+type BatchStat struct {
+	Rows       int     `json:"rows"`
+	Direct     bool    `json:"direct"`
+	Seconds    float64 `json:"seconds"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Target     int     `json:"target"` // controller's batch-size target when the batch was cut
+}
+
+// Result is the outcome of one load.
+type Result struct {
+	RowsLoaded  int          `json:"rows_loaded"`
+	RowsDirect  int          `json:"rows_direct"` // rows compressed straight into row groups
+	RowsDelta   int          `json:"rows_delta"`  // rows that fell back to batched delta inserts
+	Groups      int          `json:"groups"`      // row groups published by the direct path
+	Retries     int          `json:"retries"`     // transient-fault batch retries
+	DeadLetters []DeadLetter `json:"dead_letters,omitempty"`
+	Batches     []BatchStat  `json:"batches,omitempty"`
+	FinalTarget int          `json:"final_target"` // controller's batch size when the load ended
+}
+
+// DefaultMaxDeadLetters bounds how many malformed rows a load tolerates
+// before aborting, when Options.MaxDeadLetters is zero.
+const DefaultMaxDeadLetters = 1000
+
+// Options configures a Loader.
+type Options struct {
+	// RowGroupSize caps a batch (and therefore a published row group).
+	// Required > 0.
+	RowGroupSize int
+	// BulkThreshold is the smallest batch that compresses directly; smaller
+	// flushes fall back to batched delta inserts. <=0 disables the direct
+	// path entirely.
+	BulkThreshold int
+	// BatchRows pins the batch size (clamped to RowGroupSize) and disables
+	// the adaptive controller. 0 = adaptive.
+	BatchRows int
+	// MaxDeadLetters caps tolerated malformed rows (0 = DefaultMaxDeadLetters,
+	// negative = reject none: the first bad row aborts).
+	MaxDeadLetters int
+	// MaxRetries bounds per-batch retries on transient storage faults
+	// (0 = 3 attempts total).
+	MaxRetries int
+	// GrantBytes is the loader's memory grant: when the buffered batch is
+	// estimated at or above it, the batch flushes early (grant pressure)
+	// even if the controller wanted it larger. <=0 = unlimited.
+	GrantBytes int64
+}
+
+// Loader streams rows from a RowReader into a Sink.
+type Loader struct {
+	sink Sink
+	opts Options
+}
+
+// New creates a loader. opts.RowGroupSize must be positive.
+func New(sink Sink, opts Options) (*Loader, error) {
+	if opts.RowGroupSize <= 0 {
+		return nil, fmt.Errorf("load: RowGroupSize must be positive (got %d)", opts.RowGroupSize)
+	}
+	if opts.BatchRows > opts.RowGroupSize {
+		opts.BatchRows = opts.RowGroupSize
+	}
+	if opts.MaxDeadLetters == 0 {
+		opts.MaxDeadLetters = DefaultMaxDeadLetters
+	} else if opts.MaxDeadLetters < 0 {
+		opts.MaxDeadLetters = 0
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 3
+	}
+	return &Loader{sink: sink, opts: opts}, nil
+}
+
+// Run drains the reader into the sink. It always returns a non-nil Result
+// describing whatever was loaded, even alongside an error, so callers can
+// surface partial progress and dead letters in-band.
+func (l *Loader) Run(ctx context.Context, r RowReader) (*Result, error) {
+	res := &Result{}
+	ctrl := newController(l.opts)
+	buf := make([]sqltypes.Row, 0, ctrl.target())
+	var bufBytes int64
+
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		direct := l.opts.BulkThreshold > 0 && len(buf) >= l.opts.BulkThreshold
+		start := time.Now()
+		var groups int
+		var err error
+		for attempt := 0; ; attempt++ {
+			if direct {
+				groups, err = l.sink.CompressDirect(buf)
+			} else {
+				err = l.sink.InsertBatch(ctx, buf)
+			}
+			if err == nil {
+				break
+			}
+			// Bounded retry covers transient storage faults, and only while
+			// nothing from this batch has been published (a batch fits in one
+			// row group, so a direct flush is all-or-nothing; groups>0 would
+			// mean re-running duplicates rows).
+			if !storage.IsTransient(err) || groups > 0 || attempt+1 >= l.opts.MaxRetries {
+				return fmt.Errorf("load: flush of %d rows failed: %w", len(buf), err)
+			}
+			res.Retries++
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(1+attempt) * 5 * time.Millisecond):
+			}
+		}
+		secs := time.Since(start).Seconds()
+		rate := 0.0
+		if secs > 0 {
+			rate = float64(len(buf)) / secs
+		}
+		res.Batches = append(res.Batches, BatchStat{
+			Rows: len(buf), Direct: direct, Seconds: secs, RowsPerSec: rate,
+			Target: ctrl.target(),
+		})
+		res.RowsLoaded += len(buf)
+		if direct {
+			res.RowsDirect += len(buf)
+			res.Groups += groups
+		} else {
+			res.RowsDelta += len(buf)
+		}
+		ctrl.observe(rate)
+		buf = buf[:0]
+		bufBytes = 0
+		return nil
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		row, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			var re *RowError
+			if errors.As(err, &re) {
+				res.DeadLetters = append(res.DeadLetters, DeadLetter{Line: re.Line, Reason: re.Err.Error()})
+				if len(res.DeadLetters) > l.opts.MaxDeadLetters {
+					return res, fmt.Errorf("load: aborted after %d malformed rows (cap %d); last: %w",
+						len(res.DeadLetters), l.opts.MaxDeadLetters, re)
+				}
+				continue
+			}
+			return res, err
+		}
+		buf = append(buf, row)
+		bufBytes += rowBytes(row)
+		if len(buf) >= ctrl.target() || l.grantPressure(len(buf), bufBytes) {
+			if err := flush(); err != nil {
+				return res, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return res, err
+	}
+	res.FinalTarget = ctrl.target()
+	return res, nil
+}
+
+// grantPressure reports whether the buffered batch should flush early
+// because it has grown to the memory grant. The batch must still be large
+// enough for the direct path — flushing below the threshold under pressure
+// would silently divert bulk rows into the delta store.
+func (l *Loader) grantPressure(bufRows int, bufBytes int64) bool {
+	return l.opts.GrantBytes > 0 && bufBytes >= l.opts.GrantBytes &&
+		l.opts.BulkThreshold > 0 && bufRows >= l.opts.BulkThreshold
+}
+
+// rowBytes estimates a row's in-memory footprint for grant accounting.
+func rowBytes(row sqltypes.Row) int64 {
+	n := int64(len(row)) * 24 // Value struct overhead, rounded down
+	for _, v := range row {
+		n += int64(len(v.S))
+	}
+	return n
+}
+
+// controller is the adaptive batch-size controller: a multiplicative
+// hill-climb on measured rows/sec, after SNIPPETS.md's mutation_batch_size
+// exemplar. Each observed flush rate is compared to the previous one; if
+// throughput improved the controller keeps moving in its current direction
+// (growing toward RowGroupSize or shrinking toward the bulk threshold), and
+// if it degraded by more than the tolerance it reverses.
+type controller struct {
+	size     int
+	min, max int
+	fixed    bool
+	dir      float64 // +1 growing, -1 shrinking
+	lastRate float64
+}
+
+const (
+	ctrlStep      = 1.25 // multiplicative step per observation
+	ctrlTolerance = 0.05 // reverse direction on >5% throughput drop
+)
+
+func newController(o Options) *controller {
+	c := &controller{min: o.BulkThreshold, max: o.RowGroupSize, dir: +1}
+	if c.min <= 0 || c.min > c.max {
+		c.min = c.max / 16
+	}
+	if c.min < 1 {
+		c.min = 1
+	}
+	if o.BatchRows > 0 {
+		c.size = o.BatchRows
+		c.fixed = true
+		return c
+	}
+	// Start at the direct-path threshold: the smallest batch that still
+	// compresses directly, so early batches are cheap while the controller
+	// learns.
+	c.size = c.min
+	return c
+}
+
+func (c *controller) target() int { return c.size }
+
+func (c *controller) observe(rate float64) {
+	if c.fixed || rate <= 0 {
+		return
+	}
+	if c.lastRate > 0 && rate < c.lastRate*(1-ctrlTolerance) {
+		c.dir = -c.dir
+	}
+	c.lastRate = rate
+	next := c.size
+	if c.dir > 0 {
+		next = int(float64(c.size) * ctrlStep)
+	} else {
+		next = int(float64(c.size) / ctrlStep)
+	}
+	if next == c.size {
+		next += int(c.dir)
+	}
+	if next > c.max {
+		next = c.max
+		c.dir = -1
+	}
+	if next < c.min {
+		next = c.min
+		c.dir = +1
+	}
+	c.size = next
+}
+
+// Pipelined decouples decoding from compression through a bounded channel:
+// a producer goroutine keeps reading rows from r while the loader flushes
+// the previous batch. When the channel fills, the producer blocks — for the
+// HTTP load endpoint that stops reads from the request body, which is TCP
+// backpressure all the way to the client. The producer exits when the input
+// ends, a fatal decode error occurs, or ctx is cancelled (so an aborted
+// load never leaks the goroutine).
+func Pipelined(ctx context.Context, r RowReader, depth int) RowReader {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &pipeReader{ch: make(chan pipeItem, depth), ctx: ctx}
+	go func() {
+		defer close(p.ch)
+		for {
+			row, err := r.Next()
+			select {
+			case p.ch <- pipeItem{row: row, err: err}:
+			case <-ctx.Done():
+				return
+			}
+			if err != nil {
+				var re *RowError
+				if errors.As(err, &re) {
+					continue // recoverable: keep producing
+				}
+				return // io.EOF or fatal: done
+			}
+		}
+	}()
+	return p
+}
+
+type pipeItem struct {
+	row sqltypes.Row
+	err error
+}
+
+type pipeReader struct {
+	ch  chan pipeItem
+	ctx context.Context
+}
+
+func (p *pipeReader) Next() (sqltypes.Row, error) {
+	it, ok := <-p.ch
+	if !ok {
+		// The channel closes after the terminal item was delivered (clean
+		// end) or because the producer bailed on cancellation — a closed
+		// channel with a live ctx error must not read as a clean EOF.
+		if err := p.ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	return it.row, it.err
+}

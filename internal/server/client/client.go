@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 )
 
@@ -232,6 +233,66 @@ func (c *Client) QueryStream(ctx context.Context, sql string, args []any,
 		return nil, err
 	}
 	return nil, fmt.Errorf("apollod: stream ended without a done line")
+}
+
+// LoadResult is /v1/load's response: counters for the two ingest paths,
+// per-batch stats from the adaptive controller, and the dead-lettered rows.
+// A partial failure carries both the error and whatever loaded before it.
+type LoadResult struct {
+	RowsLoaded  int     `json:"rows_loaded"`
+	RowsDirect  int     `json:"rows_direct"`
+	RowsDelta   int     `json:"rows_delta"`
+	Groups      int     `json:"groups"`
+	Retries     int     `json:"retries"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	DeadLetters []struct {
+		Line   int    `json:"line"`
+		Reason string `json:"reason"`
+	} `json:"dead_letters,omitempty"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error,omitempty"`
+}
+
+// Load streams body into table through /v1/load. format is "csv" or
+// "binary" ("" = csv); params carries optional query options (header,
+// delimiter, batch_rows, max_dead_letters). The result is non-nil whenever
+// the server produced one, even alongside an error, so callers can inspect
+// partial progress and dead letters.
+func (c *Client) Load(ctx context.Context, table, format string, body io.Reader, params map[string]string) (*LoadResult, error) {
+	q := url.Values{"table": {table}}
+	if format != "" {
+		q.Set("format", format)
+	}
+	for k, v := range params {
+		q.Set(k, v)
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", c.base+"/v1/load?"+q.Encode(), body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.key)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out LoadResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		if resp.StatusCode != 200 {
+			return nil, &Error{Status: resp.StatusCode, Code: "http", Message: resp.Status}
+		}
+		return nil, err
+	}
+	if out.Error != nil {
+		return &out, &Error{Status: resp.StatusCode, Code: out.Error.Code, Message: out.Error.Message}
+	}
+	if resp.StatusCode != 200 {
+		return &out, &Error{Status: resp.StatusCode, Code: "http", Message: resp.Status}
+	}
+	return &out, nil
 }
 
 // Explain returns the plan text for a statement.

@@ -64,6 +64,10 @@ type Config struct {
 	// IdleSessionTimeout kills any session idle this long (default 15m,
 	// <0 disables).
 	IdleSessionTimeout time.Duration
+	// LoadQueueDepth bounds the per-request row channel between the /v1/load
+	// decoder and the compressor (default 1024). A full channel blocks the
+	// request-body read — TCP backpressure to the client.
+	LoadQueueDepth int
 }
 
 // Server serves N tenant databases from one process. Create with New, attach
@@ -77,6 +81,7 @@ type Server struct {
 	mux      *http.ServeMux
 
 	rowsStreamed *metrics.Counter
+	rowsLoaded   *metrics.Counter
 }
 
 // New wires the serving stack together: broker (shared cache + admission),
@@ -134,6 +139,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.rowsStreamed = metrics.Default.Counter("apollod_rows_streamed_total",
 		"Result rows written to the wire across all tenants.")
+	s.rowsLoaded = metrics.Default.Counter("apollod_rows_loaded_total",
+		"Rows ingested through /v1/load across all tenants.")
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/sessions", s.auth(s.handleSessionCreate))
@@ -141,6 +148,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/exec", s.auth(s.handleExec))
 	s.mux.HandleFunc("POST /v1/query", s.auth(s.handleQuery))
 	s.mux.HandleFunc("POST /v1/explain", s.auth(s.handleExplain))
+	s.mux.HandleFunc("POST /v1/load", s.auth(s.handleLoad))
 	return s, nil
 }
 
@@ -424,16 +432,26 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, tenantNam
 // --- streaming query handler ---
 
 // streamSink encodes rows as NDJSON chunks, flushing every flushEvery rows
-// so results reach the client while the query still runs.
+// — and at least every interval, so a slow producer (a selective scan
+// trickling out matches) still delivers buffered rows to the client instead
+// of stalling until 256 accumulate. The clock check rides each Row call; no
+// timer goroutine touches the http.ResponseWriter (it is not safe for
+// concurrent use), so staleness is bounded to one interval past the last
+// row written.
 type streamSink struct {
-	flush   http.Flusher
-	enc     *json.Encoder
-	rows    int64
-	pending int
-	started bool
+	flush    http.Flusher
+	enc      *json.Encoder
+	rows     int64
+	pending  int
+	started  bool
+	interval time.Duration // 0 = row-count flushing only
+	last     time.Time     // when the wire was last flushed
 }
 
 const flushEvery = 256
+
+// flushInterval bounds how long a streamed row can sit buffered server-side.
+const flushInterval = 100 * time.Millisecond
 
 type wireColumn struct {
 	Name string `json:"name"`
@@ -459,7 +477,7 @@ func (k *streamSink) Row(row sqltypes.Row) error {
 	}
 	k.rows++
 	k.pending++
-	if k.pending >= flushEvery {
+	if k.pending >= flushEvery || (k.interval > 0 && time.Since(k.last) >= k.interval) {
 		k.doFlush()
 	}
 	return nil
@@ -467,6 +485,7 @@ func (k *streamSink) Row(row sqltypes.Row) error {
 
 func (k *streamSink) doFlush() {
 	k.pending = 0
+	k.last = time.Now()
 	if k.flush != nil {
 		k.flush.Flush()
 	}
@@ -498,7 +517,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, tenantName 
 	// so the content type must be committed before the query runs.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	sink := &streamSink{flush: flusher, enc: json.NewEncoder(w)}
+	sink := &streamSink{flush: flusher, enc: json.NewEncoder(w), interval: flushInterval, last: time.Now()}
 	start := time.Now()
 
 	run := func() (*apollo.Result, error) {

@@ -50,6 +50,21 @@ type Reorganize struct{ Table string }
 // rows and folding delta rows into row groups (ALTER INDEX ... REBUILD).
 type Rebuild struct{ Table string }
 
+// Copy is COPY table FROM 'path' [WITH (options)]: the bulk-load statement.
+// Batches at or above the table's bulk threshold compress directly into row
+// groups; smaller remainders fall back to batched delta inserts. Options:
+// format ('csv' default, or 'binary'), header, delimiter ','), batch_rows=N
+// (pin the batch size; default adaptive), max_dead_letters=N.
+type Copy struct {
+	Table          string
+	Path           string
+	Format         string
+	Header         bool
+	Delim          rune
+	BatchRows      int
+	MaxDeadLetters int // 0 = loader default, <0 = none tolerated
+}
+
 // Begin is BEGIN [TRANSACTION]: start a snapshot-isolation transaction.
 type Begin struct{}
 
@@ -110,6 +125,7 @@ func (*Delete) stmt()      {}
 func (*Update) stmt()      {}
 func (*Reorganize) stmt()  {}
 func (*Rebuild) stmt()     {}
+func (*Copy) stmt()        {}
 func (*Explain) stmt()     {}
 func (*Select) stmt()      {}
 func (*Begin) stmt()       {}

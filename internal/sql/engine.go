@@ -91,6 +91,10 @@ func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Resu
 		switch st.(type) {
 		case *CreateTable, *DropTable, *Reorganize, *Rebuild:
 			return nil, fmt.Errorf("sql: DDL and index maintenance are not allowed inside a transaction")
+		case *Copy:
+			// Bulk loads publish compressed row groups, which carry no
+			// per-row version state to roll back.
+			return nil, fmt.Errorf("sql: COPY is not allowed inside a transaction")
 		}
 	}
 	switch x := st.(type) {
@@ -110,6 +114,8 @@ func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Resu
 			return nil, err
 		}
 		return &Result{Message: fmt.Sprintf("dropped table %s", x.Name)}, nil
+	case *Copy:
+		return e.copyFrom(ctx, x)
 	case *Insert:
 		return e.insert(x, tx, nil)
 	case *Delete:

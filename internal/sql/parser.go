@@ -116,6 +116,8 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		return &Rebuild{Table: name}, nil
+	case p.accept(tokKeyword, "COPY"):
+		return p.copyStmt()
 	case p.accept(tokKeyword, "BEGIN"):
 		p.accept(tokKeyword, "TRANSACTION")
 		return &Begin{}, nil
@@ -230,6 +232,95 @@ func (p *parser) createTable() (Statement, error) {
 		}
 	}
 	return ct, nil
+}
+
+// copyStmt parses COPY table FROM 'path' [WITH (format='csv'|'binary',
+// header, delimiter=',', batch_rows=N, max_dead_letters=N)].
+func (p *parser) copyStmt() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	path, err := p.expect(tokString, "")
+	if err != nil {
+		return nil, err
+	}
+	c := &Copy{Table: name, Path: path.text, Format: "csv"}
+	if !p.accept(tokKeyword, "WITH") {
+		return c, nil
+	}
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	for {
+		opt, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch opt {
+		case "format":
+			if _, err := p.expect(tokOp, "="); err != nil {
+				return nil, err
+			}
+			t, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "csv", "binary":
+				c.Format = t.text
+			default:
+				return nil, p.errf("unknown COPY format %q (want 'csv' or 'binary')", t.text)
+			}
+		case "header":
+			c.Header = true
+		case "delimiter":
+			if _, err := p.expect(tokOp, "="); err != nil {
+				return nil, err
+			}
+			t, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			r := []rune(t.text)
+			if len(r) != 1 {
+				return nil, p.errf("COPY delimiter must be one character, got %q", t.text)
+			}
+			c.Delim = r[0]
+		case "batch_rows", "max_dead_letters":
+			if _, err := p.expect(tokOp, "="); err != nil {
+				return nil, err
+			}
+			t, err := p.expect(tokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(t.text)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			if opt == "batch_rows" {
+				c.BatchRows = n
+			} else if n == 0 {
+				c.MaxDeadLetters = -1 // explicit zero: first bad row aborts
+			} else {
+				c.MaxDeadLetters = n
+			}
+		default:
+			return nil, p.errf("unknown COPY option %q", opt)
+		}
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 func (p *parser) insert() (Statement, error) {

@@ -98,7 +98,9 @@ func DecodeRowInto(buf []byte, schema *Schema, row Row) (int, error) {
 				return 0, fmt.Errorf("sqltypes: bad string length in column %d", i)
 			}
 			pos += n
-			if pos+int(l) > len(buf) {
+			// Compare in uint64: a hostile length can overflow int and slip
+			// past a pos+int(l) check as a negative slice bound.
+			if l > uint64(len(buf)-pos) {
 				return 0, fmt.Errorf("sqltypes: row truncated in column %d", i)
 			}
 			row[i] = Value{Typ: String, S: string(buf[pos : pos+int(l)])}

@@ -1,6 +1,7 @@
 package sqltypes
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -183,6 +184,18 @@ func TestRowCodecTruncation(t *testing.T) {
 		if _, _, err := DecodeRow(buf[:cut], schema); err == nil {
 			t.Fatalf("truncation at %d bytes not detected", cut)
 		}
+	}
+}
+
+// A hostile string length whose uint64 value overflows int must be rejected,
+// not turned into a negative slice bound (found by FuzzBinaryLoad).
+func TestRowCodecHostileStringLength(t *testing.T) {
+	schema := NewSchema(Column{Name: "s", Typ: String})
+	buf := []byte{0x00} // null bitmap: s is non-NULL
+	buf = binary.AppendUvarint(buf, math.MaxUint64-6)
+	buf = append(buf, "payload"...)
+	if _, _, err := DecodeRow(buf, schema); err == nil {
+		t.Fatal("overflowing string length not detected")
 	}
 }
 

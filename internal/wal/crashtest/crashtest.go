@@ -17,6 +17,8 @@
 //	APOLLO_CRASH_FSYNC=...   fsync policy: always, interval, off
 //	APOLLO_CRASH_MIDCKPT=1   die right after the checkpoint image is durable,
 //	                         before the checkpoint-end record
+//	APOLLO_CRASH_BULK=1      run the bulk-load workload instead of the script
+//	                         (see the bulk-load mode comment below)
 package crashtest
 
 import (
@@ -239,6 +241,10 @@ func RunChild() {
 		policy = "always"
 	}
 	cfg := Config(policy)
+	bulk := os.Getenv("APOLLO_CRASH_BULK") == "1"
+	if bulk {
+		cfg = BulkConfig(policy)
+	}
 	cfg.WALCrashAt = crashAt
 	if os.Getenv("APOLLO_CRASH_MIDCKPT") == "1" {
 		persist.TestHookAfterImage = func() { os.Exit(3) }
@@ -253,6 +259,9 @@ func RunChild() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crashtest child: open: %v\n", err)
 		os.Exit(1)
+	}
+	if bulk {
+		runBulkChild(db, dir) // never returns
 	}
 	if multi > 0 {
 		runMultiChild(db, dir, multi) // never returns
@@ -448,6 +457,135 @@ func runMultiChild(db *apollo.DB, dir string, sessions int) {
 	if err := ackF.Close(); err != nil {
 		fail("ack close: %v", err)
 	}
+	total := db.WALStats().TotalBytes
+	db.Close()
+	if err := os.WriteFile(totalPath(dir), []byte(strconv.FormatInt(total, 10)), 0o644); err != nil {
+		fail("total: %v", err)
+	}
+	os.Exit(0)
+}
+
+// Bulk-load mode: the child drives db.Load (the COPY pipeline) instead of
+// the trickle script, so crash points land inside atomic group publishes.
+// The workload is deterministic in WAL bytes (fixed batch size pins the
+// adaptive controller; serial column builds fix blob allocation order), so
+// a crash-free baseline's WAL total gives the parent meaningful offsets:
+//
+//   - BulkRounds direct rounds load exactly BulkGroupRows rows each — at or
+//     above the bulk threshold, so each round is one atomic TGroupPublish.
+//     Recovery must show each round's group whole or not at all.
+//   - BulkDeltaBatches fallback batches load BulkDeltaBatch rows each —
+//     below the threshold, so they take the batched delta-insert path and
+//     may legitimately survive partially (row granularity, in input order).
+//   - ids are loaded in one contiguous ascending sequence, so the recovered
+//     id set must be exactly [0, N) for some N (whole-group-or-none plus
+//     ordered WAL replay leave no holes).
+//   - markProgress acknowledges each completed unit (round or batch) only
+//     after Load returns; under fsync=always every acknowledged unit must
+//     survive recovery.
+//
+// Extra environment (on top of the protocol above):
+//
+//	APOLLO_CRASH_BULK=1      run the bulk-load workload instead of the script
+
+// Bulk-load workload shape. BulkGroupRows is also the configured row-group
+// size, so every direct round publishes exactly one full group.
+const (
+	BulkGroupRows    = 64 // rows per direct round == one published row group
+	BulkRounds       = 12 // direct rounds (768 rows compressed)
+	BulkDeltaBatch   = 24 // rows per fallback batch, below the threshold
+	BulkDeltaBatches = 6  // fallback batches (144 delta rows)
+)
+
+// BulkUnits is the total number of acknowledged progress units.
+const BulkUnits = BulkRounds + BulkDeltaBatches
+
+// BulkRowsAfter returns how many rows exist after n completed units.
+func BulkRowsAfter(n int) int {
+	direct := n
+	if direct > BulkRounds {
+		direct = BulkRounds
+	}
+	delta := n - direct
+	return direct*BulkGroupRows + delta*BulkDeltaBatch
+}
+
+// BulkConfig returns the database configuration for bulk-load crash runs:
+// row groups sized to one direct round, a threshold between the two batch
+// sizes so both ingest paths are exercised, and serial column builds so the
+// WAL byte stream is identical across runs (parallel builds permute blob
+// allocation order).
+func BulkConfig(fsyncPolicy string) apollo.Config {
+	cfg := apollo.DefaultConfig()
+	cfg.TupleMoverInterval = 0
+	cfg.RowGroupSize = BulkGroupRows
+	cfg.BulkLoadThreshold = BulkDeltaBatch * 2
+	cfg.Parallel = 1
+	cfg.FsyncPolicy = fsyncPolicy
+	return cfg
+}
+
+// runBulkChild is the bulk-load child body: see the mode comment above.
+func runBulkChild(db *apollo.DB, dir string) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "crashtest bulk child: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if _, err := db.Exec("CREATE TABLE bl (id BIGINT, v VARCHAR)"); err != nil {
+		fail("create: %v", err)
+	}
+	setupBytes := db.WALStats().TotalBytes
+	if err := os.WriteFile(setupBytesPath(dir)+".tmp", []byte(strconv.FormatInt(setupBytes, 10)), 0o644); err != nil {
+		fail("setup bytes: %v", err)
+	}
+	if err := os.Rename(setupBytesPath(dir)+".tmp", setupBytesPath(dir)); err != nil {
+		fail("setup bytes: %v", err)
+	}
+
+	ctx := context.Background()
+	loadRange := func(lo, hi int64, batch int) *apollo.LoadResult {
+		var sb strings.Builder
+		for id := lo; id < hi; id++ {
+			fmt.Fprintf(&sb, "%d,v-%d\n", id, id)
+		}
+		res, err := db.Load(ctx, apollo.LoadOptions{
+			Table:     "bl",
+			Format:    "csv",
+			Reader:    strings.NewReader(sb.String()),
+			BatchRows: batch, // fixed: keeps the flush sizes (and WAL) deterministic
+		})
+		if err != nil {
+			fail("load [%d,%d): %v", lo, hi, err)
+		}
+		return res
+	}
+
+	unit := 0
+	for r := 0; r < BulkRounds; r++ {
+		lo := int64(r * BulkGroupRows)
+		res := loadRange(lo, lo+BulkGroupRows, BulkGroupRows)
+		if res.RowsDirect != BulkGroupRows || res.Groups != 1 {
+			fail("round %d took the wrong path: %d direct in %d groups, want %d in 1",
+				r, res.RowsDirect, res.Groups, BulkGroupRows)
+		}
+		unit++
+		if err := markProgress(dir, unit); err != nil {
+			fail("progress: %v", err)
+		}
+	}
+	deltaBase := int64(BulkRounds * BulkGroupRows)
+	for b := 0; b < BulkDeltaBatches; b++ {
+		lo := deltaBase + int64(b*BulkDeltaBatch)
+		res := loadRange(lo, lo+BulkDeltaBatch, BulkDeltaBatch)
+		if res.RowsDelta != BulkDeltaBatch {
+			fail("batch %d took the wrong path: %d delta, want %d", b, res.RowsDelta, BulkDeltaBatch)
+		}
+		unit++
+		if err := markProgress(dir, unit); err != nil {
+			fail("progress: %v", err)
+		}
+	}
+
 	total := db.WALStats().TotalBytes
 	db.Close()
 	if err := os.WriteFile(totalPath(dir), []byte(strconv.FormatInt(total, 10)), 0o644); err != nil {
