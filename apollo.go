@@ -34,6 +34,7 @@ import (
 	"apollo/internal/qerr"
 	"apollo/internal/sql"
 	"apollo/internal/sqltypes"
+	"apollo/internal/stats"
 	"apollo/internal/storage"
 	"apollo/internal/table"
 	"apollo/internal/txn"
@@ -538,6 +539,16 @@ func (db *DB) Table(name string) (*Table, error) {
 
 // Tables lists table names.
 func (db *DB) Tables() []string { return db.cat.List() }
+
+// TableStats returns the optimizer's statistics snapshot for a table — live
+// row count, per-column min/max/null counts, distinct estimates, and
+// histograms — collecting or refreshing it through the planner's stats cache
+// (the same snapshot cost-based optimization uses). SHOW STATS [FOR] name is
+// the SQL equivalent.
+func (db *DB) TableStats(name string) (*stats.TableStats, error) {
+	ts, _, err := db.engine.TableStats(name)
+	return ts, err
+}
 
 // BulkLoad loads rows through the bulk path (row groups compress directly
 // when large enough; see §4.2).

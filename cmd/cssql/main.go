@@ -291,10 +291,11 @@ func runOne(sess *apollo.Session, stmt string) {
 		fmt.Println("error:", err)
 		return
 	}
-	switch {
-	case res.Message != "":
+	if res.Message != "" {
 		fmt.Println(res.Message)
-	case res.Columns != nil:
+	}
+	switch {
+	case res.Columns != nil && (res.Message == "" || len(res.Rows) > 0):
 		fmt.Println(strings.Join(res.Columns, " | "))
 		limit := len(res.Rows)
 		const maxShow = 50
@@ -331,7 +332,7 @@ func runOne(sess *apollo.Session, stmt string) {
 			}
 			fmt.Printf("operators: %s\n", strings.Join(parts, " | "))
 		}
-	default:
+	case res.Message == "":
 		fmt.Printf("%d rows affected (%v)\n", res.Affected, elapsed.Round(time.Microsecond))
 	}
 }

@@ -28,24 +28,36 @@ func (c *Compiled) ExplainAnalyze() string {
 	}
 	header := "execution: " + mode + "\n"
 	if !c.BatchMode {
-		// Row mode has no per-operator counters; show the plain tree.
-		return header + Tree(c.Plan)
+		// Row mode has no per-operator counters; show estimates only.
+		return header + TreeAnnotated(c.Plan, c.annotatePlanned)
 	}
 	return header + TreeAnnotated(c.Plan, c.annotateNode)
 }
 
-// annotateNode builds the bracketed stats annotation for one plan node.
+// annotateNode builds the bracketed stats annotation for one plan node:
+// estimated vs actual rows, batches, wall time, workers, and the scan
+// pushdown breakdown.
 func (c *Compiled) annotateNode(n Node) string {
 	var sb strings.Builder
 
 	own, aux := c.splitInstances(n)
 	if len(own) > 0 {
 		rows, batches, wall := sumOpStats(own)
-		fmt.Fprintf(&sb, "[rows=%d batches=%d wall=%s", rows, batches, formatWall(wall))
+		if est, ok := c.EstRows[n]; ok {
+			fmt.Fprintf(&sb, "[est=%d rows=%d batches=%d wall=%s", int64(est+0.5), rows, batches, formatWall(wall))
+		} else {
+			fmt.Fprintf(&sb, "[rows=%d batches=%d wall=%s", rows, batches, formatWall(wall))
+		}
 		if len(own) > 1 {
 			fmt.Fprintf(&sb, " workers=%d", len(own))
 		}
 		sb.WriteString("]")
+	}
+	if note := c.BloomNotes[n]; note != "" {
+		if sb.Len() > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString("[" + note + "]")
 	}
 	// Auxiliary replicas registered under this node (the key/argument
 	// projections feeding a parallel aggregation) are its input stage.

@@ -3,6 +3,7 @@ package plan
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"apollo/internal/exec"
@@ -58,7 +59,9 @@ type Options struct {
 	// Ablation switches for the experiment harness.
 	NoSegmentElimination bool // disable min/max segment skipping + range pushdown
 	NoBloom              bool // disable bitmap filter placement
-	NoBuildSideSwap      bool // keep joins as written
+	NoBuildSideSwap      bool // keep joins as written (also disables reordering)
+	NoJoinReorder        bool // disable cost-based join enumeration only
+	FixedDOP             bool // pin Parallel exactly; no per-pipeline reduction
 
 	// StatsCache, when set, is reused across compilations (the SQL engine
 	// keeps one per database so statistics are not re-collected per query).
@@ -119,6 +122,13 @@ type Compiled struct {
 	OpNameByNode map[Node]string
 	// ScanStatsByNode maps each logical scan to its pushdown counters.
 	ScanStatsByNode map[*Scan]*batchexec.ScanStats
+	// EstRows maps each node of the optimized plan to the optimizer's
+	// estimated output cardinality (EXPLAIN's est= annotation; EXPLAIN
+	// ANALYZE pairs it with actual rows).
+	EstRows map[Node]float64
+	// BloomNotes records cost-approved bitmap-filter placements per join
+	// node, e.g. "bloom->sales.cust" (batch mode only).
+	BloomNotes map[Node]string
 
 	// rebinds re-snapshots every scan (Options.Reusable compilations only).
 	rebinds []func(table.ReadView)
@@ -133,13 +143,26 @@ func (c *Compiled) Rebind(view table.ReadView) {
 	}
 }
 
-// Explain renders the optimized logical plan with the chosen mode.
+// Explain renders the optimized logical plan with the chosen mode, estimated
+// cardinalities, and cost-approved bitmap-filter placements.
 func (c *Compiled) Explain() string {
 	mode := "row mode"
 	if c.BatchMode {
 		mode = "batch mode"
 	}
-	return "execution: " + mode + "\n" + Tree(c.Plan)
+	return "execution: " + mode + "\n" + TreeAnnotated(c.Plan, c.annotatePlanned)
+}
+
+// annotatePlanned renders the compile-time annotations for one node.
+func (c *Compiled) annotatePlanned(n Node) string {
+	var parts []string
+	if est, ok := c.EstRows[n]; ok {
+		parts = append(parts, fmt.Sprintf("[est=%d]", int64(est+0.5)))
+	}
+	if note := c.BloomNotes[n]; note != "" {
+		parts = append(parts, "["+note+"]")
+	}
+	return strings.Join(parts, " ")
 }
 
 // Run executes the query under a background context.
@@ -179,6 +202,9 @@ func Compile(root Node, opts Options) (*Compiled, error) {
 	outSchema := root.Schema()
 
 	root = pushDownFilters(root)
+	if !opts.NoJoinReorder && !opts.NoBuildSideSwap {
+		root = reorderJoins(root, sc)
+	}
 	root = extractJoinKeys(root)
 	if !opts.NoBuildSideSwap {
 		root = chooseBuildSides(root, sc)
@@ -187,6 +213,8 @@ func Compile(root Node, opts Options) (*Compiled, error) {
 
 	useBatch := opts.Mode == Mode2014 || (opts.Mode == Mode2012 && supported2012(root))
 	c := &Compiled{Plan: root, BatchMode: useBatch, Schema: outSchema, QueryID: queryIDs.Add(1)}
+	c.EstRows = map[Node]float64{}
+	annotateEstimates(root, sc, c.EstRows)
 	if useBatch {
 		mCompiledBatch.Inc()
 	} else {
@@ -562,7 +590,7 @@ func (cc *batchCompiler) compileJoin(x *Join) (batchexec.Operator, error) {
 	if len(x.LeftKeys) == 0 {
 		return nil, fmt.Errorf("plan: batch join requires at least one equality key")
 	}
-	dop := cc.opts.Parallel
+	dop := cc.dopFor(x.Left)
 	var probe batchexec.Operator
 	var shared *batchexec.SharedSource
 	var pipes []batchexec.Operator
@@ -605,22 +633,43 @@ func (cc *batchCompiler) compileJoin(x *Join) (batchexec.Operator, error) {
 	}
 
 	// Bitmap filter opportunity: single-key inner/semi join whose probe key
-	// traces to a base-table scan column, with a build side meaningfully
-	// smaller than the probe.
+	// traces to a base-table scan column. Place the filter only when the
+	// estimated probe+output work it saves exceeds the cost of building it
+	// from the build keys and testing it on every probe row.
 	if !cc.opts.NoBloom && len(x.LeftKeys) == 1 && (x.Type == exec.Inner || x.Type == exec.LeftSemi) {
 		if key, ok := x.LeftKeys[0].(*expr.ColRef); ok {
 			if scanNode, tableCol, ok := traceToScan(x.Left, key.Idx); ok {
 				if phys, ok := cc.scanFor[scanNode]; ok {
 					buildRows := estimateRows(x.Right, cc.sc)
 					probeRows := estimateRows(x.Left, cc.sc)
-					if buildRows < probeRows/2 {
+					outRows := estimateRows(x, cc.sc)
+					passFrac := 1.0
+					if probeRows > 0 {
+						passFrac = clampF(outRows/probeRows, 0, 1)
+					}
+					benefit := probeRows * (1 - passFrac) * costBloomSavedRow
+					cost := buildRows*costBloomBuildRow + probeRows*costBloomTestRow
+					if benefit > cost && buildRows < probeRows {
 						cc.blooms = append(cc.blooms, pendingBloom{join: j, scan: phys, scanCol: tableCol})
+						cc.noteBloom(x, scanNode, tableCol)
+						mBloomsPlaced.Inc()
+					} else {
+						mBloomsCostSkipped.Inc()
 					}
 				}
 			}
 		}
 	}
 	return j, nil
+}
+
+// noteBloom records a placement for EXPLAIN output.
+func (cc *batchCompiler) noteBloom(join Node, scanNode *Scan, tableCol int) {
+	if cc.compiled.BloomNotes == nil {
+		cc.compiled.BloomNotes = map[Node]string{}
+	}
+	cc.compiled.BloomNotes[join] = fmt.Sprintf("bloom->%s.%s",
+		scanNode.Table.Name, scanNode.Table.Schema.Cols[tableCol].Name)
 }
 
 // traceToScan follows a column reference down through filters, projections of
@@ -644,6 +693,11 @@ func traceToScan(n Node, col int) (*Scan, int, bool) {
 		lw := x.Left.Schema().Len()
 		if col < lw {
 			return traceToScan(x.Left, col)
+		}
+		// Build-side columns pass through inner joins unchanged; tracing them
+		// serves NDV estimation (blooms only ever trace probe-side keys).
+		if x.Type == exec.Inner {
+			return traceToScan(x.Right, col-lw)
 		}
 		return nil, 0, false
 	default:
@@ -689,7 +743,7 @@ func (cc *batchCompiler) compileAgg(x *Agg) (batchexec.Operator, string, error) 
 		groupBy[i] = i
 	}
 
-	if dop := cc.opts.Parallel; dop > 1 && batchexec.ParallelizableAggs(aggs) {
+	if dop := cc.dopFor(x.In); dop > 1 && batchexec.ParallelizableAggs(aggs) {
 		base, chain, err := cc.compilePipeline(x.In)
 		if err != nil {
 			return nil, "", err

@@ -1,0 +1,279 @@
+package plan
+
+import (
+	"math"
+
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+	"apollo/internal/stats"
+)
+
+// Cost-model constants, in abstract units of one batch-mode row touched.
+// Ratios matter, not absolutes: building a hash table costs about twice a
+// probe (insert + allocation vs lookup), emitting an output row costs about
+// half (copy only), and a Bloom filter trades a cheap per-probe-row test
+// against the probe and output work of every row it rejects.
+const (
+	costScanRow   = 1.0
+	costBuildRow  = 2.0
+	costProbeRow  = 1.0
+	costOutputRow = 0.5
+
+	costBloomBuildRow = 0.25 // add one build key to the filter
+	costBloomTestRow  = 0.1  // test one probe value, vectorized in the scan
+	costBloomSavedRow = costProbeRow + costOutputRow
+
+	// dopRowsPerWorker grants one exchange worker per this many estimated
+	// probe rows, capped by Options.Parallel. Sized to the engine's small
+	// row groups so modest tables still exercise multi-worker pipelines.
+	dopRowsPerWorker = 256
+)
+
+// estimateRows estimates the output cardinality of a plan node from table
+// statistics: histogram/NDV selectivity for filter conjuncts (traced to base
+// scan columns), NDV-based join cardinality, and group-count products for
+// aggregations.
+func estimateRows(n Node, sc *StatsCache) float64 {
+	switch x := n.(type) {
+	case *Scan:
+		st := sc.get(x.Table)
+		rows := float64(st.Rows)
+		if x.Filter != nil {
+			rows *= st.SelectivityOf(expr.Conjuncts(x.Filter))
+		}
+		return maxF(rows, 1)
+	case *Filter:
+		in := estimateRows(x.In, sc)
+		conjs := expr.Conjuncts(x.Pred)
+		sels := make([]float64, len(conjs))
+		for i, c := range conjs {
+			sels[i] = conjunctSelAt(x.In, c, sc)
+		}
+		return maxF(in*stats.CombineSelectivities(sels), 1)
+	case *Project:
+		return estimateRows(x.In, sc)
+	case *Join:
+		return estimateJoinRows(x, sc)
+	case *Agg:
+		in := estimateRows(x.In, sc)
+		if len(x.GroupBy) == 0 {
+			return 1
+		}
+		groups := 1.0
+		for _, g := range x.GroupBy {
+			if cr, ok := g.(*expr.ColRef); ok {
+				groups *= colNDV(x.In, cr.Idx, sc, in)
+			} else {
+				groups *= 10 // date parts, arithmetic: assume few
+			}
+		}
+		return maxF(minF(groups, in), 1)
+	case *Sort:
+		return estimateRows(x.In, sc)
+	case *Limit:
+		in := estimateRows(x.In, sc)
+		if x.N >= 0 && float64(x.N) < in {
+			return float64(x.N)
+		}
+		return in
+	case *Union:
+		total := 0.0
+		for _, c := range x.Ins {
+			total += estimateRows(c, sc)
+		}
+		return total
+	default:
+		return 1
+	}
+}
+
+// estimateJoinRows estimates join cardinality: |L ⋈ R| = |L|·|R|·sel, where
+// each equi-key contributes 1/max(ndvL, ndvR) and remaining residual
+// conjuncts their single-column selectivity (or a default guess), combined
+// with the exponential backoff damp.
+func estimateJoinRows(x *Join, sc *StatsCache) float64 {
+	l := estimateRows(x.Left, sc)
+	r := estimateRows(x.Right, sc)
+	lw := x.Left.Schema().Len()
+
+	var sels []float64    // all conjuncts, for inner/outer cardinality
+	var resSels []float64 // non-equi residuals only, for semi/anti match
+	var ndvL, ndvR []float64
+	addKey := func(lk, rk expr.Expr) bool {
+		lc, lok := lk.(*expr.ColRef)
+		rc, rok := rk.(*expr.ColRef)
+		if !lok || !rok {
+			return false
+		}
+		nl := colNDV(x.Left, lc.Idx, sc, l)
+		nr := colNDV(x.Right, rc.Idx, sc, r)
+		ndvL = append(ndvL, nl)
+		ndvR = append(ndvR, nr)
+		sels = append(sels, 1/maxF(maxF(nl, nr), 1))
+		return true
+	}
+	addResidual := func(c expr.Expr) {
+		sel := residualSel(x, c, lw, sc)
+		sels = append(sels, sel)
+		resSels = append(resSels, sel)
+	}
+	for i := range x.LeftKeys {
+		if !addKey(x.LeftKeys[i], x.RightKeys[i]) {
+			sels = append(sels, stats.DefaultConjunctSelectivity)
+		}
+	}
+	if x.Residual != nil {
+		for _, c := range expr.Conjuncts(x.Residual) {
+			if lk, rk, ok := equiKey(c, lw); ok {
+				if addKey(lk, rk) {
+					continue
+				}
+			}
+			addResidual(c)
+		}
+	}
+	sel := stats.CombineSelectivities(sels)
+
+	switch x.Type {
+	case exec.LeftSemi, exec.LeftAnti:
+		// Fraction of probe rows with at least one surviving match: how many
+		// of the probe's distinct key values the (residual-thinned) build
+		// side is expected to cover.
+		match := 0.5
+		if len(ndvL) > 0 {
+			rEff := r
+			for _, s := range resSels {
+				rEff *= s
+			}
+			covered := coveredKeys(ndvR[0], rEff)
+			match = clampF(covered/maxF(ndvL[0], 1), 0, 1)
+		}
+		if x.Type == exec.LeftAnti {
+			match = 1 - match
+		}
+		return maxF(l*match, 1)
+	case exec.LeftOuter:
+		return maxF(l*r*sel, l)
+	case exec.RightOuter:
+		return maxF(l*r*sel, r)
+	case exec.FullOuter:
+		return maxF(l*r*sel, l+r)
+	default:
+		return maxF(l*r*sel, 1)
+	}
+}
+
+// coveredKeys is the expected number of distinct key values hit by rows
+// draws from a domain of ndv values (coupon-collector coverage).
+func coveredKeys(ndv, rows float64) float64 {
+	if ndv <= 1 {
+		return minF(ndv, rows)
+	}
+	return ndv * (1 - math.Pow(1-1/ndv, maxF(rows, 0)))
+}
+
+// residualSel estimates the selectivity of a non-equi join residual bound to
+// the concatenated left++right schema: single-column conjuncts trace into
+// whichever side owns the column.
+func residualSel(x *Join, c expr.Expr, lw int, sc *StatsCache) float64 {
+	refs := map[int]bool{}
+	expr.ReferencedCols(c, refs)
+	if len(refs) != 1 {
+		return stats.DefaultConjunctSelectivity
+	}
+	var col int
+	for r := range refs {
+		col = r
+	}
+	if col < lw {
+		return conjunctSelAt(x.Left, c, sc)
+	}
+	return conjunctSelAt(x.Right, expr.Remap(c, map[int]int{col: col - lw}), sc)
+}
+
+// conjunctSelAt estimates the selectivity of one conjunct evaluated above
+// node in: single-column predicates are traced through filters, projections,
+// and probe sides down to the base scan column they constrain, where table
+// statistics apply; everything else gets the default guess.
+func conjunctSelAt(in Node, c expr.Expr, sc *StatsCache) float64 {
+	refs := map[int]bool{}
+	expr.ReferencedCols(c, refs)
+	if len(refs) != 1 {
+		return stats.DefaultConjunctSelectivity
+	}
+	var col int
+	for r := range refs {
+		col = r
+	}
+	scanNode, tableCol, ok := traceToScan(in, col)
+	if !ok {
+		return stats.DefaultConjunctSelectivity
+	}
+	ts := sc.get(scanNode.Table)
+	return ts.ConjunctSelectivity(expr.Remap(c, map[int]int{col: tableCol}))
+}
+
+// colNDV estimates the number of distinct values column col (bound to n's
+// schema) takes in n's output: the base column's distinct estimate, capped by
+// the node's estimated row count. Untraceable columns (computed expressions)
+// are assumed key-like.
+func colNDV(n Node, col int, sc *StatsCache, rowsEst float64) float64 {
+	scanNode, tableCol, ok := traceToScan(n, col)
+	if !ok {
+		return maxF(rowsEst, 1)
+	}
+	ts := sc.get(scanNode.Table)
+	ndv := float64(ts.Cols[tableCol].DistinctEst)
+	return minF(maxF(ndv, 1), maxF(rowsEst, 1))
+}
+
+// dopFor picks the degree of parallelism for a pipeline over node n: one
+// worker per dopRowsPerWorker estimated rows, capped by the configured
+// parallelism. FixedDOP pins the global knob (ablation / experiments).
+func (cc *batchCompiler) dopFor(n Node) int {
+	dop := cc.opts.Parallel
+	if dop <= 1 || cc.opts.FixedDOP {
+		return dop
+	}
+	rows := estimateRows(n, cc.sc)
+	if byRows := int(rows/dopRowsPerWorker) + 1; byRows < dop {
+		dop = byRows
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	return dop
+}
+
+// annotateEstimates records estimated output rows for every node in the
+// optimized plan (EXPLAIN's est= column).
+func annotateEstimates(n Node, sc *StatsCache, m map[Node]float64) {
+	m[n] = estimateRows(n, sc)
+	for _, c := range children(n) {
+		annotateEstimates(c, sc, m)
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

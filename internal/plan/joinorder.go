@@ -1,0 +1,347 @@
+package plan
+
+import (
+	"math/bits"
+	"sort"
+
+	"apollo/internal/exec"
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+	"apollo/internal/stats"
+)
+
+// Join-enumeration limits. Regions up to dpMaxLeaves relations are solved
+// exactly by DP over subsets (3^n subset splits); larger regions fall back to
+// greedy pairwise combination. Regions beyond maxRegionLeaves are left in
+// binder order (they would not fit the bitmask).
+const (
+	dpMaxLeaves     = 6
+	maxRegionLeaves = 32
+)
+
+// reorderJoins rewrites each maximal inner-join region — a subtree of
+// consecutive inner joins — into the cheapest join tree the cost model can
+// find, choosing both the join order and the build/probe orientation of each
+// join from estimated cardinalities. Non-inner joins, aggregations, and other
+// nodes bound the region and are treated as leaves (their own subtrees are
+// reordered recursively). A compensating projection restores the original
+// output column order, so the rewrite is invisible to parents.
+func reorderJoins(n Node, sc *StatsCache) Node {
+	x, ok := n.(*Join)
+	if !ok || x.Type != exec.Inner {
+		mutateChildren(n, func(c Node) Node { return reorderJoins(c, sc) })
+		return n
+	}
+	rg := &joinRegion{schema: x.Schema()}
+	rg.flatten(x, 0, sc)
+	if len(rg.leaves) < 2 || len(rg.leaves) > maxRegionLeaves {
+		return x
+	}
+	rg.classifyConjuncts()
+	best := rg.enumerate(sc)
+	if best == nil {
+		// Disconnected join graph (no equi-predicate linking some subset):
+		// keep the binder's order, which row mode can still execute.
+		return x
+	}
+	mJoinRegionsReordered.Inc()
+	return rg.restoreOrder(best)
+}
+
+// joinLeaf is one relation of a join region: any node that is not an inner
+// join (scans, filtered scans, semi joins, aggregations, ...).
+type joinLeaf struct {
+	node  Node
+	start int // column offset in the region's original concatenated schema
+	width int
+	rows  float64
+}
+
+// regionConj is one join-region conjunct bound to the region's original
+// concatenated schema.
+type regionConj struct {
+	e    expr.Expr
+	mask uint64 // leaves referenced
+	// For cross-leaf equi-predicates (col = col): the two global columns.
+	equi       bool
+	lcol, rcol int
+}
+
+type joinRegion struct {
+	leaves []joinLeaf
+	conjs  []expr.Expr // global binding, gathered during flatten
+	cc     []regionConj
+	schema *sqltypes.Schema
+}
+
+// flatten walks the maximal inner-join subtree rooted at n, collecting
+// leaves (with their global column offsets) and all join predicates — both
+// already-extracted equi-keys and residuals — rebound to the region's
+// concatenated schema. Returns the subtree's column width.
+func (rg *joinRegion) flatten(n Node, offset int, sc *StatsCache) int {
+	if j, ok := n.(*Join); ok && j.Type == exec.Inner {
+		lw := rg.flatten(j.Left, offset, sc)
+		rw := rg.flatten(j.Right, offset+lw, sc)
+		for i := range j.LeftKeys {
+			lk := remapShift(j.LeftKeys[i], offset)
+			rk := remapShift(j.RightKeys[i], offset+lw)
+			rg.conjs = append(rg.conjs, expr.NewCmp(expr.EQ, lk, rk))
+		}
+		if j.Residual != nil {
+			rg.conjs = append(rg.conjs, expr.Conjuncts(remapShift(j.Residual, offset))...)
+		}
+		return lw + rw
+	}
+	leaf := reorderJoins(n, sc)
+	w := leaf.Schema().Len()
+	rg.leaves = append(rg.leaves, joinLeaf{
+		node: leaf, start: offset, width: w,
+		rows: estimateRows(leaf, sc),
+	})
+	return w
+}
+
+// remapShift rebinds an expression by adding shift to every column index.
+func remapShift(e expr.Expr, shift int) expr.Expr {
+	if shift == 0 {
+		return e
+	}
+	refs := map[int]bool{}
+	expr.ReferencedCols(e, refs)
+	m := make(map[int]int, len(refs))
+	for r := range refs {
+		m[r] = r + shift
+	}
+	return expr.Remap(e, m)
+}
+
+// leafOfCol maps a global column index to its leaf.
+func (rg *joinRegion) leafOfCol(g int) int {
+	i := sort.Search(len(rg.leaves), func(j int) bool { return rg.leaves[j].start > g })
+	return i - 1
+}
+
+// classifyConjuncts computes each conjunct's leaf mask and equi-key shape.
+// Conjuncts confined to a single leaf (defensive: pushdown should have sunk
+// them) are applied to that leaf immediately.
+func (rg *joinRegion) classifyConjuncts() {
+	for _, e := range rg.conjs {
+		refs := map[int]bool{}
+		expr.ReferencedCols(e, refs)
+		var mask uint64
+		for r := range refs {
+			mask |= 1 << uint(rg.leafOfCol(r))
+		}
+		if bits.OnesCount64(mask) <= 1 {
+			li := 0
+			if mask != 0 {
+				li = bits.TrailingZeros64(mask)
+			}
+			leaf := &rg.leaves[li]
+			leaf.node = &Filter{In: leaf.node, Pred: remapShift(e, -leaf.start)}
+			leaf.rows = maxF(leaf.rows*stats.DefaultConjunctSelectivity, 1)
+			continue
+		}
+		c := regionConj{e: e, mask: mask, lcol: -1, rcol: -1}
+		if cmp, ok := e.(*expr.Cmp); ok && cmp.Op == expr.EQ {
+			l, lok := cmp.L.(*expr.ColRef)
+			r, rok := cmp.R.(*expr.ColRef)
+			if lok && rok && rg.leafOfCol(l.Idx) != rg.leafOfCol(r.Idx) {
+				c.equi, c.lcol, c.rcol = true, l.Idx, r.Idx
+			}
+		}
+		rg.cc = append(rg.cc, c)
+	}
+}
+
+// dpPlan is one candidate join tree over a leaf subset.
+type dpPlan struct {
+	node  Node
+	mask  uint64
+	order []int // leaf indexes in output (concat) order
+	rows  float64
+	cost  float64
+}
+
+// enumerate finds the cheapest join tree covering every leaf: exact DP over
+// subsets up to dpMaxLeaves relations, greedy pairwise combination above.
+// Returns nil when the equi-join graph is disconnected (batch hash joins
+// need at least one equality key per join).
+func (rg *joinRegion) enumerate(sc *StatsCache) *dpPlan {
+	n := len(rg.leaves)
+	if n <= dpMaxLeaves {
+		return rg.enumerateDP(sc)
+	}
+	return rg.enumerateGreedy(sc)
+}
+
+func (rg *joinRegion) leafPlan(i int) *dpPlan {
+	l := &rg.leaves[i]
+	return &dpPlan{
+		node: l.node, mask: 1 << uint(i), order: []int{i},
+		rows: l.rows, cost: costScanRow * l.rows,
+	}
+}
+
+func (rg *joinRegion) enumerateDP(sc *StatsCache) *dpPlan {
+	n := len(rg.leaves)
+	best := make([]*dpPlan, 1<<uint(n))
+	for i := 0; i < n; i++ {
+		best[1<<uint(i)] = rg.leafPlan(i)
+	}
+	full := uint64(1<<uint(n)) - 1
+	for mask := uint64(1); mask <= full; mask++ {
+		if bits.OnesCount64(mask) < 2 {
+			continue
+		}
+		// Canonical submask walk: deterministic order, strict improvement.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			a, b := best[sub], best[mask^sub]
+			if a == nil || b == nil {
+				continue
+			}
+			p := rg.combine(a, b, sc)
+			if p != nil && (best[mask] == nil || p.cost < best[mask].cost) {
+				best[mask] = p
+			}
+		}
+	}
+	return best[full]
+}
+
+func (rg *joinRegion) enumerateGreedy(sc *StatsCache) *dpPlan {
+	plans := make([]*dpPlan, len(rg.leaves))
+	for i := range rg.leaves {
+		plans[i] = rg.leafPlan(i)
+	}
+	for len(plans) > 1 {
+		var bp *dpPlan
+		bi, bj := -1, -1
+		for i := 0; i < len(plans); i++ {
+			for j := 0; j < len(plans); j++ {
+				if i == j {
+					continue
+				}
+				p := rg.combine(plans[i], plans[j], sc)
+				if p != nil && (bp == nil || p.cost < bp.cost) {
+					bp, bi, bj = p, i, j
+				}
+			}
+		}
+		if bp == nil {
+			return nil // disconnected
+		}
+		if bi > bj {
+			bi, bj = bj, bi
+			// bp stays: it already encodes its own orientation.
+		}
+		plans[bi] = bp
+		plans = append(plans[:bj], plans[bj+1:]...)
+	}
+	return plans[0]
+}
+
+// combine joins candidate a (probe side) with b (build side), attaching every
+// conjunct that spans the two and estimating cardinality and cost. Returns
+// nil when no equi-predicate connects the sides: batch hash joins require an
+// equality key, so such a join is never formed.
+func (rg *joinRegion) combine(a, b *dpPlan, sc *StatsCache) *dpPlan {
+	both := a.mask | b.mask
+	var applicable []regionConj
+	hasEqui := false
+	for _, c := range rg.cc {
+		if c.mask&both != c.mask || c.mask&a.mask == 0 || c.mask&b.mask == 0 {
+			continue
+		}
+		applicable = append(applicable, c)
+		if c.equi {
+			hasEqui = true
+		}
+	}
+	if !hasEqui {
+		return nil
+	}
+
+	order := make([]int, 0, len(a.order)+len(b.order))
+	order = append(order, a.order...)
+	order = append(order, b.order...)
+	toLocal := rg.localMapping(order)
+
+	// Selectivity: equi-keys via NDV, everything else the default guess,
+	// combined with the exponential backoff damp.
+	var sels []float64
+	var residual []expr.Expr
+	for _, c := range applicable {
+		residual = append(residual, expr.Remap(c.e, toLocal))
+		if !c.equi {
+			sels = append(sels, stats.DefaultConjunctSelectivity)
+			continue
+		}
+		nl := rg.globalColNDV(c.lcol, sc, a, b)
+		nr := rg.globalColNDV(c.rcol, sc, a, b)
+		sels = append(sels, 1/maxF(maxF(nl, nr), 1))
+	}
+	rows := maxF(a.rows*b.rows*stats.CombineSelectivities(sels), 1)
+	cost := a.cost + b.cost + costBuildRow*b.rows + costProbeRow*a.rows + costOutputRow*rows
+
+	join := &Join{
+		Left: a.node, Right: b.node, Type: exec.Inner,
+		Residual: andAll(residual), Placed: true,
+	}
+	return &dpPlan{node: join, mask: both, order: order, rows: rows, cost: cost}
+}
+
+// localMapping maps global (original concat) column indexes to positions in
+// the concatenation of leaves in the given order.
+func (rg *joinRegion) localMapping(order []int) map[int]int {
+	m := map[int]int{}
+	pos := 0
+	for _, li := range order {
+		l := &rg.leaves[li]
+		for i := 0; i < l.width; i++ {
+			m[l.start+i] = pos
+			pos++
+		}
+	}
+	return m
+}
+
+// globalColNDV estimates the distinct count of a global column within
+// whichever candidate side contains it.
+func (rg *joinRegion) globalColNDV(g int, sc *StatsCache, a, b *dpPlan) float64 {
+	li := rg.leafOfCol(g)
+	leaf := &rg.leaves[li]
+	side := a
+	if b.mask&(1<<uint(li)) != 0 {
+		side = b
+	}
+	ndv := colNDV(leaf.node, g-leaf.start, sc, leaf.rows)
+	// The column's distinct count cannot exceed the side's estimated rows.
+	return minF(maxF(ndv, 1), maxF(side.rows, 1))
+}
+
+// restoreOrder wraps the winning join tree in a projection restoring the
+// region's original output column order (skipped when the order is already
+// identical).
+func (rg *joinRegion) restoreOrder(best *dpPlan) Node {
+	identity := true
+	for i, li := range best.order {
+		if i != li {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return best.node
+	}
+	toLocal := rg.localMapping(best.order)
+	total := rg.schema.Len()
+	exprs := make([]expr.Expr, total)
+	names := make([]string, total)
+	for g := 0; g < total; g++ {
+		col := rg.schema.Cols[g]
+		exprs[g] = expr.NewColRef(toLocal[g], col.Name, col.Typ)
+		names[g] = col.Name
+	}
+	return &Project{In: best.node, Exprs: exprs, Names: names}
+}

@@ -11,4 +11,12 @@ var (
 		"pipelines whose stateless stage run was cut off for per-worker replication")
 	mStagesReplicated = metrics.Default.Counter("apollo_plan_stages_replicated_total",
 		"filter/project stage replicas stamped out for exchange workers")
+	mStatsCollections = metrics.Default.Counter("apollo_plan_stats_collections_total",
+		"statistics collections triggered by cache misses or staleness")
+	mJoinRegionsReordered = metrics.Default.Counter("apollo_plan_join_regions_reordered_total",
+		"inner-join regions rewritten by the cost-based join enumerator")
+	mBloomsPlaced = metrics.Default.Counter(`apollo_plan_bloom_decisions_total{outcome="placed"}`,
+		"bitmap-filter placements approved by the cost gate")
+	mBloomsCostSkipped = metrics.Default.Counter(`apollo_plan_bloom_decisions_total{outcome="skipped"}`,
+		"bitmap-filter placements rejected by the cost gate")
 )

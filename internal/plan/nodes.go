@@ -93,6 +93,9 @@ type Join struct {
 	// LeftKeys/RightKeys are bound to the respective child schemas.
 	LeftKeys, RightKeys []expr.Expr
 	Residual            expr.Expr
+	// Placed marks joins whose input order was already fixed by the
+	// cost-based join enumerator; chooseBuildSides must not re-swap them.
+	Placed bool
 }
 
 // Schema implements Node.

@@ -11,7 +11,8 @@ import (
 
 // StatsCache memoizes per-table statistics. One cache can be shared across
 // compilations (the SQL engine keeps one per database); entries refresh when
-// the table's live row count drifts more than 10% from collection time.
+// the table's publish epoch moves (tuple-mover publishes, bulk loads,
+// rebuilds) or the live row count drifts more than 10% from collection time.
 type StatsCache struct {
 	mu sync.Mutex
 	m  map[*table.Table]*stats.TableStats
@@ -20,21 +21,31 @@ type StatsCache struct {
 // NewStatsCache creates an empty statistics cache.
 func NewStatsCache() *StatsCache { return &StatsCache{m: map[*table.Table]*stats.TableStats{}} }
 
+// Stats returns current statistics for t, recollecting if the cached entry
+// is stale.
+func (c *StatsCache) Stats(t *table.Table) *stats.TableStats { return c.get(t) }
+
 func (c *StatsCache) get(t *table.Table) *stats.TableStats {
 	cur := t.Rows()
+	version := t.StatsVersion()
 	c.mu.Lock()
-	if s, ok := c.m[t]; ok {
+	if s, ok := c.m[t]; ok && s.Version == version {
 		drift := s.Rows - cur
 		if drift < 0 {
 			drift = -drift
 		}
-		if drift*10 <= s.Rows || drift < 100 {
+		// Trickle inserts and deletes do not change a publish epoch; refresh
+		// once the row count has drifted more than 10% anyway. Small tables
+		// get no absolute-drift escape: a 50-row dimension that doubles must
+		// recollect like anyone else.
+		if drift*10 <= s.Rows {
 			c.mu.Unlock()
 			return s
 		}
 	}
 	c.mu.Unlock()
 	s := stats.Collect(t)
+	mStatsCollections.Inc()
 	c.mu.Lock()
 	c.m[t] = s
 	c.mu.Unlock()
@@ -280,82 +291,17 @@ func mutateChildren(n Node, fn func(Node) Node) {
 	}
 }
 
-// estimateRows gives a coarse cardinality estimate for build-side selection
-// and bloom placement.
-func estimateRows(n Node, sc *StatsCache) float64 {
-	switch x := n.(type) {
-	case *Scan:
-		st := sc.get(x.Table)
-		rows := float64(st.Rows)
-		if x.Filter != nil {
-			for _, c := range expr.Conjuncts(x.Filter) {
-				sel := 0.25 // default guess for opaque predicates
-				for col := 0; col < x.Table.Schema.Len(); col++ {
-					if lo, hi, ok := expr.ColRange(c, col); ok {
-						sel = st.RangeSelectivity(col, lo, hi)
-						break
-					}
-				}
-				rows *= sel
-			}
-		}
-		if rows < 1 {
-			rows = 1
-		}
-		return rows
-	case *Filter:
-		return maxF(estimateRows(x.In, sc)*0.25, 1)
-	case *Project:
-		return estimateRows(x.In, sc)
-	case *Join:
-		l := estimateRows(x.Left, sc)
-		r := estimateRows(x.Right, sc)
-		switch x.Type {
-		case exec.LeftSemi, exec.LeftAnti:
-			return maxF(l*0.5, 1)
-		default:
-			// FK-join shape: output near the bigger input.
-			return maxF(l, r)
-		}
-	case *Agg:
-		in := estimateRows(x.In, sc)
-		if len(x.GroupBy) == 0 {
-			return 1
-		}
-		return maxF(in/10, 1)
-	case *Sort:
-		return estimateRows(x.In, sc)
-	case *Limit:
-		in := estimateRows(x.In, sc)
-		if x.N >= 0 && float64(x.N) < in {
-			return float64(x.N)
-		}
-		return in
-	case *Union:
-		total := 0.0
-		for _, c := range x.Ins {
-			total += estimateRows(c, sc)
-		}
-		return total
-	default:
-		return 1
-	}
-}
-
-func maxF(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // chooseBuildSides swaps join inputs so the smaller side becomes the build
 // (right) input, preserving output column order with a compensating Project.
+// Joins the cost-based enumerator already oriented (Placed) are left alone.
 func chooseBuildSides(n Node, sc *StatsCache) Node {
 	mutateChildren(n, func(c Node) Node { return chooseBuildSides(c, sc) })
 	x, ok := n.(*Join)
 	if !ok {
 		return n
+	}
+	if x.Placed {
+		return n // enumerator chose this orientation by cost
 	}
 	if x.Type == exec.LeftSemi || x.Type == exec.LeftAnti {
 		return n // probe side is fixed by semantics

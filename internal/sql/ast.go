@@ -50,6 +50,10 @@ type Reorganize struct{ Table string }
 // rows and folding delta rows into row groups (ALTER INDEX ... REBUILD).
 type Rebuild struct{ Table string }
 
+// ShowStats is SHOW STATS [FOR] name: report the optimizer's statistics
+// snapshot for one table (one row per column), refreshing it first if stale.
+type ShowStats struct{ Table string }
+
 // Copy is COPY table FROM 'path' [WITH (options)]: the bulk-load statement.
 // Batches at or above the table's bulk threshold compress directly into row
 // groups; smaller remainders fall back to batched delta inserts. Options:
@@ -125,6 +129,7 @@ func (*Delete) stmt()      {}
 func (*Update) stmt()      {}
 func (*Reorganize) stmt()  {}
 func (*Rebuild) stmt()     {}
+func (*ShowStats) stmt()   {}
 func (*Copy) stmt()        {}
 func (*Explain) stmt()     {}
 func (*Select) stmt()      {}

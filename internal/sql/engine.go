@@ -11,6 +11,7 @@ import (
 	"apollo/internal/expr"
 	"apollo/internal/plan"
 	"apollo/internal/sqltypes"
+	"apollo/internal/stats"
 	"apollo/internal/storage"
 	"apollo/internal/table"
 	"apollo/internal/txn"
@@ -143,9 +144,68 @@ func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Resu
 			return nil, err
 		}
 		return &Result{Message: fmt.Sprintf("rebuilt %s", x.Table)}, nil
+	case *ShowStats:
+		return e.showStats(x)
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %T", st)
 	}
+}
+
+// showStats renders the optimizer's statistics snapshot for one table, one
+// row per column, refreshing the cached snapshot first if it has gone stale.
+func (e *Engine) showStats(x *ShowStats) (*Result, error) {
+	ts, t, err := e.TableStats(x.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := sqltypes.NewSchema(
+		sqltypes.Column{Name: "column", Typ: sqltypes.String},
+		sqltypes.Column{Name: "type", Typ: sqltypes.String},
+		sqltypes.Column{Name: "min", Typ: sqltypes.String, Nullable: true},
+		sqltypes.Column{Name: "max", Typ: sqltypes.String, Nullable: true},
+		sqltypes.Column{Name: "nulls", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "ndv", Typ: sqltypes.Int64},
+		sqltypes.Column{Name: "hist_buckets", Typ: sqltypes.Int64},
+	)
+	bound := func(v sqltypes.Value) sqltypes.Value {
+		if v.Null {
+			return sqltypes.NewNull(sqltypes.String)
+		}
+		return sqltypes.NewString(v.String())
+	}
+	rows := make([]sqltypes.Row, 0, len(ts.Cols))
+	for i, cs := range ts.Cols {
+		buckets := 0
+		if cs.Hist != nil {
+			buckets = len(cs.Hist.Bounds)
+		}
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(t.Schema.Cols[i].Name),
+			sqltypes.NewString(t.Schema.Cols[i].Typ.String()),
+			bound(cs.Min),
+			bound(cs.Max),
+			sqltypes.NewInt(int64(cs.NullCount)),
+			sqltypes.NewInt(int64(cs.DistinctEst)),
+			sqltypes.NewInt(int64(buckets)),
+		})
+	}
+	return &Result{
+		Schema: schema,
+		Rows:   rows,
+		Message: fmt.Sprintf("statistics for %s: rows=%d sampled=%d version=%d",
+			x.Table, ts.Rows, ts.SampledRows, ts.Version),
+	}, nil
+}
+
+// TableStats returns the optimizer's statistics snapshot for the named
+// table, collecting or refreshing it through the engine's stats cache.
+func (e *Engine) TableStats(name string) (*stats.TableStats, *table.Table, error) {
+	t, err := e.Cat.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.statsOnce.Do(func() { e.statsCache = plan.NewStatsCache() })
+	return e.statsCache.Stats(t), t, nil
 }
 
 func (e *Engine) compile(s *Select, view table.ReadView) (*plan.Compiled, error) {

@@ -43,7 +43,7 @@ var keywords = map[string]bool{
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "YEAR": true,
 	"MONTH": true, "DAY": true, "DATE": true, "SEMI": true, "ANTI": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
-	"COPY": true,
+	"COPY": true, "SHOW": true, "STATS": true, "FOR": true,
 }
 
 type lexer struct {

@@ -118,6 +118,16 @@ func (p *parser) statement() (Statement, error) {
 		return &Rebuild{Table: name}, nil
 	case p.accept(tokKeyword, "COPY"):
 		return p.copyStmt()
+	case p.accept(tokKeyword, "SHOW"):
+		if _, err := p.expect(tokKeyword, "STATS"); err != nil {
+			return nil, err
+		}
+		p.accept(tokKeyword, "FOR")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ShowStats{Table: name}, nil
 	case p.accept(tokKeyword, "BEGIN"):
 		p.accept(tokKeyword, "TRANSACTION")
 		return &Begin{}, nil

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"apollo/internal/expr"
+	"apollo/internal/sqltypes"
+)
+
+// DefaultConjunctSelectivity is the guess for predicates the estimator
+// cannot analyze (arithmetic over several columns, opaque functions).
+const DefaultConjunctSelectivity = 0.25
+
+// EqSelectivity estimates the fraction of rows where column col equals v.
+// Heavy hitters are read off repeated histogram bounds; everything else
+// falls back to 1/NDV scaled by the non-null fraction.
+func (ts *TableStats) EqSelectivity(col int, v sqltypes.Value) float64 {
+	cs := &ts.Cols[col]
+	if ts.Rows == 0 || v.Null {
+		return 0
+	}
+	if !cs.Min.Null &&
+		(sqltypes.Compare(v, cs.Min) < 0 || sqltypes.Compare(v, cs.Max) > 0) {
+		return 0
+	}
+	nonNull := float64(ts.Rows-cs.NullCount) / float64(ts.Rows)
+	f := -1.0
+	if cs.Hist != nil {
+		f = cs.Hist.FracEQ(v)
+		if f < 0 && v.Typ != sqltypes.String && v.Typ != sqltypes.Float64 {
+			f = cs.Hist.EqDensity(v)
+		}
+	}
+	if f < 0 {
+		f = 1 / float64(max(cs.DistinctEst, 1))
+	}
+	return clamp01(f) * nonNull
+}
+
+// RangeSelectivityOpen estimates the fraction of rows with col in the
+// interval bounded by lo/hi (NULL = unbounded; loOpen/hiOpen mark exclusive
+// bounds), preferring the column's equi-depth histogram over the uniform
+// assumption.
+func (ts *TableStats) RangeSelectivityOpen(col int, lo, hi sqltypes.Value, loOpen, hiOpen bool) float64 {
+	cs := &ts.Cols[col]
+	if ts.Rows == 0 {
+		return 0
+	}
+	if !lo.Null && !hi.Null && !loOpen && !hiOpen && sqltypes.Compare(lo, hi) == 0 {
+		return ts.EqSelectivity(col, lo)
+	}
+	if cs.Hist == nil || len(cs.Hist.Bounds) == 0 {
+		return ts.RangeSelectivity(col, lo, hi)
+	}
+	h := cs.Hist
+	eqFrac := func(v sqltypes.Value) float64 {
+		if f := h.FracEQ(v); f >= 0 {
+			return f
+		}
+		return 1 / float64(max(cs.DistinctEst, 1))
+	}
+	fhi := 1.0
+	if !hi.Null {
+		fhi = h.FracLE(hi)
+		if hiOpen {
+			fhi -= eqFrac(hi)
+		}
+	}
+	flo := 0.0
+	if !lo.Null {
+		flo = h.FracLE(lo)
+		if !loOpen {
+			flo -= eqFrac(lo)
+		}
+	}
+	nonNull := float64(ts.Rows-cs.NullCount) / float64(ts.Rows)
+	return clamp01(fhi-flo) * nonNull
+}
+
+// ConjunctSelectivity estimates the selectivity of a single conjunct bound
+// to this table's schema.
+func (ts *TableStats) ConjunctSelectivity(c expr.Expr) float64 {
+	if ts.Rows == 0 {
+		return 0
+	}
+	switch x := c.(type) {
+	case *expr.IsNull:
+		if col, ok := x.E.(*expr.ColRef); ok && col.Idx < len(ts.Cols) {
+			nullFrac := float64(ts.Cols[col.Idx].NullCount) / float64(ts.Rows)
+			if x.Negate {
+				return clamp01(1 - nullFrac)
+			}
+			return clamp01(nullFrac)
+		}
+	case *expr.InList:
+		if col, ok := x.E.(*expr.ColRef); ok && col.Idx < len(ts.Cols) {
+			sel := 0.0
+			for _, v := range x.Vals {
+				sel += ts.EqSelectivity(col.Idx, v)
+			}
+			return clamp01(sel)
+		}
+	case *expr.Like:
+		if x.Negate {
+			return 0.9
+		}
+		return 0.1
+	case *expr.Cmp:
+		col, ok := singleColumn(x)
+		if !ok || col >= len(ts.Cols) {
+			break
+		}
+		if lo, hi, loOpen, hiOpen, ok := expr.StrictColRange(c, col); ok {
+			return ts.RangeSelectivityOpen(col, lo, hi, loOpen, hiOpen)
+		}
+		if x.Op == expr.NE {
+			if k, isConst := x.R.(*expr.Const); isConst {
+				return clamp01(1 - ts.EqSelectivity(col, k.Val))
+			}
+			if k, isConst := x.L.(*expr.Const); isConst {
+				return clamp01(1 - ts.EqSelectivity(col, k.Val))
+			}
+		}
+	case *expr.Logic:
+		if x.Op == expr.Or {
+			// OR of independent terms: 1 - prod(1 - sel_i).
+			pass := 1.0
+			for _, k := range x.Kids {
+				pass *= 1 - ts.ConjunctSelectivity(k)
+			}
+			return clamp01(1 - pass)
+		}
+		if x.Op == expr.And {
+			sels := make([]float64, len(x.Kids))
+			for i, k := range x.Kids {
+				sels[i] = ts.ConjunctSelectivity(k)
+			}
+			return CombineSelectivities(sels)
+		}
+	}
+	return DefaultConjunctSelectivity
+}
+
+// SelectivityOf estimates the combined selectivity of a conjunct list.
+func (ts *TableStats) SelectivityOf(conjs []expr.Expr) float64 {
+	if len(conjs) == 0 {
+		return 1
+	}
+	sels := make([]float64, len(conjs))
+	for i, c := range conjs {
+		sels[i] = ts.ConjunctSelectivity(c)
+	}
+	return CombineSelectivities(sels)
+}
+
+// CombineSelectivities combines conjunct selectivities with exponential
+// backoff (s1 · s2^½ · s3^¼ · ...), the SQL Server 2014 correlation damp:
+// full independence over-multiplies when predicates correlate, so each
+// additional conjunct contributes a diminishing exponent, most selective
+// first.
+func CombineSelectivities(sels []float64) float64 {
+	if len(sels) == 0 {
+		return 1
+	}
+	ordered := append([]float64(nil), sels...)
+	sort.Float64s(ordered)
+	sel := 1.0
+	w := 1.0
+	for _, s := range ordered {
+		if s <= 0 {
+			return 0
+		}
+		sel *= math.Pow(s, w)
+		w /= 2
+	}
+	return clamp01(sel)
+}
+
+// singleColumn reports the sole column referenced by e, if exactly one.
+func singleColumn(e expr.Expr) (int, bool) {
+	set := map[int]bool{}
+	expr.ReferencedCols(e, set)
+	if len(set) != 1 {
+		return 0, false
+	}
+	for c := range set {
+		return c, true
+	}
+	return 0, false
+}

@@ -82,7 +82,13 @@ type Table struct {
 	// deltaEpoch increments on every mutation of delta-store contents; the
 	// snapshot cache (snapshot.go) uses it to reuse materialized delta rows
 	// across queries when nothing changed.
-	deltaEpoch  uint64
+	//
+	// statsVersion increments on every row-group publish (tuple mover, bulk
+	// load, rebuild, merge). Publishes can shift the data distribution without
+	// a large row-count delta, so the statistics cache keys recollection on
+	// this counter in addition to row drift.
+	statsVersion uint64
+	deltaEpoch   uint64
 	snapMu      sync.Mutex
 	snapDelta   []sqltypes.Row
 	snapEpoch   uint64
@@ -399,7 +405,17 @@ func (t *Table) publishLocked(g *colstore.RowGroup, dicts []colstore.DictAppend,
 	for _, tid := range deletes {
 		t.deletes.Delete(g.ID, tid)
 	}
+	t.statsVersion++
 	return nil
+}
+
+// StatsVersion reports the table's publish epoch: it changes whenever a row
+// group is published (tuple mover, bulk load, rebuild, merge). Statistics
+// collected at one version are stale once the version moves.
+func (t *Table) StatsVersion() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.statsVersion
 }
 
 // FetchRow resolves a bookmark to its row. Deleted or stale locators report
@@ -775,13 +791,30 @@ func (t *Table) Sample(n int, rng *rand.Rand) []sqltypes.Row {
 	out := make([]sqltypes.Row, 0, n)
 	readerCache := map[int][]*colstore.ColumnReader{}
 	attempts := 0
-	for len(out) < n && attempts < 4*n+100 {
+	// Sample without replacement: a duplicate row would bias the distinct
+	// estimators (a full-table draw with replacement misses ~1/e of rows).
+	picked := make(map[int]bool, n)
+	for len(out) < n && len(picked) < total && attempts < 4*n+100 {
 		// Draw a batch of picks, grouped by span, then resolve span by span.
 		want := n - len(out)
 		bySpan := map[int][]int{}
 		for i := 0; i < want; i++ {
 			attempts++
-			pos := rng.Intn(total)
+			var pos int
+			if n >= total {
+				// The whole table fits in the sample: sweep every position
+				// instead of waiting for rejection sampling to cover it.
+				pos = attempts - 1
+				if pos >= total {
+					break
+				}
+			} else {
+				pos = rng.Intn(total)
+			}
+			if picked[pos] {
+				continue
+			}
+			picked[pos] = true
 			for si := range spans {
 				if pos < spans[si].rows {
 					bySpan[si] = append(bySpan[si], pos)
@@ -790,7 +823,16 @@ func (t *Table) Sample(n int, rng *rand.Rand) []sqltypes.Row {
 				pos -= spans[si].rows
 			}
 		}
-		for si, positions := range bySpan {
+		// Resolve spans in index order so the rows that survive the final
+		// truncation to n are a deterministic function of the rng stream
+		// (map iteration order must not leak into statistics or goldens).
+		spanOrder := make([]int, 0, len(bySpan))
+		for si := range bySpan {
+			spanOrder = append(spanOrder, si)
+		}
+		sort.Ints(spanOrder)
+		for _, si := range spanOrder {
+			positions := bySpan[si]
 			sp := &spans[si]
 			if sp.group == nil {
 				for _, pos := range positions {

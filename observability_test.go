@@ -87,7 +87,7 @@ func TestExplainAnalyzeOutput(t *testing.T) {
 	out := res.Message
 	for _, want := range []string{
 		"execution: batch mode",
-		"[rows=", "batches=", "wall=",
+		"[est=", "rows=", "batches=", "wall=",
 		"groups=", "scanned=", "eliminated=", "segments=",
 		"deleted=", "delta=", "out=",
 	} {
