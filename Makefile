@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke serve-smoke cover check crash crash-full bench bench-smoke bench-parallel bench-wal bench-mvcc bench-load bench-load-smoke bench-optimizer clean
+.PHONY: all build test vet lint race fuzz-smoke serve-smoke scrub-smoke cover check crash crash-full bench bench-smoke bench-parallel bench-wal bench-mvcc bench-load bench-load-smoke bench-optimizer bench-scrub clean
 
 all: check
 
@@ -13,6 +13,13 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Durability-layer errcheck: unchecked Sync()/Close() results in the WAL,
+# storage, persist, and scrub packages are build failures — a silently
+# ignored fsync error is exactly how acknowledged data gets lost. Deliberate
+# discards carry a //nolint:synccheck annotation at the call site.
+lint:
+	$(GO) run ./internal/tools/synccheck -root .
+
 # Race-detector run over the packages with concurrency-sensitive code
 # (parallel scan, exchange operators, tuple mover, storage fault injection,
 # chaos tests, the transaction manager and its multi-session tests in the
@@ -20,7 +27,7 @@ vet:
 # layer leans on, and the serving layer (wire handlers, session reaper,
 # admission broker, tenant handle cache).
 race:
-	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql ./internal/plan ./internal/expr ./internal/colstore ./internal/txn ./internal/wal ./internal/server ./internal/server/broker ./internal/server/tenant ./internal/load
+	$(GO) test -race . ./internal/exec/batchexec ./internal/table ./internal/storage ./internal/delta ./internal/sql ./internal/plan ./internal/expr ./internal/colstore ./internal/txn ./internal/wal ./internal/server ./internal/server/broker ./internal/server/tenant ./internal/load ./internal/degrade ./internal/scrub
 
 # Short seeded-corpus fuzz run over the encoding round-trip/robustness targets
 # (bitpack, RLE, dictionary), the WAL record codec, and the bulk-load input
@@ -42,6 +49,13 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) test -run='^TestServeSmoke$$' -count=1 -v ./internal/server
 
+# Integrity acceptance: rot every at-rest blob copy, run a scrub pass under
+# concurrent queries (100% detection, zero failed reads), then prove the
+# unrecoverable case quarantines with per-table health attribution; plus the
+# paced-sweep gates (pacing holds, clean data reports clean).
+scrub-smoke:
+	$(GO) test -run='^(TestScrubSmoke|TestScrubSweep)$$' -count=1 -v .
+
 # Crash-injection matrix: kill a scripted workload at randomized WAL byte
 # offsets and verify recovery lands on an exact committed prefix (zero
 # acknowledged loss under fsync=always), plus the multi-writer matrix where
@@ -50,12 +64,14 @@ serve-smoke:
 # kills land inside atomic row-group publishes (whole group or none, never
 # torn; acknowledged loads survive at fsync=always). `make crash-full` runs
 # the 64-point single-writer, 16-point multi-writer, and 24-point bulk-load
-# matrices.
+# matrices. The degrade matrix kills the ENOSPC degrade→recover cycle at
+# randomized offsets (zero acked loss, no false acks across the round trip)
+# and proves fsync-failure fail-stop stays stopped until restart.
 crash:
-	$(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix|TestBulkLoadCrashMatrix' -count=1 .
+	$(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix|TestBulkLoadCrashMatrix|TestENOSPCRecoveryMatrix|TestFsyncPoisonFailStop' -count=1 .
 
 crash-full:
-	APOLLO_CRASH_FULL=1 $(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix|TestBulkLoadCrashMatrix' -count=1 -v .
+	APOLLO_CRASH_FULL=1 $(GO) test -run='TestCrashRecoveryMatrix|TestCrashMidCheckpoint|TestRecoveryRefusesMidLogCorruption|TestMultiWriterCrashMatrix|TestBulkLoadCrashMatrix|TestENOSPCRecoveryMatrix|TestFsyncPoisonFailStop' -count=1 -v .
 
 # Per-package statement coverage. internal/metrics (the observability core)
 # and internal/stats (the estimators feeding cost-based plan choices) have a
@@ -78,10 +94,11 @@ cover:
 			exit bad \
 		}'
 
-# Full CI gate: build, vet, tests (incl. golden plans + metrics invariants),
-# race detector, fuzz smoke, serving smoke, crash matrix, bulk-load parity
-# sweep, coverage floor.
-check: build vet test race fuzz-smoke serve-smoke crash bench-load-smoke cover
+# Full CI gate: build, vet, durability lint, tests (incl. golden plans +
+# metrics invariants), race detector, fuzz smoke, serving smoke, integrity
+# scrub smoke, crash matrix (incl. degrade/poison), bulk-load parity sweep,
+# coverage floor.
+check: build vet lint test race fuzz-smoke serve-smoke scrub-smoke crash bench-load-smoke cover
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -115,6 +132,12 @@ bench-load:
 # CI smoke: the same sweep and parity gates without recording.
 bench-load-smoke:
 	$(GO) test -run='^TestBulkLoadSweep$$' -count=1 .
+
+# Scrub throughput: unpaced CRC-verify rate over ~200k rows of at-rest blobs
+# vs two paced budgets, with concurrent-query latency per leg (see
+# BENCH_scrub.json for recorded numbers).
+bench-scrub:
+	APOLLO_BENCH_SCRUB=$(CURDIR)/BENCH_scrub.json $(GO) test -run='^TestScrubSweep$$' -count=1 -v .
 
 # Optimizer quality: the 5-table star-join benchmark (cost-based vs
 # heuristic plan, parity-checked, wall-time gated at +20%) and the

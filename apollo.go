@@ -19,6 +19,7 @@ package apollo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -27,11 +28,13 @@ import (
 	"time"
 
 	"apollo/internal/catalog"
+	"apollo/internal/degrade"
 	"apollo/internal/exec/batchexec"
 	"apollo/internal/metrics"
 	"apollo/internal/persist"
 	"apollo/internal/plan"
 	"apollo/internal/qerr"
+	"apollo/internal/scrub"
 	"apollo/internal/sql"
 	"apollo/internal/sqltypes"
 	"apollo/internal/stats"
@@ -153,6 +156,16 @@ type Config struct {
 	// WALCrashAt kills the process once the WAL has written this many
 	// cumulative bytes (crash-injection testing; 0 disables).
 	WALCrashAt int64
+
+	// ScrubInterval starts the background integrity scrubber with one pass
+	// per interval (0 keeps scrubbing manual via DB.Scrub / .scrub).
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec paces the scrubber's verification throughput
+	// (default 256 MiB/s).
+	ScrubBytesPerSec int64
+	// ProbeInterval sets how often a read-only (disk full) database probes
+	// for reclaimed space to restore writability (default 500ms).
+	ProbeInterval time.Duration
 }
 
 // DefaultConfig returns the production-like configuration.
@@ -184,6 +197,12 @@ type DB struct {
 	rec     RecoveryInfo
 	closed  atomic.Bool
 
+	// state is the write-availability state machine (healthy → read-only on
+	// ENOSPC → poisoned on fsync failure); scrubber is the background
+	// integrity worker. Both always non-nil after open.
+	state    *degrade.State
+	scrubber *scrub.Scrubber
+
 	// Instance-local RNG (Config.RandSeed): fault-injection seed derivation
 	// must not consume a process-global source, or one tenant's runs would
 	// perturb another's reproducibility.
@@ -196,7 +215,9 @@ type DB struct {
 func Open(cfg Config) *DB {
 	store := storage.NewStore(cfg.BufferPoolBytes)
 	cat := catalog.New(store)
-	return newDB(cfg, store, cat, nil)
+	db := newDB(cfg, store, cat, nil, degrade.New())
+	db.finishOpen()
+	return db
 }
 
 // OpenDir opens (or creates) a durable database rooted at dir. Recovery runs
@@ -212,16 +233,20 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 	}
 	store := storage.NewStore(cfg.BufferPoolBytes)
 	cat := catalog.New(store)
+	// The degrade state exists before the WAL writer so a poison fired at any
+	// point in the writer's life — including recovery — lands in it.
+	state := degrade.New()
 	res, err := persist.Recover(dir, store, cat, wal.Options{
 		Policy:       policy,
 		Interval:     cfg.FsyncInterval,
 		SegmentBytes: cfg.WALSegmentBytes,
 		CrashAt:      cfg.WALCrashAt,
+		OnPoison:     state.Poison,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("apollo: open %s: %w", dir, err)
 	}
-	db := newDB(cfg, store, cat, res.Writer)
+	db := newDB(cfg, store, cat, res.Writer, state)
 	db.dataDir = dir
 	db.rec = RecoveryInfo{
 		CheckpointSeq:   res.CheckpointSeq,
@@ -235,17 +260,19 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 	db.engine.PlanOpts.SpillStore = storage.NewStore(cfg.BufferPoolBytes)
 	// Recovered tables get their background movers started here (the engine
 	// hook only fires for tables created through SQL).
-	if cfg.TupleMoverInterval > 0 {
-		for _, name := range cat.List() {
-			if t, err := cat.Get(name); err == nil {
+	for _, name := range cat.List() {
+		if t, err := cat.Get(name); err == nil {
+			if cfg.TupleMoverInterval > 0 {
 				t.StartTupleMover(cfg.TupleMoverInterval)
 			}
+			t.SetFailureObserver(db.state.Observe)
 		}
 	}
+	db.finishOpen()
 	return db, nil
 }
 
-func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog, w *wal.Writer) *DB {
+func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog, w *wal.Writer, state *degrade.State) *DB {
 	topts := table.DefaultOptions()
 	if cfg.RowGroupSize > 0 {
 		topts.RowGroupSize = cfg.RowGroupSize
@@ -263,7 +290,7 @@ func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog, w *wal.Writer
 	// queries get (<=1 keeps the serial build).
 	topts.Columnstore.BuildParallel = cfg.Parallel
 
-	db := &DB{cfg: cfg, store: store, cat: cat, wal: w}
+	db := &DB{cfg: cfg, store: store, cat: cat, wal: w, state: state}
 	db.rngSeed = cfg.RandSeed
 	if db.rngSeed == 0 {
 		db.rngSeed = time.Now().UnixNano()
@@ -291,13 +318,64 @@ func newDB(cfg Config, store *storage.Store, cat *catalog.Catalog, w *wal.Writer
 		},
 		TableOpts: topts,
 		Txns:      db.txns,
+		State:     state,
 	}
-	if cfg.TupleMoverInterval > 0 {
-		db.engine.OnCreate = func(t *table.Table) {
+	db.engine.OnCreate = func(t *table.Table) {
+		if cfg.TupleMoverInterval > 0 {
 			t.StartTupleMover(cfg.TupleMoverInterval)
 		}
+		// Background mover failures (ENOSPC, poisoned WAL) must degrade the
+		// DB even though no session is on the path.
+		t.SetFailureObserver(db.state.Observe)
 	}
 	return db
+}
+
+// finishOpen wires the durability-health plumbing that needs the fully
+// constructed DB: fsync-failure poisoning from the blob backing, the
+// read-only write probe, and the integrity scrubber.
+func (db *DB) finishOpen() {
+	if b := db.store.Backing(); b != nil {
+		b.SetSyncFailHook(func(err error) {
+			// A failed blob fsync is as unrecoverable as a failed WAL fsync:
+			// the page cache may have dropped the dirty pages, so nothing
+			// durable can be promised any more. Fail-stop both layers.
+			db.state.Poison(err)
+			if db.wal != nil {
+				db.wal.Poison(err)
+			}
+		})
+	}
+	db.state.SetProbe(db.writeProbe, db.cfg.ProbeInterval)
+
+	walDir := ""
+	var below func() uint64
+	var ckpt func() error
+	if db.wal != nil {
+		walDir = db.wal.Dir()
+		below = func() uint64 { return db.wal.Stat().Seq }
+		ckpt = func() error { _, err := db.Checkpoint(); return err }
+	}
+	db.scrubber = scrub.New(db.store, db.cat, walDir, below, ckpt, scrub.Options{
+		Interval:    db.cfg.ScrubInterval,
+		BytesPerSec: db.cfg.ScrubBytesPerSec,
+	})
+	if db.cfg.ScrubInterval > 0 {
+		db.scrubber.Start()
+	}
+}
+
+// writeProbe checks whether durable writes can currently succeed — the
+// read-only auto-recovery probe. Both the blob store and the WAL must accept
+// a write+fsync round trip.
+func (db *DB) writeProbe() error {
+	if err := db.store.WriteProbe(); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		return db.wal.WriteProbe()
+	}
+	return nil
 }
 
 // Close stops background workers, rolling back every in-flight transaction
@@ -312,10 +390,14 @@ func (db *DB) Close() {
 		return
 	}
 	db.engine.SetClosed()
+	if db.scrubber != nil {
+		db.scrubber.Stop()
+	}
+	db.state.Close()
 	db.txns.Close()
 	db.cat.Close()
 	if db.wal != nil {
-		db.wal.Close()
+		db.wal.Close() //nolint:synccheck — close error reflected in wal.Stat().Poisoned
 	}
 }
 
@@ -348,7 +430,17 @@ func (db *DB) Checkpoint() (uint64, error) {
 	if db.wal == nil {
 		return 0, fmt.Errorf("apollo: checkpoint on an in-memory database")
 	}
-	return persist.WriteCheckpoint(db.dataDir, db.wal, db.cat, db.txns)
+	if err := db.state.CheckWrite(); err != nil {
+		return 0, err
+	}
+	seq, err := persist.WriteCheckpoint(db.dataDir, db.wal, db.cat, db.txns)
+	if err != nil {
+		// A checkpoint that died on ENOSPC or a failed fsync degrades the DB
+		// like any other write; the pre-checkpoint image stays authoritative.
+		db.state.Observe(err)
+		err = db.state.Surface(err)
+	}
+	return seq, err
 }
 
 // WALStats reports the write-ahead log position (zero value for in-memory
@@ -512,7 +604,8 @@ func (db *DB) MustExec(stmt string) *Result {
 // Table is a handle to a clustered columnstore table for programmatic bulk
 // operations that bypass SQL parsing.
 type Table struct {
-	t *table.Table
+	t  *table.Table
+	db *DB
 }
 
 // CreateTable creates a table programmatically.
@@ -525,7 +618,8 @@ func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
 	if db.cfg.TupleMoverInterval > 0 {
 		t.StartTupleMover(db.cfg.TupleMoverInterval)
 	}
-	return &Table{t: t}, nil
+	t.SetFailureObserver(db.state.Observe)
+	return &Table{t: t, db: db}, nil
 }
 
 // Table returns a handle to an existing table.
@@ -534,7 +628,7 @@ func (db *DB) Table(name string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Table{t: t}, nil
+	return &Table{t: t, db: db}, nil
 }
 
 // Tables lists table names.
@@ -552,11 +646,31 @@ func (db *DB) TableStats(name string) (*stats.TableStats, error) {
 
 // BulkLoad loads rows through the bulk path (row groups compress directly
 // when large enough; see §4.2).
-func (t *Table) BulkLoad(rows []Row) error { return t.t.BulkLoad(rows) }
+func (t *Table) BulkLoad(rows []Row) error {
+	return t.write(func() error { return t.t.BulkLoad(rows) })
+}
 
 // Insert trickle-inserts one row into the table's delta store.
 func (t *Table) Insert(row Row) error {
-	_, err := t.t.Insert(row)
+	return t.write(func() error {
+		_, err := t.t.Insert(row)
+		return err
+	})
+}
+
+// write gates a programmatic table write behind the DB's durability health
+// and feeds its error back, mirroring the SQL path.
+func (t *Table) write(fn func() error) error {
+	if t.db != nil {
+		if err := t.db.state.CheckWrite(); err != nil {
+			return err
+		}
+	}
+	err := fn()
+	if err != nil && t.db != nil {
+		t.db.state.Observe(err)
+		err = t.db.state.Surface(err)
+	}
 	return err
 }
 
@@ -633,6 +747,147 @@ func (db *DB) InjectStorageFaults(cfg FaultConfig) int64 {
 
 // ClearStorageFaults removes any installed fault injector.
 func (db *DB) ClearStorageFaults() { db.store.SetFaultInjector(nil) }
+
+// WALFaults configures deterministic write-ahead-log fault injection.
+type WALFaults struct {
+	// AppendNoSpaceAt makes the Nth WAL append from now (1 = the next one)
+	// and every later append fail with ENOSPC until cleared. 0 disables.
+	AppendNoSpaceAt int64
+	// FailSyncAt makes the Nth fsync from now fail (one-shot), permanently
+	// poisoning the writer — the fail-stop path. 0 disables.
+	FailSyncAt int64
+}
+
+// InjectWALFaults arms deterministic WAL faults on a durable database:
+// ENOSPC on append (recoverable read-only degradation) and fsync failure
+// (permanent fail-stop). No-op on in-memory databases.
+func (db *DB) InjectWALFaults(f WALFaults) {
+	if db.wal == nil {
+		return
+	}
+	if f.AppendNoSpaceAt > 0 {
+		db.wal.SetAppendNoSpace(f.AppendNoSpaceAt)
+	}
+	if f.FailSyncAt > 0 {
+		db.wal.SetFailSync(f.FailSyncAt)
+	}
+}
+
+// ClearWALFaults disarms injected WAL faults. A poison that already fired is
+// permanent — only restart clears it, by design.
+func (db *DB) ClearWALFaults() {
+	if db.wal != nil {
+		db.wal.SetAppendNoSpace(0)
+		db.wal.SetFailSync(0)
+	}
+}
+
+// --- Durability health & integrity scrubbing ---
+
+// ErrReadOnly is matched (errors.Is) by every write rejected while the
+// database is degraded to read-only after disk exhaustion. Reads keep
+// working; the auto-probe restores writability once space returns.
+var ErrReadOnly = degrade.ErrReadOnly
+
+// ErrWALPoisoned is matched (errors.Is) by every write rejected after a
+// failed fsync permanently fail-stopped the database (fsyncgate semantics:
+// a failed fsync may have dropped the dirty pages, so no later fsync can be
+// trusted; restart and recover from the log instead).
+var ErrWALPoisoned = wal.ErrPoisoned
+
+// IsReadOnlyError reports whether err is (or wraps) the read-only rejection.
+func IsReadOnlyError(err error) bool { return errors.Is(err, degrade.ErrReadOnly) }
+
+// IsPoisonedError reports whether err is (or wraps) the fail-stop rejection.
+func IsPoisonedError(err error) bool { return errors.Is(err, wal.ErrPoisoned) }
+
+// HealthMode is the database's write-availability mode.
+type HealthMode = degrade.Mode
+
+// Write-availability modes, increasing severity: writes accepted; writes
+// rejected until disk space returns; writes rejected until restart.
+const (
+	ModeHealthy  = degrade.Healthy
+	ModeReadOnly = degrade.ReadOnly
+	ModePoisoned = degrade.Poisoned
+)
+
+// Health is a point-in-time durability-health snapshot of the database.
+type Health struct {
+	Mode  HealthMode // healthy / read_only / poisoned
+	Cause string     // failure that entered the current mode ("" when healthy)
+	Since time.Time  // when the current mode was entered
+	// ReadOnlyEntered / Recovered count lifetime degrade/recover round trips.
+	ReadOnlyEntered int64
+	Recovered       int64
+	WAL             WALStats               // log position, fsync counters, poisoned flag
+	ScrubPasses     int64                  // completed integrity-scrub passes
+	LastScrub       *ScrubReport           // most recent pass (nil if none yet)
+	Tables          map[string]TableHealth // per-table mover + quarantine health
+}
+
+// Health reports the database's durability health: write-availability mode,
+// WAL state, scrub progress, and per-table degradation.
+func (db *DB) Health() Health {
+	st := db.state.Snapshot()
+	h := Health{
+		Mode:            st.Mode,
+		Since:           st.Since,
+		ReadOnlyEntered: st.ReadOnlyEntered,
+		Recovered:       st.Recovered,
+		WAL:             db.WALStats(),
+		Tables:          make(map[string]TableHealth),
+	}
+	if st.Cause != nil {
+		h.Cause = st.Cause.Error()
+	}
+	if db.scrubber != nil {
+		h.LastScrub, h.ScrubPasses = db.scrubber.Last()
+	}
+	for _, name := range db.cat.List() {
+		if t, err := db.cat.Get(name); err == nil {
+			h.Tables[name] = t.Health()
+		}
+	}
+	return h
+}
+
+// ScrubReport summarizes one integrity-scrub pass. See scrub.Report.
+type ScrubReport = scrub.Report
+
+// Scrub runs one integrity-scrub pass synchronously: every blob's at-rest
+// copies are checksum-verified (repairing from a surviving good copy,
+// quarantining blobs corrupt everywhere) and closed WAL segments are
+// re-validated. Safe alongside concurrent queries and the background
+// scrubber.
+func (db *DB) Scrub(ctx context.Context) (*ScrubReport, error) {
+	return db.scrubber.RunPass(ctx)
+}
+
+// ScrubOptions override one manual scrub pass. BytesPerSec caps verification
+// throughput for that pass: 0 uses the database's configured budget, a
+// negative value disables pacing entirely (full-speed operator-forced pass).
+type ScrubOptions struct {
+	BytesPerSec int64
+}
+
+// ScrubWith is Scrub with per-pass overrides.
+func (db *DB) ScrubWith(ctx context.Context, o ScrubOptions) (*ScrubReport, error) {
+	if o.BytesPerSec == 0 {
+		return db.scrubber.RunPass(ctx)
+	}
+	return db.scrubber.RunPassPaced(ctx, o.BytesPerSec)
+}
+
+// QuarantinedBlobs lists blob ids the scrubber has quarantined.
+func (db *DB) QuarantinedBlobs() []uint64 {
+	ids := db.store.Quarantined()
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return out
+}
 
 // IsTransientError reports whether err is (or wraps) a transient storage
 // fault that was retried and still failed.

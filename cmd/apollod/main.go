@@ -12,7 +12,13 @@
 // authenticate with "Authorization: Bearer <key>" and reach:
 //
 //	POST /v1/exec, /v1/query (streaming), /v1/explain, /v1/sessions
-//	GET  /metrics, /healthz
+//	GET  /metrics, /healthz, /v1/health (per-tenant durability health)
+//
+// Durability flags: -scrub-interval / -scrub-bytes-per-sec pace the
+// background integrity scrubber over each tenant's at-rest data;
+// -probe-interval sets how often a tenant degraded to read-only by disk
+// exhaustion reprobes for reclaimed space. Writes against a degraded tenant
+// return 503 with a Retry-After header; reads keep serving.
 //
 // Resource flags:
 //
@@ -59,6 +65,9 @@ func main() {
 		mode        = flag.String("mode", "2014", "execution mode: 2014, 2012, or row")
 		parallel    = flag.Int("parallel", 0, "scan degree of parallelism")
 		loadQueue   = flag.Int("load-queue-depth", 1024, "/v1/load bounded row channel between decoder and compressor")
+		scrubEvery  = flag.Duration("scrub-interval", time.Minute, "pause between background integrity-scrub passes (0 = disable scrubbing)")
+		scrubRate   = flag.Int64("scrub-bytes-per-sec", 0, "integrity-scrub pacing budget in bytes/sec (0 = engine default)")
+		probeEvery  = flag.Duration("probe-interval", 0, "disk-space reprobe cadence while degraded to read-only (0 = engine default)")
 	)
 	tenants := map[string]string{}
 	flag.Func("tenant", "tenant declaration name=apikey (repeatable)", func(v string) error {
@@ -79,6 +88,9 @@ func main() {
 	dbcfg := apollo.DefaultConfig()
 	dbcfg.FsyncPolicy = *fsync
 	dbcfg.Parallel = *parallel
+	dbcfg.ScrubInterval = *scrubEvery
+	dbcfg.ScrubBytesPerSec = *scrubRate
+	dbcfg.ProbeInterval = *probeEvery
 	switch *mode {
 	case "2014":
 		dbcfg.Mode = apollo.Mode2014

@@ -20,7 +20,9 @@
 //
 //	.tables          list tables
 //	.stats <table>   physical table statistics
+//	.health          database durability health (mode, WAL, scrub, quarantines)
 //	.health <table>  tuple-mover health (failures, backoff, last error)
+//	.scrub [full]    run one integrity-scrub pass now ('full' = unpaced)
 //	.faults <read> <write> <corrupt> [seed]  inject storage faults (rates in [0,1])
 //	.faults off      clear fault injection
 //	.begin           start a transaction (statements queue under snapshot isolation)
@@ -187,8 +189,36 @@ func dot(db *apollo.DB, sess *apollo.Session, cmd string) bool {
 			s.CompressedGroups, s.CompressedRows, s.DeltaRows, s.DeletedRows,
 			s.DiskBytes, s.RawBytes, float64(s.RawBytes)/float64(max(s.DiskBytes, 1)))
 	case ".health":
+		if len(fields) == 1 {
+			h := db.Health()
+			fmt.Printf("mode: %s\n", h.Mode)
+			if h.Cause != "" {
+				fmt.Printf("cause: %s (since %s)\n", h.Cause, h.Since.Format(time.RFC3339))
+			}
+			if h.ReadOnlyEntered > 0 {
+				fmt.Printf("read-only episodes: %d (recovered: %d)\n", h.ReadOnlyEntered, h.Recovered)
+			}
+			if db.Durable() {
+				fmt.Printf("wal: segment %d, %d bytes appended, poisoned: %v\n",
+					h.WAL.Seq, h.WAL.TotalBytes, h.WAL.Poisoned)
+			}
+			fmt.Printf("scrub passes: %d\n", h.ScrubPasses)
+			if h.LastScrub != nil {
+				r := h.LastScrub
+				fmt.Printf("last scrub: %d blobs / %d bytes in %v (repaired %d, quarantined %d)\n",
+					r.Blobs, r.Bytes, r.Duration.Round(time.Millisecond),
+					r.RepairedBacking+r.RepairedMemory, r.Quarantined)
+			}
+			for name, th := range h.Tables {
+				if th.QuarantinedBlobs > 0 {
+					fmt.Printf("table %s: %d quarantined blob(s), last: %v\n",
+						name, th.QuarantinedBlobs, th.LastQuarantine)
+				}
+			}
+			break
+		}
 		if len(fields) != 2 {
-			fmt.Println("usage: .health <table>")
+			fmt.Println("usage: .health [table]")
 			break
 		}
 		t, err := db.Table(fields[1])
@@ -233,6 +263,30 @@ func dot(db *apollo.DB, sess *apollo.Session, cmd string) bool {
 		})
 		fmt.Printf("injecting faults: read %.2g, write %.2g, corrupt %.2g (seed %d — pass it back to replay this sequence)\n",
 			read, write, corrupt, resolved)
+	case ".scrub":
+		opts := apollo.ScrubOptions{}
+		if len(fields) == 2 && fields[1] == "full" {
+			opts.BytesPerSec = -1 // unpaced operator-forced pass
+		}
+		start := time.Now()
+		rep, err := db.ScrubWith(context.Background(), opts)
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		fmt.Printf("scrubbed %d blobs (%d bytes) in %v: %d repaired from backing, %d repaired from memory, %d quarantined, %d skipped\n",
+			rep.Blobs, rep.Bytes, time.Since(start).Round(time.Millisecond),
+			rep.RepairedBacking, rep.RepairedMemory, rep.Quarantined, rep.Skipped)
+		if rep.WALSegments > 0 {
+			fmt.Printf("wal: %d closed segments (%d records) verified", rep.WALSegments, rep.WALRecords)
+			if rep.WALCorruption != nil {
+				fmt.Printf(" — CORRUPTION: %v (self-heal checkpoint: %v)", rep.WALCorruption, rep.CheckpointTriggered)
+			}
+			fmt.Println()
+		}
+		for _, e := range rep.Errors {
+			fmt.Println("warning:", e)
+		}
 	case ".checkpoint":
 		seq, err := db.Checkpoint()
 		if err != nil {

@@ -1,0 +1,126 @@
+package apollo_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"apollo"
+	"apollo/internal/wal/crashtest"
+)
+
+// TestENOSPCRecoveryMatrix runs the disk-full degradation script — 20 acked
+// inserts, deterministic ENOSPC rejecting a write (typed read-only, reads
+// keep serving), auto-probe recovery, 40 more acked inserts — and kills the
+// child at randomized WAL byte offsets across that whole cycle. At every
+// kill point the recovered table must be exactly the contiguous prefix
+// 1..K with K >= acked: the degrade/recover round trip never costs an
+// acknowledged write and the rejected write never leaks a false ack.
+func TestENOSPCRecoveryMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix spawns child processes; skipped in -short")
+	}
+	// Crash-free baseline: the full cycle completes and recovers cleanly.
+	base := t.TempDir()
+	if code := runChild(t, base, 0, "always", "APOLLO_CRASH_ENOSPC=1"); code != 0 {
+		t.Fatalf("baseline enospc child failed (exit %d)", code)
+	}
+	total, err := crashtest.ReadWALTotal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := apollo.OpenDir(base, crashtest.Config("always"))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	k, err := crashtest.VerifyContiguousPrefix(db, crashtest.EnospcTotal, crashtest.EnospcTotal)
+	db.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != crashtest.EnospcTotal {
+		t.Fatalf("crash-free run recovered prefix %d, want %d", k, crashtest.EnospcTotal)
+	}
+
+	points := 4
+	if os.Getenv("APOLLO_CRASH_FULL") != "" {
+		points = 16
+	}
+	rng := rand.New(rand.NewSource(20130622))
+	for i := 0; i < points; i++ {
+		crashAt := 17 + rng.Int63n(total-17)
+		t.Run(fmt.Sprintf("crashAt=%d", crashAt), func(t *testing.T) {
+			dir := t.TempDir()
+			if code := runChild(t, dir, crashAt, "always", "APOLLO_CRASH_ENOSPC=1"); code != 3 {
+				t.Fatalf("child survived armed crash point %d (exit %d)", crashAt, code)
+			}
+			acked, err := crashtest.ReadProgress(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := apollo.OpenDir(dir, crashtest.Config("always"))
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer db.Close()
+			if _, err := db.Table("k"); err != nil {
+				if acked != 0 {
+					t.Fatalf("table lost after %d acked inserts", acked)
+				}
+				return // crash hit the CREATE TABLE record itself
+			}
+			if _, err := crashtest.VerifyContiguousPrefix(db, acked, crashtest.EnospcTotal); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFsyncPoisonFailStop runs the fsync-failure script end to end in a
+// child: a failed fsync rejects the in-flight insert, permanently poisons
+// the writer (clearing the injection does not revive it), and reads keep
+// serving. The parent then recovers the directory: every acked insert
+// survives, and the poisoned, never-acked insert may appear at most as the
+// next contiguous id (its bytes may have reached the disk even though the
+// fsync lied) — never anything beyond.
+func TestFsyncPoisonFailStop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process; skipped in -short")
+	}
+	dir := t.TempDir()
+	if code := runChild(t, dir, 0, "always", "APOLLO_CRASH_POISON=1"); code != 0 {
+		t.Fatalf("poison child failed (exit %d)", code)
+	}
+	acked, err := crashtest.ReadProgress(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked != crashtest.EnospcAckedBefore {
+		t.Fatalf("child acked %d inserts, want %d", acked, crashtest.EnospcAckedBefore)
+	}
+	db, err := apollo.OpenDir(dir, crashtest.Config("always"))
+	if err != nil {
+		t.Fatalf("recovery after poison failed: %v", err)
+	}
+	defer db.Close()
+	// The rejected insert's WAL record may or may not be on disk (the fsync
+	// failed, but the pages might have made it); both are sound because it
+	// was never acknowledged. K beyond acked+1 would be a phantom.
+	k, err := crashtest.VerifyContiguousPrefix(db, acked, acked+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered database is a fresh writer: the poison died with the
+	// old process, so writes work again.
+	tbl, err := db.Table("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(apollo.Row{apollo.NewInt(int64(k + 1)), apollo.NewString("post-restart")}); err != nil {
+		t.Fatalf("insert after restart: %v", err)
+	}
+	if h := db.Health(); h.Mode != apollo.ModeHealthy {
+		t.Fatalf("restarted database health: %v", h.Mode)
+	}
+}

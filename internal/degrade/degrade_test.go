@@ -1,0 +1,120 @@
+package degrade
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"apollo/internal/wal"
+)
+
+func TestHealthyAllowsWrites(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if err := s.CheckWrite(); err != nil {
+		t.Fatalf("healthy CheckWrite: %v", err)
+	}
+	if s.Mode() != Healthy {
+		t.Fatalf("mode %v, want Healthy", s.Mode())
+	}
+}
+
+func TestENOSPCEntersReadOnlyAndProbeRecovers(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var full atomic.Bool
+	full.Store(true)
+	s.SetProbe(func() error {
+		if full.Load() {
+			return fmt.Errorf("probe: %w", syscall.ENOSPC)
+		}
+		return nil
+	}, time.Millisecond)
+
+	s.Observe(fmt.Errorf("append: %w", syscall.ENOSPC))
+	err := s.CheckWrite()
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("CheckWrite while full: got %v, want ErrReadOnly", err)
+	}
+	var roe *ReadOnlyError
+	if !errors.As(err, &roe) {
+		t.Fatalf("CheckWrite error %v is not a *ReadOnlyError", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ReadOnlyError does not unwrap to ENOSPC: %v", err)
+	}
+
+	// Stays read-only while the probe keeps failing.
+	time.Sleep(20 * time.Millisecond)
+	if s.Mode() != ReadOnly {
+		t.Fatalf("mode %v while probe failing, want ReadOnly", s.Mode())
+	}
+
+	// Free space; the probe flips it back.
+	full.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Mode() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatal("state never recovered after probe success")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.CheckWrite(); err != nil {
+		t.Fatalf("CheckWrite after recovery: %v", err)
+	}
+	st := s.Snapshot()
+	if st.ReadOnlyEntered != 1 || st.Recovered != 1 {
+		t.Fatalf("transition counts entered=%d recovered=%d, want 1/1", st.ReadOnlyEntered, st.Recovered)
+	}
+}
+
+func TestPoisonIsPermanentAndOverridesReadOnly(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.SetProbe(func() error { return nil }, time.Millisecond)
+
+	s.EnterReadOnly(fmt.Errorf("blob put: %w", syscall.ENOSPC))
+	cause := &wal.PoisonedError{Cause: errors.New("fsync EIO")}
+	s.Observe(cause)
+	if s.Mode() != Poisoned {
+		t.Fatalf("mode %v after poison, want Poisoned", s.Mode())
+	}
+	err := s.CheckWrite()
+	if !errors.Is(err, wal.ErrPoisoned) {
+		t.Fatalf("CheckWrite after poison: got %v, want ErrPoisoned", err)
+	}
+	// The always-succeeding probe must NOT recover a poisoned state.
+	time.Sleep(20 * time.Millisecond)
+	if s.Mode() != Poisoned {
+		t.Fatalf("probe recovered a poisoned state: mode %v", s.Mode())
+	}
+}
+
+func TestObserveIgnoresOrdinaryErrors(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.Observe(nil)
+	s.Observe(errors.New("syntax error"))
+	s.Observe(errors.New("write conflict"))
+	if s.Mode() != Healthy {
+		t.Fatalf("ordinary errors degraded the state: mode %v", s.Mode())
+	}
+}
+
+func TestProbeInstalledAfterDegradeStillRecovers(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.EnterReadOnly(fmt.Errorf("x: %w", syscall.ENOSPC))
+	// Probe configured only after the degrade: SetProbe must start it.
+	s.SetProbe(func() error { return nil }, time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Mode() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatal("late-installed probe never recovered the state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -16,6 +16,7 @@ package persist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"apollo/internal/catalog"
 	"apollo/internal/metrics"
@@ -241,7 +243,13 @@ func WriteCheckpoint(dataDir string, w *wal.Writer, cat *catalog.Catalog, barrie
 		os.Remove(tmp)
 		return 0, fmt.Errorf("persist: publish checkpoint: %w", err)
 	}
-	syncDir(dataDir)
+	// The rename's directory entry must be durable before TCheckpointEnd is
+	// logged and the covered WAL prefix truncated: swallowing a failure here
+	// could discard the only copy of the history the missing image was
+	// supposed to replace.
+	if err := syncDir(dataDir); err != nil {
+		return 0, fmt.Errorf("persist: sync data dir after publishing checkpoint: %w", err)
+	}
 
 	if TestHookAfterImage != nil {
 		TestHookAfterImage()
@@ -275,13 +283,24 @@ type noBarrier struct{}
 func (noBarrier) Lock()   {}
 func (noBarrier) Unlock() {}
 
-// syncDir fsyncs a directory so a rename within it is durable (best effort;
-// some platforms reject directory fsync).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// syncDir fsyncs a directory so a rename within it is durable. Platforms
+// that reject directory fsync outright (EINVAL/ENOTSUP) are tolerated;
+// every real failure propagates — "best effort" here would silently trade
+// away the checkpoint's durability.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
 }
 
 // RecoverResult summarizes a recovery.

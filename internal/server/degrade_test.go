@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"apollo"
+)
+
+// Integration test for ENOSPC graceful degradation through the HTTP surface:
+// a tenant whose WAL hits disk-full keeps serving SELECTs while INSERT and
+// COPY return 503 with a Retry-After and the typed "read_only" code, and
+// once space returns the write probe restores writability automatically —
+// no restart, no operator action.
+func TestTenantENOSPCDegradesToReadOnlyAndRecovers(t *testing.T) {
+	srv, ts := testServer(t, func(cfg *Config) {
+		cfg.DB.ProbeInterval = 10 * time.Millisecond
+	})
+
+	exec(t, ts, "key1", "CREATE TABLE ev (id BIGINT, note VARCHAR)", nil)
+	exec(t, ts, "key1", "INSERT INTO ev VALUES (1, 'before')", nil)
+
+	// Reach under the HTTP surface to arm deterministic disk-full on the
+	// tenant's WAL: every append from now on fails with ENOSPC.
+	h, err := srv.tenants.Get(context.Background(), "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	db := h.DB()
+	db.InjectWALFaults(apollo.WALFaults{AppendNoSpaceAt: 1})
+
+	// Writes: 503 + Retry-After + typed code.
+	resp, out := do(t, ts, "POST", "/v1/exec", "key1",
+		map[string]any{"sql": "INSERT INTO ev VALUES (2, 'during')"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("INSERT under ENOSPC: status %d body %s", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 read_only response missing Retry-After header")
+	}
+	if !strings.Contains(string(out), `"read_only"`) {
+		t.Fatalf("error body lacks read_only code: %s", out)
+	}
+
+	// COPY (the bulk-load endpoint) is rejected the same way.
+	resp, out = do(t, ts, "POST", "/v1/load?table=ev&format=csv", "key1", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("load under ENOSPC: status %d body %s", resp.StatusCode, out)
+	}
+
+	// Reads keep working on the degraded tenant.
+	resp, out = do(t, ts, "POST", "/v1/query", "key1",
+		map[string]any{"sql": "SELECT COUNT(*) FROM ev"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SELECT under ENOSPC: status %d body %s", resp.StatusCode, out)
+	}
+
+	// /v1/health reflects the degradation: 503 + mode read_only.
+	resp, out = do(t, ts, "GET", "/v1/health", "key1", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/v1/health while degraded: status %d", resp.StatusCode)
+	}
+	var health struct {
+		Mode string `json:"mode"`
+	}
+	if err := json.Unmarshal(out, &health); err != nil || health.Mode != "read_only" {
+		t.Fatalf("/v1/health mode = %q (err %v), want read_only; body %s", health.Mode, err, out)
+	}
+
+	// Space returns; the probe must flip the tenant writable on its own.
+	db.ClearWALFaults()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, out = do(t, ts, "POST", "/v1/exec", "key1",
+			map[string]any{"sql": "INSERT INTO ev VALUES (3, 'after')"})
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("INSERT during recovery: status %d body %s", resp.StatusCode, out)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant never recovered writability; last body %s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Rows 1 and 3 exist (2 was rejected, never acked); health is green again.
+	q := exec(t, ts, "key1", "SELECT COUNT(*) FROM ev", nil)
+	if len(q.Rows) != 1 || q.Rows[0][0] != float64(2) {
+		t.Fatalf("post-recovery count: %+v", q.Rows)
+	}
+	resp, out = do(t, ts, "GET", "/v1/health", "key1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/health after recovery: status %d body %s", resp.StatusCode, out)
+	}
+	if err := json.Unmarshal(out, &health); err != nil || health.Mode != "healthy" {
+		t.Fatalf("/v1/health mode after recovery = %q, want healthy", health.Mode)
+	}
+}
+
+// A poisoned WAL (failed fsync) is permanent: writes fail with the
+// "degraded" code and stay failed even after faults are cleared.
+func TestTenantFsyncPoisonFailsStop(t *testing.T) {
+	srv, ts := testServer(t, func(cfg *Config) {
+		cfg.DB.ProbeInterval = 10 * time.Millisecond
+	})
+	exec(t, ts, "key2", "CREATE TABLE p (id BIGINT)", nil)
+
+	h, err := srv.tenants.Get(context.Background(), "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	h.DB().InjectWALFaults(apollo.WALFaults{FailSyncAt: 1})
+
+	resp, out := do(t, ts, "POST", "/v1/exec", "key2",
+		map[string]any{"sql": "INSERT INTO p VALUES (1)"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("INSERT through failed fsync: status %d body %s", resp.StatusCode, out)
+	}
+	if !strings.Contains(string(out), `"degraded"`) {
+		t.Fatalf("error body lacks degraded code: %s", out)
+	}
+
+	// Clearing injection does NOT un-poison; only restart would.
+	h.DB().ClearWALFaults()
+	time.Sleep(50 * time.Millisecond)
+	resp, out = do(t, ts, "POST", "/v1/exec", "key2",
+		map[string]any{"sql": "INSERT INTO p VALUES (2)"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("INSERT after clearing faults: status %d body %s — poison must be permanent", resp.StatusCode, out)
+	}
+
+	// Reads still work: the fail-stop protects acked data, not availability
+	// of what is already durable.
+	resp, _ = do(t, ts, "POST", "/v1/query", "key2",
+		map[string]any{"sql": "SELECT COUNT(*) FROM p"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SELECT on poisoned tenant: status %d", resp.StatusCode)
+	}
+}

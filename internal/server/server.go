@@ -149,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/query", s.auth(s.handleQuery))
 	s.mux.HandleFunc("POST /v1/explain", s.auth(s.handleExplain))
 	s.mux.HandleFunc("POST /v1/load", s.auth(s.handleLoad))
+	s.mux.HandleFunc("GET /v1/health", s.auth(s.handleHealth))
 	return s, nil
 }
 
@@ -193,6 +194,12 @@ type wireError struct {
 func writeError(w http.ResponseWriter, err error) {
 	status, code, tenantName := classify(err)
 	w.Header().Set("Content-Type", "application/json")
+	if code == "read_only" {
+		// Disk exhaustion is transient from the client's view: the DB probes
+		// for reclaimed space and restores writes on its own. Tell well-
+		// behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]wireError{"error": {
 		Code: code, Tenant: tenantName, Message: err.Error(),
@@ -208,6 +215,13 @@ func classify(err error) (int, string, string) {
 		return http.StatusTooManyRequests, "overloaded", ov.Tenant
 	case errors.Is(err, apollo.ErrWriteConflict):
 		return http.StatusConflict, "write_conflict", ""
+	case errors.Is(err, apollo.ErrReadOnly):
+		// Writes rejected while the tenant DB is degraded read-only (disk
+		// full). Reads still work; the auto-probe will recover writability.
+		return http.StatusServiceUnavailable, "read_only", ""
+	case errors.Is(err, apollo.ErrWALPoisoned):
+		// Permanent fail-stop after a failed fsync; only restart clears it.
+		return http.StatusServiceUnavailable, "degraded", ""
 	case errors.Is(err, apollo.ErrClosed), errors.Is(err, tenant.ErrManagerClosed):
 		return http.StatusServiceUnavailable, "closed", ""
 	case errors.Is(err, errSessionGone):
@@ -258,6 +272,69 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	metrics.Default.WriteText(w)
+}
+
+// handleHealth reports the authenticated tenant's durability health: the
+// write-availability mode (healthy / read_only / poisoned), the WAL
+// position, integrity-scrub progress, and per-table degradation. Unlike
+// /healthz this is per-tenant and requires auth — it exposes table names.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request, tenantName string) {
+	h, err := s.tenants.Get(r.Context(), tenantName)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer h.Release()
+	hs := h.DB().Health()
+	type tableHealth struct {
+		Moves            int64  `json:"moves"`
+		Failures         int64  `json:"failures"`
+		QuarantinedBlobs int    `json:"quarantined_blobs,omitempty"`
+		LastQuarantine   string `json:"last_quarantine,omitempty"`
+	}
+	resp := struct {
+		Mode            string                 `json:"mode"`
+		Cause           string                 `json:"cause,omitempty"`
+		Since           string                 `json:"since,omitempty"`
+		ReadOnlyEntered int64                  `json:"readonly_entered"`
+		Recovered       int64                  `json:"recovered"`
+		WALSeq          uint64                 `json:"wal_seq"`
+		WALPoisoned     bool                   `json:"wal_poisoned"`
+		ScrubPasses     int64                  `json:"scrub_passes"`
+		ScrubQuarantine int64                  `json:"scrub_quarantined,omitempty"`
+		Tables          map[string]tableHealth `json:"tables"`
+	}{
+		Mode:            hs.Mode.String(),
+		Cause:           hs.Cause,
+		ReadOnlyEntered: hs.ReadOnlyEntered,
+		Recovered:       hs.Recovered,
+		WALSeq:          hs.WAL.Seq,
+		WALPoisoned:     hs.WAL.Poisoned,
+		ScrubPasses:     hs.ScrubPasses,
+		Tables:          make(map[string]tableHealth),
+	}
+	if !hs.Since.IsZero() && hs.Mode != apollo.ModeHealthy {
+		resp.Since = hs.Since.UTC().Format(time.RFC3339)
+	}
+	if hs.LastScrub != nil {
+		resp.ScrubQuarantine = hs.LastScrub.Quarantined
+	}
+	for name, th := range hs.Tables {
+		e := tableHealth{
+			Moves:            th.Moves,
+			Failures:         th.Failures,
+			QuarantinedBlobs: th.QuarantinedBlobs,
+		}
+		if th.LastQuarantine != nil {
+			e.LastQuarantine = th.LastQuarantine.Error()
+		}
+		resp.Tables[name] = e
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hs.Mode != apollo.ModeHealthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
 }
 
 // --- session handlers ---

@@ -36,6 +36,11 @@ func (e *Engine) Load(ctx context.Context, tableName string, r io.Reader, spec L
 	if e.closed.Load() {
 		return &load.Result{}, txn.ErrClosed
 	}
+	if e.State != nil {
+		if err := e.State.CheckWrite(); err != nil {
+			return &load.Result{}, err
+		}
+	}
 	t, err := e.Cat.Get(tableName)
 	if err != nil {
 		return &load.Result{}, err
@@ -65,12 +70,17 @@ func (e *Engine) Load(ctx context.Context, tableName string, r io.Reader, spec L
 		return &load.Result{}, err
 	}
 	if spec.QueueDepth > 0 {
-		ctx, cancel := context.WithCancel(ctx)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
 		defer cancel() // unblocks the producer goroutine if the load aborts
 		rr = load.Pipelined(ctx, rr, spec.QueueDepth)
-		return ldr.Run(ctx, rr)
 	}
-	return ldr.Run(ctx, rr)
+	res, err := ldr.Run(ctx, rr)
+	if err != nil && e.State != nil {
+		e.State.Observe(err)
+		err = e.State.Surface(err)
+	}
+	return res, err
 }
 
 // copyFrom executes COPY table FROM 'path': open the file and run the load

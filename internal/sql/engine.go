@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"apollo/internal/catalog"
+	"apollo/internal/degrade"
 	"apollo/internal/expr"
 	"apollo/internal/plan"
 	"apollo/internal/sqltypes"
@@ -30,6 +31,11 @@ type Engine struct {
 	// Txns, when set, enables transactions: sessions can BEGIN/COMMIT/
 	// ROLLBACK, and autocommit SELECTs pin a consistent cross-table snapshot.
 	Txns *txn.Manager
+	// State, when set, gates writes behind the DB's durability health: DML,
+	// DDL, and COPY fail fast with a typed error while the DB is read-only
+	// (disk full) or poisoned (failed fsync), and every write error is fed
+	// back so storage failures flip the state. Reads are never gated.
+	State *degrade.State
 
 	statsOnce  sync.Once
 	statsCache *plan.StatsCache
@@ -88,6 +94,14 @@ func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Resu
 	if e.closed.Load() {
 		return nil, txn.ErrClosed
 	}
+	switch st.(type) {
+	case *Insert, *Delete, *Update, *Copy, *CreateTable, *DropTable, *Reorganize, *Rebuild:
+		if e.State != nil {
+			if err := e.State.CheckWrite(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if tx != nil {
 		switch st.(type) {
 		case *CreateTable, *DropTable, *Reorganize, *Rebuild:
@@ -109,30 +123,30 @@ func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Resu
 		}
 		return e.explain(x.Query, tx)
 	case *CreateTable:
-		return e.createTable(x)
+		return e.observed(e.createTable(x))
 	case *DropTable:
 		if err := e.Cat.Drop(x.Name); err != nil {
-			return nil, err
+			return e.observed(nil, err)
 		}
 		return &Result{Message: fmt.Sprintf("dropped table %s", x.Name)}, nil
 	case *Copy:
-		return e.copyFrom(ctx, x)
+		return e.observed(e.copyFrom(ctx, x))
 	case *Insert:
-		return e.insert(x, tx, nil)
+		return e.observed(e.insert(x, tx, nil))
 	case *Delete:
-		return e.delete(x, tx, nil)
+		return e.observed(e.delete(x, tx, nil))
 	case *Update:
-		return e.update(x, tx, nil)
+		return e.observed(e.update(x, tx, nil))
 	case *Reorganize:
 		t, err := e.Cat.Get(x.Table)
 		if err != nil {
 			return nil, err
 		}
 		if err := t.FlushOpen(); err != nil {
-			return nil, err
+			return e.observed(nil, err)
 		}
 		if _, err := t.MergeSmallGroups(); err != nil {
-			return nil, err
+			return e.observed(nil, err)
 		}
 		return &Result{Message: fmt.Sprintf("reorganized %s", x.Table)}, nil
 	case *Rebuild:
@@ -141,7 +155,7 @@ func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Resu
 			return nil, err
 		}
 		if err := t.Rebuild(); err != nil {
-			return nil, err
+			return e.observed(nil, err)
 		}
 		return &Result{Message: fmt.Sprintf("rebuilt %s", x.Table)}, nil
 	case *ShowStats:
@@ -149,6 +163,17 @@ func (e *Engine) execStmt(ctx context.Context, st Statement, tx *txn.Txn) (*Resu
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %T", st)
 	}
+}
+
+// observed feeds a write statement's error to the degrade state (ENOSPC
+// flips the DB read-only, a poisoned WAL fail-stops it) before passing the
+// result through unchanged.
+func (e *Engine) observed(res *Result, err error) (*Result, error) {
+	if err != nil && e.State != nil {
+		e.State.Observe(err)
+		err = e.State.Surface(err)
+	}
+	return res, err
 }
 
 // showStats renders the optimizer's statistics snapshot for one table, one

@@ -187,6 +187,15 @@ func (p *Prepared) stream(ctx context.Context, tx *txn.Txn, sink RowSink, args [
 
 // exec serializes executions: the parameter cells and the compiled operator
 // tree hold per-execution state.
+// checkWrite gates a prepared DML execution behind the DB's durability
+// health, same as the ad-hoc statement path.
+func (p *Prepared) checkWrite() error {
+	if p.e.State != nil {
+		return p.e.State.CheckWrite()
+	}
+	return nil
+}
+
 func (p *Prepared) exec(ctx context.Context, tx *txn.Txn, args []sqltypes.Value) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -210,11 +219,20 @@ func (p *Prepared) exec(ctx context.Context, tx *txn.Txn, args []sqltypes.Value)
 		}
 		return &Result{Schema: p.compiled.Schema, Rows: rows, Compiled: p.compiled}, nil
 	case *Insert:
-		return p.e.insert(x, tx, p.bag)
+		if err := p.checkWrite(); err != nil {
+			return nil, err
+		}
+		return p.e.observed(p.e.insert(x, tx, p.bag))
 	case *Delete:
-		return p.e.delete(x, tx, p.bag)
+		if err := p.checkWrite(); err != nil {
+			return nil, err
+		}
+		return p.e.observed(p.e.delete(x, tx, p.bag))
 	case *Update:
-		return p.e.update(x, tx, p.bag)
+		if err := p.checkWrite(); err != nil {
+			return nil, err
+		}
+		return p.e.observed(p.e.update(x, tx, p.bag))
 	default:
 		return nil, fmt.Errorf("sql: cannot execute prepared %T", p.st)
 	}

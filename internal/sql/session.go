@@ -128,7 +128,9 @@ func (s *Session) commit(ctx context.Context) (*Result, error) {
 	tx := s.tx
 	s.tx = nil
 	if err := tx.Commit(ctx); err != nil {
-		return nil, err
+		// A commit that failed at the durability boundary (ENOSPC on the WAL,
+		// poisoned writer) must flip the DB's health, not just this session.
+		return s.e.observed(nil, err)
 	}
 	return &Result{Message: "commit"}, nil
 }

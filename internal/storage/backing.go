@@ -3,11 +3,14 @@ package storage
 import (
 	"container/list"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 )
 
 // Blob file layout (one file per blob, named blob-<id>.blob):
@@ -37,6 +40,15 @@ const (
 type DiskBacking struct {
 	dir        string
 	syncWrites bool
+
+	// onSyncFail fires when a durability fsync on the publish path fails
+	// for a non-ENOSPC reason. The DB wires it to poison (fail-stop): a
+	// publish whose directory entry may or may not be durable must never be
+	// acknowledged, and retrying the fsync is unsound (fsyncgate).
+	onSyncFail atomic.Pointer[func(error)]
+	// dirSyncFn overrides directory fsync; regression tests inject failures
+	// through it. nil means the real syncDir.
+	dirSyncFn atomic.Pointer[func(string) error]
 }
 
 // OpenDiskBacking opens (creating if needed) a blob directory. With
@@ -53,9 +65,43 @@ func OpenDiskBacking(dir string, syncWrites bool) (*DiskBacking, error) {
 // Dir returns the backing directory.
 func (b *DiskBacking) Dir() string { return b.dir }
 
+// SetSyncFailHook installs fn, called whenever a durability fsync on the
+// publish path fails (other than by disk exhaustion, which is recoverable
+// and surfaces as the write's error instead).
+func (b *DiskBacking) SetSyncFailHook(fn func(error)) { b.onSyncFail.Store(&fn) }
+
+// notifySyncFail reports a publish-path fsync failure to the hook.
+func (b *DiskBacking) notifySyncFail(err error) {
+	if p := b.onSyncFail.Load(); p != nil {
+		(*p)(err)
+	}
+}
+
+// SetDirSyncForTest overrides the directory-fsync step of publishes. Tests
+// use it to inject directory-fsync failures, which are otherwise nearly
+// impossible to produce on demand. Pass nil to restore the real fsync.
+func (b *DiskBacking) SetDirSyncForTest(fn func(dir string) error) {
+	if fn == nil {
+		b.dirSyncFn.Store(nil)
+		return
+	}
+	b.dirSyncFn.Store(&fn)
+}
+
+func (b *DiskBacking) dirSync() error {
+	if p := b.dirSyncFn.Load(); p != nil {
+		return (*p)(b.dir)
+	}
+	return syncDir(b.dir)
+}
+
 func (b *DiskBacking) path(id BlobID) string {
 	return filepath.Join(b.dir, fmt.Sprintf("%s%d%s", blobPrefix, uint64(id), blobSuffix))
 }
+
+// Path returns the at-rest file for a blob id. Exposed so integrity tests
+// and the scrub smoke can corrupt specific on-disk copies.
+func (b *DiskBacking) Path(id BlobID) string { return b.path(id) }
 
 // write persists one blob's at-rest bytes and metadata.
 func (b *DiskBacking) write(id BlobID, onDisk []byte, meta blobMeta) error {
@@ -73,14 +119,25 @@ func (b *DiskBacking) write(id BlobID, onDisk []byte, meta blobMeta) error {
 	if _, err := f.Write(hdr); err == nil {
 		_, err = f.Write(onDisk)
 	}
+	var syncErr error
 	if err == nil && b.syncWrites {
-		err = f.Sync()
+		if err = f.Sync(); err != nil && !IsNoSpace(err) {
+			// A failed data fsync is fail-stop even though the tmp file is
+			// discarded: the kernel may have dropped dirty pages for the
+			// whole device queue, and this store must stop acknowledging
+			// durable writes (fsyncgate). ENOSPC is the exception — it is
+			// recoverable and surfaces as the write's error.
+			syncErr = err
+		}
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		os.Remove(tmp)
+		if syncErr != nil {
+			b.notifySyncFail(syncErr)
+		}
 		return fmt.Errorf("storage: write blob %d: %w", id, err)
 	}
 	if err := os.Rename(tmp, b.path(id)); err != nil {
@@ -90,24 +147,80 @@ func (b *DiskBacking) write(id BlobID, onDisk []byte, meta blobMeta) error {
 	if b.syncWrites {
 		// The rename's directory entry must be durable before the WAL record
 		// referencing this blob is: fsyncing only the file leaves a power-loss
-		// window where the publish record survives but the blob does not.
-		syncDir(b.dir)
+		// window where the publish record survives but the blob does not. A
+		// directory-fsync failure therefore must propagate — swallowing it
+		// would acknowledge a publish with unknown durability — and poisons
+		// via the sync-fail hook.
+		if err := b.dirSync(); err != nil {
+			err = fmt.Errorf("storage: sync blob dir after publishing blob %d: %w", id, err)
+			if !IsNoSpace(err) {
+				b.notifySyncFail(err)
+			}
+			return err
+		}
 	}
 	return nil
 }
 
-// syncDir fsyncs a directory so a rename within it is durable (best effort;
-// some platforms reject directory fsync).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// syncDir fsyncs a directory so a rename within it is durable. Platforms
+// that reject directory fsync outright (EINVAL/ENOTSUP) are tolerated —
+// there is no durability to be had there — but every real failure
+// propagates.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
 }
 
 // remove deletes a blob file (best effort; a missing file is fine).
 func (b *DiskBacking) remove(id BlobID) {
 	os.Remove(b.path(id))
+}
+
+// readBlob reads and parses one blob file. The scrubber uses it to compare
+// the on-disk copy against the in-memory one.
+func (b *DiskBacking) readBlob(id BlobID) ([]byte, blobMeta, error) {
+	buf, err := os.ReadFile(b.path(id))
+	if err != nil {
+		return nil, blobMeta{}, err
+	}
+	onDisk, meta, err := parseBlobFile(buf)
+	if err != nil {
+		return nil, blobMeta{}, fmt.Errorf("storage: blob file %d: %w", id, err)
+	}
+	return onDisk, meta, nil
+}
+
+// writeProbe writes, fsyncs, and removes a scratch file in the blob
+// directory: the read-only auto-probe's check that real disk space has
+// returned.
+func (b *DiskBacking) writeProbe() error {
+	path := filepath.Join(b.dir, ".write-probe")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("apollo-write-probe"))
+	serr := f.Sync()
+	cerr := f.Close()
+	os.Remove(path)
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // load reads every blob file in the directory, returning contents keyed by id.
@@ -181,6 +294,10 @@ func parseBlobFile(buf []byte) ([]byte, blobMeta, error) {
 // also writes a blob file, and Delete removes it. Attach before any writes
 // that must be durable.
 func (s *Store) AttachBacking(b *DiskBacking) { s.backing.Store(b) }
+
+// Backing returns the attached disk backing (nil for purely in-memory
+// stores). The DB uses it to wire fsync-failure poisoning into its health.
+func (s *Store) Backing() *DiskBacking { return s.backing.Load() }
 
 // LoadFromBacking repopulates the store from its backing directory,
 // replacing current contents and emptying the buffer pool. The next BlobID

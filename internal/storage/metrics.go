@@ -26,4 +26,10 @@ var (
 		"reads failing checksum verification")
 	mFaultsInjected = metrics.Default.Counter("apollo_storage_faults_injected_total",
 		"faults raised by attached fault injectors")
+	mQuarantined = metrics.Default.Counter("apollo_storage_quarantined_total",
+		"blobs quarantined after at-rest corruption was confirmed on both copies")
+	mQuarantineServes = metrics.Default.Counter("apollo_storage_quarantine_refused_reads_total",
+		"reads refused because the blob is quarantined")
+	mScrubRepairs = metrics.Default.Counter("apollo_storage_scrub_repairs_total",
+		"blobs repaired by the scrubber from the surviving good copy (memory or backing file)")
 )

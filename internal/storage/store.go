@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"container/list"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -71,6 +72,11 @@ type Store struct {
 	blobs  map[BlobID][]byte
 	meta   map[BlobID]blobMeta
 	nextID uint64
+
+	// quarantined holds blobs the scrubber confirmed corrupt on every copy
+	// (keyed to the corruption cause). They are never served; Get fails
+	// with a QuarantinedError. Lazily allocated.
+	quarantined map[BlobID]error
 
 	// Buffer pool: LRU over decompressed blob bytes. With a shared budget
 	// attached, capacity checks go through it instead of cacheCap, so every
@@ -173,6 +179,21 @@ func (s *Store) Put(data []byte, comp Compression) (BlobID, error) {
 			time.Sleep(policy.backoff(attempt))
 		}
 	}
+	if f := s.fault.Load(); f != nil {
+		if err := f.beforeDurable(); err != nil {
+			// Deterministic durability faults are never retried: injected
+			// ENOSPC persists until cleared (the caller degrades to
+			// read-only), and an injected fsync failure poisons through the
+			// backing's fail hook exactly like a real one.
+			var fe *FsyncError
+			if errors.As(err, &fe) {
+				if b := s.backing.Load(); b != nil {
+					b.notifySyncFail(err)
+				}
+			}
+			return 0, err
+		}
+	}
 	sum := crc32.ChecksumIEEE(data)
 	var onDisk []byte
 	switch comp {
@@ -231,6 +252,11 @@ func (s *Store) Put(data []byte, comp Compression) (BlobID, error) {
 // bytes, so burning retry budget on them only delays the report.
 func (s *Store) Get(id BlobID) ([]byte, error) {
 	s.mu.Lock()
+	if qerr, ok := s.quarantined[id]; ok {
+		s.mu.Unlock()
+		mQuarantineServes.Inc()
+		return nil, &QuarantinedError{Blob: id, Cause: qerr}
+	}
 	if el, ok := s.cache[id]; ok {
 		s.lru.MoveToFront(el)
 		data := el.Value.(*cacheEntry).data

@@ -28,6 +28,14 @@ type Health struct {
 	LastError           error         // most recent MoveOnce error (nil if none)
 	LastErrorTime       time.Time     // when LastError occurred
 	Backoff             time.Duration // current retry backoff (0 when healthy)
+
+	// Integrity-scrub degradation: blobs belonging to this table that the
+	// scrubber confirmed corrupt on every copy and quarantined. Queries
+	// touching a quarantined blob fail with a typed quarantine error rather
+	// than serving wrong bytes; the rest of the table keeps serving.
+	QuarantinedBlobs   int
+	LastQuarantine     error // most recent quarantine cause (nil if none)
+	LastQuarantineTime time.Time
 }
 
 // moverHealth accumulates MoveOnce outcomes. Every MoveOnce call reports
@@ -41,6 +49,15 @@ type moverHealth struct {
 	lastErr     error
 	lastErrTime time.Time
 	backoff     time.Duration
+
+	quarantined  map[uint64]struct{} // blob ids quarantined by the scrubber
+	lastQuar     error
+	lastQuarTime time.Time
+
+	// obs, when set, sees every MoveOnce failure. The DB wires it to the
+	// degrade state so a mover hitting ENOSPC or a poisoned WAL flips the
+	// DB read-only / fail-stopped even though no session is on the path.
+	obs func(error)
 }
 
 func (h *moverHealth) recordSuccess() {
@@ -73,10 +90,14 @@ func (h *moverHealth) recordFailure(err error) time.Duration {
 	}
 	d := h.backoff
 	consec := h.consecutive
+	obs := h.obs
 	h.mu.Unlock()
 	mMoverFailures.Inc()
 	mMoverBackoff.Set(d.Seconds())
 	mMoverConsecFailures.Set(float64(consec))
+	if obs != nil {
+		obs(err)
+	}
 	return d
 }
 
@@ -91,6 +112,9 @@ func (h *moverHealth) snapshot(running bool) Health {
 		LastError:           h.lastErr,
 		LastErrorTime:       h.lastErrTime,
 		Backoff:             h.backoff,
+		QuarantinedBlobs:    len(h.quarantined),
+		LastQuarantine:      h.lastQuar,
+		LastQuarantineTime:  h.lastQuarTime,
 	}
 }
 
@@ -100,4 +124,26 @@ func (t *Table) Health() Health {
 	running := t.mover != nil
 	t.mu.RUnlock()
 	return t.health.snapshot(running)
+}
+
+// SetFailureObserver installs fn to see every MoveOnce failure (called
+// outside the health lock). The DB routes these into its degrade state.
+func (t *Table) SetFailureObserver(fn func(error)) {
+	t.health.mu.Lock()
+	t.health.obs = fn
+	t.health.mu.Unlock()
+}
+
+// NoteQuarantine records that one of this table's blobs was quarantined by
+// the integrity scrubber. Idempotent per blob id.
+func (t *Table) NoteQuarantine(blob uint64, cause error) {
+	h := &t.health
+	h.mu.Lock()
+	if h.quarantined == nil {
+		h.quarantined = make(map[uint64]struct{})
+	}
+	h.quarantined[blob] = struct{}{}
+	h.lastQuar = cause
+	h.lastQuarTime = time.Now()
+	h.mu.Unlock()
 }

@@ -1,0 +1,138 @@
+// Command synccheck is the repo's errcheck-style lint for the durability
+// layer: it flags discarded Sync() and Close() results in the packages where
+// an ignored return value can silently lose acknowledged data (internal/wal,
+// internal/storage, internal/persist, and the root package's durability
+// plumbing). A failed fsync that nobody looks at is precisely the bug class
+// PR 10 exists to kill, so the check runs as part of `make check`.
+//
+// A call site is flagged when a .Sync() or .Close() call appears as a bare
+// expression statement, a defer, or a go statement — i.e. anywhere its error
+// is structurally discarded. Deliberate discards are suppressed with a
+// trailing `//nolint:synccheck` comment on the same line; the suppression is
+// intentionally narrow so every discard is a visible, reviewed decision.
+//
+// Built on go/parser alone (no go/types): method calls named Sync/Close on
+// any receiver are matched. That over-approximates — e.g. a Close on a type
+// whose Close cannot fail still needs an annotation — which is the point:
+// in these packages the reader should see the decision either way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+var checked = []string{
+	"internal/wal",
+	"internal/storage",
+	"internal/persist",
+	"internal/scrub",
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan")
+	flag.Parse()
+
+	bad := 0
+	for _, rel := range checked {
+		dir := filepath.Join(*root, rel)
+		if err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			n, err := checkFile(path)
+			if err != nil {
+				return err
+			}
+			bad += n
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "synccheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "synccheck: %d unchecked Sync/Close call(s); handle the error or annotate with //nolint:synccheck\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports every structurally discarded Sync/Close result in one
+// file, returning the number of findings.
+func checkFile(path string) (int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+
+	// Lines carrying a //nolint:synccheck suppression (or //nolint:errcheck,
+	// which some older sites use for the same decision).
+	suppressed := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "nolint:synccheck") || strings.Contains(c.Text, "nolint:errcheck") {
+				suppressed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	bad := 0
+	flag := func(call *ast.CallExpr) {
+		pos := fset.Position(call.Pos())
+		if suppressed[pos.Line] {
+			return
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		fmt.Fprintf(os.Stderr, "%s:%d: result of %s() is discarded\n", pos.Filename, pos.Line, sel.Sel.Name)
+		bad++
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call := syncOrClose(st.X); call != nil {
+				flag(call)
+			}
+		case *ast.DeferStmt:
+			if call := syncOrClose(st.Call); call != nil {
+				flag(call)
+			}
+		case *ast.GoStmt:
+			if call := syncOrClose(st.Call); call != nil {
+				flag(call)
+			}
+		}
+		return true
+	})
+	return bad, nil
+}
+
+// syncOrClose returns the call if expr is a method call named Sync or Close
+// on some receiver (pkg-level function calls like os.Remove don't count).
+func syncOrClose(expr ast.Expr) *ast.CallExpr {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if sel.Sel.Name != "Sync" && sel.Sel.Name != "Close" {
+		return nil
+	}
+	// Require a non-package receiver shape: x.Close() where x is an
+	// identifier, field, call result, or index — not a lone uppercase
+	// package alias heuristic; package idents are lowercase here anyway,
+	// and any false positive is a one-line annotation.
+	return call
+}

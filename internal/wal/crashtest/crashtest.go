@@ -152,7 +152,7 @@ func Checksum(db *apollo.DB) ([32]byte, int, error) {
 func ExpectedChecksums(fsyncPolicy string) ([][32]byte, error) {
 	cfg := Config(fsyncPolicy)
 	db := apollo.Open(cfg)
-	defer db.Close()
+	defer db.Close() //nolint:synccheck // test harness: child exits or durable state already recorded
 	if _, err := db.Exec("CREATE TABLE k (id BIGINT, v VARCHAR)"); err != nil {
 		return nil, err
 	}
@@ -255,6 +255,13 @@ func RunChild() {
 		// mover aggressively to put moves under the crash point too.
 		cfg.TupleMoverInterval = 2 * time.Millisecond
 	}
+	enospc := os.Getenv("APOLLO_CRASH_ENOSPC") == "1"
+	poison := os.Getenv("APOLLO_CRASH_POISON") == "1"
+	if enospc {
+		// The degrade/recover cycle must complete inside the child's
+		// lifetime, so probe aggressively.
+		cfg.ProbeInterval = 5 * time.Millisecond
+	}
 	db, err := apollo.OpenDir(dir, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crashtest child: open: %v\n", err)
@@ -265,6 +272,12 @@ func RunChild() {
 	}
 	if multi > 0 {
 		runMultiChild(db, dir, multi) // never returns
+	}
+	if enospc {
+		runEnospcChild(db, dir) // never returns
+	}
+	if poison {
+		runPoisonChild(db, dir) // never returns
 	}
 	if _, err := db.Exec("CREATE TABLE k (id BIGINT, v VARCHAR)"); err != nil {
 		fmt.Fprintf(os.Stderr, "crashtest child: create: %v\n", err)
@@ -281,7 +294,7 @@ func RunChild() {
 		}
 	}
 	total := db.WALStats().TotalBytes
-	db.Close()
+	db.Close() //nolint:synccheck // test harness: child exits or durable state already recorded
 	if err := os.WriteFile(totalPath(dir), []byte(strconv.FormatInt(total, 10)), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "crashtest child: total: %v\n", err)
 		os.Exit(1)
@@ -458,7 +471,7 @@ func runMultiChild(db *apollo.DB, dir string, sessions int) {
 		fail("ack close: %v", err)
 	}
 	total := db.WALStats().TotalBytes
-	db.Close()
+	db.Close() //nolint:synccheck // test harness: child exits or durable state already recorded
 	if err := os.WriteFile(totalPath(dir), []byte(strconv.FormatInt(total, 10)), 0o644); err != nil {
 		fail("total: %v", err)
 	}
@@ -587,9 +600,198 @@ func runBulkChild(db *apollo.DB, dir string) {
 	}
 
 	total := db.WALStats().TotalBytes
-	db.Close()
+	db.Close() //nolint:synccheck // test harness: child exits or durable state already recorded
 	if err := os.WriteFile(totalPath(dir), []byte(strconv.FormatInt(total, 10)), 0o644); err != nil {
 		fail("total: %v", err)
 	}
 	os.Exit(0)
+}
+
+// --- ENOSPC / fsync-poison fail-stop modes ---
+//
+// Storage-failure hardening children (PR: fail-stop durability). Extra
+// environment on top of the protocol above:
+//
+//	APOLLO_CRASH_ENOSPC=1   scripted disk-full degrade/recover workload
+//	APOLLO_CRASH_POISON=1   scripted fsync-failure fail-stop workload
+//
+// Both modes insert sequential ids into table k and mark progress only
+// after an acknowledged insert, so the parent's oracle is simple: the
+// recovered table must hold EXACTLY the contiguous prefix 1..K for some
+// K >= acked — zero acked loss, no false acks, no holes.
+
+// EnospcAckedBefore is how many inserts the ENOSPC child acks before
+// arming disk-full; EnospcTotal is the full run length after recovery.
+const (
+	EnospcAckedBefore = 20
+	EnospcTotal       = 60
+)
+
+// insertK trickle-inserts one scripted row into table k.
+func insertK(db *apollo.DB, id int64) error {
+	t, err := db.Table("k")
+	if err != nil {
+		return err
+	}
+	return t.Insert(apollo.Row{apollo.NewInt(id), apollo.NewString(fmt.Sprintf("v-%d", id))})
+}
+
+// runEnospcChild scripts the disk-full degradation cycle: 20 acked inserts,
+// deterministic ENOSPC armed on every further WAL append, a write that must
+// be rejected with the typed read-only error (and NOT acked), reads that
+// must keep working, then space "returns" and the auto-probe must restore
+// writes without reopening the DB — continuing to 60 acked inserts. A WAL
+// crash point may be armed on top, killing the child anywhere in that
+// cycle; the parent's prefix oracle holds at every kill point.
+func runEnospcChild(db *apollo.DB, dir string) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "crashtest enospc child: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if _, err := db.Exec("CREATE TABLE k (id BIGINT, v VARCHAR)"); err != nil {
+		fail("create: %v", err)
+	}
+	acked := 0
+	for i := int64(1); i <= EnospcAckedBefore; i++ {
+		if err := insertK(db, i); err != nil {
+			fail("insert %d: %v", i, err)
+		}
+		acked++
+		if err := markProgress(dir, acked); err != nil {
+			fail("progress: %v", err)
+		}
+	}
+
+	db.InjectWALFaults(apollo.WALFaults{AppendNoSpaceAt: 1})
+	err := insertK(db, EnospcAckedBefore+1)
+	if err == nil {
+		fail("insert succeeded with disk full — false ack")
+	}
+	if !apollo.IsReadOnlyError(err) {
+		fail("disk-full insert: got %v, want typed read-only error", err)
+	}
+	// Reads must keep working on the degraded database.
+	res, err := db.Exec("SELECT COUNT(*) FROM k")
+	if err != nil {
+		fail("read while read-only: %v", err)
+	}
+	if n := res.Rows[0][0].I; n != EnospcAckedBefore {
+		fail("read while read-only: count %d, want %d", n, EnospcAckedBefore)
+	}
+
+	// Space returns; the probe must flip writes back on without a reopen.
+	db.ClearWALFaults()
+	deadline := time.Now().Add(10 * time.Second)
+	for i := int64(EnospcAckedBefore + 1); i <= EnospcTotal; i++ {
+		for {
+			err := insertK(db, i)
+			if err == nil {
+				break
+			}
+			if !apollo.IsReadOnlyError(err) {
+				fail("insert %d during recovery: %v", i, err)
+			}
+			if time.Now().After(deadline) {
+				fail("writes never recovered after clearing disk-full")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		acked++
+		if err := markProgress(dir, acked); err != nil {
+			fail("progress: %v", err)
+		}
+	}
+	if h := db.Health(); h.Mode != apollo.ModeHealthy || h.Recovered < 1 {
+		fail("health after recovery: mode %v recovered %d", h.Mode, h.Recovered)
+	}
+	total := db.WALStats().TotalBytes
+	db.Close() //nolint:synccheck // test harness: child exits or durable state already recorded
+	if err := os.WriteFile(totalPath(dir), []byte(strconv.FormatInt(total, 10)), 0o644); err != nil {
+		fail("total: %v", err)
+	}
+	os.Exit(0)
+}
+
+// runPoisonChild scripts the fsync-failure fail-stop: 20 acked inserts,
+// then the next fsync is forced to fail. The in-flight insert must be
+// REJECTED (not acked) and the writer permanently poisoned: later writes
+// fail fast with the typed poison error, clearing the injection does not
+// revive them, and reads keep serving what is already durable. The parent
+// then recovers the directory and verifies nothing acked was lost and the
+// never-acked poisoned insert did not leak a false ack.
+func runPoisonChild(db *apollo.DB, dir string) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "crashtest poison child: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if _, err := db.Exec("CREATE TABLE k (id BIGINT, v VARCHAR)"); err != nil {
+		fail("create: %v", err)
+	}
+	acked := 0
+	for i := int64(1); i <= EnospcAckedBefore; i++ {
+		if err := insertK(db, i); err != nil {
+			fail("insert %d: %v", i, err)
+		}
+		acked++
+		if err := markProgress(dir, acked); err != nil {
+			fail("progress: %v", err)
+		}
+	}
+
+	db.InjectWALFaults(apollo.WALFaults{FailSyncAt: 1})
+	if err := insertK(db, EnospcAckedBefore+1); err == nil {
+		fail("insert acked through a failed fsync")
+	} else if !apollo.IsPoisonedError(err) {
+		fail("failed-fsync insert: got %v, want typed poison error", err)
+	}
+	// Poison is permanent: the next write fails fast, and clearing the
+	// injection must not revive the writer.
+	db.ClearWALFaults()
+	if err := insertK(db, EnospcAckedBefore+2); !apollo.IsPoisonedError(err) {
+		fail("insert after poison: got %v, want typed poison error", err)
+	}
+	res, err := db.Exec("SELECT COUNT(*) FROM k")
+	if err != nil {
+		fail("read on poisoned db: %v", err)
+	}
+	if n := res.Rows[0][0].I; n != EnospcAckedBefore {
+		fail("read on poisoned db: count %d, want %d", n, EnospcAckedBefore)
+	}
+	if h := db.Health(); h.Mode != apollo.ModePoisoned || !h.WAL.Poisoned {
+		fail("health after poison: mode %v wal-poisoned %v", h.Mode, h.WAL.Poisoned)
+	}
+	db.Close() //nolint:synccheck // test harness: child exits or durable state already recorded
+	os.Exit(0)
+}
+
+// VerifyContiguousPrefix checks the fail-stop oracle on a recovered
+// database: table k holds exactly ids 1..K for some K (no holes, no
+// duplicates, no phantoms beyond hi), with acked <= K <= hi. Returns K.
+func VerifyContiguousPrefix(db *apollo.DB, acked, hi int) (int, error) {
+	res, err := db.Exec("SELECT COUNT(*), MIN(id), MAX(id), COUNT(DISTINCT id) FROM k")
+	if err != nil {
+		return 0, err
+	}
+	count := res.Rows[0][0].I
+	if count == 0 {
+		if acked > 0 {
+			return 0, fmt.Errorf("empty table after %d acked inserts", acked)
+		}
+		return 0, nil
+	}
+	minID := res.Rows[0][1].I
+	maxID := res.Rows[0][2].I
+	distinct := res.Rows[0][3].I
+	if minID != 1 || maxID != count || distinct != count {
+		return 0, fmt.Errorf("recovered ids are not a contiguous 1..K prefix: count=%d min=%d max=%d distinct=%d",
+			count, minID, maxID, distinct)
+	}
+	k := int(count)
+	if k < acked {
+		return k, fmt.Errorf("acked loss: recovered prefix %d < acked %d", k, acked)
+	}
+	if k > hi {
+		return k, fmt.Errorf("phantom rows: recovered prefix %d > maximum scripted %d", k, hi)
+	}
+	return k, nil
 }

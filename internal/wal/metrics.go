@@ -15,4 +15,8 @@ var (
 		"write-ahead log segment files opened")
 	mTruncatedTail = metrics.Default.Counter("apollo_recovery_truncated_tail_total",
 		"torn write-ahead log tails dropped during recovery scans")
+	mPoisoned = metrics.Default.Counter("apollo_wal_poisoned_total",
+		"write-ahead log writers permanently fail-stopped by an fsync failure")
+	mNoSpace = metrics.Default.Counter("apollo_wal_enospc_total",
+		"write-ahead log appends refused by disk exhaustion (after torn-frame unwind)")
 )

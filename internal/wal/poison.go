@@ -1,0 +1,187 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// ErrPoisoned is matched (via errors.Is) by every error a poisoned writer
+// returns. A writer poisons itself permanently after any failed fsync:
+// retrying an fsync is unsound — the kernel may have dropped the dirty pages
+// on the first failure, so a retried call can report success for data that
+// was never written (the "fsyncgate" failure mode). Once poisoned, the
+// durable watermark never advances again, every pending and future
+// WaitDurable fails, and Close skips its final sync.
+var ErrPoisoned = errors.New("wal: writer poisoned by fsync failure")
+
+// PoisonedError carries the fsync failure that poisoned the writer.
+type PoisonedError struct {
+	Cause error
+}
+
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("wal: writer poisoned by fsync failure: %v", e.Cause)
+}
+
+func (e *PoisonedError) Is(target error) bool { return target == ErrPoisoned }
+
+func (e *PoisonedError) Unwrap() error { return e.Cause }
+
+// NoSpaceError reports an append or segment-provisioning failure caused by
+// disk exhaustion. Unlike an fsync failure it does not poison the writer:
+// the torn frame is unwound, no unsynced data was acknowledged, and appends
+// succeed again once space returns. Cause wraps syscall.ENOSPC, so
+// errors.Is(err, syscall.ENOSPC) holds.
+type NoSpaceError struct {
+	Op    string
+	Cause error
+}
+
+func (e *NoSpaceError) Error() string {
+	return fmt.Sprintf("wal: %s: disk full: %v", e.Op, e.Cause)
+}
+
+func (e *NoSpaceError) Unwrap() error { return e.Cause }
+
+// IsNoSpace reports whether err was caused by disk exhaustion.
+func IsNoSpace(err error) bool { return errors.Is(err, syscall.ENOSPC) }
+
+// Poison marks the writer permanently failed. The first call wins; the
+// stored cause is returned (wrapped in a PoisonedError) by every subsequent
+// operation. All WaitDurable waiters are woken so they observe the poison
+// instead of blocking on a watermark that will never advance.
+func (w *Writer) Poison(cause error) {
+	pe := &PoisonedError{Cause: cause}
+	if !w.poison.CompareAndSwap(nil, pe) {
+		return
+	}
+	mPoisoned.Inc()
+	w.broadcast()
+	if w.opts.OnPoison != nil {
+		w.opts.OnPoison(pe)
+	}
+}
+
+// Poisoned returns the writer's poison error, or nil if it is healthy.
+// Dir returns the segment directory (scrubber WAL-verification scope).
+func (w *Writer) Dir() string { return w.dir }
+
+func (w *Writer) Poisoned() error {
+	if pe := w.poison.Load(); pe != nil {
+		return pe
+	}
+	return nil
+}
+
+// errInjectedSync is the synthetic I/O error produced by SetFailSync.
+var errInjectedSync = fmt.Errorf("injected fsync failure: %w", syscall.EIO)
+
+// SetFailSync arms deterministic fsync-failure injection: the nth fsync
+// issued from now (1 = the next) fails with a synthetic I/O error and
+// poisons the writer. n = 0 disarms.
+func (w *Writer) SetFailSync(n int64) { w.injSyncFail.Store(n) }
+
+// SetAppendNoSpace arms deterministic disk-full injection: the nth record
+// append from now (1 = the next) and every later one fail with an error
+// wrapping syscall.ENOSPC, after a genuine partial write that exercises the
+// same truncate-back unwind as a real short write. The injection stays
+// armed — modelling a disk that remains full — until disarmed with n = 0.
+func (w *Writer) SetAppendNoSpace(n int64) {
+	w.mu.Lock()
+	w.injNoSpaceIn = n
+	w.mu.Unlock()
+}
+
+// maybeInjectSyncErr consumes one tick of the armed sync-failure counter,
+// returning the synthetic error when the counter reaches its target.
+func (w *Writer) maybeInjectSyncErr() error {
+	for {
+		n := w.injSyncFail.Load()
+		switch {
+		case n == 0:
+			return nil
+		case n == 1:
+			if w.injSyncFail.CompareAndSwap(1, 0) {
+				return errInjectedSync
+			}
+		default:
+			if w.injSyncFail.CompareAndSwap(n, n-1) {
+				return nil
+			}
+		}
+	}
+}
+
+// errSegmentSealed reports that a group-commit fsync lost a benign race: a
+// concurrent rotation sealed (fsynced, advanced the watermark past, and
+// closed) the segment handle before the fsync ran. Nothing was lost —
+// callers re-check the watermark instead of failing.
+var errSegmentSealed = errors.New("wal: segment sealed by concurrent rotation")
+
+// syncFile is the single chokepoint for fsyncing segment data. Any failure,
+// real or injected, permanently poisons the writer (see ErrPoisoned): after
+// a failed fsync the durable watermark must never advance again, so the
+// only safe response is fail-stop. The one exception is ErrClosed from a
+// handle a concurrent rotation already sealed — that fsync ran and
+// succeeded, so errSegmentSealed is returned without poisoning.
+func (w *Writer) syncFile(f *os.File) error {
+	if err := w.Poisoned(); err != nil {
+		return err
+	}
+	if err := w.maybeInjectSyncErr(); err != nil {
+		w.Poison(err)
+		return w.Poisoned()
+	}
+	if err := f.Sync(); err != nil {
+		if errors.Is(err, os.ErrClosed) {
+			return errSegmentSealed
+		}
+		w.Poison(fmt.Errorf("wal: fsync segment: %w", err))
+		return w.Poisoned()
+	}
+	mFsyncs.Inc()
+	return nil
+}
+
+// WriteProbe reports whether the log can currently accept durable appends:
+// a poisoned writer or armed disk-full injection fails immediately;
+// otherwise a scratch file in the WAL directory is written, fsynced, and
+// removed. The read-only auto-prober uses it to decide when writability has
+// returned after an ENOSPC degrade.
+func (w *Writer) WriteProbe() error {
+	if err := w.Poisoned(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	armed := w.injNoSpaceIn == 1
+	dir := w.dir
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return fmt.Errorf("wal: writer closed")
+	}
+	if armed {
+		return &NoSpaceError{Op: "probe", Cause: syscall.ENOSPC}
+	}
+	path := filepath.Join(dir, ".write-probe")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("apollo-write-probe"))
+	serr := f.Sync()
+	cerr := f.Close()
+	os.Remove(path)
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		// A probe-file fsync failure does not poison: no acknowledged log
+		// data depends on it. It just keeps the DB read-only.
+		return serr
+	}
+	return cerr
+}

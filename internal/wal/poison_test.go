@@ -1,0 +1,339 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func testRecord(payload byte) *Record {
+	return &Record{Type: TDeltaInsert, Table: "t", A: 1, B: uint64(payload), Payload: []byte{payload, payload, payload}}
+}
+
+// A failed fsync must poison the writer permanently: the failing append
+// reports ErrPoisoned, later appends fail fast, and Close must not fsync
+// (fsyncgate: a retried fsync can falsely succeed after the kernel dropped
+// the dirty pages).
+func TestFsyncFailurePoisonsWriter(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1, Options{Policy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testRecord(1)); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+
+	w.SetFailSync(1)
+	err = w.Append(testRecord(2))
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append through failed fsync: got %v, want ErrPoisoned", err)
+	}
+	var pe *PoisonedError
+	if !errors.As(err, &pe) {
+		t.Fatalf("append error %v is not a *PoisonedError", err)
+	}
+
+	// The record was appended but never made durable: the watermark must
+	// not have advanced past the pre-failure sync point.
+	st := w.Stat()
+	if !st.Poisoned {
+		t.Fatal("Stat().Poisoned = false after fsync failure")
+	}
+	if st.SyncedBytes >= st.TotalBytes {
+		t.Fatalf("watermark advanced over unsynced data: synced=%d total=%d", st.SyncedBytes, st.TotalBytes)
+	}
+
+	// Subsequent operations fail fast with the same poison.
+	if err := w.Append(testRecord(3)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poison: got %v, want ErrPoisoned", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Sync after poison: got %v, want ErrPoisoned", err)
+	}
+	if _, err := w.Rotate(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Rotate after poison: got %v, want ErrPoisoned", err)
+	}
+	if err := w.WriteProbe(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("WriteProbe after poison: got %v, want ErrPoisoned", err)
+	}
+
+	// Close surfaces the poison instead of pretending the log is clean.
+	if err := w.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Close after poison: got %v, want ErrPoisoned", err)
+	}
+}
+
+// Pending WaitDurable waiters must be failed (not left hanging) when the
+// writer poisons.
+func TestPoisonFailsPendingWaiters(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1, Options{Policy: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close() //nolint:errcheck — poisoned by the test
+
+	target, err := w.AppendAsync(testRecord(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park waiters on a target the poisoned writer will never reach. They
+	// grab the sync token themselves under FsyncOff... so instead occupy
+	// the token first so they genuinely park on the note channel.
+	w.syncSem <- struct{}{}
+	const waiters = 4
+	errs := make(chan error, waiters)
+	var started sync.WaitGroup
+	started.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			started.Done()
+			errs <- w.WaitDurable(context.Background(), target)
+		}()
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let the waiters park
+
+	w.Poison(errors.New("boom"))
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrPoisoned) {
+				t.Fatalf("waiter %d: got %v, want ErrPoisoned", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d still blocked after poison", i)
+		}
+	}
+	<-w.syncSem
+}
+
+// A disk-full append must unwind the torn frame, leave the writer usable,
+// and succeed again once space returns — and the log must scan cleanly
+// through the whole episode.
+func TestAppendENOSPCUnwindsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1, Options{Policy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(1); i <= 3; i++ {
+		if err := w.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w.SetAppendNoSpace(1)
+	err = w.Append(testRecord(4))
+	if err == nil || !IsNoSpace(err) {
+		t.Fatalf("append under ENOSPC: got %v, want ENOSPC-wrapping error", err)
+	}
+	var nse *NoSpaceError
+	if !errors.As(err, &nse) {
+		t.Fatalf("append error %v is not a *NoSpaceError", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("NoSpaceError does not unwrap to syscall.ENOSPC: %v", err)
+	}
+	// The disk stays "full" until freed: the next append fails too.
+	if err := w.Append(testRecord(5)); !IsNoSpace(err) {
+		t.Fatalf("second append under ENOSPC: got %v, want ENOSPC", err)
+	}
+	if err := w.WriteProbe(); !IsNoSpace(err) {
+		t.Fatalf("WriteProbe under ENOSPC: got %v, want ENOSPC", err)
+	}
+	if st := w.Stat(); st.Poisoned {
+		t.Fatal("ENOSPC must not poison the writer")
+	}
+
+	// Space returns.
+	w.SetAppendNoSpace(0)
+	if err := w.WriteProbe(); err != nil {
+		t.Fatalf("WriteProbe after space freed: %v", err)
+	}
+	if err := w.Append(testRecord(6)); err != nil {
+		t.Fatalf("append after space freed: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The unwind must have left no torn frame: the full log scans cleanly
+	// and contains exactly the acknowledged records (1,2,3,6).
+	var got []byte
+	res, err := Scan(dir, 1, false, func(_ uint64, rec *Record) error {
+		got = append(got, rec.Payload[0])
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan after ENOSPC episode: %v", err)
+	}
+	if res.Truncated {
+		t.Fatal("scan reported a torn tail; ENOSPC unwind left garbage")
+	}
+	want := []byte{1, 2, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("recovered records %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recovered records %v, want %v", got, want)
+		}
+	}
+}
+
+// Rotation provisions the next segment before sealing the current one, so a
+// disk-full rotation leaves the writer appending into the current segment.
+func TestRotateENOSPCKeepsCurrentSegmentWritable(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation quickly.
+	w, err := Create(dir, 1, Options{Policy: FsyncAlways, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill past the rotation threshold while "disk full" blocks provisioning
+	// of the next segment: appends must keep succeeding into segment 1.
+	// SetAppendNoSpace affects record frames, not fallocate, so instead
+	// verify via Rotate(): force rotations and confirm over-length growth
+	// is tolerated when rotation cannot proceed. Simulate the provisioning
+	// failure by making the directory read-only.
+	if err := w.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755) //nolint:errcheck — test cleanup
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: read-only directory does not block segment creation")
+	}
+	// Appends past SegmentBytes try to rotate; provisioning fails (EACCES,
+	// not ENOSPC) and must surface as an error without corrupting state.
+	var rotateErr error
+	for i := byte(2); i < 40; i++ {
+		if err := w.Append(testRecord(i)); err != nil {
+			rotateErr = err
+			break
+		}
+	}
+	if rotateErr == nil {
+		t.Fatal("expected rotation provisioning failure in read-only dir")
+	}
+	if st := w.Stat(); st.Poisoned {
+		t.Fatal("provisioning failure must not poison the writer")
+	}
+	if err := os.Chmod(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testRecord(41)); err != nil {
+		t.Fatalf("append after dir writable again: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Preallocation must not change the segment's logical size: recovery reads
+// exactly the written bytes (KEEP_SIZE semantics).
+func TestPreallocKeepsLogicalSize(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1, Options{Policy: FsyncAlways, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testRecord(7)); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stat()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, SegmentName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != st.TotalBytes {
+		t.Fatalf("segment file size %d, want logical size %d (preallocation leaked into file length)", fi.Size(), st.TotalBytes)
+	}
+	if _, err := Scan(dir, 1, false, func(uint64, *Record) error { return nil }); err != nil {
+		t.Fatalf("scan of preallocated segment: %v", err)
+	}
+}
+
+// OnPoison fires exactly once, with the poison cause.
+func TestOnPoisonHookFiresOnce(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var calls []error
+	w, err := Create(dir, 1, Options{
+		Policy: FsyncAlways,
+		OnPoison: func(e error) {
+			mu.Lock()
+			calls = append(calls, e)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Poison(errors.New("first"))
+	w.Poison(errors.New("second"))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 {
+		t.Fatalf("OnPoison fired %d times, want 1", len(calls))
+	}
+	if !errors.Is(calls[0], ErrPoisoned) {
+		t.Fatalf("OnPoison got %v, want ErrPoisoned wrapper", calls[0])
+	}
+	w.Close() //nolint:errcheck — poisoned by the test
+}
+
+// VerifySegments checks closed segments only and spots corruption.
+func TestVerifySegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1, Options{Policy: FsyncAlways, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 10; i++ {
+		if err := w.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stat()
+	if st.Seq < 3 {
+		t.Fatalf("expected several segments, at %d", st.Seq)
+	}
+	segs, recs, err := VerifySegments(dir, st.Seq)
+	if err != nil {
+		t.Fatalf("VerifySegments on clean log: %v", err)
+	}
+	if segs == 0 || recs == 0 {
+		t.Fatalf("VerifySegments verified nothing: segs=%d recs=%d", segs, recs)
+	}
+
+	// Flip a byte in the middle of the first closed segment's first frame.
+	path := filepath.Join(dir, SegmentName(1))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[segHeaderLen+frameHeadLen] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := VerifySegments(dir, st.Seq); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("VerifySegments on corrupt closed segment: got %v, want ErrCorrupt", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+//go:build linux
+
+package wal
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// fallocKeepSize (FALLOC_FL_KEEP_SIZE) reserves blocks without extending the
+// file size, so the recovery scanner never sees a preallocated zero tail —
+// the segment's logical length keeps tracking actual writes.
+const fallocKeepSize = 0x01
+
+// preallocate reserves n bytes of disk for f. Filesystems without fallocate
+// support report "no reservation available", which is not an error — ENOSPC
+// then simply surfaces on the first append that runs out of disk. Genuine
+// failures, ENOSPC above all, propagate.
+func preallocate(f *os.File, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	err := syscall.Fallocate(int(f.Fd()), fallocKeepSize, 0, n)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, syscall.EOPNOTSUPP), errors.Is(err, syscall.ENOSYS), errors.Is(err, syscall.EINVAL):
+		return nil
+	default:
+		return err
+	}
+}

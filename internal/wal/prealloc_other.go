@@ -1,0 +1,9 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// preallocate is a no-op where fallocate is unavailable; ENOSPC then
+// surfaces on the first append that actually runs out of disk.
+func preallocate(*os.File, int64) error { return nil }

@@ -3,8 +3,10 @@ package wal
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -88,6 +91,11 @@ type Options struct {
 	// bytes up to that offset, flushes them, and kills the process. Zero
 	// disables it. See internal/wal/crashtest.
 	CrashAt int64
+	// OnPoison, if set, is invoked exactly once when the writer poisons
+	// itself after a failed fsync (fail-stop; see ErrPoisoned). It runs on
+	// the goroutine that observed the failure and must not call back into
+	// the writer.
+	OnPoison func(error)
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +125,14 @@ type Writer struct {
 	syncSem chan struct{} // cap 1: held by the goroutine doing the group fsync
 	noteMu  sync.Mutex
 	note    chan struct{} // closed and replaced whenever synced advances
+
+	// poison is set once, by the first failed fsync, and never cleared
+	// (fsyncgate fail-stop; see Poison). injSyncFail / injNoSpaceIn are the
+	// deterministic fault-injection counters (SetFailSync /
+	// SetAppendNoSpace); injNoSpaceIn is guarded by mu.
+	poison      atomic.Pointer[PoisonedError]
+	injSyncFail atomic.Int64
+	injNoSpaceIn int64
 
 	intervalStop chan struct{}
 	intervalDone chan struct{}
@@ -184,10 +200,33 @@ func listSegments(dir string) ([]uint64, error) {
 	return seqs, nil
 }
 
-func (w *Writer) openSegmentLocked(seq uint64) error {
-	f, err := os.OpenFile(filepath.Join(w.dir, SegmentName(seq)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+// createSegmentFile opens a fresh segment file and preallocates its full
+// budget up front (fallocate with KEEP_SIZE on Linux: blocks are reserved
+// but the file size still tracks writes, so recovery scans are unchanged).
+// With the space reserved, appends into the segment — including the commit
+// record written while the DB flips read-only under ENOSPC — cannot
+// themselves die of disk exhaustion.
+func (w *Writer) createSegmentFile(seq uint64) (*os.File, error) {
+	path := filepath.Join(w.dir, SegmentName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return fmt.Errorf("wal: open segment %d: %w", seq, err)
+		return nil, fmt.Errorf("wal: open segment %d: %w", seq, err)
+	}
+	if err := preallocate(f, w.opts.SegmentBytes); err != nil {
+		f.Close()       //nolint:synccheck — discarding a file we failed to provision
+		os.Remove(path) // best effort: nothing references the segment yet
+		if IsNoSpace(err) {
+			return nil, &NoSpaceError{Op: fmt.Sprintf("preallocate segment %d", seq), Cause: err}
+		}
+		return nil, fmt.Errorf("wal: preallocate segment %d: %w", seq, err)
+	}
+	return f, nil
+}
+
+func (w *Writer) openSegmentLocked(seq uint64) error {
+	f, err := w.createSegmentFile(seq)
+	if err != nil {
+		return err
 	}
 	w.f = f
 	w.seq = seq
@@ -195,7 +234,7 @@ func (w *Writer) openSegmentLocked(seq uint64) error {
 	var hdr [segHeaderLen]byte
 	copy(hdr[:8], segMagic)
 	binary.LittleEndian.PutUint64(hdr[8:], seq)
-	if err := w.writeRawLocked(hdr[:]); err != nil {
+	if err := w.writeRawLocked(hdr[:], false); err != nil {
 		return err
 	}
 	mSegments.Inc()
@@ -206,21 +245,58 @@ func (w *Writer) openSegmentLocked(seq uint64) error {
 // hook: if the cumulative byte count would pass CrashAt, only the prefix up
 // to CrashAt is written (then flushed) and the process exits — simulating a
 // torn write at an arbitrary log offset.
-func (w *Writer) writeRawLocked(b []byte) error {
+//
+// A failed or short write is unwound — the file is truncated back to the
+// pre-write offset and the cursor repositioned (Truncate does not move it) —
+// so a disk-full append never leaves a torn frame mid-segment. ENOSPC then
+// surfaces as a typed NoSpaceError and the writer stays usable; if the
+// unwind itself fails the segment tail is unknowable and the writer poisons
+// (fail-stop). isFrame marks record-frame writes, the only ones subject to
+// disk-full injection.
+func (w *Writer) writeRawLocked(b []byte, isFrame bool) error {
 	if w.opts.CrashAt > 0 {
 		remaining := w.opts.CrashAt - w.total
 		if remaining <= 0 {
-			w.f.Sync()
+			w.f.Sync() //nolint:synccheck — crash-injection hook, process exits
 			os.Exit(3)
 		}
 		if int64(len(b)) > remaining {
 			w.f.Write(b[:remaining])
-			w.f.Sync()
+			w.f.Sync() //nolint:synccheck — crash-injection hook, process exits
 			os.Exit(3)
 		}
 	}
-	if _, err := w.f.Write(b); err != nil {
-		return fmt.Errorf("wal: write segment %d: %w", w.seq, err)
+	var n int
+	var werr error
+	if isFrame && w.injNoSpaceIn == 1 {
+		// Simulated disk-full: write a genuine partial prefix so the
+		// truncate-back unwind runs exactly as it would for a real short
+		// write, then report ENOSPC.
+		n, _ = w.f.Write(b[:len(b)/2])
+		werr = fmt.Errorf("injected write failure: %w", syscall.ENOSPC)
+	} else {
+		if isFrame && w.injNoSpaceIn > 1 {
+			w.injNoSpaceIn--
+		}
+		n, werr = w.f.Write(b)
+		if werr == nil && n != len(b) {
+			werr = io.ErrShortWrite
+		}
+	}
+	if werr != nil {
+		if terr := w.f.Truncate(w.segBytes); terr != nil {
+			w.Poison(fmt.Errorf("wal: unwind truncate segment %d after failed write: %w", w.seq, terr))
+			return w.Poisoned()
+		}
+		if _, serr := w.f.Seek(w.segBytes, io.SeekStart); serr != nil {
+			w.Poison(fmt.Errorf("wal: unwind seek segment %d after failed write: %w", w.seq, serr))
+			return w.Poisoned()
+		}
+		if IsNoSpace(werr) {
+			mNoSpace.Inc()
+			return &NoSpaceError{Op: fmt.Sprintf("append segment %d", w.seq), Cause: werr}
+		}
+		return fmt.Errorf("wal: write segment %d: %w", w.seq, werr)
 	}
 	w.total += int64(len(b))
 	w.segBytes += int64(len(b))
@@ -266,13 +342,24 @@ func (w *Writer) appendFrame(rec *Record) (int64, error) {
 		w.mu.Unlock()
 		return 0, fmt.Errorf("wal: writer closed")
 	}
+	if err := w.Poisoned(); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
 	if w.segBytes+int64(len(frame)) > w.opts.SegmentBytes && w.segBytes > segHeaderLen {
 		if err := w.rotateLocked(); err != nil {
-			w.mu.Unlock()
-			return 0, err
+			if !IsNoSpace(err) {
+				w.mu.Unlock()
+				return 0, err
+			}
+			// Disk full while provisioning the next segment: keep appending
+			// to the current (already preallocated) one instead of failing
+			// the record; rotation retries on a later append. If the current
+			// segment's reservation is exhausted too, the append below
+			// reports ENOSPC itself.
 		}
 	}
-	if err := w.writeRawLocked(frame); err != nil {
+	if err := w.writeRawLocked(frame, true); err != nil {
 		w.mu.Unlock()
 		return 0, err
 	}
@@ -284,19 +371,52 @@ func (w *Writer) appendFrame(rec *Record) (int64, error) {
 	return target, nil
 }
 
-// rotateLocked syncs and closes the current segment and opens the next one.
-// The sync runs under every policy: once a segment is closed no later fsync
-// can reach it, so the durable watermark must cover it now.
+// rotateLocked seals the current segment and switches to the next one. The
+// next segment is provisioned (created + preallocated) BEFORE the current
+// one is touched: if the disk is full the failure surfaces there, the
+// current segment stays open and writable, and the caller keeps appending.
+// The seal fsync runs under every policy — once a segment is closed no
+// later fsync can reach it, so the durable watermark must cover it now —
+// and a seal failure poisons the writer (fsyncgate fail-stop).
 func (w *Writer) rotateLocked() error {
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync segment %d: %w", w.seq, err)
+	if err := w.Poisoned(); err != nil {
+		return err
 	}
-	mFsyncs.Inc()
+	nextSeq := w.seq + 1
+	nf, err := w.createSegmentFile(nextSeq)
+	if err != nil {
+		return err
+	}
+	discardNext := func() {
+		nf.Close() //nolint:synccheck — discarding an empty segment we never switched to
+		os.Remove(filepath.Join(w.dir, SegmentName(nextSeq)))
+	}
+	if err := w.syncFile(w.f); err != nil {
+		discardNext()
+		return err
+	}
 	w.advanceSynced(w.total)
 	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("wal: close segment %d: %w", w.seq, err)
+		// The sealed data is durable, but a failing close leaves the handle
+		// state unknown; fail-stop like a sync failure rather than guess.
+		discardNext()
+		w.Poison(fmt.Errorf("wal: close segment %d: %w", w.seq, err))
+		return w.Poisoned()
 	}
-	return w.openSegmentLocked(w.seq + 1)
+	w.f = nf
+	w.seq = nextSeq
+	w.segBytes = 0
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], nextSeq)
+	if err := w.writeRawLocked(hdr[:], false); err != nil {
+		// The segment is preallocated, so a header write can only fail for
+		// non-space reasons; without its header the segment is unusable.
+		w.Poison(fmt.Errorf("wal: write header of segment %d: %w", nextSeq, err))
+		return w.Poisoned()
+	}
+	mSegments.Inc()
+	return nil
 }
 
 // Rotate forces a segment rotation and returns the new segment's sequence
@@ -323,6 +443,13 @@ func (w *Writer) Rotate() (uint64, error) {
 // completes the sync before observing cancellation.
 func (w *Writer) WaitDurable(ctx context.Context, target int64) error {
 	for w.synced.Load() < target {
+		// A poisoned writer will never advance the watermark again: fail
+		// the wait with the poison cause instead of blocking forever.
+		// Poison broadcasts on note, so waiters parked below wake into
+		// this check.
+		if err := w.Poisoned(); err != nil {
+			return err
+		}
 		w.noteMu.Lock()
 		note := w.note
 		w.noteMu.Unlock()
@@ -359,10 +486,14 @@ func (w *Writer) syncOnce() error {
 	if w.synced.Load() >= cur {
 		return nil
 	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+	if err := w.syncFile(f); err != nil {
+		if errors.Is(err, errSegmentSealed) && w.synced.Load() >= cur {
+			// A rotation sealed this segment after the snapshot: its fsync
+			// already covered cur and advanced the watermark.
+			return nil
+		}
+		return err
 	}
-	mFsyncs.Inc()
 	w.advanceSynced(cur)
 	return nil
 }
@@ -371,6 +502,12 @@ func (w *Writer) syncOnce() error {
 // blocked on it.
 func (w *Writer) advanceSynced(v int64) {
 	advanceWatermark(&w.synced, v)
+	w.broadcast()
+}
+
+// broadcast wakes every goroutine parked on the note channel (watermark
+// advances and poisoning both use it).
+func (w *Writer) broadcast() {
 	w.noteMu.Lock()
 	close(w.note)
 	w.note = make(chan struct{})
@@ -417,7 +554,11 @@ func (w *Writer) intervalLoop() {
 			if closed {
 				return
 			}
-			w.WaitDurable(context.Background(), target)
+			if err := w.WaitDurable(context.Background(), target); err != nil {
+				// Only poisoning can fail a background flush; the writer
+				// will never sync again, so stop ticking.
+				return
+			}
 		}
 	}
 }
@@ -445,13 +586,20 @@ type Stats struct {
 	TotalBytes  int64  // cumulative bytes appended, headers included
 	SyncedBytes int64  // durable high-water mark
 	Policy      Policy
+	Poisoned    bool // true once an fsync failure has fail-stopped the writer
 }
 
 // Stat returns the writer's current position.
 func (w *Writer) Stat() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return Stats{Seq: w.seq, TotalBytes: w.total, SyncedBytes: w.synced.Load(), Policy: w.opts.Policy}
+	return Stats{
+		Seq:         w.seq,
+		TotalBytes:  w.total,
+		SyncedBytes: w.synced.Load(),
+		Policy:      w.opts.Policy,
+		Poisoned:    w.poison.Load() != nil,
+	}
 }
 
 // Close flushes and closes the log. Safe to call once. The final sync and
@@ -478,12 +626,22 @@ func (w *Writer) Close() error {
 	f := w.f
 	total := w.total
 	w.mu.Unlock()
-	err := f.Sync()
+	if perr := w.Poisoned(); perr != nil {
+		// fsyncgate: never retry an fsync after a failure — the kernel may
+		// have dropped the dirty pages, and a "successful" retry would
+		// advance the watermark over data that was never written. Close the
+		// handle unsynced and surface the poison cause.
+		f.Close() //nolint:synccheck — poisoned handle, close error is subsumed by the poison
+		return perr
+	}
+	err := w.syncFile(f)
 	if err == nil {
 		w.advanceSynced(total)
+	} else {
+		// syncFile poisoned the writer (Close holds the sync token, so the
+		// sealed-by-rotation race cannot occur here).
+		f.Close() //nolint:synccheck — poisoned handle, close error is subsumed by the poison
+		return err
 	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return f.Close()
 }
